@@ -1,0 +1,178 @@
+//! Criterion benchmarks for the hot paths behind each paper artefact:
+//! network inference (the Fig. 6/7 frequency sweeps), training epochs
+//! (Fig. 5 LOOCV), the execution engine (every experiment), trace I/O
+//! (Section IV-A data acquisition), PCP switching (Table VI dynamic runs)
+//! and the real Rayon kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use enermodel::adam::{Adam, AdamConfig};
+use enermodel::nn::{EnergyNet, NetConfig};
+use enermodel::train::{train, Dataset, TrainConfig};
+use kernels::real;
+use ptf::EnergyModel;
+use scorep_lite::{PcpStack, TraceReader, TraceWriter};
+use simnode::papi::{CounterValues, PapiCounter};
+use simnode::{ExecutionEngine, FreqDomain, Node, RegionCharacter, SystemConfig};
+
+fn synthetic_dataset(n: usize) -> Dataset {
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    let mut groups = Vec::with_capacity(n);
+    for i in 0..n {
+        let f = i as f64;
+        let row: Vec<f64> = (0..9).map(|j| ((f * 0.37 + j as f64).sin() + 1.0) * 1e3).collect();
+        y.push(1.0 + 0.1 * (f * 0.11).cos());
+        rows.push(row);
+        groups.push(format!("g{}", i % 4));
+    }
+    Dataset::new(enermodel::linalg::Matrix::from_rows(&rows), y, groups)
+}
+
+/// Network inference: one full 14×18 frequency sweep, as executed in
+/// tuning step 2 for every application (Fig. 6/7).
+fn bench_nn_inference(c: &mut Criterion) {
+    let data = synthetic_dataset(256);
+    let model = EnergyModel::train(&data, &TrainConfig { epochs: 2, ..Default::default() });
+    let rates = [1e9, 2e9, 1e6, 1e7, 1e10, 5e8, 5e7];
+    let core = FreqDomain::haswell_core();
+    let uncore = FreqDomain::haswell_uncore();
+    c.bench_function("nn/frequency_sweep_252", |b| {
+        b.iter(|| black_box(model.best_frequencies(black_box(&rates), &core, &uncore)))
+    });
+}
+
+/// One training epoch over 1k samples (the unit of Fig. 5's LOOCV cost).
+fn bench_nn_training(c: &mut Criterion) {
+    let data = synthetic_dataset(1000);
+    c.bench_function("nn/train_epoch_1k", |b| {
+        b.iter(|| {
+            let report =
+                train(&data, &TrainConfig { epochs: 1, ..Default::default() });
+            black_box(report.epoch_mse[0])
+        })
+    });
+}
+
+/// A single Adam step on the paper's 86-parameter network.
+fn bench_adam_step(c: &mut Criterion) {
+    let mut net = EnergyNet::new(&NetConfig::paper(1));
+    let mut adam = Adam::new(&net, AdamConfig::default());
+    let x = [0.3; 9];
+    c.bench_function("nn/adam_step", |b| {
+        b.iter(|| {
+            let (_, g) = net.backprop(black_box(&x), &[1.0]);
+            adam.step(&mut net, &g);
+        })
+    });
+}
+
+/// The execution engine: one region evaluation (the unit of every
+/// experiment, sweep and exhaustive search).
+fn bench_exec_engine(c: &mut Criterion) {
+    let engine = ExecutionEngine::new();
+    let node = Node::exact(0);
+    let region = RegionCharacter::builder(2e10).dram_bytes(1.5e10).build();
+    let cfg = SystemConfig::taurus_default();
+    c.bench_function("exec/run_region", |b| {
+        b.iter(|| black_box(engine.run_region(black_box(&region), &cfg, &node)))
+    });
+}
+
+/// OTF2-lite trace write + read + post-processing for one phase of 100
+/// region events with counters (the Section IV-A pipeline).
+fn bench_trace_io(c: &mut Criterion) {
+    c.bench_function("trace/write_read_parse_100", |b| {
+        b.iter(|| {
+            let mut w = TraceWriter::new();
+            let phase = w.define_region("PHASE");
+            let r = w.define_region("work");
+            let mut t = 0u64;
+            w.enter(phase, t);
+            for _ in 0..100 {
+                t += 10;
+                w.enter(r, t);
+                t += 1_000_000;
+                let mut cv = CounterValues::zeros();
+                cv.set(PapiCounter::TotIns, 1e9);
+                w.leave(r, t, 55.0, Some(cv));
+            }
+            t += 10;
+            w.leave(phase, t, 5500.0, None);
+            let trace = w.finish();
+            let bytes = trace.to_bytes();
+            let back = TraceReader::read(bytes).expect("parse");
+            black_box(scorep_lite::parse_trace(&back).expect("summary"))
+        })
+    });
+}
+
+/// PCP configuration switch (both frequency domains + threads), the per-
+/// region cost of the RRL's dynamic tuning.
+fn bench_pcp_switch(c: &mut Criterion) {
+    let node = Node::exact(0);
+    let a = SystemConfig::new(24, 2500, 2000);
+    let b2 = SystemConfig::new(20, 2400, 2300);
+    c.bench_function("rrl/pcp_switch", |b| {
+        let mut stack = PcpStack::new(a);
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            black_box(stack.apply(&node, if flip { b2 } else { a }))
+        })
+    });
+}
+
+/// Real Rayon kernels (the host-executable demo workloads).
+fn bench_real_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("real_kernels");
+    group.sample_size(20);
+    let n = 1 << 18;
+    let bsrc = vec![1.0; n];
+    let csrc = vec![2.0; n];
+    let mut a = vec![0.0; n];
+    group.bench_function(BenchmarkId::new("triad", n), |b| {
+        b.iter(|| black_box(real::triad(&mut a, &bsrc, &csrc, 3.0)))
+    });
+    let m = 128;
+    let am: Vec<f64> = (0..m * m).map(|i| (i % 7) as f64).collect();
+    let bm: Vec<f64> = (0..m * m).map(|i| (i % 5) as f64).collect();
+    let mut cm = vec![0.0; m * m];
+    group.bench_function(BenchmarkId::new("dgemm", m), |b| {
+        b.iter(|| {
+            cm.iter_mut().for_each(|v| *v = 0.0);
+            real::dgemm(m, &am, &bm, &mut cm);
+            black_box(cm[0])
+        })
+    });
+    group.bench_function("mc_transport_100k", |b| {
+        b.iter(|| black_box(real::mc_transport(100_000, 1.0, 2.0)))
+    });
+    group.finish();
+}
+
+/// Ablation: committee size 1 vs 5 at inference time (the robustness
+/// extension documented in DESIGN.md).
+fn bench_committee_ablation(c: &mut Criterion) {
+    let data = synthetic_dataset(256);
+    let cfg = TrainConfig { epochs: 2, ..Default::default() };
+    let single = EnergyModel::train(&data, &cfg);
+    let committee = EnergyModel::train_committee(&data, &cfg, 5);
+    let rates = [1e9, 2e9, 1e6, 1e7, 1e10, 5e8, 5e7];
+    let mut group = c.benchmark_group("ablation/committee");
+    group.bench_function("k1", |b| {
+        b.iter(|| black_box(single.predict_enorm(&rates, 2400, 1700)))
+    });
+    group.bench_function("k5", |b| {
+        b.iter(|| black_box(committee.predict_enorm(&rates, 2400, 1700)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_nn_inference, bench_nn_training, bench_adam_step, bench_exec_engine,
+              bench_trace_io, bench_pcp_switch, bench_real_kernels, bench_committee_ablation
+}
+criterion_main!(benches);

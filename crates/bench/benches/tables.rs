@@ -1,0 +1,114 @@
+//! Criterion benchmarks measuring the end-to-end cost of regenerating each
+//! paper artefact (one benchmark per table/figure, on reduced problem
+//! sizes so `cargo bench` stays fast). The full-size regenerations are the
+//! `bench-suite` binaries (`cargo run -p bench-suite --bin run_all`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use enermodel::select::{select_counters, SelectionConfig};
+use enermodel::train::TrainConfig;
+use ptf::{build_dataset, exhaustive, EnergyModel, SearchSpace, TuningObjective};
+use simnode::{Cluster, ExecutionEngine, Node, SystemConfig};
+
+/// Fig. 2/3 unit: a 14-state core-frequency sweep on one node.
+fn bench_fig2_sweep(c: &mut Criterion) {
+    let bench = kernels::benchmark("Lulesh").unwrap();
+    let phase = bench.phase_character();
+    let engine = ExecutionEngine::new();
+    let cluster = Cluster::new(1, 1);
+    c.bench_function("fig2/core_sweep_one_node", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for cf in (1200..=2500).step_by(100) {
+                total += engine
+                    .run_region(&phase, &SystemConfig::new(24, cf, 1500), cluster.node(0))
+                    .node_energy_j;
+            }
+            black_box(total)
+        })
+    });
+}
+
+/// Table I unit: stepwise selection over 56 candidates × 40 observations.
+fn bench_table1_selection(c: &mut Criterion) {
+    let engine = ExecutionEngine::new();
+    let node = Node::exact(0);
+    let mut rows = Vec::new();
+    let mut response = Vec::new();
+    for bench in kernels::all_benchmarks().into_iter().take(10) {
+        for t in [12u32, 24] {
+            let phase = bench.phase_character();
+            let run = engine.run_region(&phase, &SystemConfig::calibration().with_threads(t), &node);
+            rows.push(run.counters.scaled(1.0 / run.duration_s).as_slice().to_vec());
+            let probe = engine.run_region(&phase, &SystemConfig::new(t, 2500, 1300), &node);
+            response.push(probe.node_energy_j / run.node_energy_j);
+        }
+    }
+    let names: Vec<&str> = simnode::papi::PapiCounter::all().iter().map(|c| c.name()).collect();
+    let m = enermodel::linalg::Matrix::from_rows(&rows);
+    c.bench_function("table1/counter_selection_56x20", |b| {
+        b.iter(|| black_box(select_counters(&m, &names, &response, &SelectionConfig::default())))
+    });
+}
+
+/// Fig. 5 unit: train the network on a reduced dataset (2 benchmarks,
+/// coarse grid, 5 epochs) — one LOOCV fold at reduced size.
+fn bench_fig5_training_fold(c: &mut Criterion) {
+    let node = Node::exact(0);
+    let benches = vec![
+        kernels::benchmark("EP").unwrap(),
+        kernels::benchmark("CG").unwrap(),
+    ];
+    let core: Vec<u32> = (12..=25).step_by(4).map(|r| r * 100).collect();
+    let uncore: Vec<u32> = (13..=30).step_by(4).map(|r| r * 100).collect();
+    let data = build_dataset(&benches, &node, &[24], &core, &uncore);
+    let cfg = TrainConfig { epochs: 5, ..Default::default() };
+    c.bench_function("fig5/train_reduced_fold", |b| {
+        b.iter(|| black_box(EnergyModel::train(&data, &cfg)))
+    });
+}
+
+/// Table V unit: exhaustive static search over the full 1008-point space.
+fn bench_table5_static_search(c: &mut Criterion) {
+    let node = Node::exact(0);
+    let bench = kernels::benchmark("miniMD").unwrap();
+    let space = SearchSpace::full(vec![12, 16, 20, 24]);
+    c.bench_function("table5/static_search_1008", |b| {
+        b.iter(|| {
+            black_box(exhaustive::search_static(&bench, &node, &space, TuningObjective::Energy))
+        })
+    });
+}
+
+/// Table VI unit: one instrumented RRL production run of Lulesh.
+fn bench_table6_rrl_run(c: &mut Criterion) {
+    use ptf::TuningModel;
+    use rrl::RrlHook;
+    use scorep_lite::{InstrumentationConfig, InstrumentedApp};
+    let node = Node::exact(0);
+    let bench = kernels::benchmark("Lulesh").unwrap();
+    let tm = TuningModel::new(
+        "Lulesh",
+        &[("IntegrateStressForElems".into(), SystemConfig::new(24, 2400, 1600))],
+        SystemConfig::new(24, 2400, 1700),
+    );
+    let mut group = c.benchmark_group("table6");
+    group.sample_size(10);
+    group.bench_function("rrl_production_run", |b| {
+        b.iter(|| {
+            let app =
+                InstrumentedApp::new(&bench, &node, InstrumentationConfig::scorep_defaults());
+            let mut hook = RrlHook::new(tm.clone());
+            black_box(app.run(&mut hook))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_fig2_sweep, bench_table1_selection, bench_fig5_training_fold,
+              bench_table5_static_search, bench_table6_rrl_run
+}
+criterion_main!(tables);

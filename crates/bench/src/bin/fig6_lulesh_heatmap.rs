@@ -1,0 +1,4 @@
+//! Regenerates Fig. 6 (Lulesh heat map at 24 threads).
+fn main() {
+    print!("{}", bench_suite::experiments::heatmap("Lulesh", 24));
+}

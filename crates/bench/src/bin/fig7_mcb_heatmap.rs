@@ -1,0 +1,4 @@
+//! Regenerates Fig. 7 (Mcbenchmark heat map at 20 threads).
+fn main() {
+    print!("{}", bench_suite::experiments::heatmap("Mcbenchmark", 20));
+}

@@ -1,0 +1,25 @@
+//! Regenerates every table and figure in one go (the full evaluation
+//! section). Writes the combined report to stdout; redirect to a file to
+//! refresh EXPERIMENTS data.
+use bench_suite::experiments as ex;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    for section in [
+        ex::inventory(),
+        ex::fig2_core_sweep(),
+        ex::fig3_uncore_sweep(),
+        ex::table1_counter_selection(),
+        ex::fig5_loocv_mape(),
+        ex::heatmap("Lulesh", 24),
+        ex::heatmap("Mcbenchmark", 20),
+        ex::region_table("Lulesh"),
+        ex::region_table("Mcbenchmark"),
+        ex::table5_static_config(),
+        ex::table6_static_vs_dynamic(),
+        ex::tuning_time(),
+    ] {
+        print!("{section}");
+    }
+    eprintln!("regenerated all artefacts in {:?}", t0.elapsed());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table III (per-region optima for Lulesh).
+fn main() {
+    print!("{}", bench_suite::experiments::region_table("Lulesh"));
+}

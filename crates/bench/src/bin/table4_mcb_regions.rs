@@ -1,0 +1,4 @@
+//! Regenerates Table IV (per-region optima for Mcbenchmark).
+fn main() {
+    print!("{}", bench_suite::experiments::region_table("Mcbenchmark"));
+}

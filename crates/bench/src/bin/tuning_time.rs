@@ -1,0 +1,4 @@
+//! Regenerates one paper artefact; see `bench_suite::experiments`.
+fn main() {
+    print!("{}", bench_suite::experiments::tuning_time());
+}

@@ -1,0 +1,13 @@
+//! # bench-suite — experiment regeneration harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4) plus shared
+//! sweep utilities. The Criterion benches measure the hot paths behind each
+//! artefact.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod sweep;
+
+pub use sweep::{energy_grid, optimum, EnergyGrid, GridPoint};

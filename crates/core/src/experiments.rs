@@ -1,0 +1,155 @@
+//! The experiments engine.
+//!
+//! PTF evaluates *scenarios* (configurations) by running experiments on
+//! the application. Because the paper's applications have progressive
+//! phase loops, "each phase iteration can be exploited and the entire
+//! application run is not required" (Section V-C) — an experiment is one
+//! phase iteration (or one region instance) under a configuration. The
+//! engine counts experiments in application-run equivalents for the
+//! tuning-time analysis.
+
+use kernels::BenchmarkSpec;
+use simnode::{ExecutionEngine, Node, RegionCharacter, SystemConfig};
+
+use crate::objectives::TuningObjective;
+
+/// One experiment's measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Node energy, joules.
+    pub node_energy_j: f64,
+    /// CPU energy, joules.
+    pub cpu_energy_j: f64,
+    /// Duration, seconds.
+    pub duration_s: f64,
+}
+
+impl Measurement {
+    /// Score under an objective (node energy is the paper's fundamental
+    /// objective).
+    pub fn score(&self, objective: TuningObjective) -> f64 {
+        objective.score(self.node_energy_j, self.duration_s)
+    }
+}
+
+/// Experiment runner with accounting.
+pub struct ExperimentsEngine<'a> {
+    node: &'a Node,
+    engine: ExecutionEngine,
+    experiments: u64,
+}
+
+impl<'a> ExperimentsEngine<'a> {
+    /// New engine on `node`.
+    pub fn new(node: &'a Node) -> Self {
+        Self { node, engine: ExecutionEngine::new(), experiments: 0 }
+    }
+
+    /// Number of experiments run so far.
+    pub fn experiments(&self) -> u64 {
+        self.experiments
+    }
+
+    /// Evaluate one region character for one phase iteration under `cfg`.
+    pub fn evaluate(&mut self, c: &RegionCharacter, cfg: &SystemConfig) -> Measurement {
+        self.experiments += 1;
+        let run = self.engine.run_region(c, cfg, self.node);
+        Measurement {
+            node_energy_j: run.node_energy_j,
+            cpu_energy_j: run.cpu_energy_j,
+            duration_s: run.duration_s,
+        }
+    }
+
+    /// Evaluate a whole phase iteration of `bench` under `cfg`.
+    pub fn evaluate_phase(&mut self, bench: &BenchmarkSpec, cfg: &SystemConfig) -> Measurement {
+        self.experiments += 1;
+        let mut total = Measurement { node_energy_j: 0.0, cpu_energy_j: 0.0, duration_s: 0.0 };
+        for r in &bench.regions {
+            let run = self.engine.run_region(&r.character, cfg, self.node);
+            total.node_energy_j += run.node_energy_j;
+            total.cpu_energy_j += run.cpu_energy_j;
+            total.duration_s += run.duration_s;
+        }
+        total
+    }
+
+    /// Among `configs`, the one minimising `objective` on region `c`,
+    /// with its measurement.
+    pub fn best_for_region(
+        &mut self,
+        c: &RegionCharacter,
+        configs: &[SystemConfig],
+        objective: TuningObjective,
+    ) -> (SystemConfig, Measurement) {
+        assert!(!configs.is_empty(), "need at least one candidate configuration");
+        let mut best = None;
+        for cfg in configs {
+            let m = self.evaluate(c, cfg);
+            let s = m.score(objective);
+            match best {
+                Some((_, _, bs)) if bs <= s => {}
+                _ => best = Some((*cfg, m, s)),
+            }
+        }
+        let (cfg, m, _) = best.expect("nonempty candidates");
+        (cfg, m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluate_counts_experiments() {
+        let node = Node::exact(0);
+        let mut eng = ExperimentsEngine::new(&node);
+        let c = RegionCharacter::builder(1e10).build();
+        let m = eng.evaluate(&c, &SystemConfig::taurus_default());
+        assert!(m.node_energy_j > 0.0 && m.duration_s > 0.0);
+        assert_eq!(eng.experiments(), 1);
+    }
+
+    #[test]
+    fn phase_sums_regions() {
+        let node = Node::exact(0);
+        let bench = kernels::benchmark("Lulesh").unwrap();
+        let mut eng = ExperimentsEngine::new(&node);
+        let phase = eng.evaluate_phase(&bench, &SystemConfig::taurus_default());
+        let sum: f64 = bench
+            .regions
+            .iter()
+            .map(|r| eng.evaluate(&r.character, &SystemConfig::taurus_default()).duration_s)
+            .sum();
+        assert!((phase.duration_s - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_for_region_minimises_objective() {
+        let node = Node::exact(0);
+        let mut eng = ExperimentsEngine::new(&node);
+        let c = RegionCharacter::builder(2e10).ipc(2.0).dram_bytes(2e9).build();
+        let configs = vec![
+            SystemConfig::new(24, 1200, 3000),
+            SystemConfig::new(24, 2400, 1700),
+            SystemConfig::new(24, 2500, 3000),
+        ];
+        let (best, m) = eng.best_for_region(&c, &configs, TuningObjective::Energy);
+        // Compute-bound: high CF low UCF wins.
+        assert_eq!(best, SystemConfig::new(24, 2400, 1700));
+        for cfg in &configs {
+            let other = eng.evaluate(&c, cfg);
+            assert!(m.node_energy_j <= other.node_energy_j + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_candidates_panics() {
+        let node = Node::exact(0);
+        let mut eng = ExperimentsEngine::new(&node);
+        let c = RegionCharacter::builder(1e9).build();
+        let _ = eng.best_for_region(&c, &[], TuningObjective::Energy);
+    }
+}

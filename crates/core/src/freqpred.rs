@@ -1,0 +1,242 @@
+//! Tuning step 2: model-based frequency prediction.
+//!
+//! "These performance metrics are then used as an input for the energy
+//! model … to predict energy consumption for different core and uncore
+//! frequencies. The combination of core and uncore frequency which leads
+//! to the minimum energy consumption is then used as the global core and
+//! uncore frequency." (Section III-C.) "In order to predict the global
+//! operating core and uncore frequency … all combination of available
+//! frequencies are used as input to the network." (Section IV-C.)
+
+use serde::{Deserialize, Serialize};
+
+use enermodel::nn::EnergyNet;
+use enermodel::scaler::StandardScaler;
+use enermodel::train::{train, Dataset, TrainConfig, TrainReport};
+use simnode::{CoreFreq, FreqDomain, SystemConfig, UncoreFreq};
+
+use crate::modeldata::features_from_rates;
+
+/// The trained energy model bundle used by the plugin: one or more
+/// networks (a small committee, averaged at inference time), the
+/// training-set scaler and the calibration point.
+///
+/// The committee is a deliberate robustness extension over the paper: the
+/// energy surface is flat near its optimum (the ±2 % bands of Figs. 6–7
+/// span many frequency pairs), so the arg-min of a single 9-5-5-1 network
+/// scatters across that plateau with the initialisation seed — visibly so
+/// in the paper itself, whose plugin picked 2.5|2.1 GHz where the true
+/// optimum was 2.4|1.7 GHz. Averaging a few independently-initialised
+/// networks keeps the single-network architecture while stabilising the
+/// arg-min (see DESIGN.md).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnergyModel {
+    nets: Vec<EnergyNet>,
+    scaler: StandardScaler,
+    /// Calibration configuration at which counter rates are measured.
+    pub calibration: SystemConfig,
+}
+
+impl EnergyModel {
+    /// Train a fresh single-network model on `data`.
+    pub fn train(data: &Dataset, cfg: &TrainConfig) -> Self {
+        let TrainReport { net, scaler, .. } = train(data, cfg);
+        Self { nets: vec![net], scaler, calibration: SystemConfig::calibration() }
+    }
+
+    /// Train a committee of `k` networks that differ only in their
+    /// initialisation and shuffle seeds; predictions are averaged.
+    pub fn train_committee(data: &Dataset, cfg: &TrainConfig, k: usize) -> Self {
+        assert!(k >= 1, "committee needs at least one network");
+        let mut nets = Vec::with_capacity(k);
+        let mut scaler = None;
+        for i in 0..k {
+            let mut c = cfg.clone();
+            c.net.seed = cfg.net.seed.wrapping_add(i as u64 * 0x9E37);
+            c.shuffle_seed = cfg.shuffle_seed.wrapping_add(i as u64);
+            let TrainReport { net, scaler: s, .. } = train(data, &c);
+            nets.push(net);
+            scaler.get_or_insert(s);
+        }
+        Self {
+            nets,
+            scaler: scaler.expect("k >= 1"),
+            calibration: SystemConfig::calibration(),
+        }
+    }
+
+    /// Number of networks in the committee.
+    pub fn committee_size(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Train with the paper's full protocol (Section V-B): all frequency
+    /// combinations of the platform, OpenMP threads swept 12–24 in steps
+    /// of 4, ten epochs of Adam at the default hyper-parameters, on the
+    /// given training benchmarks. Thread diversity matters: each
+    /// `(benchmark, threads)` pair contributes a distinct counter-rate
+    /// signature, and the network needs that workload breadth to place
+    /// the energy valley correctly for unseen codes.
+    pub fn train_paper(benchmarks: &[kernels::BenchmarkSpec], node: &simnode::Node) -> Self {
+        let core: Vec<u32> = FreqDomain::haswell_core().iter_mhz().collect();
+        let uncore: Vec<u32> = FreqDomain::haswell_uncore().iter_mhz().collect();
+        let data =
+            crate::modeldata::build_dataset(benchmarks, node, &[12, 16, 20, 24], &core, &uncore);
+        Self::train_committee(
+            &data,
+            &TrainConfig {
+                net: enermodel::nn::NetConfig::paper(0xE5_2680),
+                adam: enermodel::adam::AdamConfig::default(),
+                epochs: 10,
+                shuffle_seed: 0x7A05,
+                lr_decay: 1.0,
+            },
+            5,
+        )
+    }
+
+    /// Wrap an existing training report.
+    pub fn from_report(report: TrainReport) -> Self {
+        Self {
+            nets: vec![report.net],
+            scaler: report.scaler,
+            calibration: SystemConfig::calibration(),
+        }
+    }
+
+    /// Predict normalised energy for one frequency pair given the phase
+    /// counter rates.
+    pub fn predict_enorm(&self, rates: &[f64; 7], core_mhz: u32, uncore_mhz: u32) -> f64 {
+        let mut row = features_from_rates(rates, core_mhz, uncore_mhz).to_vec();
+        self.scaler.transform_row(&mut row);
+        self.nets.iter().map(|n| n.predict_scalar(&row)).sum::<f64>() / self.nets.len() as f64
+    }
+
+    /// Sweep every combination of available frequencies and return the
+    /// predicted-optimal (global) pair.
+    pub fn best_frequencies(
+        &self,
+        rates: &[f64; 7],
+        core: &FreqDomain,
+        uncore: &FreqDomain,
+    ) -> (CoreFreq, UncoreFreq) {
+        let mut best = (CoreFreq(core.min_mhz), UncoreFreq(uncore.min_mhz));
+        let mut best_e = f64::INFINITY;
+        for cf in core.iter_mhz() {
+            for ucf in uncore.iter_mhz() {
+                let e = self.predict_enorm(rates, cf, ucf);
+                if e < best_e {
+                    best_e = e;
+                    best = (CoreFreq(cf), UncoreFreq(ucf));
+                }
+            }
+        }
+        best
+    }
+
+    /// Predicted energy surface over the full domains (the data behind the
+    /// model's view of Figures 6–7).
+    pub fn predict_surface(
+        &self,
+        rates: &[f64; 7],
+        core: &FreqDomain,
+        uncore: &FreqDomain,
+    ) -> Vec<(u32, u32, f64)> {
+        let mut out = Vec::with_capacity(core.len() * uncore.len());
+        for cf in core.iter_mhz() {
+            for ucf in uncore.iter_mhz() {
+                out.push((cf, ucf, self.predict_enorm(rates, cf, ucf)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modeldata::build_dataset;
+    use enermodel::adam::AdamConfig;
+    use enermodel::nn::NetConfig;
+    use simnode::Node;
+
+    fn quick_model(train_names: &[&str]) -> EnergyModel {
+        let node = Node::exact(0);
+        let benches: Vec<_> =
+            train_names.iter().map(|n| kernels::benchmark(n).unwrap()).collect();
+        let core: Vec<u32> = (12..=25).map(|r| r * 100).step_by(2).collect();
+        let uncore: Vec<u32> = (13..=30).map(|r| r * 100).step_by(2).collect();
+        let data = build_dataset(&benches, &node, &[24], &core, &uncore);
+        let cfg = TrainConfig {
+            net: NetConfig::paper(7),
+            adam: AdamConfig::default(),
+            epochs: 20,
+            shuffle_seed: 3,
+            lr_decay: 1.0,
+        };
+        EnergyModel::train(&data, &cfg)
+    }
+
+    #[test]
+    fn predicts_sane_normalised_energies() {
+        let model = quick_model(&["EP", "CG", "BT", "MG", "FT"]);
+        let node = Node::exact(0);
+        let lulesh = kernels::benchmark("Lulesh").unwrap();
+        let rates =
+            crate::modeldata::phase_counter_rates(&lulesh, &node, SystemConfig::calibration());
+        let e = model.predict_enorm(&rates, 2000, 1500);
+        assert!((0.5..2.0).contains(&e), "E_norm at calibration point: {e}");
+    }
+
+    #[test]
+    fn best_frequencies_track_workload_personality() {
+        let node = Node::exact(0);
+        let model = EnergyModel::train_paper(&kernels::training_set(), &node);
+        let core = FreqDomain::haswell_core();
+        let uncore = FreqDomain::haswell_uncore();
+
+        let lulesh = kernels::benchmark("Lulesh").unwrap();
+        let r_l = crate::modeldata::phase_counter_rates(&lulesh, &node, SystemConfig::calibration());
+        let (cf_l, ucf_l) = model.best_frequencies(&r_l, &core, &uncore);
+
+        let mcb = kernels::benchmark("Mcbenchmark").unwrap();
+        let r_m = crate::modeldata::phase_counter_rates(&mcb, &node, SystemConfig::calibration());
+        let (cf_m, ucf_m) = model.best_frequencies(&r_m, &core, &uncore);
+
+        // Compute-bound Lulesh wants higher CF than memory-bound Mcb, and
+        // lower UCF (Figures 6 vs 7).
+        assert!(cf_l > cf_m, "Lulesh CF {cf_l} vs Mcb CF {cf_m}");
+        assert!(ucf_l < ucf_m, "Lulesh UCF {ucf_l} vs Mcb UCF {ucf_m}");
+    }
+
+    #[test]
+    fn surface_covers_all_combinations() {
+        let model = quick_model(&["EP", "CG"]);
+        let rates = [1e9, 2e9, 1e6, 1e7, 1e10, 5e8, 5e7];
+        let core = FreqDomain::haswell_core();
+        let uncore = FreqDomain::haswell_uncore();
+        let surface = model.predict_surface(&rates, &core, &uncore);
+        assert_eq!(surface.len(), 14 * 18);
+        let (bcf, bucf) = model.best_frequencies(&rates, &core, &uncore);
+        let min = surface.iter().fold(f64::INFINITY, |m, &(_, _, e)| m.min(e));
+        let at_best = surface
+            .iter()
+            .find(|&&(cf, ucf, _)| cf == bcf.mhz() && ucf == bucf.mhz())
+            .unwrap()
+            .2;
+        assert_eq!(min, at_best);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let model = quick_model(&["EP", "CG"]);
+        let json = serde_json::to_string(&model).unwrap();
+        let back: EnergyModel = serde_json::from_str(&json).unwrap();
+        let rates = [1e9, 2e9, 1e6, 1e7, 1e10, 5e8, 5e7];
+        let a = model.predict_enorm(&rates, 2000, 2000);
+        let b = back.predict_enorm(&rates, 2000, 2000);
+        // JSON prints f64 with shortest-round-trip precision per weight,
+        // but the composed prediction may differ in the last ulp.
+        assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+    }
+}

@@ -1,0 +1,55 @@
+//! # ptf — the Periscope Tuning Framework analog and the paper's tuning
+//! plugin
+//!
+//! This crate is the paper's primary contribution: a model-based tuning
+//! plugin that selects, per *significant region*, the energy-optimal
+//! configuration of OpenMP threads, core frequency (DVFS) and uncore
+//! frequency (UFS), and emits a *tuning model* for the runtime library.
+//!
+//! The Design-Time Analysis workflow (Fig. 1 of the paper):
+//!
+//! 1. **Pre-processing** ([`workflow`]): Score-P instrumentation,
+//!    `scorep-autofilter` filtering, phase annotation and
+//!    `readex-dyn-detect` significant-region detection (all provided by
+//!    `scorep-lite`).
+//! 2. **Tuning step 1** ([`threads`]): exhaustive search over OpenMP
+//!    thread counts for the phase region.
+//! 3. **Tuning step 2** ([`freqpred`]): the neural-network energy model
+//!    predicts normalised energy for *every* core/uncore frequency
+//!    combination in one shot; the arg-min becomes the *global* frequency
+//!    pair, and only its immediate neighbourhood is verified
+//!    experimentally per significant region ([`search`],
+//!    [`experiments`]).
+//! 4. **Tuning-model generation** ([`scenario`], [`tuning_model`]):
+//!    regions with the same best configuration are grouped into scenarios
+//!    (system-scenario methodology) and serialised for the RRL.
+//!
+//! [`modeldata`] implements the Section IV-A data-acquisition pipeline
+//! (traces → counter rates + normalised energies), [`objectives`] the
+//! tuning objectives (energy now, EDP/ED²P/TCO as the paper's future
+//! work), and [`exhaustive`] the Sourouri-et-al.-style exhaustive baseline
+//! with the Section V-C tuning-time cost model.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod exhaustive;
+pub mod experiments;
+pub mod freqpred;
+pub mod modeldata;
+pub mod objectives;
+pub mod plugin;
+pub mod scenario;
+pub mod search;
+pub mod threads;
+pub mod tuning_model;
+pub mod workflow;
+
+pub use freqpred::EnergyModel;
+pub use modeldata::{build_dataset, features_from_rates, phase_counter_rates, FEATURE_COUNT};
+pub use objectives::TuningObjective;
+pub use plugin::{DvfsUfsPlugin, TuningPlugin};
+pub use scenario::{Scenario, ScenarioClassifier};
+pub use search::SearchSpace;
+pub use tuning_model::TuningModel;
+pub use workflow::{DesignTimeAnalysis, DtaReport};

@@ -1,0 +1,77 @@
+//! Tuning objectives.
+//!
+//! The paper tunes for node energy; EDP, ED²P and TCO are named as
+//! alternative objectives (Sections II and VI). All four are implemented —
+//! the extension the conclusion asks for.
+
+use serde::{Deserialize, Serialize};
+
+/// An objective maps a measured `(energy, time)` pair to a score to be
+/// *minimised*.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum TuningObjective {
+    /// Plain energy-to-solution (the paper's fundamental objective).
+    #[default]
+    Energy,
+    /// Energy–delay product `E · t`.
+    Edp,
+    /// Energy–delay-squared product `E · t²`.
+    Ed2p,
+    /// Total cost of ownership: energy cost plus machine-time cost,
+    /// `E + rate · t` with `rate` in joule-equivalents per second.
+    Tco {
+        /// Machine-time cost rate, J/s.
+        rate_j_per_s: f64,
+    },
+}
+
+impl TuningObjective {
+    /// Score to minimise.
+    pub fn score(&self, energy_j: f64, time_s: f64) -> f64 {
+        match self {
+            TuningObjective::Energy => energy_j,
+            TuningObjective::Edp => energy_j * time_s,
+            TuningObjective::Ed2p => energy_j * time_s * time_s,
+            TuningObjective::Tco { rate_j_per_s } => energy_j + rate_j_per_s * time_s,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TuningObjective::Energy => "energy",
+            TuningObjective::Edp => "EDP",
+            TuningObjective::Ed2p => "ED2P",
+            TuningObjective::Tco { .. } => "TCO",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores() {
+        assert_eq!(TuningObjective::Energy.score(100.0, 2.0), 100.0);
+        assert_eq!(TuningObjective::Edp.score(100.0, 2.0), 200.0);
+        assert_eq!(TuningObjective::Ed2p.score(100.0, 2.0), 400.0);
+        assert_eq!(TuningObjective::Tco { rate_j_per_s: 50.0 }.score(100.0, 2.0), 200.0);
+    }
+
+    #[test]
+    fn edp_prefers_faster_config_than_energy() {
+        // Config A: 100 J, 1 s. Config B: 90 J, 2 s.
+        // Energy prefers B; EDP prefers A.
+        let (ea, ta) = (100.0, 1.0);
+        let (eb, tb) = (90.0, 2.0);
+        assert!(TuningObjective::Energy.score(eb, tb) < TuningObjective::Energy.score(ea, ta));
+        assert!(TuningObjective::Edp.score(ea, ta) < TuningObjective::Edp.score(eb, tb));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(TuningObjective::Energy.name(), "energy");
+        assert_eq!(TuningObjective::Ed2p.name(), "ED2P");
+    }
+}

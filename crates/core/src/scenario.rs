@@ -1,0 +1,133 @@
+//! Scenarios and the region classifier (Section III-D).
+//!
+//! "To avoid dynamic-switching overhead, regions which behave similar
+//! during execution or have the same configuration for different tuning
+//! parameters are grouped into scenarios … by using a classifier which
+//! maps each region onto a unique scenario based on its context." This is
+//! the system-scenario methodology of Gheorghita et al.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use simnode::SystemConfig;
+
+/// One scenario: a set of regions sharing a best-found configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario identifier.
+    pub id: u32,
+    /// The configuration applied when any member region executes.
+    pub config: SystemConfig,
+    /// Member region names.
+    pub regions: Vec<String>,
+}
+
+/// Maps region names to scenario ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScenarioClassifier {
+    map: BTreeMap<String, u32>,
+}
+
+impl ScenarioClassifier {
+    /// Build scenarios from per-region best configurations: regions with
+    /// identical configurations share a scenario. Returns `(scenarios,
+    /// classifier)`; scenario ids are assigned in first-appearance order.
+    pub fn build(region_configs: &[(String, SystemConfig)]) -> (Vec<Scenario>, Self) {
+        let mut scenarios: Vec<Scenario> = Vec::new();
+        let mut map = BTreeMap::new();
+        for (region, cfg) in region_configs {
+            let id = match scenarios.iter().position(|s| s.config == *cfg) {
+                Some(pos) => {
+                    scenarios[pos].regions.push(region.clone());
+                    scenarios[pos].id
+                }
+                None => {
+                    let id = scenarios.len() as u32;
+                    scenarios.push(Scenario {
+                        id,
+                        config: *cfg,
+                        regions: vec![region.clone()],
+                    });
+                    id
+                }
+            };
+            map.insert(region.clone(), id);
+        }
+        (scenarios, Self { map })
+    }
+
+    /// Scenario id for a region, if the region is known.
+    pub fn classify(&self, region: &str) -> Option<u32> {
+        self.map.get(region).copied()
+    }
+
+    /// Number of classified regions.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no regions are classified.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfgs() -> Vec<(String, SystemConfig)> {
+        vec![
+            ("a".into(), SystemConfig::new(24, 2500, 2000)),
+            ("b".into(), SystemConfig::new(24, 2500, 2000)),
+            ("c".into(), SystemConfig::new(24, 2400, 2000)),
+            ("d".into(), SystemConfig::new(20, 2400, 2000)),
+            ("e".into(), SystemConfig::new(24, 2500, 2000)),
+        ]
+    }
+
+    #[test]
+    fn groups_identical_configs() {
+        let (scenarios, classifier) = ScenarioClassifier::build(&cfgs());
+        assert_eq!(scenarios.len(), 3);
+        assert_eq!(classifier.classify("a"), classifier.classify("b"));
+        assert_eq!(classifier.classify("a"), classifier.classify("e"));
+        assert_ne!(classifier.classify("a"), classifier.classify("c"));
+        assert_ne!(classifier.classify("c"), classifier.classify("d"));
+        assert_eq!(classifier.classify("nope"), None);
+    }
+
+    #[test]
+    fn scenario_membership_lists_regions() {
+        let (scenarios, _) = ScenarioClassifier::build(&cfgs());
+        let s0 = &scenarios[0];
+        assert_eq!(s0.regions, vec!["a", "b", "e"]);
+        assert_eq!(s0.id, 0);
+    }
+
+    #[test]
+    fn classifier_is_total_over_input() {
+        let (_, classifier) = ScenarioClassifier::build(&cfgs());
+        assert_eq!(classifier.len(), 5);
+        for name in ["a", "b", "c", "d", "e"] {
+            assert!(classifier.classify(name).is_some());
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let (scenarios, classifier) = ScenarioClassifier::build(&[]);
+        assert!(scenarios.is_empty());
+        assert!(classifier.is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (scenarios, classifier) = ScenarioClassifier::build(&cfgs());
+        let json = serde_json::to_string(&(&scenarios, &classifier)).unwrap();
+        let (s2, c2): (Vec<Scenario>, ScenarioClassifier) = serde_json::from_str(&json).unwrap();
+        assert_eq!(scenarios, s2);
+        assert_eq!(classifier, c2);
+    }
+}

@@ -1,0 +1,109 @@
+//! Search spaces over the tuning parameters.
+
+use serde::{Deserialize, Serialize};
+
+use simnode::{FreqDomain, SystemConfig};
+
+/// A rectangular search space: thread candidates × core states × uncore
+/// states.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchSpace {
+    /// Thread candidates.
+    pub threads: Vec<u32>,
+    /// Core frequency candidates, MHz.
+    pub core_mhz: Vec<u32>,
+    /// Uncore frequency candidates, MHz.
+    pub uncore_mhz: Vec<u32>,
+}
+
+impl SearchSpace {
+    /// The full hardware space of the paper's platform at the given thread
+    /// candidates: 14 core × 18 uncore states.
+    pub fn full(threads: Vec<u32>) -> Self {
+        Self {
+            threads,
+            core_mhz: FreqDomain::haswell_core().iter_mhz().collect(),
+            uncore_mhz: FreqDomain::haswell_uncore().iter_mhz().collect(),
+        }
+    }
+
+    /// The reduced space of Section III-C: the immediate neighbourhood
+    /// (±`radius` steps) of a predicted global frequency pair, with fixed
+    /// thread candidates.
+    pub fn neighbourhood(
+        center: SystemConfig,
+        radius: u32,
+        threads: Vec<u32>,
+    ) -> Self {
+        Self {
+            threads,
+            core_mhz: FreqDomain::haswell_core().neighbourhood(center.core.mhz(), radius),
+            uncore_mhz: FreqDomain::haswell_uncore().neighbourhood(center.uncore.mhz(), radius),
+        }
+    }
+
+    /// Number of configurations (`k × l × m` in the paper's cost model).
+    pub fn len(&self) -> usize {
+        self.threads.len() * self.core_mhz.len() * self.uncore_mhz.len()
+    }
+
+    /// True when the space is degenerate.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate every configuration.
+    pub fn iter(&self) -> impl Iterator<Item = SystemConfig> + '_ {
+        self.threads.iter().flat_map(move |&t| {
+            self.core_mhz.iter().flat_map(move |&cf| {
+                self.uncore_mhz.iter().map(move |&ucf| SystemConfig::new(t, cf, ucf))
+            })
+        })
+    }
+
+    /// All configurations as a vector.
+    pub fn configs(&self) -> Vec<SystemConfig> {
+        self.iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_space_size_matches_platform() {
+        let s = SearchSpace::full(vec![12, 16, 20, 24]);
+        assert_eq!(s.len(), 4 * 14 * 18);
+        assert_eq!(s.configs().len(), s.len());
+    }
+
+    #[test]
+    fn neighbourhood_space_is_small() {
+        let s = SearchSpace::neighbourhood(SystemConfig::new(24, 2500, 2100), 1, vec![24]);
+        // 2500 clips at the top: {2400, 2500}; uncore {2000, 2100, 2200}.
+        assert_eq!(s.core_mhz, vec![2400, 2500]);
+        assert_eq!(s.uncore_mhz, vec![2000, 2100, 2200]);
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn iter_covers_cartesian_product() {
+        let s = SearchSpace {
+            threads: vec![12, 24],
+            core_mhz: vec![2000],
+            uncore_mhz: vec![1500, 1600],
+        };
+        let cfgs = s.configs();
+        assert_eq!(cfgs.len(), 4);
+        assert!(cfgs.contains(&SystemConfig::new(12, 2000, 1600)));
+        assert!(cfgs.contains(&SystemConfig::new(24, 2000, 1500)));
+    }
+
+    #[test]
+    fn snapped_centre_off_grid() {
+        let s = SearchSpace::neighbourhood(SystemConfig::new(24, 2444, 1333), 1, vec![24]);
+        assert!(s.core_mhz.contains(&2400));
+        assert!(s.uncore_mhz.contains(&1300));
+    }
+}

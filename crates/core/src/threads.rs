@@ -1,0 +1,113 @@
+//! Tuning step 1: exhaustive OpenMP thread search (Section III-B).
+//!
+//! "We use an exhaustive approach to determine the optimal number of
+//! OpenMP threads … The optimal number of OpenMP threads for each region
+//! are determined with energy consumption as the fundamental tuning
+//! objective." Experiments run at the calibration frequencies, one phase
+//! iteration per candidate, energies measured through HDEEM.
+
+use kernels::BenchmarkSpec;
+use simnode::{Node, SystemConfig};
+
+use crate::experiments::ExperimentsEngine;
+use crate::objectives::TuningObjective;
+
+/// Result of the thread-tuning step.
+#[derive(Debug, Clone)]
+pub struct ThreadTuning {
+    /// Optimal thread count for the phase region.
+    pub best_threads: u32,
+    /// `(threads, objective score)` for every candidate, in sweep order.
+    pub sweep: Vec<(u32, f64)>,
+    /// Experiments consumed (one per candidate — `k` in the Section V-C
+    /// cost model).
+    pub experiments: u64,
+}
+
+/// Exhaustively evaluate the thread candidates for the phase region.
+///
+/// MPI-only benchmarks are not thread-tunable; they are pinned to the full
+/// core count and the sweep contains that single point.
+pub fn tune_threads(
+    bench: &BenchmarkSpec,
+    node: &Node,
+    candidates: &[u32],
+    objective: TuningObjective,
+) -> ThreadTuning {
+    let candidates: Vec<u32> = if bench.model.tunable_threads() {
+        candidates.to_vec()
+    } else {
+        vec![node.topology().max_threads()]
+    };
+    assert!(!candidates.is_empty(), "no thread candidates");
+
+    let mut eng = ExperimentsEngine::new(node);
+    let mut sweep = Vec::with_capacity(candidates.len());
+    for &t in &candidates {
+        let cfg = SystemConfig::calibration().with_threads(t);
+        let m = eng.evaluate_phase(bench, &cfg);
+        sweep.push((t, m.score(objective)));
+    }
+    let best_threads = sweep
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("nonempty sweep")
+        .0;
+    ThreadTuning { best_threads, sweep, experiments: eng.experiments() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CANDIDATES: [u32; 4] = [12, 16, 20, 24];
+
+    #[test]
+    fn lulesh_prefers_24_threads() {
+        let node = Node::exact(0);
+        let bench = kernels::benchmark("Lulesh").unwrap();
+        let t = tune_threads(&bench, &node, &CANDIDATES, TuningObjective::Energy);
+        assert_eq!(t.best_threads, 24, "sweep: {:?}", t.sweep);
+        assert_eq!(t.sweep.len(), 4);
+        assert_eq!(t.experiments, 4);
+    }
+
+    #[test]
+    fn amg_prefers_16_threads() {
+        let node = Node::exact(0);
+        let bench = kernels::benchmark("Amg2013").unwrap();
+        let t = tune_threads(&bench, &node, &CANDIDATES, TuningObjective::Energy);
+        assert_eq!(t.best_threads, 16, "sweep: {:?}", t.sweep);
+    }
+
+    #[test]
+    fn mcb_prefers_reduced_threads() {
+        // The paper reports 20 threads for Mcbenchmark. In the simulator
+        // the thread/energy landscape at the calibration frequencies is
+        // flat to < 1 % between 16 and 24 threads and the optimum lands at
+        // 16 — same qualitative story (memory-bound: fewer than all 24
+        // threads), one step off. See EXPERIMENTS.md.
+        let node = Node::exact(0);
+        let bench = kernels::benchmark("Mcbenchmark").unwrap();
+        let t = tune_threads(&bench, &node, &CANDIDATES, TuningObjective::Energy);
+        assert!(
+            t.best_threads == 16 || t.best_threads == 20,
+            "sweep: {:?}",
+            t.sweep
+        );
+        // The landscape must indeed be flat: best and 24-thread scores
+        // within 5 %.
+        let best = t.sweep.iter().map(|&(_, s)| s).fold(f64::INFINITY, f64::min);
+        let at24 = t.sweep.iter().find(|&&(n, _)| n == 24).unwrap().1;
+        assert!((at24 - best) / best < 0.05);
+    }
+
+    #[test]
+    fn mpi_only_benchmark_pins_to_full_cores() {
+        let node = Node::exact(0);
+        let bench = kernels::benchmark("Kripke").unwrap();
+        let t = tune_threads(&bench, &node, &CANDIDATES, TuningObjective::Energy);
+        assert_eq!(t.best_threads, 24);
+        assert_eq!(t.sweep.len(), 1);
+    }
+}

@@ -1,0 +1,107 @@
+//! The tuning model (Section III-D).
+//!
+//! The artefact the Design-Time Analysis produces and the READEX Runtime
+//! Library consumes (via `SCOREP_RRL_TMM_PATH`): scenarios with their best
+//! configurations, the classifier mapping regions to scenarios, and the
+//! phase-level default.
+
+use serde::{Deserialize, Serialize};
+
+use simnode::SystemConfig;
+
+use crate::scenario::{Scenario, ScenarioClassifier};
+
+/// The serialisable tuning model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuningModel {
+    /// Application name.
+    pub application: String,
+    /// Scenarios (deduplicated configurations).
+    pub scenarios: Vec<Scenario>,
+    /// Region → scenario classifier.
+    pub classifier: ScenarioClassifier,
+    /// Best configuration for the phase region: applied between
+    /// significant regions and for any unclassified region.
+    pub phase_config: SystemConfig,
+}
+
+impl TuningModel {
+    /// Build a model from per-region best configurations.
+    pub fn new(
+        application: impl Into<String>,
+        region_configs: &[(String, SystemConfig)],
+        phase_config: SystemConfig,
+    ) -> Self {
+        let (scenarios, classifier) = ScenarioClassifier::build(region_configs);
+        Self { application: application.into(), scenarios, classifier, phase_config }
+    }
+
+    /// Configuration to apply when entering `region`: the region's
+    /// scenario config, or the phase default for unknown regions.
+    pub fn lookup(&self, region: &str) -> SystemConfig {
+        match self.classifier.classify(region) {
+            Some(id) => self.scenarios[id as usize].config,
+            None => self.phase_config,
+        }
+    }
+
+    /// Number of distinct scenarios.
+    pub fn scenario_count(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Serialise to the JSON tuning-model file format.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("tuning model serialises")
+    }
+
+    /// Parse from the JSON tuning-model file format.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TuningModel {
+        TuningModel::new(
+            "Lulesh",
+            &[
+                ("IntegrateStressForElems".into(), SystemConfig::new(24, 2500, 2000)),
+                ("CalcQForElems".into(), SystemConfig::new(24, 2500, 2000)),
+                ("CalcKinematicsForElems".into(), SystemConfig::new(24, 2400, 2000)),
+            ],
+            SystemConfig::new(24, 2500, 2100),
+        )
+    }
+
+    #[test]
+    fn lookup_uses_scenarios_and_falls_back_to_phase() {
+        let m = model();
+        assert_eq!(m.lookup("CalcQForElems"), SystemConfig::new(24, 2500, 2000));
+        assert_eq!(m.lookup("CalcKinematicsForElems"), SystemConfig::new(24, 2400, 2000));
+        assert_eq!(m.lookup("unknown_region"), SystemConfig::new(24, 2500, 2100));
+    }
+
+    #[test]
+    fn scenario_grouping() {
+        let m = model();
+        assert_eq!(m.scenario_count(), 2, "two distinct configs → two scenarios");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let m = model();
+        let json = m.to_json();
+        let back = TuningModel::from_json(&json).expect("parse");
+        assert_eq!(m, back);
+        assert!(json.contains("IntegrateStressForElems"));
+    }
+
+    #[test]
+    fn bad_json_is_error() {
+        assert!(TuningModel::from_json("{not json").is_err());
+    }
+}

@@ -1,0 +1,271 @@
+//! The four-step Design-Time Analysis workflow (Fig. 1).
+
+use kernels::BenchmarkSpec;
+use scorep_lite::dyn_detect::{detect, DynDetectConfig};
+use scorep_lite::filter::{autofilter, DEFAULT_FILTER_THRESHOLD_S};
+use scorep_lite::instrument::StaticHook;
+use scorep_lite::{InstrumentationConfig, InstrumentedApp, TuningConfigFile};
+use simnode::{CoreFreq, FreqDomain, Node, SystemConfig, UncoreFreq};
+
+use crate::experiments::ExperimentsEngine;
+use crate::freqpred::EnergyModel;
+use crate::modeldata::phase_counter_rates;
+use crate::objectives::TuningObjective;
+use crate::search::SearchSpace;
+use crate::threads::{tune_threads, ThreadTuning};
+use crate::tuning_model::TuningModel;
+
+/// The DTA driver.
+pub struct DesignTimeAnalysis<'a> {
+    node: &'a Node,
+    model: &'a EnergyModel,
+    /// Tuning objective (energy in the paper).
+    pub objective: TuningObjective,
+    /// Significant-region detection settings.
+    pub dyn_detect: DynDetectConfig,
+    /// Frequency-neighbourhood radius for verification (the paper uses the
+    /// immediate neighbours: radius 1 → a 3×3 grid).
+    pub neighbourhood_radius: u32,
+    /// Also try one thread step below the phase optimum during region
+    /// verification (Table III's 20-thread row for
+    /// `ApplyMaterialPropertiesForElems` shows region thread counts can
+    /// deviate from the phase optimum). Off by default: the thread/energy
+    /// landscape is flat to <1 %, so such picks trade large time penalties
+    /// for marginal energy and inflate the dynamic run's slowdown.
+    pub explore_thread_neighbourhood: bool,
+}
+
+/// Everything the DTA produces.
+#[derive(Debug, Clone)]
+pub struct DtaReport {
+    /// The generated tuning model (the plugin's final artefact).
+    pub tuning_model: TuningModel,
+    /// The `readex-dyn-detect` configuration file from pre-processing.
+    pub config_file: TuningConfigFile,
+    /// Tuning step 1 outcome.
+    pub thread_tuning: ThreadTuning,
+    /// Phase counter rates measured in the analysis step.
+    pub phase_rates: [f64; 7],
+    /// The model-predicted global frequency pair.
+    pub predicted_global: (CoreFreq, UncoreFreq),
+    /// Best configuration found for the phase region (predicted global
+    /// pair verified against its neighbourhood).
+    pub phase_best: SystemConfig,
+    /// Per significant region: `(name, best config, node energy of one
+    /// instance)`.
+    pub region_best: Vec<(String, SystemConfig, f64)>,
+    /// Total experiments consumed, in phase-iteration equivalents — the
+    /// `(k + 1 + 9)` count of the Section V-C cost analysis.
+    pub experiments: u64,
+}
+
+impl<'a> DesignTimeAnalysis<'a> {
+    /// New DTA on `node` using the trained energy `model`.
+    pub fn new(node: &'a Node, model: &'a EnergyModel) -> Self {
+        Self {
+            node,
+            model,
+            objective: TuningObjective::Energy,
+            dyn_detect: DynDetectConfig::default(),
+            neighbourhood_radius: 1,
+            explore_thread_neighbourhood: false,
+        }
+    }
+
+    /// Select a different tuning objective.
+    pub fn with_objective(mut self, objective: TuningObjective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Run the full DTA for `bench`.
+    pub fn run(&self, bench: &BenchmarkSpec) -> DtaReport {
+        // ------------------------------------------------- pre-processing
+        // Profiling run with full instrumentation, then run-time filtering
+        // and a filtered profiling run feeding readex-dyn-detect.
+        let profile_run = InstrumentedApp::new(
+            bench,
+            self.node,
+            InstrumentationConfig::scorep_defaults(),
+        )
+        .run(&mut StaticHook(SystemConfig::calibration()));
+        let filter = autofilter(&profile_run.profile, DEFAULT_FILTER_THRESHOLD_S);
+        let filtered_run = InstrumentedApp::new(
+            bench,
+            self.node,
+            InstrumentationConfig::scorep_defaults().with_filter(filter),
+        )
+        .run(&mut StaticHook(SystemConfig::calibration()));
+        let config_file = detect(&bench.name, &filtered_run.profile, &self.dyn_detect);
+
+        // ------------------------------------------- step 1: OpenMP threads
+        let candidates = config_file.thread_candidates(self.node.topology().max_threads());
+        let thread_tuning = tune_threads(bench, self.node, &candidates, self.objective);
+        let best_threads = thread_tuning.best_threads;
+
+        // -------------------------------- analysis step: phase PAPI metrics
+        let calib = SystemConfig::calibration().with_threads(best_threads);
+        let phase_rates = phase_counter_rates(bench, self.node, calib);
+
+        // --------------------- step 2: model-predicted global frequency pair
+        let core_domain = FreqDomain::haswell_core();
+        let uncore_domain = FreqDomain::haswell_uncore();
+        let (g_cf, g_ucf) = self.model.best_frequencies(&phase_rates, &core_domain, &uncore_domain);
+        let global = SystemConfig::new(best_threads, g_cf.mhz(), g_ucf.mhz());
+
+        // --------------- verification: neighbourhood experiments
+        // Stage 1 — recentring: the model's arg-min scatters across the
+        // flat near-optimal plateau (the paper's own plugin picked
+        // 2.5|2.1 GHz where the optimum was 2.4|1.7 GHz), so the phase
+        // region is first verified on a slightly wider grid around the
+        // predicted pair and the measured best becomes the centre for
+        // region-level verification. Cost stays O(10–25) phase
+        // iterations — still orders of magnitude below exhaustive search.
+        let mut eng = ExperimentsEngine::new(self.node);
+        let phase_char = bench.phase_character();
+        let recentre_space = SearchSpace::neighbourhood(
+            global,
+            self.neighbourhood_radius + 2,
+            vec![best_threads],
+        );
+        let (phase_best, _) =
+            eng.best_for_region(&phase_char, &recentre_space.configs(), self.objective);
+
+        // Stage 2 — immediate neighbourhood of the recentred best.
+        let mut thread_candidates = vec![best_threads];
+        if self.explore_thread_neighbourhood {
+            let step = self.dyn_detect.thread_step;
+            if best_threads >= self.dyn_detect.thread_lower_bound + step {
+                thread_candidates.push(best_threads - step);
+            }
+        }
+        let space =
+            SearchSpace::neighbourhood(phase_best, self.neighbourhood_radius, thread_candidates);
+        let configs = space.configs();
+
+        // Per-region verification: all significant regions are evaluated
+        // within the same experiment runs (one phase iteration evaluates
+        // every region), so experiments are counted per configuration, not
+        // per region × configuration.
+        let mut region_best = Vec::new();
+        for sig in &config_file.significant_regions {
+            let region = bench
+                .region(&sig.name)
+                .expect("significant region exists in the benchmark spec");
+            let mut best: Option<(SystemConfig, f64, f64)> = None;
+            for cfg in &configs {
+                let m = eng.evaluate(&region.character, cfg);
+                let s = m.score(self.objective);
+                match best {
+                    Some((_, _, bs)) if bs <= s => {}
+                    _ => best = Some((*cfg, m.node_energy_j, s)),
+                }
+            }
+            let (cfg, energy, _) = best.expect("nonempty config space");
+            region_best.push((sig.name.clone(), cfg, energy));
+        }
+
+        // Experiments in application-run equivalents: thread sweep (k) +
+        // one analysis run + recentring grid + one per verification
+        // configuration.
+        let experiments =
+            thread_tuning.experiments + 1 + recentre_space.len() as u64 + configs.len() as u64;
+
+        // ------------------------------------- step 4: tuning model
+        let tuning_model = TuningModel::new(
+            &bench.name,
+            &region_best
+                .iter()
+                .map(|(n, c, _)| (n.clone(), *c))
+                .collect::<Vec<_>>(),
+            phase_best,
+        );
+
+        DtaReport {
+            tuning_model,
+            config_file,
+            thread_tuning,
+            phase_rates,
+            predicted_global: (g_cf, g_ucf),
+            phase_best,
+            region_best,
+            experiments,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained_model(node: &Node) -> EnergyModel {
+        EnergyModel::train_paper(&kernels::training_set(), node)
+    }
+
+    #[test]
+    fn lulesh_dta_end_to_end() {
+        let node = Node::exact(0);
+        let model = trained_model(&node);
+        let dta = DesignTimeAnalysis::new(&node, &model);
+        let report = dta.run(&kernels::benchmark("Lulesh").unwrap());
+
+        assert_eq!(report.thread_tuning.best_threads, 24);
+        assert_eq!(report.config_file.significant_regions.len(), 5);
+        assert_eq!(report.region_best.len(), 5);
+
+        // The predicted global pair must have the compute-bound shape:
+        // high core frequency, low-to-mid uncore frequency.
+        let (cf, ucf) = report.predicted_global;
+        assert!(cf.mhz() >= 2200, "predicted CF {cf}");
+        assert!(ucf.mhz() <= 2400, "predicted UCF {ucf}");
+
+        // Every region config lies inside the verified neighbourhood:
+        // recentring (radius 3) plus region radius 1 → at most 4 steps
+        // from the predicted global pair.
+        for (name, cfg, _) in &report.region_best {
+            assert!(
+                (cfg.core.mhz() as i64 - cf.mhz() as i64).abs() <= 400,
+                "{name} CF {} too far from global {cf}",
+                cfg.core
+            );
+            assert!(
+                (cfg.uncore.mhz() as i64 - ucf.mhz() as i64).abs() <= 400,
+                "{name} UCF {} too far from global {ucf}",
+                cfg.uncore
+            );
+        }
+
+        // Tuning model groups the five regions into few scenarios.
+        assert!(report.tuning_model.scenario_count() <= 5);
+        assert!(report.tuning_model.scenario_count() >= 1);
+
+        // Cost accounting: k (4 thread candidates) + 1 analysis +
+        // recentring grid (≤ 25) + ≤ 2×3×3 verification configs.
+        assert!(report.experiments >= 4 + 1 + 6);
+        assert!(report.experiments <= 4 + 1 + 49 + 18);
+    }
+
+    #[test]
+    fn mcb_dta_finds_memory_bound_shape() {
+        let node = Node::exact(0);
+        let model = trained_model(&node);
+        let dta = DesignTimeAnalysis::new(&node, &model);
+        let report = dta.run(&kernels::benchmark("Mcbenchmark").unwrap());
+
+        // 16 or 20: the calibration-point thread landscape is flat (see
+        // threads::tests::mcb_prefers_reduced_threads).
+        assert!(
+            report.thread_tuning.best_threads == 16 || report.thread_tuning.best_threads == 20,
+            "threads {}",
+            report.thread_tuning.best_threads
+        );
+        assert_eq!(report.config_file.significant_regions.len(), 5);
+        // With 16 threads from step 1 the per-core work share rises, so
+        // the optimal core frequency sits a little higher than the paper's
+        // 20-thread 1.6 GHz — but the memory-bound shape (low CF, high
+        // UCF relative to the compute-bound codes) must hold.
+        let (cf, ucf) = report.predicted_global;
+        assert!(cf.mhz() <= 2200, "predicted CF {cf} should be low");
+        assert!(ucf.mhz() >= 1900, "predicted UCF {ucf} should be high");
+    }
+}

@@ -1,0 +1,115 @@
+//! Error metrics used in the evaluation (Section V-B).
+//!
+//! The paper reports the *mean absolute percentage error* (MAPE) of the
+//! predicted normalised energy across all DVFS/UFS states, per benchmark
+//! (Fig. 5), plus the aggregate mean across benchmarks.
+
+use crate::linalg::mean;
+
+/// Mean absolute percentage error, in percent.
+///
+/// Entries where `|actual| < f64::EPSILON` are skipped to avoid division by
+/// zero (normalised energies are ~1 so this never triggers in practice).
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn mape(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "length mismatch");
+    assert!(!actual.is_empty(), "mape of empty slices");
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (a, p) in actual.iter().zip(predicted) {
+        if a.abs() < f64::EPSILON {
+            continue;
+        }
+        total += ((a - p) / a).abs();
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    100.0 * total / n as f64
+}
+
+/// Mean absolute error.
+pub fn mean_absolute_error(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "length mismatch");
+    if actual.is_empty() {
+        return 0.0;
+    }
+    actual.iter().zip(predicted).map(|(a, p)| (a - p).abs()).sum::<f64>() / actual.len() as f64
+}
+
+/// Mean squared error — the network's training objective.
+pub fn mse(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "length mismatch");
+    if actual.is_empty() {
+        return 0.0;
+    }
+    actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, p)| (a - p) * (a - p))
+        .sum::<f64>()
+        / actual.len() as f64
+}
+
+/// Coefficient of determination of predictions against actuals.
+pub fn r_squared(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "length mismatch");
+    let ybar = mean(actual);
+    let ss_tot: f64 = actual.iter().map(|y| (y - ybar) * (y - ybar)).sum();
+    if ss_tot <= f64::EPSILON {
+        return 0.0;
+    }
+    let ss_res: f64 = actual.iter().zip(predicted).map(|(y, p)| (y - p) * (y - p)).sum();
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mape_exact_prediction_is_zero() {
+        let a = [1.0, 2.0, 0.5];
+        assert_eq!(mape(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn mape_known_value() {
+        // |1-1.1|/1 = 0.1, |2-1.8|/2 = 0.1 -> 10 %
+        let a = [1.0, 2.0];
+        let p = [1.1, 1.8];
+        assert!((mape(&a, &p) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals() {
+        let a = [0.0, 2.0];
+        let p = [5.0, 2.2];
+        assert!((mape(&a, &p) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mae_and_mse() {
+        let a = [1.0, 2.0, 3.0];
+        let p = [2.0, 2.0, 1.0];
+        assert!((mean_absolute_error(&a, &p) - 1.0).abs() < 1e-12);
+        assert!((mse(&a, &p) - (1.0 + 0.0 + 4.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_perfect_and_mean_predictor() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert!((r_squared(&a, &a) - 1.0).abs() < 1e-12);
+        let meanp = [2.5, 2.5, 2.5, 2.5];
+        assert!(r_squared(&a, &meanp).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mape_length_mismatch_panics() {
+        let _ = mape(&[1.0], &[1.0, 2.0]);
+    }
+}

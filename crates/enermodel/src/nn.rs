@@ -1,0 +1,485 @@
+//! Feed-forward neural network.
+//!
+//! The paper's energy model (Section IV-C, Fig. 4) is a 2-hidden-layer
+//! fully-connected network: nine inputs (seven selected PAPI counter rates,
+//! core frequency, uncore frequency), two hidden layers of five neurons,
+//! one output neuron predicting normalised node energy `E_norm`. ReLU
+//! activations sit between the linear layers; the output is linear. Weights
+//! are He-initialised (zero-mean unit-variance Gaussian scaled by
+//! `sqrt(2/n)`), biases start at zero, and the training objective is mean
+//! squared error.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+use crate::linalg::Matrix;
+
+/// Activation functions supported by the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified Linear Unit — the paper's choice (fast convergence, no
+    /// vanishing gradients).
+    ReLU,
+    /// Hyperbolic tangent (kept for ablation benches).
+    Tanh,
+    /// Identity (used for the output layer).
+    Linear,
+}
+
+impl Activation {
+    /// Apply the activation.
+    #[inline]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::ReLU => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Linear => x,
+        }
+    }
+
+    /// Derivative with respect to the pre-activation, evaluated at
+    /// pre-activation value `x`.
+    #[inline]
+    pub fn derivative(self, x: f64) -> f64 {
+        match self {
+            Activation::ReLU => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Linear => 1.0,
+        }
+    }
+}
+
+/// One fully-connected layer: `y = act(W x + b)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Layer {
+    /// Weight matrix, `fan_out × fan_in` (row `o` holds the weights feeding
+    /// output neuron `o`). Serialised as nested rows.
+    pub weights: Vec<Vec<f64>>,
+    /// Bias per output neuron.
+    pub biases: Vec<f64>,
+    /// Activation applied after the affine transform.
+    pub activation: Activation,
+}
+
+impl Layer {
+    /// He-initialise a layer: `w ~ N(0, 1) * sqrt(2 / fan_in)`, biases 0.
+    pub fn he_init(fan_in: usize, fan_out: usize, activation: Activation, rng: &mut StdRng) -> Self {
+        let normal = Normal::new(0.0, 1.0).expect("valid normal");
+        let scale = (2.0 / fan_in as f64).sqrt();
+        let weights = (0..fan_out)
+            .map(|_| (0..fan_in).map(|_| normal.sample(rng) * scale).collect())
+            .collect();
+        Self { weights, biases: vec![0.0; fan_out], activation }
+    }
+
+    /// Input width.
+    pub fn fan_in(&self) -> usize {
+        self.weights.first().map_or(0, Vec::len)
+    }
+
+    /// Output width.
+    pub fn fan_out(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Forward pass returning `(pre_activation, post_activation)`.
+    pub fn forward(&self, input: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        debug_assert_eq!(input.len(), self.fan_in());
+        let mut pre = Vec::with_capacity(self.fan_out());
+        for (wrow, b) in self.weights.iter().zip(&self.biases) {
+            let z: f64 = wrow.iter().zip(input).map(|(w, x)| w * x).sum::<f64>() + b;
+            pre.push(z);
+        }
+        let post = pre.iter().map(|&z| self.activation.apply(z)).collect();
+        (pre, post)
+    }
+
+    /// Total number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.fan_out() * self.fan_in() + self.biases.len()
+    }
+}
+
+/// Network architecture description.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// Layer widths, input first: the paper's network is `[9, 5, 5, 1]`.
+    pub layer_sizes: Vec<usize>,
+    /// Hidden activation (output is always linear).
+    pub hidden_activation: Activation,
+    /// RNG seed for He initialisation.
+    pub seed: u64,
+}
+
+impl NetConfig {
+    /// The exact architecture from Fig. 4 of the paper: 9-5-5-1 with ReLU.
+    pub fn paper(seed: u64) -> Self {
+        Self { layer_sizes: vec![9, 5, 5, 1], hidden_activation: Activation::ReLU, seed }
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self::paper(0xDEC0DE)
+    }
+}
+
+/// The energy model network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnergyNet {
+    layers: Vec<Layer>,
+}
+
+/// Gradients mirroring an [`EnergyNet`]'s parameters.
+#[derive(Debug, Clone)]
+pub struct Gradients {
+    /// Per-layer weight gradients (same shape as `Layer::weights`).
+    pub d_weights: Vec<Vec<Vec<f64>>>,
+    /// Per-layer bias gradients.
+    pub d_biases: Vec<Vec<f64>>,
+}
+
+impl Gradients {
+    /// Zeroed gradients matching `net`'s shape.
+    pub fn zeros_like(net: &EnergyNet) -> Self {
+        Self {
+            d_weights: net
+                .layers
+                .iter()
+                .map(|l| vec![vec![0.0; l.fan_in()]; l.fan_out()])
+                .collect(),
+            d_biases: net.layers.iter().map(|l| vec![0.0; l.fan_out()]).collect(),
+        }
+    }
+
+    /// Accumulate another gradient, scaled.
+    pub fn add_scaled(&mut self, other: &Gradients, scale: f64) {
+        for (dw, ow) in self.d_weights.iter_mut().zip(&other.d_weights) {
+            for (dr, or) in dw.iter_mut().zip(ow) {
+                for (d, o) in dr.iter_mut().zip(or) {
+                    *d += o * scale;
+                }
+            }
+        }
+        for (db, ob) in self.d_biases.iter_mut().zip(&other.d_biases) {
+            for (d, o) in db.iter_mut().zip(ob) {
+                *d += o * scale;
+            }
+        }
+    }
+
+    /// Global L2 norm over all gradient entries.
+    pub fn norm(&self) -> f64 {
+        let mut acc = 0.0;
+        for dw in &self.d_weights {
+            for row in dw {
+                for v in row {
+                    acc += v * v;
+                }
+            }
+        }
+        for db in &self.d_biases {
+            for v in db {
+                acc += v * v;
+            }
+        }
+        acc.sqrt()
+    }
+}
+
+impl EnergyNet {
+    /// Build a freshly He-initialised network from `cfg`.
+    pub fn new(cfg: &NetConfig) -> Self {
+        assert!(cfg.layer_sizes.len() >= 2, "need at least input and output sizes");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let n = cfg.layer_sizes.len() - 1;
+        let layers = (0..n)
+            .map(|i| {
+                let act = if i + 1 == n { Activation::Linear } else { cfg.hidden_activation };
+                Layer::he_init(cfg.layer_sizes[i], cfg.layer_sizes[i + 1], act, &mut rng)
+            })
+            .collect();
+        Self { layers }
+    }
+
+    /// Build directly from layers (e.g. deserialised weights).
+    pub fn from_layers(layers: Vec<Layer>) -> Self {
+        assert!(!layers.is_empty(), "network needs at least one layer");
+        for w in layers.windows(2) {
+            assert_eq!(w[0].fan_out(), w[1].fan_in(), "layer width mismatch");
+        }
+        Self { layers }
+    }
+
+    /// Access the layers.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable access for the optimiser.
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Input width expected by the network.
+    pub fn input_size(&self) -> usize {
+        self.layers[0].fan_in()
+    }
+
+    /// Output width produced by the network.
+    pub fn output_size(&self) -> usize {
+        self.layers.last().expect("nonempty").fan_out()
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Layer::param_count).sum()
+    }
+
+    /// Forward pass; returns the output vector.
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        assert_eq!(input.len(), self.input_size(), "input width mismatch");
+        let mut act = input.to_vec();
+        for layer in &self.layers {
+            act = layer.forward(&act).1;
+        }
+        act
+    }
+
+    /// Convenience for single-output networks: predict a scalar.
+    pub fn predict_scalar(&self, input: &[f64]) -> f64 {
+        let out = self.forward(input);
+        debug_assert_eq!(out.len(), 1, "predict_scalar on multi-output net");
+        out[0]
+    }
+
+    /// Predict scalars for every row of `x`.
+    pub fn predict_batch(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|r| self.predict_scalar(x.row(r))).collect()
+    }
+
+    /// Forward + backward pass for one sample under squared-error loss
+    /// `L = Σ (ŷ - y)²`, so the output delta is `2 (ŷ - y)`.
+    ///
+    /// Returns `(loss, gradients)`; the gradients are exactly `∂L/∂θ` for
+    /// the returned loss (verified against finite differences in the tests).
+    pub fn backprop(&self, input: &[f64], target: &[f64]) -> (f64, Gradients) {
+        assert_eq!(input.len(), self.input_size(), "input width mismatch");
+        assert_eq!(target.len(), self.output_size(), "target width mismatch");
+
+        // Forward, caching pre-activations and activations.
+        let mut activations: Vec<Vec<f64>> = vec![input.to_vec()];
+        let mut pre_acts: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let (pre, post) = layer.forward(activations.last().expect("nonempty"));
+            pre_acts.push(pre);
+            activations.push(post);
+        }
+        let output = activations.last().expect("nonempty");
+        let loss: f64 = output.iter().zip(target).map(|(o, t)| (o - t) * (o - t)).sum();
+
+        // Backward.
+        let mut grads = Gradients::zeros_like(self);
+        // delta for the output layer: dL/dz = (ŷ - y) * act'(z); output act
+        // is linear so act' = 1, but keep it general.
+        let last = self.layers.len() - 1;
+        let mut delta: Vec<f64> = output
+            .iter()
+            .zip(target)
+            .zip(&pre_acts[last])
+            .map(|((o, t), &z)| 2.0 * (o - t) * self.layers[last].activation.derivative(z))
+            .collect();
+
+        for li in (0..self.layers.len()).rev() {
+            let layer = &self.layers[li];
+            let a_prev = &activations[li];
+            // Parameter gradients.
+            for (o, &d) in delta.iter().enumerate() {
+                grads.d_biases[li][o] = d;
+                for (i, &a) in a_prev.iter().enumerate() {
+                    grads.d_weights[li][o][i] = d * a;
+                }
+            }
+            // Propagate to the previous layer.
+            if li > 0 {
+                let prev_pre = &pre_acts[li - 1];
+                let prev_act_fn = self.layers[li - 1].activation;
+                let mut new_delta = vec![0.0; layer.fan_in()];
+                for (o, &d) in delta.iter().enumerate() {
+                    for (i, nd) in new_delta.iter_mut().enumerate() {
+                        *nd += layer.weights[o][i] * d;
+                    }
+                }
+                for (nd, &z) in new_delta.iter_mut().zip(prev_pre) {
+                    *nd *= prev_act_fn.derivative(z);
+                }
+                delta = new_delta;
+            }
+        }
+        (loss, grads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_architecture_shape() {
+        let net = EnergyNet::new(&NetConfig::paper(1));
+        assert_eq!(net.input_size(), 9);
+        assert_eq!(net.output_size(), 1);
+        assert_eq!(net.layers().len(), 3);
+        assert_eq!(net.layers()[0].fan_out(), 5);
+        assert_eq!(net.layers()[1].fan_out(), 5);
+        // 9*5+5 + 5*5+5 + 5*1+1 = 50 + 30 + 6 = 86
+        assert_eq!(net.param_count(), 86);
+        assert_eq!(net.layers()[2].activation, Activation::Linear);
+    }
+
+    #[test]
+    fn he_init_statistics() {
+        // With fan_in = 100 the weight std should be ~ sqrt(2/100) ≈ 0.141.
+        let mut rng = StdRng::seed_from_u64(7);
+        let layer = Layer::he_init(100, 200, Activation::ReLU, &mut rng);
+        let all: Vec<f64> = layer.weights.iter().flatten().copied().collect();
+        let mean = all.iter().sum::<f64>() / all.len() as f64;
+        let var = all.iter().map(|w| (w - mean) * (w - mean)).sum::<f64>() / all.len() as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var.sqrt() - (2.0f64 / 100.0).sqrt()).abs() < 0.01, "std {}", var.sqrt());
+        assert!(layer.biases.iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = EnergyNet::new(&NetConfig::paper(99));
+        let b = EnergyNet::new(&NetConfig::paper(99));
+        let x = [0.1; 9];
+        assert_eq!(a.forward(&x), b.forward(&x));
+        let c = EnergyNet::new(&NetConfig::paper(100));
+        assert_ne!(a.forward(&x), c.forward(&x));
+    }
+
+    #[test]
+    fn relu_behaviour() {
+        assert_eq!(Activation::ReLU.apply(-1.0), 0.0);
+        assert_eq!(Activation::ReLU.apply(2.5), 2.5);
+        assert_eq!(Activation::ReLU.derivative(-0.1), 0.0);
+        assert_eq!(Activation::ReLU.derivative(0.1), 1.0);
+    }
+
+    #[test]
+    fn forward_known_tiny_network() {
+        // 2 -> 1 linear layer, weights [1, -2], bias 0.5: y = x0 - 2 x1 + 0.5
+        let layer = Layer {
+            weights: vec![vec![1.0, -2.0]],
+            biases: vec![0.5],
+            activation: Activation::Linear,
+        };
+        let net = EnergyNet::from_layers(vec![layer]);
+        assert!((net.predict_scalar(&[3.0, 1.0]) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backprop_matches_finite_differences() {
+        let net = EnergyNet::new(&NetConfig {
+            layer_sizes: vec![3, 4, 1],
+            hidden_activation: Activation::Tanh, // smooth, so FD is accurate
+            seed: 5,
+        });
+        let x = [0.3, -0.7, 1.2];
+        let t = [0.25];
+        let (_, grads) = net.backprop(&x, &t);
+
+        let eps = 1e-6;
+        for li in 0..net.layers().len() {
+            for o in 0..net.layers()[li].fan_out() {
+                for i in 0..net.layers()[li].fan_in() {
+                    let mut plus = net.clone();
+                    plus.layers_mut()[li].weights[o][i] += eps;
+                    let mut minus = net.clone();
+                    minus.layers_mut()[li].weights[o][i] -= eps;
+                    let lp = {
+                        let y = plus.predict_scalar(&x);
+                        (y - t[0]) * (y - t[0])
+                    };
+                    let lm = {
+                        let y = minus.predict_scalar(&x);
+                        (y - t[0]) * (y - t[0])
+                    };
+                    let fd = (lp - lm) / (2.0 * eps);
+                    let an = grads.d_weights[li][o][i];
+                    assert!(
+                        (fd - an).abs() < 1e-5 * (1.0 + fd.abs()),
+                        "layer {li} w[{o}][{i}]: fd {fd} vs analytic {an}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backprop_bias_gradients_match_fd() {
+        let net = EnergyNet::new(&NetConfig {
+            layer_sizes: vec![2, 3, 1],
+            hidden_activation: Activation::Tanh,
+            seed: 11,
+        });
+        let x = [0.9, -0.4];
+        let t = [1.0];
+        let (_, grads) = net.backprop(&x, &t);
+        let eps = 1e-6;
+        for li in 0..net.layers().len() {
+            for o in 0..net.layers()[li].fan_out() {
+                let mut plus = net.clone();
+                plus.layers_mut()[li].biases[o] += eps;
+                let mut minus = net.clone();
+                minus.layers_mut()[li].biases[o] -= eps;
+                let yp = plus.predict_scalar(&x);
+                let ym = minus.predict_scalar(&x);
+                let fd = ((yp - t[0]).powi(2) - (ym - t[0]).powi(2)) / (2.0 * eps);
+                let an = grads.d_biases[li][o];
+                assert!((fd - an).abs() < 1e-5, "layer {li} b[{o}]: fd {fd} vs {an}");
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_zeros_and_accumulate() {
+        let net = EnergyNet::new(&NetConfig::paper(3));
+        let mut acc = Gradients::zeros_like(&net);
+        assert_eq!(acc.norm(), 0.0);
+        let (_, g) = net.backprop(&[0.5; 9], &[1.0]);
+        acc.add_scaled(&g, 2.0);
+        assert!((acc.norm() - 2.0 * g.norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_predictions() {
+        let net = EnergyNet::new(&NetConfig::paper(21));
+        let json = serde_json::to_string(&net).unwrap();
+        let back: EnergyNet = serde_json::from_str(&json).unwrap();
+        let x = [0.2, -0.1, 0.4, 1.0, -2.0, 0.0, 0.7, 2.0, 1.5];
+        assert_eq!(net.forward(&x), back.forward(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "layer width mismatch")]
+    fn from_layers_checks_widths() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l1 = Layer::he_init(2, 3, Activation::ReLU, &mut rng);
+        let l2 = Layer::he_init(4, 1, Activation::Linear, &mut rng);
+        let _ = EnergyNet::from_layers(vec![l1, l2]);
+    }
+}

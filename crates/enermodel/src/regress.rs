@@ -1,0 +1,179 @@
+//! Ordinary least squares regression.
+//!
+//! The counter-selection algorithm of Chadha et al. (reused by the paper,
+//! Section IV-B) repeatedly fits linear models `y ~ X` between PAPI counter
+//! columns and the dependent variable (normalised node energy). This module
+//! provides those fits via the normal equations with a small ridge fallback
+//! when `XᵀX` is ill-conditioned (perfectly collinear candidate counters do
+//! occur in the full 56-counter set).
+
+use crate::linalg::{mean, Matrix, Vector};
+
+/// Result of an ordinary least-squares fit.
+#[derive(Debug, Clone)]
+pub struct OlsFit {
+    /// Intercept term (always fitted).
+    pub intercept: f64,
+    /// One coefficient per predictor column.
+    pub coefficients: Vector,
+    /// Coefficient of determination on the training data.
+    pub r_squared: f64,
+    /// Adjusted R², penalising predictor count.
+    pub adj_r_squared: f64,
+    /// Residuals `y - ŷ` on the training data.
+    pub residuals: Vector,
+}
+
+impl OlsFit {
+    /// Predict the response for one feature row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.coefficients.len(), "predictor count mismatch");
+        self.intercept + row.iter().zip(&self.coefficients).map(|(x, b)| x * b).sum::<f64>()
+    }
+
+    /// Predict the response for every row of `x`.
+    pub fn predict(&self, x: &Matrix) -> Vector {
+        (0..x.rows()).map(|r| self.predict_row(x.row(r))).collect()
+    }
+}
+
+/// Fit `y ~ 1 + X` by ordinary least squares.
+///
+/// Returns `None` when the system is singular even after a tiny ridge
+/// regularisation (e.g. a predictor identical to the intercept column).
+///
+/// # Panics
+/// Panics if `x.rows() != y.len()` or `x` has zero rows.
+pub fn ols(x: &Matrix, y: &[f64]) -> Option<OlsFit> {
+    assert_eq!(x.rows(), y.len(), "row/response count mismatch");
+    assert!(x.rows() > 0, "cannot fit on zero observations");
+    let n = x.rows();
+    let p = x.cols();
+
+    // Design matrix with intercept column.
+    let design = Matrix::from_fn(n, p + 1, |r, c| if c == 0 { 1.0 } else { x[(r, c - 1)] });
+    let dt = design.transpose();
+    let mut xtx = dt.matmul(&design);
+    let xty = dt.matvec(y);
+
+    let mut beta = xtx.solve(&xty);
+    if beta.is_none() {
+        // Ridge fallback: XᵀX + λI. λ is tiny relative to the diagonal scale
+        // so that well-posed systems are unaffected.
+        let scale = (0..p + 1).map(|i| xtx[(i, i)].abs()).fold(0.0, f64::max).max(1.0);
+        let lambda = 1e-8 * scale;
+        for i in 0..p + 1 {
+            xtx[(i, i)] += lambda;
+        }
+        beta = xtx.solve(&xty);
+    }
+    let beta = beta?;
+
+    let fitted: Vector = (0..n)
+        .map(|r| {
+            beta[0]
+                + x.row(r)
+                    .iter()
+                    .zip(&beta[1..])
+                    .map(|(xi, bi)| xi * bi)
+                    .sum::<f64>()
+        })
+        .collect();
+    let residuals: Vector = y.iter().zip(&fitted).map(|(yi, fi)| yi - fi).collect();
+
+    let ybar = mean(y);
+    let ss_tot: f64 = y.iter().map(|yi| (yi - ybar) * (yi - ybar)).sum();
+    let ss_res: f64 = residuals.iter().map(|e| e * e).sum();
+    let r2 = if ss_tot <= f64::EPSILON { 0.0 } else { 1.0 - ss_res / ss_tot };
+    let adj = if n > p + 1 && ss_tot > f64::EPSILON {
+        1.0 - (1.0 - r2) * (n as f64 - 1.0) / (n as f64 - p as f64 - 1.0)
+    } else {
+        r2
+    };
+
+    Some(OlsFit {
+        intercept: beta[0],
+        coefficients: beta[1..].to_vec(),
+        r_squared: r2,
+        adj_r_squared: adj,
+        residuals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x_of(cols: &[&[f64]]) -> Matrix {
+        let rows = cols[0].len();
+        Matrix::from_fn(rows, cols.len(), |r, c| cols[c][r])
+    }
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        // y = 2 + 3a - 0.5b, no noise.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [2.0, 1.0, 5.0, 0.0, 2.5, -1.0];
+        let y: Vec<f64> = a.iter().zip(&b).map(|(ai, bi)| 2.0 + 3.0 * ai - 0.5 * bi).collect();
+        let fit = ols(&x_of(&[&a, &b]), &y).expect("fit");
+        assert!((fit.intercept - 2.0).abs() < 1e-9, "intercept {}", fit.intercept);
+        assert!((fit.coefficients[0] - 3.0).abs() < 1e-9);
+        assert!((fit.coefficients[1] + 0.5).abs() < 1e-9);
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn r_squared_between_zero_and_one_with_noise() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        // Deterministic "noise".
+        let y: Vec<f64> = a.iter().map(|ai| 1.0 + 0.5 * ai + (ai * 1.7).sin()).collect();
+        let fit = ols(&x_of(&[&a]), &y).expect("fit");
+        assert!(fit.r_squared > 0.9 && fit.r_squared <= 1.0);
+        assert!(fit.adj_r_squared <= fit.r_squared);
+    }
+
+    #[test]
+    fn predict_matches_fitted() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        let x = x_of(&[&a]);
+        let fit = ols(&x, &y).expect("fit");
+        let pred = fit.predict(&x);
+        for (p, yi) in pred.iter().zip(&y) {
+            assert!((p - yi).abs() < 1e-9);
+        }
+        assert!((fit.predict_row(&[10.0]) - 20.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn collinear_predictors_fall_back_to_ridge() {
+        // Second predictor is an exact copy of the first; the normal
+        // equations are singular but the ridge fallback must produce a fit.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = a.iter().map(|v| 2.0 * v).collect();
+        let fit = ols(&x_of(&[&a, &a]), &y).expect("ridge fallback");
+        // Combined effect should be ~2.0 split across the two columns.
+        let total = fit.coefficients[0] + fit.coefficients[1];
+        assert!((total - 2.0).abs() < 1e-3, "total {total}");
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn constant_response_gives_zero_r2() {
+        let a = [1.0, 2.0, 3.0];
+        let y = [5.0, 5.0, 5.0];
+        let fit = ols(&x_of(&[&a]), &y).expect("fit");
+        assert_eq!(fit.r_squared, 0.0);
+        assert!(fit.coefficients[0].abs() < 1e-9);
+    }
+
+    #[test]
+    fn residuals_sum_to_zero() {
+        // With an intercept, OLS residuals sum to ~0.
+        let a = [1.0, 2.0, 4.0, 8.0, 16.0];
+        let y = [1.0, 3.0, 2.0, 7.0, 11.0];
+        let fit = ols(&x_of(&[&a]), &y).expect("fit");
+        let s: f64 = fit.residuals.iter().sum();
+        assert!(s.abs() < 1e-9, "residual sum {s}");
+    }
+}

@@ -1,0 +1,222 @@
+//! Optimal PAPI counter selection.
+//!
+//! Implements the stepwise algorithm of Chadha et al. (IPDPSW'17) that the
+//! paper reuses (Section IV-B): starting from the full set of standardized
+//! PAPI counters observed over a set of workloads, greedily build a subset
+//! that best explains the dependent variable (normalised node energy in the
+//! paper, power in the original work), subject to a multicollinearity
+//! constraint expressed through the Variance Inflation Factor.
+//!
+//! The algorithm:
+//! 1. normalise every candidate column (counters are divided by phase
+//!    execution time upstream; here we only z-score them for conditioning),
+//! 2. forward-select the counter that most improves adjusted R² of the OLS
+//!    fit against the response,
+//! 3. reject candidates whose inclusion pushes the mean VIF of the selected
+//!    set above the threshold (10 in the paper),
+//! 4. stop when the hardware counter-register budget is reached (7 selected
+//!    counters in Table I) or no candidate improves adjusted R² by more than
+//!    `min_gain`.
+
+use crate::linalg::Matrix;
+use crate::regress::ols;
+use crate::scaler::StandardScaler;
+use crate::vif::mean_vif;
+
+/// Tunables for the counter-selection algorithm.
+#[derive(Debug, Clone)]
+pub struct SelectionConfig {
+    /// Maximum number of counters to select. The paper selects 7 (Table I),
+    /// bounded by the number of simultaneously-programmable counter
+    /// registers on Haswell-EP.
+    pub max_counters: usize,
+    /// Mean-VIF ceiling; candidates that push the selected set above this
+    /// are skipped. The paper uses the common threshold of 10.
+    pub vif_threshold: f64,
+    /// Per-counter VIF ceiling: no individual selected counter may exceed
+    /// this (the paper's Table I counters all sit below 3.1, so even one
+    /// counter near 10 signals a collinear pair slipping through the mean).
+    pub max_single_vif: f64,
+    /// Minimum adjusted-R² improvement required to keep adding counters.
+    pub min_gain: f64,
+}
+
+impl Default for SelectionConfig {
+    fn default() -> Self {
+        Self { max_counters: 7, vif_threshold: 10.0, max_single_vif: 10.0, min_gain: 1e-4 }
+    }
+}
+
+/// Output of [`select_counters`].
+#[derive(Debug, Clone)]
+pub struct SelectionResult {
+    /// Indices (into the candidate matrix columns) of selected counters, in
+    /// selection order.
+    pub selected: Vec<usize>,
+    /// Names of selected counters, in selection order.
+    pub names: Vec<String>,
+    /// Mean VIF of the final selected set (1.0 for a single counter, which
+    /// the paper reports as "n/a").
+    pub mean_vif: f64,
+    /// Per-counter VIF of the final set, aligned with `selected`. Computed
+    /// on the *final* set, as in Table I.
+    pub vifs: Vec<f64>,
+    /// Adjusted R² of the final model.
+    pub adj_r_squared: f64,
+    /// Adjusted R² after each selection step (same length as `selected`).
+    pub gain_trace: Vec<f64>,
+}
+
+/// Run the stepwise selection over `candidates` (observations × counters)
+/// against `response` (one value per observation).
+///
+/// `names` must have one entry per candidate column.
+///
+/// # Panics
+/// Panics if dimensions are inconsistent.
+pub fn select_counters(
+    candidates: &Matrix,
+    names: &[&str],
+    response: &[f64],
+    cfg: &SelectionConfig,
+) -> SelectionResult {
+    assert_eq!(candidates.cols(), names.len(), "one name per counter column required");
+    assert_eq!(candidates.rows(), response.len(), "one response per observation required");
+
+    // z-score candidates for numerical conditioning; constant columns are
+    // left centred-at-zero by the scaler and will never win a step.
+    let scaler = StandardScaler::fit(candidates);
+    let x = scaler.transform(candidates);
+
+    let mut selected: Vec<usize> = Vec::new();
+    let mut best_adj = f64::NEG_INFINITY;
+    let mut gain_trace = Vec::new();
+
+    while selected.len() < cfg.max_counters {
+        let mut step_best: Option<(usize, f64)> = None;
+        for cand in 0..x.cols() {
+            if selected.contains(&cand) {
+                continue;
+            }
+            let mut trial = selected.clone();
+            trial.push(cand);
+            let xt = x.select_columns(&trial);
+            // Multicollinearity gate first: the paper's methodology demands
+            // counters be (close to) independent of each other.
+            if trial.len() > 1 {
+                let vifs = crate::vif::vif_all(&xt);
+                let mv = vifs.iter().sum::<f64>() / vifs.len() as f64;
+                if !mv.is_finite() || mv > cfg.vif_threshold {
+                    continue;
+                }
+                if vifs.iter().any(|&v| !v.is_finite() || v > cfg.max_single_vif) {
+                    continue;
+                }
+            }
+            let Some(fit) = ols(&xt, response) else { continue };
+            let adj = fit.adj_r_squared;
+            match step_best {
+                Some((_, cur)) if adj <= cur => {}
+                _ => step_best = Some((cand, adj)),
+            }
+        }
+        match step_best {
+            Some((cand, adj)) if adj > best_adj + cfg.min_gain || selected.is_empty() => {
+                selected.push(cand);
+                best_adj = adj;
+                gain_trace.push(adj);
+            }
+            _ => break,
+        }
+    }
+
+    let xt = x.select_columns(&selected);
+    let vifs = if selected.len() > 1 {
+        crate::vif::vif_all(&xt)
+    } else {
+        vec![1.0; selected.len()]
+    };
+    let mv = if selected.len() > 1 { mean_vif(&xt) } else { 1.0 };
+    SelectionResult {
+        names: selected.iter().map(|&i| names[i].to_string()).collect(),
+        selected,
+        mean_vif: mv,
+        vifs,
+        adj_r_squared: best_adj,
+        gain_trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random stream good enough for fixtures.
+    fn lcg(seed: &mut u64) -> f64 {
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((*seed >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+
+    /// Build a fixture: response is driven by counters 0 and 2; counter 1 is
+    /// a near-copy of 0 (collinear); counter 3 is noise.
+    fn fixture(n: usize) -> (Matrix, Vec<f64>) {
+        let mut seed = 42u64;
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = lcg(&mut seed) * 10.0;
+            let b = a + 0.001 * lcg(&mut seed); // collinear with a
+            let c = lcg(&mut seed) * 5.0;
+            let d = lcg(&mut seed); // pure noise
+            rows.push(vec![a, b, c, d]);
+            y.push(1.0 + 2.0 * a - 3.0 * c + 0.01 * lcg(&mut seed));
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn selects_true_drivers_and_skips_collinear_twin() {
+        let (x, y) = fixture(200);
+        let names = ["A", "A_TWIN", "C", "NOISE"];
+        let res = select_counters(&x, &names, &y, &SelectionConfig::default());
+        assert!(res.names.contains(&"A".to_string()) || res.names.contains(&"A_TWIN".to_string()));
+        assert!(res.names.contains(&"C".to_string()));
+        // Never both of the collinear twins.
+        assert!(
+            !(res.names.contains(&"A".to_string()) && res.names.contains(&"A_TWIN".to_string())),
+            "selected both collinear twins: {:?}",
+            res.names
+        );
+        assert!(res.mean_vif < 10.0);
+        assert!(res.adj_r_squared > 0.99);
+    }
+
+    #[test]
+    fn respects_max_counters() {
+        let (x, y) = fixture(100);
+        let cfg = SelectionConfig { max_counters: 1, ..Default::default() };
+        let res = select_counters(&x, &["A", "B", "C", "D"], &y, &cfg);
+        assert_eq!(res.selected.len(), 1);
+        assert_eq!(res.mean_vif, 1.0, "single counter reports VIF n/a (1.0)");
+    }
+
+    #[test]
+    fn gain_trace_is_monotonic() {
+        let (x, y) = fixture(150);
+        let res = select_counters(&x, &["A", "B", "C", "D"], &y, &SelectionConfig::default());
+        for w in res.gain_trace.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "adjusted R² decreased: {:?}", res.gain_trace);
+        }
+        assert_eq!(res.gain_trace.len(), res.selected.len());
+    }
+
+    #[test]
+    fn stops_when_no_gain() {
+        // Response depends on a single column; selection should stop early.
+        let (x, _) = fixture(100);
+        let y: Vec<f64> = (0..x.rows()).map(|r| 5.0 * x[(r, 0)]).collect();
+        let res = select_counters(&x, &["A", "B", "C", "D"], &y, &SelectionConfig::default());
+        assert!(res.selected.len() <= 2, "selected too many: {:?}", res.names);
+        assert_eq!(res.selected[0], 0, "first pick must be the true driver");
+    }
+}

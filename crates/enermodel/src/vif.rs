@@ -1,0 +1,111 @@
+//! Variance Inflation Factor (VIF).
+//!
+//! The paper (Section IV-B, Table I) uses the mean VIF across the selected
+//! PAPI counters as the multicollinearity heuristic: a mean VIF greater than
+//! about 10 indicates that the chosen events are linearly related and the
+//! model would be unstable. `VIF_j = 1 / (1 - R²_j)` where `R²_j` comes from
+//! regressing predictor `j` on all other predictors.
+
+use crate::linalg::Matrix;
+use crate::regress::ols;
+
+/// VIF of column `j` of `x` against all other columns.
+///
+/// Returns `f64::INFINITY` when column `j` is perfectly explained by the
+/// others (R² == 1), and 1.0 when `x` has a single column (nothing to be
+/// collinear with — the paper reports "n/a" for that case, see Table I's
+/// first row).
+pub fn vif_for(x: &Matrix, j: usize) -> f64 {
+    assert!(j < x.cols(), "column {j} out of bounds");
+    if x.cols() == 1 {
+        return 1.0;
+    }
+    let others: Vec<usize> = (0..x.cols()).filter(|&c| c != j).collect();
+    let xo = x.select_columns(&others);
+    let yj = x.col(j);
+    match ols(&xo, &yj) {
+        Some(fit) => {
+            let r2 = fit.r_squared.clamp(0.0, 1.0);
+            if (1.0 - r2) < 1e-12 {
+                f64::INFINITY
+            } else {
+                1.0 / (1.0 - r2)
+            }
+        }
+        // Singular even with ridge: treat as perfectly collinear.
+        None => f64::INFINITY,
+    }
+}
+
+/// VIF of every column of `x`.
+pub fn vif_all(x: &Matrix) -> Vec<f64> {
+    (0..x.cols()).map(|j| vif_for(x, j)).collect()
+}
+
+/// Mean VIF across all columns — the heuristic the paper thresholds at 10.
+pub fn mean_vif(x: &Matrix) -> f64 {
+    let v = vif_all(x);
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::Matrix;
+
+    fn x_of(cols: &[&[f64]]) -> Matrix {
+        let rows = cols[0].len();
+        Matrix::from_fn(rows, cols.len(), |r, c| cols[c][r])
+    }
+
+    #[test]
+    fn single_column_is_na() {
+        let x = x_of(&[&[1.0, 2.0, 3.0]]);
+        assert_eq!(vif_for(&x, 0), 1.0);
+    }
+
+    #[test]
+    fn orthogonal_columns_have_vif_near_one() {
+        // Two columns with zero sample correlation.
+        let a = [1.0, -1.0, 1.0, -1.0];
+        let b = [1.0, 1.0, -1.0, -1.0];
+        let x = x_of(&[&a, &b]);
+        for v in vif_all(&x) {
+            assert!((v - 1.0).abs() < 1e-9, "vif {v}");
+        }
+        assert!((mean_vif(&x) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicated_column_has_infinite_vif() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let x = x_of(&[&a, &a]);
+        let v = vif_all(&x);
+        assert!(v[0].is_infinite());
+        assert!(v[1].is_infinite());
+    }
+
+    #[test]
+    fn strongly_correlated_columns_have_large_vif() {
+        let a: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        // b ≈ a with a small deterministic wiggle.
+        let b: Vec<f64> = a.iter().map(|v| v + 0.01 * (v * 3.0).sin()).collect();
+        let x = x_of(&[&a, &b]);
+        let v = vif_all(&x);
+        assert!(v[0] > 100.0, "vif {}", v[0]);
+    }
+
+    #[test]
+    fn vif_is_at_least_one() {
+        let a = [0.3, 1.7, 2.2, 4.8, 0.1, 9.0];
+        let b = [5.0, 2.0, 8.0, 1.0, 0.0, 3.0];
+        let c = [1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
+        let x = x_of(&[&a, &b, &c]);
+        for v in vif_all(&x) {
+            assert!(v >= 1.0 - 1e-9, "vif {v} < 1");
+        }
+    }
+}

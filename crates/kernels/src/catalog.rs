@@ -1,0 +1,98 @@
+//! The benchmark catalogue of Table II.
+
+use crate::spec::BenchmarkSpec;
+use crate::suites::{bem4i, coral, llcbench, mantevo, npb};
+
+/// The five benchmarks held out as the model test set and used for the
+/// region-tuning and static-vs-dynamic experiments (Sections V-B…V-D).
+pub const TEST_SET_NAMES: [&str; 5] = ["Lulesh", "Amg2013", "miniMD", "BEM4I", "Mcbenchmark"];
+
+/// All 19 benchmarks of Table II, in suite order.
+pub fn all_benchmarks() -> Vec<BenchmarkSpec> {
+    vec![
+        // NPB-3.3
+        npb::cg(),
+        npb::dc(),
+        npb::ep(),
+        npb::ft(),
+        npb::is(),
+        npb::mg(),
+        npb::bt(),
+        npb::bt_mz(),
+        npb::sp_mz(),
+        // CORAL
+        coral::amg2013(),
+        coral::lulesh(),
+        coral::mini_fe(),
+        coral::xsbench(),
+        coral::kripke(),
+        coral::mcb(),
+        // Mantevo
+        mantevo::comd(),
+        mantevo::mini_md(),
+        // LLCBench
+        llcbench::blasbench(),
+        // Other
+        bem4i::bem4i(),
+    ]
+}
+
+/// Look up a benchmark by name (as listed in Table II).
+pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
+    all_benchmarks().into_iter().find(|b| b.name == name)
+}
+
+/// The five test-set benchmarks.
+pub fn test_set() -> Vec<BenchmarkSpec> {
+    TEST_SET_NAMES.iter().map(|n| benchmark(n).expect("test benchmark exists")).collect()
+}
+
+/// The remaining 14 benchmarks used for training the final model
+/// (Section V-B: "we test our model for the hybrid benchmarks Lulesh,
+/// Amg2013, miniMD, BEM4I and Mcbenchmark and train using the rest").
+pub fn training_set() -> Vec<BenchmarkSpec> {
+    all_benchmarks()
+        .into_iter()
+        .filter(|b| !TEST_SET_NAMES.contains(&b.name.as_str()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nineteen_benchmarks_total() {
+        let all = all_benchmarks();
+        assert_eq!(all.len(), 19);
+        let mut names: Vec<&str> = all.iter().map(|b| b.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 19, "duplicate benchmark names");
+    }
+
+    #[test]
+    fn test_and_training_sets_partition() {
+        assert_eq!(test_set().len(), 5);
+        assert_eq!(training_set().len(), 14);
+        let train_names: Vec<String> = training_set().iter().map(|b| b.name.clone()).collect();
+        for t in TEST_SET_NAMES {
+            assert!(!train_names.contains(&t.to_string()), "{t} leaked into training set");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(benchmark("Lulesh").is_some());
+        assert!(benchmark("CG").is_some());
+        assert!(benchmark("nonexistent").is_none());
+    }
+
+    #[test]
+    fn every_benchmark_has_a_valid_phase_character() {
+        for b in all_benchmarks() {
+            let p = b.phase_character();
+            assert!(p.validate().is_ok(), "{} phase character invalid: {:?}", b.name, p.validate());
+        }
+    }
+}

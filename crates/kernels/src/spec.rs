@@ -1,0 +1,268 @@
+//! Benchmark and region descriptors.
+
+use serde::{Deserialize, Serialize};
+
+use simnode::RegionCharacter;
+
+/// Benchmark suite of origin (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// NAS Parallel Benchmarks 3.3.
+    Npb,
+    /// CORAL benchmark suite.
+    Coral,
+    /// Mantevo mini-applications.
+    Mantevo,
+    /// LLCBench low-level characterisation suite.
+    LlcBench,
+    /// Stand-alone real-world applications (BEM4I).
+    Other,
+}
+
+/// Parallel programming model of the benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProgrammingModel {
+    /// Pure OpenMP.
+    OpenMp,
+    /// Pure MPI (Kripke, CoMD in the paper).
+    Mpi,
+    /// MPI + OpenMP.
+    Hybrid,
+}
+
+impl ProgrammingModel {
+    /// Whether the OpenMP-thread tuning parameter applies.
+    pub fn tunable_threads(self) -> bool {
+        !matches!(self, ProgrammingModel::Mpi)
+    }
+}
+
+/// A named instrumentable region with its workload character.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionSpec {
+    /// Region name as it would appear in a Score-P profile (function name
+    /// or `omp parallel:<line>` construct).
+    pub name: String,
+    /// Work per phase iteration.
+    pub character: RegionCharacter,
+    /// Relative amplitude of the region's inter-iteration work variation
+    /// (0.0 = identical every phase iteration). Work scales by
+    /// `1 + a·sin(2π·iter/8)` — the *intra-phase dynamism* that
+    /// `readex-dyn-detect` quantifies to decide whether dynamic tuning is
+    /// worthwhile at all.
+    #[serde(default)]
+    pub variation_amplitude: f64,
+}
+
+impl RegionSpec {
+    /// Create a region spec with no inter-iteration variation.
+    pub fn new(name: impl Into<String>, character: RegionCharacter) -> Self {
+        Self { name: name.into(), character, variation_amplitude: 0.0 }
+    }
+
+    /// Add inter-iteration work variation of relative amplitude `a`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= a < 1.0` (work cannot go negative).
+    pub fn with_variation(mut self, a: f64) -> Self {
+        assert!((0.0..1.0).contains(&a), "variation amplitude {a} outside [0, 1)");
+        self.variation_amplitude = a;
+        self
+    }
+
+    /// The work scale factor for phase iteration `iter`.
+    pub fn scale_at(&self, iter: u32) -> f64 {
+        if self.variation_amplitude == 0.0 {
+            return 1.0;
+        }
+        1.0 + self.variation_amplitude
+            * (2.0 * std::f64::consts::PI * iter as f64 / 8.0).sin()
+    }
+
+    /// The character of phase iteration `iter`: instructions and DRAM
+    /// traffic scale together (the region processes more or fewer
+    /// elements; its per-instruction rates are unchanged).
+    pub fn character_at(&self, iter: u32) -> RegionCharacter {
+        let f = self.scale_at(iter);
+        if f == 1.0 {
+            return self.character.clone();
+        }
+        RegionCharacter {
+            instr_per_iter: self.character.instr_per_iter * f,
+            dram_bytes_per_iter: self.character.dram_bytes_per_iter * f,
+            ..self.character.clone()
+        }
+    }
+}
+
+/// A benchmark: a phase loop over regions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkSpec {
+    /// Benchmark name as in Table II.
+    pub name: String,
+    /// Suite of origin.
+    pub suite: Suite,
+    /// Programming model.
+    pub model: ProgrammingModel,
+    /// Phase iterations of the main program loop (each iteration executes
+    /// all regions once, in order).
+    pub phase_iterations: u32,
+    /// Regions executed each phase iteration, in program order. Includes
+    /// both significant and below-threshold regions; significance is
+    /// *detected*, not declared (that is `readex-dyn-detect`'s job).
+    pub regions: Vec<RegionSpec>,
+}
+
+impl BenchmarkSpec {
+    /// Create a benchmark spec.
+    ///
+    /// # Panics
+    /// Panics if no regions are given or `phase_iterations == 0`.
+    pub fn new(
+        name: impl Into<String>,
+        suite: Suite,
+        model: ProgrammingModel,
+        phase_iterations: u32,
+        regions: Vec<RegionSpec>,
+    ) -> Self {
+        assert!(phase_iterations > 0, "need at least one phase iteration");
+        assert!(!regions.is_empty(), "a benchmark needs at least one region");
+        Self { name: name.into(), suite, model, phase_iterations, regions }
+    }
+
+    /// Find a region by name.
+    pub fn region(&self, name: &str) -> Option<&RegionSpec> {
+        self.regions.iter().find(|r| r.name == name)
+    }
+
+    /// Aggregate character of one whole phase iteration (the "phase
+    /// region"): sums work quantities and averages rates weighted by
+    /// instruction count. This is what the plugin's phase-level analysis
+    /// step sees.
+    pub fn phase_character(&self) -> RegionCharacter {
+        let total_ins: f64 = self.regions.iter().map(|r| r.character.instr_per_iter).sum();
+        let w = |f: fn(&RegionCharacter) -> f64| -> f64 {
+            self.regions
+                .iter()
+                .map(|r| f(&r.character) * r.character.instr_per_iter)
+                .sum::<f64>()
+                / total_ins
+        };
+        RegionCharacter {
+            instr_per_iter: total_ins,
+            frac_load: w(|c| c.frac_load),
+            frac_store: w(|c| c.frac_store),
+            frac_branch: w(|c| c.frac_branch),
+            frac_fp: w(|c| c.frac_fp),
+            frac_vec: w(|c| c.frac_vec),
+            branch_misp_rate: w(|c| c.branch_misp_rate),
+            branch_ntk_frac: w(|c| c.branch_ntk_frac),
+            l1d_miss_per_instr: w(|c| c.l1d_miss_per_instr),
+            l2_dcr_per_instr: w(|c| c.l2_dcr_per_instr),
+            l2_icr_per_instr: w(|c| c.l2_icr_per_instr),
+            l2_miss_per_instr: w(|c| c.l2_miss_per_instr),
+            dram_bytes_per_iter: self
+                .regions
+                .iter()
+                .map(|r| r.character.dram_bytes_per_iter)
+                .sum(),
+            ipc_base: w(|c| c.ipc_base),
+            stall_frac: w(|c| c.stall_frac),
+            parallel_fraction: w(|c| c.parallel_fraction),
+            overlap: w(|c| c.overlap),
+            mem_queue_sensitivity: w(|c| c.mem_queue_sensitivity),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(name: &str, ins: f64, dram: f64) -> RegionSpec {
+        RegionSpec::new(name, RegionCharacter::builder(ins).dram_bytes(dram).build())
+    }
+
+    fn spec() -> BenchmarkSpec {
+        BenchmarkSpec::new(
+            "toy",
+            Suite::Npb,
+            ProgrammingModel::Hybrid,
+            10,
+            vec![region("a", 1e9, 1e8), region("b", 3e9, 5e8)],
+        )
+    }
+
+    #[test]
+    fn region_lookup() {
+        let s = spec();
+        assert!(s.region("a").is_some());
+        assert!(s.region("c").is_none());
+    }
+
+    #[test]
+    fn phase_character_sums_work() {
+        let s = spec();
+        let p = s.phase_character();
+        assert_eq!(p.instr_per_iter, 4e9);
+        assert_eq!(p.dram_bytes_per_iter, 6e8);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn phase_character_weights_rates() {
+        let mut s = spec();
+        s.regions[0].character.ipc_base = 1.0;
+        s.regions[1].character.ipc_base = 2.0;
+        // weighted by instructions: (1*1 + 2*3)/4 = 1.75
+        assert!((s.phase_character().ipc_base - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one region")]
+    fn empty_regions_panics() {
+        let _ = BenchmarkSpec::new("x", Suite::Npb, ProgrammingModel::OpenMp, 1, vec![]);
+    }
+
+    #[test]
+    fn mpi_threads_not_tunable() {
+        assert!(!ProgrammingModel::Mpi.tunable_threads());
+        assert!(ProgrammingModel::OpenMp.tunable_threads());
+        assert!(ProgrammingModel::Hybrid.tunable_threads());
+    }
+
+    #[test]
+    fn variation_scales_work_periodically() {
+        let r = region("v", 1e9, 1e8).with_variation(0.2);
+        // iter 2 is the sine peak of the period-8 cycle: scale 1.2.
+        assert!((r.scale_at(2) - 1.2).abs() < 1e-12);
+        assert!((r.scale_at(6) - 0.8).abs() < 1e-12);
+        assert!((r.scale_at(0) - 1.0).abs() < 1e-12);
+        let c = r.character_at(2);
+        assert!((c.instr_per_iter - 1.2e9).abs() < 1.0);
+        assert!((c.dram_bytes_per_iter - 1.2e8).abs() < 1.0);
+        // Per-instruction rates untouched.
+        assert_eq!(c.ipc_base, r.character.ipc_base);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1)")]
+    fn absurd_variation_panics() {
+        let _ = region("v", 1e9, 0.0).with_variation(1.5);
+    }
+
+    #[test]
+    fn no_variation_is_identity() {
+        let r = region("s", 1e9, 1e8);
+        assert_eq!(r.character_at(3), r.character);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = spec();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: BenchmarkSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,66 @@
+//! BEM4I — boundary element library (Merta & Zapletal 2018), the paper's
+//! real-world application: it "solves the Dirichlet boundary value problem
+//! for the 3D Helmholtz equation".
+//!
+//! Four significant regions; the plugin finds 24 threads at 2.4 GHz core /
+//! 2.4 GHz uncore optimal for the phase, with a static optimum of
+//! 2.3 GHz / 1.9 GHz (Tables V–VI) — a balanced compute/memory profile.
+
+use simnode::RegionCharacter;
+
+use super::{filler, region};
+use crate::spec::{BenchmarkSpec, ProgrammingModel, Suite};
+
+/// The BEM4I Helmholtz solver workload.
+pub fn bem4i() -> BenchmarkSpec {
+    let base = |ins: f64, dram_ratio: f64| {
+        RegionCharacter::builder(ins)
+            .ipc(1.7)
+            .parallel(0.99)
+            .dram_bytes(dram_ratio * ins)
+            .mix(0.28, 0.09, 0.08, 0.42)
+            .vectorised(0.7)
+            .branches(0.02, 0.4)
+            .cache(0.014, 0.012, 0.0003, 0.006)
+            .stalls(0.35)
+            .overlap(0.82)
+    };
+    BenchmarkSpec::new(
+        "BEM4I",
+        Suite::Other,
+        ProgrammingModel::Hybrid,
+        20,
+        vec![
+            region("assembleSystemMatrix", base(2.4e10, 1.15).build()),
+            region("gmresSolve", base(1.5e10, 1.47).ipc(1.5).stalls(0.45).build()),
+            region("evalPotential", base(1.0e10, 1.04).build()),
+            region("assembleRhs", base(6e9, 1.31).parallel(0.98).build()),
+            filler("exportVtu", 5e7),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bem4i_is_valid() {
+        let b = bem4i();
+        for r in &b.regions {
+            assert!(r.character.validate().is_ok(), "{} invalid", r.name);
+        }
+    }
+
+    #[test]
+    fn four_significant_regions() {
+        let big = bem4i().regions.iter().filter(|r| r.character.instr_per_iter > 1e9).count();
+        assert_eq!(big, 4);
+    }
+
+    #[test]
+    fn balanced_personality() {
+        let i = bem4i().phase_character().intensity();
+        assert!(i > 0.5 && i < 2.0, "intensity {i}");
+    }
+}

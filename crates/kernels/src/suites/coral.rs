@@ -1,0 +1,237 @@
+//! CORAL benchmarks: Amg2013, Lulesh, miniFE, XSBench, Kripke and
+//! Mcbenchmark.
+//!
+//! Lulesh and Mcbenchmark are the paper's flagship test cases: Lulesh is
+//! the compute-bound example of Fig. 6 / Table III (five significant
+//! regions, optimum near 2.4–2.5 GHz core / 1.7–2.0 GHz uncore, 24
+//! threads), Mcbenchmark the memory-bound example of Fig. 7 / Table IV
+//! (five significant regions — two functions and three OpenMP parallel
+//! constructs — optimum near 1.6 GHz core / 2.3–2.5 GHz uncore, 20
+//! threads).
+
+use simnode::RegionCharacter;
+
+use super::{filler, region};
+use crate::spec::{BenchmarkSpec, ProgrammingModel, RegionSpec, Suite};
+
+fn bench(name: &str, model: ProgrammingModel, iters: u32, regions: Vec<RegionSpec>) -> BenchmarkSpec {
+    BenchmarkSpec::new(name, Suite::Coral, model, iters, regions)
+}
+
+/// Lulesh — shock hydrodynamics, the compute-bound test case.
+///
+/// Region names and count follow Table III. Characters are calibrated so
+/// that the energy-optimal configuration sits at high core frequency and
+/// low-to-mid uncore frequency: DRAM traffic ≈ 0.9–1.1 byte/instruction
+/// puts the roofline crossover near 1.7–2.0 GHz uncore at 2.4 GHz core.
+pub fn lulesh() -> BenchmarkSpec {
+    let base = |ins: f64, dram_ratio: f64| {
+        RegionCharacter::builder(ins)
+            .ipc(1.8)
+            .parallel(0.995)
+            .dram_bytes(dram_ratio * ins)
+            .mix(0.27, 0.10, 0.09, 0.40)
+            .vectorised(0.6)
+            .branches(0.015, 0.42)
+            .cache(0.012, 0.010, 0.0003, 0.005)
+            .stalls(0.3)
+            .overlap(0.78)
+    };
+    bench(
+        "Lulesh",
+        ProgrammingModel::Hybrid,
+        30,
+        vec![
+            region("IntegrateStressForElems", base(2.2e10, 0.90).build()),
+            region("CalcFBHourglassForceForElems", base(2.6e10, 0.84).ipc(1.9).build()),
+            region("CalcKinematicsForElems", base(1.6e10, 1.11).ipc(1.7).stalls(0.4).build()),
+            region("CalcQForElems", base(1.3e10, 0.95).build()).with_variation(0.15),
+            region(
+                "ApplyMaterialPropertiesForElems",
+                base(1.1e10, 1.21).parallel(0.955).stalls(0.45).build(),
+            ),
+            filler("CalcTimeConstraintsForElems", 6e7),
+            filler("CommSyncPosVel", 3e7),
+        ],
+    )
+}
+
+/// Amg2013 — algebraic multigrid: bandwidth-hungry but poorly scaling, so
+/// its energy optimum sits at 16 threads (Table V).
+pub fn amg2013() -> BenchmarkSpec {
+    let base = |ins: f64, dram_ratio: f64| {
+        RegionCharacter::builder(ins)
+            .ipc(1.15)
+            .parallel(0.945)
+            .dram_bytes(dram_ratio * ins)
+            .mix(0.33, 0.09, 0.10, 0.28)
+            .branches(0.025, 0.45)
+            .cache(0.024, 0.020, 0.0004, 0.011)
+            .stalls(0.55)
+            .overlap(0.55)
+            .queue_sensitivity(3.0)
+    };
+    bench(
+        "Amg2013",
+        ProgrammingModel::Hybrid,
+        20,
+        vec![
+            region("hypre_CSRMatvec", base(1.1e10, 3.9).build()),
+            region("hypre_Relax", base(8e9, 4.2).ipc(1.05).build()).with_variation(0.12),
+            region("hypre_InterpAndRestrict", base(5e9, 3.6).parallel(0.93).build()),
+            filler("hypre_SetupTimers", 4e7),
+        ],
+    )
+}
+
+/// miniFE — implicit finite elements; CG-dominated and bandwidth-bound.
+pub fn mini_fe() -> BenchmarkSpec {
+    let cg = RegionCharacter::builder(8e9)
+        .ipc(1.0)
+        .parallel(0.98)
+        .dram_bytes(4.0 * 8e9)
+        .mix(0.34, 0.08, 0.09, 0.32)
+        .cache(0.028, 0.024, 0.0003, 0.014)
+        .stalls(0.62)
+        .build();
+    let assembly = RegionCharacter::builder(3e9)
+        .ipc(1.5)
+        .parallel(0.97)
+        .dram_bytes(1.2 * 3e9)
+        .mix(0.28, 0.14, 0.10, 0.33)
+        .stalls(0.35)
+        .build();
+    bench(
+        "miniFE",
+        ProgrammingModel::OpenMp,
+        18,
+        vec![region("cg_solve", cg), region("assemble_FE", assembly), filler("impose_dirichlet", 3e7)],
+    )
+}
+
+/// XSBench — macroscopic cross-section lookups: memory-latency bound with
+/// unpredictable branches.
+pub fn xsbench() -> BenchmarkSpec {
+    let lookup = RegionCharacter::builder(5e9)
+        .ipc(0.7)
+        .parallel(0.99)
+        .dram_bytes(5.5 * 5e9)
+        .mix(0.36, 0.05, 0.18, 0.12)
+        .branches(0.07, 0.55)
+        .cache(0.045, 0.038, 0.0004, 0.024)
+        .stalls(0.78)
+        .overlap(0.6)
+        .build();
+    bench(
+        "XSBench",
+        ProgrammingModel::Hybrid,
+        14,
+        vec![region("xs_lookup_kernel", lookup), filler("verify_hash", 2e7)],
+    )
+}
+
+/// Kripke — deterministic Sn transport sweeps (MPI-only in the paper).
+pub fn kripke() -> BenchmarkSpec {
+    let sweep = RegionCharacter::builder(1.8e10)
+        .ipc(1.4)
+        .parallel(0.985)
+        .dram_bytes(2.0 * 1.8e10)
+        .mix(0.30, 0.11, 0.08, 0.36)
+        .vectorised(0.55)
+        .stalls(0.45)
+        .build();
+    let ltimes = RegionCharacter::builder(6e9)
+        .ipc(1.6)
+        .parallel(0.99)
+        .dram_bytes(1.5 * 6e9)
+        .stalls(0.35)
+        .build();
+    bench(
+        "Kripke",
+        ProgrammingModel::Mpi,
+        12,
+        vec![region("sweep_solver", sweep), region("LTimes", ltimes), filler("population_edit", 3e7)],
+    )
+}
+
+/// Mcbenchmark — Monte-Carlo photon transport, the memory-bound test case.
+///
+/// Regions follow Table IV: two functions plus three `omp parallel`
+/// constructs. DRAM traffic ≈ 4 byte/instruction with IPC ≈ 1.0 puts the
+/// compute/memory crossover near 1.6 GHz core, and bandwidth saturation
+/// (with the uncore power curve) puts the uncore optimum near 2.3–2.5 GHz.
+pub fn mcb() -> BenchmarkSpec {
+    let base = |ins: f64, dram_ratio: f64| {
+        RegionCharacter::builder(ins)
+            .ipc(1.0)
+            .parallel(0.97)
+            .dram_bytes(dram_ratio * ins)
+            .mix(0.34, 0.08, 0.16, 0.15)
+            .branches(0.05, 0.55)
+            .cache(0.038, 0.030, 0.0005, 0.020)
+            .stalls(0.72)
+            .overlap(0.85)
+    };
+    bench(
+        "Mcbenchmark",
+        ProgrammingModel::Hybrid,
+        25,
+        vec![
+            region("setupDT", base(3.5e9, 4.5).build()),
+            region("advPhoton", base(6e9, 5.2).stalls(0.78).build()).with_variation(0.2),
+            region("omp parallel:423", base(3e9, 4.8).parallel(0.955).build()),
+            region("omp parallel:501", base(2.5e9, 4.2).ipc(1.1).parallel(0.95).build()),
+            region("omp parallel:642", base(3.2e9, 4.8).build()),
+            filler("tally_reduce", 4e7),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_coral_benchmarks_are_valid() {
+        for b in [lulesh(), amg2013(), mini_fe(), xsbench(), kripke(), mcb()] {
+            for r in &b.regions {
+                assert!(r.character.validate().is_ok(), "{}::{} invalid", b.name, r.name);
+            }
+        }
+    }
+
+    #[test]
+    fn lulesh_has_the_five_table3_regions() {
+        let l = lulesh();
+        for name in [
+            "IntegrateStressForElems",
+            "CalcFBHourglassForceForElems",
+            "CalcKinematicsForElems",
+            "CalcQForElems",
+            "ApplyMaterialPropertiesForElems",
+        ] {
+            assert!(l.region(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn mcb_has_the_five_table4_regions() {
+        let m = mcb();
+        for name in
+            ["setupDT", "advPhoton", "omp parallel:423", "omp parallel:501", "omp parallel:642"]
+        {
+            assert!(m.region(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn lulesh_is_compute_bound_mcb_is_memory_bound() {
+        assert!(lulesh().phase_character().intensity() > 1.0);
+        assert!(mcb().phase_character().intensity() < 0.3);
+    }
+
+    #[test]
+    fn kripke_is_mpi_only() {
+        assert_eq!(kripke().model, ProgrammingModel::Mpi);
+    }
+}

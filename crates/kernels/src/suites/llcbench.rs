@@ -1,0 +1,51 @@
+//! LLCBench — low-level architectural characterisation: Blasbench.
+
+use simnode::RegionCharacter;
+
+use super::{filler, region};
+use crate::spec::{BenchmarkSpec, ProgrammingModel, Suite};
+
+/// Blasbench — dense BLAS kernels: very high IPC, cache-resident tiles,
+/// low DRAM traffic.
+pub fn blasbench() -> BenchmarkSpec {
+    let gemm = RegionCharacter::builder(3.5e10)
+        .ipc(2.3)
+        .parallel(0.997)
+        .dram_bytes(0.45 * 3.5e10)
+        .mix(0.26, 0.08, 0.05, 0.50)
+        .vectorised(0.9)
+        .branches(0.005, 0.3)
+        .cache(0.010, 0.009, 0.0001, 0.0015)
+        .stalls(0.15)
+        .build();
+    let gemv = RegionCharacter::builder(6e9)
+        .ipc(1.4)
+        .parallel(0.99)
+        .dram_bytes(2.2 * 6e9)
+        .mix(0.35, 0.06, 0.05, 0.42)
+        .vectorised(0.85)
+        .cache(0.020, 0.018, 0.0001, 0.010)
+        .stalls(0.5)
+        .build();
+    BenchmarkSpec::new(
+        "Blasbench",
+        Suite::LlcBench,
+        ProgrammingModel::Hybrid,
+        10,
+        vec![region("dgemm_tiles", gemm), region("dgemv_stream", gemv), filler("flush_cache", 2e7)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blasbench_is_valid_and_compute_heavy() {
+        let b = blasbench();
+        for r in &b.regions {
+            assert!(r.character.validate().is_ok());
+        }
+        assert!(b.phase_character().ipc_base > 1.8);
+    }
+}

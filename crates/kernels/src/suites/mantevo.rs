@@ -1,0 +1,122 @@
+//! Mantevo mini-applications: CoMD and miniMD.
+//!
+//! miniMD is a test-set benchmark: the paper reports the largest dynamic
+//! savings for it (10.3 % job / 21.95 % CPU energy, Table VI) with a
+//! static optimum of 24 threads at 2.5 GHz core / 1.5 GHz uncore
+//! (Table V) — i.e. strongly compute-bound with very low memory traffic,
+//! which is what lets UFS drop nearly to the floor.
+
+use simnode::RegionCharacter;
+
+use super::{filler, region};
+use crate::spec::{BenchmarkSpec, ProgrammingModel, RegionSpec, Suite};
+
+fn bench(name: &str, model: ProgrammingModel, iters: u32, regions: Vec<RegionSpec>) -> BenchmarkSpec {
+    BenchmarkSpec::new(name, Suite::Mantevo, model, iters, regions)
+}
+
+/// CoMD — classical molecular dynamics (MPI-only in the paper).
+pub fn comd() -> BenchmarkSpec {
+    let force = RegionCharacter::builder(2.5e10)
+        .ipc(1.9)
+        .parallel(0.995)
+        .dram_bytes(0.3 * 2.5e10)
+        .mix(0.24, 0.08, 0.10, 0.44)
+        .vectorised(0.5)
+        .branches(0.02, 0.4)
+        .cache(0.006, 0.005, 0.0002, 0.002)
+        .stalls(0.18)
+        .build();
+    let neighbor = RegionCharacter::builder(5e9)
+        .ipc(1.3)
+        .parallel(0.98)
+        .dram_bytes(1.6 * 5e9)
+        .mix(0.32, 0.12, 0.14, 0.15)
+        .branches(0.04, 0.5)
+        .stalls(0.5)
+        .build();
+    bench(
+        "CoMD",
+        ProgrammingModel::Mpi,
+        15,
+        vec![region("ljForce", force), region("redistributeAtoms", neighbor), filler("timestep_admin", 3e7)],
+    )
+}
+
+/// miniMD — Lennard-Jones MD, the paper's biggest dynamic-tuning winner.
+pub fn mini_md() -> BenchmarkSpec {
+    let force = RegionCharacter::builder(3.0e10)
+        .ipc(2.0)
+        .parallel(0.996)
+        .dram_bytes(0.65 * 3.0e10)
+        .mix(0.25, 0.08, 0.09, 0.45)
+        .vectorised(0.65)
+        .branches(0.015, 0.38)
+        .cache(0.007, 0.006, 0.0002, 0.0025)
+        .stalls(0.2)
+        .build();
+    let neighbor = RegionCharacter::builder(9e9)
+        .ipc(1.5)
+        .parallel(0.99)
+        .dram_bytes(1.17 * 9e9)
+        .mix(0.30, 0.12, 0.13, 0.20)
+        .branches(0.035, 0.48)
+        .stalls(0.42)
+        .build();
+    let integrate = RegionCharacter::builder(4e9)
+        .ipc(1.8)
+        .parallel(0.992)
+        .dram_bytes(1.05 * 4e9)
+        .mix(0.30, 0.15, 0.07, 0.38)
+        .stalls(0.3)
+        .build();
+    bench(
+        "miniMD",
+        ProgrammingModel::Hybrid,
+        25,
+        vec![
+            region("compute_force", force),
+            region("neighbor_build", neighbor),
+            region("integrate_verlet", integrate),
+            filler("pbc_wrap", 3.5e7),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mantevo_benchmarks_are_valid() {
+        for b in [comd(), mini_md()] {
+            for r in &b.regions {
+                assert!(r.character.validate().is_ok(), "{}::{} invalid", b.name, r.name);
+            }
+        }
+    }
+
+    #[test]
+    fn minimd_is_strongly_compute_bound() {
+        let p = mini_md().phase_character();
+        assert!(p.intensity() > 1.2, "intensity {}", p.intensity());
+        assert!(p.parallel_fraction > 0.99);
+    }
+
+    #[test]
+    fn minimd_has_three_significant_regions() {
+        // Three large regions + one filler (the paper reports three
+        // significant regions for miniMD).
+        let big = mini_md()
+            .regions
+            .iter()
+            .filter(|r| r.character.instr_per_iter > 1e9)
+            .count();
+        assert_eq!(big, 3);
+    }
+
+    #[test]
+    fn comd_is_mpi_only() {
+        assert_eq!(comd().model, ProgrammingModel::Mpi);
+    }
+}

@@ -1,0 +1,45 @@
+//! Per-suite benchmark definitions.
+//!
+//! Characters are calibrated against the execution engine's roofline model
+//! so that each benchmark reproduces its published personality: at the
+//! default configuration (24 threads, 2.5 GHz core, 3.0 GHz uncore) the
+//! compute-bound codes (EP, BT, Lulesh, miniMD, CoMD, BEM4I, …) are limited
+//! by core frequency and the memory-bound codes (CG, MG, IS, miniFE,
+//! XSBench, Mcbenchmark, …) by uncore-driven bandwidth. The five test-set
+//! benchmarks additionally name their significant regions after
+//! Tables III/IV of the paper.
+//!
+//! Rough sizing rule used throughout: at the default configuration a
+//! region with instructions `I`, IPC `ipc` and parallel fraction `p`
+//! spends `T_comp ≈ I·((1−p)+p/24)/(ipc·2.5 GHz)` seconds in compute, so
+//! `I ≈ 2e10` with `ipc 1.8, p 0.99` gives ≈ 230 ms — comfortably above
+//! the 100 ms significance threshold. Filler regions sit well below it.
+
+pub mod bem4i;
+pub mod coral;
+pub mod llcbench;
+pub mod mantevo;
+pub mod npb;
+
+use simnode::RegionCharacter;
+
+use crate::spec::RegionSpec;
+
+/// Shorthand for building a region spec.
+pub(crate) fn region(name: &str, c: RegionCharacter) -> RegionSpec {
+    RegionSpec::new(name, c)
+}
+
+/// A small helper region that never crosses the 100 ms significance
+/// threshold (bookkeeping loops, MPI waits, timer reads…). Exercises the
+/// filtering pipeline of `scorep-lite`.
+pub(crate) fn filler(name: &str, instr: f64) -> RegionSpec {
+    region(
+        name,
+        RegionCharacter::builder(instr)
+            .ipc(1.5)
+            .parallel(0.5)
+            .dram_bytes(instr * 0.05)
+            .build(),
+    )
+}

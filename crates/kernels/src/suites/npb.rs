@@ -1,0 +1,274 @@
+//! NAS Parallel Benchmarks 3.3 (Bailey et al. 1991).
+//!
+//! The paper uses CG, DC, EP, FT, IS, MG, BT (OpenMP) and the multi-zone
+//! hybrids BT-MZ, SP-MZ (Table II). Personalities follow the well-known
+//! NPB characterisation: CG/MG/IS are bandwidth-bound, EP is embarrassingly
+//! parallel compute, FT mixes transpose traffic with FFT compute, BT/SP are
+//! dense solver kernels.
+
+use simnode::RegionCharacter;
+
+use super::{filler, region};
+use crate::spec::{BenchmarkSpec, ProgrammingModel, RegionSpec, Suite};
+
+fn bench(name: &str, model: ProgrammingModel, iters: u32, regions: Vec<RegionSpec>) -> BenchmarkSpec {
+    BenchmarkSpec::new(name, Suite::Npb, model, iters, regions)
+}
+
+/// CG — conjugate gradient, irregular memory access, bandwidth-bound.
+pub fn cg() -> BenchmarkSpec {
+    let matvec = RegionCharacter::builder(7e9)
+        .ipc(0.9)
+        .parallel(0.98)
+        .dram_bytes(5.0 * 7e9)
+        .mix(0.34, 0.07, 0.10, 0.30)
+        .cache(0.030, 0.025, 0.0004, 0.015)
+        .stalls(0.65)
+        .overlap(0.8)
+        .build();
+    let vector_ops = RegionCharacter::builder(2.5e9)
+        .ipc(1.1)
+        .parallel(0.985)
+        .dram_bytes(4.0 * 2.5e9)
+        .mix(0.30, 0.12, 0.08, 0.35)
+        .cache(0.022, 0.018, 0.0003, 0.011)
+        .stalls(0.55)
+        .build();
+    bench(
+        "CG",
+        ProgrammingModel::OpenMp,
+        20,
+        vec![region("conj_grad", matvec), region("vector_ops", vector_ops), filler("residual_check", 3e7)],
+    )
+}
+
+/// DC — data cube operator, pointer-chasing and branchy.
+pub fn dc() -> BenchmarkSpec {
+    let tuple_scan = RegionCharacter::builder(5e9)
+        .ipc(0.8)
+        .parallel(0.95)
+        .dram_bytes(3.0 * 5e9)
+        .mix(0.32, 0.14, 0.18, 0.08)
+        .branches(0.05, 0.52)
+        .cache(0.028, 0.022, 0.0015, 0.012)
+        .stalls(0.6)
+        .overlap(0.65)
+        .build();
+    let aggregate = RegionCharacter::builder(3e9)
+        .ipc(0.95)
+        .parallel(0.93)
+        .dram_bytes(2.2 * 3e9)
+        .mix(0.30, 0.16, 0.15, 0.10)
+        .branches(0.04, 0.48)
+        .stalls(0.55)
+        .build();
+    bench(
+        "DC",
+        ProgrammingModel::OpenMp,
+        12,
+        vec![region("tuple_scan", tuple_scan), region("aggregate_views", aggregate), filler("io_flush", 5e7)],
+    )
+}
+
+/// EP — embarrassingly parallel random-number kernel: pure compute.
+pub fn ep() -> BenchmarkSpec {
+    let gauss = RegionCharacter::builder(4.5e10)
+        .ipc(2.2)
+        .parallel(0.9995)
+        .dram_bytes(0.01 * 4.5e10)
+        .mix(0.18, 0.05, 0.10, 0.45)
+        .vectorised(0.7)
+        .branches(0.01, 0.35)
+        .cache(0.002, 0.001, 0.0001, 0.0003)
+        .stalls(0.08)
+        .build();
+    bench(
+        "EP",
+        ProgrammingModel::OpenMp,
+        10,
+        vec![region("gaussian_pairs", gauss), filler("reduce_counts", 2e7)],
+    )
+}
+
+/// FT — 3-D FFT: compute phases separated by all-to-all transposes.
+pub fn ft() -> BenchmarkSpec {
+    let fft = RegionCharacter::builder(2e10)
+        .ipc(1.5)
+        .parallel(0.99)
+        .dram_bytes(1.5 * 2e10)
+        .mix(0.28, 0.12, 0.09, 0.38)
+        .vectorised(0.8)
+        .cache(0.015, 0.012, 0.0003, 0.007)
+        .stalls(0.35)
+        .build();
+    let transpose = RegionCharacter::builder(4e9)
+        .ipc(0.9)
+        .parallel(0.98)
+        .dram_bytes(5.5 * 4e9)
+        .mix(0.36, 0.18, 0.06, 0.10)
+        .cache(0.035, 0.030, 0.0002, 0.018)
+        .stalls(0.7)
+        .build();
+    bench(
+        "FT",
+        ProgrammingModel::OpenMp,
+        15,
+        vec![region("fft_layers", fft), region("transpose_xyz", transpose), filler("checksum", 2.5e7)],
+    )
+}
+
+/// IS — integer bucket sort: bandwidth-bound with hard-to-predict branches.
+pub fn is() -> BenchmarkSpec {
+    let rank = RegionCharacter::builder(4e9)
+        .ipc(0.85)
+        .parallel(0.97)
+        .dram_bytes(6.0 * 4e9)
+        .mix(0.33, 0.15, 0.20, 0.02)
+        .branches(0.06, 0.50)
+        .cache(0.040, 0.032, 0.0003, 0.020)
+        .stalls(0.72)
+        .overlap(0.7)
+        .build();
+    bench(
+        "IS",
+        ProgrammingModel::OpenMp,
+        15,
+        vec![region("rank_keys", rank), filler("partial_verify", 2e7)],
+    )
+}
+
+/// MG — multigrid V-cycles: stencil sweeps over shrinking grids.
+pub fn mg() -> BenchmarkSpec {
+    let smooth = RegionCharacter::builder(9e9)
+        .ipc(1.0)
+        .parallel(0.985)
+        .dram_bytes(4.5 * 9e9)
+        .mix(0.34, 0.11, 0.08, 0.33)
+        .cache(0.027, 0.022, 0.0002, 0.013)
+        .stalls(0.6)
+        .build();
+    let restrict_prolong = RegionCharacter::builder(3e9)
+        .ipc(1.1)
+        .parallel(0.975)
+        .dram_bytes(3.8 * 3e9)
+        .mix(0.32, 0.14, 0.09, 0.30)
+        .stalls(0.55)
+        .build();
+    bench(
+        "MG",
+        ProgrammingModel::OpenMp,
+        18,
+        vec![
+            region("smooth_psinv", smooth),
+            region("restrict_prolong", restrict_prolong),
+            filler("norm2u3", 4e7),
+        ],
+    )
+}
+
+/// BT — block-tridiagonal solver: dense 5×5 block compute.
+pub fn bt() -> BenchmarkSpec {
+    let solve = RegionCharacter::builder(3.2e10)
+        .ipc(1.9)
+        .parallel(0.992)
+        .dram_bytes(0.8 * 3.2e10)
+        .mix(0.26, 0.10, 0.07, 0.42)
+        .vectorised(0.75)
+        .cache(0.009, 0.007, 0.0002, 0.003)
+        .stalls(0.25)
+        .build();
+    let rhs = RegionCharacter::builder(1e10)
+        .ipc(1.6)
+        .parallel(0.99)
+        .dram_bytes(1.2 * 1e10)
+        .mix(0.30, 0.12, 0.08, 0.35)
+        .stalls(0.35)
+        .build();
+    bench(
+        "BT",
+        ProgrammingModel::OpenMp,
+        12,
+        vec![region("xyz_solve", solve), region("compute_rhs", rhs), filler("add_update", 5e7)],
+    )
+}
+
+/// BT-MZ — multi-zone hybrid variant of BT.
+pub fn bt_mz() -> BenchmarkSpec {
+    let zone_solve = RegionCharacter::builder(2.8e10)
+        .ipc(1.85)
+        .parallel(0.99)
+        .dram_bytes(0.9 * 2.8e10)
+        .mix(0.27, 0.10, 0.08, 0.40)
+        .vectorised(0.7)
+        .stalls(0.3)
+        .build();
+    let exch = RegionCharacter::builder(2e9)
+        .ipc(0.9)
+        .parallel(0.9)
+        .dram_bytes(3.0 * 2e9)
+        .mix(0.35, 0.2, 0.1, 0.05)
+        .stalls(0.6)
+        .build();
+    bench(
+        "BT-MZ",
+        ProgrammingModel::Hybrid,
+        12,
+        vec![region("zone_solve", zone_solve), region("exch_qbc", exch), filler("zone_setup", 4e7)],
+    )
+}
+
+/// SP-MZ — multi-zone scalar-pentadiagonal hybrid.
+pub fn sp_mz() -> BenchmarkSpec {
+    let sweep = RegionCharacter::builder(2.4e10)
+        .ipc(1.7)
+        .parallel(0.99)
+        .dram_bytes(1.1 * 2.4e10)
+        .mix(0.29, 0.11, 0.08, 0.38)
+        .vectorised(0.65)
+        .stalls(0.38)
+        .build();
+    let txinvr = RegionCharacter::builder(6e9)
+        .ipc(1.5)
+        .parallel(0.985)
+        .dram_bytes(1.4 * 6e9)
+        .stalls(0.42)
+        .build();
+    bench(
+        "SP-MZ",
+        ProgrammingModel::Hybrid,
+        12,
+        vec![region("sp_sweep", sweep), region("txinvr", txinvr), filler("exch_qbc", 4.5e7)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_npb_benchmarks_are_valid() {
+        for b in [cg(), dc(), ep(), ft(), is(), mg(), bt(), bt_mz(), sp_mz()] {
+            assert!(!b.regions.is_empty(), "{} has no regions", b.name);
+            for r in &b.regions {
+                assert!(r.character.validate().is_ok(), "{}::{} invalid", b.name, r.name);
+            }
+            assert!(b.phase_character().validate().is_ok(), "{} phase invalid", b.name);
+        }
+    }
+
+    #[test]
+    fn personalities_match_npb_lore() {
+        // CG and MG are memory-bound; EP and BT are compute-bound.
+        assert!(cg().phase_character().intensity() < 1.0);
+        assert!(mg().phase_character().intensity() < 1.0);
+        assert!(ep().phase_character().intensity() > 10.0);
+        assert!(bt().phase_character().intensity() > 1.0);
+    }
+
+    #[test]
+    fn mz_variants_are_hybrid() {
+        assert_eq!(bt_mz().model, ProgrammingModel::Hybrid);
+        assert_eq!(sp_mz().model, ProgrammingModel::Hybrid);
+        assert_eq!(bt().model, ProgrammingModel::OpenMp);
+    }
+}

@@ -1,0 +1,33 @@
+//! # rrl — the READEX Runtime Library analog
+//!
+//! The production half of the paper's workflow (Section V-D): the tuning
+//! model generated at design time is handed to the RRL
+//! (`SCOREP_RRL_TMM_PATH`), which performs Runtime Application Tuning —
+//! "dynamically adjusts the system configuration during application
+//! runtime according to the generated tuning model" — through the Score-P
+//! PCPs. This crate provides:
+//!
+//! * [`tmm`] — the Tuning Model Manager,
+//! * [`rat`] — the runtime switching hook driven by the scenario
+//!   classifier,
+//! * [`static_tuning`] — best-static-configuration runs,
+//! * [`sacct`] — SLURM-style job accounting (job energy / CPU energy /
+//!   elapsed, the three quantities of Table VI),
+//! * [`savings`] — default-vs-tuned comparisons including the
+//!   configuration-setting performance reduction and the combined
+//!   DVFS/UFS/Score-P overhead decomposition of Section V-E.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod rat;
+pub mod sacct;
+pub mod savings;
+pub mod static_tuning;
+pub mod tmm;
+
+pub use rat::RrlHook;
+pub use sacct::JobRecord;
+pub use savings::{compare_static_dynamic, BenchmarkComparison, Savings};
+pub use static_tuning::run_static;
+pub use tmm::TuningModelManager;

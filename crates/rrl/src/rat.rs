@@ -1,0 +1,134 @@
+//! Runtime Application Tuning.
+//!
+//! The RRL hooks Score-P's region events: on every significant-region
+//! entry it classifies the region into a scenario and requests that
+//! scenario's configuration through the PCPs. The switch itself costs the
+//! transition latencies of Section V-E (21 µs core, 20 µs uncore), which
+//! the instrumented application charges to wall time.
+
+use ptf::TuningModel;
+use scorep_lite::instrument::TuningHook;
+use simnode::{RegionRun, SystemConfig};
+
+use crate::tmm::TuningModelManager;
+
+/// The RRL tuning hook: drives per-region dynamic switching.
+#[derive(Debug, Clone)]
+pub struct RrlHook {
+    tmm: TuningModelManager,
+    lookups: u64,
+    distinct_requests: u64,
+    last_requested: Option<SystemConfig>,
+}
+
+impl RrlHook {
+    /// Hook for a tuning model.
+    pub fn new(model: TuningModel) -> Self {
+        Self {
+            tmm: TuningModelManager::new(model),
+            lookups: 0,
+            distinct_requests: 0,
+            last_requested: None,
+        }
+    }
+
+    /// Number of scenario lookups performed.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Number of lookups that requested a configuration different from the
+    /// previous request (upper bound on actual hardware switches).
+    pub fn distinct_requests(&self) -> u64 {
+        self.distinct_requests
+    }
+}
+
+impl TuningHook for RrlHook {
+    fn config_for(&mut self, region: &str, _iter: u32, _current: SystemConfig) -> SystemConfig {
+        self.lookups += 1;
+        let cfg = self.tmm.configuration_for(region);
+        if self.last_requested != Some(cfg) {
+            self.distinct_requests += 1;
+            self.last_requested = Some(cfg);
+        }
+        cfg
+    }
+
+    fn on_region(&mut self, _region: &str, _iter: u32, _run: &RegionRun) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scorep_lite::{InstrumentationConfig, InstrumentedApp};
+    use simnode::Node;
+
+    fn two_scenario_model() -> TuningModel {
+        TuningModel::new(
+            "Lulesh",
+            &[
+                ("IntegrateStressForElems".into(), SystemConfig::new(24, 2500, 2000)),
+                ("CalcFBHourglassForceForElems".into(), SystemConfig::new(24, 2500, 2000)),
+                ("CalcKinematicsForElems".into(), SystemConfig::new(24, 2400, 2000)),
+                ("CalcQForElems".into(), SystemConfig::new(24, 2500, 2000)),
+                ("ApplyMaterialPropertiesForElems".into(), SystemConfig::new(24, 2400, 2000)),
+            ],
+            SystemConfig::new(24, 2500, 2100),
+        )
+    }
+
+    #[test]
+    fn hook_requests_scenario_configs() {
+        let mut hook = RrlHook::new(two_scenario_model());
+        let c = hook.config_for("CalcKinematicsForElems", 0, SystemConfig::taurus_default());
+        assert_eq!(c, SystemConfig::new(24, 2400, 2000));
+        let c2 = hook.config_for("unknown", 0, c);
+        assert_eq!(c2, SystemConfig::new(24, 2500, 2100), "phase fallback");
+        assert_eq!(hook.lookups(), 2);
+        assert_eq!(hook.distinct_requests(), 2);
+    }
+
+    #[test]
+    fn repeat_lookups_do_not_count_as_switches() {
+        let mut hook = RrlHook::new(two_scenario_model());
+        for _ in 0..5 {
+            hook.config_for("CalcQForElems", 0, SystemConfig::taurus_default());
+        }
+        assert_eq!(hook.lookups(), 5);
+        assert_eq!(hook.distinct_requests(), 1);
+    }
+
+    #[test]
+    fn rrl_run_switches_between_scenarios() {
+        let bench = kernels::benchmark("Lulesh").unwrap();
+        let node = Node::exact(0);
+        let app = InstrumentedApp::new(&bench, &node, InstrumentationConfig::scorep_defaults());
+        let mut hook = RrlHook::new(two_scenario_model());
+        let report = app.run(&mut hook);
+        // Two scenarios + phase fallback for fillers: switching happens
+        // multiple times per iteration.
+        assert!(report.switches > bench.phase_iterations as u64);
+        assert!(report.switch_time_s > 0.0);
+        assert!(hook.lookups() >= report.switches);
+    }
+
+    #[test]
+    fn rrl_saves_energy_versus_default_on_lulesh() {
+        let bench = kernels::benchmark("Lulesh").unwrap();
+        let node = Node::exact(0);
+        // Default production run: uninstrumented at the platform default.
+        let plain = InstrumentedApp::new(&bench, &node, InstrumentationConfig::uninstrumented())
+            .run(&mut scorep_lite::instrument::StaticHook(SystemConfig::taurus_default()));
+        // RRL run: instrumented, dynamically tuned.
+        let app = InstrumentedApp::new(&bench, &node, InstrumentationConfig::scorep_defaults());
+        let mut hook = RrlHook::new(two_scenario_model());
+        let tuned = app.run(&mut hook);
+        assert!(
+            tuned.job_energy_j < plain.job_energy_j,
+            "dynamic tuning must save energy: {} vs {}",
+            tuned.job_energy_j,
+            plain.job_energy_j
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! SLURM-style job accounting.
+//!
+//! "To measure job energy and time, we use the SLURM tool `sacct` which
+//! allows users to query post-mortem job data … For measuring CPU energy
+//! we utilize a lightweight runtime tool called `measure-rapl`"
+//! (Section V-D). A [`JobRecord`] carries exactly those three values.
+
+use serde::{Deserialize, Serialize};
+
+use scorep_lite::AppRunReport;
+
+/// Post-mortem job data for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Job (node) energy, joules — `sacct --format=ConsumedEnergy`.
+    pub job_energy_j: f64,
+    /// CPU (package) energy, joules — `measure-rapl`.
+    pub cpu_energy_j: f64,
+    /// Elapsed wall time, seconds — `sacct --format=Elapsed`.
+    pub elapsed_s: f64,
+}
+
+impl JobRecord {
+    /// Extract the accounting record from an application run.
+    pub fn from_run(report: &AppRunReport) -> Self {
+        Self {
+            job_energy_j: report.job_energy_j,
+            cpu_energy_j: report.cpu_energy_j,
+            elapsed_s: report.wall_time_s,
+        }
+    }
+
+    /// Average several runs (the paper averages five).
+    pub fn mean(records: &[JobRecord]) -> JobRecord {
+        assert!(!records.is_empty(), "mean of zero records");
+        let n = records.len() as f64;
+        JobRecord {
+            job_energy_j: records.iter().map(|r| r.job_energy_j).sum::<f64>() / n,
+            cpu_energy_j: records.iter().map(|r| r.cpu_energy_j).sum::<f64>() / n,
+            elapsed_s: records.iter().map(|r| r.elapsed_s).sum::<f64>() / n,
+        }
+    }
+
+    /// `sacct`-style formatted line.
+    pub fn format_sacct(&self) -> String {
+        format!(
+            "ConsumedEnergy={:.0}J CpuEnergy={:.0}J Elapsed={:.2}s",
+            self.job_energy_j, self.cpu_energy_j, self.elapsed_s
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_records() {
+        let a = JobRecord { job_energy_j: 100.0, cpu_energy_j: 60.0, elapsed_s: 10.0 };
+        let b = JobRecord { job_energy_j: 200.0, cpu_energy_j: 80.0, elapsed_s: 20.0 };
+        let m = JobRecord::mean(&[a, b]);
+        assert_eq!(m.job_energy_j, 150.0);
+        assert_eq!(m.cpu_energy_j, 70.0);
+        assert_eq!(m.elapsed_s, 15.0);
+    }
+
+    #[test]
+    fn formatting() {
+        let r = JobRecord { job_energy_j: 1234.5, cpu_energy_j: 678.9, elapsed_s: 42.123 };
+        let s = r.format_sacct();
+        assert!(s.contains("ConsumedEnergy=1235J") || s.contains("ConsumedEnergy=1234J"));
+        assert!(s.contains("Elapsed=42.12s"));
+    }
+
+    #[test]
+    #[should_panic(expected = "mean of zero records")]
+    fn empty_mean_panics() {
+        let _ = JobRecord::mean(&[]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Static tuning runs.
+//!
+//! For the Table VI comparison "the benchmark is first executed with a
+//! default configuration of 24 OpenMP threads and 2.5|3.0 GHz … Following
+//! this, we manually set the best obtained static configuration and
+//! execute the benchmark on the same compute node" — both production runs
+//! are *uninstrumented* (no Score-P probes, no RRL).
+
+use kernels::BenchmarkSpec;
+use scorep_lite::instrument::StaticHook;
+use scorep_lite::{InstrumentationConfig, InstrumentedApp};
+use simnode::{Node, SystemConfig};
+
+use crate::sacct::JobRecord;
+
+/// Execute an uninstrumented production run at a fixed configuration and
+/// return the accounting record.
+pub fn run_static(bench: &BenchmarkSpec, node: &Node, config: SystemConfig) -> JobRecord {
+    let app = InstrumentedApp::new(bench, node, InstrumentationConfig::uninstrumented());
+    let report = app.run_from(&mut StaticHook(config), config, None);
+    JobRecord::from_run(&report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_run_at_default_matches_iterated_phase() {
+        let bench = kernels::benchmark("miniMD").unwrap();
+        let node = Node::exact(0);
+        let rec = run_static(&bench, &node, SystemConfig::taurus_default());
+        assert!(rec.elapsed_s > 0.0);
+        assert!(rec.job_energy_j > rec.cpu_energy_j);
+    }
+
+    #[test]
+    fn tuned_static_config_saves_energy_on_minimd() {
+        let bench = kernels::benchmark("miniMD").unwrap();
+        let node = Node::exact(0);
+        let default = run_static(&bench, &node, SystemConfig::taurus_default());
+        // Table V's static optimum for miniMD.
+        let tuned = run_static(&bench, &node, SystemConfig::new(24, 2500, 1500));
+        assert!(tuned.job_energy_j < default.job_energy_j);
+        assert!(tuned.cpu_energy_j < default.cpu_energy_j);
+        // Compute-bound at the same CF: modest time change (the simulator
+        // charges ~7 % for the uncore drop where the paper measured ~0 %;
+        // see EXPERIMENTS.md).
+        let dt = (tuned.elapsed_s - default.elapsed_s).abs() / default.elapsed_s;
+        assert!(dt < 0.10, "time delta {dt}");
+    }
+}

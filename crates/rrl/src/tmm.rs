@@ -1,0 +1,121 @@
+//! The Tuning Model Manager.
+//!
+//! The RRL loads the tuning model from the path in the
+//! `SCOREP_RRL_TMM_PATH` environment variable. The manager parses and
+//! validates the model and serves scenario lookups to the runtime hook.
+
+use std::path::Path;
+
+use ptf::TuningModel;
+use simnode::SystemConfig;
+
+/// Errors loading a tuning model.
+#[derive(Debug)]
+pub enum TmmError {
+    /// File could not be read.
+    Io(std::io::Error),
+    /// File contents were not a valid tuning model.
+    Parse(serde_json::Error),
+}
+
+impl std::fmt::Display for TmmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TmmError::Io(e) => write!(f, "cannot read tuning model: {e}"),
+            TmmError::Parse(e) => write!(f, "cannot parse tuning model: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TmmError {}
+
+/// Serves scenario configurations from a loaded tuning model.
+#[derive(Debug, Clone)]
+pub struct TuningModelManager {
+    model: TuningModel,
+}
+
+impl TuningModelManager {
+    /// Wrap an in-memory tuning model.
+    pub fn new(model: TuningModel) -> Self {
+        Self { model }
+    }
+
+    /// Load a tuning model from a JSON file (what the RRL does with
+    /// `SCOREP_RRL_TMM_PATH`).
+    pub fn from_path(path: impl AsRef<Path>) -> Result<Self, TmmError> {
+        let json = std::fs::read_to_string(path).map_err(TmmError::Io)?;
+        let model = TuningModel::from_json(&json).map_err(TmmError::Parse)?;
+        Ok(Self { model })
+    }
+
+    /// Load from the `SCOREP_RRL_TMM_PATH` environment variable.
+    pub fn from_env() -> Result<Self, TmmError> {
+        let path = std::env::var("SCOREP_RRL_TMM_PATH").map_err(|_| {
+            TmmError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                "SCOREP_RRL_TMM_PATH not set",
+            ))
+        })?;
+        Self::from_path(path)
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &TuningModel {
+        &self.model
+    }
+
+    /// Configuration for a region (scenario lookup with phase fallback).
+    pub fn configuration_for(&self, region: &str) -> SystemConfig {
+        self.model.lookup(region)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TuningModel {
+        TuningModel::new(
+            "toy",
+            &[("a".into(), SystemConfig::new(24, 2400, 1700))],
+            SystemConfig::new(24, 2500, 2100),
+        )
+    }
+
+    #[test]
+    fn lookup_via_manager() {
+        let tmm = TuningModelManager::new(model());
+        assert_eq!(tmm.configuration_for("a"), SystemConfig::new(24, 2400, 1700));
+        assert_eq!(tmm.configuration_for("other"), SystemConfig::new(24, 2500, 2100));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("rrl-tmm-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tm.json");
+        std::fs::write(&path, model().to_json()).unwrap();
+        let tmm = TuningModelManager::from_path(&path).expect("load");
+        assert_eq!(tmm.model().application, "toy");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = TuningModelManager::from_path("/nonexistent/tm.json").unwrap_err();
+        assert!(matches!(err, TmmError::Io(_)));
+        assert!(format!("{err}").contains("cannot read"));
+    }
+
+    #[test]
+    fn bad_json_is_parse_error() {
+        let dir = std::env::temp_dir().join("rrl-tmm-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{nope").unwrap();
+        let err = TuningModelManager::from_path(&path).unwrap_err();
+        assert!(matches!(err, TmmError::Parse(_)));
+        std::fs::remove_file(&path).ok();
+    }
+}

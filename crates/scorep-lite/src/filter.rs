@@ -1,0 +1,142 @@
+//! `scorep-autofilter` — two-stage region filtering.
+//!
+//! "Filtering is a two step process and involves run-time and compile-time
+//! filtering. Executing the instrumented application with profiling enabled
+//! creates a call-tree application profile … utilized during run-time
+//! filtering to generate a filter file which contains a list of finer
+//! granular regions below a certain threshold. The generated filter file is
+//! then used to suppress application instrumentation during compile-time
+//! filtering." (Section III-A.)
+
+use serde::{Deserialize, Serialize};
+
+use crate::profile::CallTreeProfile;
+use crate::region::RegionKind;
+
+/// Default granularity threshold below which regions are filtered, seconds
+/// (the READEX tooling default of 100 ms would remove too much; autofilter
+/// targets *fine-granular* probe-noise regions, typically ≪ 10 ms).
+pub const DEFAULT_FILTER_THRESHOLD_S: f64 = 0.01;
+
+/// A Score-P filter file: the list of region names whose instrumentation
+/// is suppressed at compile time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FilterFile {
+    names: Vec<String>,
+}
+
+impl FilterFile {
+    /// Empty filter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from explicit names.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self { names: names.into_iter().map(Into::into).collect() }
+    }
+
+    /// Is this region filtered?
+    pub fn contains(&self, name: &str) -> bool {
+        self.names.iter().any(|n| n == name)
+    }
+
+    /// Filtered region names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of filtered regions.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing is filtered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Render in Score-P filter-file syntax.
+    pub fn to_scorep_syntax(&self) -> String {
+        let mut out = String::from("SCOREP_REGION_NAMES_BEGIN\n  EXCLUDE\n");
+        for n in &self.names {
+            out.push_str("    ");
+            out.push_str(n);
+            out.push('\n');
+        }
+        out.push_str("SCOREP_REGION_NAMES_END\n");
+        out
+    }
+}
+
+/// Run-time filtering: derive a filter file from a profiling run.
+///
+/// Regions whose *mean* instance duration is below `threshold_s` are
+/// excluded — except OpenMP and MPI constructs, whose instrumentation
+/// Score-P cannot remove by name filtering (that residual overhead is why
+/// Table VI still shows a Score-P cost).
+pub fn autofilter(profile: &CallTreeProfile, threshold_s: f64) -> FilterFile {
+    let names = profile
+        .regions
+        .iter()
+        .filter(|r| r.mean_time_s() < threshold_s)
+        .filter(|r| matches!(r.kind, RegionKind::Function))
+        .map(|r| r.name.clone())
+        .collect();
+    FilterFile { names }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> CallTreeProfile {
+        let mut p = CallTreeProfile::new();
+        for _ in 0..10 {
+            p.record("big_func", RegionKind::Function, 0.3, 60.0, 0.2);
+            p.record("tiny_func", RegionKind::Function, 0.001, 0.2, 0.2);
+            p.record("omp parallel:10", RegionKind::OmpParallel, 0.002, 0.4, 0.5);
+            p.record("MPI_Waitall", RegionKind::Mpi, 0.004, 0.8, 0.0);
+        }
+        p
+    }
+
+    #[test]
+    fn filters_fine_granular_functions_only() {
+        let f = autofilter(&profile(), DEFAULT_FILTER_THRESHOLD_S);
+        assert!(f.contains("tiny_func"));
+        assert!(!f.contains("big_func"));
+        // OpenMP/MPI cannot be name-filtered.
+        assert!(!f.contains("omp parallel:10"));
+        assert!(!f.contains("MPI_Waitall"));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn threshold_is_respected() {
+        let f = autofilter(&profile(), 0.5);
+        assert!(f.contains("big_func"), "0.3 s mean is below a 0.5 s threshold");
+    }
+
+    #[test]
+    fn scorep_syntax_rendering() {
+        let f = FilterFile::from_names(["foo", "bar"]);
+        let s = f.to_scorep_syntax();
+        assert!(s.starts_with("SCOREP_REGION_NAMES_BEGIN"));
+        assert!(s.contains("EXCLUDE"));
+        assert!(s.contains("    foo\n"));
+        assert!(s.contains("    bar\n"));
+        assert!(s.trim_end().ends_with("SCOREP_REGION_NAMES_END"));
+    }
+
+    #[test]
+    fn empty_filter() {
+        let f = FilterFile::new();
+        assert!(f.is_empty());
+        assert!(!f.contains("anything"));
+    }
+}

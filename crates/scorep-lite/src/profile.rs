@@ -1,0 +1,164 @@
+//! CUBE4-style call-tree profiles.
+//!
+//! "Executing the instrumented application with profiling enabled creates a
+//! call-tree application profile in the CUBE4 format" (Section III-A). Our
+//! applications have a phase loop over flat regions, so the profile is a
+//! phase node with per-region aggregate statistics underneath.
+
+use serde::{Deserialize, Serialize};
+
+use crate::region::RegionKind;
+
+/// Aggregate statistics of one region across a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionStats {
+    /// Region name.
+    pub name: String,
+    /// Region kind.
+    pub kind: RegionKind,
+    /// Number of instances (visits).
+    pub visits: u64,
+    /// Total inclusive time, seconds.
+    pub total_time_s: f64,
+    /// Total node energy attributed to the region, joules.
+    pub total_node_energy_j: f64,
+    /// Fraction of total time spent memory-bound (mean over instances).
+    pub memory_boundness: f64,
+    /// Shortest instance, seconds.
+    pub min_time_s: f64,
+    /// Longest instance, seconds.
+    pub max_time_s: f64,
+}
+
+impl RegionStats {
+    /// Mean time per instance.
+    pub fn mean_time_s(&self) -> f64 {
+        if self.visits == 0 {
+            0.0
+        } else {
+            self.total_time_s / self.visits as f64
+        }
+    }
+
+    /// Temporal dynamism: instance-time spread relative to the mean,
+    /// `(max − min) / mean` — `readex-dyn-detect`'s intra-phase dynamism
+    /// metric. Zero for perfectly regular regions.
+    pub fn time_dynamism(&self) -> f64 {
+        let mean = self.mean_time_s();
+        if mean <= 0.0 {
+            0.0
+        } else {
+            (self.max_time_s - self.min_time_s) / mean
+        }
+    }
+}
+
+/// A profile of one application run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CallTreeProfile {
+    /// Per-region statistics, in first-visit order.
+    pub regions: Vec<RegionStats>,
+    /// Number of phase iterations observed.
+    pub phase_iterations: u64,
+    /// Total wall time of the run, seconds.
+    pub wall_time_s: f64,
+}
+
+impl CallTreeProfile {
+    /// Empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one region instance.
+    pub fn record(
+        &mut self,
+        name: &str,
+        kind: RegionKind,
+        time_s: f64,
+        node_energy_j: f64,
+        memory_boundness: f64,
+    ) {
+        if let Some(r) = self.regions.iter_mut().find(|r| r.name == name) {
+            // Running mean of boundness, then accumulate totals.
+            let n = r.visits as f64;
+            r.memory_boundness = (r.memory_boundness * n + memory_boundness) / (n + 1.0);
+            r.visits += 1;
+            r.total_time_s += time_s;
+            r.total_node_energy_j += node_energy_j;
+            r.min_time_s = r.min_time_s.min(time_s);
+            r.max_time_s = r.max_time_s.max(time_s);
+        } else {
+            self.regions.push(RegionStats {
+                name: name.to_string(),
+                kind,
+                visits: 1,
+                total_time_s: time_s,
+                total_node_energy_j: node_energy_j,
+                memory_boundness,
+                min_time_s: time_s,
+                max_time_s: time_s,
+            });
+        }
+    }
+
+    /// Look up a region's stats.
+    pub fn region(&self, name: &str) -> Option<&RegionStats> {
+        self.regions.iter().find(|r| r.name == name)
+    }
+
+    /// Total instrumented time across regions.
+    pub fn total_region_time_s(&self) -> f64 {
+        self.regions.iter().map(|r| r.total_time_s).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut p = CallTreeProfile::new();
+        p.record("a", RegionKind::Function, 0.2, 50.0, 0.3);
+        p.record("a", RegionKind::Function, 0.4, 90.0, 0.5);
+        p.record("b", RegionKind::OmpParallel, 0.1, 20.0, 0.9);
+        let a = p.region("a").unwrap();
+        assert_eq!(a.visits, 2);
+        assert!((a.total_time_s - 0.6).abs() < 1e-12);
+        assert!((a.total_node_energy_j - 140.0).abs() < 1e-12);
+        assert!((a.mean_time_s() - 0.3).abs() < 1e-12);
+        assert!((a.memory_boundness - 0.4).abs() < 1e-12);
+        assert_eq!(p.regions.len(), 2);
+    }
+
+    #[test]
+    fn totals() {
+        let mut p = CallTreeProfile::new();
+        p.record("a", RegionKind::Function, 0.25, 10.0, 0.0);
+        p.record("b", RegionKind::Function, 0.75, 10.0, 0.0);
+        assert!((p.total_region_time_s() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_region_is_none() {
+        let p = CallTreeProfile::new();
+        assert!(p.region("x").is_none());
+    }
+
+    #[test]
+    fn zero_visit_mean_is_zero() {
+        let r = RegionStats {
+            name: "x".into(),
+            kind: RegionKind::Function,
+            visits: 0,
+            total_time_s: 0.0,
+            total_node_energy_j: 0.0,
+            memory_boundness: 0.0,
+            min_time_s: 0.0,
+            max_time_s: 0.0,
+        };
+        assert_eq!(r.mean_time_s(), 0.0);
+        assert_eq!(r.time_dynamism(), 0.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Region identities.
+
+use serde::{Deserialize, Serialize};
+
+/// Stable identifier of an instrumented region within one registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RegionId(pub u32);
+
+/// What kind of construct a region is. Score-P instruments program
+/// functions, OpenMP constructs and MPI routines differently, and the
+/// residual instrumentation overhead differs per kind (Section V-E: OpenMP
+/// and MPI instrumentation cannot be filtered away).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegionKind {
+    /// The manually-annotated phase region (one iteration of the main
+    /// program loop).
+    Phase,
+    /// A compiler-instrumented program function.
+    Function,
+    /// An OpenMP parallel construct (`omp parallel:<line>`).
+    OmpParallel,
+    /// An MPI routine.
+    Mpi,
+}
+
+impl RegionKind {
+    /// Infer the kind from a Score-P style region name.
+    pub fn infer(name: &str) -> RegionKind {
+        if name == "PHASE" {
+            RegionKind::Phase
+        } else if name.starts_with("omp ") || name.starts_with("!$omp") {
+            RegionKind::OmpParallel
+        } else if name.starts_with("MPI_") || name.starts_with("Comm") {
+            RegionKind::Mpi
+        } else {
+            RegionKind::Function
+        }
+    }
+}
+
+/// Interns region names and assigns [`RegionId`]s, like Score-P's region
+/// definitions in an OTF2 archive.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RegionRegistry {
+    names: Vec<String>,
+    kinds: Vec<RegionKind>,
+}
+
+impl RegionRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a region name, returning its id (idempotent).
+    pub fn intern(&mut self, name: &str) -> RegionId {
+        if let Some(pos) = self.names.iter().position(|n| n == name) {
+            return RegionId(pos as u32);
+        }
+        self.names.push(name.to_string());
+        self.kinds.push(RegionKind::infer(name));
+        RegionId(self.names.len() as u32 - 1)
+    }
+
+    /// Look up an id by name.
+    pub fn id(&self, name: &str) -> Option<RegionId> {
+        self.names.iter().position(|n| n == name).map(|p| RegionId(p as u32))
+    }
+
+    /// Name of a region id.
+    pub fn name(&self, id: RegionId) -> Option<&str> {
+        self.names.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Kind of a region id.
+    pub fn kind(&self, id: RegionId) -> Option<RegionKind> {
+        self.kinds.get(id.0 as usize).copied()
+    }
+
+    /// Number of interned regions.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate `(id, name, kind)`.
+    pub fn iter(&self) -> impl Iterator<Item = (RegionId, &str, RegionKind)> {
+        self.names
+            .iter()
+            .zip(&self.kinds)
+            .enumerate()
+            .map(|(i, (n, &k))| (RegionId(i as u32), n.as_str(), k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut r = RegionRegistry::new();
+        let a = r.intern("foo");
+        let b = r.intern("bar");
+        let a2 = r.intern("foo");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn lookups() {
+        let mut r = RegionRegistry::new();
+        let id = r.intern("CalcQForElems");
+        assert_eq!(r.id("CalcQForElems"), Some(id));
+        assert_eq!(r.name(id), Some("CalcQForElems"));
+        assert_eq!(r.kind(id), Some(RegionKind::Function));
+        assert_eq!(r.id("nope"), None);
+        assert_eq!(r.name(RegionId(99)), None);
+    }
+
+    #[test]
+    fn kind_inference() {
+        assert_eq!(RegionKind::infer("PHASE"), RegionKind::Phase);
+        assert_eq!(RegionKind::infer("omp parallel:423"), RegionKind::OmpParallel);
+        assert_eq!(RegionKind::infer("MPI_Allreduce"), RegionKind::Mpi);
+        assert_eq!(RegionKind::infer("CommSyncPosVel"), RegionKind::Mpi);
+        assert_eq!(RegionKind::infer("advPhoton"), RegionKind::Function);
+    }
+
+    #[test]
+    fn iteration_order_is_intern_order() {
+        let mut r = RegionRegistry::new();
+        r.intern("a");
+        r.intern("omp parallel:1");
+        let collected: Vec<(u32, String)> =
+            r.iter().map(|(id, n, _)| (id.0, n.to_string())).collect();
+        assert_eq!(collected, vec![(0, "a".to_string()), (1, "omp parallel:1".to_string())]);
+    }
+}

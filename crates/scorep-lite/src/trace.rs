@@ -1,0 +1,346 @@
+//! OTF2-style binary traces.
+//!
+//! Score-P writes application traces in the Open Trace Format 2: a stream
+//! of chronologically-ordered enter/leave records with attached metric
+//! values (Section IV-A: "performance metrics and energy values are
+//! recorded only at entry and exit of a region"). This module implements a
+//! compact binary encoding over [`bytes`] with a writer/reader pair plus
+//! the region-definition table, faithful in spirit to OTF2's
+//! definitions-plus-events layout.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use simnode::papi::{CounterValues, NUM_COUNTERS};
+
+use crate::region::{RegionId, RegionRegistry};
+
+/// Trace format magic ("OTF2-lite").
+const MAGIC: u32 = 0x0721_F21E;
+/// Format version.
+const VERSION: u16 = 1;
+
+const TAG_ENTER: u8 = 1;
+const TAG_LEAVE: u8 = 2;
+
+/// One trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// Region entry at `t_ns` nanoseconds since trace start.
+    Enter {
+        /// Region entered.
+        region: RegionId,
+        /// Timestamp, ns.
+        t_ns: u64,
+    },
+    /// Region exit with the metrics sampled over the instance.
+    Leave {
+        /// Region left.
+        region: RegionId,
+        /// Timestamp, ns.
+        t_ns: u64,
+        /// Node energy consumed by the instance (HDEEM metric plugin), J.
+        node_energy_j: f64,
+        /// PAPI counters for the instance, if counter recording was on.
+        counters: Option<CounterValues>,
+    },
+}
+
+impl TraceEvent {
+    /// Timestamp of the event.
+    pub fn t_ns(&self) -> u64 {
+        match self {
+            TraceEvent::Enter { t_ns, .. } | TraceEvent::Leave { t_ns, .. } => *t_ns,
+        }
+    }
+}
+
+/// An in-memory trace: definitions plus an event stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Otf2Trace {
+    /// Region definitions.
+    pub registry: RegionRegistry,
+    /// Chronological events.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Streaming trace writer.
+#[derive(Debug, Default)]
+pub struct TraceWriter {
+    registry: RegionRegistry,
+    events: Vec<TraceEvent>,
+    last_t_ns: u64,
+}
+
+impl TraceWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a region name.
+    pub fn define_region(&mut self, name: &str) -> RegionId {
+        self.registry.intern(name)
+    }
+
+    /// Append an enter record.
+    ///
+    /// # Panics
+    /// Panics if timestamps go backwards (OTF2 requires chronological
+    /// order).
+    pub fn enter(&mut self, region: RegionId, t_ns: u64) {
+        assert!(t_ns >= self.last_t_ns, "non-chronological enter at {t_ns}");
+        self.last_t_ns = t_ns;
+        self.events.push(TraceEvent::Enter { region, t_ns });
+    }
+
+    /// Append a leave record with metrics.
+    ///
+    /// # Panics
+    /// Panics if timestamps go backwards.
+    pub fn leave(
+        &mut self,
+        region: RegionId,
+        t_ns: u64,
+        node_energy_j: f64,
+        counters: Option<CounterValues>,
+    ) {
+        assert!(t_ns >= self.last_t_ns, "non-chronological leave at {t_ns}");
+        self.last_t_ns = t_ns;
+        self.events.push(TraceEvent::Leave { region, t_ns, node_energy_j, counters });
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Finish writing, producing the in-memory trace.
+    pub fn finish(self) -> Otf2Trace {
+        Otf2Trace { registry: self.registry, events: self.events }
+    }
+}
+
+impl Otf2Trace {
+    /// Serialise to the binary format.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64 + self.events.len() * 32);
+        buf.put_u32(MAGIC);
+        buf.put_u16(VERSION);
+        // Definitions: region table.
+        buf.put_u32(self.registry.len() as u32);
+        for (_, name, _) in self.registry.iter() {
+            let b = name.as_bytes();
+            buf.put_u16(b.len() as u16);
+            buf.put_slice(b);
+        }
+        // Events.
+        buf.put_u64(self.events.len() as u64);
+        for ev in &self.events {
+            match ev {
+                TraceEvent::Enter { region, t_ns } => {
+                    buf.put_u8(TAG_ENTER);
+                    buf.put_u32(region.0);
+                    buf.put_u64(*t_ns);
+                }
+                TraceEvent::Leave { region, t_ns, node_energy_j, counters } => {
+                    buf.put_u8(TAG_LEAVE);
+                    buf.put_u32(region.0);
+                    buf.put_u64(*t_ns);
+                    buf.put_f64(*node_energy_j);
+                    match counters {
+                        Some(c) => {
+                            buf.put_u8(1);
+                            for &v in c.as_slice() {
+                                buf.put_f64(v);
+                            }
+                        }
+                        None => buf.put_u8(0),
+                    }
+                }
+            }
+        }
+        buf.freeze()
+    }
+}
+
+/// Errors from trace deserialisation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Wrong magic number — not an OTF2-lite trace.
+    BadMagic,
+    /// Unsupported version.
+    BadVersion(u16),
+    /// Stream ended unexpectedly.
+    Truncated,
+    /// Unknown record tag.
+    BadTag(u8),
+    /// Region name was not valid UTF-8.
+    BadName,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "bad trace magic"),
+            TraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::Truncated => write!(f, "truncated trace"),
+            TraceError::BadTag(t) => write!(f, "unknown record tag {t}"),
+            TraceError::BadName => write!(f, "region name not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Trace deserialiser.
+#[derive(Debug)]
+pub struct TraceReader;
+
+impl TraceReader {
+    /// Parse a binary trace.
+    pub fn read(mut data: Bytes) -> Result<Otf2Trace, TraceError> {
+        use TraceError::*;
+        let need = |buf: &Bytes, n: usize| if buf.remaining() < n { Err(Truncated) } else { Ok(()) };
+
+        need(&data, 6)?;
+        if data.get_u32() != MAGIC {
+            return Err(BadMagic);
+        }
+        let version = data.get_u16();
+        if version != VERSION {
+            return Err(BadVersion(version));
+        }
+        need(&data, 4)?;
+        let nregions = data.get_u32();
+        let mut registry = RegionRegistry::new();
+        for _ in 0..nregions {
+            need(&data, 2)?;
+            let len = data.get_u16() as usize;
+            need(&data, len)?;
+            let raw = data.copy_to_bytes(len);
+            let name = std::str::from_utf8(&raw).map_err(|_| BadName)?;
+            registry.intern(name);
+        }
+        need(&data, 8)?;
+        let nevents = data.get_u64();
+        let mut events = Vec::with_capacity(nevents.min(1 << 20) as usize);
+        for _ in 0..nevents {
+            need(&data, 1)?;
+            match data.get_u8() {
+                TAG_ENTER => {
+                    need(&data, 12)?;
+                    let region = RegionId(data.get_u32());
+                    let t_ns = data.get_u64();
+                    events.push(TraceEvent::Enter { region, t_ns });
+                }
+                TAG_LEAVE => {
+                    need(&data, 21)?;
+                    let region = RegionId(data.get_u32());
+                    let t_ns = data.get_u64();
+                    let node_energy_j = data.get_f64();
+                    let counters = match data.get_u8() {
+                        0 => None,
+                        _ => {
+                            need(&data, 8 * NUM_COUNTERS)?;
+                            let mut c = CounterValues::zeros();
+                            for i in 0..NUM_COUNTERS {
+                                let v = data.get_f64();
+                                c.set(simnode::papi::PapiCounter::all()[i], v);
+                            }
+                            Some(c)
+                        }
+                    };
+                    events.push(TraceEvent::Leave { region, t_ns, node_energy_j, counters });
+                }
+                t => return Err(BadTag(t)),
+            }
+        }
+        Ok(Otf2Trace { registry, events })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnode::papi::PapiCounter;
+
+    fn sample_trace(with_counters: bool) -> Otf2Trace {
+        let mut w = TraceWriter::new();
+        let phase = w.define_region("PHASE");
+        let a = w.define_region("regionA");
+        w.enter(phase, 0);
+        w.enter(a, 10);
+        let counters = with_counters.then(|| {
+            let mut c = CounterValues::zeros();
+            c.set(PapiCounter::TotIns, 123.0);
+            c.set(PapiCounter::LdIns, 45.0);
+            c
+        });
+        w.leave(a, 1_000_000, 55.5, counters);
+        w.leave(phase, 1_100_000, 60.0, None);
+        w.finish()
+    }
+
+    #[test]
+    fn round_trip_without_counters() {
+        let t = sample_trace(false);
+        let back = TraceReader::read(t.to_bytes()).expect("parse");
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn round_trip_with_counters() {
+        let t = sample_trace(true);
+        let back = TraceReader::read(t.to_bytes()).expect("parse");
+        assert_eq!(t, back);
+        if let TraceEvent::Leave { counters: Some(c), .. } = &back.events[2] {
+            assert_eq!(c.get(PapiCounter::TotIns), 123.0);
+        } else {
+            panic!("expected leave with counters");
+        }
+    }
+
+    #[test]
+    fn chronological_order_enforced() {
+        let mut w = TraceWriter::new();
+        let r = w.define_region("x");
+        w.enter(r, 100);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            w.enter(r, 50);
+        }));
+        assert!(result.is_err(), "backwards timestamp must panic");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample_trace(false).to_bytes().to_vec();
+        bytes[0] ^= 0xFF;
+        assert_eq!(TraceReader::read(Bytes::from(bytes)), Err(TraceError::BadMagic));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let bytes = sample_trace(true).to_bytes();
+        let cut = bytes.slice(0..bytes.len() - 5);
+        assert_eq!(TraceReader::read(cut), Err(TraceError::Truncated));
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let t = TraceWriter::new().finish();
+        let back = TraceReader::read(t.to_bytes()).expect("parse");
+        assert!(back.events.is_empty());
+        assert!(back.registry.is_empty());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(format!("{}", TraceError::BadVersion(9)).contains('9'));
+        assert!(format!("{}", TraceError::BadTag(7)).contains('7'));
+    }
+}

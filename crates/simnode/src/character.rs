@@ -1,0 +1,322 @@
+//! Frequency-invariant workload characterisation.
+//!
+//! The paper observes (Section IV-B) that "the values of the selected
+//! counters depend only on the application characteristics and not on the
+//! frequencies". [`RegionCharacter`] captures exactly those application
+//! characteristics for one code region: how many instructions one phase
+//! iteration retires, the instruction mix, cache behaviour, DRAM traffic,
+//! and scalability. Everything the simulator produces — execution time at a
+//! given (threads, CF, UCF) configuration, PAPI counter values, power draw
+//! — derives from these numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// Characterisation of one region's work per phase iteration.
+///
+/// Use [`RegionCharacter::builder`] to construct instances; the builder
+/// validates that fractions are sane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionCharacter {
+    /// Instructions retired per phase iteration (aggregate over all
+    /// threads, i.e. fixed total work).
+    pub instr_per_iter: f64,
+    /// Fraction of instructions that are loads.
+    pub frac_load: f64,
+    /// Fraction of instructions that are stores.
+    pub frac_store: f64,
+    /// Fraction of instructions that are branches.
+    pub frac_branch: f64,
+    /// Fraction of instructions that are floating-point operations.
+    pub frac_fp: f64,
+    /// Fraction of FP instructions that are vector (AVX) operations.
+    pub frac_vec: f64,
+    /// Conditional-branch misprediction rate (mispredicted / conditional).
+    pub branch_misp_rate: f64,
+    /// Fraction of conditional branches not taken.
+    pub branch_ntk_frac: f64,
+    /// L1 data-cache misses per instruction.
+    pub l1d_miss_per_instr: f64,
+    /// L2 data-cache reads per instruction (≈ L1D misses that read L2).
+    pub l2_dcr_per_instr: f64,
+    /// L2 instruction-cache reads per instruction.
+    pub l2_icr_per_instr: f64,
+    /// L2 misses per instruction (traffic that reaches L3).
+    pub l2_miss_per_instr: f64,
+    /// Bytes of DRAM traffic per phase iteration (reads + writes).
+    pub dram_bytes_per_iter: f64,
+    /// Peak retire rate in instructions per cycle per core when not
+    /// memory-stalled.
+    pub ipc_base: f64,
+    /// Fraction of cycles stalled on any resource at the calibration
+    /// configuration (drives `PAPI_RES_STL`).
+    pub stall_frac: f64,
+    /// Amdahl parallel fraction of the region.
+    pub parallel_fraction: f64,
+    /// Compute/memory overlap factor in `[0, 1]`: 1.0 means perfect
+    /// overlap (`T = max(T_comp, T_mem)`), 0.0 means fully serialised
+    /// (`T = T_comp + T_mem`).
+    pub overlap: f64,
+    /// Sensitivity to memory-controller queueing contention, scaling the
+    /// platform's queue factor. Regular streaming codes (~0.5) tolerate
+    /// many threads; irregular sparse codes like AMG (~3.0) suffer
+    /// row-buffer conflicts and collapse earlier. Default 1.0.
+    pub mem_queue_sensitivity: f64,
+}
+
+impl RegionCharacter {
+    /// Start building a character for a region retiring
+    /// `instr_per_iter` instructions per phase iteration.
+    pub fn builder(instr_per_iter: f64) -> RegionCharacterBuilder {
+        RegionCharacterBuilder::new(instr_per_iter)
+    }
+
+    /// Operational intensity in instructions per DRAM byte. High values ⇒
+    /// compute bound, low values ⇒ memory bound.
+    pub fn intensity(&self) -> f64 {
+        if self.dram_bytes_per_iter <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.instr_per_iter / self.dram_bytes_per_iter
+        }
+    }
+
+    /// Validate all invariants; used by the builder and by property tests.
+    pub fn validate(&self) -> Result<(), String> {
+        let frac = |name: &str, v: f64| -> Result<(), String> {
+            if !(0.0..=1.0).contains(&v) {
+                Err(format!("{name} = {v} outside [0, 1]"))
+            } else {
+                Ok(())
+            }
+        };
+        if self.instr_per_iter <= 0.0 {
+            return Err("instr_per_iter must be positive".into());
+        }
+        frac("frac_load", self.frac_load)?;
+        frac("frac_store", self.frac_store)?;
+        frac("frac_branch", self.frac_branch)?;
+        frac("frac_fp", self.frac_fp)?;
+        frac("frac_vec", self.frac_vec)?;
+        if self.frac_load + self.frac_store + self.frac_branch + self.frac_fp > 1.0 + 1e-9 {
+            return Err("instruction mix fractions exceed 1.0".into());
+        }
+        frac("branch_misp_rate", self.branch_misp_rate)?;
+        frac("branch_ntk_frac", self.branch_ntk_frac)?;
+        frac("stall_frac", self.stall_frac)?;
+        frac("parallel_fraction", self.parallel_fraction)?;
+        frac("overlap", self.overlap)?;
+        for (name, v) in [
+            ("l1d_miss_per_instr", self.l1d_miss_per_instr),
+            ("l2_dcr_per_instr", self.l2_dcr_per_instr),
+            ("l2_icr_per_instr", self.l2_icr_per_instr),
+            ("l2_miss_per_instr", self.l2_miss_per_instr),
+            ("dram_bytes_per_iter", self.dram_bytes_per_iter),
+        ] {
+            if v < 0.0 {
+                return Err(format!("{name} must be non-negative"));
+            }
+        }
+        if self.ipc_base <= 0.0 || self.ipc_base > 8.0 {
+            return Err(format!("ipc_base = {} implausible", self.ipc_base));
+        }
+        if !(0.0..=10.0).contains(&self.mem_queue_sensitivity) {
+            return Err(format!(
+                "mem_queue_sensitivity = {} outside [0, 10]",
+                self.mem_queue_sensitivity
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`RegionCharacter`] with plausible defaults for a mixed
+/// compute kernel.
+#[derive(Debug, Clone)]
+pub struct RegionCharacterBuilder {
+    c: RegionCharacter,
+}
+
+impl RegionCharacterBuilder {
+    fn new(instr_per_iter: f64) -> Self {
+        Self {
+            c: RegionCharacter {
+                instr_per_iter,
+                frac_load: 0.25,
+                frac_store: 0.10,
+                frac_branch: 0.12,
+                frac_fp: 0.30,
+                frac_vec: 0.50,
+                branch_misp_rate: 0.02,
+                branch_ntk_frac: 0.40,
+                l1d_miss_per_instr: 0.010,
+                l2_dcr_per_instr: 0.008,
+                l2_icr_per_instr: 0.0005,
+                l2_miss_per_instr: 0.003,
+                dram_bytes_per_iter: 0.0,
+                ipc_base: 2.0,
+                stall_frac: 0.2,
+                parallel_fraction: 0.99,
+                overlap: 0.8,
+                mem_queue_sensitivity: 1.0,
+            },
+        }
+    }
+
+    /// Set the instruction mix (loads, stores, branches, fp) in one call.
+    pub fn mix(mut self, load: f64, store: f64, branch: f64, fp: f64) -> Self {
+        self.c.frac_load = load;
+        self.c.frac_store = store;
+        self.c.frac_branch = branch;
+        self.c.frac_fp = fp;
+        self
+    }
+
+    /// Fraction of FP work that is vectorised.
+    pub fn vectorised(mut self, frac: f64) -> Self {
+        self.c.frac_vec = frac;
+        self
+    }
+
+    /// Branch behaviour: misprediction rate and not-taken fraction.
+    pub fn branches(mut self, misp_rate: f64, ntk_frac: f64) -> Self {
+        self.c.branch_misp_rate = misp_rate;
+        self.c.branch_ntk_frac = ntk_frac;
+        self
+    }
+
+    /// Cache rates per instruction: L1D miss, L2 data read, L2 instruction
+    /// read, L2 miss.
+    pub fn cache(mut self, l1d_miss: f64, l2_dcr: f64, l2_icr: f64, l2_miss: f64) -> Self {
+        self.c.l1d_miss_per_instr = l1d_miss;
+        self.c.l2_dcr_per_instr = l2_dcr;
+        self.c.l2_icr_per_instr = l2_icr;
+        self.c.l2_miss_per_instr = l2_miss;
+        self
+    }
+
+    /// DRAM traffic per phase iteration in bytes.
+    pub fn dram_bytes(mut self, bytes: f64) -> Self {
+        self.c.dram_bytes_per_iter = bytes;
+        self
+    }
+
+    /// Peak IPC per core.
+    pub fn ipc(mut self, ipc: f64) -> Self {
+        self.c.ipc_base = ipc;
+        self
+    }
+
+    /// Stall fraction at the calibration configuration.
+    pub fn stalls(mut self, frac: f64) -> Self {
+        self.c.stall_frac = frac;
+        self
+    }
+
+    /// Amdahl parallel fraction.
+    pub fn parallel(mut self, fraction: f64) -> Self {
+        self.c.parallel_fraction = fraction;
+        self
+    }
+
+    /// Compute/memory overlap factor.
+    pub fn overlap(mut self, overlap: f64) -> Self {
+        self.c.overlap = overlap;
+        self
+    }
+
+    /// Memory-controller queueing sensitivity (see the field docs).
+    pub fn queue_sensitivity(mut self, s: f64) -> Self {
+        self.c.mem_queue_sensitivity = s;
+        self
+    }
+
+    /// Validate and build.
+    ///
+    /// # Panics
+    /// Panics with the validation message if any invariant is violated —
+    /// characters are static workload descriptions, so this is a
+    /// programming error, not a runtime condition.
+    pub fn build(self) -> RegionCharacter {
+        if let Err(e) = self.c.validate() {
+            panic!("invalid RegionCharacter: {e}");
+        }
+        self.c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_valid() {
+        let c = RegionCharacter::builder(1e9).build();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.instr_per_iter, 1e9);
+    }
+
+    #[test]
+    fn intensity_classifies_boundness() {
+        let compute = RegionCharacter::builder(1e10).dram_bytes(1e7).build();
+        let memory = RegionCharacter::builder(1e9).dram_bytes(1e9).build();
+        assert!(compute.intensity() > memory.intensity());
+        let pure = RegionCharacter::builder(1e9).dram_bytes(0.0).build();
+        assert!(pure.intensity().is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "instruction mix fractions exceed")]
+    fn overfull_mix_panics() {
+        let _ = RegionCharacter::builder(1e9).mix(0.5, 0.3, 0.2, 0.2).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bad_fraction_panics() {
+        let _ = RegionCharacter::builder(1e9).parallel(1.5).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_instructions_panics() {
+        let _ = RegionCharacter::builder(0.0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "implausible")]
+    fn absurd_ipc_panics() {
+        let _ = RegionCharacter::builder(1e9).ipc(20.0).build();
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let c = RegionCharacter::builder(5e9)
+            .mix(0.3, 0.1, 0.1, 0.4)
+            .vectorised(0.9)
+            .branches(0.05, 0.6)
+            .cache(0.02, 0.015, 0.001, 0.008)
+            .dram_bytes(2e9)
+            .ipc(2.5)
+            .stalls(0.5)
+            .parallel(0.97)
+            .overlap(0.6)
+            .build();
+        assert_eq!(c.frac_load, 0.3);
+        assert_eq!(c.frac_vec, 0.9);
+        assert_eq!(c.branch_misp_rate, 0.05);
+        assert_eq!(c.l2_dcr_per_instr, 0.015);
+        assert_eq!(c.dram_bytes_per_iter, 2e9);
+        assert_eq!(c.ipc_base, 2.5);
+        assert_eq!(c.stall_frac, 0.5);
+        assert_eq!(c.parallel_fraction, 0.97);
+        assert_eq!(c.overlap, 0.6);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = RegionCharacter::builder(1e9).dram_bytes(3e8).build();
+        let s = serde_json::to_string(&c).unwrap();
+        let back: RegionCharacter = serde_json::from_str(&s).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,70 @@
+//! A set of compute nodes.
+//!
+//! The paper's variability study (Figures 2–3) executes the same workload
+//! on several different compute nodes; [`Cluster`] provides seeded node
+//! collections for that experiment.
+
+use crate::node::Node;
+
+/// A collection of simulated nodes with distinct variability factors.
+#[derive(Debug)]
+pub struct Cluster {
+    nodes: Vec<Node>,
+}
+
+impl Cluster {
+    /// Create `count` nodes seeded from `seed`.
+    pub fn new(count: u32, seed: u64) -> Self {
+        Self { nodes: (0..count).map(|id| Node::new(id, seed)).collect() }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Access a node by index.
+    pub fn node(&self, idx: usize) -> &Node {
+        &self.nodes[idx]
+    }
+
+    /// Iterate over all nodes.
+    pub fn iter(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_requested_nodes() {
+        let c = Cluster::new(4, 7);
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+        assert_eq!(c.node(2).id(), 2);
+        assert_eq!(c.iter().count(), 4);
+    }
+
+    #[test]
+    fn reproducible_for_seed() {
+        let a = Cluster::new(3, 11);
+        let b = Cluster::new(3, 11);
+        for (na, nb) in a.iter().zip(b.iter()) {
+            assert_eq!(na.variability(), nb.variability());
+        }
+    }
+
+    #[test]
+    fn nodes_vary_across_cluster() {
+        let c = Cluster::new(6, 5);
+        let vs: Vec<f64> = c.iter().map(Node::variability).collect();
+        assert!(vs.windows(2).any(|w| w[0] != w[1]), "no variability: {vs:?}");
+    }
+}

@@ -1,0 +1,183 @@
+//! A compute node instance.
+//!
+//! Binds together topology, power model, the MSR bank and — crucially for
+//! Figures 2–3 of the paper — this node's manufacturing *power variability*
+//! factor. "The actual energy values of the application depend upon the
+//! compute node where the application is being executed" (Section IV-B);
+//! normalising by the energy at the calibration frequencies removes the
+//! factor, which is the motivation for training on normalised energy.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+
+use crate::config::SystemConfig;
+use crate::msr::MsrBank;
+use crate::power::{ActivityFactors, PowerBreakdown, PowerModel};
+use crate::topology::Topology;
+
+/// Relative std-dev of node-to-node power variability (~±2.5 %, the spread
+/// visible across "runs" in Fig. 2a).
+pub const VARIABILITY_SD: f64 = 0.025;
+
+/// One simulated compute node.
+#[derive(Debug)]
+pub struct Node {
+    id: u32,
+    topo: Topology,
+    power_model: PowerModel,
+    variability: f64,
+    counter_noise_sd: f64,
+    msr: MsrBank,
+    rng: Mutex<StdRng>,
+}
+
+impl Node {
+    /// A node with variability sampled from `N(1, VARIABILITY_SD)` using
+    /// `seed`, and mild PMU measurement noise. Two nodes with the same
+    /// `(id, seed)` behave identically.
+    pub fn new(id: u32, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let variability = Normal::new(1.0, VARIABILITY_SD)
+            .expect("valid normal")
+            .sample(&mut rng)
+            .clamp(0.9, 1.1);
+        Self {
+            id,
+            topo: Topology::taurus_haswell(),
+            power_model: PowerModel::haswell_ep(),
+            variability,
+            counter_noise_sd: 0.002,
+            msr: MsrBank::new(Topology::taurus_haswell()),
+            rng: Mutex::new(rng),
+        }
+    }
+
+    /// A noiseless, variability-free node (unit factor) — the "golden"
+    /// node used for model calibration and deterministic tests.
+    pub fn exact(id: u32) -> Self {
+        let mut n = Self::new(id, 0);
+        n.variability = 1.0;
+        n.counter_noise_sd = 0.0;
+        n
+    }
+
+    /// Override the variability factor (for controlled experiments).
+    pub fn with_variability(mut self, factor: f64) -> Self {
+        self.variability = factor;
+        self
+    }
+
+    /// Override the counter measurement noise.
+    pub fn with_counter_noise(mut self, sd: f64) -> Self {
+        self.counter_noise_sd = sd;
+        self
+    }
+
+    /// Node identifier.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Topology of this node.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// This node's power variability factor.
+    pub fn variability(&self) -> f64 {
+        self.variability
+    }
+
+    /// PMU measurement noise standard deviation.
+    pub fn counter_noise_sd(&self) -> f64 {
+        self.counter_noise_sd
+    }
+
+    /// The node's MSR bank (frequency control registers).
+    pub fn msr(&self) -> &MsrBank {
+        &self.msr
+    }
+
+    /// Evaluate the power model for this node.
+    pub fn power(&self, cfg: &SystemConfig, act: &ActivityFactors) -> PowerBreakdown {
+        self.power_model.power(&self.topo, cfg, act, self.variability)
+    }
+
+    /// Apply a frequency configuration through the MSR bank, returning the
+    /// transition latency incurred (core and uncore transitions overlap, so
+    /// the cost is their maximum; thread-count changes are handled by the
+    /// OpenMP runtime, not MSRs).
+    pub fn apply_frequencies(&self, cfg: &SystemConfig) -> f64 {
+        let c = self.msr.set_all_core_mhz(cfg.core.mhz());
+        let u = self.msr.set_all_uncore_mhz(cfg.uncore.mhz());
+        c.max(u)
+    }
+
+    /// Frequencies currently programmed in the MSRs (threads are not a
+    /// hardware property; the returned config carries the requested thread
+    /// count of the caller's choosing via `with_threads`).
+    pub fn programmed_frequencies(&self) -> (u32, u32) {
+        (self.msr.core_mhz(), self.msr.uncore_mhz())
+    }
+
+    /// Run a closure with this node's RNG (counter noise etc.).
+    pub fn with_rng<T>(&self, f: impl FnOnce(&mut StdRng) -> T) -> T {
+        f(&mut self.rng.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_node_is_unit_variability() {
+        let n = Node::exact(3);
+        assert_eq!(n.variability(), 1.0);
+        assert_eq!(n.counter_noise_sd(), 0.0);
+        assert_eq!(n.id(), 3);
+    }
+
+    #[test]
+    fn seeded_nodes_reproduce() {
+        let a = Node::new(1, 42);
+        let b = Node::new(1, 42);
+        assert_eq!(a.variability(), b.variability());
+    }
+
+    #[test]
+    fn different_nodes_differ_in_variability() {
+        let factors: Vec<f64> = (0..8).map(|id| Node::new(id, 42).variability()).collect();
+        let distinct = factors.windows(2).any(|w| w[0] != w[1]);
+        assert!(distinct, "all nodes identical: {factors:?}");
+        for f in factors {
+            assert!((0.9..=1.1).contains(&f));
+        }
+    }
+
+    #[test]
+    fn apply_frequencies_programs_msrs() {
+        let n = Node::exact(0);
+        let cfg = SystemConfig::new(24, 1600, 2300);
+        let latency = n.apply_frequencies(&cfg);
+        assert_eq!(n.programmed_frequencies(), (1600, 2300));
+        assert!((latency - 21e-6).abs() < 1e-12, "latency = max(21µs, 20µs)");
+    }
+
+    #[test]
+    fn power_uses_variability() {
+        use crate::power::ActivityFactors;
+        let act = ActivityFactors {
+            core_util: 1.0,
+            mem_bw_gbs: 10.0,
+            active_threads: 24,
+            uncore_util: 0.5,
+        };
+        let cfg = SystemConfig::taurus_default();
+        let hot = Node::exact(0).with_variability(1.05);
+        let cold = Node::exact(0).with_variability(0.95);
+        assert!(hot.power(&cfg, &act).node_w() > cold.power(&cfg, &act).node_w());
+    }
+}

@@ -1,0 +1,277 @@
+//! Component power model.
+//!
+//! Node power is decomposed the way the paper's instrumentation sees it:
+//!
+//! * **core domain** — dynamic power `Σ_active c_dyn · f_c · V(f_c)²`
+//!   scaled by compute activity, plus per-core leakage `c_stat · V(f_c)`
+//!   (voltage-dependent static power is why DVFS also cuts leakage),
+//! * **uncore domain** — per-socket L3/ring dynamic power
+//!   `u_dyn · f_u · V_u(f_u)²` scaled by memory activity, plus leakage;
+//!   this is the component UFS trades against memory bandwidth,
+//! * **DRAM** — idle refresh plus a per-GB/s term,
+//! * **blade** — board, fans, NIC, VRs: constant. Included in HDEEM "node"
+//!   energy (and SLURM job energy) but *not* in RAPL CPU energy, which is
+//!   why the paper's CPU-energy savings percentages exceed the job-energy
+//!   ones (Table VI).
+//!
+//! Per-node manufacturing variability multiplies the leakage-ish terms —
+//! the effect that makes raw energy curves node-dependent (Fig. 2a/3a)
+//! until normalisation removes it (Fig. 2b/3b).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::SystemConfig;
+use crate::topology::Topology;
+use crate::volt::VoltageCurve;
+
+/// Utilisation inputs to the power model, produced by the execution engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActivityFactors {
+    /// Fraction of wall time the active cores spend retiring compute (vs
+    /// stalled on memory): dampens core dynamic power for memory-bound
+    /// phases.
+    pub core_util: f64,
+    /// Achieved DRAM bandwidth in GB/s.
+    pub mem_bw_gbs: f64,
+    /// Threads actually running.
+    pub active_threads: u32,
+    /// Fraction of peak uncore (L3/ring) activity, driven by cache traffic.
+    pub uncore_util: f64,
+}
+
+/// Static + dynamic power decomposition in watts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Core-domain power (both sockets), W.
+    pub core_w: f64,
+    /// Uncore-domain power (both sockets), W.
+    pub uncore_w: f64,
+    /// DRAM power, W.
+    pub dram_w: f64,
+    /// Blade/board constant power, W.
+    pub blade_w: f64,
+}
+
+impl PowerBreakdown {
+    /// Power visible to RAPL (package domains): core + uncore.
+    pub fn cpu_w(&self) -> f64 {
+        self.core_w + self.uncore_w
+    }
+
+    /// Power visible to HDEEM / SLURM: the whole node.
+    pub fn node_w(&self) -> f64 {
+        self.core_w + self.uncore_w + self.dram_w + self.blade_w
+    }
+}
+
+/// Coefficients of the node power model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Core dynamic coefficient, W per (GHz · V²) per active core.
+    pub core_dyn: f64,
+    /// Core leakage coefficient, W per volt per core (all cores leak).
+    pub core_static: f64,
+    /// Idle power per inactive core, W. OpenMP runtimes spin idle threads
+    /// and unused cores only reach shallow C-states, so an inactive core
+    /// still leaks most of its static power — which keeps the *marginal*
+    /// power of activating another thread modest (dynamic + the static
+    /// delta), matching the flat thread/energy landscapes of Table V.
+    pub core_idle: f64,
+    /// Uncore dynamic coefficient, W per (GHz · V²) per socket at full
+    /// activity.
+    pub uncore_dyn: f64,
+    /// Baseline fraction of uncore dynamic power present even when idle
+    /// (clocks keep toggling).
+    pub uncore_base_activity: f64,
+    /// Uncore leakage per socket, W.
+    pub uncore_static: f64,
+    /// DRAM idle/refresh power, W.
+    pub dram_idle: f64,
+    /// DRAM power per GB/s of traffic, W/(GB/s).
+    pub dram_per_gbs: f64,
+    /// Blade constant power, W.
+    pub blade: f64,
+    /// Core-domain voltage curve.
+    pub core_volt: VoltageCurve,
+    /// Uncore-domain voltage curve.
+    pub uncore_volt: VoltageCurve,
+}
+
+impl PowerModel {
+    /// Coefficients calibrated to a dual-socket E5-2680v3 node: ~100 W
+    /// idle, ~270 W under full compute load at nominal frequency.
+    pub fn haswell_ep() -> Self {
+        Self {
+            core_dyn: 1.05,
+            core_static: 1.1,
+            core_idle: 0.35,
+            uncore_dyn: 5.0,
+            uncore_base_activity: 0.35,
+            uncore_static: 5.0,
+            dram_idle: 6.0,
+            dram_per_gbs: 0.35,
+            blade: 72.0,
+            core_volt: VoltageCurve::haswell_core(),
+            uncore_volt: VoltageCurve::haswell_uncore(),
+        }
+    }
+
+    /// Evaluate the model.
+    ///
+    /// `variability` is the per-node manufacturing factor (≈ N(1, 0.025));
+    /// it multiplies leakage, idle and blade terms and, weakly, the dynamic
+    /// terms (binning affects effective capacitance too).
+    pub fn power(
+        &self,
+        topo: &Topology,
+        cfg: &SystemConfig,
+        act: &ActivityFactors,
+        variability: f64,
+    ) -> PowerBreakdown {
+        let threads = act.active_threads.min(topo.max_threads());
+        let v_core = self.core_volt.volts(cfg.core.mhz());
+        let f_core_ghz = cfg.core.ghz();
+
+        // Active cores: dynamic power proportional to utilisation, with a
+        // floor — a stalled core still clocks and speculates.
+        let util = 0.35 + 0.65 * act.core_util.clamp(0.0, 1.0);
+        let dyn_per_core = self.core_dyn * f_core_ghz * v_core * v_core * util;
+        let idle_cores = (topo.total_cores() - threads) as f64;
+        let core_w = threads as f64 * (dyn_per_core + self.core_static * v_core * variability)
+            + idle_cores * self.core_idle * variability;
+
+        // Uncore: both sockets always powered; activity follows cache/DRAM
+        // traffic on the sockets that host threads.
+        let v_unc = self.uncore_volt.volts(cfg.uncore.mhz());
+        let f_unc_ghz = cfg.uncore.ghz();
+        let active_sockets = topo.active_sockets(threads) as f64;
+        let idle_sockets = topo.sockets as f64 - active_sockets;
+        let unc_act =
+            (self.uncore_base_activity + (1.0 - self.uncore_base_activity) * act.uncore_util)
+                .clamp(0.0, 1.0);
+        let unc_dyn_active = self.uncore_dyn * f_unc_ghz * v_unc * v_unc * unc_act;
+        let unc_dyn_idle = self.uncore_dyn * f_unc_ghz * v_unc * v_unc * self.uncore_base_activity;
+        let uncore_w = active_sockets * unc_dyn_active
+            + idle_sockets * unc_dyn_idle
+            + topo.sockets as f64 * self.uncore_static * v_unc * variability;
+
+        let dram_w = self.dram_idle * variability + self.dram_per_gbs * act.mem_bw_gbs;
+        let blade_w = self.blade * variability;
+
+        PowerBreakdown { core_w, uncore_w, dram_w, blade_w }
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::haswell_ep()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_load() -> ActivityFactors {
+        ActivityFactors { core_util: 1.0, mem_bw_gbs: 20.0, active_threads: 24, uncore_util: 0.5 }
+    }
+
+    fn model() -> PowerModel {
+        PowerModel::haswell_ep()
+    }
+
+    #[test]
+    fn node_power_in_plausible_range() {
+        let p = model().power(
+            &Topology::taurus_haswell(),
+            &SystemConfig::taurus_default(),
+            &full_load(),
+            1.0,
+        );
+        let node = p.node_w();
+        assert!((150.0..400.0).contains(&node), "node power {node} W");
+        assert!(p.cpu_w() < node);
+        assert!(p.blade_w > 0.0);
+    }
+
+    #[test]
+    fn core_power_rises_superlinearly_with_frequency() {
+        let m = model();
+        let topo = Topology::taurus_haswell();
+        let lo = m.power(&topo, &SystemConfig::new(24, 1200, 2000), &full_load(), 1.0);
+        let hi = m.power(&topo, &SystemConfig::new(24, 2400, 2000), &full_load(), 1.0);
+        let ratio = hi.core_w / lo.core_w;
+        assert!(ratio > 2.0, "core power ratio {ratio} for 2x frequency");
+    }
+
+    #[test]
+    fn uncore_power_scales_with_uncore_frequency_only() {
+        let m = model();
+        let topo = Topology::taurus_haswell();
+        let lo = m.power(&topo, &SystemConfig::new(24, 2000, 1300), &full_load(), 1.0);
+        let hi = m.power(&topo, &SystemConfig::new(24, 2000, 3000), &full_load(), 1.0);
+        assert!(hi.uncore_w > lo.uncore_w * 2.0);
+        assert_eq!(hi.core_w, lo.core_w, "core power must not depend on UCF");
+    }
+
+    #[test]
+    fn fewer_threads_draw_less_core_power() {
+        let m = model();
+        let topo = Topology::taurus_haswell();
+        let t24 = m.power(&topo, &SystemConfig::taurus_default(), &full_load(), 1.0);
+        let mut act = full_load();
+        act.active_threads = 12;
+        let t12 = m.power(&topo, &SystemConfig::taurus_default(), &act, 1.0);
+        assert!(t12.core_w < t24.core_w);
+    }
+
+    #[test]
+    fn memory_bound_core_activity_dampens_power() {
+        let m = model();
+        let topo = Topology::taurus_haswell();
+        let mut stalled = full_load();
+        stalled.core_util = 0.1;
+        let busy = m.power(&topo, &SystemConfig::taurus_default(), &full_load(), 1.0);
+        let idle = m.power(&topo, &SystemConfig::taurus_default(), &stalled, 1.0);
+        assert!(idle.core_w < busy.core_w);
+        // but not to zero: stalled cores still burn a floor.
+        assert!(idle.core_w > 0.4 * busy.core_w);
+    }
+
+    #[test]
+    fn variability_shifts_node_power() {
+        let m = model();
+        let topo = Topology::taurus_haswell();
+        let cfg = SystemConfig::taurus_default();
+        let nominal = m.power(&topo, &cfg, &full_load(), 1.0).node_w();
+        let hot = m.power(&topo, &cfg, &full_load(), 1.05).node_w();
+        let cold = m.power(&topo, &cfg, &full_load(), 0.95).node_w();
+        assert!(hot > nominal && nominal > cold);
+        // The shift is a few percent, matching Fig. 2a's spread.
+        assert!((hot - nominal) / nominal < 0.05);
+    }
+
+    #[test]
+    fn dram_power_tracks_bandwidth() {
+        let m = model();
+        let topo = Topology::taurus_haswell();
+        let cfg = SystemConfig::taurus_default();
+        let mut act = full_load();
+        act.mem_bw_gbs = 0.0;
+        let quiet = m.power(&topo, &cfg, &act, 1.0);
+        act.mem_bw_gbs = 60.0;
+        let streaming = m.power(&topo, &cfg, &act, 1.0);
+        assert!(streaming.dram_w > quiet.dram_w + 15.0);
+    }
+
+    #[test]
+    fn cpu_plus_rest_equals_node() {
+        let p = model().power(
+            &Topology::taurus_haswell(),
+            &SystemConfig::taurus_default(),
+            &full_load(),
+            1.0,
+        );
+        assert!((p.cpu_w() + p.dram_w + p.blade_w - p.node_w()).abs() < 1e-12);
+    }
+}

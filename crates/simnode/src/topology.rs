@@ -1,0 +1,94 @@
+//! Node topology.
+
+use serde::{Deserialize, Serialize};
+
+/// Static topology of a compute node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Number of CPU sockets.
+    pub sockets: u32,
+    /// Physical cores per socket.
+    pub cores_per_socket: u32,
+    /// Whether SMT is enabled (disabled on the paper's platform).
+    pub hyperthreading: bool,
+    /// Whether Turbo Boost is enabled (disabled on the paper's platform).
+    pub turbo: bool,
+    /// Main memory per node in GiB.
+    pub memory_gib: u32,
+}
+
+impl Topology {
+    /// The Taurus `haswell` partition node: 2 × Intel Xeon E5-2680v3
+    /// (12 cores each), 64 GiB, HT and Turbo disabled (Section V-A).
+    pub fn taurus_haswell() -> Self {
+        Self {
+            sockets: 2,
+            cores_per_socket: 12,
+            hyperthreading: false,
+            turbo: false,
+            memory_gib: 64,
+        }
+    }
+
+    /// Total physical cores.
+    pub fn total_cores(&self) -> u32 {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Maximum schedulable hardware threads.
+    pub fn max_threads(&self) -> u32 {
+        if self.hyperthreading {
+            self.total_cores() * 2
+        } else {
+            self.total_cores()
+        }
+    }
+
+    /// How many sockets are active when `threads` threads run with compact
+    /// placement (fill socket 0 first, as OpenMP default pinning does).
+    pub fn active_sockets(&self, threads: u32) -> u32 {
+        if threads == 0 {
+            0
+        } else {
+            threads.div_ceil(self.cores_per_socket).min(self.sockets)
+        }
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::taurus_haswell()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taurus_node_shape() {
+        let t = Topology::taurus_haswell();
+        assert_eq!(t.total_cores(), 24);
+        assert_eq!(t.max_threads(), 24);
+        assert!(!t.hyperthreading);
+        assert!(!t.turbo);
+    }
+
+    #[test]
+    fn active_sockets_compact_placement() {
+        let t = Topology::taurus_haswell();
+        assert_eq!(t.active_sockets(0), 0);
+        assert_eq!(t.active_sockets(1), 1);
+        assert_eq!(t.active_sockets(12), 1);
+        assert_eq!(t.active_sockets(13), 2);
+        assert_eq!(t.active_sockets(24), 2);
+        assert_eq!(t.active_sockets(200), 2);
+    }
+
+    #[test]
+    fn hyperthreading_doubles_threads() {
+        let mut t = Topology::taurus_haswell();
+        t.hyperthreading = true;
+        assert_eq!(t.max_threads(), 48);
+    }
+}

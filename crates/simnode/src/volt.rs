@@ -1,0 +1,95 @@
+//! Voltage/frequency operating points.
+//!
+//! DVFS saves energy because voltage scales (roughly linearly, within one
+//! P-state table) with frequency and dynamic power goes as `C·V²·f`. The
+//! curves below approximate the Xeon E5-2680v3 operating points: ~0.70 V at
+//! the 1.2 GHz floor rising to ~1.05 V at the 2.5 GHz nominal ceiling. The
+//! uncore domain runs a slightly flatter curve of its own (Haswell moved
+//! the uncore onto a separate voltage rail, which is what makes independent
+//! UFS worthwhile — Hackenberg et al. 2015).
+
+use serde::{Deserialize, Serialize};
+
+/// A linear voltage/frequency curve `V(f) = v_at_min + slope·(f − f_min)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VoltageCurve {
+    /// Frequency at which `v_at_min` applies, in MHz.
+    pub f_min_mhz: u32,
+    /// Voltage at `f_min_mhz`, in volts.
+    pub v_at_min: f64,
+    /// Volts per MHz above `f_min_mhz`.
+    pub slope_v_per_mhz: f64,
+}
+
+impl VoltageCurve {
+    /// Core-domain curve: 0.70 V @ 1.2 GHz → 1.05 V @ 2.5 GHz.
+    pub fn haswell_core() -> Self {
+        Self {
+            f_min_mhz: 1200,
+            v_at_min: 0.70,
+            slope_v_per_mhz: (1.05 - 0.70) / (2500.0 - 1200.0),
+        }
+    }
+
+    /// Uncore-domain curve: 0.75 V @ 1.3 GHz → 1.00 V @ 3.0 GHz (flatter:
+    /// the uncore is interconnect + L3, not wide OoO pipelines).
+    pub fn haswell_uncore() -> Self {
+        Self {
+            f_min_mhz: 1300,
+            v_at_min: 0.75,
+            slope_v_per_mhz: (1.00 - 0.75) / (3000.0 - 1300.0),
+        }
+    }
+
+    /// Voltage at a given frequency. Clamps below `f_min_mhz` (the rail
+    /// cannot go below its floor voltage).
+    pub fn volts(&self, f_mhz: u32) -> f64 {
+        let df = f_mhz.saturating_sub(self.f_min_mhz) as f64;
+        self.v_at_min + self.slope_v_per_mhz * df
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_curve_endpoints() {
+        let c = VoltageCurve::haswell_core();
+        assert!((c.volts(1200) - 0.70).abs() < 1e-12);
+        assert!((c.volts(2500) - 1.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncore_curve_endpoints() {
+        let c = VoltageCurve::haswell_uncore();
+        assert!((c.volts(1300) - 0.75).abs() < 1e-12);
+        assert!((c.volts(3000) - 1.00).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotonically_increasing() {
+        let c = VoltageCurve::haswell_core();
+        let mut prev = 0.0;
+        for f in (1200..=2500).step_by(100) {
+            let v = c.volts(f);
+            assert!(v > prev, "voltage not increasing at {f}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn clamps_below_floor() {
+        let c = VoltageCurve::haswell_core();
+        assert_eq!(c.volts(800), c.volts(1200));
+    }
+
+    #[test]
+    fn dynamic_power_scaling_is_superlinear() {
+        // P_dyn ∝ f·V(f)²: doubling frequency should much more than double
+        // dynamic power — the fundamental DVFS lever.
+        let c = VoltageCurve::haswell_core();
+        let p = |f: u32| f as f64 * c.volts(f).powi(2);
+        assert!(p(2400) / p(1200) > 2.5, "ratio {}", p(2400) / p(1200));
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: train the energy model and tune one application.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the paper's whole pipeline in ~5 seconds: train the 9-5-5-1
+//! network on the 14 training benchmarks, run the four-step Design-Time
+//! Analysis on Lulesh, print the generated tuning model, and hand it to
+//! the READEX Runtime Library for a dynamically-tuned production run.
+
+use dvfs_ufs_tuning::ptf::{DesignTimeAnalysis, EnergyModel};
+use dvfs_ufs_tuning::rrl::{run_static, RrlHook, Savings};
+use dvfs_ufs_tuning::scorep_lite::{InstrumentationConfig, InstrumentedApp};
+use dvfs_ufs_tuning::simnode::{Node, SystemConfig};
+
+fn main() {
+    // A compute node (seeded: the run is exactly reproducible).
+    let node = Node::new(0, 42);
+
+    // 1. Train the neural-network energy model on the training set
+    //    (Section V-B protocol: all frequency combinations, OpenMP threads
+    //    12–24 step 4, Adam, 10 epochs).
+    println!("training the energy model on 14 benchmarks…");
+    let model = EnergyModel::train_paper(&dvfs_ufs_tuning::kernels::training_set(), &node);
+
+    // 2. Design-Time Analysis on an unseen application.
+    let bench = dvfs_ufs_tuning::kernels::benchmark("Lulesh").expect("bundled benchmark");
+    let dta = DesignTimeAnalysis::new(&node, &model);
+    let report = dta.run(&bench);
+
+    println!("\n=== DTA report for {} ===", bench.name);
+    println!("significant regions: {:?}", report.config_file.region_names());
+    println!("step 1 — optimal OpenMP threads: {}", report.thread_tuning.best_threads);
+    println!(
+        "step 2 — model-predicted global frequencies: {}|{}",
+        report.predicted_global.0, report.predicted_global.1
+    );
+    println!("verified phase configuration: {}", report.phase_best);
+    println!("experiments consumed: {} phase-iteration equivalents", report.experiments);
+    println!("\ntuning model ({} scenarios):", report.tuning_model.scenario_count());
+    for s in &report.tuning_model.scenarios {
+        println!("  scenario {}: {}  <- {:?}", s.id, s.config, s.regions);
+    }
+
+    // 3. Production: default run vs dynamically-tuned RRL run.
+    let default = run_static(&bench, &node, SystemConfig::taurus_default());
+    let app = InstrumentedApp::new(&bench, &node, InstrumentationConfig::scorep_defaults());
+    let mut hook = RrlHook::new(report.tuning_model.clone());
+    let tuned = app.run(&mut hook);
+    let savings = Savings::between(
+        &default,
+        &dvfs_ufs_tuning::rrl::JobRecord::from_run(&tuned),
+    );
+    println!("\n=== production run ===");
+    println!("default: {}", default.format_sacct());
+    println!(
+        "dynamic: job {:.2}%  cpu {:.2}%  time {:.2}%  ({} switches)",
+        savings.job_energy_pct, savings.cpu_energy_pct, savings.time_pct, tuned.switches
+    );
+}

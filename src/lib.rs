@@ -1,0 +1,31 @@
+//! # dvfs-ufs-tuning — facade crate
+//!
+//! Re-exports the whole reproduction stack of *"Modelling DVFS and UFS for
+//! Region-Based Energy Aware Tuning of HPC Applications"* (Chadha & Gerndt,
+//! 2019). See the README for the architecture and DESIGN.md for the system
+//! inventory; the `examples/` directory exercises the public API end to
+//! end.
+//!
+//! The one-minute tour:
+//!
+//! ```no_run
+//! use dvfs_ufs_tuning::ptf::{DesignTimeAnalysis, EnergyModel};
+//! use dvfs_ufs_tuning::simnode::Node;
+//!
+//! let node = Node::new(0, 42);
+//! // Train the 9-5-5-1 energy model on the 14 training benchmarks.
+//! let model = EnergyModel::train_paper(&dvfs_ufs_tuning::kernels::training_set(), &node);
+//! // Run the four-step Design-Time Analysis on an unseen application.
+//! let bench = dvfs_ufs_tuning::kernels::benchmark("Lulesh").unwrap();
+//! let report = DesignTimeAnalysis::new(&node, &model).run(&bench);
+//! println!("{}", report.tuning_model.to_json());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use enermodel;
+pub use kernels;
+pub use ptf;
+pub use rrl;
+pub use scorep_lite;
+pub use simnode;
