@@ -6,11 +6,14 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use std::cell::RefCell;
+
 use enermodel::adam::{Adam, AdamConfig};
 use enermodel::nn::{EnergyNet, NetConfig};
 use enermodel::train::{train, Dataset, TrainConfig};
 use kernels::real;
-use ptf::EnergyModel;
+use ptf::experiments::ExperimentsEngine;
+use ptf::{EnergyModel, ExperimentCache, SearchSpace, TuningObjective};
 use scorep_lite::{PcpStack, TraceReader, TraceWriter};
 use simnode::papi::{CounterValues, PapiCounter};
 use simnode::{ExecutionEngine, FreqDomain, Node, RegionCharacter, SystemConfig};
@@ -21,7 +24,9 @@ fn synthetic_dataset(n: usize) -> Dataset {
     let mut groups = Vec::with_capacity(n);
     for i in 0..n {
         let f = i as f64;
-        let row: Vec<f64> = (0..9).map(|j| ((f * 0.37 + j as f64).sin() + 1.0) * 1e3).collect();
+        let row: Vec<f64> = (0..9)
+            .map(|j| ((f * 0.37 + j as f64).sin() + 1.0) * 1e3)
+            .collect();
         y.push(1.0 + 0.1 * (f * 0.11).cos());
         rows.push(row);
         groups.push(format!("g{}", i % 4));
@@ -33,7 +38,13 @@ fn synthetic_dataset(n: usize) -> Dataset {
 /// tuning step 2 for every application (Fig. 6/7).
 fn bench_nn_inference(c: &mut Criterion) {
     let data = synthetic_dataset(256);
-    let model = EnergyModel::train(&data, &TrainConfig { epochs: 2, ..Default::default() });
+    let model = EnergyModel::train(
+        &data,
+        &TrainConfig {
+            epochs: 2,
+            ..Default::default()
+        },
+    );
     let rates = [1e9, 2e9, 1e6, 1e7, 1e10, 5e8, 5e7];
     let core = FreqDomain::haswell_core();
     let uncore = FreqDomain::haswell_uncore();
@@ -47,8 +58,13 @@ fn bench_nn_training(c: &mut Criterion) {
     let data = synthetic_dataset(1000);
     c.bench_function("nn/train_epoch_1k", |b| {
         b.iter(|| {
-            let report =
-                train(&data, &TrainConfig { epochs: 1, ..Default::default() });
+            let report = train(
+                &data,
+                &TrainConfig {
+                    epochs: 1,
+                    ..Default::default()
+                },
+            );
             black_box(report.epoch_mse[0])
         })
     });
@@ -123,6 +139,38 @@ fn bench_pcp_switch(c: &mut Criterion) {
     });
 }
 
+/// Region verification with and without the batch experiment cache: the
+/// per-batch hot path behind `BatchDriver`. The cached variant re-verifies
+/// the same region × neighbourhood (a re-submitted application) and must
+/// be serviced from the memo table.
+fn bench_experiment_cache(c: &mut Criterion) {
+    let node = Node::exact(0);
+    let region = RegionCharacter::builder(2e10).dram_bytes(1.2e10).build();
+    let space = SearchSpace::neighbourhood(SystemConfig::new(24, 2400, 1700), 1, vec![24]);
+    let configs = space.configs();
+    let mut group = c.benchmark_group("cache/region_verification");
+    group.bench_function("uncached", |b| {
+        b.iter(|| {
+            let mut eng = ExperimentsEngine::new(&node);
+            black_box(eng.best_for_region(&region, &configs, TuningObjective::Energy))
+        })
+    });
+    let cache = RefCell::new(ExperimentCache::new());
+    // Warm the cache once; the measured loop is all hits.
+    ExperimentsEngine::with_cache(&node, &cache).best_for_region(
+        &region,
+        &configs,
+        TuningObjective::Energy,
+    );
+    group.bench_function("cached", |b| {
+        b.iter(|| {
+            let mut eng = ExperimentsEngine::with_cache(&node, &cache);
+            black_box(eng.best_for_region(&region, &configs, TuningObjective::Energy))
+        })
+    });
+    group.finish();
+}
+
 /// Real Rayon kernels (the host-executable demo workloads).
 fn bench_real_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("real_kernels");
@@ -155,7 +203,10 @@ fn bench_real_kernels(c: &mut Criterion) {
 /// extension documented in DESIGN.md).
 fn bench_committee_ablation(c: &mut Criterion) {
     let data = synthetic_dataset(256);
-    let cfg = TrainConfig { epochs: 2, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 2,
+        ..Default::default()
+    };
     let single = EnergyModel::train(&data, &cfg);
     let committee = EnergyModel::train_committee(&data, &cfg, 5);
     let rates = [1e9, 2e9, 1e6, 1e7, 1e10, 5e8, 5e7];
@@ -173,6 +224,7 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_nn_inference, bench_nn_training, bench_adam_step, bench_exec_engine,
-              bench_trace_io, bench_pcp_switch, bench_real_kernels, bench_committee_ablation
+              bench_trace_io, bench_pcp_switch, bench_experiment_cache, bench_real_kernels,
+              bench_committee_ablation
 }
 criterion_main!(benches);

@@ -38,16 +38,32 @@ fn bench_table1_selection(c: &mut Criterion) {
     for bench in kernels::all_benchmarks().into_iter().take(10) {
         for t in [12u32, 24] {
             let phase = bench.phase_character();
-            let run = engine.run_region(&phase, &SystemConfig::calibration().with_threads(t), &node);
-            rows.push(run.counters.scaled(1.0 / run.duration_s).as_slice().to_vec());
+            let run =
+                engine.run_region(&phase, &SystemConfig::calibration().with_threads(t), &node);
+            rows.push(
+                run.counters
+                    .scaled(1.0 / run.duration_s)
+                    .as_slice()
+                    .to_vec(),
+            );
             let probe = engine.run_region(&phase, &SystemConfig::new(t, 2500, 1300), &node);
             response.push(probe.node_energy_j / run.node_energy_j);
         }
     }
-    let names: Vec<&str> = simnode::papi::PapiCounter::all().iter().map(|c| c.name()).collect();
+    let names: Vec<&str> = simnode::papi::PapiCounter::all()
+        .iter()
+        .map(|c| c.name())
+        .collect();
     let m = enermodel::linalg::Matrix::from_rows(&rows);
     c.bench_function("table1/counter_selection_56x20", |b| {
-        b.iter(|| black_box(select_counters(&m, &names, &response, &SelectionConfig::default())))
+        b.iter(|| {
+            black_box(select_counters(
+                &m,
+                &names,
+                &response,
+                &SelectionConfig::default(),
+            ))
+        })
     });
 }
 
@@ -62,7 +78,10 @@ fn bench_fig5_training_fold(c: &mut Criterion) {
     let core: Vec<u32> = (12..=25).step_by(4).map(|r| r * 100).collect();
     let uncore: Vec<u32> = (13..=30).step_by(4).map(|r| r * 100).collect();
     let data = build_dataset(&benches, &node, &[24], &core, &uncore);
-    let cfg = TrainConfig { epochs: 5, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 5,
+        ..Default::default()
+    };
     c.bench_function("fig5/train_reduced_fold", |b| {
         b.iter(|| black_box(EnergyModel::train(&data, &cfg)))
     });
@@ -75,7 +94,12 @@ fn bench_table5_static_search(c: &mut Criterion) {
     let space = SearchSpace::full(vec![12, 16, 20, 24]);
     c.bench_function("table5/static_search_1008", |b| {
         b.iter(|| {
-            black_box(exhaustive::search_static(&bench, &node, &space, TuningObjective::Energy))
+            black_box(exhaustive::search_static(
+                &bench,
+                &node,
+                &space,
+                TuningObjective::Energy,
+            ))
         })
     });
 }
@@ -89,15 +113,17 @@ fn bench_table6_rrl_run(c: &mut Criterion) {
     let bench = kernels::benchmark("Lulesh").unwrap();
     let tm = TuningModel::new(
         "Lulesh",
-        &[("IntegrateStressForElems".into(), SystemConfig::new(24, 2400, 1600))],
+        &[(
+            "IntegrateStressForElems".into(),
+            SystemConfig::new(24, 2400, 1600),
+        )],
         SystemConfig::new(24, 2400, 1700),
     );
     let mut group = c.benchmark_group("table6");
     group.sample_size(10);
     group.bench_function("rrl_production_run", |b| {
         b.iter(|| {
-            let app =
-                InstrumentedApp::new(&bench, &node, InstrumentationConfig::scorep_defaults());
+            let app = InstrumentedApp::new(&bench, &node, InstrumentationConfig::scorep_defaults());
             let mut hook = RrlHook::new(tm.clone());
             black_box(app.run(&mut hook))
         })

@@ -1,0 +1,5 @@
+//! Regenerates the batch-driver cache report; see
+//! `bench_suite::experiments::batch_cache`.
+fn main() {
+    print!("{}", bench_suite::experiments::batch_cache());
+}

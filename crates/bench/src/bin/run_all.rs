@@ -18,6 +18,7 @@ fn main() {
         ex::table5_static_config(),
         ex::table6_static_vs_dynamic(),
         ex::tuning_time(),
+        ex::batch_cache(),
     ] {
         print!("{section}");
     }

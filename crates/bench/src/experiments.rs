@@ -14,8 +14,8 @@ use enermodel::train::TrainConfig;
 use enermodel::{loocv_mape, mape};
 use kernels::BenchmarkSpec;
 use ptf::{
-    build_dataset, exhaustive, phase_counter_rates, DesignTimeAnalysis, EnergyModel, SearchSpace,
-    TuningObjective,
+    build_dataset, exhaustive, phase_counter_rates, BatchDriver, EnergyModel, SearchSpace,
+    TuningObjective, TuningSession,
 };
 use rrl::compare_static_dynamic;
 use simnode::papi::PapiCounter;
@@ -48,11 +48,7 @@ pub fn fig3_uncore_sweep() -> String {
     )
 }
 
-fn sweep_report(
-    title: &str,
-    cfg_of: impl Fn(u32) -> SystemConfig,
-    domain: FreqDomain,
-) -> String {
+fn sweep_report(title: &str, cfg_of: impl Fn(u32) -> SystemConfig, domain: FreqDomain) -> String {
     let bench = kernels::benchmark("Lulesh").expect("Lulesh exists");
     let phase = bench.phase_character();
     let engine = ExecutionEngine::new();
@@ -123,8 +119,11 @@ pub fn table1_counter_selection() -> String {
     let mut rows: Vec<Vec<f64>> = Vec::new();
     let mut response = Vec::new();
     for bench in &benches {
-        let threads: &[u32] =
-            if bench.model.tunable_threads() { &[12, 16, 20, 24] } else { &[24] };
+        let threads: &[u32] = if bench.model.tunable_threads() {
+            &[12, 16, 20, 24]
+        } else {
+            &[24]
+        };
         for &t in threads {
             let calib = SystemConfig::calibration().with_threads(t);
             let phase = bench.phase_character();
@@ -143,13 +142,25 @@ pub fn table1_counter_selection() -> String {
     let result = select_counters(&candidates, &names, &response, &SelectionConfig::default());
 
     let mut out = String::new();
-    let _ = writeln!(out, "## Table I — selected performance counters ({} workload/thread observations)\n", rows.len());
+    let _ = writeln!(
+        out,
+        "## Table I — selected performance counters ({} workload/thread observations)\n",
+        rows.len()
+    );
     let _ = writeln!(out, "{:<16} {:>10}", "Counter", "VIF");
     for (name, vif) in result.names.iter().zip(&result.vifs) {
         let _ = writeln!(out, "{:<16} {:>10.3}", name, vif);
     }
-    let _ = writeln!(out, "\nmean VIF: {:.3} (paper requires < 10; Table I range 1.07–3.07)", result.mean_vif);
-    let _ = writeln!(out, "adjusted R² of the selection: {:.4}", result.adj_r_squared);
+    let _ = writeln!(
+        out,
+        "\nmean VIF: {:.3} (paper requires < 10; Table I range 1.07–3.07)",
+        result.mean_vif
+    );
+    let _ = writeln!(
+        out,
+        "adjusted R² of the selection: {:.4}",
+        result.adj_r_squared
+    );
     let _ = writeln!(
         out,
         "paper's selected set: PAPI_BR_NTK, PAPI_LD_INS, PAPI_L2_ICR, PAPI_BR_MSP, PAPI_RES_STL, PAPI_SR_INS, PAPI_L2_DCR"
@@ -158,7 +169,9 @@ pub fn table1_counter_selection() -> String {
         .names
         .iter()
         .filter(|n| {
-            PapiCounter::paper_selected().iter().any(|c| c.name() == n.as_str())
+            PapiCounter::paper_selected()
+                .iter()
+                .any(|c| c.name() == n.as_str())
         })
         .count();
     let _ = writeln!(out, "overlap with the paper's set: {overlap}/7\n");
@@ -174,14 +187,28 @@ pub fn fig5_loocv_mape() -> String {
     let data = build_dataset(&benches, &node, &[12, 16, 20, 24], &core, &uncore);
 
     // LOOCV with 5 epochs (Section V-B).
-    let cfg = TrainConfig { epochs: 5, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        epochs: 5,
+        ..TrainConfig::default()
+    };
     let report = loocv_mape(&data, &cfg);
 
     let mut out = String::new();
-    let _ = writeln!(out, "## Fig. 5 — LOOCV mean absolute percentage error per benchmark\n");
-    let _ = writeln!(out, "{:<14} {:>8}  {:>8}", "benchmark", "MAPE[%]", "samples");
+    let _ = writeln!(
+        out,
+        "## Fig. 5 — LOOCV mean absolute percentage error per benchmark\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>8}  {:>8}",
+        "benchmark", "MAPE[%]", "samples"
+    );
     for fold in &report.folds {
-        let _ = writeln!(out, "{:<14} {:>8.2}  {:>8}", fold.group, fold.mape, fold.samples);
+        let _ = writeln!(
+            out,
+            "{:<14} {:>8.2}  {:>8}",
+            fold.group, fold.mape, fold.samples
+        );
     }
     let _ = writeln!(
         out,
@@ -190,7 +217,11 @@ pub fn fig5_loocv_mape() -> String {
     );
     let best = report.best().expect("folds");
     let worst = report.worst().expect("folds");
-    let _ = writeln!(out, "best: {} {:.2}%   worst: {} {:.2}%", best.group, best.mape, worst.group, worst.mape);
+    let _ = writeln!(
+        out,
+        "best: {} {:.2}%   worst: {} {:.2}%",
+        best.group, best.mape, worst.group, worst.mape
+    );
 
     // Regression baseline, 10-fold CV with random indexing (paper: 7.54).
     let baseline = kfold_mape(&data, 10, 0xCAFE);
@@ -202,7 +233,11 @@ pub fn fig5_loocv_mape() -> String {
     let _ = writeln!(
         out,
         "network beats regression: {}\n",
-        if report.mean_mape() < baseline { "YES" } else { "NO" }
+        if report.mean_mape() < baseline {
+            "YES"
+        } else {
+            "NO"
+        }
     );
 
     // Final train/test split (Section V-B: train on 14, test on 5 → 7.80).
@@ -263,9 +298,16 @@ pub fn heatmap(bench_name: &str, threads: u32) -> String {
     let _ = writeln!(
         out,
         "## {} — normalised node energy heat map for {bench_name} ({threads} threads)\n",
-        if bench_name == "Lulesh" { "Fig. 6" } else { "Fig. 7" }
+        if bench_name == "Lulesh" {
+            "Fig. 6"
+        } else {
+            "Fig. 7"
+        }
     );
-    let _ = writeln!(out, "legend: **X.XXX** = true optimum, [X.XXX] = model pick, *X.XXX* = within 2% of optimum\n");
+    let _ = writeln!(
+        out,
+        "legend: **X.XXX** = true optimum, [X.XXX] = model pick, *X.XXX* = within 2% of optimum\n"
+    );
     let _ = write!(out, "{:>8}", "CF\\UCF");
     for ucf in uncore.iter_mhz() {
         let _ = write!(out, " {:>7.1}", ucf as f64 / 1000.0);
@@ -294,7 +336,11 @@ pub fn heatmap(bench_name: &str, threads: u32) -> String {
         .find(|(c, _)| c.core == mcf && c.uncore == mucf)
         .expect("model pick in grid")
         .1;
-    let best_e = norm.iter().find(|(c, _)| *c == best).expect("best in grid").1;
+    let best_e = norm
+        .iter()
+        .find(|(c, _)| *c == best)
+        .expect("best in grid")
+        .1;
     let _ = writeln!(
         out,
         "\ntrue optimum: {best} (E_norm {best_e:.3});  model pick: {threads}thr {:.1}|{:.1} GHz (E_norm {model_e:.3}, {:+.2}% off optimum)",
@@ -319,8 +365,11 @@ pub fn region_table(bench_name: &str) -> String {
     let node = Node::exact(0);
     let model = paper_model(&node);
     let bench = kernels::benchmark(bench_name).expect("benchmark exists");
-    let dta = DesignTimeAnalysis::new(&node, &model);
-    let report = dta.run(&bench);
+    let report = TuningSession::builder(&node)
+        .with_model(&model)
+        .run(&bench)
+        .expect("session succeeds on bundled benchmarks")
+        .into_report();
 
     let paper_rows: &[(&str, &str)] = if bench_name == "Lulesh" {
         &[
@@ -344,7 +393,11 @@ pub fn region_table(bench_name: &str) -> String {
     let _ = writeln!(
         out,
         "## {} — per-region optimal configurations for {bench_name}\n",
-        if bench_name == "Lulesh" { "Table III" } else { "Table IV" }
+        if bench_name == "Lulesh" {
+            "Table III"
+        } else {
+            "Table IV"
+        }
     );
     let _ = writeln!(
         out,
@@ -383,12 +436,18 @@ pub fn table5_static_config() -> String {
         ("Mcbenchmark", "20thr 1.6|2.5"),
     ];
     let mut out = String::new();
-    let _ = writeln!(out, "## Table V — optimal static configuration per benchmark\n");
+    let _ = writeln!(
+        out,
+        "## Table V — optimal static configuration per benchmark\n"
+    );
     let _ = writeln!(out, "{:<14} {:>18}   paper", "benchmark", "ours");
     for bench in kernels::test_set() {
-        let (cfg, _) =
-            exhaustive::search_static(&bench, &node, &space, TuningObjective::Energy);
-        let p = paper.iter().find(|(n, _)| *n == bench.name).map(|(_, v)| *v).unwrap_or("-");
+        let (cfg, _) = exhaustive::search_static(&bench, &node, &space, TuningObjective::Energy);
+        let p = paper
+            .iter()
+            .find(|(n, _)| *n == bench.name)
+            .map(|(_, v)| *v)
+            .unwrap_or("-");
         let _ = writeln!(out, "{:<14} {:>18}   {}", bench.name, format!("{cfg}"), p);
     }
     let _ = writeln!(out);
@@ -402,11 +461,36 @@ pub fn table6_static_vs_dynamic() -> String {
     let model = paper_model(&node);
     let paper: &[(&str, [f64; 3], [f64; 4], f64)] = &[
         // (name, static j/c/t, dynamic j/c/t/perf-reduction, overhead)
-        ("Lulesh", [1.14, 2.60, 0.97], [5.48, 10.30, -7.70, -5.46], -2.24),
-        ("Amg2013", [4.89, 12.63, -6.80], [5.42, 16.67, -11.2, -8.96], -2.24),
-        ("miniMD", [4.10, 8.63, 0.41], [10.3, 21.95, -4.00, -2.29], -1.71),
-        ("BEM4I", [2.64, 4.61, 0.70], [8.26, 12.43, -4.25, -2.98], -1.27),
-        ("Mcbenchmark", [6.00, 10.50, -6.50], [8.20, 18.76, -14.50, -10.10], -4.40),
+        (
+            "Lulesh",
+            [1.14, 2.60, 0.97],
+            [5.48, 10.30, -7.70, -5.46],
+            -2.24,
+        ),
+        (
+            "Amg2013",
+            [4.89, 12.63, -6.80],
+            [5.42, 16.67, -11.2, -8.96],
+            -2.24,
+        ),
+        (
+            "miniMD",
+            [4.10, 8.63, 0.41],
+            [10.3, 21.95, -4.00, -2.29],
+            -1.71,
+        ),
+        (
+            "BEM4I",
+            [2.64, 4.61, 0.70],
+            [8.26, 12.43, -4.25, -2.98],
+            -1.27,
+        ),
+        (
+            "Mcbenchmark",
+            [6.00, 10.50, -6.50],
+            [8.20, 18.76, -14.50, -10.10],
+            -4.40,
+        ),
     ];
 
     let mut out = String::new();
@@ -425,7 +509,8 @@ pub fn table6_static_vs_dynamic() -> String {
     let mut dyn_sums = [0.0f64; 2];
     let mut rows = Vec::new();
     for bench in kernels::test_set() {
-        let cmp = compare_static_dynamic(&bench, &node, &model);
+        let cmp = compare_static_dynamic(&bench, &node, &model)
+            .expect("session succeeds on bundled benchmarks");
         let _ = writeln!(
             out,
             "{:<13} | {:>8.2} {:>8.2} {:>8.2} | {:>8.2} {:>8.2} {:>8.2} | {:>9.2} | {:>9.2}",
@@ -454,8 +539,7 @@ pub fn table6_static_vs_dynamic() -> String {
         dyn_sums[0] / n,
         dyn_sums[1] / n,
     );
-    let dyn_beats_static =
-        dyn_sums[1] / n > stat_sums[1] / n && dyn_sums[0] / n > stat_sums[0] / n;
+    let dyn_beats_static = dyn_sums[1] / n > stat_sums[1] / n && dyn_sums[0] / n > stat_sums[0] / n;
     let _ = writeln!(
         out,
         "dynamic beats static on both energy metrics: {}",
@@ -491,14 +575,80 @@ pub fn tuning_time() -> String {
 
     let mut out = String::new();
     let _ = writeln!(out, "## Section V-C — tuning-time analysis (Mcbenchmark)\n");
-    let _ = writeln!(out, "one run: t = {t:.1} s; search space k×l×m = 4×14×18 = {}", space.len());
-    let _ = writeln!(out, "exhaustive per-region (n·k·l·m·t):    {exhaustive_s:>12.0} s");
-    let _ = writeln!(out, "model-based ((k+1+9)·t):              {model_s:>12.0} s");
-    let _ = writeln!(out, "model-based per phase iteration:      {model_iter_s:>12.1} s");
+    let _ = writeln!(
+        out,
+        "one run: t = {t:.1} s; search space k×l×m = 4×14×18 = {}",
+        space.len()
+    );
+    let _ = writeln!(
+        out,
+        "exhaustive per-region (n·k·l·m·t):    {exhaustive_s:>12.0} s"
+    );
+    let _ = writeln!(
+        out,
+        "model-based ((k+1+9)·t):              {model_s:>12.0} s"
+    );
+    let _ = writeln!(
+        out,
+        "model-based per phase iteration:      {model_iter_s:>12.1} s"
+    );
     let _ = writeln!(
         out,
         "speedup of the model-based approach:  {:>12.0}x\n",
         exhaustive_s / model_s
+    );
+    out
+}
+
+/// Batch tuning with the shared experiment cache: tune the five test
+/// benchmarks twice (a production queue re-tuning its applications) and
+/// compare region simulations against independent sessions.
+pub fn batch_cache() -> String {
+    let node = Node::exact(0);
+    let model = paper_model(&node);
+    let mut queue = kernels::test_set();
+    queue.extend(kernels::test_set()); // resubmissions of the same codes
+
+    let independent: u64 = queue
+        .iter()
+        .map(|b| {
+            TuningSession::builder(&node)
+                .with_model(&model)
+                .run(b)
+                .expect("session succeeds")
+                .engine_runs
+        })
+        .sum();
+
+    let driver = BatchDriver::new(&node).with_model(&model);
+    let advices = driver.tune_all(&queue).expect("batch succeeds");
+    let batch: u64 = advices.iter().map(|a| a.engine_runs).sum();
+    let stats = driver.cache_stats();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "## Batch driver — shared experiment cache\n");
+    let _ = writeln!(
+        out,
+        "queue: {} applications ({} distinct)",
+        queue.len(),
+        queue.len() / 2
+    );
+    let _ = writeln!(
+        out,
+        "region simulations, independent sessions: {independent:>8}"
+    );
+    let _ = writeln!(out, "region simulations, batch driver:         {batch:>8}");
+    let _ = writeln!(
+        out,
+        "cache: {} hits / {} misses ({} distinct keys)",
+        stats.hits,
+        stats.misses,
+        driver.cache_len()
+    );
+    let _ = writeln!(
+        out,
+        "saved {:.1}% of the simulation work\n",
+        100.0 * (independent - batch) as f64 / independent as f64
     );
     out
 }
@@ -508,7 +658,11 @@ pub fn tuning_time() -> String {
 pub fn inventory() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "## Benchmark inventory (Table II)\n");
-    let _ = writeln!(out, "{:<14} {:<9} {:<8} {:>9} {:>8}", "benchmark", "suite", "model", "intensity", "regions");
+    let _ = writeln!(
+        out,
+        "{:<14} {:<9} {:<8} {:>9} {:>8}",
+        "benchmark", "suite", "model", "intensity", "regions"
+    );
     for b in kernels::all_benchmarks() {
         let p = b.phase_character();
         let _ = writeln!(
@@ -537,7 +691,10 @@ mod tests {
     #[test]
     fn fig2_report_shows_collapse() {
         let r = fig2_core_sweep();
-        assert!(r.contains("normalisation collapses variability: YES"), "{r}");
+        assert!(
+            r.contains("normalisation collapses variability: YES"),
+            "{r}"
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl EnergyGrid {
             .find(|p| p.config == reference)
             .map(|p| p.node_energy_j)
             .expect("reference configuration in grid");
-        self.points.iter().map(|p| (p.config, p.node_energy_j / base)).collect()
+        self.points
+            .iter()
+            .map(|p| (p.config, p.node_energy_j / base))
+            .collect()
     }
 
     /// Points within `frac` (e.g. 0.02) of the minimum node energy — the
@@ -123,7 +126,10 @@ mod tests {
         );
         assert_eq!(g.points.len(), 9);
         let min = g.minimum();
-        assert!(g.points.iter().all(|p| p.node_energy_j >= min.node_energy_j));
+        assert!(g
+            .points
+            .iter()
+            .all(|p| p.node_energy_j >= min.node_energy_j));
     }
 
     #[test]

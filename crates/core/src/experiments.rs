@@ -7,11 +7,22 @@
 //! phase iteration (or one region instance) under a configuration. The
 //! engine counts experiments in application-run equivalents for the
 //! tuning-time analysis.
+//!
+//! An engine can optionally share an
+//! [`ExperimentCache`](crate::session::ExperimentCache): region
+//! evaluations are pure in `(node, character, configuration)`, so cache
+//! hits return the memoised measurement bit-identically without touching
+//! the execution engine. [`ExperimentsEngine::experiments`] counts only
+//! the evaluations that actually ran; [`ExperimentsEngine::requests`]
+//! counts all of them.
+
+use std::cell::RefCell;
 
 use kernels::BenchmarkSpec;
 use simnode::{ExecutionEngine, Node, RegionCharacter, SystemConfig};
 
 use crate::objectives::TuningObjective;
+use crate::session::{ExperimentCache, TuningError};
 
 /// One experiment's measurement.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,58 +43,127 @@ impl Measurement {
     }
 }
 
-/// Experiment runner with accounting.
+/// Experiment runner with accounting and an optional shared memo cache.
 pub struct ExperimentsEngine<'a> {
     node: &'a Node,
     engine: ExecutionEngine,
     experiments: u64,
+    requests: u64,
+    region_runs: u64,
+    cache: Option<&'a RefCell<ExperimentCache>>,
 }
 
 impl<'a> ExperimentsEngine<'a> {
-    /// New engine on `node`.
+    /// New uncached engine on `node`.
     pub fn new(node: &'a Node) -> Self {
-        Self { node, engine: ExecutionEngine::new(), experiments: 0 }
+        Self {
+            node,
+            engine: ExecutionEngine::new(),
+            experiments: 0,
+            requests: 0,
+            region_runs: 0,
+            cache: None,
+        }
     }
 
-    /// Number of experiments run so far.
+    /// New engine on `node` sharing `cache` with other engines.
+    pub fn with_cache(node: &'a Node, cache: &'a RefCell<ExperimentCache>) -> Self {
+        Self {
+            node,
+            engine: ExecutionEngine::new(),
+            experiments: 0,
+            requests: 0,
+            region_runs: 0,
+            cache: Some(cache),
+        }
+    }
+
+    /// Number of experiments actually run so far, in phase-iteration
+    /// equivalents (cache-served evaluations excluded).
     pub fn experiments(&self) -> u64 {
         self.experiments
     }
 
-    /// Evaluate one region character for one phase iteration under `cfg`.
-    pub fn evaluate(&mut self, c: &RegionCharacter, cfg: &SystemConfig) -> Measurement {
-        self.experiments += 1;
+    /// Number of region evaluations requested so far (cache hits
+    /// included); one phase evaluation requests one evaluation per
+    /// constituent region.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Number of individual region simulations executed (the unit the
+    /// experiment cache saves: one phase evaluation is one region run per
+    /// constituent region, minus the cache-served ones).
+    pub fn region_runs(&self) -> u64 {
+        self.region_runs
+    }
+
+    /// Measure one region under `cfg`, through the cache when one is
+    /// attached. Does not touch the experiment counters.
+    fn measure(&mut self, c: &RegionCharacter, cfg: &SystemConfig, ran: &mut bool) -> Measurement {
+        self.requests += 1;
+        if let Some(cache) = self.cache {
+            if let Some(m) = cache.borrow_mut().get(self.node, c, cfg) {
+                return m;
+            }
+        }
+        *ran = true;
+        self.region_runs += 1;
         let run = self.engine.run_region(c, cfg, self.node);
-        Measurement {
+        let m = Measurement {
             node_energy_j: run.node_energy_j,
             cpu_energy_j: run.cpu_energy_j,
             duration_s: run.duration_s,
+        };
+        if let Some(cache) = self.cache {
+            cache.borrow_mut().insert(self.node, c, cfg, m);
         }
+        m
+    }
+
+    /// Evaluate one region character for one phase iteration under `cfg`.
+    pub fn evaluate(&mut self, c: &RegionCharacter, cfg: &SystemConfig) -> Measurement {
+        let mut ran = false;
+        let m = self.measure(c, cfg, &mut ran);
+        if ran {
+            self.experiments += 1;
+        }
+        m
     }
 
     /// Evaluate a whole phase iteration of `bench` under `cfg`.
+    ///
+    /// Counts as one experiment (one phase iteration) when any of the
+    /// constituent regions had to run; a fully cache-served phase costs
+    /// nothing.
     pub fn evaluate_phase(&mut self, bench: &BenchmarkSpec, cfg: &SystemConfig) -> Measurement {
-        self.experiments += 1;
-        let mut total = Measurement { node_energy_j: 0.0, cpu_energy_j: 0.0, duration_s: 0.0 };
+        let mut ran = false;
+        let mut total = Measurement {
+            node_energy_j: 0.0,
+            cpu_energy_j: 0.0,
+            duration_s: 0.0,
+        };
         for r in &bench.regions {
-            let run = self.engine.run_region(&r.character, cfg, self.node);
-            total.node_energy_j += run.node_energy_j;
-            total.cpu_energy_j += run.cpu_energy_j;
-            total.duration_s += run.duration_s;
+            let m = self.measure(&r.character, cfg, &mut ran);
+            total.node_energy_j += m.node_energy_j;
+            total.cpu_energy_j += m.cpu_energy_j;
+            total.duration_s += m.duration_s;
+        }
+        if ran {
+            self.experiments += 1;
         }
         total
     }
 
     /// Among `configs`, the one minimising `objective` on region `c`,
-    /// with its measurement.
-    pub fn best_for_region(
+    /// with its measurement. Errors on an empty candidate set.
+    pub fn try_best_for_region(
         &mut self,
         c: &RegionCharacter,
         configs: &[SystemConfig],
         objective: TuningObjective,
-    ) -> (SystemConfig, Measurement) {
-        assert!(!configs.is_empty(), "need at least one candidate configuration");
-        let mut best = None;
+    ) -> Result<(SystemConfig, Measurement), TuningError> {
+        let mut best: Option<(SystemConfig, Measurement, f64)> = None;
         for cfg in configs {
             let m = self.evaluate(c, cfg);
             let s = m.score(objective);
@@ -92,8 +172,28 @@ impl<'a> ExperimentsEngine<'a> {
                 _ => best = Some((*cfg, m, s)),
             }
         }
-        let (cfg, m, _) = best.expect("nonempty candidates");
-        (cfg, m)
+        best.map(|(cfg, m, _)| (cfg, m))
+            .ok_or(TuningError::EmptyCandidates {
+                stage: "region verification",
+            })
+    }
+
+    /// Panicking convenience over [`ExperimentsEngine::try_best_for_region`].
+    ///
+    /// # Panics
+    /// Panics if `configs` is empty.
+    pub fn best_for_region(
+        &mut self,
+        c: &RegionCharacter,
+        configs: &[SystemConfig],
+        objective: TuningObjective,
+    ) -> (SystemConfig, Measurement) {
+        assert!(
+            !configs.is_empty(),
+            "need at least one candidate configuration"
+        );
+        self.try_best_for_region(c, configs, objective)
+            .expect("nonempty candidates")
     }
 }
 
@@ -109,6 +209,7 @@ mod tests {
         let m = eng.evaluate(&c, &SystemConfig::taurus_default());
         assert!(m.node_energy_j > 0.0 && m.duration_s > 0.0);
         assert_eq!(eng.experiments(), 1);
+        assert_eq!(eng.requests(), 1);
     }
 
     #[test]
@@ -120,7 +221,10 @@ mod tests {
         let sum: f64 = bench
             .regions
             .iter()
-            .map(|r| eng.evaluate(&r.character, &SystemConfig::taurus_default()).duration_s)
+            .map(|r| {
+                eng.evaluate(&r.character, &SystemConfig::taurus_default())
+                    .duration_s
+            })
             .sum();
         assert!((phase.duration_s - sum).abs() < 1e-9);
     }
@@ -129,7 +233,10 @@ mod tests {
     fn best_for_region_minimises_objective() {
         let node = Node::exact(0);
         let mut eng = ExperimentsEngine::new(&node);
-        let c = RegionCharacter::builder(2e10).ipc(2.0).dram_bytes(2e9).build();
+        let c = RegionCharacter::builder(2e10)
+            .ipc(2.0)
+            .dram_bytes(2e9)
+            .build();
         let configs = vec![
             SystemConfig::new(24, 1200, 3000),
             SystemConfig::new(24, 2400, 1700),
@@ -151,5 +258,65 @@ mod tests {
         let mut eng = ExperimentsEngine::new(&node);
         let c = RegionCharacter::builder(1e9).build();
         let _ = eng.best_for_region(&c, &[], TuningObjective::Energy);
+    }
+
+    #[test]
+    fn empty_candidates_is_an_error_on_the_fallible_path() {
+        let node = Node::exact(0);
+        let mut eng = ExperimentsEngine::new(&node);
+        let c = RegionCharacter::builder(1e9).build();
+        let err = eng
+            .try_best_for_region(&c, &[], TuningObjective::Energy)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TuningError::EmptyCandidates {
+                stage: "region verification"
+            }
+        );
+    }
+
+    #[test]
+    fn cached_engine_serves_repeats_bit_identically() {
+        let node = Node::exact(0);
+        let cache = RefCell::new(ExperimentCache::new());
+        let mut eng = ExperimentsEngine::with_cache(&node, &cache);
+        let c = RegionCharacter::builder(2e10).dram_bytes(1e10).build();
+        let cfg = SystemConfig::new(24, 2400, 1700);
+        let first = eng.evaluate(&c, &cfg);
+        let second = eng.evaluate(&c, &cfg);
+        assert_eq!(
+            first.node_energy_j.to_bits(),
+            second.node_energy_j.to_bits()
+        );
+        assert_eq!(
+            eng.experiments(),
+            1,
+            "second evaluation must be a cache hit"
+        );
+        assert_eq!(eng.requests(), 2);
+        assert_eq!(cache.borrow().stats().hits, 1);
+
+        // A second engine sharing the cache also hits.
+        let mut eng2 = ExperimentsEngine::with_cache(&node, &cache);
+        let third = eng2.evaluate(&c, &cfg);
+        assert_eq!(first.node_energy_j.to_bits(), third.node_energy_j.to_bits());
+        assert_eq!(eng2.experiments(), 0);
+    }
+
+    #[test]
+    fn cached_matches_uncached_exactly() {
+        let node = Node::exact(0);
+        let bench = kernels::benchmark("Lulesh").unwrap();
+        let cfg = SystemConfig::new(24, 2300, 1800);
+        let mut plain = ExperimentsEngine::new(&node);
+        let cache = RefCell::new(ExperimentCache::new());
+        let mut cached = ExperimentsEngine::with_cache(&node, &cache);
+        let a = plain.evaluate_phase(&bench, &cfg);
+        let b = cached.evaluate_phase(&bench, &cfg);
+        let c = cached.evaluate_phase(&bench, &cfg);
+        assert_eq!(a.node_energy_j.to_bits(), b.node_energy_j.to_bits());
+        assert_eq!(b.node_energy_j.to_bits(), c.node_energy_j.to_bits());
+        assert_eq!(cached.experiments(), 1, "second phase fully cache-served");
     }
 }

@@ -6,29 +6,48 @@
 //! configuration of OpenMP threads, core frequency (DVFS) and uncore
 //! frequency (UFS), and emits a *tuning model* for the runtime library.
 //!
-//! The Design-Time Analysis workflow (Fig. 1 of the paper):
+//! ## The staged session API
 //!
-//! 1. **Pre-processing** ([`workflow`]): Score-P instrumentation,
-//!    `scorep-autofilter` filtering, phase annotation and
-//!    `readex-dyn-detect` significant-region detection (all provided by
-//!    `scorep-lite`).
-//! 2. **Tuning step 1** ([`threads`]): exhaustive search over OpenMP
-//!    thread counts for the phase region.
-//! 3. **Tuning step 2** ([`freqpred`]): the neural-network energy model
-//!    predicts normalised energy for *every* core/uncore frequency
-//!    combination in one shot; the arg-min becomes the *global* frequency
-//!    pair, and only its immediate neighbourhood is verified
-//!    experimentally per significant region ([`search`],
-//!    [`experiments`]).
-//! 4. **Tuning-model generation** ([`scenario`], [`tuning_model`]):
-//!    regions with the same best configuration are grouped into scenarios
-//!    (system-scenario methodology) and serialised for the RRL.
+//! The public entry point is [`session::TuningSession`], a typestate
+//! machine mirroring the Tuning Plugin Interface lifecycle. Each stage is
+//! a distinct type, so calling stages out of order — e.g. asking for
+//! advice before the frequencies are tuned — is a compile error, and
+//! every transition returns `Result<_, `[`session::TuningError`]`>`
+//! instead of panicking:
+//!
+//! | Stage | Type | What happens |
+//! |-------|------|--------------|
+//! | build | [`session::SessionBuilder`] | node, model, objective, [`session::SearchStrategy`] |
+//! | pre-process | [`session::Preprocessed`] | Score-P profiling, autofilter, `readex-dyn-detect` |
+//! | tuning step 1 | [`session::ThreadsTuned`] | exhaustive OpenMP thread search |
+//! | analysis | [`session::Analyzed`] | phase PAPI counter rates |
+//! | tuning step 2 | [`session::FrequencyTuned`] | strategy-driven frequency search + verification |
+//! | advice | [`session::Advice`] | scenarios + tuning model for the RRL |
+//!
+//! Three search strategies ship behind the
+//! [`session::SearchStrategy`] trait: the paper's
+//! [`session::ModelBasedNeighbourhood`] (neural-network prediction,
+//! neighbourhood verification), the Sourouri-style
+//! [`session::ExhaustiveSearch`] baseline and the
+//! [`session::RandomSearch`] subset baseline.
+//!
+//! [`session::BatchDriver`] tunes many applications over one shared,
+//! memoising [`session::ExperimentCache`] keyed by `(region character,
+//! SystemConfig)`: overlapping grids, shared library kernels and repeated
+//! submissions are simulated once, bit-identically to the uncached path.
+//!
+//! ## Supporting modules
 //!
 //! [`modeldata`] implements the Section IV-A data-acquisition pipeline
-//! (traces → counter rates + normalised energies), [`objectives`] the
-//! tuning objectives (energy now, EDP/ED²P/TCO as the paper's future
-//! work), and [`exhaustive`] the Sourouri-et-al.-style exhaustive baseline
-//! with the Section V-C tuning-time cost model.
+//! (traces → counter rates + normalised energies), [`freqpred`] the
+//! neural-network energy model of tuning step 2, [`threads`] the step-1
+//! thread sweep, [`experiments`] the (optionally cached) experiments
+//! engine, [`objectives`] the tuning objectives (energy, EDP, ED²P,
+//! TCO), [`scenario`]/[`tuning_model`] the system-scenario grouping and
+//! the serialisable artefact the RRL consumes, [`exhaustive`] the
+//! Section V-C tuning-time cost model, and [`workflow`] the deprecated
+//! one-shot [`DesignTimeAnalysis`] shim kept for [`DtaReport`]
+//! consumers.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -41,6 +60,7 @@ pub mod objectives;
 pub mod plugin;
 pub mod scenario;
 pub mod search;
+pub mod session;
 pub mod threads;
 pub mod tuning_model;
 pub mod workflow;
@@ -51,5 +71,9 @@ pub use objectives::TuningObjective;
 pub use plugin::{DvfsUfsPlugin, TuningPlugin};
 pub use scenario::{Scenario, ScenarioClassifier};
 pub use search::SearchSpace;
+pub use session::{
+    Advice, BatchDriver, ExhaustiveSearch, ExperimentCache, ModelBasedNeighbourhood, RandomSearch,
+    SearchStrategy, TuningError, TuningSession,
+};
 pub use tuning_model::TuningModel;
 pub use workflow::{DesignTimeAnalysis, DtaReport};

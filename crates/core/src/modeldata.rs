@@ -14,8 +14,8 @@ use rayon::prelude::*;
 use enermodel::linalg::Matrix;
 use enermodel::train::Dataset;
 use kernels::BenchmarkSpec;
-use scorep_lite::{parse_trace, InstrumentationConfig, InstrumentedApp, TraceWriter};
 use scorep_lite::instrument::StaticHook;
+use scorep_lite::{parse_trace, InstrumentationConfig, InstrumentedApp, TraceWriter};
 use simnode::papi::PapiCounter;
 use simnode::{ExecutionEngine, Node, SystemConfig};
 
@@ -44,7 +44,11 @@ pub fn phase_counter_rates(bench: &BenchmarkSpec, node: &Node, config: SystemCon
 
 /// Assemble the nine network features from counter rates and a frequency
 /// pair (frequencies in GHz, as the paper feeds them).
-pub fn features_from_rates(rates: &[f64; 7], core_mhz: u32, uncore_mhz: u32) -> [f64; FEATURE_COUNT] {
+pub fn features_from_rates(
+    rates: &[f64; 7],
+    core_mhz: u32,
+    uncore_mhz: u32,
+) -> [f64; FEATURE_COUNT] {
     [
         rates[0],
         rates[1],
@@ -135,7 +139,10 @@ mod tests {
         let r_fast = phase_counter_rates(&bench, &n, SystemConfig::taurus_default());
         let ratio0 = r_fast[0] / r_calib[0]; // BR_NTK
         let ratio1 = r_fast[1] / r_calib[1]; // LD_INS
-        assert!((ratio0 - ratio1).abs() / ratio1 < 1e-6, "{ratio0} vs {ratio1}");
+        assert!(
+            (ratio0 - ratio1).abs() / ratio1 < 1e-6,
+            "{ratio0} vs {ratio1}"
+        );
     }
 
     #[test]
@@ -155,7 +162,11 @@ mod tests {
         ];
         let n = node();
         let ds = build_dataset(&benches, &n, &[24], &[2000, 2500], &[1500, 3000]);
-        assert_eq!(ds.len(), 2 * 1 * 2 * 2);
+        assert_eq!(
+            ds.len(),
+            2 * 2 * 2,
+            "2 benchmarks x 2 CF x 2 UCF at one thread count"
+        );
         assert_eq!(ds.features.cols(), FEATURE_COUNT);
         // The sample at the calibration point must have target exactly 1.
         for i in 0..ds.len() {
@@ -163,7 +174,11 @@ mod tests {
             if row[7] == 2.0 && row[8] == 1.5 {
                 assert!((ds.targets[i] - 1.0).abs() < 1e-12);
             }
-            assert!(ds.targets[i] > 0.2 && ds.targets[i] < 3.0, "target {}", ds.targets[i]);
+            assert!(
+                ds.targets[i] > 0.2 && ds.targets[i] < 3.0,
+                "target {}",
+                ds.targets[i]
+            );
         }
         assert_eq!(ds.group_names(), vec!["EP", "CG"]);
     }

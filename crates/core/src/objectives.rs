@@ -56,7 +56,10 @@ mod tests {
         assert_eq!(TuningObjective::Energy.score(100.0, 2.0), 100.0);
         assert_eq!(TuningObjective::Edp.score(100.0, 2.0), 200.0);
         assert_eq!(TuningObjective::Ed2p.score(100.0, 2.0), 400.0);
-        assert_eq!(TuningObjective::Tco { rate_j_per_s: 50.0 }.score(100.0, 2.0), 200.0);
+        assert_eq!(
+            TuningObjective::Tco { rate_j_per_s: 50.0 }.score(100.0, 2.0),
+            200.0
+        );
     }
 
     #[test]

@@ -4,15 +4,16 @@
 //! lifecycle: initialisation, tuning steps that create and evaluate
 //! scenarios, and final tuning-advice generation. [`TuningPlugin`] models
 //! that lifecycle; [`DvfsUfsPlugin`] is the paper's plugin, delegating to
-//! the [`crate::workflow::DesignTimeAnalysis`] driver.
+//! the staged [`TuningSession`](crate::session::TuningSession).
 
 use kernels::BenchmarkSpec;
 use simnode::Node;
 
 use crate::freqpred::EnergyModel;
 use crate::objectives::TuningObjective;
+use crate::session::{TuningError, TuningSession};
 use crate::tuning_model::TuningModel;
-use crate::workflow::{DesignTimeAnalysis, DtaReport};
+use crate::workflow::DtaReport;
 
 /// Lifecycle of a PTF tuning plugin.
 pub trait TuningPlugin {
@@ -25,11 +26,14 @@ pub trait TuningPlugin {
 
     /// Execute all tuning steps and produce the tuning advice
     /// (`createScenarios`/`prepareScenarios`/`defineExperiments`/
-    /// `getAdvice` collapsed into one driver call — the experiment loop
-    /// itself lives in the experiments engine).
-    fn tune(&mut self, node: &Node) -> DtaReport;
+    /// `getAdvice` — the staged session drives the experiment loop).
+    ///
+    /// Calling `tune` before [`TuningPlugin::initialize`] is a
+    /// [`TuningError::NotInitialized`] error, not a panic.
+    fn tune(&mut self, node: &Node) -> Result<DtaReport, TuningError>;
 
-    /// The final tuning model, available after [`TuningPlugin::tune`].
+    /// The final tuning model, available after a successful
+    /// [`TuningPlugin::tune`].
     fn tuning_model(&self) -> Option<&TuningModel>;
 }
 
@@ -44,16 +48,22 @@ pub struct DvfsUfsPlugin {
 impl DvfsUfsPlugin {
     /// Create the plugin with a trained energy model.
     pub fn new(model: EnergyModel) -> Self {
-        Self { model, objective: TuningObjective::Energy, app: None, result: None }
+        Self {
+            model,
+            objective: TuningObjective::Energy,
+            app: None,
+            result: None,
+        }
     }
 
     /// Use a non-default tuning objective (EDP, ED²P, TCO).
+    #[must_use]
     pub fn with_objective(mut self, objective: TuningObjective) -> Self {
         self.objective = objective;
         self
     }
 
-    /// Full DTA report of the last [`TuningPlugin::tune`] call.
+    /// Full DTA report of the last successful [`TuningPlugin::tune`] call.
     pub fn report(&self) -> Option<&DtaReport> {
         self.result.as_ref()
     }
@@ -69,12 +79,17 @@ impl TuningPlugin for DvfsUfsPlugin {
         self.result = None;
     }
 
-    fn tune(&mut self, node: &Node) -> DtaReport {
-        let app = self.app.as_ref().expect("initialize() must be called before tune()");
-        let dta = DesignTimeAnalysis::new(node, &self.model).with_objective(self.objective);
-        let report = dta.run(app);
+    fn tune(&mut self, node: &Node) -> Result<DtaReport, TuningError> {
+        let app = self.app.as_ref().ok_or(TuningError::NotInitialized {
+            plugin: "dvfs-ufs-energy-tuning",
+        })?;
+        let advice = TuningSession::builder(node)
+            .with_model(&self.model)
+            .with_objective(self.objective)
+            .run(app)?;
+        let report = advice.into_report();
         self.result = Some(report.clone());
-        report
+        Ok(report)
     }
 
     fn tuning_model(&self) -> Option<&TuningModel> {
@@ -121,18 +136,40 @@ mod tests {
         assert!(plugin.tuning_model().is_none());
 
         plugin.initialize(&kernels::benchmark("miniMD").unwrap());
-        let report = plugin.tune(&node);
+        let report = plugin.tune(&node).expect("tune after initialize succeeds");
         assert!(plugin.tuning_model().is_some());
         assert_eq!(plugin.report().unwrap().experiments, report.experiments);
         assert_eq!(report.tuning_model.application, "miniMD");
     }
 
     #[test]
-    #[should_panic(expected = "initialize() must be called")]
-    fn tune_without_initialize_panics() {
+    fn tune_without_initialize_is_an_error() {
         let node = Node::exact(0);
         let model = quick_model(&node);
         let mut plugin = DvfsUfsPlugin::new(model);
-        let _ = plugin.tune(&node);
+        let err = plugin.tune(&node).unwrap_err();
+        assert_eq!(
+            err,
+            TuningError::NotInitialized {
+                plugin: "dvfs-ufs-energy-tuning"
+            }
+        );
+        assert!(err.to_string().contains("initialize() must be called"));
+        assert!(plugin.tuning_model().is_none());
+    }
+
+    #[test]
+    fn initialize_resets_previous_advice() {
+        let node = Node::exact(0);
+        let model = quick_model(&node);
+        let mut plugin = DvfsUfsPlugin::new(model);
+        plugin.initialize(&kernels::benchmark("miniMD").unwrap());
+        plugin.tune(&node).expect("tune succeeds");
+        assert!(plugin.tuning_model().is_some());
+        plugin.initialize(&kernels::benchmark("EP").unwrap());
+        assert!(
+            plugin.tuning_model().is_none(),
+            "re-initialising clears stale advice"
+        );
     }
 }

@@ -19,6 +19,7 @@ pub struct SearchSpace {
 impl SearchSpace {
     /// The full hardware space of the paper's platform at the given thread
     /// candidates: 14 core × 18 uncore states.
+    #[must_use]
     pub fn full(threads: Vec<u32>) -> Self {
         Self {
             threads,
@@ -30,11 +31,8 @@ impl SearchSpace {
     /// The reduced space of Section III-C: the immediate neighbourhood
     /// (±`radius` steps) of a predicted global frequency pair, with fixed
     /// thread candidates.
-    pub fn neighbourhood(
-        center: SystemConfig,
-        radius: u32,
-        threads: Vec<u32>,
-    ) -> Self {
+    #[must_use]
+    pub fn neighbourhood(center: SystemConfig, radius: u32, threads: Vec<u32>) -> Self {
         Self {
             threads,
             core_mhz: FreqDomain::haswell_core().neighbourhood(center.core.mhz(), radius),
@@ -56,7 +54,9 @@ impl SearchSpace {
     pub fn iter(&self) -> impl Iterator<Item = SystemConfig> + '_ {
         self.threads.iter().flat_map(move |&t| {
             self.core_mhz.iter().flat_map(move |&cf| {
-                self.uncore_mhz.iter().map(move |&ucf| SystemConfig::new(t, cf, ucf))
+                self.uncore_mhz
+                    .iter()
+                    .map(move |&ucf| SystemConfig::new(t, cf, ucf))
             })
         })
     }

@@ -1,0 +1,236 @@
+//! The batch multi-application driver.
+//!
+//! A production tuning service does not tune one application and exit:
+//! it works through a queue of applications (and re-tunes them as inputs
+//! change), which makes repeated region evaluations the hot path.
+//! [`BatchDriver`] runs one [`TuningSession`] per application with a
+//! single shared [`ExperimentCache`], so any evaluation with the same
+//! `(region character, SystemConfig)` key — recentring grids overlapping
+//! verification neighbourhoods, shared kernels across applications,
+//! repeated submissions of the same code — is simulated exactly once.
+
+use std::cell::RefCell;
+
+use kernels::BenchmarkSpec;
+use simnode::Node;
+
+use crate::freqpred::EnergyModel;
+use crate::objectives::TuningObjective;
+use crate::session::{
+    Advice, CacheStats, ExperimentCache, SearchStrategy, TuningError, TuningSession,
+};
+
+/// Tunes batches of applications over one shared experiment cache.
+pub struct BatchDriver<'a> {
+    node: &'a Node,
+    model: Option<&'a EnergyModel>,
+    objective: TuningObjective,
+    strategy: Option<&'a dyn SearchStrategy>,
+    cache: RefCell<ExperimentCache>,
+}
+
+impl<'a> BatchDriver<'a> {
+    /// A driver on `node` with the default (model-based) strategy and the
+    /// energy objective.
+    pub fn new(node: &'a Node) -> Self {
+        Self {
+            node,
+            model: None,
+            objective: TuningObjective::Energy,
+            strategy: None,
+            cache: RefCell::new(ExperimentCache::new()),
+        }
+    }
+
+    /// Attach the trained energy model used by every session.
+    #[must_use]
+    pub fn with_model(mut self, model: &'a EnergyModel) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Tune every application for this objective.
+    #[must_use]
+    pub fn with_objective(mut self, objective: TuningObjective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Use this search strategy for every session.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: &'a dyn SearchStrategy) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Tune one application through the shared cache.
+    pub fn tune(&self, bench: &BenchmarkSpec) -> Result<Advice, TuningError> {
+        let mut builder = TuningSession::builder(self.node)
+            .with_objective(self.objective)
+            .with_cache(&self.cache);
+        if let Some(model) = self.model {
+            builder = builder.with_model(model);
+        }
+        if let Some(strategy) = self.strategy {
+            builder = builder.with_strategy(strategy);
+        }
+        builder.run(bench)
+    }
+
+    /// Tune a whole batch, in order. Stops at the first failure.
+    pub fn tune_all(&self, benches: &[BenchmarkSpec]) -> Result<Vec<Advice>, TuningError> {
+        benches.iter().map(|b| self.tune(b)).collect()
+    }
+
+    /// Hit/miss counters of the shared cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.borrow().stats()
+    }
+
+    /// Number of distinct memoised evaluations.
+    pub fn cache_len(&self) -> usize {
+        self.cache.borrow().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::RandomSearch;
+
+    fn model(node: &Node) -> EnergyModel {
+        EnergyModel::train_paper(&kernels::training_set(), node)
+    }
+
+    /// Two different applications sharing one library kernel (the common
+    /// production case: the same halo exchange / BLAS call linked into
+    /// many codes). The shared region's evaluations must be simulated
+    /// once across the batch.
+    fn shared_kernel_apps() -> [BenchmarkSpec; 2] {
+        use kernels::{ProgrammingModel, RegionSpec, Suite};
+        use simnode::RegionCharacter;
+        let halo = RegionCharacter::builder(4e9)
+            .ipc(0.9)
+            .parallel(0.96)
+            .dram_bytes(4.5 * 4e9)
+            .stalls(0.7)
+            .build();
+        let flux = RegionCharacter::builder(2.5e10)
+            .ipc(1.9)
+            .parallel(0.995)
+            .dram_bytes(0.8 * 2.5e10)
+            .build();
+        let solver = RegionCharacter::builder(1.2e10)
+            .ipc(1.4)
+            .parallel(0.99)
+            .dram_bytes(2.0 * 1.2e10)
+            .stalls(0.5)
+            .build();
+        [
+            BenchmarkSpec::new(
+                "cfd-app",
+                Suite::Other,
+                ProgrammingModel::Hybrid,
+                20,
+                vec![
+                    RegionSpec::new("halo_exchange", halo.clone()),
+                    RegionSpec::new("compute_fluxes", flux),
+                ],
+            ),
+            BenchmarkSpec::new(
+                "structural-app",
+                Suite::Other,
+                ProgrammingModel::Hybrid,
+                20,
+                vec![
+                    RegionSpec::new("halo_exchange", halo),
+                    RegionSpec::new("implicit_solver", solver),
+                ],
+            ),
+        ]
+    }
+
+    #[test]
+    fn batch_reduces_engine_evaluations_versus_independent_runs() {
+        let node = Node::exact(0);
+        let model = model(&node);
+        let apps = shared_kernel_apps();
+
+        // Two independent (uncached) sessions.
+        let independent_runs: u64 = apps
+            .iter()
+            .map(|b| {
+                TuningSession::builder(&node)
+                    .with_model(&model)
+                    .run(b)
+                    .unwrap()
+                    .engine_runs
+            })
+            .sum();
+
+        // The same two applications through one batch driver.
+        let driver = BatchDriver::new(&node).with_model(&model);
+        let advices = driver.tune_all(&apps).unwrap();
+        let batch_runs: u64 = advices.iter().map(|a| a.engine_runs).sum();
+
+        let stats = driver.cache_stats();
+        assert!(stats.hits > 0, "batch must hit the shared cache: {stats:?}");
+        assert!(
+            batch_runs < independent_runs,
+            "batch {batch_runs} runs vs independent {independent_runs}"
+        );
+        assert_eq!(
+            stats.misses, batch_runs,
+            "every miss is exactly one engine run"
+        );
+    }
+
+    #[test]
+    fn cached_advice_is_bit_identical_to_uncached() {
+        let node = Node::exact(0);
+        let model = model(&node);
+        let apps = [
+            kernels::benchmark("Lulesh").unwrap(),
+            kernels::benchmark("Mcbenchmark").unwrap(),
+        ];
+        let driver = BatchDriver::new(&node).with_model(&model);
+        for bench in &apps {
+            let uncached = TuningSession::builder(&node)
+                .with_model(&model)
+                .run(bench)
+                .unwrap();
+            let cached = driver.tune(bench).unwrap();
+            assert_eq!(uncached.tuning_model, cached.tuning_model);
+            assert_eq!(uncached.phase_best, cached.phase_best);
+            for ((na, ca, ea), (nb, cb, eb)) in uncached.region_best.iter().zip(&cached.region_best)
+            {
+                assert_eq!(na, nb);
+                assert_eq!(ca, cb);
+                assert_eq!(ea.to_bits(), eb.to_bits(), "region {na} energy differs");
+            }
+        }
+        // Re-tuning an already-seen application is almost free.
+        let before = driver.cache_stats();
+        let again = driver.tune(&apps[0]).unwrap();
+        assert_eq!(again.engine_runs, 0, "full cache hit on re-tune");
+        assert!(driver.cache_stats().hits > before.hits);
+    }
+
+    #[test]
+    fn batch_works_with_model_free_strategies() {
+        let node = Node::exact(0);
+        let strategy = RandomSearch::new(12, 9);
+        let driver = BatchDriver::new(&node).with_strategy(&strategy);
+        let apps = [
+            kernels::benchmark("miniMD").unwrap(),
+            kernels::benchmark("miniMD").unwrap(),
+        ];
+        let advices = driver.tune_all(&apps).unwrap();
+        assert_eq!(advices.len(), 2);
+        assert_eq!(
+            advices[1].engine_runs, 0,
+            "identical app re-tune is fully cached"
+        );
+        assert_eq!(advices[0].tuning_model, advices[1].tuning_model);
+    }
+}

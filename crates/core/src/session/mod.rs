@@ -1,0 +1,562 @@
+//! The staged tuning API.
+//!
+//! PTF's Tuning Plugin Interface drives a plugin through an explicit
+//! lifecycle — `initialize`, `createScenarios`, `prepareScenarios`,
+//! `defineExperiments`, `getAdvice`. [`TuningSession`] models that
+//! lifecycle as a typestate machine: every stage is its own type, so the
+//! stages can only run in order and skipping one is a *compile* error,
+//! not a runtime panic.
+//!
+//! ```text
+//! TuningSession::builder(&node)
+//!     .with_model(&model)            // optional for exhaustive/random
+//!     .with_objective(objective)     // default: energy
+//!     .with_strategy(&strategy)      // default: model-based neighbourhood
+//!     .preprocess(&bench)?           // -> Preprocessed   (Score-P + dyn-detect)
+//!     .tune_threads()?               // -> ThreadsTuned   (tuning step 1)
+//!     .analyze()?                    // -> Analyzed       (PAPI counter rates)
+//!     .tune_frequencies()?           // -> FrequencyTuned (step 2 + verification)
+//!     .advice()                      // -> Advice         (the tuning model)
+//! ```
+//!
+//! Every transition returns `Result<_, TuningError>`; nothing on this
+//! path panics. [`BatchDriver`] runs many sessions over one shared
+//! [`ExperimentCache`] so repeated region evaluations are simulated once.
+
+mod batch;
+mod cache;
+mod error;
+mod strategy;
+
+pub use batch::BatchDriver;
+pub use cache::{CacheStats, ExperimentCache};
+pub use error::TuningError;
+pub use strategy::{
+    ExhaustiveSearch, ModelBasedNeighbourhood, RandomSearch, SearchContext, SearchOutcome,
+    SearchStrategy,
+};
+
+use std::cell::RefCell;
+
+use kernels::BenchmarkSpec;
+use scorep_lite::dyn_detect::{detect, DynDetectConfig};
+use scorep_lite::filter::{autofilter, DEFAULT_FILTER_THRESHOLD_S};
+use scorep_lite::instrument::StaticHook;
+use scorep_lite::{InstrumentationConfig, InstrumentedApp, TuningConfigFile};
+use simnode::{CoreFreq, Node, SystemConfig, UncoreFreq};
+
+use crate::experiments::ExperimentsEngine;
+use crate::freqpred::EnergyModel;
+use crate::modeldata::phase_counter_rates;
+use crate::objectives::TuningObjective;
+use crate::threads::ThreadTuning;
+use crate::tuning_model::TuningModel;
+use crate::workflow::DtaReport;
+
+static DEFAULT_STRATEGY: ModelBasedNeighbourhood = ModelBasedNeighbourhood::paper();
+
+/// Entry point for the staged tuning lifecycle.
+pub struct TuningSession;
+
+impl TuningSession {
+    /// Start building a session on `node`.
+    pub fn builder(node: &Node) -> SessionBuilder<'_> {
+        SessionBuilder {
+            node,
+            model: None,
+            objective: TuningObjective::Energy,
+            strategy: &DEFAULT_STRATEGY,
+            dyn_detect: DynDetectConfig::default(),
+            explore_thread_neighbourhood: false,
+            cache: None,
+        }
+    }
+}
+
+/// Configures a [`TuningSession`] before pre-processing starts.
+pub struct SessionBuilder<'a> {
+    node: &'a Node,
+    model: Option<&'a EnergyModel>,
+    objective: TuningObjective,
+    strategy: &'a dyn SearchStrategy,
+    dyn_detect: DynDetectConfig,
+    explore_thread_neighbourhood: bool,
+    cache: Option<&'a RefCell<ExperimentCache>>,
+}
+
+impl<'a> SessionBuilder<'a> {
+    /// Attach a trained energy model (required by the model-based
+    /// strategy, ignored by exhaustive/random search).
+    #[must_use]
+    pub fn with_model(mut self, model: &'a EnergyModel) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Select a tuning objective (default: plain energy).
+    #[must_use]
+    pub fn with_objective(mut self, objective: TuningObjective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Select the frequency-search strategy (default:
+    /// [`ModelBasedNeighbourhood::paper`]).
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: &'a dyn SearchStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Override the significant-region detection settings.
+    #[must_use]
+    pub fn with_dyn_detect(mut self, cfg: DynDetectConfig) -> Self {
+        self.dyn_detect = cfg;
+        self
+    }
+
+    /// Also try one thread step below the phase optimum during region
+    /// verification (off by default; see the field docs on the old
+    /// `DesignTimeAnalysis` for the trade-off).
+    #[must_use]
+    pub fn with_thread_neighbourhood(mut self, explore: bool) -> Self {
+        self.explore_thread_neighbourhood = explore;
+        self
+    }
+
+    /// Share an experiment cache with other sessions (what
+    /// [`BatchDriver`] does for every application in a batch).
+    #[must_use]
+    pub fn with_cache(mut self, cache: &'a RefCell<ExperimentCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Stage 0 → 1: profiling run, `scorep-autofilter`, filtered run,
+    /// `readex-dyn-detect` significant-region detection.
+    pub fn preprocess(self, bench: &BenchmarkSpec) -> Result<Preprocessed<'a>, TuningError> {
+        let profile_run =
+            InstrumentedApp::new(bench, self.node, InstrumentationConfig::scorep_defaults())
+                .run(&mut StaticHook(SystemConfig::calibration()));
+        let filter = autofilter(&profile_run.profile, DEFAULT_FILTER_THRESHOLD_S);
+        let filtered_run = InstrumentedApp::new(
+            bench,
+            self.node,
+            InstrumentationConfig::scorep_defaults().with_filter(filter),
+        )
+        .run(&mut StaticHook(SystemConfig::calibration()));
+        let config_file = detect(&bench.name, &filtered_run.profile, &self.dyn_detect);
+
+        // Every significant region must resolve in the benchmark spec
+        // now, so later stages cannot fail on an unknown region.
+        for sig in &config_file.significant_regions {
+            if bench.region(&sig.name).is_none() {
+                return Err(TuningError::UnknownRegion {
+                    application: bench.name.clone(),
+                    region: sig.name.clone(),
+                });
+            }
+        }
+
+        let engine = match self.cache {
+            Some(cache) => ExperimentsEngine::with_cache(self.node, cache),
+            None => ExperimentsEngine::new(self.node),
+        };
+        Ok(Preprocessed {
+            core: SessionCore {
+                node: self.node,
+                model: self.model,
+                objective: self.objective,
+                strategy: self.strategy,
+                dyn_detect: self.dyn_detect,
+                explore_thread_neighbourhood: self.explore_thread_neighbourhood,
+                engine,
+                bench: bench.clone(),
+            },
+            config_file,
+        })
+    }
+
+    /// Run the whole lifecycle in one call.
+    pub fn run(self, bench: &BenchmarkSpec) -> Result<Advice, TuningError> {
+        Ok(self
+            .preprocess(bench)?
+            .tune_threads()?
+            .analyze()?
+            .tune_frequencies()?
+            .advice())
+    }
+}
+
+/// State shared by all stages.
+struct SessionCore<'a> {
+    node: &'a Node,
+    model: Option<&'a EnergyModel>,
+    objective: TuningObjective,
+    strategy: &'a dyn SearchStrategy,
+    dyn_detect: DynDetectConfig,
+    explore_thread_neighbourhood: bool,
+    engine: ExperimentsEngine<'a>,
+    bench: BenchmarkSpec,
+}
+
+/// Stage 1: pre-processing done, significant regions known.
+pub struct Preprocessed<'a> {
+    core: SessionCore<'a>,
+    config_file: TuningConfigFile,
+}
+
+impl<'a> Preprocessed<'a> {
+    /// The `readex-dyn-detect` configuration file.
+    pub fn config_file(&self) -> &TuningConfigFile {
+        &self.config_file
+    }
+
+    /// Stage 1 → 2: exhaustive OpenMP thread search for the phase region
+    /// (Section III-B). MPI-only applications pin to the full core count.
+    pub fn tune_threads(mut self) -> Result<ThreadsTuned<'a>, TuningError> {
+        let max_threads = self.core.node.topology().max_threads();
+        let candidates = self.config_file.thread_candidates(max_threads);
+        let thread_tuning = crate::threads::tune_threads_with(
+            &mut self.core.engine,
+            &self.core.bench,
+            self.core.node,
+            &candidates,
+            self.core.objective,
+        )?;
+        Ok(ThreadsTuned {
+            core: self.core,
+            config_file: self.config_file,
+            thread_tuning,
+        })
+    }
+}
+
+/// Stage 2: optimal thread count known.
+pub struct ThreadsTuned<'a> {
+    core: SessionCore<'a>,
+    config_file: TuningConfigFile,
+    thread_tuning: ThreadTuning,
+}
+
+impl<'a> ThreadsTuned<'a> {
+    /// Tuning step 1 outcome.
+    pub fn thread_tuning(&self) -> &ThreadTuning {
+        &self.thread_tuning
+    }
+
+    /// Stage 2 → 3: one instrumented analysis run at the calibration
+    /// frequencies measuring the phase PAPI counter rates (Section IV-A).
+    pub fn analyze(self) -> Result<Analyzed<'a>, TuningError> {
+        let calib = SystemConfig::calibration().with_threads(self.thread_tuning.best_threads);
+        let phase_rates = phase_counter_rates(&self.core.bench, self.core.node, calib);
+        Ok(Analyzed {
+            core: self.core,
+            config_file: self.config_file,
+            thread_tuning: self.thread_tuning,
+            phase_rates,
+        })
+    }
+}
+
+/// Stage 3: phase counter rates measured.
+pub struct Analyzed<'a> {
+    core: SessionCore<'a>,
+    config_file: TuningConfigFile,
+    thread_tuning: ThreadTuning,
+    phase_rates: [f64; 7],
+}
+
+impl<'a> Analyzed<'a> {
+    /// The measured phase counter rates.
+    pub fn phase_rates(&self) -> &[f64; 7] {
+        &self.phase_rates
+    }
+
+    /// Stage 3 → 4: the selected [`SearchStrategy`] finds the phase-best
+    /// configuration, then every significant region is verified against
+    /// the strategy's candidate set.
+    pub fn tune_frequencies(mut self) -> Result<FrequencyTuned<'a>, TuningError> {
+        let best_threads = self.thread_tuning.best_threads;
+        let mut thread_candidates = vec![best_threads];
+        if self.core.explore_thread_neighbourhood {
+            let step = self.core.dyn_detect.thread_step;
+            if best_threads >= self.core.dyn_detect.thread_lower_bound + step {
+                thread_candidates.push(best_threads - step);
+            }
+        }
+
+        let phase_character = self.core.bench.phase_character();
+        let outcome = {
+            let mut ctx = SearchContext {
+                node: self.core.node,
+                model: self.core.model,
+                objective: self.core.objective,
+                phase_character: &phase_character,
+                phase_rates: &self.phase_rates,
+                best_threads,
+                thread_candidates: &thread_candidates,
+                engine: &mut self.core.engine,
+            };
+            self.core.strategy.plan(&mut ctx)?
+        };
+
+        // Per-region verification: all significant regions are evaluated
+        // within the same experiment runs (one phase iteration evaluates
+        // every region), so experiments are counted per configuration,
+        // not per region × configuration.
+        let mut region_best = Vec::new();
+        for sig in &self.config_file.significant_regions {
+            let region =
+                self.core
+                    .bench
+                    .region(&sig.name)
+                    .ok_or_else(|| TuningError::UnknownRegion {
+                        application: self.core.bench.name.clone(),
+                        region: sig.name.clone(),
+                    })?;
+            let (cfg, m) = self.core.engine.try_best_for_region(
+                &region.character,
+                &outcome.verification,
+                self.core.objective,
+            )?;
+            region_best.push((sig.name.clone(), cfg, m.node_energy_j));
+        }
+
+        Ok(FrequencyTuned {
+            core: self.core,
+            config_file: self.config_file,
+            thread_tuning: self.thread_tuning,
+            phase_rates: self.phase_rates,
+            outcome,
+            region_best,
+        })
+    }
+}
+
+/// Stage 4: frequencies tuned, regions verified.
+pub struct FrequencyTuned<'a> {
+    core: SessionCore<'a>,
+    config_file: TuningConfigFile,
+    thread_tuning: ThreadTuning,
+    phase_rates: [f64; 7],
+    outcome: SearchOutcome,
+    region_best: Vec<(String, SystemConfig, f64)>,
+}
+
+impl FrequencyTuned<'_> {
+    /// The verified best phase configuration.
+    pub fn phase_best(&self) -> SystemConfig {
+        self.outcome.phase_best
+    }
+
+    /// Per-region best configurations found so far.
+    pub fn region_best(&self) -> &[(String, SystemConfig, f64)] {
+        &self.region_best
+    }
+
+    /// Stage 4 → 5: group regions into scenarios and emit the tuning
+    /// model (the `getAdvice` step).
+    #[must_use]
+    pub fn advice(self) -> Advice {
+        let tuning_model = TuningModel::new(
+            &self.core.bench.name,
+            &self
+                .region_best
+                .iter()
+                .map(|(n, c, _)| (n.clone(), *c))
+                .collect::<Vec<_>>(),
+            self.outcome.phase_best,
+        );
+        // Experiments in application-run equivalents: thread sweep (k) +
+        // one analysis run + phase search + one per verification
+        // configuration — the `(k + 1 + 9)` accounting of Section V-C.
+        let experiments = self.thread_tuning.experiments
+            + 1
+            + self.outcome.phase_search_configs
+            + self.outcome.verification.len() as u64;
+        Advice {
+            tuning_model,
+            config_file: self.config_file,
+            thread_tuning: self.thread_tuning,
+            phase_rates: self.phase_rates,
+            predicted_global: self.outcome.predicted_global,
+            phase_best: self.outcome.phase_best,
+            region_best: self.region_best,
+            experiments,
+            engine_runs: self.core.engine.region_runs(),
+            engine_requests: self.core.engine.requests(),
+            strategy: self.core.strategy.name(),
+            objective: self.core.objective,
+        }
+    }
+}
+
+/// Stage 5: everything the session produced.
+#[derive(Debug, Clone)]
+pub struct Advice {
+    /// The generated tuning model (the plugin's final artefact).
+    pub tuning_model: TuningModel,
+    /// The `readex-dyn-detect` configuration file from pre-processing.
+    pub config_file: TuningConfigFile,
+    /// Tuning step 1 outcome.
+    pub thread_tuning: ThreadTuning,
+    /// Phase counter rates measured in the analysis step.
+    pub phase_rates: [f64; 7],
+    /// The model-predicted global frequency pair (strategies without a
+    /// model prediction report `None`).
+    pub predicted_global: Option<(CoreFreq, UncoreFreq)>,
+    /// Best configuration found for the phase region.
+    pub phase_best: SystemConfig,
+    /// Per significant region: `(name, best config, node energy of one
+    /// instance)`.
+    pub region_best: Vec<(String, SystemConfig, f64)>,
+    /// Experiments requested in phase-iteration equivalents — the
+    /// `(k + 1 + 9)` count of the Section V-C cost analysis. Counted per
+    /// requested configuration, independent of cache hits, so the figure
+    /// is comparable across cached and uncached sessions; see
+    /// [`Advice::engine_runs`] for the simulations that actually ran.
+    pub experiments: u64,
+    /// Individual region simulations that actually ran on the execution
+    /// engine (cache hits excluded) — the quantity the batch cache saves.
+    pub engine_runs: u64,
+    /// Evaluation requests issued to the engine (cache hits included).
+    pub engine_requests: u64,
+    /// Name of the search strategy that produced this advice.
+    pub strategy: &'static str,
+    /// Objective the session tuned for.
+    pub objective: TuningObjective,
+}
+
+impl Advice {
+    /// Convert into the legacy [`DtaReport`] for existing consumers.
+    /// Strategies without a model prediction report the verified phase
+    /// best as the "predicted" pair.
+    pub fn into_report(self) -> DtaReport {
+        let predicted_global = self
+            .predicted_global
+            .unwrap_or((self.phase_best.core, self.phase_best.uncore));
+        DtaReport {
+            tuning_model: self.tuning_model,
+            config_file: self.config_file,
+            thread_tuning: self.thread_tuning,
+            phase_rates: self.phase_rates,
+            predicted_global,
+            phase_best: self.phase_best,
+            region_best: self.region_best,
+            experiments: self.experiments,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(node: &Node) -> EnergyModel {
+        EnergyModel::train_paper(&kernels::training_set(), node)
+    }
+
+    #[test]
+    fn staged_lifecycle_matches_one_shot_run() {
+        let node = Node::exact(0);
+        let model = model(&node);
+        let bench = kernels::benchmark("miniMD").unwrap();
+
+        let staged = TuningSession::builder(&node)
+            .with_model(&model)
+            .preprocess(&bench)
+            .unwrap()
+            .tune_threads()
+            .unwrap()
+            .analyze()
+            .unwrap()
+            .tune_frequencies()
+            .unwrap()
+            .advice();
+        let one_shot = TuningSession::builder(&node)
+            .with_model(&model)
+            .run(&bench)
+            .unwrap();
+        assert_eq!(staged.tuning_model, one_shot.tuning_model);
+        assert_eq!(staged.experiments, one_shot.experiments);
+        assert_eq!(staged.strategy, "model-based-neighbourhood");
+    }
+
+    #[test]
+    fn stage_accessors_expose_intermediate_state() {
+        let node = Node::exact(0);
+        let model = model(&node);
+        let bench = kernels::benchmark("Lulesh").unwrap();
+        let pre = TuningSession::builder(&node)
+            .with_model(&model)
+            .preprocess(&bench)
+            .unwrap();
+        assert_eq!(pre.config_file().significant_regions.len(), 5);
+        let threads = pre.tune_threads().unwrap();
+        assert_eq!(threads.thread_tuning().best_threads, 24);
+        let analyzed = threads.analyze().unwrap();
+        assert!(analyzed.phase_rates().iter().all(|&r| r > 0.0));
+        let tuned = analyzed.tune_frequencies().unwrap();
+        assert_eq!(tuned.region_best().len(), 5);
+        let advice = tuned.advice();
+        assert_eq!(advice.tuning_model.application, "Lulesh");
+        assert!(advice.engine_runs <= advice.engine_requests);
+    }
+
+    #[test]
+    fn exhaustive_and_random_strategies_need_no_model() {
+        let node = Node::exact(0);
+        let bench = kernels::benchmark("miniMD").unwrap();
+        let exhaustive = TuningSession::builder(&node)
+            .with_strategy(&ExhaustiveSearch)
+            .run(&bench)
+            .unwrap();
+        assert_eq!(exhaustive.strategy, "exhaustive");
+        assert!(exhaustive.predicted_global.is_none());
+
+        let random = RandomSearch::new(20, 3);
+        let sampled = TuningSession::builder(&node)
+            .with_strategy(&random)
+            .run(&bench)
+            .unwrap();
+        assert_eq!(sampled.strategy, "random");
+        // Random search can only be as good as exhaustive on the shared
+        // objective, and both produce a usable tuning model.
+        let e_score = exhaustive
+            .region_best
+            .iter()
+            .map(|(_, _, e)| e)
+            .sum::<f64>();
+        let r_score = sampled.region_best.iter().map(|(_, _, e)| e).sum::<f64>();
+        assert!(
+            r_score >= e_score - 1e-9,
+            "exhaustive {e_score} vs random {r_score}"
+        );
+        assert!(sampled.experiments < exhaustive.experiments);
+    }
+
+    #[test]
+    fn model_based_without_model_errors_at_frequency_stage() {
+        let node = Node::exact(0);
+        let bench = kernels::benchmark("miniMD").unwrap();
+        let err = TuningSession::builder(&node).run(&bench).unwrap_err();
+        assert!(matches!(err, TuningError::MissingModel { .. }));
+    }
+
+    #[test]
+    fn into_report_preserves_the_tuning_model() {
+        let node = Node::exact(0);
+        let model = model(&node);
+        let bench = kernels::benchmark("miniMD").unwrap();
+        let advice = TuningSession::builder(&node)
+            .with_model(&model)
+            .run(&bench)
+            .unwrap();
+        let tm = advice.tuning_model.clone();
+        let (pcf, pucf) = advice.predicted_global.unwrap();
+        let report = advice.into_report();
+        assert_eq!(report.tuning_model, tm);
+        assert_eq!(report.predicted_global, (pcf, pucf));
+    }
+}

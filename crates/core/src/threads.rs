@@ -11,6 +11,7 @@ use simnode::{Node, SystemConfig};
 
 use crate::experiments::ExperimentsEngine;
 use crate::objectives::TuningObjective;
+use crate::session::TuningError;
 
 /// Result of the thread-tuning step.
 #[derive(Debug, Clone)]
@@ -19,41 +20,68 @@ pub struct ThreadTuning {
     pub best_threads: u32,
     /// `(threads, objective score)` for every candidate, in sweep order.
     pub sweep: Vec<(u32, f64)>,
-    /// Experiments consumed (one per candidate — `k` in the Section V-C
-    /// cost model).
+    /// Experiments requested (one per candidate — `k` in the Section V-C
+    /// cost model, independent of cache hits).
     pub experiments: u64,
 }
 
-/// Exhaustively evaluate the thread candidates for the phase region.
+/// [`tune_threads`] on a caller-provided engine (the staged session
+/// passes its cache-sharing engine here). Errors instead of panicking on
+/// an empty candidate set.
 ///
-/// MPI-only benchmarks are not thread-tunable; they are pinned to the full
-/// core count and the sweep contains that single point.
+/// MPI-only benchmarks are not thread-tunable; they are pinned to the
+/// full core count and the sweep contains that single point.
+pub fn tune_threads_with(
+    engine: &mut ExperimentsEngine<'_>,
+    bench: &BenchmarkSpec,
+    node: &Node,
+    candidates: &[u32],
+    objective: TuningObjective,
+) -> Result<ThreadTuning, TuningError> {
+    let candidates: Vec<u32> = if bench.model.tunable_threads() {
+        candidates.to_vec()
+    } else {
+        vec![node.topology().max_threads()]
+    };
+    if candidates.is_empty() {
+        return Err(TuningError::EmptyCandidates {
+            stage: "thread tuning",
+        });
+    }
+
+    let mut sweep = Vec::with_capacity(candidates.len());
+    for &t in &candidates {
+        let cfg = SystemConfig::calibration().with_threads(t);
+        let m = engine.evaluate_phase(bench, &cfg);
+        sweep.push((t, m.score(objective)));
+    }
+    let best_threads = sweep
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("candidates checked non-empty above")
+        .0;
+    Ok(ThreadTuning {
+        best_threads,
+        experiments: sweep.len() as u64,
+        sweep,
+    })
+}
+
+/// Exhaustively evaluate the thread candidates for the phase region on a
+/// fresh uncached engine.
+///
+/// # Panics
+/// Panics if `candidates` is empty for a thread-tunable benchmark; use
+/// [`tune_threads_with`] for the fallible variant.
 pub fn tune_threads(
     bench: &BenchmarkSpec,
     node: &Node,
     candidates: &[u32],
     objective: TuningObjective,
 ) -> ThreadTuning {
-    let candidates: Vec<u32> = if bench.model.tunable_threads() {
-        candidates.to_vec()
-    } else {
-        vec![node.topology().max_threads()]
-    };
-    assert!(!candidates.is_empty(), "no thread candidates");
-
-    let mut eng = ExperimentsEngine::new(node);
-    let mut sweep = Vec::with_capacity(candidates.len());
-    for &t in &candidates {
-        let cfg = SystemConfig::calibration().with_threads(t);
-        let m = eng.evaluate_phase(bench, &cfg);
-        sweep.push((t, m.score(objective)));
-    }
-    let best_threads = sweep
-        .iter()
-        .min_by(|a, b| a.1.total_cmp(&b.1))
-        .expect("nonempty sweep")
-        .0;
-    ThreadTuning { best_threads, sweep, experiments: eng.experiments() }
+    let mut engine = ExperimentsEngine::new(node);
+    tune_threads_with(&mut engine, bench, node, candidates, objective)
+        .expect("no thread candidates")
 }
 
 #[cfg(test)]
@@ -97,7 +125,11 @@ mod tests {
         );
         // The landscape must indeed be flat: best and 24-thread scores
         // within 5 %.
-        let best = t.sweep.iter().map(|&(_, s)| s).fold(f64::INFINITY, f64::min);
+        let best = t
+            .sweep
+            .iter()
+            .map(|&(_, s)| s)
+            .fold(f64::INFINITY, f64::min);
         let at24 = t.sweep.iter().find(|&&(n, _)| n == 24).unwrap().1;
         assert!((at24 - best) / best < 0.05);
     }

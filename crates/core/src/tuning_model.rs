@@ -33,7 +33,12 @@ impl TuningModel {
         phase_config: SystemConfig,
     ) -> Self {
         let (scenarios, classifier) = ScenarioClassifier::build(region_configs);
-        Self { application: application.into(), scenarios, classifier, phase_config }
+        Self {
+            application: application.into(),
+            scenarios,
+            classifier,
+            phase_config,
+        }
     }
 
     /// Configuration to apply when entering `region`: the region's
@@ -69,9 +74,15 @@ mod tests {
         TuningModel::new(
             "Lulesh",
             &[
-                ("IntegrateStressForElems".into(), SystemConfig::new(24, 2500, 2000)),
+                (
+                    "IntegrateStressForElems".into(),
+                    SystemConfig::new(24, 2500, 2000),
+                ),
                 ("CalcQForElems".into(), SystemConfig::new(24, 2500, 2000)),
-                ("CalcKinematicsForElems".into(), SystemConfig::new(24, 2400, 2000)),
+                (
+                    "CalcKinematicsForElems".into(),
+                    SystemConfig::new(24, 2400, 2000),
+                ),
             ],
             SystemConfig::new(24, 2500, 2100),
         )
@@ -81,14 +92,24 @@ mod tests {
     fn lookup_uses_scenarios_and_falls_back_to_phase() {
         let m = model();
         assert_eq!(m.lookup("CalcQForElems"), SystemConfig::new(24, 2500, 2000));
-        assert_eq!(m.lookup("CalcKinematicsForElems"), SystemConfig::new(24, 2400, 2000));
-        assert_eq!(m.lookup("unknown_region"), SystemConfig::new(24, 2500, 2100));
+        assert_eq!(
+            m.lookup("CalcKinematicsForElems"),
+            SystemConfig::new(24, 2400, 2000)
+        );
+        assert_eq!(
+            m.lookup("unknown_region"),
+            SystemConfig::new(24, 2500, 2100)
+        );
     }
 
     #[test]
     fn scenario_grouping() {
         let m = model();
-        assert_eq!(m.scenario_count(), 2, "two distinct configs → two scenarios");
+        assert_eq!(
+            m.scenario_count(),
+            2,
+            "two distinct configs → two scenarios"
+        );
     }
 
     #[test]

@@ -1,21 +1,24 @@
-//! The four-step Design-Time Analysis workflow (Fig. 1).
+//! The legacy one-shot Design-Time Analysis driver.
+//!
+//! [`DesignTimeAnalysis`] predates the staged
+//! [`TuningSession`](crate::session::TuningSession) API and survives as a
+//! thin compatibility shim over it, so existing [`DtaReport`] consumers
+//! keep compiling. New code should drive the session directly: it
+//! exposes every stage, returns `Result` instead of panicking, supports
+//! pluggable search strategies and can share a batch experiment cache.
 
 use kernels::BenchmarkSpec;
-use scorep_lite::dyn_detect::{detect, DynDetectConfig};
-use scorep_lite::filter::{autofilter, DEFAULT_FILTER_THRESHOLD_S};
-use scorep_lite::instrument::StaticHook;
-use scorep_lite::{InstrumentationConfig, InstrumentedApp, TuningConfigFile};
-use simnode::{CoreFreq, FreqDomain, Node, SystemConfig, UncoreFreq};
+use scorep_lite::dyn_detect::DynDetectConfig;
+use scorep_lite::TuningConfigFile;
+use simnode::{CoreFreq, Node, SystemConfig, UncoreFreq};
 
-use crate::experiments::ExperimentsEngine;
 use crate::freqpred::EnergyModel;
-use crate::modeldata::phase_counter_rates;
 use crate::objectives::TuningObjective;
-use crate::search::SearchSpace;
-use crate::threads::{tune_threads, ThreadTuning};
+use crate::session::{ModelBasedNeighbourhood, TuningError, TuningSession};
+use crate::threads::ThreadTuning;
 use crate::tuning_model::TuningModel;
 
-/// The DTA driver.
+/// The one-shot DTA driver (compatibility shim over the staged session).
 pub struct DesignTimeAnalysis<'a> {
     node: &'a Node,
     model: &'a EnergyModel,
@@ -73,124 +76,37 @@ impl<'a> DesignTimeAnalysis<'a> {
     }
 
     /// Select a different tuning objective.
+    #[must_use]
     pub fn with_objective(mut self, objective: TuningObjective) -> Self {
         self.objective = objective;
         self
     }
 
+    /// Run the full DTA for `bench` through the staged session.
+    pub fn try_run(&self, bench: &BenchmarkSpec) -> Result<DtaReport, TuningError> {
+        let strategy = ModelBasedNeighbourhood {
+            radius: self.neighbourhood_radius,
+            recentre_extra: 2,
+        };
+        let advice = TuningSession::builder(self.node)
+            .with_model(self.model)
+            .with_objective(self.objective)
+            .with_strategy(&strategy)
+            .with_dyn_detect(self.dyn_detect.clone())
+            .with_thread_neighbourhood(self.explore_thread_neighbourhood)
+            .run(bench)?;
+        Ok(advice.into_report())
+    }
+
     /// Run the full DTA for `bench`.
+    ///
+    /// # Panics
+    /// Panics when the session fails (unknown significant region, empty
+    /// candidate sets). Use [`DesignTimeAnalysis::try_run`] — or the
+    /// staged [`TuningSession`] API — to handle those as errors.
+    #[deprecated(note = "use ptf::session::TuningSession (or try_run) instead")]
     pub fn run(&self, bench: &BenchmarkSpec) -> DtaReport {
-        // ------------------------------------------------- pre-processing
-        // Profiling run with full instrumentation, then run-time filtering
-        // and a filtered profiling run feeding readex-dyn-detect.
-        let profile_run = InstrumentedApp::new(
-            bench,
-            self.node,
-            InstrumentationConfig::scorep_defaults(),
-        )
-        .run(&mut StaticHook(SystemConfig::calibration()));
-        let filter = autofilter(&profile_run.profile, DEFAULT_FILTER_THRESHOLD_S);
-        let filtered_run = InstrumentedApp::new(
-            bench,
-            self.node,
-            InstrumentationConfig::scorep_defaults().with_filter(filter),
-        )
-        .run(&mut StaticHook(SystemConfig::calibration()));
-        let config_file = detect(&bench.name, &filtered_run.profile, &self.dyn_detect);
-
-        // ------------------------------------------- step 1: OpenMP threads
-        let candidates = config_file.thread_candidates(self.node.topology().max_threads());
-        let thread_tuning = tune_threads(bench, self.node, &candidates, self.objective);
-        let best_threads = thread_tuning.best_threads;
-
-        // -------------------------------- analysis step: phase PAPI metrics
-        let calib = SystemConfig::calibration().with_threads(best_threads);
-        let phase_rates = phase_counter_rates(bench, self.node, calib);
-
-        // --------------------- step 2: model-predicted global frequency pair
-        let core_domain = FreqDomain::haswell_core();
-        let uncore_domain = FreqDomain::haswell_uncore();
-        let (g_cf, g_ucf) = self.model.best_frequencies(&phase_rates, &core_domain, &uncore_domain);
-        let global = SystemConfig::new(best_threads, g_cf.mhz(), g_ucf.mhz());
-
-        // --------------- verification: neighbourhood experiments
-        // Stage 1 — recentring: the model's arg-min scatters across the
-        // flat near-optimal plateau (the paper's own plugin picked
-        // 2.5|2.1 GHz where the optimum was 2.4|1.7 GHz), so the phase
-        // region is first verified on a slightly wider grid around the
-        // predicted pair and the measured best becomes the centre for
-        // region-level verification. Cost stays O(10–25) phase
-        // iterations — still orders of magnitude below exhaustive search.
-        let mut eng = ExperimentsEngine::new(self.node);
-        let phase_char = bench.phase_character();
-        let recentre_space = SearchSpace::neighbourhood(
-            global,
-            self.neighbourhood_radius + 2,
-            vec![best_threads],
-        );
-        let (phase_best, _) =
-            eng.best_for_region(&phase_char, &recentre_space.configs(), self.objective);
-
-        // Stage 2 — immediate neighbourhood of the recentred best.
-        let mut thread_candidates = vec![best_threads];
-        if self.explore_thread_neighbourhood {
-            let step = self.dyn_detect.thread_step;
-            if best_threads >= self.dyn_detect.thread_lower_bound + step {
-                thread_candidates.push(best_threads - step);
-            }
-        }
-        let space =
-            SearchSpace::neighbourhood(phase_best, self.neighbourhood_radius, thread_candidates);
-        let configs = space.configs();
-
-        // Per-region verification: all significant regions are evaluated
-        // within the same experiment runs (one phase iteration evaluates
-        // every region), so experiments are counted per configuration, not
-        // per region × configuration.
-        let mut region_best = Vec::new();
-        for sig in &config_file.significant_regions {
-            let region = bench
-                .region(&sig.name)
-                .expect("significant region exists in the benchmark spec");
-            let mut best: Option<(SystemConfig, f64, f64)> = None;
-            for cfg in &configs {
-                let m = eng.evaluate(&region.character, cfg);
-                let s = m.score(self.objective);
-                match best {
-                    Some((_, _, bs)) if bs <= s => {}
-                    _ => best = Some((*cfg, m.node_energy_j, s)),
-                }
-            }
-            let (cfg, energy, _) = best.expect("nonempty config space");
-            region_best.push((sig.name.clone(), cfg, energy));
-        }
-
-        // Experiments in application-run equivalents: thread sweep (k) +
-        // one analysis run + recentring grid + one per verification
-        // configuration.
-        let experiments =
-            thread_tuning.experiments + 1 + recentre_space.len() as u64 + configs.len() as u64;
-
-        // ------------------------------------- step 4: tuning model
-        let tuning_model = TuningModel::new(
-            &bench.name,
-            &region_best
-                .iter()
-                .map(|(n, c, _)| (n.clone(), *c))
-                .collect::<Vec<_>>(),
-            phase_best,
-        );
-
-        DtaReport {
-            tuning_model,
-            config_file,
-            thread_tuning,
-            phase_rates,
-            predicted_global: (g_cf, g_ucf),
-            phase_best,
-            region_best,
-            experiments,
-        }
+        self.try_run(bench).expect("design-time analysis failed")
     }
 }
 
@@ -207,7 +123,7 @@ mod tests {
         let node = Node::exact(0);
         let model = trained_model(&node);
         let dta = DesignTimeAnalysis::new(&node, &model);
-        let report = dta.run(&kernels::benchmark("Lulesh").unwrap());
+        let report = dta.try_run(&kernels::benchmark("Lulesh").unwrap()).unwrap();
 
         assert_eq!(report.thread_tuning.best_threads, 24);
         assert_eq!(report.config_file.significant_regions.len(), 5);
@@ -240,9 +156,22 @@ mod tests {
         assert!(report.tuning_model.scenario_count() >= 1);
 
         // Cost accounting: k (4 thread candidates) + 1 analysis +
-        // recentring grid (≤ 25) + ≤ 2×3×3 verification configs.
+        // recentring grid (≤ 49) + ≤ 2×3×3 verification configs.
         assert!(report.experiments >= 4 + 1 + 6);
         assert!(report.experiments <= 4 + 1 + 49 + 18);
+    }
+
+    #[test]
+    fn deprecated_run_still_produces_the_same_report() {
+        let node = Node::exact(0);
+        let model = trained_model(&node);
+        let dta = DesignTimeAnalysis::new(&node, &model);
+        let bench = kernels::benchmark("miniMD").unwrap();
+        #[allow(deprecated)]
+        let legacy = dta.run(&bench);
+        let current = dta.try_run(&bench).unwrap();
+        assert_eq!(legacy.tuning_model, current.tuning_model);
+        assert_eq!(legacy.experiments, current.experiments);
     }
 
     #[test]
@@ -250,7 +179,9 @@ mod tests {
         let node = Node::exact(0);
         let model = trained_model(&node);
         let dta = DesignTimeAnalysis::new(&node, &model);
-        let report = dta.run(&kernels::benchmark("Mcbenchmark").unwrap());
+        let report = dta
+            .try_run(&kernels::benchmark("Mcbenchmark").unwrap())
+            .unwrap();
 
         // 16 or 20: the calibration-point thread landscape is flat (see
         // threads::tests::mcb_prefers_reduced_threads).

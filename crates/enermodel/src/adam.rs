@@ -24,7 +24,12 @@ pub struct AdamConfig {
 
 impl Default for AdamConfig {
     fn default() -> Self {
-        Self { learning_rate: 1e-3, beta1: 0.9, beta2: 0.999, epsilon: 1e-8 }
+        Self {
+            learning_rate: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+        }
     }
 }
 
@@ -50,8 +55,19 @@ impl Adam {
             .iter()
             .map(|l| vec![vec![0.0; l.fan_in()]; l.fan_out()])
             .collect();
-        let m_b: Vec<Vec<f64>> = net.layers().iter().map(|l| vec![0.0; l.fan_out()]).collect();
-        Self { cfg, v_w: m_w.clone(), v_b: m_b.clone(), m_w, m_b, t: 0 }
+        let m_b: Vec<Vec<f64>> = net
+            .layers()
+            .iter()
+            .map(|l| vec![0.0; l.fan_out()])
+            .collect();
+        Self {
+            cfg,
+            v_w: m_w.clone(),
+            v_b: m_b.clone(),
+            m_w,
+            m_b,
+            t: 0,
+        }
     }
 
     /// Hyper-parameters in use.
@@ -75,7 +91,12 @@ impl Adam {
     pub fn step(&mut self, net: &mut EnergyNet, g: &Gradients) {
         self.t += 1;
         let t = self.t as f64;
-        let AdamConfig { learning_rate, beta1, beta2, epsilon } = self.cfg;
+        let AdamConfig {
+            learning_rate,
+            beta1,
+            beta2,
+            epsilon,
+        } = self.cfg;
         let bc1 = 1.0 - beta1.powf(t);
         let bc2 = 1.0 - beta2.powf(t);
 
@@ -121,7 +142,13 @@ mod tests {
             activation: Activation::Linear,
         };
         let mut net = EnergyNet::from_layers(vec![layer]);
-        let mut adam = Adam::new(&net, AdamConfig { learning_rate: 0.05, ..Default::default() });
+        let mut adam = Adam::new(
+            &net,
+            AdamConfig {
+                learning_rate: 0.05,
+                ..Default::default()
+            },
+        );
         for _ in 0..2000 {
             let (_, g) = net.backprop(&[1.0], &[3.0]);
             adam.step(&mut net, &g);
@@ -142,7 +169,11 @@ mod tests {
     #[test]
     fn first_step_size_is_bounded_by_lr() {
         // Adam's bias correction makes the very first step ≈ lr * sign(g).
-        let mut net = EnergyNet::new(&NetConfig { layer_sizes: vec![1, 1], hidden_activation: Activation::ReLU, seed: 2 });
+        let mut net = EnergyNet::new(&NetConfig {
+            layer_sizes: vec![1, 1],
+            hidden_activation: Activation::ReLU,
+            seed: 2,
+        });
         let before = net.layers()[0].weights[0][0];
         let mut adam = Adam::new(&net, AdamConfig::default());
         let (_, g) = net.backprop(&[1.0], &[100.0]);

@@ -77,8 +77,7 @@ pub fn kfold_mape(data: &Dataset, k: usize, seed: u64) -> f64 {
     let mut fold_errors = Vec::with_capacity(k);
     for f in 0..k {
         let test: Vec<usize> = idx.iter().copied().skip(f).step_by(k).collect();
-        let train_idx: Vec<usize> =
-            idx.iter().copied().filter(|i| !test.contains(i)).collect();
+        let train_idx: Vec<usize> = idx.iter().copied().filter(|i| !test.contains(i)).collect();
         let train_set = data.subset(&train_idx);
         let test_set = data.subset(&test);
         let Some(model) = RegressionEnergyModel::fit(&train_set) else {

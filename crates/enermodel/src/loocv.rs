@@ -123,7 +123,10 @@ mod tests {
         let report = loocv_mape(&data, &cfg());
         assert_eq!(report.folds.len(), 5);
         let names: Vec<&str> = report.folds.iter().map(|f| f.group.as_str()).collect();
-        assert_eq!(names, vec!["bench0", "bench1", "bench2", "bench3", "bench4"]);
+        assert_eq!(
+            names,
+            vec!["bench0", "bench1", "bench2", "bench3", "bench4"]
+        );
         assert!(report.folds.iter().all(|f| f.samples == 40));
     }
 
@@ -131,7 +134,11 @@ mod tests {
     fn generalises_on_shared_function() {
         let data = synth();
         let report = loocv_mape(&data, &cfg());
-        assert!(report.mean_mape() < 10.0, "mean MAPE {}", report.mean_mape());
+        assert!(
+            report.mean_mape() < 10.0,
+            "mean MAPE {}",
+            report.mean_mape()
+        );
         for f in &report.folds {
             assert!(f.mape.is_finite());
         }

@@ -37,7 +37,12 @@ pub fn mean_absolute_error(actual: &[f64], predicted: &[f64]) -> f64 {
     if actual.is_empty() {
         return 0.0;
     }
-    actual.iter().zip(predicted).map(|(a, p)| (a - p).abs()).sum::<f64>() / actual.len() as f64
+    actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, p)| (a - p).abs())
+        .sum::<f64>()
+        / actual.len() as f64
 }
 
 /// Mean squared error — the network's training objective.
@@ -62,7 +67,11 @@ pub fn r_squared(actual: &[f64], predicted: &[f64]) -> f64 {
     if ss_tot <= f64::EPSILON {
         return 0.0;
     }
-    let ss_res: f64 = actual.iter().zip(predicted).map(|(y, p)| (y - p) * (y - p)).sum();
+    let ss_res: f64 = actual
+        .iter()
+        .zip(predicted)
+        .map(|(y, p)| (y - p) * (y - p))
+        .sum();
     1.0 - ss_res / ss_tot
 }
 

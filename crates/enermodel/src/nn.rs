@@ -74,13 +74,22 @@ pub struct Layer {
 
 impl Layer {
     /// He-initialise a layer: `w ~ N(0, 1) * sqrt(2 / fan_in)`, biases 0.
-    pub fn he_init(fan_in: usize, fan_out: usize, activation: Activation, rng: &mut StdRng) -> Self {
+    pub fn he_init(
+        fan_in: usize,
+        fan_out: usize,
+        activation: Activation,
+        rng: &mut StdRng,
+    ) -> Self {
         let normal = Normal::new(0.0, 1.0).expect("valid normal");
         let scale = (2.0 / fan_in as f64).sqrt();
         let weights = (0..fan_out)
             .map(|_| (0..fan_in).map(|_| normal.sample(rng) * scale).collect())
             .collect();
-        Self { weights, biases: vec![0.0; fan_out], activation }
+        Self {
+            weights,
+            biases: vec![0.0; fan_out],
+            activation,
+        }
     }
 
     /// Input width.
@@ -125,7 +134,11 @@ pub struct NetConfig {
 impl NetConfig {
     /// The exact architecture from Fig. 4 of the paper: 9-5-5-1 with ReLU.
     pub fn paper(seed: u64) -> Self {
-        Self { layer_sizes: vec![9, 5, 5, 1], hidden_activation: Activation::ReLU, seed }
+        Self {
+            layer_sizes: vec![9, 5, 5, 1],
+            hidden_activation: Activation::ReLU,
+            seed,
+        }
     }
 }
 
@@ -201,12 +214,19 @@ impl Gradients {
 impl EnergyNet {
     /// Build a freshly He-initialised network from `cfg`.
     pub fn new(cfg: &NetConfig) -> Self {
-        assert!(cfg.layer_sizes.len() >= 2, "need at least input and output sizes");
+        assert!(
+            cfg.layer_sizes.len() >= 2,
+            "need at least input and output sizes"
+        );
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let n = cfg.layer_sizes.len() - 1;
         let layers = (0..n)
             .map(|i| {
-                let act = if i + 1 == n { Activation::Linear } else { cfg.hidden_activation };
+                let act = if i + 1 == n {
+                    Activation::Linear
+                } else {
+                    cfg.hidden_activation
+                };
                 Layer::he_init(cfg.layer_sizes[i], cfg.layer_sizes[i + 1], act, &mut rng)
             })
             .collect();
@@ -266,7 +286,9 @@ impl EnergyNet {
 
     /// Predict scalars for every row of `x`.
     pub fn predict_batch(&self, x: &Matrix) -> Vec<f64> {
-        (0..x.rows()).map(|r| self.predict_scalar(x.row(r))).collect()
+        (0..x.rows())
+            .map(|r| self.predict_scalar(x.row(r)))
+            .collect()
     }
 
     /// Forward + backward pass for one sample under squared-error loss
@@ -287,7 +309,11 @@ impl EnergyNet {
             activations.push(post);
         }
         let output = activations.last().expect("nonempty");
-        let loss: f64 = output.iter().zip(target).map(|(o, t)| (o - t) * (o - t)).sum();
+        let loss: f64 = output
+            .iter()
+            .zip(target)
+            .map(|(o, t)| (o - t) * (o - t))
+            .sum();
 
         // Backward.
         let mut grads = Gradients::zeros_like(self);
@@ -357,7 +383,11 @@ mod tests {
         let mean = all.iter().sum::<f64>() / all.len() as f64;
         let var = all.iter().map(|w| (w - mean) * (w - mean)).sum::<f64>() / all.len() as f64;
         assert!(mean.abs() < 0.01, "mean {mean}");
-        assert!((var.sqrt() - (2.0f64 / 100.0).sqrt()).abs() < 0.01, "std {}", var.sqrt());
+        assert!(
+            (var.sqrt() - (2.0f64 / 100.0).sqrt()).abs() < 0.01,
+            "std {}",
+            var.sqrt()
+        );
         assert!(layer.biases.iter().all(|&b| b == 0.0));
     }
 

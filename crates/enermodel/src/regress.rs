@@ -27,8 +27,17 @@ pub struct OlsFit {
 impl OlsFit {
     /// Predict the response for one feature row.
     pub fn predict_row(&self, row: &[f64]) -> f64 {
-        assert_eq!(row.len(), self.coefficients.len(), "predictor count mismatch");
-        self.intercept + row.iter().zip(&self.coefficients).map(|(x, b)| x * b).sum::<f64>()
+        assert_eq!(
+            row.len(),
+            self.coefficients.len(),
+            "predictor count mismatch"
+        );
+        self.intercept
+            + row
+                .iter()
+                .zip(&self.coefficients)
+                .map(|(x, b)| x * b)
+                .sum::<f64>()
     }
 
     /// Predict the response for every row of `x`.
@@ -60,7 +69,10 @@ pub fn ols(x: &Matrix, y: &[f64]) -> Option<OlsFit> {
     if beta.is_none() {
         // Ridge fallback: XᵀX + λI. λ is tiny relative to the diagonal scale
         // so that well-posed systems are unaffected.
-        let scale = (0..p + 1).map(|i| xtx[(i, i)].abs()).fold(0.0, f64::max).max(1.0);
+        let scale = (0..p + 1)
+            .map(|i| xtx[(i, i)].abs())
+            .fold(0.0, f64::max)
+            .max(1.0);
         let lambda = 1e-8 * scale;
         for i in 0..p + 1 {
             xtx[(i, i)] += lambda;
@@ -84,7 +96,11 @@ pub fn ols(x: &Matrix, y: &[f64]) -> Option<OlsFit> {
     let ybar = mean(y);
     let ss_tot: f64 = y.iter().map(|yi| (yi - ybar) * (yi - ybar)).sum();
     let ss_res: f64 = residuals.iter().map(|e| e * e).sum();
-    let r2 = if ss_tot <= f64::EPSILON { 0.0 } else { 1.0 - ss_res / ss_tot };
+    let r2 = if ss_tot <= f64::EPSILON {
+        0.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     let adj = if n > p + 1 && ss_tot > f64::EPSILON {
         1.0 - (1.0 - r2) * (n as f64 - 1.0) / (n as f64 - p as f64 - 1.0)
     } else {
@@ -114,9 +130,17 @@ mod tests {
         // y = 2 + 3a - 0.5b, no noise.
         let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
         let b = [2.0, 1.0, 5.0, 0.0, 2.5, -1.0];
-        let y: Vec<f64> = a.iter().zip(&b).map(|(ai, bi)| 2.0 + 3.0 * ai - 0.5 * bi).collect();
+        let y: Vec<f64> = a
+            .iter()
+            .zip(&b)
+            .map(|(ai, bi)| 2.0 + 3.0 * ai - 0.5 * bi)
+            .collect();
         let fit = ols(&x_of(&[&a, &b]), &y).expect("fit");
-        assert!((fit.intercept - 2.0).abs() < 1e-9, "intercept {}", fit.intercept);
+        assert!(
+            (fit.intercept - 2.0).abs() < 1e-9,
+            "intercept {}",
+            fit.intercept
+        );
         assert!((fit.coefficients[0] - 3.0).abs() < 1e-9);
         assert!((fit.coefficients[1] + 0.5).abs() < 1e-9);
         assert!(fit.r_squared > 0.999999);
@@ -126,7 +150,10 @@ mod tests {
     fn r_squared_between_zero_and_one_with_noise() {
         let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
         // Deterministic "noise".
-        let y: Vec<f64> = a.iter().map(|ai| 1.0 + 0.5 * ai + (ai * 1.7).sin()).collect();
+        let y: Vec<f64> = a
+            .iter()
+            .map(|ai| 1.0 + 0.5 * ai + (ai * 1.7).sin())
+            .collect();
         let fit = ols(&x_of(&[&a]), &y).expect("fit");
         assert!(fit.r_squared > 0.9 && fit.r_squared <= 1.0);
         assert!(fit.adj_r_squared <= fit.r_squared);

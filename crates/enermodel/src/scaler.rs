@@ -60,7 +60,9 @@ impl StandardScaler {
     /// Transform a matrix (rows are observations).
     pub fn transform(&self, x: &Matrix) -> Matrix {
         assert_eq!(x.cols(), self.means.len(), "feature count mismatch");
-        Matrix::from_fn(x.rows(), x.cols(), |r, c| (x[(r, c)] - self.means[c]) / self.stds[c])
+        Matrix::from_fn(x.rows(), x.cols(), |r, c| {
+            (x[(r, c)] - self.means[c]) / self.stds[c]
+        })
     }
 
     /// Transform a single feature row in place.
@@ -74,7 +76,9 @@ impl StandardScaler {
     /// Invert the transform on a matrix.
     pub fn inverse_transform(&self, z: &Matrix) -> Matrix {
         assert_eq!(z.cols(), self.means.len(), "feature count mismatch");
-        Matrix::from_fn(z.rows(), z.cols(), |r, c| z[(r, c)] * self.stds[c] + self.means[c])
+        Matrix::from_fn(z.rows(), z.cols(), |r, c| {
+            z[(r, c)] * self.stds[c] + self.means[c]
+        })
     }
 }
 

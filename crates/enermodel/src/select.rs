@@ -43,7 +43,12 @@ pub struct SelectionConfig {
 
 impl Default for SelectionConfig {
     fn default() -> Self {
-        Self { max_counters: 7, vif_threshold: 10.0, max_single_vif: 10.0, min_gain: 1e-4 }
+        Self {
+            max_counters: 7,
+            vif_threshold: 10.0,
+            max_single_vif: 10.0,
+            min_gain: 1e-4,
+        }
     }
 }
 
@@ -80,8 +85,16 @@ pub fn select_counters(
     response: &[f64],
     cfg: &SelectionConfig,
 ) -> SelectionResult {
-    assert_eq!(candidates.cols(), names.len(), "one name per counter column required");
-    assert_eq!(candidates.rows(), response.len(), "one response per observation required");
+    assert_eq!(
+        candidates.cols(),
+        names.len(),
+        "one name per counter column required"
+    );
+    assert_eq!(
+        candidates.rows(),
+        response.len(),
+        "one response per observation required"
+    );
 
     // z-score candidates for numerical conditioning; constant columns are
     // left centred-at-zero by the scaler and will never win a step.
@@ -109,11 +122,16 @@ pub fn select_counters(
                 if !mv.is_finite() || mv > cfg.vif_threshold {
                     continue;
                 }
-                if vifs.iter().any(|&v| !v.is_finite() || v > cfg.max_single_vif) {
+                if vifs
+                    .iter()
+                    .any(|&v| !v.is_finite() || v > cfg.max_single_vif)
+                {
                     continue;
                 }
             }
-            let Some(fit) = ols(&xt, response) else { continue };
+            let Some(fit) = ols(&xt, response) else {
+                continue;
+            };
             let adj = fit.adj_r_squared;
             match step_best {
                 Some((_, cur)) if adj <= cur => {}
@@ -136,7 +154,11 @@ pub fn select_counters(
     } else {
         vec![1.0; selected.len()]
     };
-    let mv = if selected.len() > 1 { mean_vif(&xt) } else { 1.0 };
+    let mv = if selected.len() > 1 {
+        mean_vif(&xt)
+    } else {
+        1.0
+    };
     SelectionResult {
         names: selected.iter().map(|&i| names[i].to_string()).collect(),
         selected,
@@ -153,7 +175,9 @@ mod tests {
 
     /// Deterministic pseudo-random stream good enough for fixtures.
     fn lcg(seed: &mut u64) -> f64 {
-        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((*seed >> 11) as f64) / ((1u64 << 53) as f64)
     }
 
@@ -194,7 +218,10 @@ mod tests {
     #[test]
     fn respects_max_counters() {
         let (x, y) = fixture(100);
-        let cfg = SelectionConfig { max_counters: 1, ..Default::default() };
+        let cfg = SelectionConfig {
+            max_counters: 1,
+            ..Default::default()
+        };
         let res = select_counters(&x, &["A", "B", "C", "D"], &y, &cfg);
         assert_eq!(res.selected.len(), 1);
         assert_eq!(res.mean_vif, 1.0, "single counter reports VIF n/a (1.0)");
@@ -205,7 +232,11 @@ mod tests {
         let (x, y) = fixture(150);
         let res = select_counters(&x, &["A", "B", "C", "D"], &y, &SelectionConfig::default());
         for w in res.gain_trace.windows(2) {
-            assert!(w[1] >= w[0] - 1e-12, "adjusted R² decreased: {:?}", res.gain_trace);
+            assert!(
+                w[1] >= w[0] - 1e-12,
+                "adjusted R² decreased: {:?}",
+                res.gain_trace
+            );
         }
         assert_eq!(res.gain_trace.len(), res.selected.len());
     }
@@ -216,7 +247,11 @@ mod tests {
         let (x, _) = fixture(100);
         let y: Vec<f64> = (0..x.rows()).map(|r| 5.0 * x[(r, 0)]).collect();
         let res = select_counters(&x, &["A", "B", "C", "D"], &y, &SelectionConfig::default());
-        assert!(res.selected.len() <= 2, "selected too many: {:?}", res.names);
+        assert!(
+            res.selected.len() <= 2,
+            "selected too many: {:?}",
+            res.names
+        );
         assert_eq!(res.selected[0], 0, "first pick must be the true driver");
     }
 }

@@ -35,7 +35,11 @@ impl Dataset {
     pub fn new(features: Matrix, targets: Vec<f64>, groups: Vec<String>) -> Self {
         assert_eq!(features.rows(), targets.len(), "one target per sample");
         assert_eq!(features.rows(), groups.len(), "one group per sample");
-        Self { features, targets, groups }
+        Self {
+            features,
+            targets,
+            groups,
+        }
     }
 
     /// Number of samples.
@@ -176,7 +180,11 @@ pub fn train(data: &Dataset, cfg: &TrainConfig) -> TrainReport {
         epoch_mse.push(mse(&data.targets, &preds));
     }
 
-    TrainReport { net, scaler, epoch_mse }
+    TrainReport {
+        net,
+        scaler,
+        epoch_mse,
+    }
 }
 
 #[cfg(test)]

@@ -44,7 +44,10 @@ pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
 
 /// The five test-set benchmarks.
 pub fn test_set() -> Vec<BenchmarkSpec> {
-    TEST_SET_NAMES.iter().map(|n| benchmark(n).expect("test benchmark exists")).collect()
+    TEST_SET_NAMES
+        .iter()
+        .map(|n| benchmark(n).expect("test benchmark exists"))
+        .collect()
 }
 
 /// The remaining 14 benchmarks used for training the final model
@@ -77,7 +80,10 @@ mod tests {
         assert_eq!(training_set().len(), 14);
         let train_names: Vec<String> = training_set().iter().map(|b| b.name.clone()).collect();
         for t in TEST_SET_NAMES {
-            assert!(!train_names.contains(&t.to_string()), "{t} leaked into training set");
+            assert!(
+                !train_names.contains(&t.to_string()),
+                "{t} leaked into training set"
+            );
         }
     }
 
@@ -92,7 +98,12 @@ mod tests {
     fn every_benchmark_has_a_valid_phase_character() {
         for b in all_benchmarks() {
             let p = b.phase_character();
-            assert!(p.validate().is_ok(), "{} phase character invalid: {:?}", b.name, p.validate());
+            assert!(
+                p.validate().is_ok(),
+                "{} phase character invalid: {:?}",
+                b.name,
+                p.validate()
+            );
         }
     }
 }

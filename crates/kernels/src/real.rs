@@ -202,9 +202,7 @@ mod tests {
         let (nx, ny) = (32, 32);
         let mut grid = vec![0.0; nx * ny];
         // Hot top edge.
-        for x in 0..nx {
-            grid[x] = 100.0;
-        }
+        grid[..nx].fill(100.0);
         let mut next = grid.clone();
         let mut delta = f64::INFINITY;
         for _ in 0..500 {
@@ -224,10 +222,18 @@ mod tests {
         let mut next = vec![0.0; nx * ny];
         jacobi_sweep(nx, ny, &grid, &mut next);
         assert_eq!(&next[..nx], &grid[..nx], "top boundary changed");
-        assert_eq!(&next[(ny - 1) * nx..], &grid[(ny - 1) * nx..], "bottom boundary changed");
+        assert_eq!(
+            &next[(ny - 1) * nx..],
+            &grid[(ny - 1) * nx..],
+            "bottom boundary changed"
+        );
         for y in 0..ny {
             assert_eq!(next[y * nx], grid[y * nx], "left boundary changed");
-            assert_eq!(next[y * nx + nx - 1], grid[y * nx + nx - 1], "right boundary changed");
+            assert_eq!(
+                next[y * nx + nx - 1],
+                grid[y * nx + nx - 1],
+                "right boundary changed"
+            );
         }
     }
 
@@ -241,7 +247,10 @@ mod tests {
 
     #[test]
     fn mc_transport_is_deterministic() {
-        assert_eq!(mc_transport(10_000, 0.5, 1.0), mc_transport(10_000, 0.5, 1.0));
+        assert_eq!(
+            mc_transport(10_000, 0.5, 1.0),
+            mc_transport(10_000, 0.5, 1.0)
+        );
     }
 
     #[test]

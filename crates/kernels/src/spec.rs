@@ -57,7 +57,11 @@ pub struct RegionSpec {
 impl RegionSpec {
     /// Create a region spec with no inter-iteration variation.
     pub fn new(name: impl Into<String>, character: RegionCharacter) -> Self {
-        Self { name: name.into(), character, variation_amplitude: 0.0 }
+        Self {
+            name: name.into(),
+            character,
+            variation_amplitude: 0.0,
+        }
     }
 
     /// Add inter-iteration work variation of relative amplitude `a`.
@@ -65,7 +69,10 @@ impl RegionSpec {
     /// # Panics
     /// Panics unless `0.0 <= a < 1.0` (work cannot go negative).
     pub fn with_variation(mut self, a: f64) -> Self {
-        assert!((0.0..1.0).contains(&a), "variation amplitude {a} outside [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&a),
+            "variation amplitude {a} outside [0, 1)"
+        );
         self.variation_amplitude = a;
         self
     }
@@ -75,8 +82,7 @@ impl RegionSpec {
         if self.variation_amplitude == 0.0 {
             return 1.0;
         }
-        1.0 + self.variation_amplitude
-            * (2.0 * std::f64::consts::PI * iter as f64 / 8.0).sin()
+        1.0 + self.variation_amplitude * (2.0 * std::f64::consts::PI * iter as f64 / 8.0).sin()
     }
 
     /// The character of phase iteration `iter`: instructions and DRAM
@@ -127,7 +133,13 @@ impl BenchmarkSpec {
     ) -> Self {
         assert!(phase_iterations > 0, "need at least one phase iteration");
         assert!(!regions.is_empty(), "a benchmark needs at least one region");
-        Self { name: name.into(), suite, model, phase_iterations, regions }
+        Self {
+            name: name.into(),
+            suite,
+            model,
+            phase_iterations,
+            regions,
+        }
     }
 
     /// Find a region by name.
@@ -140,7 +152,11 @@ impl BenchmarkSpec {
     /// instruction count. This is what the plugin's phase-level analysis
     /// step sees.
     pub fn phase_character(&self) -> RegionCharacter {
-        let total_ins: f64 = self.regions.iter().map(|r| r.character.instr_per_iter).sum();
+        let total_ins: f64 = self
+            .regions
+            .iter()
+            .map(|r| r.character.instr_per_iter)
+            .sum();
         let w = |f: fn(&RegionCharacter) -> f64| -> f64 {
             self.regions
                 .iter()

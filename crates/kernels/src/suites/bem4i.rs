@@ -32,7 +32,10 @@ pub fn bem4i() -> BenchmarkSpec {
         20,
         vec![
             region("assembleSystemMatrix", base(2.4e10, 1.15).build()),
-            region("gmresSolve", base(1.5e10, 1.47).ipc(1.5).stalls(0.45).build()),
+            region(
+                "gmresSolve",
+                base(1.5e10, 1.47).ipc(1.5).stalls(0.45).build(),
+            ),
             region("evalPotential", base(1.0e10, 1.04).build()),
             region("assembleRhs", base(6e9, 1.31).parallel(0.98).build()),
             filler("exportVtu", 5e7),
@@ -54,7 +57,11 @@ mod tests {
 
     #[test]
     fn four_significant_regions() {
-        let big = bem4i().regions.iter().filter(|r| r.character.instr_per_iter > 1e9).count();
+        let big = bem4i()
+            .regions
+            .iter()
+            .filter(|r| r.character.instr_per_iter > 1e9)
+            .count();
         assert_eq!(big, 4);
     }
 

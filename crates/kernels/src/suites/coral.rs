@@ -14,7 +14,12 @@ use simnode::RegionCharacter;
 use super::{filler, region};
 use crate::spec::{BenchmarkSpec, ProgrammingModel, RegionSpec, Suite};
 
-fn bench(name: &str, model: ProgrammingModel, iters: u32, regions: Vec<RegionSpec>) -> BenchmarkSpec {
+fn bench(
+    name: &str,
+    model: ProgrammingModel,
+    iters: u32,
+    regions: Vec<RegionSpec>,
+) -> BenchmarkSpec {
     BenchmarkSpec::new(name, Suite::Coral, model, iters, regions)
 }
 
@@ -43,8 +48,14 @@ pub fn lulesh() -> BenchmarkSpec {
         30,
         vec![
             region("IntegrateStressForElems", base(2.2e10, 0.90).build()),
-            region("CalcFBHourglassForceForElems", base(2.6e10, 0.84).ipc(1.9).build()),
-            region("CalcKinematicsForElems", base(1.6e10, 1.11).ipc(1.7).stalls(0.4).build()),
+            region(
+                "CalcFBHourglassForceForElems",
+                base(2.6e10, 0.84).ipc(1.9).build(),
+            ),
+            region(
+                "CalcKinematicsForElems",
+                base(1.6e10, 1.11).ipc(1.7).stalls(0.4).build(),
+            ),
             region("CalcQForElems", base(1.3e10, 0.95).build()).with_variation(0.15),
             region(
                 "ApplyMaterialPropertiesForElems",
@@ -78,7 +89,10 @@ pub fn amg2013() -> BenchmarkSpec {
         vec![
             region("hypre_CSRMatvec", base(1.1e10, 3.9).build()),
             region("hypre_Relax", base(8e9, 4.2).ipc(1.05).build()).with_variation(0.12),
-            region("hypre_InterpAndRestrict", base(5e9, 3.6).parallel(0.93).build()),
+            region(
+                "hypre_InterpAndRestrict",
+                base(5e9, 3.6).parallel(0.93).build(),
+            ),
             filler("hypre_SetupTimers", 4e7),
         ],
     )
@@ -105,7 +119,11 @@ pub fn mini_fe() -> BenchmarkSpec {
         "miniFE",
         ProgrammingModel::OpenMp,
         18,
-        vec![region("cg_solve", cg), region("assemble_FE", assembly), filler("impose_dirichlet", 3e7)],
+        vec![
+            region("cg_solve", cg),
+            region("assemble_FE", assembly),
+            filler("impose_dirichlet", 3e7),
+        ],
     )
 }
 
@@ -126,7 +144,10 @@ pub fn xsbench() -> BenchmarkSpec {
         "XSBench",
         ProgrammingModel::Hybrid,
         14,
-        vec![region("xs_lookup_kernel", lookup), filler("verify_hash", 2e7)],
+        vec![
+            region("xs_lookup_kernel", lookup),
+            filler("verify_hash", 2e7),
+        ],
     )
 }
 
@@ -150,7 +171,11 @@ pub fn kripke() -> BenchmarkSpec {
         "Kripke",
         ProgrammingModel::Mpi,
         12,
-        vec![region("sweep_solver", sweep), region("LTimes", ltimes), filler("population_edit", 3e7)],
+        vec![
+            region("sweep_solver", sweep),
+            region("LTimes", ltimes),
+            filler("population_edit", 3e7),
+        ],
     )
 }
 
@@ -180,7 +205,10 @@ pub fn mcb() -> BenchmarkSpec {
             region("setupDT", base(3.5e9, 4.5).build()),
             region("advPhoton", base(6e9, 5.2).stalls(0.78).build()).with_variation(0.2),
             region("omp parallel:423", base(3e9, 4.8).parallel(0.955).build()),
-            region("omp parallel:501", base(2.5e9, 4.2).ipc(1.1).parallel(0.95).build()),
+            region(
+                "omp parallel:501",
+                base(2.5e9, 4.2).ipc(1.1).parallel(0.95).build(),
+            ),
             region("omp parallel:642", base(3.2e9, 4.8).build()),
             filler("tally_reduce", 4e7),
         ],
@@ -195,7 +223,12 @@ mod tests {
     fn all_coral_benchmarks_are_valid() {
         for b in [lulesh(), amg2013(), mini_fe(), xsbench(), kripke(), mcb()] {
             for r in &b.regions {
-                assert!(r.character.validate().is_ok(), "{}::{} invalid", b.name, r.name);
+                assert!(
+                    r.character.validate().is_ok(),
+                    "{}::{} invalid",
+                    b.name,
+                    r.name
+                );
             }
         }
     }
@@ -217,9 +250,13 @@ mod tests {
     #[test]
     fn mcb_has_the_five_table4_regions() {
         let m = mcb();
-        for name in
-            ["setupDT", "advPhoton", "omp parallel:423", "omp parallel:501", "omp parallel:642"]
-        {
+        for name in [
+            "setupDT",
+            "advPhoton",
+            "omp parallel:423",
+            "omp parallel:501",
+            "omp parallel:642",
+        ] {
             assert!(m.region(name).is_some(), "missing {name}");
         }
     }

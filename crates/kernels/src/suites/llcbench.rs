@@ -32,7 +32,11 @@ pub fn blasbench() -> BenchmarkSpec {
         Suite::LlcBench,
         ProgrammingModel::Hybrid,
         10,
-        vec![region("dgemm_tiles", gemm), region("dgemv_stream", gemv), filler("flush_cache", 2e7)],
+        vec![
+            region("dgemm_tiles", gemm),
+            region("dgemv_stream", gemv),
+            filler("flush_cache", 2e7),
+        ],
     )
 }
 

@@ -11,7 +11,12 @@ use simnode::RegionCharacter;
 use super::{filler, region};
 use crate::spec::{BenchmarkSpec, ProgrammingModel, RegionSpec, Suite};
 
-fn bench(name: &str, model: ProgrammingModel, iters: u32, regions: Vec<RegionSpec>) -> BenchmarkSpec {
+fn bench(
+    name: &str,
+    model: ProgrammingModel,
+    iters: u32,
+    regions: Vec<RegionSpec>,
+) -> BenchmarkSpec {
     BenchmarkSpec::new(name, Suite::Mantevo, model, iters, regions)
 }
 
@@ -39,7 +44,11 @@ pub fn comd() -> BenchmarkSpec {
         "CoMD",
         ProgrammingModel::Mpi,
         15,
-        vec![region("ljForce", force), region("redistributeAtoms", neighbor), filler("timestep_admin", 3e7)],
+        vec![
+            region("ljForce", force),
+            region("redistributeAtoms", neighbor),
+            filler("timestep_admin", 3e7),
+        ],
     )
 }
 
@@ -91,7 +100,12 @@ mod tests {
     fn mantevo_benchmarks_are_valid() {
         for b in [comd(), mini_md()] {
             for r in &b.regions {
-                assert!(r.character.validate().is_ok(), "{}::{} invalid", b.name, r.name);
+                assert!(
+                    r.character.validate().is_ok(),
+                    "{}::{} invalid",
+                    b.name,
+                    r.name
+                );
             }
         }
     }

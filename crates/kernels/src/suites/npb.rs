@@ -11,7 +11,12 @@ use simnode::RegionCharacter;
 use super::{filler, region};
 use crate::spec::{BenchmarkSpec, ProgrammingModel, RegionSpec, Suite};
 
-fn bench(name: &str, model: ProgrammingModel, iters: u32, regions: Vec<RegionSpec>) -> BenchmarkSpec {
+fn bench(
+    name: &str,
+    model: ProgrammingModel,
+    iters: u32,
+    regions: Vec<RegionSpec>,
+) -> BenchmarkSpec {
     BenchmarkSpec::new(name, Suite::Npb, model, iters, regions)
 }
 
@@ -38,7 +43,11 @@ pub fn cg() -> BenchmarkSpec {
         "CG",
         ProgrammingModel::OpenMp,
         20,
-        vec![region("conj_grad", matvec), region("vector_ops", vector_ops), filler("residual_check", 3e7)],
+        vec![
+            region("conj_grad", matvec),
+            region("vector_ops", vector_ops),
+            filler("residual_check", 3e7),
+        ],
     )
 }
 
@@ -66,7 +75,11 @@ pub fn dc() -> BenchmarkSpec {
         "DC",
         ProgrammingModel::OpenMp,
         12,
-        vec![region("tuple_scan", tuple_scan), region("aggregate_views", aggregate), filler("io_flush", 5e7)],
+        vec![
+            region("tuple_scan", tuple_scan),
+            region("aggregate_views", aggregate),
+            filler("io_flush", 5e7),
+        ],
     )
 }
 
@@ -86,7 +99,10 @@ pub fn ep() -> BenchmarkSpec {
         "EP",
         ProgrammingModel::OpenMp,
         10,
-        vec![region("gaussian_pairs", gauss), filler("reduce_counts", 2e7)],
+        vec![
+            region("gaussian_pairs", gauss),
+            filler("reduce_counts", 2e7),
+        ],
     )
 }
 
@@ -113,7 +129,11 @@ pub fn ft() -> BenchmarkSpec {
         "FT",
         ProgrammingModel::OpenMp,
         15,
-        vec![region("fft_layers", fft), region("transpose_xyz", transpose), filler("checksum", 2.5e7)],
+        vec![
+            region("fft_layers", fft),
+            region("transpose_xyz", transpose),
+            filler("checksum", 2.5e7),
+        ],
     )
 }
 
@@ -188,7 +208,11 @@ pub fn bt() -> BenchmarkSpec {
         "BT",
         ProgrammingModel::OpenMp,
         12,
-        vec![region("xyz_solve", solve), region("compute_rhs", rhs), filler("add_update", 5e7)],
+        vec![
+            region("xyz_solve", solve),
+            region("compute_rhs", rhs),
+            filler("add_update", 5e7),
+        ],
     )
 }
 
@@ -213,7 +237,11 @@ pub fn bt_mz() -> BenchmarkSpec {
         "BT-MZ",
         ProgrammingModel::Hybrid,
         12,
-        vec![region("zone_solve", zone_solve), region("exch_qbc", exch), filler("zone_setup", 4e7)],
+        vec![
+            region("zone_solve", zone_solve),
+            region("exch_qbc", exch),
+            filler("zone_setup", 4e7),
+        ],
     )
 }
 
@@ -237,7 +265,11 @@ pub fn sp_mz() -> BenchmarkSpec {
         "SP-MZ",
         ProgrammingModel::Hybrid,
         12,
-        vec![region("sp_sweep", sweep), region("txinvr", txinvr), filler("exch_qbc", 4.5e7)],
+        vec![
+            region("sp_sweep", sweep),
+            region("txinvr", txinvr),
+            filler("exch_qbc", 4.5e7),
+        ],
     )
 }
 
@@ -250,9 +282,18 @@ mod tests {
         for b in [cg(), dc(), ep(), ft(), is(), mg(), bt(), bt_mz(), sp_mz()] {
             assert!(!b.regions.is_empty(), "{} has no regions", b.name);
             for r in &b.regions {
-                assert!(r.character.validate().is_ok(), "{}::{} invalid", b.name, r.name);
+                assert!(
+                    r.character.validate().is_ok(),
+                    "{}::{} invalid",
+                    b.name,
+                    r.name
+                );
             }
-            assert!(b.phase_character().validate().is_ok(), "{} phase invalid", b.name);
+            assert!(
+                b.phase_character().validate().is_ok(),
+                "{} phase invalid",
+                b.name
+            );
         }
     }
 

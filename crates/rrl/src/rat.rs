@@ -68,11 +68,23 @@ mod tests {
         TuningModel::new(
             "Lulesh",
             &[
-                ("IntegrateStressForElems".into(), SystemConfig::new(24, 2500, 2000)),
-                ("CalcFBHourglassForceForElems".into(), SystemConfig::new(24, 2500, 2000)),
-                ("CalcKinematicsForElems".into(), SystemConfig::new(24, 2400, 2000)),
+                (
+                    "IntegrateStressForElems".into(),
+                    SystemConfig::new(24, 2500, 2000),
+                ),
+                (
+                    "CalcFBHourglassForceForElems".into(),
+                    SystemConfig::new(24, 2500, 2000),
+                ),
+                (
+                    "CalcKinematicsForElems".into(),
+                    SystemConfig::new(24, 2400, 2000),
+                ),
                 ("CalcQForElems".into(), SystemConfig::new(24, 2500, 2000)),
-                ("ApplyMaterialPropertiesForElems".into(), SystemConfig::new(24, 2400, 2000)),
+                (
+                    "ApplyMaterialPropertiesForElems".into(),
+                    SystemConfig::new(24, 2400, 2000),
+                ),
             ],
             SystemConfig::new(24, 2500, 2100),
         )
@@ -119,7 +131,9 @@ mod tests {
         let node = Node::exact(0);
         // Default production run: uninstrumented at the platform default.
         let plain = InstrumentedApp::new(&bench, &node, InstrumentationConfig::uninstrumented())
-            .run(&mut scorep_lite::instrument::StaticHook(SystemConfig::taurus_default()));
+            .run(&mut scorep_lite::instrument::StaticHook(
+                SystemConfig::taurus_default(),
+            ));
         // RRL run: instrumented, dynamically tuned.
         let app = InstrumentedApp::new(&bench, &node, InstrumentationConfig::scorep_defaults());
         let mut hook = RrlHook::new(two_scenario_model());

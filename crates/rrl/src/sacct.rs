@@ -56,8 +56,16 @@ mod tests {
 
     #[test]
     fn mean_of_records() {
-        let a = JobRecord { job_energy_j: 100.0, cpu_energy_j: 60.0, elapsed_s: 10.0 };
-        let b = JobRecord { job_energy_j: 200.0, cpu_energy_j: 80.0, elapsed_s: 20.0 };
+        let a = JobRecord {
+            job_energy_j: 100.0,
+            cpu_energy_j: 60.0,
+            elapsed_s: 10.0,
+        };
+        let b = JobRecord {
+            job_energy_j: 200.0,
+            cpu_energy_j: 80.0,
+            elapsed_s: 20.0,
+        };
         let m = JobRecord::mean(&[a, b]);
         assert_eq!(m.job_energy_j, 150.0);
         assert_eq!(m.cpu_energy_j, 70.0);
@@ -66,7 +74,11 @@ mod tests {
 
     #[test]
     fn formatting() {
-        let r = JobRecord { job_energy_j: 1234.5, cpu_energy_j: 678.9, elapsed_s: 42.123 };
+        let r = JobRecord {
+            job_energy_j: 1234.5,
+            cpu_energy_j: 678.9,
+            elapsed_s: 42.123,
+        };
         let s = r.format_sacct();
         assert!(s.contains("ConsumedEnergy=1235J") || s.contains("ConsumedEnergy=1234J"));
         assert!(s.contains("Elapsed=42.12s"));

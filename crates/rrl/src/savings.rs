@@ -18,7 +18,7 @@
 use serde::{Deserialize, Serialize};
 
 use kernels::BenchmarkSpec;
-use ptf::{DesignTimeAnalysis, EnergyModel, SearchSpace, TuningModel, TuningObjective};
+use ptf::{EnergyModel, SearchSpace, TuningError, TuningModel, TuningObjective, TuningSession};
 use scorep_lite::filter::{autofilter, DEFAULT_FILTER_THRESHOLD_S};
 use scorep_lite::instrument::StaticHook;
 use scorep_lite::{InstrumentationConfig, InstrumentedApp};
@@ -100,19 +100,19 @@ pub fn compare_static_dynamic(
     bench: &BenchmarkSpec,
     node: &Node,
     model: &EnergyModel,
-) -> BenchmarkComparison {
+) -> Result<BenchmarkComparison, TuningError> {
     let default_cfg = SystemConfig::taurus_default();
     let default = run_static(bench, node, default_cfg);
 
     // ---- static tuning: exhaustive search for the best configuration.
     let space = SearchSpace::full(vec![12, 16, 20, 24]);
-    let (static_cfg, _) = ptf::exhaustive::search_static(bench, node, &space, TuningObjective::Energy);
+    let (static_cfg, _) =
+        ptf::exhaustive::search_static(bench, node, &space, TuningObjective::Energy);
     let static_rec = run_static(bench, node, static_cfg);
 
-    // ---- dynamic tuning: DTA → tuning model → RRL production run.
-    let dta = DesignTimeAnalysis::new(node, model);
-    let report = dta.run(bench);
-    let tm = report.tuning_model;
+    // ---- dynamic tuning: staged session → tuning model → RRL run.
+    let advice = TuningSession::builder(node).with_model(model).run(bench)?;
+    let tm = advice.tuning_model;
 
     // Production instrumentation: compile-time filtered.
     let profile_run = InstrumentedApp::new(bench, node, InstrumentationConfig::scorep_defaults())
@@ -131,7 +131,7 @@ pub fn compare_static_dynamic(
     let total_time_pct = 100.0 * (default.elapsed_s - dynamic_rec.elapsed_s) / default.elapsed_s;
     let overhead_pct = total_time_pct - perf_reduction_config_pct;
 
-    BenchmarkComparison {
+    Ok(BenchmarkComparison {
         benchmark: bench.name.clone(),
         static_config: static_cfg,
         static_savings: Savings::between(&default, &static_rec),
@@ -140,7 +140,7 @@ pub fn compare_static_dynamic(
         overhead_dvfs_ufs_scorep_pct: overhead_pct,
         switches: dynamic_report.switches,
         scenarios: tm.scenario_count(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -149,12 +149,23 @@ mod tests {
 
     #[test]
     fn savings_sign_convention() {
-        let default = JobRecord { job_energy_j: 100.0, cpu_energy_j: 50.0, elapsed_s: 10.0 };
-        let tuned = JobRecord { job_energy_j: 90.0, cpu_energy_j: 40.0, elapsed_s: 11.0 };
+        let default = JobRecord {
+            job_energy_j: 100.0,
+            cpu_energy_j: 50.0,
+            elapsed_s: 10.0,
+        };
+        let tuned = JobRecord {
+            job_energy_j: 90.0,
+            cpu_energy_j: 40.0,
+            elapsed_s: 11.0,
+        };
         let s = Savings::between(&default, &tuned);
         assert!((s.job_energy_pct - 10.0).abs() < 1e-12);
         assert!((s.cpu_energy_pct - 20.0).abs() < 1e-12);
-        assert!((s.time_pct + 10.0).abs() < 1e-12, "slower run → negative time saving");
+        assert!(
+            (s.time_pct + 10.0).abs() < 1e-12,
+            "slower run → negative time saving"
+        );
     }
 
     #[test]
@@ -182,7 +193,7 @@ mod tests {
         let node = Node::exact(0);
         let model = EnergyModel::train_paper(&kernels::training_set(), &node);
         let bench = kernels::benchmark("miniMD").unwrap();
-        let cmp = compare_static_dynamic(&bench, &node, &model);
+        let cmp = compare_static_dynamic(&bench, &node, &model).expect("session succeeds");
 
         // Static optimum matches Table V.
         assert_eq!(cmp.static_config, SystemConfig::new(24, 2500, 1500));

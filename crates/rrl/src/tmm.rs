@@ -86,8 +86,14 @@ mod tests {
     #[test]
     fn lookup_via_manager() {
         let tmm = TuningModelManager::new(model());
-        assert_eq!(tmm.configuration_for("a"), SystemConfig::new(24, 2400, 1700));
-        assert_eq!(tmm.configuration_for("other"), SystemConfig::new(24, 2500, 2100));
+        assert_eq!(
+            tmm.configuration_for("a"),
+            SystemConfig::new(24, 2400, 1700)
+        );
+        assert_eq!(
+            tmm.configuration_for("other"),
+            SystemConfig::new(24, 2500, 2100)
+        );
     }
 
     #[test]

@@ -31,7 +31,11 @@ pub struct DynDetectConfig {
 
 impl Default for DynDetectConfig {
     fn default() -> Self {
-        Self { threshold_s: SIGNIFICANCE_THRESHOLD_S, thread_lower_bound: 12, thread_step: 4 }
+        Self {
+            threshold_s: SIGNIFICANCE_THRESHOLD_S,
+            thread_lower_bound: 12,
+            thread_step: 4,
+        }
     }
 }
 
@@ -81,7 +85,10 @@ pub struct TuningConfigFile {
 impl TuningConfigFile {
     /// Region names in weight order.
     pub fn region_names(&self) -> Vec<&str> {
-        self.significant_regions.iter().map(|r| r.name.as_str()).collect()
+        self.significant_regions
+            .iter()
+            .map(|r| r.name.as_str())
+            .collect()
     }
 
     /// Does the application exhibit dynamism worth tuning dynamically?
@@ -90,10 +97,16 @@ impl TuningConfigFile {
     /// different optimal configurations) and *intra-phase* dynamism
     /// (regions whose instance times vary across iterations).
     pub fn has_dynamism(&self) -> bool {
-        let intensities: Vec<Intensity> =
-            self.significant_regions.iter().map(|r| r.intensity).collect();
+        let intensities: Vec<Intensity> = self
+            .significant_regions
+            .iter()
+            .map(|r| r.intensity)
+            .collect();
         let inter = intensities.windows(2).any(|w| w[0] != w[1]);
-        let intra = self.significant_regions.iter().any(|r| r.time_dynamism > 0.10);
+        let intra = self
+            .significant_regions
+            .iter()
+            .any(|r| r.time_dynamism > 0.10);
         inter || intra
     }
 
@@ -110,7 +123,11 @@ impl TuningConfigFile {
 }
 
 /// Run detection over a profiling run.
-pub fn detect(application: &str, profile: &CallTreeProfile, cfg: &DynDetectConfig) -> TuningConfigFile {
+pub fn detect(
+    application: &str,
+    profile: &CallTreeProfile,
+    cfg: &DynDetectConfig,
+) -> TuningConfigFile {
     let total = profile.total_region_time_s().max(f64::MIN_POSITIVE);
     let mut significant: Vec<SignificantRegion> = profile
         .regions
@@ -184,7 +201,9 @@ mod tests {
         let cf = detect("Mcbenchmark", &report.profile, &DynDetectConfig::default());
         assert_eq!(cf.significant_regions.len(), 5, "{:?}", cf.region_names());
         assert!(
-            cf.significant_regions.iter().all(|r| r.intensity == Intensity::MemoryBound),
+            cf.significant_regions
+                .iter()
+                .all(|r| r.intensity == Intensity::MemoryBound),
             "{:?}",
             cf.significant_regions
         );
@@ -219,13 +238,21 @@ mod tests {
             .expect("CalcQForElems significant");
         // CalcQForElems carries a 15 % work variation across phase
         // iterations -> (max-min)/mean ≈ 0.3.
-        assert!(calc_q.time_dynamism > 0.15, "dynamism {}", calc_q.time_dynamism);
+        assert!(
+            calc_q.time_dynamism > 0.15,
+            "dynamism {}",
+            calc_q.time_dynamism
+        );
         let stress = cf
             .significant_regions
             .iter()
             .find(|r| r.name == "IntegrateStressForElems")
             .expect("significant");
-        assert!(stress.time_dynamism < 0.05, "steady region: {}", stress.time_dynamism);
+        assert!(
+            stress.time_dynamism < 0.05,
+            "steady region: {}",
+            stress.time_dynamism
+        );
         assert!(cf.has_dynamism());
     }
 

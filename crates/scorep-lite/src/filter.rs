@@ -37,7 +37,9 @@ impl FilterFile {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Self { names: names.into_iter().map(Into::into).collect() }
+        Self {
+            names: names.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// Is this region filtered?
@@ -119,7 +121,10 @@ mod tests {
     #[test]
     fn threshold_is_respected() {
         let f = autofilter(&profile(), 0.5);
-        assert!(f.contains("big_func"), "0.3 s mean is below a 0.5 s threshold");
+        assert!(
+            f.contains("big_func"),
+            "0.3 s mean is below a 0.5 s threshold"
+        );
     }
 
     #[test]

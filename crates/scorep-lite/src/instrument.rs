@@ -142,7 +142,12 @@ pub struct InstrumentedApp<'a> {
 impl<'a> InstrumentedApp<'a> {
     /// Instrument `bench` for execution on `node`.
     pub fn new(bench: &'a BenchmarkSpec, node: &'a Node, cfg: InstrumentationConfig) -> Self {
-        Self { bench, node, engine: ExecutionEngine::new(), cfg }
+        Self {
+            bench,
+            node,
+            engine: ExecutionEngine::new(),
+            cfg,
+        }
     }
 
     /// The benchmark under instrumentation.
@@ -207,7 +212,9 @@ impl<'a> InstrumentedApp<'a> {
                     desired
                 };
 
-                let run = self.engine.run_region(&region.character_at(iter), &config, self.node);
+                let run = self
+                    .engine
+                    .run_region(&region.character_at(iter), &config, self.node);
 
                 // Residual instrumentation overhead stretches the region.
                 let (duration, node_j, cpu_j, overhead) = if filtered {
@@ -286,7 +293,10 @@ mod tests {
         assert_eq!(report.instr_overhead_s, 0.0);
         assert!(report.wall_time_s > 0.0);
         assert!(report.job_energy_j > report.cpu_energy_j);
-        assert_eq!(report.switches, 0, "static config equals initial: no switches");
+        assert_eq!(
+            report.switches, 0,
+            "static config equals initial: no switches"
+        );
     }
 
     #[test]
@@ -310,7 +320,10 @@ mod tests {
         let cfg = InstrumentationConfig::scorep_defaults().with_filter(filter);
         let app = InstrumentedApp::new(&bench, &node, cfg);
         let report = app.run(&mut StaticHook(SystemConfig::taurus_default()));
-        assert!(report.profile.region("CalcTimeConstraintsForElems").is_none());
+        assert!(report
+            .profile
+            .region("CalcTimeConstraintsForElems")
+            .is_none());
         assert!(report.profile.region("IntegrateStressForElems").is_some());
     }
 
@@ -320,7 +333,7 @@ mod tests {
         impl TuningHook for Alternate {
             fn config_for(&mut self, region: &str, _i: u32, c: SystemConfig) -> SystemConfig {
                 // Flip core frequency per region to force switches.
-                if region.len() % 2 == 0 {
+                if region.len().is_multiple_of(2) {
                     c.with_core_mhz(2400)
                 } else {
                     c.with_core_mhz(2500)
@@ -342,7 +355,10 @@ mod tests {
         let node = Node::exact(0);
         let app = InstrumentedApp::new(&bench, &node, InstrumentationConfig::scorep_defaults());
         let report = app.run(&mut StaticHook(SystemConfig::taurus_default()));
-        assert_eq!(report.profile.phase_iterations, bench.phase_iterations as u64);
+        assert_eq!(
+            report.profile.phase_iterations,
+            bench.phase_iterations as u64
+        );
         let r = report.profile.region("IntegrateStressForElems").unwrap();
         assert_eq!(r.visits, bench.phase_iterations as u64);
     }
@@ -359,7 +375,10 @@ mod tests {
         // PHASE + 7 regions defined; events: per iteration 2 phase + 2×7 region.
         assert!(trace.registry.id("PHASE").is_some());
         let per_iter = 2 + 2 * bench.regions.len();
-        assert_eq!(trace.events.len(), per_iter * bench.phase_iterations as usize);
+        assert_eq!(
+            trace.events.len(),
+            per_iter * bench.phase_iterations as usize
+        );
     }
 
     #[test]

@@ -39,7 +39,8 @@ impl HdeemMetricPlugin {
     /// return the measured job energy.
     pub fn finish(&self, node: &Node) -> f64 {
         let sensor = HdeemSensor::taurus();
-        node.with_rng(|rng| sensor.measure_trace(&self.segments, rng)).energy_j
+        node.with_rng(|rng| sensor.measure_trace(&self.segments, rng))
+            .energy_j
     }
 }
 
@@ -70,6 +71,9 @@ mod tests {
         let measured = p.finish(&node);
         let exact = 2500.0;
         // 5 ms start delay on 10 s ⇒ ~0.05 % loss plus sampling noise.
-        assert!((measured - exact).abs() / exact < 0.01, "measured {measured}");
+        assert!(
+            (measured - exact).abs() / exact < 0.01,
+            "measured {measured}"
+        );
     }
 }

@@ -88,7 +88,10 @@ impl std::error::Error for ParseError {}
 
 /// Extract the training-data summary from a trace.
 pub fn parse_trace(trace: &Otf2Trace) -> Result<TraceSummary, ParseError> {
-    let phase_id = trace.registry.id("PHASE").ok_or(ParseError::NoPhaseRegion)?;
+    let phase_id = trace
+        .registry
+        .id("PHASE")
+        .ok_or(ParseError::NoPhaseRegion)?;
 
     let mut open_enters: HashMap<RegionId, u64> = HashMap::new();
     let mut phases = Vec::new();
@@ -106,7 +109,12 @@ pub fn parse_trace(trace: &Otf2Trace) -> Result<TraceSummary, ParseError> {
                     phase_counters = None;
                 }
             }
-            TraceEvent::Leave { region, t_ns, node_energy_j, counters } => {
+            TraceEvent::Leave {
+                region,
+                t_ns,
+                node_energy_j,
+                counters,
+            } => {
                 let Some(start) = open_enters.remove(region) else {
                     return Err(ParseError::UnbalancedEvents);
                 };
@@ -174,9 +182,16 @@ mod tests {
         let first = s.phase_instances[0].counters.as_ref().expect("counters");
         // Phase instructions = sum over the 5 significant + 2 filler regions.
         let bench = kernels::benchmark("Lulesh").unwrap();
-        let expected: f64 = bench.regions.iter().map(|r| r.character.instr_per_iter).sum();
+        let expected: f64 = bench
+            .regions
+            .iter()
+            .map(|r| r.character.instr_per_iter)
+            .sum();
         let got = first.get(PapiCounter::TotIns);
-        assert!((got - expected).abs() / expected < 1e-9, "got {got}, want {expected}");
+        assert!(
+            (got - expected).abs() / expected < 1e-9,
+            "got {got}, want {expected}"
+        );
     }
 
     #[test]
@@ -203,7 +218,10 @@ mod tests {
         let r = w.define_region("not_phase");
         w.enter(r, 0);
         w.leave(r, 10, 1.0, None);
-        assert!(matches!(parse_trace(&w.finish()), Err(ParseError::NoPhaseRegion)));
+        assert!(matches!(
+            parse_trace(&w.finish()),
+            Err(ParseError::NoPhaseRegion)
+        ));
     }
 
     #[test]
@@ -212,6 +230,9 @@ mod tests {
         let p = w.define_region("PHASE");
         w.enter(p, 0);
         let trace = w.finish();
-        assert!(matches!(parse_trace(&trace), Err(ParseError::UnbalancedEvents)));
+        assert!(matches!(
+            parse_trace(&trace),
+            Err(ParseError::UnbalancedEvents)
+        ));
     }
 }

@@ -33,7 +33,9 @@ pub struct OpenMpTp {
 impl OpenMpTp {
     /// Default re-fork cost (~8 µs for a 24-thread team).
     pub fn new() -> Self {
-        Self { refork_cost_s: 8e-6 }
+        Self {
+            refork_cost_s: 8e-6,
+        }
     }
 }
 

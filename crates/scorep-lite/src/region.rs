@@ -64,7 +64,10 @@ impl RegionRegistry {
 
     /// Look up an id by name.
     pub fn id(&self, name: &str) -> Option<RegionId> {
-        self.names.iter().position(|n| n == name).map(|p| RegionId(p as u32))
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|p| RegionId(p as u32))
     }
 
     /// Name of a region id.
@@ -126,7 +129,10 @@ mod tests {
     #[test]
     fn kind_inference() {
         assert_eq!(RegionKind::infer("PHASE"), RegionKind::Phase);
-        assert_eq!(RegionKind::infer("omp parallel:423"), RegionKind::OmpParallel);
+        assert_eq!(
+            RegionKind::infer("omp parallel:423"),
+            RegionKind::OmpParallel
+        );
         assert_eq!(RegionKind::infer("MPI_Allreduce"), RegionKind::Mpi);
         assert_eq!(RegionKind::infer("CommSyncPosVel"), RegionKind::Mpi);
         assert_eq!(RegionKind::infer("advPhoton"), RegionKind::Function);
@@ -139,6 +145,9 @@ mod tests {
         r.intern("omp parallel:1");
         let collected: Vec<(u32, String)> =
             r.iter().map(|(id, n, _)| (id.0, n.to_string())).collect();
-        assert_eq!(collected, vec![(0, "a".to_string()), (1, "omp parallel:1".to_string())]);
+        assert_eq!(
+            collected,
+            vec![(0, "a".to_string()), (1, "omp parallel:1".to_string())]
+        );
     }
 }

@@ -106,7 +106,12 @@ impl TraceWriter {
     ) {
         assert!(t_ns >= self.last_t_ns, "non-chronological leave at {t_ns}");
         self.last_t_ns = t_ns;
-        self.events.push(TraceEvent::Leave { region, t_ns, node_energy_j, counters });
+        self.events.push(TraceEvent::Leave {
+            region,
+            t_ns,
+            node_energy_j,
+            counters,
+        });
     }
 
     /// Number of events recorded so far.
@@ -121,7 +126,10 @@ impl TraceWriter {
 
     /// Finish writing, producing the in-memory trace.
     pub fn finish(self) -> Otf2Trace {
-        Otf2Trace { registry: self.registry, events: self.events }
+        Otf2Trace {
+            registry: self.registry,
+            events: self.events,
+        }
     }
 }
 
@@ -147,7 +155,12 @@ impl Otf2Trace {
                     buf.put_u32(region.0);
                     buf.put_u64(*t_ns);
                 }
-                TraceEvent::Leave { region, t_ns, node_energy_j, counters } => {
+                TraceEvent::Leave {
+                    region,
+                    t_ns,
+                    node_energy_j,
+                    counters,
+                } => {
                     buf.put_u8(TAG_LEAVE);
                     buf.put_u32(region.0);
                     buf.put_u64(*t_ns);
@@ -205,7 +218,13 @@ impl TraceReader {
     /// Parse a binary trace.
     pub fn read(mut data: Bytes) -> Result<Otf2Trace, TraceError> {
         use TraceError::*;
-        let need = |buf: &Bytes, n: usize| if buf.remaining() < n { Err(Truncated) } else { Ok(()) };
+        let need = |buf: &Bytes, n: usize| {
+            if buf.remaining() < n {
+                Err(Truncated)
+            } else {
+                Ok(())
+            }
+        };
 
         need(&data, 6)?;
         if data.get_u32() != MAGIC {
@@ -255,7 +274,12 @@ impl TraceReader {
                             Some(c)
                         }
                     };
-                    events.push(TraceEvent::Leave { region, t_ns, node_energy_j, counters });
+                    events.push(TraceEvent::Leave {
+                        region,
+                        t_ns,
+                        node_energy_j,
+                        counters,
+                    });
                 }
                 t => return Err(BadTag(t)),
             }
@@ -298,7 +322,10 @@ mod tests {
         let t = sample_trace(true);
         let back = TraceReader::read(t.to_bytes()).expect("parse");
         assert_eq!(t, back);
-        if let TraceEvent::Leave { counters: Some(c), .. } = &back.events[2] {
+        if let TraceEvent::Leave {
+            counters: Some(c), ..
+        } = &back.events[2]
+        {
             assert_eq!(c.get(PapiCounter::TotIns), 123.0);
         } else {
             panic!("expected leave with counters");
@@ -320,7 +347,10 @@ mod tests {
     fn bad_magic_rejected() {
         let mut bytes = sample_trace(false).to_bytes().to_vec();
         bytes[0] ^= 0xFF;
-        assert_eq!(TraceReader::read(Bytes::from(bytes)), Err(TraceError::BadMagic));
+        assert_eq!(
+            TraceReader::read(Bytes::from(bytes)),
+            Err(TraceError::BadMagic)
+        );
     }
 
     #[test]

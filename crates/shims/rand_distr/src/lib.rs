@@ -1,0 +1,91 @@
+//! Offline `rand_distr` shim: the [`Normal`] distribution via the
+//! Box–Muller transform.
+
+use rand::RngCore;
+
+/// A distribution producing values of type `T`.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid normal distribution parameters")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal (Gaussian) distribution `N(mean, sd²)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    sd: f64,
+}
+
+impl Normal {
+    /// A normal distribution with the given mean and standard deviation.
+    /// The standard deviation must be finite and non-negative.
+    pub fn new(mean: f64, sd: f64) -> Result<Self, NormalError> {
+        if sd.is_finite() && sd >= 0.0 && mean.is_finite() {
+            Ok(Self { mean, sd })
+        } else {
+            Err(NormalError)
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; two uniform draws per sample keeps the consumption
+        // pattern deterministic regardless of the value produced.
+        let u1 = loop {
+            let u = rng.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = rng.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.sd * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_are_close() {
+        let normal = Normal::new(1.0, 0.025).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.002, "mean {mean}");
+        assert!((var.sqrt() - 0.025).abs() < 0.002, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_sd_is_constant() {
+        let normal = Normal::new(5.0, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            assert_eq!(normal.sample(&mut rng), 5.0);
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+    }
+}

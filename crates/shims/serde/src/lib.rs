@@ -1,0 +1,238 @@
+//! Offline serde shim.
+//!
+//! The public surface mirrors the subset of `serde` this workspace uses:
+//! `Serialize`/`Deserialize` traits plus the same-named derive macros.
+//! Instead of serde's visitor architecture, both traits go through the
+//! in-tree JSON [`json::Value`] model — `serde_json` (also shimmed)
+//! renders and parses that model, so JSON round trips have real
+//! semantics without any network dependency.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+/// Convert a value into the JSON data model.
+pub trait Serialize {
+    /// The value as a JSON tree.
+    fn to_value(&self) -> json::Value;
+}
+
+/// Reconstruct a value from the JSON data model.
+pub trait Deserialize: Sized {
+    /// Parse the value from a JSON tree.
+    fn from_value(v: &json::Value) -> Result<Self, json::Error>;
+}
+
+// ------------------------------------------------------------ primitives
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> json::Value { json::Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+                match v {
+                    json::Value::U64(n) => Ok(*n as $t),
+                    json::Value::I64(n) if *n >= 0 => Ok(*n as $t),
+                    json::Value::F64(f) if f.fract() == 0.0 && *f >= 0.0 => Ok(*f as $t),
+                    _ => Err(json::Error::custom(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> json::Value { json::Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+                match v {
+                    json::Value::I64(n) => Ok(*n as $t),
+                    json::Value::U64(n) => Ok(*n as $t),
+                    json::Value::F64(f) if f.fract() == 0.0 => Ok(*f as $t),
+                    _ => Err(json::Error::custom(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+ser_de_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> json::Value { json::Value::F64(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+                match v {
+                    json::Value::F64(f) => Ok(*f as $t),
+                    json::Value::I64(n) => Ok(*n as $t),
+                    json::Value::U64(n) => Ok(*n as $t),
+                    json::Value::Null => Ok(<$t>::NAN),
+                    _ => Err(json::Error::custom(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        v.as_bool()
+            .ok_or_else(|| json::Error::custom("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> json::Value {
+        json::Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| json::Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> json::Value {
+        json::Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> json::Value {
+        (**self).to_value()
+    }
+}
+
+// ------------------------------------------------------------ containers
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> json::Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => json::Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        v.as_array()
+            .ok_or_else(|| json::Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        let items: Vec<T> = Deserialize::from_value(v)?;
+        items
+            .try_into()
+            .map_err(|_| json::Error::custom("array length mismatch"))
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> json::Value {
+        let mut m = json::Map::new();
+        for (k, v) in self {
+            m.insert(k.clone(), v.to_value());
+        }
+        json::Value::Object(m)
+    }
+}
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| json::Error::custom("expected object"))?;
+        obj.iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize
+    for std::collections::HashMap<String, V, S>
+{
+    fn to_value(&self) -> json::Value {
+        let mut m = json::Map::new();
+        for (k, v) in self {
+            m.insert(k.clone(), v.to_value());
+        }
+        json::Value::Object(m)
+    }
+}
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize
+    for std::collections::HashMap<String, V, S>
+{
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| json::Error::custom("expected object"))?;
+        obj.iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($t:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> json::Value {
+                json::Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+                let arr = v.as_array().ok_or_else(|| json::Error::custom("expected tuple array"))?;
+                Ok(($($t::from_value(
+                    arr.get($idx).ok_or_else(|| json::Error::custom("tuple too short"))?,
+                )?,)+))
+            }
+        }
+    )+};
+}
+ser_de_tuple!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));

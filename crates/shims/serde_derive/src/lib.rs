@@ -1,0 +1,457 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! in-tree serde shim.
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which are not
+//! available offline; this implementation parses the item token stream
+//! directly. It supports the forms this workspace actually uses:
+//!
+//! * structs with named fields (optionally `#[serde(default)]` per field),
+//! * tuple structs (newtype structs serialise transparently, wider tuples
+//!   as JSON arrays),
+//! * unit structs,
+//! * enums with unit variants (serialised as the variant-name string),
+//!   newtype variants (`{"Name": value}`), tuple variants
+//!   (`{"Name": [..]}`) and struct variants (`{"Name": {..}}`) —
+//!   serde's externally-tagged default representation.
+//!
+//! Generics are deliberately unsupported (nothing in the workspace derives
+//! on a generic type); the macro panics with a clear message if it meets
+//! them so the failure mode is a compile error, not silent misbehaviour.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// --------------------------------------------------------------- model
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+// --------------------------------------------------------------- parsing
+
+/// Skip leading attributes; returns true if any was `#[serde(default)]`.
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut has_default = false;
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        let text = g.stream().to_string().replace(' ', "");
+                        if text.starts_with("serde(") && text.contains("default") {
+                            has_default = true;
+                        }
+                        *pos += 2;
+                        continue;
+                    }
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    has_default
+}
+
+/// Skip a visibility modifier (`pub`, `pub(crate)`, …).
+fn skip_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(i)) = tokens.get(*pos) {
+        if i.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs(&tokens, &mut pos);
+    skip_vis(&tokens, &mut pos);
+
+    let kind = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("expected struct/enum, found {other}"),
+    };
+    pos += 1;
+    let name = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive does not support generic type `{name}`");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body, found {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let default = skip_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_vis(&tokens, &mut pos);
+        let name = match &tokens[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        pos += 1;
+        match &tokens[pos] {
+            TokenTree::Punct(p) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected `:` after field `{name}`, found {other}"),
+        }
+        // Skip the type: everything until a comma outside angle brackets.
+        let mut angle = 0i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut saw_any = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => count += 1,
+            _ => saw_any = true,
+        }
+    }
+    if !saw_any {
+        0
+    } else {
+        count
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional explicit discriminant (`= expr`) and the comma.
+        while pos < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[pos] {
+                if p.as_char() == ',' {
+                    pos += 1;
+                    break;
+                }
+            }
+            pos += 1;
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// --------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::json::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::json::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Named(fs) => {
+                    let mut s = String::from("let mut m = ::serde::json::Map::new();\n");
+                    for f in fs {
+                        s.push_str(&format!(
+                            "m.insert(String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0}));\n",
+                            f.name
+                        ));
+                    }
+                    s.push_str("::serde::json::Value::Object(m)");
+                    s
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::json::Value {{ {body} }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::json::Value::String(String::from(\"{v}\")),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(x0) => {{\n\
+                         let mut m = ::serde::json::Map::new();\n\
+                         m.insert(String::from(\"{v}\"), ::serde::Serialize::to_value(x0));\n\
+                         ::serde::json::Value::Object(m)\n}}\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => {{\n\
+                             let mut m = ::serde::json::Map::new();\n\
+                             m.insert(String::from(\"{v}\"), ::serde::json::Value::Array(vec![{items}]));\n\
+                             ::serde::json::Value::Object(m)\n}}\n",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let binds: Vec<String> = fs.iter().map(|f| f.name.clone()).collect();
+                        let mut inner =
+                            String::from("let mut inner = ::serde::json::Map::new();\n");
+                        for f in fs {
+                            inner.push_str(&format!(
+                                "inner.insert(String::from(\"{0}\"), ::serde::Serialize::to_value({0}));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{\n{inner}\
+                             let mut m = ::serde::json::Map::new();\n\
+                             m.insert(String::from(\"{v}\"), ::serde::json::Value::Object(inner));\n\
+                             ::serde::json::Value::Object(m)\n}}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::json::Value {{\n\
+                 match self {{\n{arms}}}\n}}\n}}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("let _ = v; Ok({name})"),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| {
+                            format!(
+                                "::serde::Deserialize::from_value(arr.get({i}).ok_or_else(|| \
+                                 ::serde::json::Error::custom(\"{name}: tuple too short\"))?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let arr = v.as_array().ok_or_else(|| \
+                         ::serde::json::Error::custom(\"{name}: expected array\"))?;\n\
+                         Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(fs) => {
+                    let mut inits = String::new();
+                    for f in fs {
+                        if f.default {
+                            inits.push_str(&format!(
+                                "{0}: match obj.get(\"{0}\") {{\n\
+                                 Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                                 None => ::core::default::Default::default(),\n}},\n",
+                                f.name
+                            ));
+                        } else {
+                            inits.push_str(&format!(
+                                "{0}: ::serde::Deserialize::from_value(obj.get(\"{0}\")\
+                                 .ok_or_else(|| ::serde::json::Error::missing_field(\"{name}\", \"{0}\"))?)?,\n",
+                                f.name
+                            ));
+                        }
+                    }
+                    format!(
+                        "let obj = v.as_object().ok_or_else(|| \
+                         ::serde::json::Error::custom(\"{name}: expected object\"))?;\n\
+                         Ok({name} {{\n{inits}}})"
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::json::Value) -> Result<Self, ::serde::json::Error> {{\n\
+                 {body}\n}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("\"{v}\" => return Ok({name}::{v}),\n"));
+                    }
+                    Fields::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(val)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_value(arr.get({i}).ok_or_else(|| \
+                                     ::serde::json::Error::custom(\"{name}::{v}: tuple too short\"))?)?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let arr = val.as_array().ok_or_else(|| \
+                             ::serde::json::Error::custom(\"{name}::{v}: expected array\"))?;\n\
+                             Ok({name}::{v}({}))\n}}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let mut inits = String::new();
+                        for f in fs {
+                            inits.push_str(&format!(
+                                "{0}: ::serde::Deserialize::from_value(inner.get(\"{0}\")\
+                                 .ok_or_else(|| ::serde::json::Error::missing_field(\"{name}::{v}\", \"{0}\"))?)?,\n",
+                                f.name
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let inner = val.as_object().ok_or_else(|| \
+                             ::serde::json::Error::custom(\"{name}::{v}: expected object\"))?;\n\
+                             Ok({name}::{v} {{\n{inits}}})\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::json::Value) -> Result<Self, ::serde::json::Error> {{\n\
+                 if let Some(s) = v.as_str() {{\n\
+                 match s {{\n{unit_arms}\
+                 _ => return Err(::serde::json::Error::custom(\"unknown {name} variant\")),\n}}\n}}\n\
+                 let obj = v.as_object().ok_or_else(|| \
+                 ::serde::json::Error::custom(\"{name}: expected variant object\"))?;\n\
+                 let (key, val) = obj.iter().next().ok_or_else(|| \
+                 ::serde::json::Error::custom(\"{name}: empty variant object\"))?;\n\
+                 let _ = val;\n\
+                 match key.as_str() {{\n{data_arms}\
+                 _ => Err(::serde::json::Error::custom(\"unknown {name} variant\")),\n}}\n}}\n}}"
+            )
+        }
+    }
+}

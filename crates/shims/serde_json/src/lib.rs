@@ -1,0 +1,40 @@
+//! Offline `serde_json` shim: the `to_string` / `from_str` surface this
+//! workspace uses, rendered through [`serde::json`].
+
+pub use serde::json::{Error, Map, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Serialise a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().render_compact())
+}
+
+/// Serialise a value to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().render_pretty())
+}
+
+/// Parse a value from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_value(&serde::json::parse(s)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_round_trip() {
+        let v: Vec<u32> = vec![1, 2, 3];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[1,2,3]");
+        let back: Vec<u32> = from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn error_on_bad_input() {
+        assert!(from_str::<Vec<u32>>("{oops").is_err());
+    }
+}

@@ -267,7 +267,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "instruction mix fractions exceed")]
     fn overfull_mix_panics() {
-        let _ = RegionCharacter::builder(1e9).mix(0.5, 0.3, 0.2, 0.2).build();
+        let _ = RegionCharacter::builder(1e9)
+            .mix(0.5, 0.3, 0.2, 0.2)
+            .build();
     }
 
     #[test]

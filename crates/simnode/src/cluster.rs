@@ -15,7 +15,9 @@ pub struct Cluster {
 impl Cluster {
     /// Create `count` nodes seeded from `seed`.
     pub fn new(count: u32, seed: u64) -> Self {
-        Self { nodes: (0..count).map(|id| Node::new(id, seed)).collect() }
+        Self {
+            nodes: (0..count).map(|id| Node::new(id, seed)).collect(),
+        }
     }
 
     /// Number of nodes.
@@ -65,6 +67,9 @@ mod tests {
     fn nodes_vary_across_cluster() {
         let c = Cluster::new(6, 5);
         let vs: Vec<f64> = c.iter().map(Node::variability).collect();
-        assert!(vs.windows(2).any(|w| w[0] != w[1]), "no variability: {vs:?}");
+        assert!(
+            vs.windows(2).any(|w| w[0] != w[1]),
+            "no variability: {vs:?}"
+        );
     }
 }

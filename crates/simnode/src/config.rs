@@ -20,7 +20,11 @@ pub struct SystemConfig {
 impl SystemConfig {
     /// Construct a configuration.
     pub fn new(threads: u32, core_mhz: u32, uncore_mhz: u32) -> Self {
-        Self { threads, core: CoreFreq(core_mhz), uncore: UncoreFreq(uncore_mhz) }
+        Self {
+            threads,
+            core: CoreFreq(core_mhz),
+            uncore: UncoreFreq(uncore_mhz),
+        }
     }
 
     /// The platform default for any Taurus job: 24 threads at
@@ -42,12 +46,18 @@ impl SystemConfig {
 
     /// Same knobs with a different core frequency (MHz).
     pub fn with_core_mhz(self, mhz: u32) -> Self {
-        Self { core: CoreFreq(mhz), ..self }
+        Self {
+            core: CoreFreq(mhz),
+            ..self
+        }
     }
 
     /// Same knobs with a different uncore frequency (MHz).
     pub fn with_uncore_mhz(self, mhz: u32) -> Self {
-        Self { uncore: UncoreFreq(mhz), ..self }
+        Self {
+            uncore: UncoreFreq(mhz),
+            ..self
+        }
     }
 }
 

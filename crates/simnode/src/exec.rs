@@ -146,7 +146,9 @@ pub struct ExecutionEngine {
 impl ExecutionEngine {
     /// Engine with the default Haswell-EP memory subsystem.
     pub fn new() -> Self {
-        Self { mem: MemoryParams::haswell_ep() }
+        Self {
+            mem: MemoryParams::haswell_ep(),
+        }
     }
 
     /// Engine with custom memory parameters (for ablations).
@@ -167,14 +169,19 @@ impl ExecutionEngine {
         let t_comp = c.instr_per_iter / c.ipc_base / cfg.core.hz() * amdahl;
 
         let bw =
-            self.mem.bandwidth_gbs_sens(cfg.uncore.mhz(), cfg.threads, c.mem_queue_sensitivity);
+            self.mem
+                .bandwidth_gbs_sens(cfg.uncore.mhz(), cfg.threads, c.mem_queue_sensitivity);
         let t_mem = if c.dram_bytes_per_iter > 0.0 {
             c.dram_bytes_per_iter / (bw * 1e9)
         } else {
             0.0
         };
 
-        let (hi, lo) = if t_comp >= t_mem { (t_comp, t_mem) } else { (t_mem, t_comp) };
+        let (hi, lo) = if t_comp >= t_mem {
+            (t_comp, t_mem)
+        } else {
+            (t_mem, t_comp)
+        };
         let t = hi + (1.0 - c.overlap) * lo;
         (t, t_comp, t_mem)
     }
@@ -191,7 +198,11 @@ impl ExecutionEngine {
 
         // Activity factors for the power model.
         let core_util = (t_comp / t).clamp(0.0, 1.0);
-        let achieved_bw_gbs = if t > 0.0 { c.dram_bytes_per_iter / t / 1e9 } else { 0.0 };
+        let achieved_bw_gbs = if t > 0.0 {
+            c.dram_bytes_per_iter / t / 1e9
+        } else {
+            0.0
+        };
         let bw_frac = achieved_bw_gbs / self.mem.peak_bw_gbs;
         // Uncore activity: DRAM traffic plus L3-resident cache traffic.
         let l3_rate = c.l2_miss_per_instr * c.instr_per_iter / t / 1e9; // G accesses/s
@@ -211,7 +222,14 @@ impl ExecutionEngine {
         let ref_cycles = t * NOMINAL_CORE_MHZ as f64 * 1e6 * threads as f64;
 
         let counters = node.with_rng(|rng| {
-            derive_counters(c, total_cycles, stall_cycles, ref_cycles, rng, node.counter_noise_sd())
+            derive_counters(
+                c,
+                total_cycles,
+                stall_cycles,
+                ref_cycles,
+                rng,
+                node.counter_noise_sd(),
+            )
         });
 
         RegionRun {
@@ -279,7 +297,11 @@ mod tests {
         assert!(ratio > 1.8, "compute-bound speedup with 2x CF: {ratio}");
         // And is almost insensitive to uncore frequency.
         let (t_u_lo, ..) = eng.timing(&c, &SystemConfig::new(24, 2400, 1700));
-        assert!(t_u_lo / t_hi < 1.15, "uncore sensitivity too high: {}", t_u_lo / t_hi);
+        assert!(
+            t_u_lo / t_hi < 1.15,
+            "uncore sensitivity too high: {}",
+            t_u_lo / t_hi
+        );
     }
 
     #[test]
@@ -288,10 +310,18 @@ mod tests {
         let c = memory_bound();
         let (t_lo, ..) = eng.timing(&c, &SystemConfig::new(24, 2000, 1300));
         let (t_hi, ..) = eng.timing(&c, &SystemConfig::new(24, 2000, 3000));
-        assert!(t_lo / t_hi > 1.2, "memory-bound UFS sensitivity: {}", t_lo / t_hi);
+        assert!(
+            t_lo / t_hi > 1.2,
+            "memory-bound UFS sensitivity: {}",
+            t_lo / t_hi
+        );
         // And core frequency barely matters at the top.
         let (t_c_lo, ..) = eng.timing(&c, &SystemConfig::new(24, 1600, 3000));
-        assert!(t_c_lo / t_hi < 1.1, "core sensitivity too high: {}", t_c_lo / t_hi);
+        assert!(
+            t_c_lo / t_hi < 1.1,
+            "core sensitivity too high: {}",
+            t_c_lo / t_hi
+        );
     }
 
     #[test]
@@ -323,8 +353,16 @@ mod tests {
         let n = node();
         let cb = eng.run_region(&compute_bound(), &SystemConfig::taurus_default(), &n);
         let mb = eng.run_region(&memory_bound(), &SystemConfig::taurus_default(), &n);
-        assert!(cb.memory_boundness() < 0.5, "compute-bound: {}", cb.memory_boundness());
-        assert!(mb.memory_boundness() > 0.8, "memory-bound: {}", mb.memory_boundness());
+        assert!(
+            cb.memory_boundness() < 0.5,
+            "compute-bound: {}",
+            cb.memory_boundness()
+        );
+        assert!(
+            mb.memory_boundness() > 0.8,
+            "memory-bound: {}",
+            mb.memory_boundness()
+        );
     }
 
     #[test]
@@ -335,7 +373,8 @@ mod tests {
         let n = node();
         let c = compute_bound();
         let e = |cf: u32, ucf: u32| {
-            eng.run_region(&c, &SystemConfig::new(24, cf, ucf), &n).node_energy_j
+            eng.run_region(&c, &SystemConfig::new(24, cf, ucf), &n)
+                .node_energy_j
         };
         assert!(e(2400, 1700) < e(1200, 1700), "high CF must beat low CF");
         assert!(e(2400, 1700) < e(2400, 3000), "low UCF must beat high UCF");
@@ -348,7 +387,8 @@ mod tests {
         let n = node();
         let c = memory_bound();
         let e = |cf: u32, ucf: u32| {
-            eng.run_region(&c, &SystemConfig::new(24, cf, ucf), &n).node_energy_j
+            eng.run_region(&c, &SystemConfig::new(24, cf, ucf), &n)
+                .node_energy_j
         };
         assert!(e(1600, 2500) < e(2500, 2500), "low CF must beat high CF");
         assert!(e(1600, 2500) < e(1600, 1300), "high UCF must beat low UCF");

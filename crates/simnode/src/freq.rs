@@ -88,7 +88,11 @@ impl FreqDomain {
             0,
             "span {min_mhz}..{max_mhz} not a multiple of step {step_mhz}"
         );
-        Self { min_mhz, max_mhz, step_mhz }
+        Self {
+            min_mhz,
+            max_mhz,
+            step_mhz,
+        }
     }
 
     /// The DVFS domain of the Xeon E5-2680v3 (Turbo disabled):
@@ -120,7 +124,9 @@ impl FreqDomain {
 
     /// Does the domain contain this exact state?
     pub fn contains(&self, mhz: u32) -> bool {
-        mhz >= self.min_mhz && mhz <= self.max_mhz && (mhz - self.min_mhz).is_multiple_of(self.step_mhz)
+        mhz >= self.min_mhz
+            && mhz <= self.max_mhz
+            && (mhz - self.min_mhz).is_multiple_of(self.step_mhz)
     }
 
     /// Clamp and snap an arbitrary MHz value to the nearest domain state.
@@ -129,12 +135,12 @@ impl FreqDomain {
         let offset = clamped - self.min_mhz;
         let down = offset / self.step_mhz * self.step_mhz;
         let up = down + self.step_mhz;
-        let snapped = if offset - down <= up.saturating_sub(offset) || self.min_mhz + up > self.max_mhz
-        {
-            down
-        } else {
-            up
-        };
+        let snapped =
+            if offset - down <= up.saturating_sub(offset) || self.min_mhz + up > self.max_mhz {
+                down
+            } else {
+                up
+            };
         self.min_mhz + snapped.min(self.max_mhz - self.min_mhz)
     }
 
@@ -144,7 +150,9 @@ impl FreqDomain {
     pub fn neighbourhood(&self, mhz: u32, radius: u32) -> Vec<u32> {
         let center = self.snap(mhz);
         let mut out = Vec::with_capacity(2 * radius as usize + 1);
-        let lo = center.saturating_sub(radius * self.step_mhz).max(self.min_mhz);
+        let lo = center
+            .saturating_sub(radius * self.step_mhz)
+            .max(self.min_mhz);
         let mut f = lo;
         while f <= (center + radius * self.step_mhz).min(self.max_mhz) {
             out.push(f);

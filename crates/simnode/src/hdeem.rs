@@ -38,12 +38,20 @@ pub struct HdeemSensor {
 impl HdeemSensor {
     /// The Taurus HDEEM configuration: 1 kSa/s, 5 ms delay.
     pub fn taurus() -> Self {
-        Self { sample_rate_hz: 1000.0, start_delay_s: 5e-3, noise_sd: 0.001 }
+        Self {
+            sample_rate_hz: 1000.0,
+            start_delay_s: 5e-3,
+            noise_sd: 0.001,
+        }
     }
 
     /// Ideal sensor: instant, continuous, noiseless. Useful for tests.
     pub fn ideal() -> Self {
-        Self { sample_rate_hz: f64::INFINITY, start_delay_s: 0.0, noise_sd: 0.0 }
+        Self {
+            sample_rate_hz: f64::INFINITY,
+            start_delay_s: 0.0,
+            noise_sd: 0.0,
+        }
     }
 
     /// Measure a window of constant power.
@@ -65,7 +73,11 @@ impl HdeemSensor {
         if !self.sample_rate_hz.is_finite() {
             // Ideal: continuous integration of the visible window.
             let energy = integrate(segments, self.start_delay_s, total);
-            return HdeemMeasurement { energy_j: energy, samples: u64::MAX, measured_duration_s: visible };
+            return HdeemMeasurement {
+                energy_j: energy,
+                samples: u64::MAX,
+                measured_duration_s: visible,
+            };
         }
 
         let period = 1.0 / self.sample_rate_hz;
@@ -76,7 +88,11 @@ impl HdeemSensor {
             let normal = Normal::new(1.0, self.noise_sd).expect("valid noise");
             energy *= normal.sample(rng).max(0.0);
         }
-        HdeemMeasurement { energy_j: energy, samples, measured_duration_s: measured }
+        HdeemMeasurement {
+            energy_j: energy,
+            samples,
+            measured_duration_s: measured,
+        }
     }
 }
 

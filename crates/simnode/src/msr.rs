@@ -77,7 +77,10 @@ impl MsrBank {
             core_writes: 0,
             socket_writes: 0,
         };
-        Self { topo, state: Mutex::new(state) }
+        Self {
+            topo,
+            state: Mutex::new(state),
+        }
     }
 
     /// Encode a core frequency into `IA32_PERF_CTL` format.
@@ -99,7 +102,10 @@ impl MsrBank {
 
     /// Decode `(max_mhz, min_mhz)` from `MSR_UNCORE_RATIO_LIMIT`.
     pub fn decode_uncore(value: u64) -> (u32, u32) {
-        (((value & 0x7F) as u32) * 100, (((value >> 8) & 0x7F) as u32) * 100)
+        (
+            ((value & 0x7F) as u32) * 100,
+            (((value >> 8) & 0x7F) as u32) * 100,
+        )
     }
 
     /// Read an MSR on a core (`IA32_PERF_CTL`) or socket
@@ -111,12 +117,19 @@ impl MsrBank {
                 .perf_ctl
                 .get(unit as usize)
                 .copied()
-                .ok_or(MsrError::BadUnit { index: unit, available: self.topo.total_cores() }),
-            MSR_UNCORE_RATIO_LIMIT => st
-                .uncore_ratio
-                .get(unit as usize)
-                .copied()
-                .ok_or(MsrError::BadUnit { index: unit, available: self.topo.sockets }),
+                .ok_or(MsrError::BadUnit {
+                    index: unit,
+                    available: self.topo.total_cores(),
+                }),
+            MSR_UNCORE_RATIO_LIMIT => {
+                st.uncore_ratio
+                    .get(unit as usize)
+                    .copied()
+                    .ok_or(MsrError::BadUnit {
+                        index: unit,
+                        available: self.topo.sockets,
+                    })
+            }
             other => Err(MsrError::UnknownRegister(other)),
         }
     }
@@ -132,7 +145,10 @@ impl MsrBank {
                 let slot = st
                     .perf_ctl
                     .get_mut(unit as usize)
-                    .ok_or(MsrError::BadUnit { index: unit, available: n })?;
+                    .ok_or(MsrError::BadUnit {
+                        index: unit,
+                        available: n,
+                    })?;
                 *slot = value;
                 st.core_writes += 1;
                 Ok(())
@@ -142,7 +158,10 @@ impl MsrBank {
                 let slot = st
                     .uncore_ratio
                     .get_mut(unit as usize)
-                    .ok_or(MsrError::BadUnit { index: unit, available: n })?;
+                    .ok_or(MsrError::BadUnit {
+                        index: unit,
+                        available: n,
+                    })?;
                 *slot = value;
                 st.socket_writes += 1;
                 Ok(())
@@ -181,7 +200,11 @@ impl MsrBank {
 
     /// Uncore frequency currently pinned on socket 0.
     pub fn uncore_mhz(&self) -> u32 {
-        Self::decode_uncore(self.read(0, MSR_UNCORE_RATIO_LIMIT).expect("socket 0 exists")).0
+        Self::decode_uncore(
+            self.read(0, MSR_UNCORE_RATIO_LIMIT)
+                .expect("socket 0 exists"),
+        )
+        .0
     }
 
     /// `(core_writes, socket_writes)` performed so far.
@@ -201,9 +224,18 @@ mod tests {
 
     #[test]
     fn encodings_round_trip() {
-        assert_eq!(MsrBank::decode_perf_ctl(MsrBank::encode_perf_ctl(2400)), 2400);
-        assert_eq!(MsrBank::decode_uncore(MsrBank::encode_uncore(1700, 1700)), (1700, 1700));
-        assert_eq!(MsrBank::decode_uncore(MsrBank::encode_uncore(3000, 1300)), (3000, 1300));
+        assert_eq!(
+            MsrBank::decode_perf_ctl(MsrBank::encode_perf_ctl(2400)),
+            2400
+        );
+        assert_eq!(
+            MsrBank::decode_uncore(MsrBank::encode_uncore(1700, 1700)),
+            (1700, 1700)
+        );
+        assert_eq!(
+            MsrBank::decode_uncore(MsrBank::encode_uncore(3000, 1300)),
+            (3000, 1300)
+        );
     }
 
     #[test]
@@ -219,7 +251,10 @@ mod tests {
         let lat = b.set_all_core_mhz(1600);
         assert_eq!(lat, CORE_TRANSITION_LATENCY_S);
         for core in 0..24 {
-            assert_eq!(MsrBank::decode_perf_ctl(b.read(core, IA32_PERF_CTL).unwrap()), 1600);
+            assert_eq!(
+                MsrBank::decode_perf_ctl(b.read(core, IA32_PERF_CTL).unwrap()),
+                1600
+            );
         }
         let lat = b.set_all_uncore_mhz(2300);
         assert_eq!(lat, UNCORE_TRANSITION_LATENCY_S);
@@ -239,8 +274,14 @@ mod tests {
     #[test]
     fn bad_unit_and_register_errors() {
         let b = bank();
-        assert!(matches!(b.read(99, IA32_PERF_CTL), Err(MsrError::BadUnit { .. })));
-        assert!(matches!(b.read(0, 0x123), Err(MsrError::UnknownRegister(0x123))));
+        assert!(matches!(
+            b.read(99, IA32_PERF_CTL),
+            Err(MsrError::BadUnit { .. })
+        ));
+        assert!(matches!(
+            b.read(0, 0x123),
+            Err(MsrError::UnknownRegister(0x123))
+        ));
         assert!(b.write(5, MSR_UNCORE_RATIO_LIMIT, 0).is_err());
         let err = MsrError::UnknownRegister(0x123);
         assert!(format!("{err}").contains("0x123"));

@@ -102,7 +102,8 @@ impl Node {
 
     /// Evaluate the power model for this node.
     pub fn power(&self, cfg: &SystemConfig, act: &ActivityFactors) -> PowerBreakdown {
-        self.power_model.power(&self.topo, cfg, act, self.variability)
+        self.power_model
+            .power(&self.topo, cfg, act, self.variability)
     }
 
     /// Apply a frequency configuration through the MSR bank, returning the

@@ -31,16 +31,62 @@ pub const MAX_SIMULTANEOUS: usize = 4;
 #[allow(missing_docs)] // the variants are the standard PAPI preset names
 #[repr(u8)]
 pub enum PapiCounter {
-    TotIns, TotCyc, RefCyc, LdIns, SrIns, LstIns,
-    BrIns, BrCn, BrUcn, BrTkn, BrNtk, BrMsp, BrPrc,
-    L1Dcm, L1Icm, L1Tcm, L1Ldm, L1Stm,
-    L2Dcm, L2Icm, L2Tcm, L2Dca, L2Dcr, L2Dcw, L2Ica, L2Icr,
-    L2Tca, L2Tcr, L2Tcw, L2Ldm, L2Stm,
-    L3Tcm, L3Tca, L3Dca, L3Dcr, L3Dcw, L3Ica, L3Icr, L3Ldm,
-    CaShr, CaCln, CaItv,
-    TlbDm, TlbIm, TlbTl,
-    ResStl, StlIcy, FulIcy, StlCcy, FulCcy,
-    FpIns, FpOps, SpOps, DpOps, VecSp, VecDp,
+    TotIns,
+    TotCyc,
+    RefCyc,
+    LdIns,
+    SrIns,
+    LstIns,
+    BrIns,
+    BrCn,
+    BrUcn,
+    BrTkn,
+    BrNtk,
+    BrMsp,
+    BrPrc,
+    L1Dcm,
+    L1Icm,
+    L1Tcm,
+    L1Ldm,
+    L1Stm,
+    L2Dcm,
+    L2Icm,
+    L2Tcm,
+    L2Dca,
+    L2Dcr,
+    L2Dcw,
+    L2Ica,
+    L2Icr,
+    L2Tca,
+    L2Tcr,
+    L2Tcw,
+    L2Ldm,
+    L2Stm,
+    L3Tcm,
+    L3Tca,
+    L3Dca,
+    L3Dcr,
+    L3Dcw,
+    L3Ica,
+    L3Icr,
+    L3Ldm,
+    CaShr,
+    CaCln,
+    CaItv,
+    TlbDm,
+    TlbIm,
+    TlbTl,
+    ResStl,
+    StlIcy,
+    FulIcy,
+    StlCcy,
+    FulCcy,
+    FpIns,
+    FpOps,
+    SpOps,
+    DpOps,
+    VecSp,
+    VecDp,
 }
 
 impl PapiCounter {
@@ -48,49 +94,82 @@ impl PapiCounter {
     pub fn all() -> &'static [PapiCounter; NUM_COUNTERS] {
         use PapiCounter::*;
         &[
-            TotIns, TotCyc, RefCyc, LdIns, SrIns, LstIns,
-            BrIns, BrCn, BrUcn, BrTkn, BrNtk, BrMsp, BrPrc,
-            L1Dcm, L1Icm, L1Tcm, L1Ldm, L1Stm,
-            L2Dcm, L2Icm, L2Tcm, L2Dca, L2Dcr, L2Dcw, L2Ica, L2Icr,
-            L2Tca, L2Tcr, L2Tcw, L2Ldm, L2Stm,
-            L3Tcm, L3Tca, L3Dca, L3Dcr, L3Dcw, L3Ica, L3Icr, L3Ldm,
-            CaShr, CaCln, CaItv,
-            TlbDm, TlbIm, TlbTl,
-            ResStl, StlIcy, FulIcy, StlCcy, FulCcy,
-            FpIns, FpOps, SpOps, DpOps, VecSp, VecDp,
+            TotIns, TotCyc, RefCyc, LdIns, SrIns, LstIns, BrIns, BrCn, BrUcn, BrTkn, BrNtk, BrMsp,
+            BrPrc, L1Dcm, L1Icm, L1Tcm, L1Ldm, L1Stm, L2Dcm, L2Icm, L2Tcm, L2Dca, L2Dcr, L2Dcw,
+            L2Ica, L2Icr, L2Tca, L2Tcr, L2Tcw, L2Ldm, L2Stm, L3Tcm, L3Tca, L3Dca, L3Dcr, L3Dcw,
+            L3Ica, L3Icr, L3Ldm, CaShr, CaCln, CaItv, TlbDm, TlbIm, TlbTl, ResStl, StlIcy, FulIcy,
+            StlCcy, FulCcy, FpIns, FpOps, SpOps, DpOps, VecSp, VecDp,
         ]
     }
 
     /// Catalogue index of this preset.
     pub fn index(self) -> usize {
-        Self::all().iter().position(|&c| c == self).expect("counter in catalogue")
+        Self::all()
+            .iter()
+            .position(|&c| c == self)
+            .expect("counter in catalogue")
     }
 
     /// The canonical `PAPI_*` preset name.
     pub fn name(self) -> &'static str {
         use PapiCounter::*;
         match self {
-            TotIns => "PAPI_TOT_INS", TotCyc => "PAPI_TOT_CYC", RefCyc => "PAPI_REF_CYC",
-            LdIns => "PAPI_LD_INS", SrIns => "PAPI_SR_INS", LstIns => "PAPI_LST_INS",
-            BrIns => "PAPI_BR_INS", BrCn => "PAPI_BR_CN", BrUcn => "PAPI_BR_UCN",
-            BrTkn => "PAPI_BR_TKN", BrNtk => "PAPI_BR_NTK", BrMsp => "PAPI_BR_MSP",
+            TotIns => "PAPI_TOT_INS",
+            TotCyc => "PAPI_TOT_CYC",
+            RefCyc => "PAPI_REF_CYC",
+            LdIns => "PAPI_LD_INS",
+            SrIns => "PAPI_SR_INS",
+            LstIns => "PAPI_LST_INS",
+            BrIns => "PAPI_BR_INS",
+            BrCn => "PAPI_BR_CN",
+            BrUcn => "PAPI_BR_UCN",
+            BrTkn => "PAPI_BR_TKN",
+            BrNtk => "PAPI_BR_NTK",
+            BrMsp => "PAPI_BR_MSP",
             BrPrc => "PAPI_BR_PRC",
-            L1Dcm => "PAPI_L1_DCM", L1Icm => "PAPI_L1_ICM", L1Tcm => "PAPI_L1_TCM",
-            L1Ldm => "PAPI_L1_LDM", L1Stm => "PAPI_L1_STM",
-            L2Dcm => "PAPI_L2_DCM", L2Icm => "PAPI_L2_ICM", L2Tcm => "PAPI_L2_TCM",
-            L2Dca => "PAPI_L2_DCA", L2Dcr => "PAPI_L2_DCR", L2Dcw => "PAPI_L2_DCW",
-            L2Ica => "PAPI_L2_ICA", L2Icr => "PAPI_L2_ICR", L2Tca => "PAPI_L2_TCA",
-            L2Tcr => "PAPI_L2_TCR", L2Tcw => "PAPI_L2_TCW", L2Ldm => "PAPI_L2_LDM",
+            L1Dcm => "PAPI_L1_DCM",
+            L1Icm => "PAPI_L1_ICM",
+            L1Tcm => "PAPI_L1_TCM",
+            L1Ldm => "PAPI_L1_LDM",
+            L1Stm => "PAPI_L1_STM",
+            L2Dcm => "PAPI_L2_DCM",
+            L2Icm => "PAPI_L2_ICM",
+            L2Tcm => "PAPI_L2_TCM",
+            L2Dca => "PAPI_L2_DCA",
+            L2Dcr => "PAPI_L2_DCR",
+            L2Dcw => "PAPI_L2_DCW",
+            L2Ica => "PAPI_L2_ICA",
+            L2Icr => "PAPI_L2_ICR",
+            L2Tca => "PAPI_L2_TCA",
+            L2Tcr => "PAPI_L2_TCR",
+            L2Tcw => "PAPI_L2_TCW",
+            L2Ldm => "PAPI_L2_LDM",
             L2Stm => "PAPI_L2_STM",
-            L3Tcm => "PAPI_L3_TCM", L3Tca => "PAPI_L3_TCA", L3Dca => "PAPI_L3_DCA",
-            L3Dcr => "PAPI_L3_DCR", L3Dcw => "PAPI_L3_DCW", L3Ica => "PAPI_L3_ICA",
-            L3Icr => "PAPI_L3_ICR", L3Ldm => "PAPI_L3_LDM",
-            CaShr => "PAPI_CA_SHR", CaCln => "PAPI_CA_CLN", CaItv => "PAPI_CA_ITV",
-            TlbDm => "PAPI_TLB_DM", TlbIm => "PAPI_TLB_IM", TlbTl => "PAPI_TLB_TL",
-            ResStl => "PAPI_RES_STL", StlIcy => "PAPI_STL_ICY", FulIcy => "PAPI_FUL_ICY",
-            StlCcy => "PAPI_STL_CCY", FulCcy => "PAPI_FUL_CCY",
-            FpIns => "PAPI_FP_INS", FpOps => "PAPI_FP_OPS", SpOps => "PAPI_SP_OPS",
-            DpOps => "PAPI_DP_OPS", VecSp => "PAPI_VEC_SP", VecDp => "PAPI_VEC_DP",
+            L3Tcm => "PAPI_L3_TCM",
+            L3Tca => "PAPI_L3_TCA",
+            L3Dca => "PAPI_L3_DCA",
+            L3Dcr => "PAPI_L3_DCR",
+            L3Dcw => "PAPI_L3_DCW",
+            L3Ica => "PAPI_L3_ICA",
+            L3Icr => "PAPI_L3_ICR",
+            L3Ldm => "PAPI_L3_LDM",
+            CaShr => "PAPI_CA_SHR",
+            CaCln => "PAPI_CA_CLN",
+            CaItv => "PAPI_CA_ITV",
+            TlbDm => "PAPI_TLB_DM",
+            TlbIm => "PAPI_TLB_IM",
+            TlbTl => "PAPI_TLB_TL",
+            ResStl => "PAPI_RES_STL",
+            StlIcy => "PAPI_STL_ICY",
+            FulIcy => "PAPI_FUL_ICY",
+            StlCcy => "PAPI_STL_CCY",
+            FulCcy => "PAPI_FUL_CCY",
+            FpIns => "PAPI_FP_INS",
+            FpOps => "PAPI_FP_OPS",
+            SpOps => "PAPI_SP_OPS",
+            DpOps => "PAPI_DP_OPS",
+            VecSp => "PAPI_VEC_SP",
+            VecDp => "PAPI_VEC_DP",
         }
     }
 
@@ -123,7 +202,9 @@ pub struct CounterValues {
 impl CounterValues {
     /// Zeroed values.
     pub fn zeros() -> Self {
-        Self { values: vec![0.0; NUM_COUNTERS] }
+        Self {
+            values: vec![0.0; NUM_COUNTERS],
+        }
     }
 
     /// Value of one preset.
@@ -151,7 +232,9 @@ impl CounterValues {
     /// Scale all values (e.g. normalising by phase time as the paper does
     /// before feeding the network).
     pub fn scaled(&self, s: f64) -> CounterValues {
-        Self { values: self.values.iter().map(|v| v * s).collect() }
+        Self {
+            values: self.values.iter().map(|v| v * s).collect(),
+        }
     }
 
     /// Extract the paper's seven selected counters in Table I order.
@@ -318,13 +401,20 @@ mod tests {
 
     #[test]
     fn paper_selected_counters_match_table1() {
-        let names: Vec<&str> =
-            PapiCounter::paper_selected().iter().map(|c| c.name()).collect();
+        let names: Vec<&str> = PapiCounter::paper_selected()
+            .iter()
+            .map(|c| c.name())
+            .collect();
         assert_eq!(
             names,
             vec![
-                "PAPI_BR_NTK", "PAPI_LD_INS", "PAPI_L2_ICR", "PAPI_BR_MSP",
-                "PAPI_RES_STL", "PAPI_SR_INS", "PAPI_L2_DCR"
+                "PAPI_BR_NTK",
+                "PAPI_LD_INS",
+                "PAPI_L2_ICR",
+                "PAPI_BR_MSP",
+                "PAPI_RES_STL",
+                "PAPI_SR_INS",
+                "PAPI_L2_DCR"
             ]
         );
     }
@@ -347,16 +437,14 @@ mod tests {
         assert!((v.get(PapiCounter::BrTkn) + v.get(PapiCounter::BrNtk) - br_cn).abs() < 1.0);
         assert!((v.get(PapiCounter::BrMsp) + v.get(PapiCounter::BrPrc) - br_cn).abs() < 1.0);
         assert!(
-            (v.get(PapiCounter::BrCn) + v.get(PapiCounter::BrUcn)
-                - v.get(PapiCounter::BrIns))
-            .abs()
+            (v.get(PapiCounter::BrCn) + v.get(PapiCounter::BrUcn) - v.get(PapiCounter::BrIns))
+                .abs()
                 < 1.0
         );
         // Load/store identity.
         assert!(
-            (v.get(PapiCounter::LdIns) + v.get(PapiCounter::SrIns)
-                - v.get(PapiCounter::LstIns))
-            .abs()
+            (v.get(PapiCounter::LdIns) + v.get(PapiCounter::SrIns) - v.get(PapiCounter::LstIns))
+                .abs()
                 < 1.0
         );
     }
@@ -369,7 +457,10 @@ mod tests {
         let slow = derive_counters(&c, 9e8, 4.0e8, 9e8, &mut rng, 0.0);
         for &pc in PapiCounter::all() {
             use PapiCounter::*;
-            let cycle_domain = matches!(pc, TotCyc | RefCyc | ResStl | StlIcy | FulIcy | StlCcy | FulCcy);
+            let cycle_domain = matches!(
+                pc,
+                TotCyc | RefCyc | ResStl | StlIcy | FulIcy | StlCcy | FulCcy
+            );
             if cycle_domain {
                 continue;
             }
@@ -399,7 +490,10 @@ mod tests {
         let rel = (noisy.get(PapiCounter::TotIns) - exact.get(PapiCounter::TotIns)).abs()
             / exact.get(PapiCounter::TotIns);
         assert!(rel < 0.05, "noise too large: {rel}");
-        assert_ne!(noisy.get(PapiCounter::TotIns), exact.get(PapiCounter::TotIns));
+        assert_ne!(
+            noisy.get(PapiCounter::TotIns),
+            exact.get(PapiCounter::TotIns)
+        );
     }
 
     #[test]

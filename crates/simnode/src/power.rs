@@ -146,9 +146,9 @@ impl PowerModel {
         let f_unc_ghz = cfg.uncore.ghz();
         let active_sockets = topo.active_sockets(threads) as f64;
         let idle_sockets = topo.sockets as f64 - active_sockets;
-        let unc_act =
-            (self.uncore_base_activity + (1.0 - self.uncore_base_activity) * act.uncore_util)
-                .clamp(0.0, 1.0);
+        let unc_act = (self.uncore_base_activity
+            + (1.0 - self.uncore_base_activity) * act.uncore_util)
+            .clamp(0.0, 1.0);
         let unc_dyn_active = self.uncore_dyn * f_unc_ghz * v_unc * v_unc * unc_act;
         let unc_dyn_idle = self.uncore_dyn * f_unc_ghz * v_unc * v_unc * self.uncore_base_activity;
         let uncore_w = active_sockets * unc_dyn_active
@@ -158,7 +158,12 @@ impl PowerModel {
         let dram_w = self.dram_idle * variability + self.dram_per_gbs * act.mem_bw_gbs;
         let blade_w = self.blade * variability;
 
-        PowerBreakdown { core_w, uncore_w, dram_w, blade_w }
+        PowerBreakdown {
+            core_w,
+            uncore_w,
+            dram_w,
+            blade_w,
+        }
     }
 }
 
@@ -173,7 +178,12 @@ mod tests {
     use super::*;
 
     fn full_load() -> ActivityFactors {
-        ActivityFactors { core_util: 1.0, mem_bw_gbs: 20.0, active_threads: 24, uncore_util: 0.5 }
+        ActivityFactors {
+            core_util: 1.0,
+            mem_bw_gbs: 20.0,
+            active_threads: 24,
+            uncore_util: 0.5,
+        }
     }
 
     fn model() -> PowerModel {

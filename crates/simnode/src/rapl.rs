@@ -91,7 +91,10 @@ mod tests {
         let e = RaplCounter::energy_between(s0, c.sample());
         // Floating-point residue accumulation may leave the count one or
         // two units short of the ideal 100.
-        assert!((e - 100.0 * RAPL_ENERGY_UNIT_J).abs() <= 2.0 * RAPL_ENERGY_UNIT_J, "e {e}");
+        assert!(
+            (e - 100.0 * RAPL_ENERGY_UNIT_J).abs() <= 2.0 * RAPL_ENERGY_UNIT_J,
+            "e {e}"
+        );
     }
 
     #[test]

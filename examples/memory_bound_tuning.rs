@@ -4,43 +4,38 @@
 //! cargo run --release --example memory_bound_tuning
 //! ```
 //!
-//! Demonstrates the detection side of the workflow: profile the
-//! application, filter fine-granular regions, let `readex-dyn-detect`
-//! find the significant regions and classify their intensity, then show
+//! Demonstrates the detection side of the workflow using the session's
+//! pre-processing stage: profile the application, filter fine-granular
+//! regions, let `readex-dyn-detect` find the significant regions and
+//! classify their intensity, then verify with the exhaustive strategy
 //! that the energy-optimal frequencies move the opposite way from a
 //! compute-bound code (low core frequency, high uncore frequency).
 
-use dvfs_ufs_tuning::ptf::{exhaustive, SearchSpace, TuningObjective};
-use dvfs_ufs_tuning::scorep_lite::dyn_detect::{detect, DynDetectConfig};
+use dvfs_ufs_tuning::ptf::{ExhaustiveSearch, TuningSession};
 use dvfs_ufs_tuning::scorep_lite::filter::{autofilter, DEFAULT_FILTER_THRESHOLD_S};
 use dvfs_ufs_tuning::scorep_lite::instrument::StaticHook;
 use dvfs_ufs_tuning::scorep_lite::{InstrumentationConfig, InstrumentedApp};
 use dvfs_ufs_tuning::simnode::{Node, SystemConfig};
 
-fn main() {
+fn main() -> Result<(), dvfs_ufs_tuning::ptf::TuningError> {
     let node = Node::new(0, 99);
     let bench = dvfs_ufs_tuning::kernels::benchmark("Mcbenchmark").expect("bundled");
 
-    // Profiling run with full instrumentation.
+    // The filter file the pre-processing stage derives internally, shown
+    // for illustration: a profiling run plus `scorep-autofilter`.
     let app = InstrumentedApp::new(&bench, &node, InstrumentationConfig::scorep_defaults());
     let profile_run = app.run(&mut StaticHook(SystemConfig::calibration()));
-
-    // Run-time filtering.
     let filter = autofilter(&profile_run.profile, DEFAULT_FILTER_THRESHOLD_S);
     println!("filter file (fine-granular regions suppressed at compile time):");
     print!("{}", filter.to_scorep_syntax());
 
-    // Significant-region detection.
-    let filtered = InstrumentedApp::new(
-        &bench,
-        &node,
-        InstrumentationConfig::scorep_defaults().with_filter(filter),
-    )
-    .run(&mut StaticHook(SystemConfig::calibration()));
-    let config = detect(&bench.name, &filtered.profile, &DynDetectConfig::default());
-
+    // The session's pre-processing stage runs the same pipeline and ends
+    // with the readex-dyn-detect configuration file.
+    let preprocessed = TuningSession::builder(&node)
+        .with_strategy(&ExhaustiveSearch)
+        .preprocess(&bench)?;
     println!("\nsignificant regions (mean time > 100 ms):");
-    for r in &config.significant_regions {
+    for r in &preprocessed.config_file().significant_regions {
         println!(
             "  {:<20} mean {:>6.1} ms  weight {:>5.1}%  dynamism {:>4.2}  {:?}",
             r.name,
@@ -50,18 +45,26 @@ fn main() {
             r.intensity
         );
     }
-    println!("application worth tuning dynamically: {}", config.has_dynamism());
+    println!(
+        "application worth tuning dynamically: {}",
+        preprocessed.config_file().has_dynamism()
+    );
 
     // Exhaustive ground truth per region: the memory-bound signature.
-    let space = SearchSpace::full(vec![20]);
-    let names: Vec<String> = config.significant_regions.iter().map(|r| r.name.clone()).collect();
-    let results =
-        exhaustive::search_all_regions(&bench, &node, &space, TuningObjective::Energy, &names);
-    println!("\nexhaustive per-region optima at 20 threads (paper Table IV: ~1.6|2.3):");
-    for (name, cfg, _) in results {
+    let advice = preprocessed
+        .tune_threads()?
+        .analyze()?
+        .tune_frequencies()?
+        .advice();
+    println!(
+        "\nexhaustive per-region optima at {} threads (paper Table IV: ~1.6|2.3):",
+        advice.thread_tuning.best_threads
+    );
+    for (name, cfg, _) in &advice.region_best {
         println!("  {name:<20} -> {cfg}");
     }
     println!(
         "\nmemory-bound signature: LOW core frequency, HIGH uncore frequency — the\nmirror image of the compute-bound Lulesh (Fig. 6 vs Fig. 7)."
     );
+    Ok(())
 }

@@ -1,34 +1,47 @@
-//! Alternative tuning objectives (the paper's future work, Section VI).
+//! Alternative tuning objectives (the paper's future work, Section VI),
+//! driven through the staged session API.
 //!
 //! ```text
 //! cargo run --release --example objectives_ablation
 //! ```
 //!
 //! The paper tunes for plain energy and names EDP, ED²P and TCO as future
-//! objectives. All four are implemented; this example shows how the
-//! optimal static configuration of one benchmark migrates as the
-//! objective puts more weight on run time: energy tolerates slow clocks,
-//! ED²P all but pins the core frequency at maximum.
+//! objectives. All four are implemented and selectable on the session
+//! builder; this example tunes one benchmark per objective with the
+//! exhaustive strategy (ground truth, no model required) and shows how
+//! the optimal phase configuration migrates as the objective puts more
+//! weight on run time: energy tolerates slow clocks, ED²P all but pins
+//! the core frequency at maximum.
 
-use dvfs_ufs_tuning::ptf::{exhaustive, SearchSpace, TuningObjective};
+use dvfs_ufs_tuning::ptf::{ExhaustiveSearch, TuningObjective, TuningSession};
 use dvfs_ufs_tuning::simnode::Node;
 
 fn main() {
     let node = Node::new(0, 3);
-    let space = SearchSpace::full(vec![12, 16, 20, 24]);
     let objectives = [
         TuningObjective::Energy,
         TuningObjective::Edp,
         TuningObjective::Ed2p,
-        TuningObjective::Tco { rate_j_per_s: 150.0 },
+        TuningObjective::Tco {
+            rate_j_per_s: 150.0,
+        },
     ];
 
     for name in ["Lulesh", "Mcbenchmark", "miniMD"] {
         let bench = dvfs_ufs_tuning::kernels::benchmark(name).expect("bundled");
         println!("\n{name}:");
         for obj in objectives {
-            let (cfg, _) = exhaustive::search_static(&bench, &node, &space, obj);
-            println!("  {:<8} -> {cfg}", obj.name());
+            let advice = TuningSession::builder(&node)
+                .with_objective(obj)
+                .with_strategy(&ExhaustiveSearch)
+                .run(&bench)
+                .expect("exhaustive session succeeds");
+            println!(
+                "  {:<8} -> {}   ({} scenarios)",
+                obj.name(),
+                advice.phase_best,
+                advice.tuning_model.scenario_count()
+            );
         }
     }
     println!(

@@ -1,20 +1,22 @@
-//! Quickstart: train the energy model and tune one application.
+//! Quickstart: train the energy model and tune one application through
+//! the staged `TuningSession` API.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 //!
 //! Walks the paper's whole pipeline in ~5 seconds: train the 9-5-5-1
-//! network on the 14 training benchmarks, run the four-step Design-Time
-//! Analysis on Lulesh, print the generated tuning model, and hand it to
+//! network on the 14 training benchmarks, drive the tuning lifecycle
+//! stage by stage on Lulesh (each stage is its own type — skipping one
+//! does not compile), print the generated tuning model, and hand it to
 //! the READEX Runtime Library for a dynamically-tuned production run.
 
-use dvfs_ufs_tuning::ptf::{DesignTimeAnalysis, EnergyModel};
+use dvfs_ufs_tuning::ptf::{EnergyModel, TuningSession};
 use dvfs_ufs_tuning::rrl::{run_static, RrlHook, Savings};
 use dvfs_ufs_tuning::scorep_lite::{InstrumentationConfig, InstrumentedApp};
 use dvfs_ufs_tuning::simnode::{Node, SystemConfig};
 
-fn main() {
+fn main() -> Result<(), dvfs_ufs_tuning::ptf::TuningError> {
     // A compute node (seeded: the run is exactly reproducible).
     let node = Node::new(0, 42);
 
@@ -24,38 +26,62 @@ fn main() {
     println!("training the energy model on 14 benchmarks…");
     let model = EnergyModel::train_paper(&dvfs_ufs_tuning::kernels::training_set(), &node);
 
-    // 2. Design-Time Analysis on an unseen application.
+    // 2. The staged lifecycle on an unseen application. Every transition
+    //    is fallible; nothing on this path panics.
     let bench = dvfs_ufs_tuning::kernels::benchmark("Lulesh").expect("bundled benchmark");
-    let dta = DesignTimeAnalysis::new(&node, &model);
-    let report = dta.run(&bench);
-
-    println!("\n=== DTA report for {} ===", bench.name);
-    println!("significant regions: {:?}", report.config_file.region_names());
-    println!("step 1 — optimal OpenMP threads: {}", report.thread_tuning.best_threads);
+    let preprocessed = TuningSession::builder(&node)
+        .with_model(&model)
+        .preprocess(&bench)?;
     println!(
-        "step 2 — model-predicted global frequencies: {}|{}",
-        report.predicted_global.0, report.predicted_global.1
+        "\npre-processing — significant regions: {:?}",
+        preprocessed.config_file().region_names()
     );
-    println!("verified phase configuration: {}", report.phase_best);
-    println!("experiments consumed: {} phase-iteration equivalents", report.experiments);
-    println!("\ntuning model ({} scenarios):", report.tuning_model.scenario_count());
-    for s in &report.tuning_model.scenarios {
+
+    let threads_tuned = preprocessed.tune_threads()?;
+    println!(
+        "step 1 — optimal OpenMP threads: {}",
+        threads_tuned.thread_tuning().best_threads
+    );
+
+    let analyzed = threads_tuned.analyze()?;
+    println!(
+        "analysis — phase counter rates measured: {:?}",
+        &analyzed.phase_rates()[..2]
+    );
+
+    let frequency_tuned = analyzed.tune_frequencies()?;
+    println!(
+        "step 2 — verified phase configuration: {}",
+        frequency_tuned.phase_best()
+    );
+
+    let advice = frequency_tuned.advice();
+    if let Some((cf, ucf)) = advice.predicted_global {
+        println!("model-predicted global frequencies: {cf}|{ucf}");
+    }
+    println!(
+        "experiments consumed: {} phase-iteration equivalents ({} region simulations)",
+        advice.experiments, advice.engine_runs
+    );
+    println!(
+        "\ntuning model ({} scenarios):",
+        advice.tuning_model.scenario_count()
+    );
+    for s in &advice.tuning_model.scenarios {
         println!("  scenario {}: {}  <- {:?}", s.id, s.config, s.regions);
     }
 
     // 3. Production: default run vs dynamically-tuned RRL run.
     let default = run_static(&bench, &node, SystemConfig::taurus_default());
     let app = InstrumentedApp::new(&bench, &node, InstrumentationConfig::scorep_defaults());
-    let mut hook = RrlHook::new(report.tuning_model.clone());
+    let mut hook = RrlHook::new(advice.tuning_model.clone());
     let tuned = app.run(&mut hook);
-    let savings = Savings::between(
-        &default,
-        &dvfs_ufs_tuning::rrl::JobRecord::from_run(&tuned),
-    );
+    let savings = Savings::between(&default, &dvfs_ufs_tuning::rrl::JobRecord::from_run(&tuned));
     println!("\n=== production run ===");
     println!("default: {}", default.format_sacct());
     println!(
         "dynamic: job {:.2}%  cpu {:.2}%  time {:.2}%  ({} switches)",
         savings.job_energy_pct, savings.cpu_energy_pct, savings.time_pct, tuned.switches
     );
+    Ok(())
 }

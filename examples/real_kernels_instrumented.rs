@@ -9,13 +9,14 @@
 //! the bundled Rayon kernels (triad, blocked DGEMM, Jacobi stencil,
 //! Monte-Carlo transport) on the host, derive their analytic
 //! [`RegionCharacter`]s from known operation counts, and tune the
-//! resulting application.
+//! resulting application with an exhaustive-strategy session.
 
 use std::time::Instant;
 
 use dvfs_ufs_tuning::kernels::real;
 use dvfs_ufs_tuning::kernels::{BenchmarkSpec, ProgrammingModel, RegionSpec, Suite};
-use dvfs_ufs_tuning::ptf::{exhaustive, SearchSpace, TuningObjective};
+use dvfs_ufs_tuning::ptf::{ExhaustiveSearch, TuningSession};
+use dvfs_ufs_tuning::scorep_lite::dyn_detect::DynDetectConfig;
 use dvfs_ufs_tuning::simnode::Node;
 
 fn main() {
@@ -26,7 +27,10 @@ fn main() {
     let mut a = vec![0.0; n];
     let t = Instant::now();
     let checksum = real::triad(&mut a, &bsrc, &csrc, 3.0);
-    println!("triad     {n:>9} elems  {:>8.2?}  checksum {checksum:.1}", t.elapsed());
+    println!(
+        "triad     {n:>9} elems  {:>8.2?}  checksum {checksum:.1}",
+        t.elapsed()
+    );
 
     let m = 512;
     let am: Vec<f64> = (0..m * m).map(|i| (i % 13) as f64 - 6.0).collect();
@@ -34,13 +38,15 @@ fn main() {
     let mut cm = vec![0.0; m * m];
     let t = Instant::now();
     real::dgemm(m, &am, &bm, &mut cm);
-    println!("dgemm     {m:>5}x{m:<5}      {:>8.2?}  c[0] {}", t.elapsed(), cm[0]);
+    println!(
+        "dgemm     {m:>5}x{m:<5}      {:>8.2?}  c[0] {}",
+        t.elapsed(),
+        cm[0]
+    );
 
     let (nx, ny) = (1024, 1024);
     let mut grid = vec![0.0; nx * ny];
-    for x in 0..nx {
-        grid[x] = 100.0;
-    }
+    grid[..nx].fill(100.0);
     let mut next = grid.clone();
     let t = Instant::now();
     let mut delta = 0.0;
@@ -48,7 +54,10 @@ fn main() {
         delta = real::jacobi_sweep(nx, ny, &grid, &mut next);
         std::mem::swap(&mut grid, &mut next);
     }
-    println!("jacobi    {nx:>5}x{ny:<5} x50  {:>8.2?}  delta {delta:.4}", t.elapsed());
+    println!(
+        "jacobi    {nx:>5}x{ny:<5} x50  {:>8.2?}  delta {delta:.4}",
+        t.elapsed()
+    );
 
     let particles = 2_000_000;
     let t = Instant::now();
@@ -74,13 +83,20 @@ fn main() {
     );
 
     let node = Node::new(0, 5);
-    let space = SearchSpace::full(vec![12, 16, 20, 24]);
-    let names: Vec<String> = app.regions.iter().map(|r| r.name.clone()).collect();
-    let per_region =
-        exhaustive::search_all_regions(&app, &node, &space, TuningObjective::Energy, &names);
+    // The short host-sized kernels sit below the default 100 ms HDEEM
+    // significance threshold; lower it so all four get tuned.
+    let detect = DynDetectConfig {
+        threshold_s: 0.01,
+        ..DynDetectConfig::default()
+    };
+    let advice = TuningSession::builder(&node)
+        .with_strategy(&ExhaustiveSearch)
+        .with_dyn_detect(detect)
+        .run(&app)
+        .expect("exhaustive session succeeds");
     println!("\nenergy-optimal configurations per kernel (simulated Haswell-EP node):");
-    for (name, cfg, _) in per_region {
-        let intensity = app.region(&name).unwrap().character.intensity();
+    for (name, cfg, _) in &advice.region_best {
+        let intensity = app.region(name).unwrap().character.intensity();
         println!("  {name:<14} intensity {intensity:>6.2} instr/byte -> {cfg}");
     }
     println!(

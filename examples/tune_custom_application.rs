@@ -7,12 +7,12 @@
 //! Shows the path a downstream user takes: describe your application's
 //! regions with [`RegionCharacter`] builders (or measure them with the
 //! real-kernel helpers), wrap them in a [`BenchmarkSpec`], and run the
-//! same pipeline the paper applies to its benchmark suite — including
-//! writing the tuning model to disk and loading it back through the
-//! `SCOREP_RRL_TMM_PATH`-style file interface.
+//! same staged session the paper applies to its benchmark suite —
+//! including writing the tuning model to disk and loading it back through
+//! the `SCOREP_RRL_TMM_PATH`-style file interface.
 
 use dvfs_ufs_tuning::kernels::{BenchmarkSpec, ProgrammingModel, RegionSpec, Suite};
-use dvfs_ufs_tuning::ptf::{DesignTimeAnalysis, EnergyModel};
+use dvfs_ufs_tuning::ptf::{EnergyModel, TuningSession};
 use dvfs_ufs_tuning::rrl::{run_static, RrlHook, Savings, TuningModelManager};
 use dvfs_ufs_tuning::scorep_lite::{InstrumentationConfig, InstrumentedApp};
 use dvfs_ufs_tuning::simnode::{Node, RegionCharacter, SystemConfig};
@@ -61,15 +61,18 @@ fn main() {
     println!("training the energy model…");
     let model = EnergyModel::train_paper(&dvfs_ufs_tuning::kernels::training_set(), &node);
 
-    let report = DesignTimeAnalysis::new(&node, &model).run(&app);
+    let advice = TuningSession::builder(&node)
+        .with_model(&model)
+        .run(&app)
+        .expect("session succeeds on a well-formed application");
     println!("\nper-region configurations for {}:", app.name);
-    for (region, cfg, _) in &report.region_best {
+    for (region, cfg, _) in &advice.region_best {
         println!("  {region:<18} -> {cfg}");
     }
 
     // Persist the tuning model the way READEX does, then load it back.
     let path = std::env::temp_dir().join("my-cfd-app.tm.json");
-    std::fs::write(&path, report.tuning_model.to_json()).expect("write tuning model");
+    std::fs::write(&path, advice.tuning_model.to_json()).expect("write tuning model");
     println!("\ntuning model written to {}", path.display());
     let tmm = TuningModelManager::from_path(&path).expect("reload tuning model");
 

@@ -2,7 +2,7 @@
 //! from benchmark description through DTA to RRL production runs.
 
 use dvfs_ufs_tuning::kernels;
-use dvfs_ufs_tuning::ptf::{DesignTimeAnalysis, EnergyModel, TuningModel, TuningPlugin};
+use dvfs_ufs_tuning::ptf::{EnergyModel, TuningModel, TuningPlugin, TuningSession};
 use dvfs_ufs_tuning::rrl::{run_static, JobRecord, RrlHook, Savings, TuningModelManager};
 use dvfs_ufs_tuning::scorep_lite::{InstrumentationConfig, InstrumentedApp};
 use dvfs_ufs_tuning::simnode::{Node, SystemConfig};
@@ -25,11 +25,14 @@ fn dta_to_rrl_round_trip_via_tuning_model_file() {
     let bench = kernels::benchmark("miniMD").unwrap();
 
     // Design time: produce and persist the tuning model.
-    let report = DesignTimeAnalysis::new(&node, &model).run(&bench);
+    let advice = TuningSession::builder(&node)
+        .with_model(&model)
+        .run(&bench)
+        .expect("session succeeds");
     let dir = std::env::temp_dir().join("dvfs-ufs-integration");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("minimd.tm.json");
-    std::fs::write(&path, report.tuning_model.to_json()).unwrap();
+    std::fs::write(&path, advice.tuning_model.to_json()).unwrap();
 
     // Production: load through the TMM (the SCOREP_RRL_TMM_PATH path) and
     // run under the RRL.
@@ -41,9 +44,18 @@ fn dta_to_rrl_round_trip_via_tuning_model_file() {
     let tuned = app.run(&mut hook);
     let savings = Savings::between(&default, &JobRecord::from_run(&tuned));
 
-    assert!(savings.cpu_energy_pct > 3.0, "dynamic CPU savings too small: {savings:?}");
-    assert!(savings.job_energy_pct > 0.0, "dynamic job savings negative: {savings:?}");
-    assert!(tuned.switches > 0, "RRL must actually switch configurations");
+    assert!(
+        savings.cpu_energy_pct > 3.0,
+        "dynamic CPU savings too small: {savings:?}"
+    );
+    assert!(
+        savings.job_energy_pct > 0.0,
+        "dynamic job savings negative: {savings:?}"
+    );
+    assert!(
+        tuned.switches > 0,
+        "RRL must actually switch configurations"
+    );
     std::fs::remove_file(&path).ok();
 }
 
@@ -53,9 +65,15 @@ fn plugin_interface_drives_the_same_pipeline() {
     let node = Node::exact(0);
     let mut plugin = DvfsUfsPlugin::new(model(&node));
     plugin.initialize(&kernels::benchmark("BEM4I").unwrap());
-    let report = plugin.tune(&node);
-    assert_eq!(report.config_file.significant_regions.len(), 4, "BEM4I has 4 significant regions");
-    let tm = plugin.tuning_model().expect("tuning model available after tune()");
+    let report = plugin.tune(&node).expect("tune after initialize succeeds");
+    assert_eq!(
+        report.config_file.significant_regions.len(),
+        4,
+        "BEM4I has 4 significant regions"
+    );
+    let tm = plugin
+        .tuning_model()
+        .expect("tuning model available after tune()");
     // Every significant region resolves to a scenario config.
     for region in report.config_file.region_names() {
         let cfg = tm.lookup(region);
@@ -99,13 +117,17 @@ fn dynamic_tuning_tracks_region_heterogeneity() {
         ],
     );
     let node = Node::exact(0);
-    let report = DesignTimeAnalysis::new(&node, &model(&node)).run(&app);
-    let configs: Vec<_> = report.region_best.iter().map(|(_, c, _)| *c).collect();
+    let model = model(&node);
+    let advice = TuningSession::builder(&node)
+        .with_model(&model)
+        .run(&app)
+        .expect("session succeeds");
+    let configs: Vec<_> = advice.region_best.iter().map(|(_, c, _)| *c).collect();
     assert_eq!(configs.len(), 2);
     // The per-region configs should differ (heterogeneity recognised)…
     // within the verified neighbourhood they at least must not be forced
     // equal when the optima differ.
-    let tm = &report.tuning_model;
+    let tm = &advice.tuning_model;
     assert!(tm.scenario_count() >= 1);
     // The compute region prefers at least as high a core frequency.
     let c_burn = tm.lookup("burn_flops");
@@ -128,7 +150,11 @@ fn tuning_model_survives_json_round_trip_with_lookup_semantics() {
     );
     let back = TuningModel::from_json(&tm.to_json()).unwrap();
     for region in ["hot", "cold", "unknown"] {
-        assert_eq!(tm.lookup(region), back.lookup(region), "lookup differs for {region}");
+        assert_eq!(
+            tm.lookup(region),
+            back.lookup(region),
+            "lookup differs for {region}"
+        );
     }
 }
 

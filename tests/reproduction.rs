@@ -23,7 +23,11 @@ fn table5_static_optima_within_one_step() {
     for &(name, threads, cf, ucf) in expect {
         let bench = kernels::benchmark(name).unwrap();
         let (best, _) = exhaustive::search_static(&bench, &node, &space, TuningObjective::Energy);
-        assert_eq!(best.threads, threads, "{name}: threads {} vs paper {threads}", best.threads);
+        assert_eq!(
+            best.threads, threads,
+            "{name}: threads {} vs paper {threads}",
+            best.threads
+        );
         assert!(
             (best.core.mhz() as i64 - cf as i64).abs() <= 100,
             "{name}: CF {} vs paper {cf}",
@@ -70,7 +74,10 @@ fn normalisation_collapses_node_variability() {
         max_raw_spread = max_raw_spread.max(spread(&raw));
         max_norm_spread = max_norm_spread.max(spread(&norm));
     }
-    assert!(max_raw_spread > 0.01, "nodes must differ in raw energy ({max_raw_spread})");
+    assert!(
+        max_raw_spread > 0.01,
+        "nodes must differ in raw energy ({max_raw_spread})"
+    );
     assert!(
         max_norm_spread < max_raw_spread / 3.0,
         "normalisation must collapse the spread: raw {max_raw_spread}, norm {max_norm_spread}"
@@ -91,10 +98,22 @@ fn fig6_fig7_frequency_dichotomy() {
     let mcb = kernels::benchmark("Mcbenchmark").unwrap();
     let (m_best, _) = exhaustive::search_static(&mcb, &node, &space20, TuningObjective::Energy);
 
-    assert!(l_best.core.mhz() >= 2300, "Lulesh core high: {}", l_best.core);
-    assert!(l_best.uncore.mhz() <= 1900, "Lulesh uncore low: {}", l_best.uncore);
+    assert!(
+        l_best.core.mhz() >= 2300,
+        "Lulesh core high: {}",
+        l_best.core
+    );
+    assert!(
+        l_best.uncore.mhz() <= 1900,
+        "Lulesh uncore low: {}",
+        l_best.uncore
+    );
     assert!(m_best.core.mhz() <= 1800, "Mcb core low: {}", m_best.core);
-    assert!(m_best.uncore.mhz() >= 2000, "Mcb uncore high: {}", m_best.uncore);
+    assert!(
+        m_best.uncore.mhz() >= 2000,
+        "Mcb uncore high: {}",
+        m_best.uncore
+    );
 }
 
 /// Section V-C: model-based tuning is orders of magnitude cheaper than
@@ -107,7 +126,11 @@ fn tuning_time_speedup_exceeds_two_orders_of_magnitude() {
     // Our DTA consumes at most k + 1 + 49 + 18 phase-iteration
     // equivalents (thread sweep + analysis + recentring + verification).
     let model_s = exhaustive::tuning_time_model_based(4, 49 + 18, t);
-    assert!(exhaustive_s / model_s >= 70.0, "speedup {}", exhaustive_s / model_s);
+    assert!(
+        exhaustive_s / model_s >= 70.0,
+        "speedup {}",
+        exhaustive_s / model_s
+    );
     // With per-phase-iteration experiments (progressive loops) the gap
     // widens by another factor of the iteration count.
     let model_iter_s = exhaustive::tuning_time_model_based(4, 49 + 18, t / 25.0);
