@@ -1,8 +1,9 @@
 //! Criterion benchmarks for the hot paths behind each paper artefact:
 //! network inference (the Fig. 6/7 frequency sweeps), training epochs
 //! (Fig. 5 LOOCV), the execution engine (every experiment), trace I/O
-//! (Section IV-A data acquisition), PCP switching (Table VI dynamic runs)
-//! and the real Rayon kernels.
+//! (Section IV-A data acquisition), PCP switching (Table VI dynamic runs),
+//! the runtime-session region event + repository serve (cluster-scale
+//! model serving) and the real Rayon kernels.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -171,6 +172,61 @@ fn bench_experiment_cache(c: &mut Criterion) {
     group.finish();
 }
 
+/// The runtime serving hot path: one `region_enter`/`region_exit` event
+/// pair (scenario lookup + PCP config switch + region execution +
+/// accounting) on a model whose scenarios alternate configurations, so
+/// every enter actually switches; plus one repository serve (fingerprint
+/// + stored-JSON parse).
+fn bench_runtime_session(c: &mut Criterion) {
+    use ptf::TuningModel;
+    use rrl::{ModelSource, RuntimeSession, ServedModel, TuningModelRepository};
+
+    let node = Node::exact(0);
+    let bench = kernels::benchmark("Lulesh").unwrap();
+    let tm = TuningModel::new(
+        "Lulesh",
+        &[
+            (
+                "IntegrateStressForElems".into(),
+                SystemConfig::new(24, 2500, 2000),
+            ),
+            (
+                "CalcKinematicsForElems".into(),
+                SystemConfig::new(24, 2400, 2000),
+            ),
+        ],
+        SystemConfig::new(24, 2500, 2100),
+    );
+    let mut group = c.benchmark_group("rrl/runtime");
+
+    group.bench_function("region_enter_exit", |b| {
+        let served = ServedModel {
+            model: tm.clone(),
+            source: ModelSource::Repository,
+        };
+        let mut session = RuntimeSession::start("hotpath", &bench, &node, served).unwrap();
+        let names: Vec<String> = bench.regions.iter().map(|r| r.name.clone()).collect();
+        let mut i = 0usize;
+        b.iter(|| {
+            let name = &names[i % names.len()];
+            i += 1;
+            session.region_enter(name).unwrap();
+            let exit = session.region_exit(name).unwrap();
+            if i.is_multiple_of(names.len()) {
+                session.phase_complete().unwrap();
+            }
+            black_box(exit)
+        })
+    });
+
+    group.bench_function("repository_serve", |b| {
+        let mut repo = TuningModelRepository::new();
+        repo.insert(&bench, &tm);
+        b.iter(|| black_box(repo.serve(&bench).unwrap()))
+    });
+    group.finish();
+}
+
 /// Real Rayon kernels (the host-executable demo workloads).
 fn bench_real_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("real_kernels");
@@ -224,7 +280,7 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_nn_inference, bench_nn_training, bench_adam_step, bench_exec_engine,
-              bench_trace_io, bench_pcp_switch, bench_experiment_cache, bench_real_kernels,
-              bench_committee_ablation
+              bench_trace_io, bench_pcp_switch, bench_experiment_cache, bench_runtime_session,
+              bench_real_kernels, bench_committee_ablation
 }
 criterion_main!(benches);

@@ -104,11 +104,11 @@ fn bench_table5_static_search(c: &mut Criterion) {
     });
 }
 
-/// Table VI unit: one instrumented RRL production run of Lulesh.
+/// Table VI unit: one instrumented RRL production run of Lulesh through
+/// the event-driven runtime session.
 fn bench_table6_rrl_run(c: &mut Criterion) {
     use ptf::TuningModel;
-    use rrl::RrlHook;
-    use scorep_lite::{InstrumentationConfig, InstrumentedApp};
+    use rrl::{ModelSource, RuntimeSession, ServedModel};
     let node = Node::exact(0);
     let bench = kernels::benchmark("Lulesh").unwrap();
     let tm = TuningModel::new(
@@ -123,9 +123,13 @@ fn bench_table6_rrl_run(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("rrl_production_run", |b| {
         b.iter(|| {
-            let app = InstrumentedApp::new(&bench, &node, InstrumentationConfig::scorep_defaults());
-            let mut hook = RrlHook::new(tm.clone());
-            black_box(app.run(&mut hook))
+            let served = ServedModel {
+                model: tm.clone(),
+                source: ModelSource::Repository,
+            };
+            let mut session = RuntimeSession::start("bench", &bench, &node, served).unwrap();
+            session.run_to_completion().unwrap();
+            black_box(session.finish().unwrap())
         })
     });
     group.finish();

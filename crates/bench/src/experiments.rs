@@ -545,6 +545,27 @@ pub fn table6_static_vs_dynamic() -> String {
         "dynamic beats static on both energy metrics: {}",
         if dyn_beats_static { "YES" } else { "NO" }
     );
+    let _ = writeln!(
+        out,
+        "\nper-region energy breakdown of the dynamic runs (top consumers):"
+    );
+    for cmp in &rows {
+        let acc = &cmp.dynamic_accounting;
+        let total = acc.regions_node_energy_j();
+        let mut regions = acc.regions.clone();
+        regions.sort_by(|a, b| b.node_energy_j.total_cmp(&a.node_energy_j));
+        let _ = write!(out, "{:<13} |", cmp.benchmark);
+        for r in regions.iter().take(3) {
+            let _ = write!(
+                out,
+                "  {} {:.0}% ({}x)",
+                r.region,
+                100.0 * r.node_energy_j / total,
+                r.visits
+            );
+        }
+        let _ = writeln!(out);
+    }
     let _ = writeln!(out, "\npaper reference rows:");
     for (name, s, d, o) in paper {
         let _ = writeln!(
@@ -562,7 +583,14 @@ pub fn tuning_time() -> String {
     let node = Node::exact(0);
     let bench = kernels::benchmark("Mcbenchmark").expect("Mcb exists");
     // One application run of Mcb at the default configuration.
-    let default = rrl::run_static(&bench, &node, SystemConfig::taurus_default());
+    let default = rrl::RuntimeSession::static_run(
+        "tuning-time-default",
+        &bench,
+        &node,
+        SystemConfig::taurus_default(),
+    )
+    .expect("static run succeeds on bundled benchmarks")
+    .record;
     let t = default.elapsed_s;
     let space = SearchSpace::full(vec![12, 16, 20, 24]);
     let n_regions = 5;

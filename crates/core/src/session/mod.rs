@@ -359,6 +359,7 @@ impl FrequencyTuned<'_> {
     /// model (the `getAdvice` step).
     #[must_use]
     pub fn advice(self) -> Advice {
+        let benchmark_fingerprint = self.core.bench.fingerprint();
         let tuning_model = TuningModel::new(
             &self.core.bench.name,
             &self
@@ -377,6 +378,7 @@ impl FrequencyTuned<'_> {
             + self.outcome.verification.len() as u64;
         Advice {
             tuning_model,
+            benchmark_fingerprint,
             config_file: self.config_file,
             thread_tuning: self.thread_tuning,
             phase_rates: self.phase_rates,
@@ -397,6 +399,12 @@ impl FrequencyTuned<'_> {
 pub struct Advice {
     /// The generated tuning model (the plugin's final artefact).
     pub tuning_model: TuningModel,
+    /// Workload fingerprint of the tuned benchmark
+    /// (`BenchmarkSpec::fingerprint`). Together with the application name
+    /// this is the key under which the runtime's tuning-model repository
+    /// stores the model, so design-time advice hands off to runtime
+    /// serving without re-deriving the workload identity.
+    pub benchmark_fingerprint: u64,
     /// The `readex-dyn-detect` configuration file from pre-processing.
     pub config_file: TuningConfigFile,
     /// Tuning step 1 outcome.
@@ -501,6 +509,7 @@ mod tests {
         assert_eq!(tuned.region_best().len(), 5);
         let advice = tuned.advice();
         assert_eq!(advice.tuning_model.application, "Lulesh");
+        assert_eq!(advice.benchmark_fingerprint, bench.fingerprint());
         assert!(advice.engine_runs <= advice.engine_requests);
     }
 

@@ -24,4 +24,4 @@ pub mod spec;
 pub mod suites;
 
 pub use catalog::{all_benchmarks, benchmark, test_set, training_set, TEST_SET_NAMES};
-pub use spec::{BenchmarkSpec, ProgrammingModel, RegionSpec, Suite};
+pub use spec::{fnv1a, BenchmarkSpec, ProgrammingModel, RegionSpec, Suite};

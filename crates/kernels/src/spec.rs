@@ -4,6 +4,18 @@ use serde::{Deserialize, Serialize};
 
 use simnode::RegionCharacter;
 
+/// Stable 64-bit FNV-1a hash — the primitive behind workload
+/// fingerprints and the runtime's deterministic job seeds. Kept in one
+/// place so every consumer hashes identically.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 /// Benchmark suite of origin (Table II).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Suite {
@@ -147,6 +159,18 @@ impl BenchmarkSpec {
         self.regions.iter().find(|r| r.name == name)
     }
 
+    /// Stable workload fingerprint: [`fnv1a`] over the canonical JSON
+    /// serialisation of this spec. Any change to the region list, a
+    /// region's work character, the phase count or the name yields a
+    /// different value. The runtime's tuning-model repository keys stored
+    /// models by `(application, fingerprint)`, so a re-submitted job only
+    /// hits a stored model when its workload is byte-identical to the one
+    /// that was tuned.
+    pub fn fingerprint(&self) -> u64 {
+        let json = serde_json::to_string(self).expect("benchmark spec serialises");
+        fnv1a(json.as_bytes())
+    }
+
     /// Aggregate character of one whole phase iteration (the "phase
     /// region"): sums work quantities and averages rates weighted by
     /// instruction count. This is what the plugin's phase-level analysis
@@ -280,5 +304,24 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: BenchmarkSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_workload_sensitive() {
+        let a = spec();
+        let b = spec();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same spec, same key");
+
+        let mut renamed = spec();
+        renamed.name = "toy2".into();
+        assert_ne!(a.fingerprint(), renamed.fingerprint());
+
+        let mut heavier = spec();
+        heavier.regions[0].character.instr_per_iter *= 2.0;
+        assert_ne!(a.fingerprint(), heavier.fingerprint());
+
+        let mut longer = spec();
+        longer.phase_iterations += 1;
+        assert_ne!(a.fingerprint(), longer.fingerprint());
     }
 }

@@ -1,0 +1,398 @@
+//! Cluster-scale job scheduling atop `simnode::cluster`.
+//!
+//! The [`ClusterScheduler`] multiplexes many concurrent
+//! [`RuntimeSession`]s across the nodes of a [`Cluster`]: jobs are placed
+//! round-robin or least-loaded (by estimated phase work), served their
+//! tuning model from a [`TuningModelRepository`], and then driven
+//! *interleaved* — each scheduler sweep advances every active session by
+//! one region event — exactly as a cluster full of independently-running
+//! RRL instances would progress. Because session accounting is
+//! interleaving-independent (see [`crate::session`]), every job's result
+//! is bit-identical to running its session alone.
+//!
+//! The run produces per-job `sacct`-style accounting, per-job savings
+//! against a default-configuration run of the same job on the same node,
+//! and an aggregate cluster savings report.
+
+use kernels::BenchmarkSpec;
+use simnode::{Cluster, SystemConfig};
+
+use crate::error::RuntimeError;
+use crate::repository::{RepositoryStats, TuningModelRepository};
+use crate::sacct::{JobAccounting, JobRecord};
+use crate::savings::Savings;
+use crate::session::RuntimeSession;
+
+/// Job-to-node placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// Cycle through the nodes in index order.
+    #[default]
+    RoundRobin,
+    /// Place each job on the node with the least estimated work assigned
+    /// so far (ties break to the lowest index).
+    LeastLoaded,
+}
+
+/// One job's outcome after a scheduler run.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Job name.
+    pub job: String,
+    /// Benchmark the job ran.
+    pub benchmark: String,
+    /// Node the job was placed on.
+    pub node_id: u32,
+    /// Full accounting of the tuned run.
+    pub accounting: JobAccounting,
+    /// Accounting record of the same job at the platform default
+    /// configuration on the same node (the savings baseline).
+    pub default: JobRecord,
+    /// Per-job dynamic savings versus the default run.
+    pub savings: Savings,
+}
+
+/// Aggregate result of one scheduler run.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Per-job outcomes, in submission order.
+    pub jobs: Vec<JobOutcome>,
+    /// Sums of the default-run records across all jobs.
+    pub total_default: JobRecord,
+    /// Sums of the tuned-run records across all jobs.
+    pub total_tuned: JobRecord,
+    /// Cluster-wide savings (computed on the summed records).
+    pub aggregate: Savings,
+    /// Repository statistics after serving this run.
+    pub repository: RepositoryStats,
+    /// Distinct nodes that executed at least one job.
+    pub nodes_used: usize,
+}
+
+impl ClusterReport {
+    /// Human-readable cluster report: one line per job plus the
+    /// aggregate savings and repository hit rate.
+    pub fn format_report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<18} {:<13} {:>5} {:>10} {:>9} {:>9} {:>9} {:>9}\n",
+            "job", "benchmark", "node", "source", "job[%]", "cpu[%]", "time[%]", "switches"
+        ));
+        for j in &self.jobs {
+            out.push_str(&format!(
+                "{:<18} {:<13} {:>5} {:>10} {:>9.2} {:>9.2} {:>9.2} {:>9}\n",
+                j.job,
+                j.benchmark,
+                j.node_id,
+                format!("{:?}", j.accounting.source),
+                j.savings.job_energy_pct,
+                j.savings.cpu_energy_pct,
+                j.savings.time_pct,
+                j.accounting.switches,
+            ));
+        }
+        out.push_str(&format!(
+            "\n{} jobs over {} nodes — aggregate savings: job {:.2}%  cpu {:.2}%  time {:.2}%\n",
+            self.jobs.len(),
+            self.nodes_used,
+            self.aggregate.job_energy_pct,
+            self.aggregate.cpu_energy_pct,
+            self.aggregate.time_pct,
+        ));
+        out.push_str(&format!(
+            "repository: {} hits / {} misses ({} fallback) — hit rate {:.0}%\n",
+            self.repository.hits,
+            self.repository.misses,
+            self.repository.fallbacks,
+            100.0 * self.repository.hit_rate(),
+        ));
+        out
+    }
+}
+
+struct QueuedJob {
+    name: String,
+    bench: BenchmarkSpec,
+    node_idx: usize,
+}
+
+/// Schedules and drives many concurrent runtime sessions over a cluster.
+pub struct ClusterScheduler<'a> {
+    cluster: &'a Cluster,
+    placement: Placement,
+    rr_next: usize,
+    queue: Vec<QueuedJob>,
+    /// Estimated phase work (instructions) assigned per node.
+    load: Vec<f64>,
+}
+
+/// Estimated total work of a job, for least-loaded placement.
+fn estimated_work(bench: &BenchmarkSpec) -> f64 {
+    bench.phase_character().instr_per_iter * f64::from(bench.phase_iterations)
+}
+
+impl<'a> ClusterScheduler<'a> {
+    /// Scheduler over `cluster` with round-robin placement.
+    pub fn new(cluster: &'a Cluster) -> Result<Self, RuntimeError> {
+        if cluster.is_empty() {
+            return Err(RuntimeError::EmptyCluster);
+        }
+        Ok(Self {
+            cluster,
+            placement: Placement::RoundRobin,
+            rr_next: 0,
+            queue: Vec::new(),
+            load: vec![0.0; cluster.len()],
+        })
+    }
+
+    /// Select the placement policy.
+    #[must_use]
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Jobs queued but not yet run.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Submit a job; returns the id of the node it was placed on.
+    pub fn submit(&mut self, name: impl Into<String>, bench: BenchmarkSpec) -> u32 {
+        let idx = match self.placement {
+            Placement::RoundRobin => {
+                let idx = self.rr_next % self.cluster.len();
+                self.rr_next += 1;
+                idx
+            }
+            Placement::LeastLoaded => self
+                .load
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.total_cmp(b))
+                .map(|(i, _)| i)
+                .unwrap_or(0),
+        };
+        self.load[idx] += estimated_work(&bench);
+        self.queue.push(QueuedJob {
+            name: name.into(),
+            bench,
+            node_idx: idx,
+        });
+        self.cluster.node(idx).id()
+    }
+
+    /// Run every queued job to completion, interleaved across the
+    /// cluster, serving tuning models from `repo`.
+    ///
+    /// Each sweep of the scheduler loop advances every active session by
+    /// one event (a region enter/exit pair or a phase completion), so at
+    /// any instant up to `pending()` sessions are in flight. The queue is
+    /// consumed by the run, including on error.
+    pub fn run(&mut self, repo: &mut TuningModelRepository) -> Result<ClusterReport, RuntimeError> {
+        let cluster = self.cluster;
+        let jobs = std::mem::take(&mut self.queue);
+        self.load = vec![0.0; cluster.len()];
+        self.rr_next = 0;
+
+        struct Driver<'b> {
+            session: Option<RuntimeSession<'b>>,
+            region_idx: usize,
+            accounting: Option<JobAccounting>,
+        }
+
+        let mut drivers = Vec::with_capacity(jobs.len());
+        for job in &jobs {
+            let served = repo.serve(&job.bench)?;
+            let session =
+                RuntimeSession::start(&job.name, &job.bench, cluster.node(job.node_idx), served)?;
+            drivers.push(Driver {
+                session: Some(session),
+                region_idx: 0,
+                accounting: None,
+            });
+        }
+
+        // Interleaved event loop: one event per active session per sweep.
+        let mut active = drivers.len();
+        while active > 0 {
+            for (driver, job) in drivers.iter_mut().zip(&jobs) {
+                let Some(session) = driver.session.as_mut() else {
+                    continue;
+                };
+                if session.phase_iteration() >= job.bench.phase_iterations {
+                    let finished = driver.session.take().expect("session present");
+                    driver.accounting = Some(finished.finish()?);
+                    active -= 1;
+                } else if driver.region_idx < job.bench.regions.len() {
+                    let region = &job.bench.regions[driver.region_idx];
+                    session.region_enter(&region.name)?;
+                    session.region_exit(&region.name)?;
+                    driver.region_idx += 1;
+                } else {
+                    session.phase_complete()?;
+                    driver.region_idx = 0;
+                }
+            }
+        }
+
+        let mut outcomes = Vec::with_capacity(jobs.len());
+        let mut total_default = JobRecord {
+            job_energy_j: 0.0,
+            cpu_energy_j: 0.0,
+            elapsed_s: 0.0,
+        };
+        let mut total_tuned = total_default;
+        let mut nodes_used = vec![false; cluster.len()];
+        for (driver, job) in drivers.into_iter().zip(&jobs) {
+            let accounting = driver.accounting.expect("all jobs finished");
+            let node = cluster.node(job.node_idx);
+            let default = RuntimeSession::static_run(
+                &job.name,
+                &job.bench,
+                node,
+                SystemConfig::taurus_default(),
+            )?
+            .record;
+            total_default.job_energy_j += default.job_energy_j;
+            total_default.cpu_energy_j += default.cpu_energy_j;
+            total_default.elapsed_s += default.elapsed_s;
+            total_tuned.job_energy_j += accounting.record.job_energy_j;
+            total_tuned.cpu_energy_j += accounting.record.cpu_energy_j;
+            total_tuned.elapsed_s += accounting.record.elapsed_s;
+            nodes_used[job.node_idx] = true;
+            outcomes.push(JobOutcome {
+                job: job.name.clone(),
+                benchmark: job.bench.name.clone(),
+                node_id: node.id(),
+                savings: Savings::between(&default, &accounting.record),
+                accounting,
+                default,
+            });
+        }
+
+        Ok(ClusterReport {
+            aggregate: Savings::between(&total_default, &total_tuned),
+            jobs: outcomes,
+            total_default,
+            total_tuned,
+            repository: repo.stats(),
+            nodes_used: nodes_used.iter().filter(|&&used| used).count(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptf::TuningModel;
+    use simnode::RegionCharacter;
+
+    fn lulesh_model() -> TuningModel {
+        TuningModel::new(
+            "Lulesh",
+            &[
+                (
+                    "IntegrateStressForElems".into(),
+                    SystemConfig::new(24, 2500, 2000),
+                ),
+                (
+                    "CalcKinematicsForElems".into(),
+                    SystemConfig::new(24, 2400, 2000),
+                ),
+            ],
+            SystemConfig::new(24, 2500, 2100),
+        )
+    }
+
+    fn toy(name: &str, instr: f64) -> BenchmarkSpec {
+        use kernels::{ProgrammingModel, RegionSpec, Suite};
+        BenchmarkSpec::new(
+            name,
+            Suite::Npb,
+            ProgrammingModel::OpenMp,
+            4,
+            vec![RegionSpec::new(
+                "omp parallel:1",
+                RegionCharacter::builder(instr).dram_bytes(instr).build(),
+            )],
+        )
+    }
+
+    #[test]
+    fn empty_cluster_rejected() {
+        let cluster = Cluster::exact(0);
+        assert!(matches!(
+            ClusterScheduler::new(&cluster),
+            Err(RuntimeError::EmptyCluster)
+        ));
+    }
+
+    #[test]
+    fn round_robin_cycles_nodes() {
+        let cluster = Cluster::exact(3);
+        let mut sched = ClusterScheduler::new(&cluster).unwrap();
+        let ids: Vec<u32> = (0..6)
+            .map(|i| sched.submit(format!("j{i}"), toy("t", 1e9)))
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(sched.pending(), 6);
+    }
+
+    #[test]
+    fn least_loaded_balances_by_estimated_work() {
+        let cluster = Cluster::exact(2);
+        let mut sched = ClusterScheduler::new(&cluster)
+            .unwrap()
+            .with_placement(Placement::LeastLoaded);
+        // Heavy job lands on node 0, then both small jobs go to node 1
+        // (their combined work is still below the heavy job's).
+        assert_eq!(sched.submit("heavy", toy("heavy", 1e12)), 0);
+        assert_eq!(sched.submit("small-1", toy("small", 1e9)), 1);
+        assert_eq!(sched.submit("small-2", toy("small", 1e9)), 1);
+        assert_eq!(sched.submit("small-3", toy("small", 1e9)), 1);
+    }
+
+    #[test]
+    fn scheduler_serves_and_reports() {
+        let cluster = Cluster::exact(2);
+        let lulesh = kernels::benchmark("Lulesh").unwrap();
+        let mut repo =
+            TuningModelRepository::new().with_fallback(SystemConfig::new(24, 2400, 1700));
+        repo.insert(&lulesh, &lulesh_model());
+
+        let mut sched = ClusterScheduler::new(&cluster).unwrap();
+        for i in 0..3 {
+            sched.submit(format!("lulesh-{i}"), lulesh.clone());
+        }
+        sched.submit("toy-0", toy("toy", 5e9));
+        let report = sched.run(&mut repo).unwrap();
+
+        assert_eq!(report.jobs.len(), 4);
+        assert_eq!(sched.pending(), 0, "queue consumed");
+        assert_eq!(report.nodes_used, 2);
+        assert_eq!(report.repository.hits, 3);
+        assert_eq!(report.repository.fallbacks, 1);
+        // Tuned Lulesh jobs save energy versus their defaults.
+        for j in report.jobs.iter().filter(|j| j.benchmark == "Lulesh") {
+            assert!(j.savings.job_energy_pct > 0.0, "{j:?}");
+            assert!(j.accounting.switches > 0);
+        }
+        let text = report.format_report();
+        assert!(text.contains("lulesh-2"), "{text}");
+        assert!(text.contains("hit rate 75%"), "{text}");
+    }
+
+    #[test]
+    fn serve_failure_propagates() {
+        let cluster = Cluster::exact(1);
+        let mut repo = TuningModelRepository::new(); // no model, no fallback
+        let mut sched = ClusterScheduler::new(&cluster).unwrap();
+        sched.submit("j", toy("t", 1e9));
+        assert!(matches!(
+            sched.run(&mut repo),
+            Err(RuntimeError::NoModel { .. })
+        ));
+    }
+}

@@ -1,0 +1,175 @@
+//! Errors on the user-facing runtime path.
+//!
+//! Every operation of the event-driven runtime API — repository serving,
+//! [`crate::RuntimeSession`] transitions, [`crate::ClusterScheduler`]
+//! placement and execution — returns `Result<_, RuntimeError>`. Nothing on
+//! this path panics: a corrupt model file, a foreign configuration or a
+//! mis-sequenced region event all surface as values.
+
+use std::fmt;
+
+use simnode::SystemConfig;
+
+/// Why a runtime operation could not proceed.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// A serialized tuning model could not be read from storage.
+    Io(std::io::Error),
+    /// Stored bytes were not a valid tuning model.
+    Parse(serde_json::Error),
+    /// The repository holds no model for this application/workload and no
+    /// calibration fallback is configured.
+    NoModel {
+        /// Application that requested a model.
+        application: String,
+        /// Workload fingerprint that missed.
+        fingerprint: u64,
+    },
+    /// A region event named a region the benchmark does not contain, so
+    /// the simulator cannot execute it.
+    UnknownRegion {
+        /// Application whose session received the event.
+        application: String,
+        /// The unresolvable region name.
+        region: String,
+    },
+    /// An event arrived while a region was still open. Regions are flat
+    /// (the phase loop executes them in sequence), so `region_enter`,
+    /// `phase_complete` and `finish` all require the previous region to
+    /// have exited.
+    RegionStillOpen {
+        /// The region that is still open.
+        open: String,
+        /// The event that was attempted.
+        event: String,
+    },
+    /// `region_exit` without a matching `region_enter`.
+    NoOpenRegion {
+        /// The region whose exit was requested.
+        requested: String,
+    },
+    /// `region_exit` for a different region than the open one.
+    RegionMismatch {
+        /// The region currently open.
+        open: String,
+        /// The region whose exit was requested.
+        requested: String,
+    },
+    /// A served tuning model contains a configuration the target node
+    /// cannot apply (thread count beyond the topology or a frequency
+    /// outside the DVFS/UFS domains).
+    UnsupportedConfig {
+        /// Application whose model carried the configuration.
+        application: String,
+        /// The offending configuration.
+        config: SystemConfig,
+    },
+    /// The job's launch (initial) configuration cannot be applied on this
+    /// node — the caller's fault, not the model's.
+    UnsupportedInitial {
+        /// The offending launch configuration.
+        config: SystemConfig,
+    },
+    /// A cluster scheduler was created over a cluster with no nodes.
+    EmptyCluster,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Io(e) => write!(f, "cannot read tuning model: {e}"),
+            RuntimeError::Parse(e) => write!(f, "stored tuning model is corrupt: {e}"),
+            RuntimeError::NoModel {
+                application,
+                fingerprint,
+            } => write!(
+                f,
+                "no tuning model for `{application}` (workload {fingerprint:016x}) \
+                 and no calibration fallback configured"
+            ),
+            RuntimeError::UnknownRegion {
+                application,
+                region,
+            } => write!(f, "application `{application}` has no region `{region}`"),
+            RuntimeError::RegionStillOpen { open, event } => {
+                write!(f, "cannot {event} while region `{open}` is still open")
+            }
+            RuntimeError::NoOpenRegion { requested } => write!(
+                f,
+                "region_exit(`{requested}`) without a matching region_enter"
+            ),
+            RuntimeError::RegionMismatch { open, requested } => {
+                write!(f, "region_exit(`{requested}`) while `{open}` is open")
+            }
+            RuntimeError::UnsupportedConfig {
+                application,
+                config,
+            } => write!(
+                f,
+                "model for `{application}` serves {config}, which this node cannot apply"
+            ),
+            RuntimeError::UnsupportedInitial { config } => write!(
+                f,
+                "initial configuration {config} cannot be applied on this node"
+            ),
+            RuntimeError::EmptyCluster => {
+                write!(f, "cluster scheduler needs at least one node")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Io(e) => Some(e),
+            RuntimeError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_condition() {
+        let e = RuntimeError::NoModel {
+            application: "Lulesh".into(),
+            fingerprint: 0xABCD,
+        };
+        assert!(format!("{e}").contains("Lulesh"));
+        assert!(format!("{e}").contains("000000000000abcd"));
+
+        let e = RuntimeError::RegionMismatch {
+            open: "a".into(),
+            requested: "b".into(),
+        };
+        let s = format!("{e}");
+        assert!(s.contains("`a`") && s.contains("`b`"));
+
+        let e = RuntimeError::UnsupportedConfig {
+            application: "x".into(),
+            config: SystemConfig::new(24, 2600, 3000),
+        };
+        assert!(format!("{e}").contains("2.6"));
+
+        let e = RuntimeError::UnsupportedInitial {
+            config: SystemConfig::new(48, 2500, 3000),
+        };
+        assert!(format!("{e}").contains("initial configuration"));
+
+        assert!(format!("{}", RuntimeError::EmptyCluster).contains("node"));
+    }
+
+    #[test]
+    fn io_and_parse_have_sources() {
+        use std::error::Error as _;
+        let io = RuntimeError::Io(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(io.source().is_some());
+        let plain = RuntimeError::EmptyCluster;
+        assert!(plain.source().is_none());
+    }
+}

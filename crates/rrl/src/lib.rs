@@ -1,33 +1,64 @@
 //! # rrl — the READEX Runtime Library analog
 //!
 //! The production half of the paper's workflow (Section V-D): the tuning
-//! model generated at design time is handed to the RRL
-//! (`SCOREP_RRL_TMM_PATH`), which performs Runtime Application Tuning —
-//! "dynamically adjusts the system configuration during application
-//! runtime according to the generated tuning model" — through the Score-P
-//! PCPs. This crate provides:
+//! model generated at design time is handed to the RRL, which performs
+//! Runtime Application Tuning — "dynamically adjusts the system
+//! configuration during application runtime according to the generated
+//! tuning model" — through the Score-P PCPs. This crate serves that model
+//! at cluster scale:
 //!
-//! * [`tmm`] — the Tuning Model Manager,
-//! * [`rat`] — the runtime switching hook driven by the scenario
-//!   classifier,
-//! * [`static_tuning`] — best-static-configuration runs,
-//! * [`sacct`] — SLURM-style job accounting (job energy / CPU energy /
-//!   elapsed, the three quantities of Table VI),
+//! * [`repository`] — the [`TuningModelRepository`]: stores serialized
+//!   tuning models keyed by application + workload fingerprint, serves
+//!   them with hit/miss statistics and a calibration fallback (a
+//!   best-known static configuration) when no model matches,
+//! * [`session`] — the event-driven [`RuntimeSession`]: one handle per
+//!   job, driven by explicit `region_enter` / `region_exit` /
+//!   `phase_complete` events through the scenario→configuration resolver
+//!   and the node's frequency/thread switching; every transition returns
+//!   `Result<_, `[`RuntimeError`]`>`,
+//! * [`cluster`] — the [`ClusterScheduler`]: multiplexes many concurrent
+//!   sessions across the nodes of a simulated cluster (round-robin or
+//!   least-loaded placement) and reports per-job and aggregate savings,
+//! * [`sacct`] — SLURM-style job accounting: the job-level Table VI
+//!   record plus the per-region energy/time breakdown,
 //! * [`savings`] — default-vs-tuned comparisons including the
 //!   configuration-setting performance reduction and the combined
-//!   DVFS/UFS/Score-P overhead decomposition of Section V-E.
+//!   DVFS/UFS/Score-P overhead decomposition of Section V-E,
+//! * [`tmm`] — the Tuning Model Manager (file/env loading à la
+//!   `SCOREP_RRL_TMM_PATH`),
+//! * [`rat`], [`static_tuning`] — the pre-repository entry points, kept
+//!   as thin deprecated shims.
+//!
+//! ```text
+//! repository.publish(&advice);                   // design-time handoff
+//! let served = repository.serve(&bench)?;        // hit, or fallback
+//! let mut job = RuntimeSession::start("job-1", &bench, &node, served)?;
+//! job.run_to_completion()?;                      // or event-by-event
+//! println!("{}", job.finish()?.format_sacct());
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cluster;
+pub mod error;
 pub mod rat;
+pub mod repository;
 pub mod sacct;
 pub mod savings;
+pub mod session;
 pub mod static_tuning;
 pub mod tmm;
 
-pub use rat::RrlHook;
-pub use sacct::JobRecord;
-pub use savings::{compare_static_dynamic, BenchmarkComparison, Savings};
-pub use static_tuning::run_static;
+pub use cluster::{ClusterReport, ClusterScheduler, JobOutcome, Placement};
+pub use error::RuntimeError;
+pub use repository::{ModelKey, ModelSource, RepositoryStats, ServedModel, TuningModelRepository};
+pub use sacct::{JobAccounting, JobRecord, RegionAccounting};
+pub use savings::{compare_static_dynamic, BenchmarkComparison, ComparisonError, Savings};
+pub use session::{RegionExit, RuntimeSession};
 pub use tmm::TuningModelManager;
+
+#[allow(deprecated)]
+pub use rat::RrlHook;
+#[allow(deprecated)]
+pub use static_tuning::run_static;

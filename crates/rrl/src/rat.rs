@@ -1,10 +1,15 @@
-//! Runtime Application Tuning.
+//! Runtime Application Tuning (legacy hook shim).
 //!
 //! The RRL hooks Score-P's region events: on every significant-region
 //! entry it classifies the region into a scenario and requests that
 //! scenario's configuration through the PCPs. The switch itself costs the
 //! transition latencies of Section V-E (21 µs core, 20 µs uncore), which
 //! the instrumented application charges to wall time.
+//!
+//! [`RrlHook`] is kept as a thin deprecated shim for `TuningHook`-based
+//! callers; new code should drive the event-driven
+//! [`crate::RuntimeSession`], which owns the same scenario→configuration
+//! resolution and adds per-region accounting and model validation.
 
 use ptf::TuningModel;
 use scorep_lite::instrument::TuningHook;
@@ -13,6 +18,11 @@ use simnode::{RegionRun, SystemConfig};
 use crate::tmm::TuningModelManager;
 
 /// The RRL tuning hook: drives per-region dynamic switching.
+#[deprecated(
+    since = "0.2.0",
+    note = "superseded by the event-driven `rrl::RuntimeSession` API, which adds per-region \
+            accounting, model validation and repository serving"
+)]
 #[derive(Debug, Clone)]
 pub struct RrlHook {
     tmm: TuningModelManager,
@@ -21,6 +31,7 @@ pub struct RrlHook {
     last_requested: Option<SystemConfig>,
 }
 
+#[allow(deprecated)]
 impl RrlHook {
     /// Hook for a tuning model.
     pub fn new(model: TuningModel) -> Self {
@@ -44,6 +55,7 @@ impl RrlHook {
     }
 }
 
+#[allow(deprecated)]
 impl TuningHook for RrlHook {
     fn config_for(&mut self, region: &str, _iter: u32, _current: SystemConfig) -> SystemConfig {
         self.lookups += 1;
@@ -59,6 +71,7 @@ impl TuningHook for RrlHook {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use scorep_lite::{InstrumentationConfig, InstrumentedApp};

@@ -1,0 +1,305 @@
+//! Cluster-scale tuning-model serving.
+//!
+//! Design time produces one tuning model per `(application, workload)`;
+//! production resubmits the same codes over and over. The
+//! [`TuningModelRepository`] closes that loop: it stores models in their
+//! serialized JSON form — the same format `SCOREP_RRL_TMM_PATH` files use
+//! — keyed by application name plus benchmark fingerprint, and serves them
+//! to [`crate::RuntimeSession`]s with hit/miss statistics. When no model
+//! matches, a configurable *calibration fallback* (the best-known static
+//! configuration, Table V style) is served instead, so an untuned job
+//! still runs at a sensible static operating point rather than the
+//! platform default.
+
+use std::collections::BTreeMap;
+
+use kernels::BenchmarkSpec;
+use ptf::{Advice, TuningModel};
+use serde::{Deserialize, Serialize};
+use simnode::SystemConfig;
+
+use crate::error::RuntimeError;
+
+/// Key under which a tuning model is stored: the application name plus
+/// the workload fingerprint of the benchmark it was tuned for.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ModelKey {
+    /// Application name.
+    pub application: String,
+    /// Workload fingerprint (`BenchmarkSpec::fingerprint`).
+    pub fingerprint: u64,
+}
+
+impl ModelKey {
+    /// The key for a benchmark.
+    pub fn of(bench: &BenchmarkSpec) -> Self {
+        Self {
+            application: bench.name.clone(),
+            fingerprint: bench.fingerprint(),
+        }
+    }
+}
+
+/// Where a served model came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelSource {
+    /// A stored tuning model matched the job's application + workload.
+    Repository,
+    /// No model matched; the calibration fallback configuration was
+    /// served as a single-scenario static model.
+    Fallback,
+}
+
+/// A tuning model served for one job, with its provenance.
+#[derive(Debug, Clone)]
+pub struct ServedModel {
+    /// The model the session will resolve scenarios against.
+    pub model: TuningModel,
+    /// Whether it came from the repository or the fallback.
+    pub source: ModelSource,
+}
+
+/// Serving statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepositoryStats {
+    /// Lookups answered by a stored model.
+    pub hits: u64,
+    /// Lookups that found no stored model.
+    pub misses: u64,
+    /// Misses answered by the calibration fallback (the rest errored).
+    pub fallbacks: u64,
+    /// Lookups that found a stored entry that failed to parse.
+    pub errors: u64,
+}
+
+impl RepositoryStats {
+    /// Total lookups served (including ones that errored).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses + self.errors
+    }
+
+    /// Fraction of lookups answered by a stored model (0.0 when no
+    /// lookups have happened yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Stores serialized tuning models and serves them per job.
+///
+/// Models are kept in their JSON wire form (what a
+/// `SCOREP_RRL_TMM_PATH` file contains), so storage is exactly the
+/// serialisation format and a corrupt entry surfaces as
+/// [`RuntimeError::Parse`] at serve time instead of a panic.
+#[derive(Debug, Default)]
+pub struct TuningModelRepository {
+    models: BTreeMap<ModelKey, String>,
+    fallback: Option<SystemConfig>,
+    stats: RepositoryStats,
+}
+
+impl TuningModelRepository {
+    /// Empty repository with no fallback.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serve `config` as a static single-scenario model whenever no
+    /// stored model matches (builder form).
+    #[must_use]
+    pub fn with_fallback(mut self, config: SystemConfig) -> Self {
+        self.fallback = Some(config);
+        self
+    }
+
+    /// Set or replace the calibration fallback configuration.
+    pub fn set_fallback(&mut self, config: SystemConfig) {
+        self.fallback = Some(config);
+    }
+
+    /// The configured fallback, if any.
+    pub fn fallback(&self) -> Option<SystemConfig> {
+        self.fallback
+    }
+
+    /// Store the tuning model a design-time session produced, under the
+    /// advice's own application + fingerprint — the design-time → runtime
+    /// handoff.
+    pub fn publish(&mut self, advice: &Advice) {
+        let key = ModelKey {
+            application: advice.tuning_model.application.clone(),
+            fingerprint: advice.benchmark_fingerprint,
+        };
+        self.models.insert(key, advice.tuning_model.to_json());
+    }
+
+    /// Store a tuning model for a benchmark (replaces any previous entry
+    /// for the same workload).
+    pub fn insert(&mut self, bench: &BenchmarkSpec, model: &TuningModel) {
+        self.models.insert(ModelKey::of(bench), model.to_json());
+    }
+
+    /// Whether a stored model matches this benchmark's workload.
+    pub fn contains(&self, bench: &BenchmarkSpec) -> bool {
+        self.models.contains_key(&ModelKey::of(bench))
+    }
+
+    /// Number of stored models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// True when no models are stored.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Serving statistics so far.
+    pub fn stats(&self) -> RepositoryStats {
+        self.stats
+    }
+
+    /// Serve a model for a job about to run `bench`.
+    ///
+    /// A stored model whose key matches is parsed from its serialized
+    /// form and returned as a [`ModelSource::Repository`] hit. On a miss
+    /// the calibration fallback — if configured — is wrapped as a
+    /// zero-scenario model whose phase configuration is the fallback, so
+    /// every region of the job runs statically at that configuration.
+    /// Without a fallback the miss is a [`RuntimeError::NoModel`].
+    pub fn serve(&mut self, bench: &BenchmarkSpec) -> Result<ServedModel, RuntimeError> {
+        let key = ModelKey::of(bench);
+        if let Some(json) = self.models.get(&key) {
+            return match TuningModel::from_json(json) {
+                Ok(model) => {
+                    self.stats.hits += 1;
+                    Ok(ServedModel {
+                        model,
+                        source: ModelSource::Repository,
+                    })
+                }
+                Err(e) => {
+                    self.stats.errors += 1;
+                    Err(RuntimeError::Parse(e))
+                }
+            };
+        }
+        self.stats.misses += 1;
+        match self.fallback {
+            Some(config) => {
+                self.stats.fallbacks += 1;
+                Ok(ServedModel {
+                    model: TuningModel::new(&bench.name, &[], config),
+                    source: ModelSource::Fallback,
+                })
+            }
+            None => Err(RuntimeError::NoModel {
+                application: bench.name.clone(),
+                fingerprint: key.fingerprint,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench() -> BenchmarkSpec {
+        kernels::benchmark("miniMD").unwrap()
+    }
+
+    fn model() -> TuningModel {
+        TuningModel::new(
+            "miniMD",
+            &[("compute_force".into(), SystemConfig::new(24, 2500, 1500))],
+            SystemConfig::new(24, 2500, 1500),
+        )
+    }
+
+    #[test]
+    fn serve_hits_stored_model() {
+        let b = bench();
+        let mut repo = TuningModelRepository::new();
+        repo.insert(&b, &model());
+        assert!(repo.contains(&b));
+        assert_eq!(repo.len(), 1);
+        let served = repo.serve(&b).expect("hit");
+        assert_eq!(served.source, ModelSource::Repository);
+        assert_eq!(served.model, model());
+        assert_eq!(repo.stats().hits, 1);
+        assert_eq!(repo.stats().misses, 0);
+        assert!((repo.stats().hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_without_fallback_is_no_model() {
+        let b = bench();
+        let mut repo = TuningModelRepository::new();
+        let err = repo.serve(&b).unwrap_err();
+        assert!(matches!(err, RuntimeError::NoModel { .. }));
+        assert_eq!(repo.stats().misses, 1);
+        assert_eq!(repo.stats().fallbacks, 0);
+        assert_eq!(repo.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn miss_with_fallback_serves_static_model() {
+        let b = bench();
+        let fb = SystemConfig::new(24, 2400, 1700);
+        let mut repo = TuningModelRepository::new().with_fallback(fb);
+        assert_eq!(repo.fallback(), Some(fb));
+        let served = repo.serve(&b).expect("fallback");
+        assert_eq!(served.source, ModelSource::Fallback);
+        assert_eq!(served.model.scenario_count(), 0);
+        assert_eq!(served.model.lookup("anything"), fb);
+        assert_eq!(repo.stats().fallbacks, 1);
+    }
+
+    #[test]
+    fn workload_change_misses() {
+        let b = bench();
+        let mut repo = TuningModelRepository::new().with_fallback(SystemConfig::taurus_default());
+        repo.insert(&b, &model());
+        let mut scaled = b.clone();
+        scaled.phase_iterations *= 2;
+        let served = repo.serve(&scaled).expect("fallback on changed workload");
+        assert_eq!(served.source, ModelSource::Fallback);
+        assert_eq!(repo.stats().hits, 0);
+        assert_eq!(repo.stats().misses, 1);
+    }
+
+    #[test]
+    fn corrupt_entry_surfaces_as_parse_error_and_is_counted() {
+        let b = bench();
+        let mut repo = TuningModelRepository::new();
+        repo.models.insert(ModelKey::of(&b), "{not json".into());
+        let err = repo.serve(&b).unwrap_err();
+        assert!(matches!(err, RuntimeError::Parse(_)));
+        let s = repo.stats();
+        assert_eq!((s.hits, s.misses, s.errors), (0, 0, 1));
+        assert_eq!(s.lookups(), 1, "failed serves still count as traffic");
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn stats_hit_rate_mixes() {
+        let b = bench();
+        let mut repo = TuningModelRepository::new().with_fallback(SystemConfig::taurus_default());
+        repo.insert(&b, &model());
+        let mut other = b.clone();
+        other.name = "renamed".into();
+        repo.serve(&b).unwrap();
+        repo.serve(&b).unwrap();
+        repo.serve(&other).unwrap();
+        let s = repo.stats();
+        assert_eq!((s.hits, s.misses, s.fallbacks), (2, 1, 1));
+        assert_eq!(s.lookups(), 3);
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

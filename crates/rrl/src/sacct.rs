@@ -3,11 +3,16 @@
 //! "To measure job energy and time, we use the SLURM tool `sacct` which
 //! allows users to query post-mortem job data … For measuring CPU energy
 //! we utilize a lightweight runtime tool called `measure-rapl`"
-//! (Section V-D). A [`JobRecord`] carries exactly those three values.
+//! (Section V-D). A [`JobRecord`] carries exactly those three job-level
+//! values; a [`JobAccounting`] adds what `sacct` alone cannot see — the
+//! per-region energy/time breakdown the RRL's region events make
+//! possible, plus switch and instrumentation-overhead totals.
 
 use serde::{Deserialize, Serialize};
 
 use scorep_lite::AppRunReport;
+
+use crate::repository::ModelSource;
 
 /// Post-mortem job data for one run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -50,6 +55,97 @@ impl JobRecord {
     }
 }
 
+/// Accounting for one region across a whole job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionAccounting {
+    /// Region name.
+    pub region: String,
+    /// Instances executed.
+    pub visits: u64,
+    /// Total wall time charged (including residual instrumentation
+    /// overhead), seconds.
+    pub time_s: f64,
+    /// Total node energy charged, joules.
+    pub node_energy_j: f64,
+    /// Total CPU (RAPL) energy charged, joules.
+    pub cpu_energy_j: f64,
+}
+
+/// Full post-mortem accounting for one job: the Table VI job-level record
+/// plus the per-region breakdown and the runtime-tuning counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobAccounting {
+    /// Job name.
+    pub job: String,
+    /// Node the job executed on.
+    pub node_id: u32,
+    /// The three job-level quantities of Table VI.
+    pub record: JobRecord,
+    /// Per-region energy/time breakdown, in first-execution order.
+    pub regions: Vec<RegionAccounting>,
+    /// Configuration switches performed.
+    pub switches: u64,
+    /// Total DVFS/UFS/OpenMP transition latency charged, seconds.
+    pub switch_time_s: f64,
+    /// Total residual instrumentation overhead charged, seconds.
+    pub instr_overhead_s: f64,
+    /// Scenario lookups the runtime performed.
+    pub scenario_lookups: u64,
+    /// Whether the job ran a stored tuning model or the calibration
+    /// fallback.
+    pub source: ModelSource,
+}
+
+impl JobAccounting {
+    /// Look up one region's accounting entry.
+    pub fn region(&self, name: &str) -> Option<&RegionAccounting> {
+        self.regions.iter().find(|r| r.region == name)
+    }
+
+    /// Sum of the per-region wall times, seconds. Together with
+    /// [`Self::switch_time_s`] this reconstructs the job's elapsed time.
+    pub fn regions_time_s(&self) -> f64 {
+        self.regions.iter().map(|r| r.time_s).sum()
+    }
+
+    /// Sum of the per-region node energies, joules (the exact trace the
+    /// HDEEM-measured [`JobRecord::job_energy_j`] samples).
+    pub fn regions_node_energy_j(&self) -> f64 {
+        self.regions.iter().map(|r| r.node_energy_j).sum()
+    }
+
+    /// Sum of the per-region CPU energies, joules.
+    pub fn regions_cpu_energy_j(&self) -> f64 {
+        self.regions.iter().map(|r| r.cpu_energy_j).sum()
+    }
+
+    /// `sacct`-style multi-line report: the job line followed by one line
+    /// per region with its share of the job energy.
+    pub fn format_sacct(&self) -> String {
+        let mut out = format!(
+            "JobName={} NodeId={} {} Switches={} Source={:?}\n",
+            self.job,
+            self.node_id,
+            self.record.format_sacct(),
+            self.switches,
+            self.source,
+        );
+        let total_j = self.regions_node_energy_j().max(f64::MIN_POSITIVE);
+        for r in &self.regions {
+            out.push_str(&format!(
+                "  {:<34} Visits={:<5} Time={:.3}s Energy={:.0}J CpuEnergy={:.0}J ({:.1}%)\n",
+                r.region,
+                r.visits,
+                r.time_s,
+                r.node_energy_j,
+                r.cpu_energy_j,
+                100.0 * r.node_energy_j / total_j,
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,5 +184,60 @@ mod tests {
     #[should_panic(expected = "mean of zero records")]
     fn empty_mean_panics() {
         let _ = JobRecord::mean(&[]);
+    }
+
+    fn accounting() -> JobAccounting {
+        JobAccounting {
+            job: "job-1".into(),
+            node_id: 2,
+            record: JobRecord {
+                job_energy_j: 995.0,
+                cpu_energy_j: 600.0,
+                elapsed_s: 10.0,
+            },
+            regions: vec![
+                RegionAccounting {
+                    region: "omp parallel:42".into(),
+                    visits: 50,
+                    time_s: 7.0,
+                    node_energy_j: 700.0,
+                    cpu_energy_j: 420.0,
+                },
+                RegionAccounting {
+                    region: "filler".into(),
+                    visits: 50,
+                    time_s: 3.0,
+                    node_energy_j: 300.0,
+                    cpu_energy_j: 180.0,
+                },
+            ],
+            switches: 100,
+            switch_time_s: 0.002,
+            instr_overhead_s: 0.1,
+            scenario_lookups: 100,
+            source: ModelSource::Repository,
+        }
+    }
+
+    #[test]
+    fn per_region_breakdown_sums_to_job_totals() {
+        let acc = accounting();
+        assert!((acc.regions_time_s() - 10.0).abs() < 1e-12);
+        assert!((acc.regions_node_energy_j() - 1000.0).abs() < 1e-12);
+        assert!((acc.regions_cpu_energy_j() - acc.record.cpu_energy_j).abs() < 1e-12);
+        assert_eq!(acc.region("filler").unwrap().visits, 50);
+        assert!(acc.region("nope").is_none());
+    }
+
+    #[test]
+    fn sacct_report_includes_region_lines() {
+        let acc = accounting();
+        let s = acc.format_sacct();
+        assert!(s.contains("JobName=job-1"), "{s}");
+        assert!(s.contains("NodeId=2"), "{s}");
+        assert!(s.contains("omp parallel:42"), "{s}");
+        assert!(s.contains("(70.0%)"), "region energy share: {s}");
+        assert!(s.contains("Switches=100"), "{s}");
+        assert_eq!(s.lines().count(), 3, "job line + two region lines");
     }
 }

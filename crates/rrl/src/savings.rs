@@ -1,12 +1,14 @@
-//! Static vs dynamic tuning comparison (Table VI).
+//! Static vs dynamic tuning comparison (Table VI), on the event-driven
+//! runtime API.
 //!
 //! The per-benchmark protocol of Section V-D:
 //!
 //! 1. run the benchmark uninstrumented at the platform default
 //!    (24 threads, 2.5|3.0 GHz),
 //! 2. run it uninstrumented at the best static configuration (Table V),
-//! 3. run it with Score-P instrumentation under the RRL with the tuning
-//!    model from design-time analysis,
+//! 3. run it with Score-P instrumentation under the RRL — here a
+//!    [`RuntimeSession`] serving the tuning model from design-time
+//!    analysis,
 //! 4. compute job-energy / CPU-energy / time savings relative to the
 //!    default run,
 //! 5. decompose the dynamic run's time penalty into the *configuration
@@ -14,6 +16,8 @@
 //!    configurations) and the *DVFS/UFS/Score-P overhead* part
 //!    (transition latencies + residual instrumentation), as in
 //!    Section V-E.
+
+use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
@@ -24,9 +28,10 @@ use scorep_lite::instrument::StaticHook;
 use scorep_lite::{InstrumentationConfig, InstrumentedApp};
 use simnode::{ExecutionEngine, Node, SystemConfig};
 
-use crate::rat::RrlHook;
-use crate::sacct::JobRecord;
-use crate::static_tuning::run_static;
+use crate::error::RuntimeError;
+use crate::repository::{ModelSource, ServedModel};
+use crate::sacct::{JobAccounting, JobRecord};
+use crate::session::RuntimeSession;
 
 /// Relative savings of a tuned run versus the default run, in percent
 /// (positive = improvement, negative = regression — the sign convention of
@@ -53,6 +58,46 @@ impl Savings {
     }
 }
 
+/// Why a static-vs-dynamic comparison failed: either the design-time
+/// session or the runtime serving side.
+#[derive(Debug)]
+pub enum ComparisonError {
+    /// The design-time tuning session failed.
+    Tuning(TuningError),
+    /// The runtime side (session or serving) failed.
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for ComparisonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComparisonError::Tuning(e) => write!(f, "design-time tuning failed: {e}"),
+            ComparisonError::Runtime(e) => write!(f, "runtime serving failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ComparisonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ComparisonError::Tuning(e) => Some(e),
+            ComparisonError::Runtime(e) => Some(e),
+        }
+    }
+}
+
+impl From<TuningError> for ComparisonError {
+    fn from(e: TuningError) -> Self {
+        ComparisonError::Tuning(e)
+    }
+}
+
+impl From<RuntimeError> for ComparisonError {
+    fn from(e: RuntimeError) -> Self {
+        ComparisonError::Runtime(e)
+    }
+}
+
 /// One row of Table VI.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchmarkComparison {
@@ -74,6 +119,9 @@ pub struct BenchmarkComparison {
     pub switches: u64,
     /// Scenarios in the tuning model.
     pub scenarios: usize,
+    /// Full accounting of the dynamic run, including the per-region
+    /// energy/time breakdown.
+    pub dynamic_accounting: JobAccounting,
 }
 
 /// Pure configuration-setting time of the dynamically-tuned application:
@@ -100,17 +148,17 @@ pub fn compare_static_dynamic(
     bench: &BenchmarkSpec,
     node: &Node,
     model: &EnergyModel,
-) -> Result<BenchmarkComparison, TuningError> {
+) -> Result<BenchmarkComparison, ComparisonError> {
     let default_cfg = SystemConfig::taurus_default();
-    let default = run_static(bench, node, default_cfg);
+    let default = RuntimeSession::static_run("table6-default", bench, node, default_cfg)?.record;
 
     // ---- static tuning: exhaustive search for the best configuration.
     let space = SearchSpace::full(vec![12, 16, 20, 24]);
     let (static_cfg, _) =
         ptf::exhaustive::search_static(bench, node, &space, TuningObjective::Energy);
-    let static_rec = run_static(bench, node, static_cfg);
+    let static_rec = RuntimeSession::static_run("table6-static", bench, node, static_cfg)?.record;
 
-    // ---- dynamic tuning: staged session → tuning model → RRL run.
+    // ---- dynamic tuning: staged session → tuning model → runtime session.
     let advice = TuningSession::builder(node).with_model(model).run(bench)?;
     let tm = advice.tuning_model;
 
@@ -120,10 +168,16 @@ pub fn compare_static_dynamic(
     let filter = autofilter(&profile_run.profile, DEFAULT_FILTER_THRESHOLD_S);
     let inst = InstrumentationConfig::scorep_defaults().with_filter(filter);
 
-    let mut hook = RrlHook::new(tm.clone());
-    let dynamic_report =
-        InstrumentedApp::new(bench, node, inst).run_from(&mut hook, default_cfg, None);
-    let dynamic_rec = JobRecord::from_run(&dynamic_report);
+    let served = ServedModel {
+        model: tm.clone(),
+        source: ModelSource::Repository,
+    };
+    let mut session =
+        RuntimeSession::start_from("table6-dynamic", bench, node, served, default_cfg)?
+            .with_instrumentation(inst);
+    session.run_to_completion()?;
+    let dynamic = session.finish()?;
+    let dynamic_rec = dynamic.record;
 
     // ---- overhead decomposition (Section V-E).
     let t_config = config_setting_time_s(bench, node, &tm);
@@ -138,8 +192,9 @@ pub fn compare_static_dynamic(
         dynamic_savings: Savings::between(&default, &dynamic_rec),
         perf_reduction_config_pct,
         overhead_dvfs_ufs_scorep_pct: overhead_pct,
-        switches: dynamic_report.switches,
+        switches: dynamic.switches,
         scenarios: tm.scenario_count(),
+        dynamic_accounting: dynamic,
     })
 }
 
@@ -214,5 +269,26 @@ mod tests {
         assert!(cmp.overhead_dvfs_ufs_scorep_pct > -10.0, "{cmp:?}");
         assert!(cmp.switches > 0);
         assert!(cmp.scenarios >= 1);
+        // The dynamic accounting carries a per-region breakdown that
+        // reconstructs the job totals.
+        let acc = &cmp.dynamic_accounting;
+        assert!(!acc.regions.is_empty());
+        let reconstructed = acc.regions_time_s() + acc.switch_time_s;
+        assert!(
+            (reconstructed - acc.record.elapsed_s).abs() < 1e-9,
+            "region times + switch time must equal elapsed: {reconstructed} vs {}",
+            acc.record.elapsed_s
+        );
+    }
+
+    #[test]
+    fn comparison_error_wraps_both_sides() {
+        use std::error::Error as _;
+        let t: ComparisonError = TuningError::MissingModel { strategy: "x" }.into();
+        assert!(format!("{t}").contains("design-time"));
+        assert!(t.source().is_some());
+        let r: ComparisonError = RuntimeError::EmptyCluster.into();
+        assert!(format!("{r}").contains("runtime"));
+        assert!(r.source().is_some());
     }
 }

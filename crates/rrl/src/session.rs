@@ -1,0 +1,649 @@
+//! The event-driven runtime session.
+//!
+//! [`RuntimeSession`] is the runtime mirror of the design-time
+//! `TuningSession`: one handle per job, driven by explicit Score-P-shaped
+//! events. `region_enter` resolves the region through the tuning model's
+//! scenario classifier and switches the node's frequency/thread
+//! configuration through the PCPs (charging the Section V-E transition
+//! latencies); `region_exit` executes the region instance under the
+//! applied configuration and accounts its time and energy per region;
+//! `phase_complete` advances the phase loop; `finish` integrates the
+//! accumulated power trace through the HDEEM sensor and returns the full
+//! [`JobAccounting`]. Every transition returns
+//! `Result<_, `[`RuntimeError`]`>` — mis-sequenced events, unknown
+//! regions and unservable configurations are values, not panics.
+//!
+//! ```text
+//! let served = repository.serve(&bench)?;          // model or fallback
+//! let mut job = RuntimeSession::start("job-1", &bench, &node, served)?;
+//! for _ in 0..bench.phase_iterations {
+//!     for region in &bench.regions {
+//!         job.region_enter(&region.name)?;         // classify + switch
+//!         job.region_exit(&region.name)?;          // execute + account
+//!     }
+//!     job.phase_complete()?;
+//! }
+//! let accounting = job.finish()?;                  // sacct-style record
+//! ```
+//!
+//! Accounting is deterministic and *interleaving-independent*: the HDEEM
+//! measurement noise is seeded from the job name, the workload
+//! fingerprint and the node id, so a session multiplexed among many
+//! others by the [`crate::ClusterScheduler`] produces bit-identical
+//! results to the same session run alone.
+
+use kernels::BenchmarkSpec;
+use ptf::TuningModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scorep_lite::region::RegionKind;
+use scorep_lite::{InstrumentationConfig, PcpStack};
+use simnode::{ExecutionEngine, HdeemSensor, Node, SystemConfig};
+
+use crate::error::RuntimeError;
+use crate::repository::{ModelSource, ServedModel};
+use crate::sacct::{JobAccounting, JobRecord, RegionAccounting};
+
+/// What one `region_exit` charged to the job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionExit {
+    /// Configuration the instance executed under.
+    pub config: SystemConfig,
+    /// Wall time charged, including residual instrumentation overhead,
+    /// seconds.
+    pub duration_s: f64,
+    /// Node energy charged, joules.
+    pub node_energy_j: f64,
+    /// CPU (RAPL) energy charged, joules.
+    pub cpu_energy_j: f64,
+    /// Whether the region ran uninstrumented because of the filter file.
+    pub filtered: bool,
+}
+
+struct OpenRegion {
+    name: String,
+    /// Index into `bench.regions`, resolved and validated at enter time.
+    idx: usize,
+    filtered: bool,
+}
+
+/// A per-job runtime tuning session (see the module docs for the event
+/// protocol).
+pub struct RuntimeSession<'a> {
+    job: String,
+    bench: &'a BenchmarkSpec,
+    node: &'a Node,
+    model: TuningModel,
+    source: ModelSource,
+    inst: InstrumentationConfig,
+    engine: ExecutionEngine,
+    pcps: PcpStack,
+    /// Piecewise-constant node-power trace for the HDEEM integration.
+    segments: Vec<(f64, f64)>,
+    regions: Vec<RegionAccounting>,
+    open: Option<OpenRegion>,
+    phase_iter: u32,
+    wall_s: f64,
+    rapl_j: f64,
+    instr_overhead_s: f64,
+    lookups: u64,
+    distinct_requests: u64,
+    last_requested: Option<SystemConfig>,
+    seed: u64,
+}
+
+impl<'a> RuntimeSession<'a> {
+    /// Start a session for `job` running `bench` on `node` under the
+    /// served model, from the platform-default configuration (what a
+    /// freshly launched SLURM job starts at).
+    pub fn start(
+        job: impl Into<String>,
+        bench: &'a BenchmarkSpec,
+        node: &'a Node,
+        served: ServedModel,
+    ) -> Result<Self, RuntimeError> {
+        Self::start_from(job, bench, node, served, SystemConfig::taurus_default())
+    }
+
+    /// [`Self::start`] from an explicit initial configuration (e.g. a job
+    /// launched directly at its static optimum).
+    pub fn start_from(
+        job: impl Into<String>,
+        bench: &'a BenchmarkSpec,
+        node: &'a Node,
+        served: ServedModel,
+        initial: SystemConfig,
+    ) -> Result<Self, RuntimeError> {
+        let ServedModel { model, source } = served;
+        // Validate everything the model can ever serve up front, so no
+        // later event can fail on an unapplicable configuration.
+        for scenario in &model.scenarios {
+            if !node.supports(&scenario.config) {
+                return Err(RuntimeError::UnsupportedConfig {
+                    application: model.application.clone(),
+                    config: scenario.config,
+                });
+            }
+        }
+        if !node.supports(&model.phase_config) {
+            return Err(RuntimeError::UnsupportedConfig {
+                application: model.application.clone(),
+                config: model.phase_config,
+            });
+        }
+        // The launch configuration is the caller's, not the model's —
+        // blame it separately so a bad launcher doesn't read as a corrupt
+        // stored model.
+        if !node.supports(&initial) {
+            return Err(RuntimeError::UnsupportedInitial { config: initial });
+        }
+        node.apply_frequencies(&initial);
+        let job = job.into();
+        let seed = kernels::fnv1a(job.as_bytes())
+            ^ bench.fingerprint()
+            ^ u64::from(node.id()).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Ok(Self {
+            job,
+            bench,
+            node,
+            model,
+            source,
+            inst: InstrumentationConfig::scorep_defaults(),
+            engine: ExecutionEngine::new(),
+            pcps: PcpStack::new(initial),
+            segments: Vec::new(),
+            regions: Vec::new(),
+            open: None,
+            phase_iter: 0,
+            wall_s: 0.0,
+            rapl_j: 0.0,
+            instr_overhead_s: 0.0,
+            lookups: 0,
+            distinct_requests: 0,
+            last_requested: None,
+            seed,
+        })
+    }
+
+    /// Replace the instrumentation settings (builder form — call before
+    /// the first event). Production RRL runs default to
+    /// [`InstrumentationConfig::scorep_defaults`]; pass
+    /// [`InstrumentationConfig::uninstrumented`] for plain static runs or
+    /// a filtered config for compile-time-filtered binaries.
+    #[must_use]
+    pub fn with_instrumentation(mut self, inst: InstrumentationConfig) -> Self {
+        self.inst = inst;
+        self
+    }
+
+    /// The job name this session accounts under.
+    pub fn job(&self) -> &str {
+        &self.job
+    }
+
+    /// Provenance of the model this session resolves scenarios against.
+    pub fn source(&self) -> ModelSource {
+        self.source
+    }
+
+    /// The tuning model in use.
+    pub fn model(&self) -> &TuningModel {
+        &self.model
+    }
+
+    /// Configuration currently applied on the node.
+    pub fn current_config(&self) -> SystemConfig {
+        self.pcps.current()
+    }
+
+    /// Phase iteration the next region event executes in.
+    pub fn phase_iteration(&self) -> u32 {
+        self.phase_iter
+    }
+
+    /// Scenario lookups performed so far.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Lookups that requested a configuration different from the previous
+    /// request (upper bound on hardware switches).
+    pub fn distinct_requests(&self) -> u64 {
+        self.distinct_requests
+    }
+
+    /// Configuration switches actually performed.
+    pub fn switches(&self) -> u64 {
+        self.pcps.switches()
+    }
+
+    /// Region-enter event: classify the region into its scenario and
+    /// drive the node to that scenario's configuration through the PCPs.
+    /// The transition latency (21 µs core / 20 µs uncore, Section V-E) is
+    /// charged to the job's wall time. Returns the configuration the
+    /// region will execute under.
+    ///
+    /// Filtered regions generate no event in a real Score-P binary; here
+    /// they skip the lookup and the switch and simply run under the
+    /// current configuration.
+    pub fn region_enter(&mut self, region: &str) -> Result<SystemConfig, RuntimeError> {
+        if let Some(open) = &self.open {
+            return Err(RuntimeError::RegionStillOpen {
+                open: open.name.clone(),
+                event: format!("region_enter(`{region}`)"),
+            });
+        }
+        let Some(idx) = self.bench.regions.iter().position(|r| r.name == region) else {
+            return Err(RuntimeError::UnknownRegion {
+                application: self.bench.name.clone(),
+                region: region.to_string(),
+            });
+        };
+        let filtered = self.inst.is_filtered(region);
+        let config = if filtered {
+            self.pcps.current()
+        } else {
+            self.lookups += 1;
+            let desired = self.model.lookup(region);
+            if self.last_requested != Some(desired) {
+                self.distinct_requests += 1;
+                self.last_requested = Some(desired);
+            }
+            let latency = self.pcps.apply(self.node, desired);
+            if latency > 0.0 {
+                // The switch stalls execution: wall time only, no power
+                // segment (HDEEM integrates region power over regions).
+                self.wall_s += latency;
+            }
+            desired
+        };
+        self.open = Some(OpenRegion {
+            name: region.to_string(),
+            idx,
+            filtered,
+        });
+        Ok(config)
+    }
+
+    /// Region-exit event: execute the open region's current phase
+    /// instance under the applied configuration, stretch it by the
+    /// residual instrumentation overhead of its kind, and account time
+    /// and energy to the job and to the region's breakdown entry.
+    pub fn region_exit(&mut self, region: &str) -> Result<RegionExit, RuntimeError> {
+        let open = self.open.take().ok_or_else(|| RuntimeError::NoOpenRegion {
+            requested: region.to_string(),
+        })?;
+        if open.name != region {
+            let err = RuntimeError::RegionMismatch {
+                open: open.name.clone(),
+                requested: region.to_string(),
+            };
+            self.open = Some(open);
+            return Err(err);
+        }
+        // Resolved and validated by `region_enter`.
+        let spec = &self.bench.regions[open.idx];
+        let config = self.pcps.current();
+        let run = self
+            .engine
+            .run_region(&spec.character_at(self.phase_iter), &config, self.node);
+
+        let (duration, node_j, cpu_j, overhead) = if open.filtered {
+            (run.duration_s, run.node_energy_j, run.cpu_energy_j, 0.0)
+        } else {
+            let frac = self.inst.overhead_frac(RegionKind::infer(region));
+            let stretched = run.duration_s * (1.0 + frac) + self.inst.probe_cost_s;
+            (
+                stretched,
+                run.power.node_w() * stretched,
+                run.power.cpu_w() * stretched,
+                stretched - run.duration_s,
+            )
+        };
+
+        self.wall_s += duration;
+        self.instr_overhead_s += overhead;
+        self.rapl_j += cpu_j;
+        self.segments.push((run.power.node_w(), duration));
+
+        match self.regions.iter_mut().find(|r| r.region == region) {
+            Some(acc) => {
+                acc.visits += 1;
+                acc.time_s += duration;
+                acc.node_energy_j += node_j;
+                acc.cpu_energy_j += cpu_j;
+            }
+            None => self.regions.push(RegionAccounting {
+                region: region.to_string(),
+                visits: 1,
+                time_s: duration,
+                node_energy_j: node_j,
+                cpu_energy_j: cpu_j,
+            }),
+        }
+
+        Ok(RegionExit {
+            config,
+            duration_s: duration,
+            node_energy_j: node_j,
+            cpu_energy_j: cpu_j,
+            filtered: open.filtered,
+        })
+    }
+
+    /// Phase-complete event: the main loop finished one iteration.
+    /// Returns the new phase iteration index.
+    pub fn phase_complete(&mut self) -> Result<u32, RuntimeError> {
+        if let Some(open) = &self.open {
+            return Err(RuntimeError::RegionStillOpen {
+                open: open.name.clone(),
+                event: "phase_complete".to_string(),
+            });
+        }
+        self.phase_iter += 1;
+        Ok(self.phase_iter)
+    }
+
+    /// Drive the remaining phase iterations of the benchmark's phase loop
+    /// through the event protocol (enter/exit every region in program
+    /// order, then complete the phase).
+    pub fn run_to_completion(&mut self) -> Result<(), RuntimeError> {
+        let bench = self.bench;
+        while self.phase_iter < bench.phase_iterations {
+            for region in &bench.regions {
+                self.region_enter(&region.name)?;
+                self.region_exit(&region.name)?;
+            }
+            self.phase_complete()?;
+        }
+        Ok(())
+    }
+
+    /// Finish the job: integrate the accumulated node-power trace through
+    /// the HDEEM sensor (1 kSa/s, 5 ms start delay) and return the
+    /// post-mortem accounting. The measurement noise is seeded from the
+    /// job identity, so the result does not depend on what other sessions
+    /// ran on the node in between.
+    pub fn finish(self) -> Result<JobAccounting, RuntimeError> {
+        if let Some(open) = &self.open {
+            return Err(RuntimeError::RegionStillOpen {
+                open: open.name.clone(),
+                event: "finish".to_string(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let job_energy_j = HdeemSensor::taurus()
+            .measure_trace(&self.segments, &mut rng)
+            .energy_j;
+        Ok(JobAccounting {
+            job: self.job,
+            node_id: self.node.id(),
+            record: JobRecord {
+                job_energy_j,
+                cpu_energy_j: self.rapl_j,
+                elapsed_s: self.wall_s,
+            },
+            regions: self.regions,
+            switches: self.pcps.switches(),
+            switch_time_s: self.pcps.total_latency_s(),
+            instr_overhead_s: self.instr_overhead_s,
+            scenario_lookups: self.lookups,
+            source: self.source,
+        })
+    }
+
+    /// Uninstrumented production run at one fixed configuration — the
+    /// replacement for the legacy `run_static`: launches at `config`, so
+    /// no switches occur, and returns the accounting record.
+    pub fn static_run(
+        job: impl Into<String>,
+        bench: &BenchmarkSpec,
+        node: &Node,
+        config: SystemConfig,
+    ) -> Result<JobAccounting, RuntimeError> {
+        let served = ServedModel {
+            model: TuningModel::new(&bench.name, &[], config),
+            source: ModelSource::Fallback,
+        };
+        let mut session = RuntimeSession::start_from(job, bench, node, served, config)?
+            .with_instrumentation(InstrumentationConfig::uninstrumented());
+        session.run_to_completion()?;
+        session.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lulesh_model() -> TuningModel {
+        TuningModel::new(
+            "Lulesh",
+            &[
+                (
+                    "IntegrateStressForElems".into(),
+                    SystemConfig::new(24, 2500, 2000),
+                ),
+                (
+                    "CalcKinematicsForElems".into(),
+                    SystemConfig::new(24, 2400, 2000),
+                ),
+            ],
+            SystemConfig::new(24, 2500, 2100),
+        )
+    }
+
+    fn served() -> ServedModel {
+        ServedModel {
+            model: lulesh_model(),
+            source: ModelSource::Repository,
+        }
+    }
+
+    #[test]
+    fn event_protocol_enforced() {
+        let bench = kernels::benchmark("Lulesh").unwrap();
+        let node = Node::exact(0);
+        let mut s = RuntimeSession::start("j", &bench, &node, served()).unwrap();
+
+        assert!(matches!(
+            s.region_exit("CalcQForElems"),
+            Err(RuntimeError::NoOpenRegion { .. })
+        ));
+        assert!(matches!(
+            s.region_enter("nonexistent"),
+            Err(RuntimeError::UnknownRegion { .. })
+        ));
+        s.region_enter("CalcQForElems").unwrap();
+        assert!(matches!(
+            s.region_enter("CalcQForElems"),
+            Err(RuntimeError::RegionStillOpen { .. })
+        ));
+        assert!(matches!(
+            s.region_exit("CalcKinematicsForElems"),
+            Err(RuntimeError::RegionMismatch { .. })
+        ));
+        assert!(matches!(
+            s.phase_complete(),
+            Err(RuntimeError::RegionStillOpen { .. })
+        ));
+        // The mismatch left the region open; the correct exit still works.
+        s.region_exit("CalcQForElems").unwrap();
+        assert_eq!(s.phase_complete().unwrap(), 1);
+        // Finishing with an open region is an error too.
+        s.region_enter("CalcQForElems").unwrap();
+        assert!(matches!(
+            s.finish(),
+            Err(RuntimeError::RegionStillOpen { .. })
+        ));
+    }
+
+    #[test]
+    fn enter_switches_to_scenario_config() {
+        let bench = kernels::benchmark("Lulesh").unwrap();
+        let node = Node::exact(0);
+        let mut s = RuntimeSession::start("j", &bench, &node, served()).unwrap();
+        let cfg = s.region_enter("CalcKinematicsForElems").unwrap();
+        assert_eq!(cfg, SystemConfig::new(24, 2400, 2000));
+        assert_eq!(s.current_config(), cfg);
+        let exit = s.region_exit("CalcKinematicsForElems").unwrap();
+        assert_eq!(exit.config, cfg);
+        assert!(exit.duration_s > 0.0);
+        // Unknown region resolves to the phase config.
+        let cfg2 = s.region_enter("CalcQForElems").unwrap();
+        assert_eq!(cfg2, SystemConfig::new(24, 2500, 2100));
+        assert_eq!(s.lookups(), 2);
+        assert_eq!(s.distinct_requests(), 2);
+        assert_eq!(s.switches(), 2);
+    }
+
+    #[test]
+    fn unsupported_model_config_rejected_at_start() {
+        let bench = kernels::benchmark("Lulesh").unwrap();
+        let node = Node::exact(0);
+        let bad = ServedModel {
+            model: TuningModel::new(
+                "Lulesh",
+                &[("CalcQForElems".into(), SystemConfig::new(24, 2600, 2000))],
+                SystemConfig::new(24, 2500, 2100),
+            ),
+            source: ModelSource::Repository,
+        };
+        assert!(matches!(
+            RuntimeSession::start("j", &bench, &node, bad),
+            Err(RuntimeError::UnsupportedConfig { .. })
+        ));
+        let bad_phase = ServedModel {
+            model: TuningModel::new("Lulesh", &[], SystemConfig::new(48, 2500, 2100)),
+            source: ModelSource::Fallback,
+        };
+        assert!(matches!(
+            RuntimeSession::start("j", &bench, &node, bad_phase),
+            Err(RuntimeError::UnsupportedConfig { .. })
+        ));
+        // A bad *launch* configuration is the caller's fault and is
+        // reported as such, not as a corrupt model.
+        assert!(matches!(
+            RuntimeSession::start_from(
+                "j",
+                &bench,
+                &node,
+                served(),
+                SystemConfig::new(24, 2550, 3000)
+            ),
+            Err(RuntimeError::UnsupportedInitial { .. })
+        ));
+    }
+
+    #[test]
+    fn accounting_matches_instrumented_app() {
+        // The event-driven session must reproduce the monolithic
+        // InstrumentedApp run bit-for-bit on the deterministic
+        // quantities (wall time, CPU energy, switches).
+        use scorep_lite::instrument::TuningHook;
+        use scorep_lite::InstrumentedApp;
+        use simnode::RegionRun;
+
+        struct ModelHook(TuningModel);
+        impl TuningHook for ModelHook {
+            fn config_for(&mut self, r: &str, _i: u32, _c: SystemConfig) -> SystemConfig {
+                self.0.lookup(r)
+            }
+            fn on_region(&mut self, _r: &str, _i: u32, _run: &RegionRun) {}
+        }
+
+        let bench = kernels::benchmark("Lulesh").unwrap();
+        let node = Node::exact(0);
+        let app = InstrumentedApp::new(&bench, &node, InstrumentationConfig::scorep_defaults());
+        let reference = app.run(&mut ModelHook(lulesh_model()));
+
+        let mut s = RuntimeSession::start("j", &bench, &node, served()).unwrap();
+        s.run_to_completion().unwrap();
+        let acc = s.finish().unwrap();
+
+        assert_eq!(acc.record.elapsed_s, reference.wall_time_s);
+        assert_eq!(acc.record.cpu_energy_j, reference.cpu_energy_j);
+        assert_eq!(acc.switches, reference.switches);
+        assert_eq!(acc.switch_time_s, reference.switch_time_s);
+        assert_eq!(acc.instr_overhead_s, reference.instr_overhead_s);
+        // Job energy differs only by the session-seeded HDEEM noise draw.
+        let rel = (acc.record.job_energy_j - reference.job_energy_j).abs() / reference.job_energy_j;
+        assert!(rel < 0.01, "HDEEM views diverged: {rel}");
+    }
+
+    #[test]
+    fn session_is_reproducible() {
+        let bench = kernels::benchmark("Lulesh").unwrap();
+        let node = Node::new(3, 77);
+        let run = || {
+            let mut s = RuntimeSession::start("job-42", &bench, &node, served()).unwrap();
+            s.run_to_completion().unwrap();
+            s.finish().unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.record, b.record, "same job identity, same accounting");
+        // A different job name draws different HDEEM noise.
+        let mut s = RuntimeSession::start("job-43", &bench, &node, served()).unwrap();
+        s.run_to_completion().unwrap();
+        let c = s.finish().unwrap();
+        assert_eq!(a.record.elapsed_s, c.record.elapsed_s);
+        assert_ne!(a.record.job_energy_j, c.record.job_energy_j);
+    }
+
+    #[test]
+    fn filtered_regions_skip_lookup_and_overhead() {
+        use scorep_lite::FilterFile;
+        let bench = kernels::benchmark("Lulesh").unwrap();
+        let node = Node::exact(0);
+        let inst = InstrumentationConfig::scorep_defaults()
+            .with_filter(FilterFile::from_names(["CalcQForElems"]));
+        let mut s = RuntimeSession::start("j", &bench, &node, served())
+            .unwrap()
+            .with_instrumentation(inst);
+        let cfg = s.region_enter("CalcQForElems").unwrap();
+        assert_eq!(cfg, SystemConfig::taurus_default(), "no switch");
+        let exit = s.region_exit("CalcQForElems").unwrap();
+        assert!(exit.filtered);
+        assert_eq!(s.lookups(), 0);
+        assert_eq!(s.switches(), 0);
+    }
+
+    #[test]
+    fn static_run_performs_no_switches() {
+        let bench = kernels::benchmark("miniMD").unwrap();
+        let node = Node::exact(0);
+        let acc = RuntimeSession::static_run("s", &bench, &node, SystemConfig::new(24, 2500, 1500))
+            .unwrap();
+        assert_eq!(acc.switches, 0);
+        assert_eq!(acc.switch_time_s, 0.0);
+        assert_eq!(acc.instr_overhead_s, 0.0);
+        // Every region event still resolves through the (static) model;
+        // none of the lookups produces a switch.
+        assert_eq!(
+            acc.scenario_lookups,
+            u64::from(bench.phase_iterations) * bench.regions.len() as u64
+        );
+        assert!(acc.record.elapsed_s > 0.0);
+        assert!(acc.record.job_energy_j > acc.record.cpu_energy_j);
+        assert_eq!(acc.source, ModelSource::Fallback);
+    }
+
+    #[test]
+    fn dynamic_session_saves_energy_versus_default() {
+        let bench = kernels::benchmark("Lulesh").unwrap();
+        let node = Node::exact(0);
+        let default =
+            RuntimeSession::static_run("d", &bench, &node, SystemConfig::taurus_default()).unwrap();
+        let mut s = RuntimeSession::start("t", &bench, &node, served()).unwrap();
+        s.run_to_completion().unwrap();
+        let tuned = s.finish().unwrap();
+        assert!(
+            tuned.record.job_energy_j < default.record.job_energy_j,
+            "dynamic tuning must save energy: {} vs {}",
+            tuned.record.job_energy_j,
+            default.record.job_energy_j
+        );
+        assert!(tuned.switches > u64::from(bench.phase_iterations));
+    }
+}

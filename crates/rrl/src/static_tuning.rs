@@ -1,10 +1,15 @@
-//! Static tuning runs.
+//! Static tuning runs (legacy shim).
 //!
 //! For the Table VI comparison "the benchmark is first executed with a
 //! default configuration of 24 OpenMP threads and 2.5|3.0 GHz … Following
 //! this, we manually set the best obtained static configuration and
 //! execute the benchmark on the same compute node" — both production runs
 //! are *uninstrumented* (no Score-P probes, no RRL).
+//!
+//! [`run_static`] is kept as a deprecated shim; new code should use
+//! [`crate::RuntimeSession::static_run`], which returns the full
+//! per-region [`crate::JobAccounting`] and a `Result` instead of relying
+//! on infallible inputs.
 
 use kernels::BenchmarkSpec;
 use scorep_lite::instrument::StaticHook;
@@ -15,6 +20,11 @@ use crate::sacct::JobRecord;
 
 /// Execute an uninstrumented production run at a fixed configuration and
 /// return the accounting record.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `rrl::RuntimeSession::static_run`, which returns per-region accounting and a \
+            Result instead of assuming valid inputs"
+)]
 pub fn run_static(bench: &BenchmarkSpec, node: &Node, config: SystemConfig) -> JobRecord {
     let app = InstrumentedApp::new(bench, node, InstrumentationConfig::uninstrumented());
     let report = app.run_from(&mut StaticHook(config), config, None);
@@ -22,6 +32,7 @@ pub fn run_static(bench: &BenchmarkSpec, node: &Node, config: SystemConfig) -> J
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -48,5 +59,23 @@ mod tests {
         // see EXPERIMENTS.md).
         let dt = (tuned.elapsed_s - default.elapsed_s).abs() / default.elapsed_s;
         assert!(dt < 0.10, "time delta {dt}");
+    }
+
+    #[test]
+    fn shim_agrees_with_runtime_session_static_run() {
+        use crate::session::RuntimeSession;
+        let bench = kernels::benchmark("miniMD").unwrap();
+        let node = Node::exact(0);
+        let cfg = SystemConfig::new(24, 2500, 1500);
+        let legacy = run_static(&bench, &node, cfg);
+        let new = RuntimeSession::static_run("shim", &bench, &node, cfg)
+            .expect("static run succeeds")
+            .record;
+        // Wall time and CPU energy are deterministic and identical; job
+        // energy differs only by which RNG drew the HDEEM noise sample.
+        assert_eq!(legacy.elapsed_s, new.elapsed_s);
+        assert_eq!(legacy.cpu_energy_j, new.cpu_energy_j);
+        let rel = (legacy.job_energy_j - new.job_energy_j).abs() / legacy.job_energy_j;
+        assert!(rel < 0.01, "HDEEM views diverged: {rel}");
     }
 }

@@ -74,7 +74,9 @@ impl InstrumentationConfig {
         self
     }
 
-    fn overhead_frac(&self, kind: RegionKind) -> f64 {
+    /// Residual relative overhead charged on instrumented regions of this
+    /// kind (phase probes are free — the phase loop is annotated manually).
+    pub fn overhead_frac(&self, kind: RegionKind) -> f64 {
         match kind {
             RegionKind::Phase => 0.0,
             RegionKind::Function => self.func_overhead_frac,
@@ -83,7 +85,11 @@ impl InstrumentationConfig {
         }
     }
 
-    fn is_filtered(&self, name: &str) -> bool {
+    /// Whether `name` is suppressed at compile time by the filter file.
+    /// Filtered regions execute uninstrumented: no probes, no tuning-hook
+    /// events, no overhead — they run under whatever configuration is
+    /// currently applied.
+    pub fn is_filtered(&self, name: &str) -> bool {
         self.filter.as_ref().is_some_and(|f| f.contains(name))
     }
 }

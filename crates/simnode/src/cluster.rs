@@ -2,7 +2,8 @@
 //!
 //! The paper's variability study (Figures 2–3) executes the same workload
 //! on several different compute nodes; [`Cluster`] provides seeded node
-//! collections for that experiment.
+//! collections for that experiment. The runtime layer's cluster scheduler
+//! also places concurrent jobs across a [`Cluster`]'s nodes.
 
 use crate::node::Node;
 
@@ -20,6 +21,14 @@ impl Cluster {
         }
     }
 
+    /// Create `count` noiseless, variability-free nodes (unit power
+    /// factor) — a "golden" cluster for deterministic serving tests.
+    pub fn exact(count: u32) -> Self {
+        Self {
+            nodes: (0..count).map(Node::exact).collect(),
+        }
+    }
+
     /// Number of nodes.
     pub fn len(&self) -> usize {
         self.nodes.len()
@@ -33,6 +42,11 @@ impl Cluster {
     /// Access a node by index.
     pub fn node(&self, idx: usize) -> &Node {
         &self.nodes[idx]
+    }
+
+    /// All nodes, in index order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
     }
 
     /// Iterate over all nodes.
@@ -60,6 +74,17 @@ mod tests {
         let b = Cluster::new(3, 11);
         for (na, nb) in a.iter().zip(b.iter()) {
             assert_eq!(na.variability(), nb.variability());
+        }
+    }
+
+    #[test]
+    fn exact_cluster_is_noise_free() {
+        let c = Cluster::exact(3);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.nodes().len(), 3);
+        for n in c.iter() {
+            assert_eq!(n.variability(), 1.0);
+            assert_eq!(n.counter_noise_sd(), 0.0);
         }
     }
 

@@ -13,6 +13,7 @@ use rand::SeedableRng;
 use rand_distr::{Distribution, Normal};
 
 use crate::config::SystemConfig;
+use crate::freq::FreqDomain;
 use crate::msr::MsrBank;
 use crate::power::{ActivityFactors, PowerBreakdown, PowerModel};
 use crate::topology::Topology;
@@ -106,6 +107,19 @@ impl Node {
             .power(&self.topo, cfg, act, self.variability)
     }
 
+    /// Whether this node can execute `cfg` exactly as requested: the
+    /// thread count must fit the topology and both frequencies must be
+    /// exact states of the Haswell DVFS/UFS domains. The runtime layer
+    /// validates every configuration a tuning model can serve against
+    /// this before starting a session, so a corrupt or foreign model
+    /// surfaces as an error instead of silently clamping mid-job.
+    pub fn supports(&self, cfg: &SystemConfig) -> bool {
+        cfg.threads >= 1
+            && cfg.threads <= self.topo.max_threads()
+            && FreqDomain::haswell_core().contains(cfg.core.mhz())
+            && FreqDomain::haswell_uncore().contains(cfg.uncore.mhz())
+    }
+
     /// Apply a frequency configuration through the MSR bank, returning the
     /// transition latency incurred (core and uncore transitions overlap, so
     /// the cost is their maximum; thread-count changes are handled by the
@@ -156,6 +170,18 @@ mod tests {
         for f in factors {
             assert!((0.9..=1.1).contains(&f));
         }
+    }
+
+    #[test]
+    fn supports_checks_threads_and_both_domains() {
+        let n = Node::exact(0);
+        assert!(n.supports(&SystemConfig::taurus_default()));
+        assert!(n.supports(&SystemConfig::new(1, 1200, 1300)));
+        assert!(!n.supports(&SystemConfig::new(0, 2500, 3000)), "no threads");
+        assert!(!n.supports(&SystemConfig::new(25, 2500, 3000)), "too many");
+        assert!(!n.supports(&SystemConfig::new(24, 2600, 3000)), "CF high");
+        assert!(!n.supports(&SystemConfig::new(24, 2450, 3000)), "off-step");
+        assert!(!n.supports(&SystemConfig::new(24, 2500, 1200)), "UCF low");
     }
 
     #[test]

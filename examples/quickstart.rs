@@ -8,15 +8,16 @@
 //! Walks the paper's whole pipeline in ~5 seconds: train the 9-5-5-1
 //! network on the 14 training benchmarks, drive the tuning lifecycle
 //! stage by stage on Lulesh (each stage is its own type — skipping one
-//! does not compile), print the generated tuning model, and hand it to
-//! the READEX Runtime Library for a dynamically-tuned production run.
+//! does not compile), print the generated tuning model, publish it to the
+//! runtime's tuning-model repository and serve it to an event-driven
+//! `RuntimeSession` for a dynamically-tuned production run with per-region
+//! accounting.
 
 use dvfs_ufs_tuning::ptf::{EnergyModel, TuningSession};
-use dvfs_ufs_tuning::rrl::{run_static, RrlHook, Savings};
-use dvfs_ufs_tuning::scorep_lite::{InstrumentationConfig, InstrumentedApp};
+use dvfs_ufs_tuning::rrl::{RuntimeSession, Savings, TuningModelRepository};
 use dvfs_ufs_tuning::simnode::{Node, SystemConfig};
 
-fn main() -> Result<(), dvfs_ufs_tuning::ptf::TuningError> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A compute node (seeded: the run is exactly reproducible).
     let node = Node::new(0, 42);
 
@@ -71,17 +72,28 @@ fn main() -> Result<(), dvfs_ufs_tuning::ptf::TuningError> {
         println!("  scenario {}: {}  <- {:?}", s.id, s.config, s.regions);
     }
 
-    // 3. Production: default run vs dynamically-tuned RRL run.
-    let default = run_static(&bench, &node, SystemConfig::taurus_default());
-    let app = InstrumentedApp::new(&bench, &node, InstrumentationConfig::scorep_defaults());
-    let mut hook = RrlHook::new(advice.tuning_model.clone());
-    let tuned = app.run(&mut hook);
-    let savings = Savings::between(&default, &dvfs_ufs_tuning::rrl::JobRecord::from_run(&tuned));
+    // 3. Production: publish the advice to the tuning-model repository,
+    //    serve it back to an event-driven runtime session, and compare
+    //    against a default-configuration run of the same job.
+    let mut repo = TuningModelRepository::new();
+    repo.publish(&advice);
+    let served = repo.serve(&bench)?;
+    let default = RuntimeSession::static_run(
+        "quickstart-default",
+        &bench,
+        &node,
+        SystemConfig::taurus_default(),
+    )?;
+    let mut job = RuntimeSession::start("quickstart", &bench, &node, served)?;
+    job.run_to_completion()?;
+    let tuned = job.finish()?;
+    let savings = Savings::between(&default.record, &tuned.record);
     println!("\n=== production run ===");
-    println!("default: {}", default.format_sacct());
+    println!("default: {}", default.record.format_sacct());
     println!(
         "dynamic: job {:.2}%  cpu {:.2}%  time {:.2}%  ({} switches)",
         savings.job_energy_pct, savings.cpu_energy_pct, savings.time_pct, tuned.switches
     );
+    print!("{}", tuned.format_sacct());
     Ok(())
 }

@@ -13,8 +13,7 @@
 
 use dvfs_ufs_tuning::kernels::{BenchmarkSpec, ProgrammingModel, RegionSpec, Suite};
 use dvfs_ufs_tuning::ptf::{EnergyModel, TuningSession};
-use dvfs_ufs_tuning::rrl::{run_static, RrlHook, Savings, TuningModelManager};
-use dvfs_ufs_tuning::scorep_lite::{InstrumentationConfig, InstrumentedApp};
+use dvfs_ufs_tuning::rrl::{ModelSource, RuntimeSession, Savings, ServedModel, TuningModelManager};
 use dvfs_ufs_tuning::simnode::{Node, RegionCharacter, SystemConfig};
 
 fn main() {
@@ -76,15 +75,23 @@ fn main() {
     println!("\ntuning model written to {}", path.display());
     let tmm = TuningModelManager::from_path(&path).expect("reload tuning model");
 
-    // Compare default vs dynamic.
-    let default = run_static(&app, &node, SystemConfig::taurus_default());
-    let inst = InstrumentedApp::new(&app, &node, InstrumentationConfig::scorep_defaults());
-    let mut hook = RrlHook::new(tmm.model().clone());
-    let tuned = inst.run(&mut hook);
-    let s = Savings::between(&default, &dvfs_ufs_tuning::rrl::JobRecord::from_run(&tuned));
+    // Compare default vs dynamic through the event-driven runtime API.
+    let default =
+        RuntimeSession::static_run("cfd-default", &app, &node, SystemConfig::taurus_default())
+            .expect("static run succeeds");
+    let served = ServedModel {
+        model: tmm.model().clone(),
+        source: ModelSource::Repository,
+    };
+    let mut job = RuntimeSession::start("cfd-tuned", &app, &node, served)
+        .expect("model validated against the node");
+    job.run_to_completion().expect("event loop succeeds");
+    let tuned = job.finish().expect("no region left open");
+    let s = Savings::between(&default.record, &tuned.record);
     println!(
         "dynamic tuning: job {:.2}%  cpu {:.2}%  time {:.2}%",
         s.job_energy_pct, s.cpu_energy_pct, s.time_pct
     );
+    print!("{}", tuned.format_sacct());
     std::fs::remove_file(&path).ok();
 }

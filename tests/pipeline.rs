@@ -3,7 +3,7 @@
 
 use dvfs_ufs_tuning::kernels;
 use dvfs_ufs_tuning::ptf::{EnergyModel, TuningModel, TuningPlugin, TuningSession};
-use dvfs_ufs_tuning::rrl::{run_static, JobRecord, RrlHook, Savings, TuningModelManager};
+use dvfs_ufs_tuning::rrl::{ModelSource, RuntimeSession, Savings, ServedModel, TuningModelManager};
 use dvfs_ufs_tuning::scorep_lite::{InstrumentationConfig, InstrumentedApp};
 use dvfs_ufs_tuning::simnode::{Node, SystemConfig};
 
@@ -35,14 +35,20 @@ fn dta_to_rrl_round_trip_via_tuning_model_file() {
     std::fs::write(&path, advice.tuning_model.to_json()).unwrap();
 
     // Production: load through the TMM (the SCOREP_RRL_TMM_PATH path) and
-    // run under the RRL.
+    // serve it to an event-driven runtime session.
     let tmm = TuningModelManager::from_path(&path).expect("tuning model loads");
     assert_eq!(tmm.model().application, "miniMD");
-    let default = run_static(&bench, &node, SystemConfig::taurus_default());
-    let app = InstrumentedApp::new(&bench, &node, InstrumentationConfig::scorep_defaults());
-    let mut hook = RrlHook::new(tmm.model().clone());
-    let tuned = app.run(&mut hook);
-    let savings = Savings::between(&default, &JobRecord::from_run(&tuned));
+    let default =
+        RuntimeSession::static_run("default", &bench, &node, SystemConfig::taurus_default())
+            .expect("static run succeeds");
+    let served = ServedModel {
+        model: tmm.model().clone(),
+        source: ModelSource::Repository,
+    };
+    let mut job = RuntimeSession::start("tuned", &bench, &node, served).expect("session starts");
+    job.run_to_completion().expect("event loop succeeds");
+    let tuned = job.finish().expect("finish succeeds");
+    let savings = Savings::between(&default.record, &tuned.record);
 
     assert!(
         savings.cpu_energy_pct > 3.0,
@@ -57,6 +63,26 @@ fn dta_to_rrl_round_trip_via_tuning_model_file() {
         "RRL must actually switch configurations"
     );
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_still_drive_the_legacy_path() {
+    use dvfs_ufs_tuning::rrl::{run_static, JobRecord, RrlHook};
+    let bench = kernels::benchmark("miniMD").unwrap();
+    let node = Node::exact(0);
+    let default = run_static(&bench, &node, SystemConfig::taurus_default());
+    let tm = TuningModel::new(
+        "miniMD",
+        &[("compute_force".into(), SystemConfig::new(24, 2500, 1500))],
+        SystemConfig::new(24, 2500, 1500),
+    );
+    let app = InstrumentedApp::new(&bench, &node, InstrumentationConfig::scorep_defaults());
+    let mut hook = RrlHook::new(tm);
+    let tuned = app.run(&mut hook);
+    let savings = Savings::between(&default, &JobRecord::from_run(&tuned));
+    assert!(savings.cpu_energy_pct > 0.0, "{savings:?}");
+    assert!(hook.lookups() > 0);
 }
 
 #[test]

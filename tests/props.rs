@@ -234,6 +234,36 @@ fn tuning_model_lookup_total() {
     }
 }
 
+/// Tuning models survive JSON *bit-identically*: serialize → parse →
+/// re-serialize yields the same bytes, and the parsed model is equal to
+/// the original. This pins the `TuningModelRepository`'s storage format
+/// (models are stored in serialized form and re-parsed on every serve).
+#[test]
+fn tuning_model_json_round_trip_is_bit_identical() {
+    let mut rng = StdRng::seed_from_u64(0x7B17);
+    for case in 0..CASES {
+        let nregions = 1 + (rng.next_u64() % 8) as usize;
+        let pairs: Vec<(String, SystemConfig)> = (0..nregions)
+            .map(|_| (random_name(&mut rng), config(&mut rng)))
+            .collect();
+        let tm = TuningModel::new(random_name(&mut rng), &pairs, config(&mut rng));
+
+        let json = tm.to_json();
+        let parsed = TuningModel::from_json(&json).expect("storage format parses");
+        assert_eq!(tm, parsed, "case {case}: parse must reconstruct the model");
+        let rejson = parsed.to_json();
+        assert_eq!(
+            json, rejson,
+            "case {case}: re-serialisation must be byte-identical"
+        );
+        // And the repository's unit of storage — the serialized string —
+        // keeps lookup semantics intact.
+        for (region, _) in &pairs {
+            assert_eq!(tm.lookup(region), parsed.lookup(region));
+        }
+    }
+}
+
 /// System configurations survive JSON.
 #[test]
 fn config_serde_round_trip() {
