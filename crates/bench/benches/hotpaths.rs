@@ -203,6 +203,7 @@ fn bench_runtime_session(c: &mut Criterion) {
         let served = ServedModel {
             model: tm.clone(),
             source: ModelSource::Repository,
+            provenance: None,
         };
         let mut session = RuntimeSession::start("hotpath", &bench, &node, served).unwrap();
         let names: Vec<String> = bench.regions.iter().map(|r| r.name.clone()).collect();
@@ -223,6 +224,89 @@ fn bench_runtime_session(c: &mut Criterion) {
         let mut repo = TuningModelRepository::new();
         repo.insert(&bench, &tm);
         b.iter(|| black_box(repo.serve(&bench).unwrap()))
+    });
+    group.finish();
+}
+
+/// The online adaptation engine's hot paths: one exploration region event
+/// (schedule lookup + explicit PCP switch + region execution + observation
+/// recording) in steady state — the tuner is rebuilt only when a full
+/// calibration converges, so the rebuild (including the analysis-stage
+/// counter-rate measurement) amortises over the ~1000 events of one
+/// calibration — plus one drift-detector observation.
+fn bench_online_tuner(c: &mut Criterion) {
+    use kernels::{BenchmarkSpec, ProgrammingModel, RegionSpec, Suite};
+    use ptf::RandomSearch;
+    use rrl::{DriftConfig, DriftDetector, OnlineConfig, OnlineTuner};
+
+    let node = Node::exact(0);
+    let mk_region = |name: &str, ins: f64, ratio: f64| {
+        RegionSpec::new(
+            name,
+            RegionCharacter::builder(ins)
+                .dram_bytes(ratio * ins)
+                .build(),
+        )
+    };
+    // 300 phase iterations fund a full-space exploration (4 thread sweeps
+    // + 1 analysis + 252 phase candidates).
+    let bench = BenchmarkSpec::new(
+        "online-hotpath",
+        Suite::Npb,
+        ProgrammingModel::Hybrid,
+        300,
+        vec![
+            mk_region("hot_a", 2e10, 0.9),
+            mk_region("hot_b", 1.5e10, 1.8),
+            mk_region("hot_c", 1e10, 0.4),
+        ],
+    );
+    let strategy = RandomSearch::new(252, 1); // clamps to the full space
+    let names: Vec<String> = bench.regions.iter().map(|r| r.name.clone()).collect();
+    let mut group = c.benchmark_group("rrl/online");
+
+    group.bench_function("explore_step", |b| {
+        let mk = || {
+            OnlineTuner::calibrate(
+                "hotpath",
+                &bench,
+                &node,
+                &strategy,
+                None,
+                OnlineConfig::default(),
+            )
+            .expect("budget fits")
+        };
+        let mut tuner = mk();
+        let mut idx = 0usize;
+        b.iter(|| {
+            if !tuner.is_exploring() {
+                tuner = mk();
+                idx = 0;
+            }
+            if idx < names.len() {
+                let name = &names[idx];
+                idx += 1;
+                tuner.region_enter(name).unwrap();
+                black_box(tuner.region_exit(name).unwrap())
+            } else {
+                idx = 0;
+                tuner.phase_complete().unwrap();
+                black_box(tuner.region_enter(&names[0]).unwrap());
+                idx = 1;
+                black_box(tuner.region_exit(&names[0]).unwrap())
+            }
+        })
+    });
+
+    group.bench_function("drift_observe", |b| {
+        let expected: Vec<(String, f64)> = names.iter().map(|n| (n.clone(), 100.0)).collect();
+        let mut detector = DriftDetector::new(DriftConfig::default(), &expected);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(detector.observe(&names[(i as usize) % names.len()], 101.0, i))
+        })
     });
     group.finish();
 }
@@ -281,6 +365,6 @@ criterion_group! {
     config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_nn_inference, bench_nn_training, bench_adam_step, bench_exec_engine,
               bench_trace_io, bench_pcp_switch, bench_experiment_cache, bench_runtime_session,
-              bench_real_kernels, bench_committee_ablation
+              bench_online_tuner, bench_real_kernels, bench_committee_ablation
 }
 criterion_main!(benches);

@@ -126,6 +126,7 @@ fn bench_table6_rrl_run(c: &mut Criterion) {
             let served = ServedModel {
                 model: tm.clone(),
                 source: ModelSource::Repository,
+                provenance: None,
             };
             let mut session = RuntimeSession::start("bench", &bench, &node, served).unwrap();
             session.run_to_completion().unwrap();

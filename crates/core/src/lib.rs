@@ -72,8 +72,9 @@ pub use plugin::{DvfsUfsPlugin, TuningPlugin};
 pub use scenario::{Scenario, ScenarioClassifier};
 pub use search::SearchSpace;
 pub use session::{
-    Advice, BatchDriver, ExhaustiveSearch, ExperimentCache, ModelBasedNeighbourhood, RandomSearch,
-    SearchStrategy, TuningError, TuningSession,
+    Advice, BatchDriver, ExhaustiveSearch, ExperimentCache, ExplorationInputs, ExplorationPlan,
+    ModelBasedNeighbourhood, RandomSearch, SearchStrategy, TuningError, TuningSession,
+    VerificationRule,
 };
 pub use tuning_model::TuningModel;
 pub use workflow::{DesignTimeAnalysis, DtaReport};

@@ -32,8 +32,8 @@ pub use batch::BatchDriver;
 pub use cache::{CacheStats, ExperimentCache};
 pub use error::TuningError;
 pub use strategy::{
-    ExhaustiveSearch, ModelBasedNeighbourhood, RandomSearch, SearchContext, SearchOutcome,
-    SearchStrategy,
+    ExhaustiveSearch, ExplorationInputs, ExplorationPlan, ModelBasedNeighbourhood, RandomSearch,
+    SearchContext, SearchOutcome, SearchStrategy, VerificationRule,
 };
 
 use std::cell::RefCell;

@@ -104,14 +104,111 @@ pub struct SearchOutcome {
     pub phase_search_configs: u64,
 }
 
+/// The analysis results a strategy consults when generating candidates —
+/// the measurement-free subset of [`SearchContext`], so consumers that
+/// supply their own measurements (the runtime's online tuner) can drive
+/// the same candidate generation the design-time session uses.
+#[derive(Debug, Clone, Copy)]
+pub struct ExplorationInputs<'a> {
+    /// The trained energy model, when one is available.
+    pub model: Option<&'a EnergyModel>,
+    /// Phase PAPI counter rates from the analysis stage.
+    pub phase_rates: &'a [f64; 7],
+    /// Optimal thread count from tuning step 1.
+    pub best_threads: u32,
+    /// Thread candidates for region verification.
+    pub thread_candidates: &'a [u32],
+}
+
+/// How a strategy derives the per-region verification set once the phase
+/// best is measured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerificationRule {
+    /// Verify regions against the immediate neighbourhood of the measured
+    /// phase best (the paper's Section III-C reduction).
+    Neighbourhood {
+        /// Verification radius around the measured phase best.
+        radius: u32,
+        /// Thread candidates spanned by the verification grid.
+        threads: Vec<u32>,
+    },
+    /// Verify regions against the phase candidates themselves (exhaustive
+    /// and random search measure one pool for both purposes).
+    ReusePhaseCandidates,
+}
+
+/// A strategy's search decomposed into its two measurement stages: the
+/// phase candidates to measure first, and the rule producing the
+/// verification set from the measured phase best. [`SearchStrategy::plan`]
+/// drives this plan through the experiments engine; the runtime's online
+/// tuner drives it through live region measurements instead.
+#[derive(Debug, Clone)]
+pub struct ExplorationPlan {
+    /// Model-predicted global frequency pair, when the strategy has one.
+    pub predicted_global: Option<(CoreFreq, UncoreFreq)>,
+    /// Stage 1: candidates among which the phase best is measured.
+    pub phase_candidates: Vec<SystemConfig>,
+    /// Stage 2: how the verification set follows from the phase best.
+    pub verification: VerificationRule,
+}
+
+impl ExplorationPlan {
+    /// The verification set for a measured phase best.
+    pub fn verification_for(&self, phase_best: SystemConfig) -> Vec<SystemConfig> {
+        match &self.verification {
+            VerificationRule::Neighbourhood { radius, threads } => {
+                SearchSpace::neighbourhood(phase_best, *radius, threads.clone()).configs()
+            }
+            VerificationRule::ReusePhaseCandidates => self.phase_candidates.clone(),
+        }
+    }
+
+    /// Upper bound on the number of verification configurations *not*
+    /// already among the phase candidates — what a measurement-budgeted
+    /// consumer must reserve before the phase best is known.
+    pub fn max_extra_verification(&self) -> usize {
+        match &self.verification {
+            VerificationRule::Neighbourhood { radius, threads } => {
+                let side = (2 * *radius + 1) as usize;
+                side * side * threads.len()
+            }
+            VerificationRule::ReusePhaseCandidates => 0,
+        }
+    }
+}
+
 /// A frequency-search strategy: given the analysis results, find the
 /// phase-best configuration and the per-region verification set.
 pub trait SearchStrategy: std::fmt::Debug {
     /// Strategy name (used in reports and error messages).
     fn name(&self) -> &'static str;
 
-    /// Plan and execute the phase-level frequency search.
-    fn plan(&self, ctx: &mut SearchContext<'_, '_>) -> Result<SearchOutcome, TuningError>;
+    /// Generate the candidate plan from the analysis results alone, with
+    /// no measurements taken. Both the design-time session (through the
+    /// default [`SearchStrategy::plan`]) and the runtime's online tuner
+    /// execute this same plan, so the two paths explore identical
+    /// configurations.
+    fn exploration(&self, inputs: &ExplorationInputs<'_>) -> Result<ExplorationPlan, TuningError>;
+
+    /// Plan and execute the phase-level frequency search on the
+    /// experiments engine. The provided implementation measures the
+    /// [`SearchStrategy::exploration`] plan; strategies normally only
+    /// implement `exploration`.
+    fn plan(&self, ctx: &mut SearchContext<'_, '_>) -> Result<SearchOutcome, TuningError> {
+        let plan = self.exploration(&ExplorationInputs {
+            model: ctx.model(),
+            phase_rates: ctx.phase_rates(),
+            best_threads: ctx.best_threads(),
+            thread_candidates: ctx.thread_candidates(),
+        })?;
+        let (phase_best, _) = ctx.best_phase_config(&plan.phase_candidates)?;
+        Ok(SearchOutcome {
+            predicted_global: plan.predicted_global,
+            phase_best,
+            phase_search_configs: plan.phase_candidates.len() as u64,
+            verification: plan.verification_for(phase_best),
+        })
+    }
 }
 
 // ----------------------------------------------------------- model-based
@@ -152,32 +249,30 @@ impl SearchStrategy for ModelBasedNeighbourhood {
         "model-based-neighbourhood"
     }
 
-    fn plan(&self, ctx: &mut SearchContext<'_, '_>) -> Result<SearchOutcome, TuningError> {
-        let model = ctx.model().ok_or(TuningError::MissingModel {
+    fn exploration(&self, inputs: &ExplorationInputs<'_>) -> Result<ExplorationPlan, TuningError> {
+        let model = inputs.model.ok_or(TuningError::MissingModel {
             strategy: self.name(),
         })?;
         let core = FreqDomain::haswell_core();
         let uncore = FreqDomain::haswell_uncore();
-        let (g_cf, g_ucf) = model.best_frequencies(ctx.phase_rates(), &core, &uncore);
-        let global = SystemConfig::new(ctx.best_threads(), g_cf.mhz(), g_ucf.mhz());
+        let (g_cf, g_ucf) = model.best_frequencies(inputs.phase_rates, &core, &uncore);
+        let global = SystemConfig::new(inputs.best_threads, g_cf.mhz(), g_ucf.mhz());
 
         // Stage 1 — recentre on a wider grid around the predicted pair.
+        // Stage 2 — the immediate neighbourhood of the recentred best is
+        // what every significant region gets verified against.
         let recentre = SearchSpace::neighbourhood(
             global,
             self.radius + self.recentre_extra,
-            vec![ctx.best_threads()],
+            vec![inputs.best_threads],
         );
-        let (phase_best, _) = ctx.best_phase_config(&recentre.configs())?;
-
-        // Stage 2 — the immediate neighbourhood of the recentred best is
-        // what every significant region gets verified against.
-        let space =
-            SearchSpace::neighbourhood(phase_best, self.radius, ctx.thread_candidates().to_vec());
-        Ok(SearchOutcome {
+        Ok(ExplorationPlan {
             predicted_global: Some((g_cf, g_ucf)),
-            phase_best,
-            verification: space.configs(),
-            phase_search_configs: recentre.len() as u64,
+            phase_candidates: recentre.configs(),
+            verification: VerificationRule::Neighbourhood {
+                radius: self.radius,
+                threads: inputs.thread_candidates.to_vec(),
+            },
         })
     }
 }
@@ -195,15 +290,12 @@ impl SearchStrategy for ExhaustiveSearch {
         "exhaustive"
     }
 
-    fn plan(&self, ctx: &mut SearchContext<'_, '_>) -> Result<SearchOutcome, TuningError> {
-        let space = SearchSpace::full(ctx.thread_candidates().to_vec());
-        let configs = space.configs();
-        let (phase_best, _) = ctx.best_phase_config(&configs)?;
-        Ok(SearchOutcome {
+    fn exploration(&self, inputs: &ExplorationInputs<'_>) -> Result<ExplorationPlan, TuningError> {
+        let space = SearchSpace::full(inputs.thread_candidates.to_vec());
+        Ok(ExplorationPlan {
             predicted_global: None,
-            phase_best,
-            phase_search_configs: configs.len() as u64,
-            verification: configs,
+            phase_candidates: space.configs(),
+            verification: VerificationRule::ReusePhaseCandidates,
         })
     }
 }
@@ -252,8 +344,8 @@ impl SearchStrategy for RandomSearch {
         "random"
     }
 
-    fn plan(&self, ctx: &mut SearchContext<'_, '_>) -> Result<SearchOutcome, TuningError> {
-        let space = SearchSpace::full(ctx.thread_candidates().to_vec());
+    fn exploration(&self, inputs: &ExplorationInputs<'_>) -> Result<ExplorationPlan, TuningError> {
+        let space = SearchSpace::full(inputs.thread_candidates.to_vec());
         let mut pool = space.configs();
         if pool.is_empty() {
             return Err(TuningError::EmptyCandidates {
@@ -268,12 +360,10 @@ impl SearchStrategy for RandomSearch {
             pool.swap(i, j);
         }
         pool.truncate(n);
-        let (phase_best, _) = ctx.best_phase_config(&pool)?;
-        Ok(SearchOutcome {
+        Ok(ExplorationPlan {
             predicted_global: None,
-            phase_best,
-            phase_search_configs: pool.len() as u64,
-            verification: pool,
+            phase_candidates: pool,
+            verification: VerificationRule::ReusePhaseCandidates,
         })
     }
 }
@@ -366,6 +456,60 @@ mod tests {
         dedup.sort_by_key(|c| (c.threads, c.core.mhz(), c.uncore.mhz()));
         dedup.dedup();
         assert_eq!(dedup.len(), 16, "sample must be without replacement");
+    }
+
+    #[test]
+    fn exploration_plan_matches_engine_driven_plan() {
+        // The engine-driven `plan` is defined as "measure the exploration
+        // plan", so the candidate sets of the two paths must be identical —
+        // this is what lets the runtime's online tuner reproduce the
+        // design-time search from live measurements.
+        let (node, bench, rates) = context_fixture();
+        let phase = bench.phase_character();
+        let strategy = RandomSearch::new(16, 7);
+        let inputs = ExplorationInputs {
+            model: None,
+            phase_rates: &rates,
+            best_threads: 24,
+            thread_candidates: &[24],
+        };
+        let plan = strategy.exploration(&inputs).unwrap();
+        assert_eq!(plan.max_extra_verification(), 0, "pool is reused");
+
+        let mut engine = ExperimentsEngine::new(&node);
+        let mut ctx = SearchContext {
+            node: &node,
+            model: None,
+            objective: TuningObjective::Energy,
+            phase_character: &phase,
+            phase_rates: &rates,
+            best_threads: 24,
+            thread_candidates: &[24],
+            engine: &mut engine,
+        };
+        let outcome = strategy.plan(&mut ctx).unwrap();
+        assert_eq!(outcome.verification, plan.phase_candidates);
+        assert_eq!(
+            outcome.verification,
+            plan.verification_for(outcome.phase_best)
+        );
+        assert!(plan.phase_candidates.contains(&outcome.phase_best));
+    }
+
+    #[test]
+    fn neighbourhood_rule_bounds_extra_verification() {
+        let plan = ExplorationPlan {
+            predicted_global: None,
+            phase_candidates: vec![SystemConfig::new(24, 2400, 1700)],
+            verification: VerificationRule::Neighbourhood {
+                radius: 1,
+                threads: vec![24],
+            },
+        };
+        assert_eq!(plan.max_extra_verification(), 9);
+        let verify = plan.verification_for(SystemConfig::new(24, 2400, 1700));
+        assert!(verify.len() <= 9);
+        assert!(verify.contains(&SystemConfig::new(24, 2400, 1700)));
     }
 
     #[test]

@@ -14,11 +14,15 @@
 //! against a default-configuration run of the same job on the same node,
 //! and an aggregate cluster savings report.
 
+use std::collections::BTreeSet;
+
 use kernels::BenchmarkSpec;
+use ptf::{EnergyModel, SearchStrategy};
 use simnode::{Cluster, SystemConfig};
 
 use crate::error::RuntimeError;
-use crate::repository::{RepositoryStats, TuningModelRepository};
+use crate::online::{DriftEvent, OnlineConfig, OnlineTuner};
+use crate::repository::{ModelKey, RepositoryStats, TuningModelRepository};
 use crate::sacct::{JobAccounting, JobRecord};
 use crate::savings::Savings;
 use crate::session::RuntimeSession;
@@ -32,6 +36,37 @@ pub enum Placement {
     /// Place each job on the node with the least estimated work assigned
     /// so far (ties break to the lowest index).
     LeastLoaded,
+}
+
+/// Online adaptation for a scheduler run: when attached via
+/// [`ClusterScheduler::with_online`], repository misses no longer pin the
+/// static fallback — the first job of each unseen workload calibrates
+/// in-situ through an [`OnlineTuner`] (same-workload jobs queue behind it
+/// so the cluster calibrates each workload once), the converged model is
+/// published back, and every subsequent job serves it as a
+/// [`ModelSource::Online`](crate::ModelSource) hit. Repository hits run
+/// in monitor mode: drift-flagged regions re-calibrate in place and bump
+/// the stored model's version.
+#[derive(Clone, Copy)]
+pub struct OnlineTuning<'a> {
+    /// Candidate-generation strategy for calibrations (the design-time
+    /// `SearchStrategy` machinery).
+    pub strategy: &'a dyn SearchStrategy,
+    /// Trained energy model for model-predicting strategies (`None` is
+    /// fine for exhaustive/random search).
+    pub energy_model: Option<&'a EnergyModel>,
+    /// Calibration and drift settings.
+    pub config: OnlineConfig,
+}
+
+impl std::fmt::Debug for OnlineTuning<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OnlineTuning")
+            .field("strategy", &self.strategy.name())
+            .field("has_model", &self.energy_model.is_some())
+            .field("config", &self.config)
+            .finish()
+    }
 }
 
 /// One job's outcome after a scheduler run.
@@ -50,6 +85,11 @@ pub struct JobOutcome {
     pub default: JobRecord,
     /// Per-job dynamic savings versus the default run.
     pub savings: Savings,
+    /// Version assigned when this job's calibration/re-calibration was
+    /// published back to the repository.
+    pub published_version: Option<u32>,
+    /// Drift events this job fired.
+    pub drift: Vec<DriftEvent>,
 }
 
 /// Aggregate result of one scheduler run.
@@ -69,7 +109,40 @@ pub struct ClusterReport {
     pub nodes_used: usize,
 }
 
+/// Aggregate online-adaptation activity of one scheduler run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OnlineSummary {
+    /// Jobs that calibrated a cold workload in-situ.
+    pub calibrations: usize,
+    /// Models published back to the repository (calibrations plus
+    /// drift-triggered re-publications).
+    pub publications: usize,
+    /// Drift events fired across all jobs.
+    pub drift_events: u64,
+    /// Regions re-calibrated in place across all jobs.
+    pub recalibrated_regions: u64,
+}
+
 impl ClusterReport {
+    /// Aggregate online-adaptation activity (all zeros when the run had
+    /// no online tuning attached).
+    pub fn online_summary(&self) -> OnlineSummary {
+        let mut summary = OnlineSummary::default();
+        for job in &self.jobs {
+            if let Some(online) = &job.accounting.online {
+                if online.explored_iterations > 0 {
+                    summary.calibrations += 1;
+                }
+                summary.drift_events += u64::from(online.drift_events);
+                summary.recalibrated_regions += u64::from(online.recalibrated_regions);
+            }
+            if job.published_version.is_some() {
+                summary.publications += 1;
+            }
+        }
+        summary
+    }
+
     /// Human-readable cluster report: one line per job plus the
     /// aggregate savings and repository hit rate.
     pub fn format_report(&self) -> String {
@@ -100,12 +173,24 @@ impl ClusterReport {
             self.aggregate.time_pct,
         ));
         out.push_str(&format!(
-            "repository: {} hits / {} misses ({} fallback) — hit rate {:.0}%\n",
+            "repository: {} hits / {} misses ({} fallback, {} evicted) — hit rate {:.0}%\n",
             self.repository.hits,
             self.repository.misses,
             self.repository.fallbacks,
+            self.repository.evictions,
             100.0 * self.repository.hit_rate(),
         ));
+        let online = self.online_summary();
+        if online != OnlineSummary::default() {
+            out.push_str(&format!(
+                "online: {} calibrations, {} publications, {} drift events, \
+                 {} regions re-calibrated\n",
+                online.calibrations,
+                online.publications,
+                online.drift_events,
+                online.recalibrated_regions,
+            ));
+        }
         out
     }
 }
@@ -120,6 +205,7 @@ struct QueuedJob {
 pub struct ClusterScheduler<'a> {
     cluster: &'a Cluster,
     placement: Placement,
+    online: Option<OnlineTuning<'a>>,
     rr_next: usize,
     queue: Vec<QueuedJob>,
     /// Estimated phase work (instructions) assigned per node.
@@ -140,6 +226,7 @@ impl<'a> ClusterScheduler<'a> {
         Ok(Self {
             cluster,
             placement: Placement::RoundRobin,
+            online: None,
             rr_next: 0,
             queue: Vec::new(),
             load: vec![0.0; cluster.len()],
@@ -150,6 +237,15 @@ impl<'a> ClusterScheduler<'a> {
     #[must_use]
     pub fn with_placement(mut self, placement: Placement) -> Self {
         self.placement = placement;
+        self
+    }
+
+    /// Attach online adaptation: repository misses calibrate in-situ and
+    /// publish back instead of pinning the static fallback, and hits are
+    /// drift-monitored (see [`OnlineTuning`]).
+    #[must_use]
+    pub fn with_online(mut self, online: OnlineTuning<'a>) -> Self {
+        self.online = Some(online);
         self
     }
 
@@ -190,48 +286,188 @@ impl<'a> ClusterScheduler<'a> {
     /// one event (a region enter/exit pair or a phase completion), so at
     /// any instant up to `pending()` sessions are in flight. The queue is
     /// consumed by the run, including on error.
+    ///
+    /// With [`ClusterScheduler::with_online`] attached, admission is
+    /// gated per workload: the first job of a workload the repository
+    /// cannot serve starts calibrating, further jobs of the *same*
+    /// workload wait until that calibration publishes, and then start as
+    /// repository hits — the cluster warm-up pattern (miss → calibrate →
+    /// publish → fleet-wide hits). Jobs of distinct workloads calibrate
+    /// concurrently.
     pub fn run(&mut self, repo: &mut TuningModelRepository) -> Result<ClusterReport, RuntimeError> {
         let cluster = self.cluster;
         let jobs = std::mem::take(&mut self.queue);
         self.load = vec![0.0; cluster.len()];
         self.rr_next = 0;
 
+        enum State<'b> {
+            Waiting,
+            Plain(Box<RuntimeSession<'b>>),
+            Online(Box<OnlineTuner<'b>>),
+            Done,
+        }
+
         struct Driver<'b> {
-            session: Option<RuntimeSession<'b>>,
+            state: State<'b>,
             region_idx: usize,
             accounting: Option<JobAccounting>,
+            published_version: Option<u32>,
+            drift: Vec<DriftEvent>,
         }
 
-        let mut drivers = Vec::with_capacity(jobs.len());
-        for job in &jobs {
-            let served = repo.serve(&job.bench)?;
-            let session =
-                RuntimeSession::start(&job.name, &job.bench, cluster.node(job.node_idx), served)?;
-            drivers.push(Driver {
-                session: Some(session),
+        let mut drivers: Vec<Driver<'_>> = jobs
+            .iter()
+            .map(|_| Driver {
+                state: State::Waiting,
                 region_idx: 0,
                 accounting: None,
-            });
-        }
+                published_version: None,
+                drift: Vec::new(),
+            })
+            .collect();
 
-        // Interleaved event loop: one event per active session per sweep.
-        let mut active = drivers.len();
-        while active > 0 {
+        // Workload keys with a calibration in flight: same-key jobs wait.
+        let mut calibrating: BTreeSet<ModelKey> = BTreeSet::new();
+        // Workload keys whose calibration failed (budget/planning): the
+        // rest of the queue degrades to ordinary fallback serving instead
+        // of re-attempting — and instead of aborting healthy jobs.
+        let mut failed: BTreeSet<ModelKey> = BTreeSet::new();
+        let mut done = 0usize;
+        while done < jobs.len() {
+            // Admission pass, in submission order.
             for (driver, job) in drivers.iter_mut().zip(&jobs) {
-                let Some(session) = driver.session.as_mut() else {
+                if !matches!(driver.state, State::Waiting) {
                     continue;
+                }
+                let node = cluster.node(job.node_idx);
+                driver.state = match &self.online {
+                    None => {
+                        let served = repo.serve(&job.bench)?;
+                        State::Plain(Box::new(RuntimeSession::start(
+                            &job.name, &job.bench, node, served,
+                        )?))
+                    }
+                    Some(online) => {
+                        let key = ModelKey::of(&job.bench);
+                        if failed.contains(&key) {
+                            let served = repo.serve(&job.bench)?;
+                            State::Plain(Box::new(RuntimeSession::start(
+                                &job.name, &job.bench, node, served,
+                            )?))
+                        } else if calibrating.contains(&key) {
+                            continue; // wait for the in-flight calibration
+                        } else {
+                            match repo.serve_stored(&job.bench)? {
+                                Some(served) => State::Online(Box::new(OnlineTuner::monitor(
+                                    &job.name,
+                                    &job.bench,
+                                    node,
+                                    served,
+                                    online.config,
+                                )?)),
+                                None => match OnlineTuner::calibrate(
+                                    &job.name,
+                                    &job.bench,
+                                    node,
+                                    online.strategy,
+                                    online.energy_model,
+                                    online.config,
+                                ) {
+                                    Ok(tuner) => {
+                                        calibrating.insert(key);
+                                        State::Online(Box::new(tuner))
+                                    }
+                                    Err(
+                                        RuntimeError::ExplorationBudget { .. }
+                                        | RuntimeError::Planning(_),
+                                    ) => {
+                                        // This workload cannot calibrate;
+                                        // fall back (the miss was already
+                                        // recorded by serve_stored).
+                                        failed.insert(key);
+                                        let served = repo.serve_fallback(&job.bench)?;
+                                        State::Plain(Box::new(RuntimeSession::start(
+                                            &job.name, &job.bench, node, served,
+                                        )?))
+                                    }
+                                    Err(other) => return Err(other),
+                                },
+                            }
+                        }
+                    }
                 };
-                if session.phase_iteration() >= job.bench.phase_iterations {
-                    let finished = driver.session.take().expect("session present");
-                    driver.accounting = Some(finished.finish()?);
-                    active -= 1;
+            }
+
+            // Event pass: one event per active session per sweep.
+            for (driver, job) in drivers.iter_mut().zip(&jobs) {
+                let finished_iterations = match &driver.state {
+                    State::Plain(session) => {
+                        session.phase_iteration() >= job.bench.phase_iterations
+                    }
+                    State::Online(tuner) => tuner.phase_iteration() >= job.bench.phase_iterations,
+                    State::Waiting | State::Done => continue,
+                };
+                if finished_iterations {
+                    match std::mem::replace(&mut driver.state, State::Done) {
+                        State::Plain(session) => {
+                            driver.accounting = Some(session.finish()?);
+                        }
+                        State::Online(tuner) => {
+                            let outcome = tuner.finish()?;
+                            driver.accounting = Some(outcome.accounting);
+                            driver.drift = outcome.drift_events;
+                            if let Some(publication) = outcome.publication {
+                                driver.published_version = Some(repo.publish_online(
+                                    &job.bench,
+                                    &publication.model,
+                                    publication.expected,
+                                ));
+                            }
+                            calibrating.remove(&ModelKey::of(&job.bench));
+                        }
+                        State::Waiting | State::Done => unreachable!("checked active above"),
+                    }
+                    done += 1;
                 } else if driver.region_idx < job.bench.regions.len() {
                     let region = &job.bench.regions[driver.region_idx];
-                    session.region_enter(&region.name)?;
-                    session.region_exit(&region.name)?;
+                    match &mut driver.state {
+                        State::Plain(session) => {
+                            session.region_enter(&region.name)?;
+                            session.region_exit(&region.name)?;
+                        }
+                        State::Online(tuner) => {
+                            tuner.region_enter(&region.name)?;
+                            tuner.region_exit(&region.name)?;
+                        }
+                        State::Waiting | State::Done => unreachable!("checked active above"),
+                    }
                     driver.region_idx += 1;
                 } else {
-                    session.phase_complete()?;
+                    match &mut driver.state {
+                        State::Plain(session) => {
+                            session.phase_complete()?;
+                        }
+                        State::Online(tuner) => {
+                            if let Err(e) = tuner.phase_complete() {
+                                match e {
+                                    RuntimeError::ExplorationBudget { .. }
+                                    | RuntimeError::Planning(_) => {
+                                        // The calibration abandoned itself
+                                        // (budget discovered at the
+                                        // planning point); the tuner keeps
+                                        // running as a degraded static
+                                        // job. Unblock same-key waiters —
+                                        // they will serve the fallback.
+                                        let key = ModelKey::of(&job.bench);
+                                        calibrating.remove(&key);
+                                        failed.insert(key);
+                                    }
+                                    other => return Err(other),
+                                }
+                            }
+                        }
+                        State::Waiting | State::Done => unreachable!("checked active above"),
+                    }
                     driver.region_idx = 0;
                 }
             }
@@ -269,6 +505,8 @@ impl<'a> ClusterScheduler<'a> {
                 savings: Savings::between(&default, &accounting.record),
                 accounting,
                 default,
+                published_version: driver.published_version,
+                drift: driver.drift,
             });
         }
 

@@ -73,6 +73,37 @@ pub enum RuntimeError {
     },
     /// A cluster scheduler was created over a cluster with no nodes.
     EmptyCluster,
+    /// Online calibration needs more exploration iterations than the job
+    /// has phase iterations, so the tuner cannot converge before the job
+    /// ends. Launch the job at the calibration fallback instead, or pick a
+    /// cheaper [`SearchStrategy`](ptf::SearchStrategy).
+    ExplorationBudget {
+        /// Application whose calibration was planned.
+        application: String,
+        /// Exploration iterations the plan needs (worst case).
+        needed: u32,
+        /// Phase iterations the job actually has.
+        available: u32,
+    },
+    /// Drift-triggered re-calibration of a region was refused: the job
+    /// does not have enough remaining visits of the region to measure the
+    /// re-exploration neighbourhood, or the session is not in a state that
+    /// can re-calibrate (still calibrating, or serving a model without
+    /// drift expectations).
+    RecalibrationRefused {
+        /// Application whose session refused.
+        application: String,
+        /// The region that would have been re-calibrated.
+        region: String,
+        /// Region visits the scoped re-exploration needs.
+        needed: u32,
+        /// Region visits remaining before the job finishes.
+        remaining: u32,
+    },
+    /// The online tuner could not generate its exploration candidates —
+    /// the design-time strategy machinery rejected the analysis inputs
+    /// (e.g. the model-based strategy without a trained energy model).
+    Planning(ptf::TuningError),
 }
 
 impl fmt::Display for RuntimeError {
@@ -116,6 +147,29 @@ impl fmt::Display for RuntimeError {
             RuntimeError::EmptyCluster => {
                 write!(f, "cluster scheduler needs at least one node")
             }
+            RuntimeError::ExplorationBudget {
+                application,
+                needed,
+                available,
+            } => write!(
+                f,
+                "online calibration of `{application}` exhausted its exploration budget: \
+                 needs {needed} exploration iterations but the job has only {available} \
+                 phase iterations"
+            ),
+            RuntimeError::RecalibrationRefused {
+                application,
+                region,
+                needed,
+                remaining,
+            } => write!(
+                f,
+                "drift re-calibration of `{region}` in `{application}` refused: \
+                 needs {needed} more visits of the region, only {remaining} remain"
+            ),
+            RuntimeError::Planning(e) => {
+                write!(f, "online exploration planning failed: {e}")
+            }
         }
     }
 }
@@ -125,6 +179,7 @@ impl std::error::Error for RuntimeError {
         match self {
             RuntimeError::Io(e) => Some(e),
             RuntimeError::Parse(e) => Some(e),
+            RuntimeError::Planning(e) => Some(e),
             _ => None,
         }
     }
@@ -162,6 +217,38 @@ mod tests {
         assert!(format!("{e}").contains("initial configuration"));
 
         assert!(format!("{}", RuntimeError::EmptyCluster).contains("node"));
+
+        let e = RuntimeError::ExplorationBudget {
+            application: "Lulesh".into(),
+            needed: 63,
+            available: 30,
+        };
+        let s = format!("{e}");
+        assert!(s.contains("exploration budget") && s.contains("63") && s.contains("30"));
+
+        let e = RuntimeError::RecalibrationRefused {
+            application: "miniMD".into(),
+            region: "compute_force".into(),
+            needed: 9,
+            remaining: 2,
+        };
+        let s = format!("{e}");
+        assert!(s.contains("re-calibration") && s.contains("compute_force"));
+        assert!(s.contains('9') && s.contains('2'));
+
+        let e = RuntimeError::Planning(ptf::TuningError::MissingModel {
+            strategy: "model-based-neighbourhood",
+        });
+        assert!(format!("{e}").contains("planning failed"));
+    }
+
+    #[test]
+    fn planning_has_a_source() {
+        use std::error::Error as _;
+        let e = RuntimeError::Planning(ptf::TuningError::EmptyCandidates {
+            stage: "online phase exploration",
+        });
+        assert!(e.source().is_some());
     }
 
     #[test]

@@ -8,17 +8,28 @@
 //! at cluster scale:
 //!
 //! * [`repository`] — the [`TuningModelRepository`]: stores serialized
-//!   tuning models keyed by application + workload fingerprint, serves
-//!   them with hit/miss statistics and a calibration fallback (a
-//!   best-known static configuration) when no model matches,
+//!   tuning models keyed by application + workload fingerprint — each
+//!   entry carrying a [`ModelProvenance`] version/origin record and the
+//!   drift expectations — serves them with hit/miss statistics, optional
+//!   LRU capacity bounding and application-level matching
+//!   ([`MatchPolicy`]), and a calibration fallback (a best-known static
+//!   configuration) when no model matches,
 //! * [`session`] — the event-driven [`RuntimeSession`]: one handle per
 //!   job, driven by explicit `region_enter` / `region_exit` /
 //!   `phase_complete` events through the scenario→configuration resolver
 //!   and the node's frequency/thread switching; every transition returns
 //!   `Result<_, `[`RuntimeError`]`>`,
+//! * [`online`] — the online adaptation engine: on a repository miss the
+//!   [`OnlineTuner`] calibrates in-situ (the job's early phase iterations
+//!   explore the design-time search strategy's candidates against live
+//!   region measurements) and publishes the converged model back
+//!   ([`ModelSource::Online`]); on a hit the [`DriftDetector`] flags
+//!   stale models and triggers scoped re-calibration,
 //! * [`cluster`] — the [`ClusterScheduler`]: multiplexes many concurrent
 //!   sessions across the nodes of a simulated cluster (round-robin or
-//!   least-loaded placement) and reports per-job and aggregate savings,
+//!   least-loaded placement), gates cold workloads behind a single
+//!   online calibration when [`OnlineTuning`] is attached, and reports
+//!   per-job and aggregate savings,
 //! * [`sacct`] — SLURM-style job accounting: the job-level Table VI
 //!   record plus the per-region energy/time breakdown,
 //! * [`savings`] — default-vs-tuned comparisons including the
@@ -42,6 +53,7 @@
 
 pub mod cluster;
 pub mod error;
+pub mod online;
 pub mod rat;
 pub mod repository;
 pub mod sacct;
@@ -50,10 +62,19 @@ pub mod session;
 pub mod static_tuning;
 pub mod tmm;
 
-pub use cluster::{ClusterReport, ClusterScheduler, JobOutcome, Placement};
+pub use cluster::{
+    ClusterReport, ClusterScheduler, JobOutcome, OnlineSummary, OnlineTuning, Placement,
+};
 pub use error::RuntimeError;
-pub use repository::{ModelKey, ModelSource, RepositoryStats, ServedModel, TuningModelRepository};
-pub use sacct::{JobAccounting, JobRecord, RegionAccounting};
+pub use online::{
+    ConvergedModel, DriftConfig, DriftDetector, DriftEvent, DriftPolicy, ModelPublication,
+    OnlineConfig, OnlineOutcome, OnlineTuner,
+};
+pub use repository::{
+    MatchPolicy, ModelKey, ModelProvenance, ModelSource, RepositoryStats, ServedModel,
+    TuningModelRepository,
+};
+pub use sacct::{JobAccounting, JobRecord, OnlineActivity, RegionAccounting};
 pub use savings::{compare_static_dynamic, BenchmarkComparison, ComparisonError, Savings};
 pub use session::{RegionExit, RuntimeSession};
 pub use tmm::TuningModelManager;

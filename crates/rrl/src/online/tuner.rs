@@ -1,0 +1,540 @@
+//! The online tuner: a drop-in event-protocol wrapper around
+//! [`RuntimeSession`] that either *calibrates* (repository miss: explore,
+//! converge, publish) or *monitors* (repository hit: serve the stored
+//! model, watch for drift, re-calibrate drifted regions in place).
+
+use std::collections::BTreeMap;
+
+use kernels::BenchmarkSpec;
+use ptf::{EnergyModel, SearchSpace, SearchStrategy, TuningModel};
+use simnode::{Node, SystemConfig};
+
+use crate::error::RuntimeError;
+use crate::online::drift::{DriftDetector, DriftEvent, DriftPolicy};
+use crate::online::schedule::CalibrationSchedule;
+use crate::online::{cfg_key, OnlineConfig};
+use crate::repository::{ModelProvenance, ModelSource, ServedModel};
+use crate::sacct::{JobAccounting, OnlineActivity};
+use crate::session::{RegionExit, RuntimeSession};
+
+/// A converged model ready for
+/// [`TuningModelRepository::publish_online`](crate::TuningModelRepository::publish_online).
+#[derive(Debug, Clone)]
+pub struct ModelPublication {
+    /// The model to store.
+    pub model: TuningModel,
+    /// Per-region drift expectations measured at the converged
+    /// configurations.
+    pub expected: Vec<(String, f64)>,
+}
+
+/// Everything an online job produced: the ordinary accounting plus the
+/// adaptation results.
+#[derive(Debug, Clone)]
+pub struct OnlineOutcome {
+    /// The job's `sacct`-style accounting
+    /// ([`JobAccounting::online`](crate::JobAccounting) is populated).
+    pub accounting: JobAccounting,
+    /// The model to publish back to the repository: the calibration's
+    /// converged model, or the served model with re-calibrated regions
+    /// patched in. `None` when nothing new was learned.
+    pub publication: Option<ModelPublication>,
+    /// Drift events fired during the run, in fire order.
+    pub drift_events: Vec<DriftEvent>,
+    /// Drift-triggered re-calibrations that were refused for lack of
+    /// remaining budget.
+    pub refusals: u32,
+}
+
+/// A region's in-place adaptation state in monitor mode.
+enum RegionAdapt {
+    /// Scoped re-exploration in progress: the region's next visits run
+    /// the candidate neighbourhood in order.
+    Recalibrating {
+        candidates: Vec<SystemConfig>,
+        idx: usize,
+        observed: Vec<(SystemConfig, f64, f64)>,
+    },
+    /// Re-exploration done: the region runs (and is published at) the new
+    /// configuration.
+    Converged {
+        config: SystemConfig,
+        expected_j: f64,
+    },
+}
+
+struct MonitorState {
+    detector: Option<DriftDetector>,
+    provenance: Option<ModelProvenance>,
+    adapt: BTreeMap<String, RegionAdapt>,
+    refusals: u32,
+    recalibrated: u32,
+}
+
+enum Mode<'a> {
+    Calibrate(Box<CalibrationSchedule<'a>>),
+    Monitor(Box<MonitorState>),
+}
+
+/// In-situ tuning for jobs the repository cannot (fully) serve.
+///
+/// The tuner exposes the exact event protocol of [`RuntimeSession`]
+/// (`region_enter` / `region_exit` / `phase_complete` / `finish`), so a
+/// driver — the [`ClusterScheduler`](crate::ClusterScheduler) or a hand
+///-written loop — treats adaptive jobs like any other. Accounting flows
+/// through the wrapped session unchanged and stays deterministic and
+/// interleaving-independent: the exploration schedule is a pure function
+/// of the job identity and its own observations, so two interleaved
+/// online jobs calibrate bit-identically to solo runs.
+pub struct OnlineTuner<'a> {
+    session: RuntimeSession<'a>,
+    mode: Mode<'a>,
+    config: OnlineConfig,
+}
+
+impl<'a> OnlineTuner<'a> {
+    /// Calibration mode — the repository-miss path. The job launches at
+    /// [`OnlineConfig::launch`], spends its early phase iterations
+    /// exploring the strategy's candidate configurations against live
+    /// region measurements, converges, and exploits the converged model
+    /// for the rest of the run. [`OnlineTuner::finish`] then carries the
+    /// model for publication.
+    ///
+    /// `energy_model` is consulted by model-predicting strategies
+    /// (`ModelBasedNeighbourhood`); pool strategies ignore it.
+    pub fn calibrate(
+        job: impl Into<String>,
+        bench: &'a BenchmarkSpec,
+        node: &'a Node,
+        strategy: &'a dyn SearchStrategy,
+        energy_model: Option<&'a EnergyModel>,
+        config: OnlineConfig,
+    ) -> Result<Self, RuntimeError> {
+        let served = ServedModel {
+            model: TuningModel::new(&bench.name, &[], config.launch),
+            source: ModelSource::Online,
+            provenance: None,
+        };
+        let session = RuntimeSession::start_from(job, bench, node, served, config.launch)?;
+        let schedule =
+            CalibrationSchedule::new(bench, node, strategy, energy_model, config, session.seed())?;
+        Ok(Self {
+            session,
+            mode: Mode::Calibrate(Box::new(schedule)),
+            config,
+        })
+    }
+
+    /// Monitor mode — the repository-hit path. The served model resolves
+    /// scenarios as in a plain session; when the serve carried drift
+    /// expectations, a [`DriftDetector`] compares them against the live
+    /// per-region measurements and — under
+    /// [`DriftPolicy::Recalibrate`] — a fired region re-explores its
+    /// configuration neighbourhood over its next visits and converges to
+    /// a fresh optimum.
+    pub fn monitor(
+        job: impl Into<String>,
+        bench: &'a BenchmarkSpec,
+        node: &'a Node,
+        served: ServedModel,
+        config: OnlineConfig,
+    ) -> Result<Self, RuntimeError> {
+        let provenance = served.provenance.clone();
+        let detector = provenance
+            .as_ref()
+            .filter(|p| !p.expected.is_empty())
+            .map(|p| DriftDetector::new(config.drift, &p.expected));
+        let session = RuntimeSession::start(job, bench, node, served)?;
+        Ok(Self {
+            session,
+            mode: Mode::Monitor(Box::new(MonitorState {
+                detector,
+                provenance,
+                adapt: BTreeMap::new(),
+                refusals: 0,
+                recalibrated: 0,
+            })),
+            config,
+        })
+    }
+
+    /// The job name this tuner accounts under.
+    pub fn job(&self) -> &str {
+        self.session.job()
+    }
+
+    /// The wrapped session (read-only).
+    pub fn session(&self) -> &RuntimeSession<'a> {
+        &self.session
+    }
+
+    /// Phase iteration the next region event executes in.
+    pub fn phase_iteration(&self) -> u32 {
+        self.session.phase_iteration()
+    }
+
+    /// Current stage: one of `thread-sweep`, `analysis`, `phase-search`,
+    /// `verification`, `exploit` (calibration) or `monitor`.
+    pub fn stage(&self) -> &'static str {
+        match &self.mode {
+            Mode::Calibrate(schedule) => schedule.stage_name(),
+            Mode::Monitor(_) => "monitor",
+        }
+    }
+
+    /// Whether the tuner is still spending iterations on exploration.
+    pub fn is_exploring(&self) -> bool {
+        match &self.mode {
+            Mode::Calibrate(schedule) => schedule.is_exploring(),
+            Mode::Monitor(state) => state
+                .adapt
+                .values()
+                .any(|a| matches!(a, RegionAdapt::Recalibrating { .. })),
+        }
+    }
+
+    /// The calibration's converged model, once the exploit stage is
+    /// reached (`None` in monitor mode).
+    pub fn converged_model(&self) -> Option<&TuningModel> {
+        match &self.mode {
+            Mode::Calibrate(schedule) => schedule.converged().map(|c| &c.model),
+            Mode::Monitor(_) => None,
+        }
+    }
+
+    /// Drift events fired so far.
+    pub fn drift_events(&self) -> &[DriftEvent] {
+        match &self.mode {
+            Mode::Monitor(state) => state.detector.as_ref().map(|d| d.events()).unwrap_or(&[]),
+            Mode::Calibrate(_) => &[],
+        }
+    }
+
+    /// Region-enter event: like [`RuntimeSession::region_enter`], except
+    /// the applied configuration is the tuner's — an exploration
+    /// candidate, a re-calibration candidate, a converged assignment, or
+    /// the served model's lookup.
+    pub fn region_enter(&mut self, region: &str) -> Result<SystemConfig, RuntimeError> {
+        match &self.mode {
+            Mode::Calibrate(schedule) => {
+                let bench = self.session.bench();
+                let Some(idx) = bench.regions.iter().position(|r| r.name == region) else {
+                    return Err(RuntimeError::UnknownRegion {
+                        application: bench.name.clone(),
+                        region: region.to_string(),
+                    });
+                };
+                let cfg = schedule.config_for(bench, idx);
+                self.session.region_enter_at(region, cfg)
+            }
+            Mode::Monitor(state) => match state.adapt.get(region) {
+                Some(RegionAdapt::Recalibrating {
+                    candidates, idx, ..
+                }) => {
+                    let cfg = candidates[*idx];
+                    self.session.region_enter_at(region, cfg)
+                }
+                Some(RegionAdapt::Converged { config, .. }) => {
+                    self.session.region_enter_at(region, *config)
+                }
+                None => self.session.region_enter(region),
+            },
+        }
+    }
+
+    /// Region-exit event: execute and account through the session, then
+    /// feed the measurement to the calibration schedule or the drift
+    /// detector.
+    pub fn region_exit(&mut self, region: &str) -> Result<RegionExit, RuntimeError> {
+        let exit = self.session.region_exit(region)?;
+        let iteration = self.session.phase_iteration();
+        let bench = self.session.bench();
+        match &mut self.mode {
+            Mode::Calibrate(schedule) => {
+                let idx = bench
+                    .regions
+                    .iter()
+                    .position(|r| r.name == region)
+                    .expect("region resolved at enter");
+                schedule.record(idx, &exit);
+            }
+            Mode::Monitor(state) => {
+                state.observe(
+                    region,
+                    &exit,
+                    iteration,
+                    bench,
+                    self.session.node(),
+                    self.session.model(),
+                    &self.config,
+                );
+            }
+        }
+        Ok(exit)
+    }
+
+    /// Phase-complete event: advances the session's phase loop and the
+    /// calibration stage machine. Calibration planning failures (budget
+    /// exhaustion, strategy errors) surface here, at the analysis → phase
+    /// -search transition.
+    pub fn phase_complete(&mut self) -> Result<u32, RuntimeError> {
+        let iter = self.session.phase_complete()?;
+        if let Mode::Calibrate(schedule) = &mut self.mode {
+            let bench = self.session.bench();
+            let node = self.session.node();
+            schedule.phase_completed(bench, node)?;
+        }
+        Ok(iter)
+    }
+
+    /// Drive the remaining phase iterations through the event protocol.
+    pub fn run_to_completion(&mut self) -> Result<(), RuntimeError> {
+        let bench = self.session.bench();
+        while self.session.phase_iteration() < bench.phase_iterations {
+            for region in &bench.regions {
+                self.region_enter(&region.name)?;
+                self.region_exit(&region.name)?;
+            }
+            self.phase_complete()?;
+        }
+        Ok(())
+    }
+
+    /// Explicitly request a scoped re-calibration of one region (what the
+    /// drift policy does automatically). Errors with
+    /// [`RuntimeError::RecalibrationRefused`] when the job has too few
+    /// remaining visits of the region to measure its neighbourhood, and
+    /// when the session is a calibration (it is already exploring).
+    /// Returns the number of candidate configurations the region will
+    /// re-explore (0 when a re-calibration is already in flight or done).
+    pub fn recalibrate_region(&mut self, region: &str) -> Result<usize, RuntimeError> {
+        let bench = self.session.bench();
+        if bench.region(region).is_none() {
+            return Err(RuntimeError::UnknownRegion {
+                application: bench.name.clone(),
+                region: region.to_string(),
+            });
+        }
+        let iteration = self.session.phase_iteration();
+        match &mut self.mode {
+            Mode::Calibrate(_) => Err(RuntimeError::RecalibrationRefused {
+                application: bench.name.clone(),
+                region: region.to_string(),
+                needed: 0,
+                remaining: 0,
+            }),
+            Mode::Monitor(state) => {
+                if state.adapt.contains_key(region) {
+                    return Ok(0);
+                }
+                let current = self.session.model().lookup(region);
+                state.begin_recalibration(
+                    region,
+                    current,
+                    iteration,
+                    bench,
+                    self.session.node(),
+                    &self.config,
+                )
+            }
+        }
+    }
+
+    /// Finish the job: the session's accounting (with
+    /// [`OnlineActivity`] attached) plus whatever the tuner learned — the
+    /// calibration's converged model, or the served model with
+    /// re-calibrated regions patched in.
+    pub fn finish(self) -> Result<OnlineOutcome, RuntimeError> {
+        let (activity, publication, drift_events, refusals) = match self.mode {
+            Mode::Calibrate(schedule) => {
+                let publication = schedule.converged().map(|c| ModelPublication {
+                    model: c.model.clone(),
+                    expected: c.expected.clone(),
+                });
+                (
+                    OnlineActivity {
+                        explored_iterations: schedule.explored_iterations(),
+                        drift_events: 0,
+                        recalibrated_regions: 0,
+                        publishable: publication.is_some(),
+                    },
+                    publication,
+                    Vec::new(),
+                    0,
+                )
+            }
+            Mode::Monitor(state) => {
+                let drift_events: Vec<DriftEvent> = state
+                    .detector
+                    .as_ref()
+                    .map(|d| d.events().to_vec())
+                    .unwrap_or_default();
+                let publication =
+                    (state.recalibrated > 0).then(|| state.republication(self.session.model()));
+                (
+                    OnlineActivity {
+                        explored_iterations: 0,
+                        drift_events: drift_events.len() as u32,
+                        recalibrated_regions: state.recalibrated,
+                        publishable: publication.is_some(),
+                    },
+                    publication,
+                    drift_events,
+                    state.refusals,
+                )
+            }
+        };
+        let mut accounting = self.session.finish()?;
+        accounting.online = Some(activity);
+        Ok(OnlineOutcome {
+            accounting,
+            publication,
+            drift_events,
+            refusals,
+        })
+    }
+}
+
+impl MonitorState {
+    /// Feed one region measurement: advance an in-flight re-calibration,
+    /// or run drift detection and possibly start one.
+    #[allow(clippy::too_many_arguments)]
+    fn observe(
+        &mut self,
+        region: &str,
+        exit: &RegionExit,
+        iteration: u32,
+        bench: &BenchmarkSpec,
+        node: &Node,
+        model: &TuningModel,
+        config: &OnlineConfig,
+    ) {
+        if exit.filtered {
+            return;
+        }
+        if let Some(RegionAdapt::Recalibrating {
+            candidates,
+            idx,
+            observed,
+        }) = self.adapt.get_mut(region)
+        {
+            observed.push((candidates[*idx], exit.node_energy_j, exit.duration_s));
+            *idx += 1;
+            if *idx == candidates.len() {
+                let objective = config.objective;
+                let (cfg, energy, _) = observed
+                    .iter()
+                    .min_by(|(ca, ea, da), (cb, eb, db)| {
+                        objective
+                            .score(*ea, *da)
+                            .total_cmp(&objective.score(*eb, *db))
+                            .then_with(|| cfg_key(*ca).cmp(&cfg_key(*cb)))
+                    })
+                    .copied()
+                    .expect("recalibration observed at least one candidate");
+                self.adapt.insert(
+                    region.to_string(),
+                    RegionAdapt::Converged {
+                        config: cfg,
+                        expected_j: energy,
+                    },
+                );
+                self.recalibrated += 1;
+                if let Some(detector) = &mut self.detector {
+                    detector.rebase(region, energy);
+                }
+            }
+            return;
+        }
+        // Post-recalibration observations keep flowing into the (rebased)
+        // detector, so a second genuine shift can fire again.
+        let fired = self
+            .detector
+            .as_mut()
+            .and_then(|d| d.observe(region, exit.node_energy_j, iteration));
+        if fired.is_some() && config.drift_policy == DriftPolicy::Recalibrate {
+            let current = match self.adapt.get(region) {
+                Some(RegionAdapt::Converged { config, .. }) => *config,
+                _ => model.lookup(region),
+            };
+            if self
+                .begin_recalibration(region, current, iteration, bench, node, config)
+                .is_err()
+            {
+                self.refusals += 1;
+            }
+        }
+    }
+
+    /// Start a scoped re-exploration of `region` around `current`, if the
+    /// job's remaining iterations can fit it.
+    fn begin_recalibration(
+        &mut self,
+        region: &str,
+        current: SystemConfig,
+        iteration: u32,
+        bench: &BenchmarkSpec,
+        node: &Node,
+        config: &OnlineConfig,
+    ) -> Result<usize, RuntimeError> {
+        let candidates: Vec<SystemConfig> =
+            SearchSpace::neighbourhood(current, config.recalibration_radius, vec![current.threads])
+                .configs()
+                .into_iter()
+                .filter(|c| node.supports(c))
+                .collect();
+        let needed = candidates.len();
+        // The region's remaining visits after the current iteration: one
+        // per remaining full phase iteration.
+        let remaining = bench.phase_iterations.saturating_sub(iteration + 1) as usize;
+        if candidates.is_empty() || remaining < needed {
+            return Err(RuntimeError::RecalibrationRefused {
+                application: bench.name.clone(),
+                region: region.to_string(),
+                needed: needed as u32,
+                remaining: remaining as u32,
+            });
+        }
+        self.adapt.insert(
+            region.to_string(),
+            RegionAdapt::Recalibrating {
+                candidates,
+                idx: 0,
+                observed: Vec::new(),
+            },
+        );
+        Ok(needed)
+    }
+
+    /// The served model with converged re-calibrations patched in, plus
+    /// the updated drift expectations.
+    fn republication(&self, model: &TuningModel) -> ModelPublication {
+        let mut pairs: Vec<(String, SystemConfig)> = Vec::new();
+        for scenario in &model.scenarios {
+            for region in &scenario.regions {
+                let cfg = match self.adapt.get(region) {
+                    Some(RegionAdapt::Converged { config, .. }) => *config,
+                    _ => scenario.config,
+                };
+                pairs.push((region.clone(), cfg));
+            }
+        }
+        let mut expected: Vec<(String, f64)> = self
+            .provenance
+            .as_ref()
+            .map(|p| p.expected.clone())
+            .unwrap_or_default();
+        for (region, adapt) in &self.adapt {
+            if let RegionAdapt::Converged { expected_j, .. } = adapt {
+                match expected.iter_mut().find(|(r, _)| r == region) {
+                    Some(entry) => entry.1 = *expected_j,
+                    None => expected.push((region.clone(), *expected_j)),
+                }
+            }
+        }
+        ModelPublication {
+            model: TuningModel::new(&model.application, &pairs, model.phase_config),
+            expected,
+        }
+    }
+}

@@ -10,6 +10,18 @@
 //! configuration, Table V style) is served instead, so an untuned job
 //! still runs at a sensible static operating point rather than the
 //! platform default.
+//!
+//! Every stored entry carries a [`ModelProvenance`] record: a
+//! monotonically increasing version per application, whether the model
+//! came from design-time analysis or from the runtime's
+//! [`OnlineTuner`](crate::OnlineTuner), and the per-region energy
+//! expectations the [`DriftDetector`](crate::DriftDetector) compares live
+//! measurements against. A bounded repository
+//! ([`TuningModelRepository::with_capacity`]) evicts the
+//! least-recently-used entry when full, and an application-level
+//! [`MatchPolicy`] can serve the latest model for an application whose
+//! exact workload fingerprint missed — trading exactness for warm starts,
+//! with the drift detector guarding against the model having gone stale.
 
 use std::collections::BTreeMap;
 
@@ -43,11 +55,35 @@ impl ModelKey {
 /// Where a served model came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ModelSource {
-    /// A stored tuning model matched the job's application + workload.
+    /// A stored design-time tuning model matched the job's application +
+    /// workload.
     Repository,
+    /// A model the runtime's online tuner calibrated and published back
+    /// matched the job's application + workload.
+    Online,
     /// No model matched; the calibration fallback configuration was
     /// served as a single-scenario static model.
     Fallback,
+}
+
+/// Version and origin of a stored tuning model, plus the per-region
+/// energy expectations drift detection compares against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelProvenance {
+    /// Monotonically increasing version per *application*: 1 for the
+    /// first publication, bumped on every re-publication — whether the
+    /// same workload (a drift-triggered re-calibration) or a changed
+    /// workload of a known application.
+    pub version: u32,
+    /// Whether the model came from design-time analysis
+    /// ([`ModelSource::Repository`]) or from the runtime's online tuner
+    /// ([`ModelSource::Online`]).
+    pub source: ModelSource,
+    /// Expected node energy per region instance at the model's chosen
+    /// configuration, joules — `(region, energy)`. Empty when the
+    /// publisher recorded no expectations (drift detection is then
+    /// inactive for jobs served this model).
+    pub expected: Vec<(String, f64)>,
 }
 
 /// A tuning model served for one job, with its provenance.
@@ -55,8 +91,23 @@ pub enum ModelSource {
 pub struct ServedModel {
     /// The model the session will resolve scenarios against.
     pub model: TuningModel,
-    /// Whether it came from the repository or the fallback.
+    /// Whether it came from the repository, the online tuner's published
+    /// work, or the fallback.
     pub source: ModelSource,
+    /// Version/origin/expectations of the stored entry (`None` for
+    /// fallback serves).
+    pub provenance: Option<ModelProvenance>,
+}
+
+impl ServedModel {
+    /// A fallback-served static model with no provenance.
+    pub fn fallback(model: TuningModel) -> Self {
+        Self {
+            model,
+            source: ModelSource::Fallback,
+            provenance: None,
+        }
+    }
 }
 
 /// Serving statistics.
@@ -64,12 +115,21 @@ pub struct ServedModel {
 pub struct RepositoryStats {
     /// Lookups answered by a stored model.
     pub hits: u64,
+    /// Hits served by application-level matching — the fingerprint
+    /// differed but [`MatchPolicy::Application`] served the latest model
+    /// for the application anyway (subset of [`RepositoryStats::hits`]).
+    pub approx_hits: u64,
     /// Lookups that found no stored model.
     pub misses: u64,
     /// Misses answered by the calibration fallback (the rest errored).
     pub fallbacks: u64,
     /// Lookups that found a stored entry that failed to parse.
     pub errors: u64,
+    /// Entries evicted by the LRU capacity bound.
+    pub evictions: u64,
+    /// Models published (insert/publish/publish_online), including
+    /// re-publications that bumped a version.
+    pub publications: u64,
 }
 
 impl RepositoryStats {
@@ -90,6 +150,31 @@ impl RepositoryStats {
     }
 }
 
+/// Exact or relaxed key matching for [`TuningModelRepository::serve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatchPolicy {
+    /// Serve only a model whose application *and* workload fingerprint
+    /// match (the safe default: a changed workload never runs a foreign
+    /// model).
+    #[default]
+    Exact,
+    /// On an exact miss, serve the most recently stored model for the
+    /// same application even though the fingerprint differs. The served
+    /// model may be stale for the new workload — pair this policy with
+    /// the [`DriftDetector`](crate::DriftDetector), which flags the
+    /// staleness at runtime and triggers a scoped re-calibration.
+    Application,
+}
+
+/// One stored entry: the serialized model, its provenance, and the LRU
+/// recency stamp.
+#[derive(Debug)]
+struct StoredEntry {
+    json: String,
+    provenance: ModelProvenance,
+    last_used: u64,
+}
+
 /// Stores serialized tuning models and serves them per job.
 ///
 /// Models are kept in their JSON wire form (what a
@@ -98,13 +183,20 @@ impl RepositoryStats {
 /// [`RuntimeError::Parse`] at serve time instead of a panic.
 #[derive(Debug, Default)]
 pub struct TuningModelRepository {
-    models: BTreeMap<ModelKey, String>,
+    models: BTreeMap<ModelKey, StoredEntry>,
+    /// Per-application version high-water mark. Kept separately from the
+    /// live entries so LRU eviction can never make a version number
+    /// regress.
+    versions: BTreeMap<String, u32>,
     fallback: Option<SystemConfig>,
+    capacity: Option<usize>,
+    policy: MatchPolicy,
+    clock: u64,
     stats: RepositoryStats,
 }
 
 impl TuningModelRepository {
-    /// Empty repository with no fallback.
+    /// Empty repository with no fallback and unbounded capacity.
     pub fn new() -> Self {
         Self::default()
     }
@@ -114,6 +206,22 @@ impl TuningModelRepository {
     #[must_use]
     pub fn with_fallback(mut self, config: SystemConfig) -> Self {
         self.fallback = Some(config);
+        self
+    }
+
+    /// Bound the repository to at most `capacity` stored models; storing
+    /// beyond the bound evicts the least-recently-used entry (builder
+    /// form). A capacity of zero is treated as unbounded.
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = (capacity > 0).then_some(capacity);
+        self
+    }
+
+    /// Select the serve-time key matching policy (builder form).
+    #[must_use]
+    pub fn with_match_policy(mut self, policy: MatchPolicy) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -127,26 +235,119 @@ impl TuningModelRepository {
         self.fallback
     }
 
+    /// The configured capacity bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// The serve-time key matching policy.
+    pub fn match_policy(&self) -> MatchPolicy {
+        self.policy
+    }
+
     /// Store the tuning model a design-time session produced, under the
     /// advice's own application + fingerprint — the design-time → runtime
-    /// handoff.
-    pub fn publish(&mut self, advice: &Advice) {
+    /// handoff. The advice's per-region energies become the entry's drift
+    /// expectations. Returns the assigned version.
+    pub fn publish(&mut self, advice: &Advice) -> u32 {
         let key = ModelKey {
             application: advice.tuning_model.application.clone(),
             fingerprint: advice.benchmark_fingerprint,
         };
-        self.models.insert(key, advice.tuning_model.to_json());
+        let expected = advice
+            .region_best
+            .iter()
+            .map(|(name, _, energy)| (name.clone(), *energy))
+            .collect();
+        self.store(
+            key,
+            advice.tuning_model.to_json(),
+            ModelSource::Repository,
+            expected,
+        )
+    }
+
+    /// Store a model the runtime's online tuner converged for `bench`,
+    /// with its measured per-region energy expectations. Returns the
+    /// assigned version (1 for a first publication, otherwise the stored
+    /// version + 1).
+    pub fn publish_online(
+        &mut self,
+        bench: &BenchmarkSpec,
+        model: &TuningModel,
+        expected: Vec<(String, f64)>,
+    ) -> u32 {
+        self.store(
+            ModelKey::of(bench),
+            model.to_json(),
+            ModelSource::Online,
+            expected,
+        )
     }
 
     /// Store a tuning model for a benchmark (replaces any previous entry
-    /// for the same workload).
+    /// for the same workload; no drift expectations are recorded).
     pub fn insert(&mut self, bench: &BenchmarkSpec, model: &TuningModel) {
-        self.models.insert(ModelKey::of(bench), model.to_json());
+        self.store(
+            ModelKey::of(bench),
+            model.to_json(),
+            ModelSource::Repository,
+            Vec::new(),
+        );
     }
 
-    /// Whether a stored model matches this benchmark's workload.
+    fn store(
+        &mut self,
+        key: ModelKey,
+        json: String,
+        source: ModelSource,
+        expected: Vec<(String, f64)>,
+    ) -> u32 {
+        // Versions follow the *application* lineage: re-publishing the
+        // same workload bumps it, and so does publishing a model for a
+        // changed workload of an already-known application (the drift →
+        // re-calibrate → re-publish path). The high-water mark survives
+        // LRU eviction of the entries themselves.
+        let version = self.versions.get(&key.application).map_or(1, |v| v + 1);
+        self.versions.insert(key.application.clone(), version);
+        self.clock += 1;
+        self.models.insert(
+            key,
+            StoredEntry {
+                json,
+                provenance: ModelProvenance {
+                    version,
+                    source,
+                    expected,
+                },
+                last_used: self.clock,
+            },
+        );
+        self.stats.publications += 1;
+        if let Some(cap) = self.capacity {
+            while self.models.len() > cap {
+                let lru = self
+                    .models
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone())
+                    .expect("len > cap > 0 implies an entry");
+                self.models.remove(&lru);
+                self.stats.evictions += 1;
+            }
+        }
+        version
+    }
+
+    /// Whether a stored model matches this benchmark's workload exactly.
     pub fn contains(&self, bench: &BenchmarkSpec) -> bool {
         self.models.contains_key(&ModelKey::of(bench))
+    }
+
+    /// Provenance of the stored entry for this benchmark's exact
+    /// workload, if any.
+    pub fn provenance(&self, bench: &BenchmarkSpec) -> Option<&ModelProvenance> {
+        self.models.get(&ModelKey::of(bench)).map(|e| &e.provenance)
     }
 
     /// Number of stored models.
@@ -164,44 +365,101 @@ impl TuningModelRepository {
         self.stats
     }
 
+    /// The stored key `serve` would answer for `bench` under the current
+    /// match policy: the exact key, or — under
+    /// [`MatchPolicy::Application`] — the most recently stored entry for
+    /// the same application.
+    fn resolve(&self, bench: &BenchmarkSpec) -> Option<(ModelKey, bool)> {
+        let key = ModelKey::of(bench);
+        if self.models.contains_key(&key) {
+            return Some((key, true));
+        }
+        if self.policy == MatchPolicy::Application {
+            return self
+                .models
+                .iter()
+                .filter(|(k, _)| k.application == key.application)
+                .max_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| (k.clone(), false));
+        }
+        None
+    }
+
     /// Serve a model for a job about to run `bench`.
     ///
-    /// A stored model whose key matches is parsed from its serialized
-    /// form and returned as a [`ModelSource::Repository`] hit. On a miss
-    /// the calibration fallback — if configured — is wrapped as a
-    /// zero-scenario model whose phase configuration is the fallback, so
-    /// every region of the job runs statically at that configuration.
-    /// Without a fallback the miss is a [`RuntimeError::NoModel`].
+    /// A stored model whose key matches (exactly, or at application level
+    /// under [`MatchPolicy::Application`]) is parsed from its serialized
+    /// form and returned with its provenance; the reported
+    /// [`ModelSource`] is the stored entry's origin (design-time
+    /// repository or online tuner). On a miss the calibration fallback —
+    /// if configured — is wrapped as a zero-scenario model whose phase
+    /// configuration is the fallback, so every region of the job runs
+    /// statically at that configuration. Without a fallback the miss is a
+    /// [`RuntimeError::NoModel`].
     pub fn serve(&mut self, bench: &BenchmarkSpec) -> Result<ServedModel, RuntimeError> {
-        let key = ModelKey::of(bench);
-        if let Some(json) = self.models.get(&key) {
-            return match TuningModel::from_json(json) {
-                Ok(model) => {
-                    self.stats.hits += 1;
-                    Ok(ServedModel {
-                        model,
-                        source: ModelSource::Repository,
-                    })
-                }
-                Err(e) => {
-                    self.stats.errors += 1;
-                    Err(RuntimeError::Parse(e))
-                }
-            };
+        if let Some(served) = self.serve_stored(bench)? {
+            return Ok(served);
         }
-        self.stats.misses += 1;
+        self.serve_fallback(bench)
+    }
+
+    /// Serve the calibration fallback for `bench` without a storage
+    /// lookup — the companion to [`Self::serve_stored`] for callers whose
+    /// miss handling ultimately falls back anyway (the cluster
+    /// scheduler's degraded path after a failed online calibration). The
+    /// miss was already recorded by `serve_stored`; this only counts the
+    /// fallback serve. Errors with [`RuntimeError::NoModel`] when no
+    /// fallback is configured.
+    pub fn serve_fallback(&mut self, bench: &BenchmarkSpec) -> Result<ServedModel, RuntimeError> {
         match self.fallback {
             Some(config) => {
                 self.stats.fallbacks += 1;
-                Ok(ServedModel {
-                    model: TuningModel::new(&bench.name, &[], config),
-                    source: ModelSource::Fallback,
-                })
+                Ok(ServedModel::fallback(TuningModel::new(
+                    &bench.name,
+                    &[],
+                    config,
+                )))
             }
             None => Err(RuntimeError::NoModel {
                 application: bench.name.clone(),
-                fingerprint: key.fingerprint,
+                fingerprint: bench.fingerprint(),
             }),
+        }
+    }
+
+    /// Serve a stored model for `bench`, or record a miss and return
+    /// `Ok(None)` without consulting the fallback — the serve primitive
+    /// for callers with their own miss handling (the cluster scheduler's
+    /// online-calibration path). Corrupt entries still surface as
+    /// [`RuntimeError::Parse`].
+    pub fn serve_stored(
+        &mut self,
+        bench: &BenchmarkSpec,
+    ) -> Result<Option<ServedModel>, RuntimeError> {
+        let Some((key, exact)) = self.resolve(bench) else {
+            self.stats.misses += 1;
+            return Ok(None);
+        };
+        self.clock += 1;
+        let clock = self.clock;
+        let entry = self.models.get_mut(&key).expect("resolved key exists");
+        entry.last_used = clock;
+        match TuningModel::from_json(&entry.json) {
+            Ok(model) => {
+                self.stats.hits += 1;
+                if !exact {
+                    self.stats.approx_hits += 1;
+                }
+                Ok(Some(ServedModel {
+                    model,
+                    source: entry.provenance.source,
+                    provenance: Some(entry.provenance.clone()),
+                }))
+            }
+            Err(e) => {
+                self.stats.errors += 1;
+                Err(RuntimeError::Parse(e))
+            }
         }
     }
 }
@@ -232,6 +490,9 @@ mod tests {
         let served = repo.serve(&b).expect("hit");
         assert_eq!(served.source, ModelSource::Repository);
         assert_eq!(served.model, model());
+        let prov = served.provenance.expect("stored entries have provenance");
+        assert_eq!(prov.version, 1);
+        assert!(prov.expected.is_empty(), "insert records no expectations");
         assert_eq!(repo.stats().hits, 1);
         assert_eq!(repo.stats().misses, 0);
         assert!((repo.stats().hit_rate() - 1.0).abs() < 1e-12);
@@ -256,6 +517,7 @@ mod tests {
         assert_eq!(repo.fallback(), Some(fb));
         let served = repo.serve(&b).expect("fallback");
         assert_eq!(served.source, ModelSource::Fallback);
+        assert!(served.provenance.is_none());
         assert_eq!(served.model.scenario_count(), 0);
         assert_eq!(served.model.lookup("anything"), fb);
         assert_eq!(repo.stats().fallbacks, 1);
@@ -275,10 +537,43 @@ mod tests {
     }
 
     #[test]
+    fn application_policy_serves_latest_on_fingerprint_miss() {
+        let b = bench();
+        let mut repo = TuningModelRepository::new().with_match_policy(MatchPolicy::Application);
+        repo.insert(&b, &model());
+        let mut scaled = b.clone();
+        scaled.regions[0].character.instr_per_iter *= 1.5;
+        assert!(!repo.contains(&scaled), "fingerprint differs");
+        let served = repo.serve(&scaled).expect("application-level match");
+        assert_eq!(served.source, ModelSource::Repository);
+        assert_eq!(served.model, model());
+        let s = repo.stats();
+        assert_eq!((s.hits, s.approx_hits, s.misses), (1, 1, 0));
+        // A different application still misses.
+        let other = kernels::benchmark("Lulesh").unwrap();
+        assert!(matches!(
+            repo.serve(&other),
+            Err(RuntimeError::NoModel { .. })
+        ));
+        assert_eq!(repo.stats().misses, 1);
+    }
+
+    #[test]
     fn corrupt_entry_surfaces_as_parse_error_and_is_counted() {
         let b = bench();
         let mut repo = TuningModelRepository::new();
-        repo.models.insert(ModelKey::of(&b), "{not json".into());
+        repo.models.insert(
+            ModelKey::of(&b),
+            StoredEntry {
+                json: "{not json".into(),
+                provenance: ModelProvenance {
+                    version: 1,
+                    source: ModelSource::Repository,
+                    expected: Vec::new(),
+                },
+                last_used: 0,
+            },
+        );
         let err = repo.serve(&b).unwrap_err();
         assert!(matches!(err, RuntimeError::Parse(_)));
         let s = repo.stats();
@@ -301,5 +596,94 @@ mod tests {
         assert_eq!((s.hits, s.misses, s.fallbacks), (2, 1, 1));
         assert_eq!(s.lookups(), 3);
         assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn republication_bumps_the_version() {
+        let b = bench();
+        let mut repo = TuningModelRepository::new();
+        repo.insert(&b, &model());
+        let v = repo.publish_online(&b, &model(), vec![("compute_force".into(), 120.0)]);
+        assert_eq!(v, 2);
+        let prov = repo.provenance(&b).expect("stored");
+        assert_eq!(prov.version, 2);
+        assert_eq!(prov.source, ModelSource::Online);
+        assert_eq!(prov.expected, vec![("compute_force".to_string(), 120.0)]);
+        let served = repo.serve(&b).unwrap();
+        assert_eq!(served.source, ModelSource::Online);
+        assert_eq!(repo.stats().publications, 2);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_used() {
+        let mut benches: Vec<BenchmarkSpec> = Vec::new();
+        for i in 0..4 {
+            let mut b = bench();
+            b.name = format!("app-{i}");
+            benches.push(b);
+        }
+        let mut repo = TuningModelRepository::new().with_capacity(3);
+        assert_eq!(repo.capacity(), Some(3));
+        for b in &benches[..3] {
+            repo.insert(b, &model());
+        }
+        // Touch app-0 so app-1 becomes the LRU entry.
+        repo.serve(&benches[0]).unwrap();
+        repo.insert(&benches[3], &model());
+        assert_eq!(repo.len(), 3);
+        assert_eq!(repo.stats().evictions, 1);
+        assert!(repo.contains(&benches[0]), "recently served survives");
+        assert!(!repo.contains(&benches[1]), "LRU entry evicted");
+        assert!(repo.contains(&benches[2]) && repo.contains(&benches[3]));
+    }
+
+    #[test]
+    fn version_lineage_survives_eviction() {
+        let a = bench();
+        let mut other = bench();
+        other.name = "other-app".into();
+        let mut repo = TuningModelRepository::new().with_capacity(1);
+        assert_eq!(repo.publish_online(&a, &model(), vec![]), 1);
+        assert_eq!(repo.publish_online(&a, &model(), vec![]), 2);
+        // `other` evicts every miniMD entry…
+        repo.insert(&other, &model());
+        assert!(!repo.contains(&a));
+        assert_eq!(repo.stats().evictions, 1);
+        // …but the application's version lineage never regresses.
+        assert_eq!(repo.publish_online(&a, &model(), vec![]), 3);
+        assert_eq!(repo.provenance(&a).unwrap().version, 3);
+    }
+
+    #[test]
+    fn serve_fallback_counts_only_the_fallback() {
+        let b = bench();
+        let mut repo = TuningModelRepository::new();
+        assert!(matches!(
+            repo.serve_fallback(&b),
+            Err(RuntimeError::NoModel { .. })
+        ));
+        repo.set_fallback(SystemConfig::new(24, 2400, 1700));
+        let served = repo.serve_fallback(&b).expect("fallback configured");
+        assert_eq!(served.source, ModelSource::Fallback);
+        let s = repo.stats();
+        assert_eq!((s.misses, s.fallbacks), (0, 1), "no extra miss recorded");
+    }
+
+    #[test]
+    fn zero_capacity_means_unbounded() {
+        let repo = TuningModelRepository::new().with_capacity(0);
+        assert_eq!(repo.capacity(), None);
+    }
+
+    #[test]
+    fn serve_stored_records_miss_without_fallback_consultation() {
+        let b = bench();
+        let mut repo = TuningModelRepository::new().with_fallback(SystemConfig::taurus_default());
+        assert!(repo
+            .serve_stored(&b)
+            .expect("miss is not an error")
+            .is_none());
+        let s = repo.stats();
+        assert_eq!((s.misses, s.fallbacks), (1, 0));
     }
 }

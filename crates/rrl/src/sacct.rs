@@ -71,6 +71,23 @@ pub struct RegionAccounting {
     pub cpu_energy_j: f64,
 }
 
+/// What the online adaptation engine did during a job, recorded alongside
+/// the `sacct` data so post-mortem queries can tell a calibration run from
+/// a plain serving run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OnlineActivity {
+    /// Phase iterations spent exploring candidate configurations (thread
+    /// sweep + analysis + phase search + verification).
+    pub explored_iterations: u32,
+    /// Drift events the detector fired during the run.
+    pub drift_events: u32,
+    /// Regions the session re-calibrated after a drift event.
+    pub recalibrated_regions: u32,
+    /// Whether the session converged a tuning model worth publishing back
+    /// to the repository.
+    pub publishable: bool,
+}
+
 /// Full post-mortem accounting for one job: the Table VI job-level record
 /// plus the per-region breakdown and the runtime-tuning counters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -94,6 +111,9 @@ pub struct JobAccounting {
     /// Whether the job ran a stored tuning model or the calibration
     /// fallback.
     pub source: ModelSource,
+    /// Online-adaptation activity, when the job ran under the
+    /// [`OnlineTuner`](crate::OnlineTuner) (`None` for plain sessions).
+    pub online: Option<OnlineActivity>,
 }
 
 impl JobAccounting {
@@ -123,13 +143,20 @@ impl JobAccounting {
     /// per region with its share of the job energy.
     pub fn format_sacct(&self) -> String {
         let mut out = format!(
-            "JobName={} NodeId={} {} Switches={} Source={:?}\n",
+            "JobName={} NodeId={} {} Switches={} Source={:?}",
             self.job,
             self.node_id,
             self.record.format_sacct(),
             self.switches,
             self.source,
         );
+        if let Some(online) = &self.online {
+            out.push_str(&format!(
+                " Online=[explored={} drift={} recalibrated={}]",
+                online.explored_iterations, online.drift_events, online.recalibrated_regions,
+            ));
+        }
+        out.push('\n');
         let total_j = self.regions_node_energy_j().max(f64::MIN_POSITIVE);
         for r in &self.regions {
             out.push_str(&format!(
@@ -216,6 +243,7 @@ mod tests {
             instr_overhead_s: 0.1,
             scenario_lookups: 100,
             source: ModelSource::Repository,
+            online: None,
         }
     }
 
@@ -239,5 +267,23 @@ mod tests {
         assert!(s.contains("(70.0%)"), "region energy share: {s}");
         assert!(s.contains("Switches=100"), "{s}");
         assert_eq!(s.lines().count(), 3, "job line + two region lines");
+        assert!(!s.contains("Online="), "plain sessions show no online info");
+    }
+
+    #[test]
+    fn sacct_report_shows_online_activity() {
+        let mut acc = accounting();
+        acc.online = Some(OnlineActivity {
+            explored_iterations: 23,
+            drift_events: 1,
+            recalibrated_regions: 1,
+            publishable: true,
+        });
+        let s = acc.format_sacct();
+        assert!(
+            s.contains("Online=[explored=23 drift=1 recalibrated=1]"),
+            "{s}"
+        );
+        assert_eq!(s.lines().count(), 3, "online info extends the job line");
     }
 }

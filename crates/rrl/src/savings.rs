@@ -171,6 +171,7 @@ pub fn compare_static_dynamic(
     let served = ServedModel {
         model: tm.clone(),
         source: ModelSource::Repository,
+        provenance: None,
     };
     let mut session =
         RuntimeSession::start_from("table6-dynamic", bench, node, served, default_cfg)?

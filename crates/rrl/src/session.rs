@@ -114,7 +114,7 @@ impl<'a> RuntimeSession<'a> {
         served: ServedModel,
         initial: SystemConfig,
     ) -> Result<Self, RuntimeError> {
-        let ServedModel { model, source } = served;
+        let ServedModel { model, source, .. } = served;
         // Validate everything the model can ever serve up front, so no
         // later event can fail on an unapplicable configuration.
         for scenario in &model.scenarios {
@@ -181,9 +181,25 @@ impl<'a> RuntimeSession<'a> {
         &self.job
     }
 
+    /// The benchmark this session executes.
+    pub fn bench(&self) -> &'a BenchmarkSpec {
+        self.bench
+    }
+
+    /// The node this session executes on.
+    pub fn node(&self) -> &'a Node {
+        self.node
+    }
+
     /// Provenance of the model this session resolves scenarios against.
     pub fn source(&self) -> ModelSource {
         self.source
+    }
+
+    /// The deterministic per-job seed (job name ⊕ workload fingerprint ⊕
+    /// node id) — shared with the online tuner's explore schedule.
+    pub(crate) fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// The tuning model in use.
@@ -227,6 +243,60 @@ impl<'a> RuntimeSession<'a> {
     /// they skip the lookup and the switch and simply run under the
     /// current configuration.
     pub fn region_enter(&mut self, region: &str) -> Result<SystemConfig, RuntimeError> {
+        let (idx, filtered) = self.resolve_enter(region)?;
+        let config = if filtered {
+            self.pcps.current()
+        } else {
+            self.lookups += 1;
+            let desired = self.model.lookup(region);
+            self.switch_to(desired);
+            desired
+        };
+        self.open = Some(OpenRegion {
+            name: region.to_string(),
+            idx,
+            filtered,
+        });
+        Ok(config)
+    }
+
+    /// Region-enter event with an explicitly requested configuration,
+    /// bypassing the tuning model's scenario lookup — the exploration
+    /// primitive the [`crate::OnlineTuner`] drives candidate measurements
+    /// through. Protocol checks, filtering and switch-latency accounting
+    /// are identical to [`Self::region_enter`]; the request does not count
+    /// as a scenario lookup. The configuration must be applicable on this
+    /// node.
+    pub fn region_enter_at(
+        &mut self,
+        region: &str,
+        config: SystemConfig,
+    ) -> Result<SystemConfig, RuntimeError> {
+        if !self.node.supports(&config) {
+            return Err(RuntimeError::UnsupportedConfig {
+                application: self.bench.name.clone(),
+                config,
+            });
+        }
+        let (idx, filtered) = self.resolve_enter(region)?;
+        let applied = if filtered {
+            self.pcps.current()
+        } else {
+            self.switch_to(config);
+            config
+        };
+        self.open = Some(OpenRegion {
+            name: region.to_string(),
+            idx,
+            filtered,
+        });
+        Ok(applied)
+    }
+
+    /// Shared `region_enter*` protocol checks: no region may be open, and
+    /// the region must exist in the benchmark. Returns the region index
+    /// and whether the instrumentation filter hides it.
+    fn resolve_enter(&self, region: &str) -> Result<(usize, bool), RuntimeError> {
         if let Some(open) = &self.open {
             return Err(RuntimeError::RegionStillOpen {
                 open: open.name.clone(),
@@ -239,30 +309,22 @@ impl<'a> RuntimeSession<'a> {
                 region: region.to_string(),
             });
         };
-        let filtered = self.inst.is_filtered(region);
-        let config = if filtered {
-            self.pcps.current()
-        } else {
-            self.lookups += 1;
-            let desired = self.model.lookup(region);
-            if self.last_requested != Some(desired) {
-                self.distinct_requests += 1;
-                self.last_requested = Some(desired);
-            }
-            let latency = self.pcps.apply(self.node, desired);
-            if latency > 0.0 {
-                // The switch stalls execution: wall time only, no power
-                // segment (HDEEM integrates region power over regions).
-                self.wall_s += latency;
-            }
-            desired
-        };
-        self.open = Some(OpenRegion {
-            name: region.to_string(),
-            idx,
-            filtered,
-        });
-        Ok(config)
+        Ok((idx, self.inst.is_filtered(region)))
+    }
+
+    /// Drive the node to `desired` through the PCPs, charging the
+    /// transition latency to the job's wall time.
+    fn switch_to(&mut self, desired: SystemConfig) {
+        if self.last_requested != Some(desired) {
+            self.distinct_requests += 1;
+            self.last_requested = Some(desired);
+        }
+        let latency = self.pcps.apply(self.node, desired);
+        if latency > 0.0 {
+            // The switch stalls execution: wall time only, no power
+            // segment (HDEEM integrates region power over regions).
+            self.wall_s += latency;
+        }
     }
 
     /// Region-exit event: execute the open region's current phase
@@ -389,6 +451,7 @@ impl<'a> RuntimeSession<'a> {
             instr_overhead_s: self.instr_overhead_s,
             scenario_lookups: self.lookups,
             source: self.source,
+            online: None,
         })
     }
 
@@ -401,10 +464,7 @@ impl<'a> RuntimeSession<'a> {
         node: &Node,
         config: SystemConfig,
     ) -> Result<JobAccounting, RuntimeError> {
-        let served = ServedModel {
-            model: TuningModel::new(&bench.name, &[], config),
-            source: ModelSource::Fallback,
-        };
+        let served = ServedModel::fallback(TuningModel::new(&bench.name, &[], config));
         let mut session = RuntimeSession::start_from(job, bench, node, served, config)?
             .with_instrumentation(InstrumentationConfig::uninstrumented());
         session.run_to_completion()?;
@@ -437,6 +497,7 @@ mod tests {
         ServedModel {
             model: lulesh_model(),
             source: ModelSource::Repository,
+            provenance: None,
         }
     }
 
@@ -498,6 +559,29 @@ mod tests {
     }
 
     #[test]
+    fn enter_at_applies_explicit_config_without_lookup() {
+        let bench = kernels::benchmark("Lulesh").unwrap();
+        let node = Node::exact(0);
+        let mut s = RuntimeSession::start("j", &bench, &node, served()).unwrap();
+        let explored = SystemConfig::new(20, 2100, 1800);
+        let cfg = s.region_enter_at("CalcQForElems", explored).unwrap();
+        assert_eq!(cfg, explored);
+        assert_eq!(s.current_config(), explored);
+        let exit = s.region_exit("CalcQForElems").unwrap();
+        assert_eq!(exit.config, explored);
+        assert_eq!(s.lookups(), 0, "explicit requests are not scenario lookups");
+        assert_eq!(s.switches(), 1);
+        // Unsupported explicit requests are rejected before any state
+        // changes; the protocol stays intact.
+        assert!(matches!(
+            s.region_enter_at("CalcQForElems", SystemConfig::new(48, 2100, 1800)),
+            Err(RuntimeError::UnsupportedConfig { .. })
+        ));
+        s.region_enter("CalcQForElems").unwrap();
+        s.region_exit("CalcQForElems").unwrap();
+    }
+
+    #[test]
     fn unsupported_model_config_rejected_at_start() {
         let bench = kernels::benchmark("Lulesh").unwrap();
         let node = Node::exact(0);
@@ -508,6 +592,7 @@ mod tests {
                 SystemConfig::new(24, 2500, 2100),
             ),
             source: ModelSource::Repository,
+            provenance: None,
         };
         assert!(matches!(
             RuntimeSession::start("j", &bench, &node, bad),
@@ -516,6 +601,7 @@ mod tests {
         let bad_phase = ServedModel {
             model: TuningModel::new("Lulesh", &[], SystemConfig::new(48, 2500, 2100)),
             source: ModelSource::Fallback,
+            provenance: None,
         };
         assert!(matches!(
             RuntimeSession::start("j", &bench, &node, bad_phase),

@@ -1,0 +1,120 @@
+//! Online adaptation: calibrate on miss, detect drift, write back.
+//!
+//! ```text
+//! cargo run --release --example online_adaptation
+//! ```
+//!
+//! The cluster warm-up story the online subsystem exists for. A *cold*
+//! tuning-model repository — no design-time analysis ever ran — receives
+//! eight submissions of the same workload across a three-node cluster:
+//!
+//! 1. Job 1 misses and **calibrates in-situ**: its early phase iterations
+//!    sweep OpenMP threads, measure the phase, explore the search
+//!    strategy's candidate configurations against live region energies,
+//!    and converge each significant region; the learned tuning model is
+//!    published back to the repository.
+//! 2. Jobs 2..8 queue behind the calibration, then **hit** the published
+//!    model (`ModelSource::Online`) and exploit it from iteration zero —
+//!    the hit rate climbs from 0 % to 88 % within one scheduler run.
+//! 3. The workload then **shifts** (the force kernel grows 45 %). Under
+//!    application-level matching the stale model still serves, the
+//!    drift detector's EWMA of observed vs. expected region energy fires
+//!    on exactly the shifted region, the region re-explores its frequency
+//!    neighbourhood mid-run, and the patched model is re-published with a
+//!    bumped version — the final job serves it as an exact hit.
+
+use dvfs_ufs_tuning::kernels;
+use dvfs_ufs_tuning::ptf::RandomSearch;
+use dvfs_ufs_tuning::rrl::{
+    ClusterScheduler, MatchPolicy, OnlineConfig, OnlineTuning, TuningModelRepository,
+};
+use dvfs_ufs_tuning::simnode::Cluster;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = Cluster::new(3, 0x5EED);
+    let bench = kernels::benchmark("miniMD").expect("bundled benchmark");
+    let strategy = RandomSearch::new(16, 7);
+    let online = OnlineTuning {
+        strategy: &strategy,
+        energy_model: None,
+        config: OnlineConfig::default(),
+    };
+
+    // A cold, bounded repository: no stored models, no fallback — without
+    // online adaptation every job below would be an error.
+    let mut repo = TuningModelRepository::new()
+        .with_capacity(16)
+        .with_match_policy(MatchPolicy::Application);
+
+    println!("— warm-up: 8 cold submissions of miniMD on 3 nodes —\n");
+    let mut scheduler = ClusterScheduler::new(&cluster)?.with_online(online);
+    for i in 0..8 {
+        scheduler.submit(format!("job-{i}"), bench.clone());
+    }
+    let report = scheduler.run(&mut repo)?;
+    print!("{}", report.format_report());
+    let calibrator = &report.jobs[0];
+    println!(
+        "\njob-0 calibrated in {} of {} iterations and published model v{}:",
+        calibrator
+            .accounting
+            .online
+            .as_ref()
+            .map_or(0, |o| o.explored_iterations),
+        bench.phase_iterations,
+        calibrator.published_version.unwrap_or(0),
+    );
+    print!("{}", calibrator.accounting.format_sacct());
+
+    // The workload shifts: the force kernel now does 45 % more work, so
+    // the stored model's expectations are stale for it.
+    let mut shifted = bench.clone();
+    for region in &mut shifted.regions {
+        if region.name == "compute_force" {
+            region.character.instr_per_iter *= 1.45;
+            region.character.dram_bytes_per_iter *= 1.45;
+        }
+    }
+    println!("\n— workload shift: compute_force grows 45 % —\n");
+    let mut shift_run = ClusterScheduler::new(&cluster)?.with_online(online);
+    shift_run.submit("job-8-shifted", shifted.clone());
+    let shift_report = shift_run.run(&mut repo)?;
+    let job = &shift_report.jobs[0];
+    for event in &job.drift {
+        println!(
+            "drift fired: region `{}` at iteration {} (observed/expected = {:.2})",
+            event.region, event.at_iteration, event.ratio
+        );
+    }
+    println!(
+        "re-calibrated {} region(s) in place; re-published as model v{}",
+        job.accounting
+            .online
+            .as_ref()
+            .map_or(0, |o| o.recalibrated_regions),
+        job.published_version.unwrap_or(0),
+    );
+
+    // A final submission of the shifted workload is an exact hit on the
+    // patched model — no drift, no re-calibration.
+    let mut final_run = ClusterScheduler::new(&cluster)?.with_online(online);
+    final_run.submit("job-9-shifted", shifted.clone());
+    let final_report = final_run.run(&mut repo)?;
+    let final_job = &final_report.jobs[0];
+    println!(
+        "\njob-9 (shifted workload): source {:?}, {} drift events — the fleet is warm again",
+        final_job.accounting.source,
+        final_job.drift.len(),
+    );
+    let stats = repo.stats();
+    println!(
+        "repository after the full story: {} models, {} hits / {} misses ({} approx), \
+         {} publications",
+        repo.len(),
+        stats.hits,
+        stats.misses,
+        stats.approx_hits,
+        stats.publications,
+    );
+    Ok(())
+}

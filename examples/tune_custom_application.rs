@@ -82,6 +82,7 @@ fn main() {
     let served = ServedModel {
         model: tmm.model().clone(),
         source: ModelSource::Repository,
+        provenance: None,
     };
     let mut job = RuntimeSession::start("cfd-tuned", &app, &node, served)
         .expect("model validated against the node");

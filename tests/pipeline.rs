@@ -44,6 +44,7 @@ fn dta_to_rrl_round_trip_via_tuning_model_file() {
     let served = ServedModel {
         model: tmm.model().clone(),
         source: ModelSource::Repository,
+        provenance: None,
     };
     let mut job = RuntimeSession::start("tuned", &bench, &node, served).expect("session starts");
     job.run_to_completion().expect("event loop succeeds");
