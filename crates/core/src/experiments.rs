@@ -9,7 +9,7 @@
 //! tuning-time analysis.
 //!
 //! An engine can optionally share an
-//! [`ExperimentCache`](crate::session::ExperimentCache): region
+//! [`ExperimentCache`]: region
 //! evaluations are pure in `(node, character, configuration)`, so cache
 //! hits return the memoised measurement bit-identically without touching
 //! the execution engine. [`ExperimentsEngine::experiments`] counts only

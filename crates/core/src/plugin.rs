@@ -4,7 +4,7 @@
 //! lifecycle: initialisation, tuning steps that create and evaluate
 //! scenarios, and final tuning-advice generation. [`TuningPlugin`] models
 //! that lifecycle; [`DvfsUfsPlugin`] is the paper's plugin, delegating to
-//! the staged [`TuningSession`](crate::session::TuningSession).
+//! the staged [`TuningSession`].
 
 use kernels::BenchmarkSpec;
 use simnode::Node;

@@ -1,7 +1,7 @@
 //! The legacy one-shot Design-Time Analysis driver.
 //!
 //! [`DesignTimeAnalysis`] predates the staged
-//! [`TuningSession`](crate::session::TuningSession) API and survives as a
+//! [`TuningSession`] API and survives as a
 //! thin compatibility shim over it, so existing [`DtaReport`] consumers
 //! keep compiling. New code should drive the session directly: it
 //! exposes every stage, returns `Result` instead of panicking, supports

@@ -13,7 +13,7 @@
 //! * feature standardisation ([`scaler`]),
 //! * a fully-connected feed-forward neural [`nn`]work (9–5–5–1, ReLU, He
 //!   initialisation) trained with the [`adam`] optimiser on mean squared
-//!   error ([`train`]),
+//!   error ([`mod@train`]),
 //! * Leave-One-Out Cross-Validation and MAPE reporting ([`loocv`],
 //!   [`metrics`]), and
 //! * the regression-based power/time model of the authors' earlier work,

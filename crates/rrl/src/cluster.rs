@@ -3,12 +3,40 @@
 //! The [`ClusterScheduler`] multiplexes many concurrent
 //! [`RuntimeSession`]s across the nodes of a [`Cluster`]: jobs are placed
 //! round-robin or least-loaded (by estimated phase work), served their
-//! tuning model from a [`TuningModelRepository`], and then driven
-//! *interleaved* — each scheduler sweep advances every active session by
-//! one region event — exactly as a cluster full of independently-running
-//! RRL instances would progress. Because session accounting is
-//! interleaving-independent (see [`crate::session`]), every job's result
-//! is bit-identical to running its session alone.
+//! tuning model from a repository, and then driven *interleaved* — each
+//! event-loop sweep advances every active session by one region event —
+//! exactly as a cluster full of independently-running RRL instances would
+//! progress. Because session accounting is interleaving-independent (see
+//! [`crate::session`]), every job's result is bit-identical to running
+//! its session alone.
+//!
+//! Two event loops drive the same job-state machine:
+//!
+//! * [`ClusterScheduler::run`] — single-threaded over a `&mut`
+//!   [`TuningModelRepository`]; every job advances on one thread.
+//! * [`ClusterScheduler::run_parallel`] — the submitted jobs are
+//!   partitioned across real worker threads (`rayon::scope`), each worker
+//!   running the interleaved event loop over its own partition while all
+//!   of them serve from one lock-striped [`SharedRepository`]. Cold
+//!   workloads stay correct under concurrency through a
+//!   [`CalibrationLatch`]: leadership of each unseen workload is fixed in
+//!   submission order before the workers start, and same-workload
+//!   followers block on the workload's latch entry — not on a global
+//!   scheduler stall — until the leader publishes or fails.
+//!
+//! Both produce a [`ClusterReport`] with per-job outcomes in submission
+//! order, and — for the same submissions, seeds and repository contents —
+//! **bit-identical per-job [`JobAccounting`]**: accounting depends only
+//! on the job's identity and its served model, never on which thread or
+//! sweep ordering executed it. (The one caveat is LRU pressure: when the
+//! repository is actively evicting *during* the run, serve order — which
+//! is nondeterministic across workers — can change which entries survive;
+//! a follower whose leader's publication was already evicted re-calibrates
+//! as the sequential loop would, but several same-workload followers may
+//! do so concurrently instead of queuing. Keep the capacity at or above
+//! the distinct-workload count of a wave to retain the guarantee.
+//! Publication *version numbers* may also be assigned in a different
+//! order when several workloads of one application publish concurrently.)
 //!
 //! The run produces per-job `sacct`-style accounting, per-job savings
 //! against a default-configuration run of the same job on the same node,
@@ -17,15 +45,17 @@
 use std::collections::BTreeSet;
 
 use kernels::BenchmarkSpec;
+use parking_lot::Mutex;
 use ptf::{EnergyModel, SearchStrategy};
-use simnode::{Cluster, SystemConfig};
+use simnode::{Cluster, Node, SystemConfig};
 
 use crate::error::RuntimeError;
-use crate::online::{DriftEvent, OnlineConfig, OnlineTuner};
-use crate::repository::{ModelKey, RepositoryStats, TuningModelRepository};
+use crate::online::{DriftEvent, ModelPublication, OnlineConfig, OnlineTuner};
+use crate::repository::{ModelKey, RepositoryStats, ServedModel, TuningModelRepository};
 use crate::sacct::{JobAccounting, JobRecord};
 use crate::savings::Savings;
 use crate::session::RuntimeSession;
+use crate::shard::{CalibrationLatch, CalibrationOutcome, LatchStatus, SharedRepository};
 
 /// Job-to-node placement policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -50,7 +80,8 @@ pub enum Placement {
 #[derive(Clone, Copy)]
 pub struct OnlineTuning<'a> {
     /// Candidate-generation strategy for calibrations (the design-time
-    /// `SearchStrategy` machinery).
+    /// `SearchStrategy` machinery). `SearchStrategy: Sync`, so one
+    /// strategy serves every worker of a parallel run.
     pub strategy: &'a dyn SearchStrategy,
     /// Trained energy model for model-predicting strategies (`None` is
     /// fine for exhaustive/random search).
@@ -201,6 +232,220 @@ struct QueuedJob {
     node_idx: usize,
 }
 
+/// The per-job execution state both event loops drive.
+enum State<'b> {
+    /// Not yet admitted (queued behind a calibration, or not yet reached
+    /// by its worker).
+    Waiting,
+    /// An ordinary model-serving session.
+    Plain(Box<RuntimeSession<'b>>),
+    /// An online calibration or monitor session.
+    Online(Box<OnlineTuner<'b>>),
+    /// Finished; the accounting has been collected.
+    Done,
+}
+
+/// What [`JobDriver::advance`] observed.
+enum EventOutcome {
+    /// The session advanced by one event.
+    Advanced,
+    /// An online calibration abandoned itself (exploration budget or
+    /// planning failure discovered at a phase boundary); the session
+    /// keeps running as a degraded static job, and same-workload waiters
+    /// must be released to the fallback path.
+    Abandoned,
+}
+
+/// One job's driver: its state machine plus everything the final report
+/// needs. The sequential and the parallel event loops share this
+/// completely — only admission (who serves the model, and when) differs.
+struct JobDriver<'b> {
+    state: State<'b>,
+    region_idx: usize,
+    accounting: Option<JobAccounting>,
+    default: Option<JobRecord>,
+    published_version: Option<u32>,
+    drift: Vec<DriftEvent>,
+}
+
+impl<'b> JobDriver<'b> {
+    fn new() -> Self {
+        Self {
+            state: State::Waiting,
+            region_idx: 0,
+            accounting: None,
+            default: None,
+            published_version: None,
+            drift: Vec::new(),
+        }
+    }
+
+    fn is_active(&self) -> bool {
+        matches!(self.state, State::Plain(_) | State::Online(_))
+    }
+
+    /// Whether the job's phase loop has run out of iterations (its next
+    /// event must be the finish).
+    fn finished_iterations(&self, bench: &BenchmarkSpec) -> bool {
+        match &self.state {
+            State::Plain(session) => session.phase_iteration() >= bench.phase_iterations,
+            State::Online(tuner) => tuner.phase_iteration() >= bench.phase_iterations,
+            State::Waiting | State::Done => false,
+        }
+    }
+
+    /// Advance an active, unfinished job by one event: the next region's
+    /// enter/exit pair, or — once the phase's regions are exhausted — the
+    /// phase-complete.
+    fn advance(&mut self, bench: &BenchmarkSpec) -> Result<EventOutcome, RuntimeError> {
+        if self.region_idx < bench.regions.len() {
+            let region = &bench.regions[self.region_idx];
+            match &mut self.state {
+                State::Plain(session) => {
+                    session.region_enter(&region.name)?;
+                    session.region_exit(&region.name)?;
+                }
+                State::Online(tuner) => {
+                    tuner.region_enter(&region.name)?;
+                    tuner.region_exit(&region.name)?;
+                }
+                State::Waiting | State::Done => unreachable!("advance requires an active driver"),
+            }
+            self.region_idx += 1;
+            return Ok(EventOutcome::Advanced);
+        }
+        self.region_idx = 0;
+        match &mut self.state {
+            State::Plain(session) => {
+                session.phase_complete()?;
+                Ok(EventOutcome::Advanced)
+            }
+            State::Online(tuner) => match tuner.phase_complete() {
+                Ok(_) => Ok(EventOutcome::Advanced),
+                // The calibration abandoned itself (budget/planning
+                // discovered at the planning point); the tuner keeps
+                // running as a degraded static job.
+                Err(RuntimeError::ExplorationBudget { .. } | RuntimeError::Planning(_)) => {
+                    Ok(EventOutcome::Abandoned)
+                }
+                Err(other) => Err(other),
+            },
+            State::Waiting | State::Done => unreachable!("advance requires an active driver"),
+        }
+    }
+
+    /// Finish an active job whose iterations are exhausted: collect its
+    /// accounting, hand any converged model to `publish`, and run the
+    /// default-configuration baseline for the savings comparison.
+    fn finish(
+        &mut self,
+        job: &QueuedJob,
+        node: &Node,
+        publish: &mut dyn FnMut(&BenchmarkSpec, ModelPublication) -> u32,
+    ) -> Result<(), RuntimeError> {
+        match std::mem::replace(&mut self.state, State::Done) {
+            State::Plain(session) => {
+                self.accounting = Some(session.finish()?);
+            }
+            State::Online(tuner) => {
+                let outcome = tuner.finish()?;
+                self.accounting = Some(outcome.accounting);
+                self.drift = outcome.drift_events;
+                if let Some(publication) = outcome.publication {
+                    self.published_version = Some(publish(&job.bench, publication));
+                }
+            }
+            State::Waiting | State::Done => unreachable!("finish requires an active driver"),
+        }
+        self.default = Some(
+            RuntimeSession::static_run(
+                &job.name,
+                &job.bench,
+                node,
+                SystemConfig::taurus_default(),
+            )?
+            .record,
+        );
+        Ok(())
+    }
+}
+
+/// Fold finished drivers into the aggregate report (submission order, so
+/// the floating-point totals are identical no matter which event loop —
+/// or how many workers — produced the drivers).
+fn assemble_report(
+    cluster: &Cluster,
+    jobs: &[QueuedJob],
+    drivers: Vec<JobDriver<'_>>,
+    repository: RepositoryStats,
+) -> ClusterReport {
+    let mut outcomes = Vec::with_capacity(jobs.len());
+    let mut total_default = JobRecord {
+        job_energy_j: 0.0,
+        cpu_energy_j: 0.0,
+        elapsed_s: 0.0,
+    };
+    let mut total_tuned = total_default;
+    let mut nodes_used = vec![false; cluster.len()];
+    for (driver, job) in drivers.into_iter().zip(jobs) {
+        let accounting = driver.accounting.expect("all jobs finished");
+        let default = driver.default.expect("baseline computed at finish");
+        total_default.job_energy_j += default.job_energy_j;
+        total_default.cpu_energy_j += default.cpu_energy_j;
+        total_default.elapsed_s += default.elapsed_s;
+        total_tuned.job_energy_j += accounting.record.job_energy_j;
+        total_tuned.cpu_energy_j += accounting.record.cpu_energy_j;
+        total_tuned.elapsed_s += accounting.record.elapsed_s;
+        nodes_used[job.node_idx] = true;
+        outcomes.push(JobOutcome {
+            job: job.name.clone(),
+            benchmark: job.bench.name.clone(),
+            node_id: cluster.node(job.node_idx).id(),
+            savings: Savings::between(&default, &accounting.record),
+            accounting,
+            default,
+            published_version: driver.published_version,
+            drift: driver.drift,
+        });
+    }
+    ClusterReport {
+        aggregate: Savings::between(&total_default, &total_tuned),
+        jobs: outcomes,
+        total_default,
+        total_tuned,
+        repository,
+        nodes_used: nodes_used.iter().filter(|&&used| used).count(),
+    }
+}
+
+/// How the parallel event loop will admit one job, decided up front — in
+/// submission order, exactly as the sequential loop's first admission
+/// sweep would — so leadership of every cold workload is deterministic
+/// no matter which worker reaches the job first.
+enum Admission {
+    /// Served at classification time (no online tuning, or a failed-path
+    /// serve); start a plain session.
+    Plain(ServedModel),
+    /// Repository hit at classification time; start a drift-monitoring
+    /// tuner.
+    Monitor(ServedModel),
+    /// First submitted job of a cold workload: calibrate, then resolve
+    /// the workload's latch entry.
+    Lead,
+    /// Later job of a cold workload: block on the latch until the leader
+    /// publishes (→ repository hit) or fails (→ calibration fallback).
+    Follow,
+}
+
+/// One job's slot in the parallel run: its pre-decided admission, the
+/// shared driver, and whether it leads a calibration (so an aborting
+/// worker can release its waiters).
+struct Slot<'b> {
+    admission: Option<Admission>,
+    driver: JobDriver<'b>,
+    lead: bool,
+}
+
 /// Schedules and drives many concurrent runtime sessions over a cluster.
 pub struct ClusterScheduler<'a> {
     cluster: &'a Cluster,
@@ -279,6 +524,14 @@ impl<'a> ClusterScheduler<'a> {
         self.cluster.node(idx).id()
     }
 
+    /// Consume the queue and reset the placement bookkeeping for the next
+    /// submission wave.
+    fn take_queue(&mut self) -> Vec<QueuedJob> {
+        self.load = vec![0.0; self.cluster.len()];
+        self.rr_next = 0;
+        std::mem::take(&mut self.queue)
+    }
+
     /// Run every queued job to completion, interleaved across the
     /// cluster, serving tuning models from `repo`.
     ///
@@ -296,35 +549,10 @@ impl<'a> ClusterScheduler<'a> {
     /// concurrently.
     pub fn run(&mut self, repo: &mut TuningModelRepository) -> Result<ClusterReport, RuntimeError> {
         let cluster = self.cluster;
-        let jobs = std::mem::take(&mut self.queue);
-        self.load = vec![0.0; cluster.len()];
-        self.rr_next = 0;
+        let online = self.online;
+        let jobs = self.take_queue();
 
-        enum State<'b> {
-            Waiting,
-            Plain(Box<RuntimeSession<'b>>),
-            Online(Box<OnlineTuner<'b>>),
-            Done,
-        }
-
-        struct Driver<'b> {
-            state: State<'b>,
-            region_idx: usize,
-            accounting: Option<JobAccounting>,
-            published_version: Option<u32>,
-            drift: Vec<DriftEvent>,
-        }
-
-        let mut drivers: Vec<Driver<'_>> = jobs
-            .iter()
-            .map(|_| Driver {
-                state: State::Waiting,
-                region_idx: 0,
-                accounting: None,
-                published_version: None,
-                drift: Vec::new(),
-            })
-            .collect();
+        let mut drivers: Vec<JobDriver<'_>> = jobs.iter().map(|_| JobDriver::new()).collect();
 
         // Workload keys with a calibration in flight: same-key jobs wait.
         let mut calibrating: BTreeSet<ModelKey> = BTreeSet::new();
@@ -340,7 +568,7 @@ impl<'a> ClusterScheduler<'a> {
                     continue;
                 }
                 let node = cluster.node(job.node_idx);
-                driver.state = match &self.online {
+                driver.state = match &online {
                     None => {
                         let served = repo.serve(&job.bench)?;
                         State::Plain(Box::new(RuntimeSession::start(
@@ -400,125 +628,370 @@ impl<'a> ClusterScheduler<'a> {
 
             // Event pass: one event per active session per sweep.
             for (driver, job) in drivers.iter_mut().zip(&jobs) {
-                let finished_iterations = match &driver.state {
-                    State::Plain(session) => {
-                        session.phase_iteration() >= job.bench.phase_iterations
-                    }
-                    State::Online(tuner) => tuner.phase_iteration() >= job.bench.phase_iterations,
-                    State::Waiting | State::Done => continue,
-                };
-                if finished_iterations {
-                    match std::mem::replace(&mut driver.state, State::Done) {
-                        State::Plain(session) => {
-                            driver.accounting = Some(session.finish()?);
-                        }
-                        State::Online(tuner) => {
-                            let outcome = tuner.finish()?;
-                            driver.accounting = Some(outcome.accounting);
-                            driver.drift = outcome.drift_events;
-                            if let Some(publication) = outcome.publication {
-                                driver.published_version = Some(repo.publish_online(
-                                    &job.bench,
-                                    &publication.model,
-                                    publication.expected,
-                                ));
-                            }
-                            calibrating.remove(&ModelKey::of(&job.bench));
-                        }
-                        State::Waiting | State::Done => unreachable!("checked active above"),
+                if !driver.is_active() {
+                    continue;
+                }
+                if driver.finished_iterations(&job.bench) {
+                    let was_online = matches!(driver.state, State::Online(_));
+                    driver.finish(
+                        job,
+                        cluster.node(job.node_idx),
+                        &mut |bench, publication| {
+                            repo.publish_online(bench, &publication.model, publication.expected)
+                        },
+                    )?;
+                    if was_online {
+                        calibrating.remove(&ModelKey::of(&job.bench));
                     }
                     done += 1;
-                } else if driver.region_idx < job.bench.regions.len() {
-                    let region = &job.bench.regions[driver.region_idx];
-                    match &mut driver.state {
-                        State::Plain(session) => {
-                            session.region_enter(&region.name)?;
-                            session.region_exit(&region.name)?;
-                        }
-                        State::Online(tuner) => {
-                            tuner.region_enter(&region.name)?;
-                            tuner.region_exit(&region.name)?;
-                        }
-                        State::Waiting | State::Done => unreachable!("checked active above"),
-                    }
-                    driver.region_idx += 1;
                 } else {
-                    match &mut driver.state {
-                        State::Plain(session) => {
-                            session.phase_complete()?;
+                    match driver.advance(&job.bench)? {
+                        EventOutcome::Advanced => {}
+                        EventOutcome::Abandoned => {
+                            // Unblock same-key waiters — they will serve
+                            // the fallback.
+                            let key = ModelKey::of(&job.bench);
+                            calibrating.remove(&key);
+                            failed.insert(key);
                         }
-                        State::Online(tuner) => {
-                            if let Err(e) = tuner.phase_complete() {
-                                match e {
-                                    RuntimeError::ExplorationBudget { .. }
-                                    | RuntimeError::Planning(_) => {
-                                        // The calibration abandoned itself
-                                        // (budget discovered at the
-                                        // planning point); the tuner keeps
-                                        // running as a degraded static
-                                        // job. Unblock same-key waiters —
-                                        // they will serve the fallback.
-                                        let key = ModelKey::of(&job.bench);
-                                        calibrating.remove(&key);
-                                        failed.insert(key);
-                                    }
-                                    other => return Err(other),
-                                }
-                            }
-                        }
-                        State::Waiting | State::Done => unreachable!("checked active above"),
                     }
-                    driver.region_idx = 0;
                 }
             }
         }
 
-        let mut outcomes = Vec::with_capacity(jobs.len());
-        let mut total_default = JobRecord {
-            job_energy_j: 0.0,
-            cpu_energy_j: 0.0,
-            elapsed_s: 0.0,
-        };
-        let mut total_tuned = total_default;
-        let mut nodes_used = vec![false; cluster.len()];
-        for (driver, job) in drivers.into_iter().zip(&jobs) {
-            let accounting = driver.accounting.expect("all jobs finished");
-            let node = cluster.node(job.node_idx);
-            let default = RuntimeSession::static_run(
-                &job.name,
-                &job.bench,
-                node,
-                SystemConfig::taurus_default(),
-            )?
-            .record;
-            total_default.job_energy_j += default.job_energy_j;
-            total_default.cpu_energy_j += default.cpu_energy_j;
-            total_default.elapsed_s += default.elapsed_s;
-            total_tuned.job_energy_j += accounting.record.job_energy_j;
-            total_tuned.cpu_energy_j += accounting.record.cpu_energy_j;
-            total_tuned.elapsed_s += accounting.record.elapsed_s;
-            nodes_used[job.node_idx] = true;
-            outcomes.push(JobOutcome {
-                job: job.name.clone(),
-                benchmark: job.bench.name.clone(),
-                node_id: node.id(),
-                savings: Savings::between(&default, &accounting.record),
-                accounting,
-                default,
-                published_version: driver.published_version,
-                drift: driver.drift,
+        Ok(assemble_report(cluster, &jobs, drivers, repo.stats()))
+    }
+
+    /// [`ClusterScheduler::run`], but across `workers` real threads over
+    /// a lock-striped [`SharedRepository`].
+    ///
+    /// The submitted jobs are split into contiguous submission-order
+    /// partitions, one per worker; each worker drives its partition with
+    /// the same interleaved event loop the sequential path uses. Three
+    /// mechanisms keep the result equal to the sequential run:
+    ///
+    /// 1. **Up-front admission.** Before the workers start, every job is
+    ///    classified in submission order against the repository — hits
+    ///    are served immediately, and the *first* job of each cold
+    ///    workload is fixed as that workload's calibration leader — so
+    ///    who serves what never depends on thread timing.
+    /// 2. **The calibration latch.** Followers of an in-flight
+    ///    calibration park on their workload's [`CalibrationLatch`] entry
+    ///    (only when their worker has nothing else runnable), and resume
+    ///    as repository hits the moment the leader publishes — or degrade
+    ///    to the calibration fallback if it fails, exactly like the
+    ///    sequential failed-workload path. Leaders never wait, so the
+    ///    wait graph is acyclic and the loop cannot deadlock.
+    /// 3. **Interleaving-independent accounting** (see
+    ///    [`crate::session`]) makes each job's result independent of
+    ///    what runs beside it.
+    ///
+    /// Per-job [`JobAccounting`], savings and drift events are therefore
+    /// bit-identical to [`ClusterScheduler::run`] for the same
+    /// submissions and repository contents — the property the
+    /// `tests/runtime.rs` suite locks in — as long as the repository is
+    /// not LRU-evicting mid-run (see the module docs for the caveat).
+    ///
+    /// `workers` is clamped to `1..=pending()`. Errors mirror the
+    /// sequential path; when several workers fail, the error of the
+    /// earliest-submitted failing job is returned. The queue is consumed
+    /// by the run, including on error.
+    pub fn run_parallel(
+        &mut self,
+        repo: &SharedRepository,
+        workers: usize,
+    ) -> Result<ClusterReport, RuntimeError> {
+        let cluster = self.cluster;
+        let online = self.online;
+        let jobs = self.take_queue();
+        if jobs.is_empty() {
+            return Ok(assemble_report(cluster, &jobs, Vec::new(), repo.stats()));
+        }
+        let workers = workers.clamp(1, jobs.len());
+
+        // Per-run latch, matching the repository's shard partitioning —
+        // claims must not outlive the run (a workload that failed to
+        // calibrate in this wave is retried in the next).
+        let latch = CalibrationLatch::new(repo.shard_count());
+
+        // 1. Classification: the sequential loop's first admission sweep,
+        //    replayed verbatim — submission order against the current
+        //    repository state.
+        let mut slots: Vec<Slot<'_>> = Vec::with_capacity(jobs.len());
+        let mut leaders: BTreeSet<ModelKey> = BTreeSet::new();
+        for job in &jobs {
+            let (admission, lead) = match &online {
+                None => (Admission::Plain(repo.serve(&job.bench)?), false),
+                Some(_) => {
+                    let key = ModelKey::of(&job.bench);
+                    if leaders.contains(&key) {
+                        (Admission::Follow, false)
+                    } else {
+                        match repo.serve_stored(&job.bench)? {
+                            Some(served) => (Admission::Monitor(served), false),
+                            None => {
+                                leaders.insert(key.clone());
+                                latch.begin(&key);
+                                (Admission::Lead, true)
+                            }
+                        }
+                    }
+                }
+            };
+            slots.push(Slot {
+                admission: Some(admission),
+                driver: JobDriver::new(),
+                lead,
             });
         }
 
-        Ok(ClusterReport {
-            aggregate: Savings::between(&total_default, &total_tuned),
-            jobs: outcomes,
-            total_default,
-            total_tuned,
-            repository: repo.stats(),
-            nodes_used: nodes_used.iter().filter(|&&used| used).count(),
-        })
+        // 2. Fan the partitions out to real threads. Worker errors are
+        //    collected with their global job index so the reported error
+        //    is the earliest-submitted one, independent of thread timing.
+        let chunk = jobs.len().div_ceil(workers);
+        let errors: Mutex<Vec<(usize, RuntimeError)>> = Mutex::new(Vec::new());
+        rayon::scope(|scope| {
+            for (w, (job_chunk, slot_chunk)) in
+                jobs.chunks(chunk).zip(slots.chunks_mut(chunk)).enumerate()
+            {
+                let (errors, latch, online) = (&errors, &latch, &online);
+                scope.spawn(move |_| {
+                    // Release every calibration this partition leads when
+                    // the worker exits for *any* reason — normal return
+                    // (claims already resolved; `fail` is first-writer-
+                    // wins, so published ones are safe), error, or panic
+                    // unwind. Without the drop guard, a panicking leader
+                    // would park its followers in `CalibrationLatch::wait`
+                    // forever: `std::thread::scope` joins every thread
+                    // before re-raising the panic, so the whole run would
+                    // hang instead of surfacing it.
+                    struct ReleaseOnExit<'x> {
+                        latch: &'x CalibrationLatch,
+                        led: Vec<ModelKey>,
+                    }
+                    impl Drop for ReleaseOnExit<'_> {
+                        fn drop(&mut self) {
+                            for key in &self.led {
+                                self.latch.fail(key);
+                            }
+                        }
+                    }
+                    let _release = ReleaseOnExit {
+                        latch,
+                        led: job_chunk
+                            .iter()
+                            .zip(slot_chunk.iter())
+                            .filter(|(_, slot)| slot.lead)
+                            .map(|(job, _)| ModelKey::of(&job.bench))
+                            .collect(),
+                    };
+                    if let Err(at) =
+                        drive_partition(cluster, repo, latch, online, job_chunk, slot_chunk)
+                    {
+                        errors.lock().push((w * chunk + at.0, at.1));
+                    }
+                });
+            }
+        });
+
+        let mut failures = errors.into_inner();
+        failures.sort_by_key(|(idx, _)| *idx);
+        if let Some((_, error)) = failures.into_iter().next() {
+            return Err(error);
+        }
+        let drivers: Vec<JobDriver<'_>> = slots.into_iter().map(|slot| slot.driver).collect();
+        Ok(assemble_report(cluster, &jobs, drivers, repo.stats()))
     }
+}
+
+/// One worker's event loop over its contiguous partition of the
+/// submitted jobs: admit what the classification decided, advance every
+/// active session one event per sweep, and park on the calibration latch
+/// only when nothing in the partition is runnable. Errors carry the
+/// partition-local index of the failing job.
+fn drive_partition<'b>(
+    cluster: &'b Cluster,
+    repo: &SharedRepository,
+    latch: &CalibrationLatch,
+    online: &Option<OnlineTuning<'b>>,
+    jobs: &'b [QueuedJob],
+    slots: &mut [Slot<'b>],
+) -> Result<(), (usize, RuntimeError)> {
+    let mut done = 0usize;
+    while done < jobs.len() {
+        let mut progressed = false;
+        let mut blocked: Option<ModelKey> = None;
+        for (i, (slot, job)) in slots.iter_mut().zip(jobs).enumerate() {
+            // Admission: act on the pre-decided classification.
+            if matches!(slot.driver.state, State::Waiting) {
+                let node = cluster.node(job.node_idx);
+                let fail = |e| (i, e);
+                slot.driver.state = match slot.admission.take().expect("waiting slot is classified")
+                {
+                    Admission::Plain(served) => State::Plain(Box::new(
+                        RuntimeSession::start(&job.name, &job.bench, node, served).map_err(fail)?,
+                    )),
+                    Admission::Monitor(served) => {
+                        let config = online.as_ref().expect("monitor implies online").config;
+                        State::Online(Box::new(
+                            OnlineTuner::monitor(&job.name, &job.bench, node, served, config)
+                                .map_err(fail)?,
+                        ))
+                    }
+                    Admission::Lead => {
+                        let online = online.as_ref().expect("lead implies online");
+                        let key = ModelKey::of(&job.bench);
+                        match OnlineTuner::calibrate(
+                            &job.name,
+                            &job.bench,
+                            node,
+                            online.strategy,
+                            online.energy_model,
+                            online.config,
+                        ) {
+                            Ok(tuner) => State::Online(Box::new(tuner)),
+                            Err(
+                                RuntimeError::ExplorationBudget { .. } | RuntimeError::Planning(_),
+                            ) => {
+                                // This workload cannot calibrate: release
+                                // the waiters to the fallback path and
+                                // run degraded (the miss was already
+                                // recorded at classification).
+                                latch.fail(&key);
+                                let served = repo.serve_fallback(&job.bench).map_err(fail)?;
+                                State::Plain(Box::new(
+                                    RuntimeSession::start(&job.name, &job.bench, node, served)
+                                        .map_err(fail)?,
+                                ))
+                            }
+                            Err(other) => return Err((i, other)),
+                        }
+                    }
+                    Admission::Follow => {
+                        let key = ModelKey::of(&job.bench);
+                        match latch.status(&key) {
+                            LatchStatus::InFlight | LatchStatus::Unclaimed => {
+                                // Leader still calibrating (possibly in
+                                // this very partition): stay waiting,
+                                // remember the key in case the whole
+                                // partition has nothing else to do.
+                                slot.admission = Some(Admission::Follow);
+                                blocked.get_or_insert(key);
+                                continue;
+                            }
+                            LatchStatus::Done(CalibrationOutcome::Published) => {
+                                match repo.serve_stored(&job.bench).map_err(fail)? {
+                                    Some(served) => {
+                                        let config =
+                                            online.as_ref().expect("follow implies online").config;
+                                        State::Online(Box::new(
+                                            OnlineTuner::monitor(
+                                                &job.name, &job.bench, node, served, config,
+                                            )
+                                            .map_err(fail)?,
+                                        ))
+                                    }
+                                    // Published but already LRU-evicted:
+                                    // calibrate afresh, exactly as the
+                                    // sequential admission would on the
+                                    // re-miss (the claim stays resolved,
+                                    // so under churn this heavy several
+                                    // same-workload followers may each
+                                    // re-calibrate rather than queue).
+                                    None => {
+                                        let online =
+                                            online.as_ref().expect("follow implies online");
+                                        match OnlineTuner::calibrate(
+                                            &job.name,
+                                            &job.bench,
+                                            node,
+                                            online.strategy,
+                                            online.energy_model,
+                                            online.config,
+                                        ) {
+                                            Ok(tuner) => State::Online(Box::new(tuner)),
+                                            Err(
+                                                RuntimeError::ExplorationBudget { .. }
+                                                | RuntimeError::Planning(_),
+                                            ) => {
+                                                let served = repo
+                                                    .serve_fallback(&job.bench)
+                                                    .map_err(fail)?;
+                                                State::Plain(Box::new(
+                                                    RuntimeSession::start(
+                                                        &job.name, &job.bench, node, served,
+                                                    )
+                                                    .map_err(fail)?,
+                                                ))
+                                            }
+                                            Err(other) => return Err((i, other)),
+                                        }
+                                    }
+                                }
+                            }
+                            LatchStatus::Done(CalibrationOutcome::Failed) => {
+                                // Exactly the sequential failed-workload
+                                // path: a full serve (miss + fallback).
+                                let served = repo.serve(&job.bench).map_err(fail)?;
+                                State::Plain(Box::new(
+                                    RuntimeSession::start(&job.name, &job.bench, node, served)
+                                        .map_err(fail)?,
+                                ))
+                            }
+                        }
+                    }
+                };
+                progressed = true;
+            }
+
+            // Event: one step per active session per sweep.
+            if slot.driver.is_active() {
+                if slot.driver.finished_iterations(&job.bench) {
+                    slot.driver
+                        .finish(
+                            job,
+                            cluster.node(job.node_idx),
+                            &mut |bench, publication| {
+                                repo.publish_online(bench, &publication.model, publication.expected)
+                            },
+                        )
+                        .map_err(|e| (i, e))?;
+                    if slot.lead {
+                        let key = ModelKey::of(&job.bench);
+                        if slot.driver.published_version.is_some() {
+                            latch.publish(&key);
+                        } else {
+                            // Converged nothing (abandoned mid-run): the
+                            // abandon already failed the latch; this is
+                            // belt and braces for any other no-publish
+                            // path.
+                            latch.fail(&key);
+                        }
+                    }
+                    done += 1;
+                } else {
+                    match slot.driver.advance(&job.bench).map_err(|e| (i, e))? {
+                        EventOutcome::Advanced => {}
+                        EventOutcome::Abandoned => latch.fail(&ModelKey::of(&job.bench)),
+                    }
+                }
+                progressed = true;
+            }
+        }
+
+        if !progressed {
+            // Every remaining job follows a calibration led elsewhere:
+            // park this worker on the first such workload. Leaders never
+            // block, so whoever we wait on is guaranteed to progress.
+            // The wait is sliced: a resolution on a *different* blocked
+            // workload notifies only its own latch segment, so each
+            // slice expiry re-sweeps the partition to pick up any
+            // follower that became admissible in the meantime.
+            let key = blocked.expect("no progress implies a blocked follower");
+            latch.wait_timeout(&key, std::time::Duration::from_millis(1));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -632,5 +1105,157 @@ mod tests {
             sched.run(&mut repo),
             Err(RuntimeError::NoModel { .. })
         ));
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_serving() {
+        let cluster = Cluster::exact(3);
+        let lulesh = kernels::benchmark("Lulesh").unwrap();
+        let fallback = SystemConfig::new(24, 2400, 1700);
+
+        let mut repo = TuningModelRepository::new().with_fallback(fallback);
+        repo.insert(&lulesh, &lulesh_model());
+        let shared = SharedRepository::new(4).with_fallback(fallback);
+        shared.insert(&lulesh, &lulesh_model());
+
+        let submit = |sched: &mut ClusterScheduler<'_>| {
+            for i in 0..6 {
+                sched.submit(format!("lulesh-{i}"), lulesh.clone());
+            }
+            sched.submit("toy-0", toy("toy", 5e9));
+        };
+        let mut seq = ClusterScheduler::new(&cluster).unwrap();
+        submit(&mut seq);
+        let sequential = seq.run(&mut repo).unwrap();
+
+        let mut par = ClusterScheduler::new(&cluster).unwrap();
+        submit(&mut par);
+        let parallel = par.run_parallel(&shared, 4).unwrap();
+
+        assert_eq!(parallel.jobs.len(), sequential.jobs.len());
+        for (p, s) in parallel.jobs.iter().zip(&sequential.jobs) {
+            assert_eq!(p.job, s.job, "submission order preserved");
+            assert_eq!(p.node_id, s.node_id);
+            assert_eq!(p.accounting.record, s.accounting.record, "{}", p.job);
+            assert_eq!(p.accounting.regions, s.accounting.regions);
+            assert_eq!(p.default, s.default);
+            assert_eq!(p.savings, s.savings);
+        }
+        assert_eq!(parallel.total_tuned, sequential.total_tuned);
+        assert_eq!(parallel.total_default, sequential.total_default);
+        assert_eq!(parallel.aggregate, sequential.aggregate);
+        assert_eq!(parallel.repository.hits, sequential.repository.hits);
+        assert_eq!(parallel.repository.misses, sequential.repository.misses);
+        assert_eq!(shared.stats(), shared.shard_stats());
+    }
+
+    #[test]
+    fn parallel_online_warm_up_calibrates_once_and_matches_sequential() {
+        use ptf::RandomSearch;
+
+        let cluster = Cluster::exact(3);
+        let bench = kernels::benchmark("miniMD").unwrap();
+        let strategy = RandomSearch::new(16, 7);
+        let online = OnlineTuning {
+            strategy: &strategy,
+            energy_model: None,
+            config: OnlineConfig::default(),
+        };
+
+        let run_seq = || {
+            let mut repo = TuningModelRepository::new();
+            let mut sched = ClusterScheduler::new(&cluster).unwrap().with_online(online);
+            for i in 0..6 {
+                sched.submit(format!("job-{i}"), bench.clone());
+            }
+            sched.run(&mut repo).unwrap()
+        };
+        let sequential = run_seq();
+
+        let shared = SharedRepository::new(4);
+        let mut sched = ClusterScheduler::new(&cluster).unwrap().with_online(online);
+        for i in 0..6 {
+            sched.submit(format!("job-{i}"), bench.clone());
+        }
+        // 3 workers: the leader calibrates on one thread while followers
+        // on the other threads park on the workload's latch entry.
+        let parallel = sched.run_parallel(&shared, 3).unwrap();
+
+        // Warm-up shape: one calibration, five Online hits.
+        let summary = parallel.online_summary();
+        assert_eq!(summary.calibrations, 1);
+        assert_eq!(parallel.repository.misses, 1);
+        assert_eq!(parallel.repository.hits, 5);
+        assert_eq!(parallel.jobs[0].published_version, Some(1));
+
+        // …and bit-identical to the sequential warm-up, job by job.
+        for (p, s) in parallel.jobs.iter().zip(&sequential.jobs) {
+            assert_eq!(p.accounting.record, s.accounting.record, "{}", p.job);
+            assert_eq!(p.accounting.regions, s.accounting.regions);
+            assert_eq!(p.accounting.online, s.accounting.online);
+            assert_eq!(p.savings, s.savings);
+            assert_eq!(p.published_version, s.published_version);
+        }
+    }
+
+    #[test]
+    fn parallel_failed_calibration_degrades_followers_to_fallback() {
+        use ptf::RandomSearch;
+
+        let cluster = Cluster::exact(2);
+        // 3 phase iterations cannot fund a thread sweep + analysis +
+        // exploration: the leader's calibration fails fast and every
+        // same-workload follower must degrade to the fallback.
+        let mut bench = kernels::benchmark("miniMD").unwrap();
+        bench.phase_iterations = 3;
+        let strategy = RandomSearch::new(16, 7);
+        let online = OnlineTuning {
+            strategy: &strategy,
+            energy_model: None,
+            config: OnlineConfig::default(),
+        };
+
+        let shared = SharedRepository::new(2).with_fallback(SystemConfig::new(24, 2400, 1700));
+        let mut sched = ClusterScheduler::new(&cluster).unwrap().with_online(online);
+        for i in 0..4 {
+            sched.submit(format!("job-{i}"), bench.clone());
+        }
+        let report = sched.run_parallel(&shared, 2).unwrap();
+        assert_eq!(report.jobs.len(), 4);
+        for job in &report.jobs {
+            assert_eq!(
+                job.accounting.source,
+                crate::repository::ModelSource::Fallback
+            );
+            assert!(job.published_version.is_none());
+        }
+        // Leader: one classification miss, no fallback-serve miss;
+        // followers: one miss + fallback each (the sequential counts).
+        assert_eq!(report.repository.misses, 4);
+        assert_eq!(report.repository.fallbacks, 4);
+    }
+
+    #[test]
+    fn parallel_empty_queue_reports_nothing() {
+        let cluster = Cluster::exact(2);
+        let shared = SharedRepository::new(2);
+        let mut sched = ClusterScheduler::new(&cluster).unwrap();
+        let report = sched.run_parallel(&shared, 8).unwrap();
+        assert!(report.jobs.is_empty());
+        assert_eq!(report.nodes_used, 0);
+    }
+
+    #[test]
+    fn parallel_serve_failure_reports_earliest_job() {
+        let cluster = Cluster::exact(2);
+        let shared = SharedRepository::new(2); // no models, no fallback
+        let mut sched = ClusterScheduler::new(&cluster).unwrap();
+        sched.submit("a", toy("t", 1e9));
+        sched.submit("b", toy("t", 1e9));
+        assert!(matches!(
+            sched.run_parallel(&shared, 2),
+            Err(RuntimeError::NoModel { .. })
+        ));
+        assert_eq!(sched.pending(), 0, "queue consumed on error");
     }
 }

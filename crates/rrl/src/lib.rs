@@ -14,6 +14,11 @@
 //!   LRU capacity bounding and application-level matching
 //!   ([`MatchPolicy`]), and a calibration fallback (a best-known static
 //!   configuration) when no model matches,
+//! * [`shard`] — the concurrent [`SharedRepository`]: the same storage
+//!   semantics striped across N `RwLock`-guarded shards (partitioned by
+//!   application hash) with lock-free statistics, plus the
+//!   [`CalibrationLatch`] that gates cold-workload admission in the
+//!   parallel event loop,
 //! * [`session`] — the event-driven [`RuntimeSession`]: one handle per
 //!   job, driven by explicit `region_enter` / `region_exit` /
 //!   `phase_complete` events through the scenario→configuration resolver
@@ -29,7 +34,10 @@
 //!   sessions across the nodes of a simulated cluster (round-robin or
 //!   least-loaded placement), gates cold workloads behind a single
 //!   online calibration when [`OnlineTuning`] is attached, and reports
-//!   per-job and aggregate savings,
+//!   per-job and aggregate savings — either on one thread
+//!   ([`ClusterScheduler::run`]) or across real worker threads over a
+//!   [`SharedRepository`] ([`ClusterScheduler::run_parallel`]), with
+//!   bit-identical per-job accounting either way,
 //! * [`sacct`] — SLURM-style job accounting: the job-level Table VI
 //!   record plus the per-region energy/time breakdown,
 //! * [`savings`] — default-vs-tuned comparisons including the
@@ -59,6 +67,7 @@ pub mod repository;
 pub mod sacct;
 pub mod savings;
 pub mod session;
+pub mod shard;
 pub mod static_tuning;
 pub mod tmm;
 
@@ -77,6 +86,7 @@ pub use repository::{
 pub use sacct::{JobAccounting, JobRecord, OnlineActivity, RegionAccounting};
 pub use savings::{compare_static_dynamic, BenchmarkComparison, ComparisonError, Savings};
 pub use session::{RegionExit, RuntimeSession};
+pub use shard::{CalibrationLatch, CalibrationOutcome, LatchStatus, SharedRepository};
 pub use tmm::TuningModelManager;
 
 #[allow(deprecated)]

@@ -22,6 +22,12 @@
 //! [`MatchPolicy`] can serve the latest model for an application whose
 //! exact workload fingerprint missed — trading exactness for warm starts,
 //! with the drift detector guarding against the model having gone stale.
+//!
+//! Internally all of the above lives in one `Shard` — map, LRU clock,
+//! version lineage, stats. `TuningModelRepository` is a thin single-shard
+//! wrapper with the classic `&mut self` API; the concurrent
+//! [`SharedRepository`](crate::SharedRepository) spreads the same shard
+//! type across N reader-writer locks for lock-striped parallel serving.
 
 use std::collections::BTreeMap;
 
@@ -148,6 +154,20 @@ impl RepositoryStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Component-wise sum — how shard-local statistics aggregate into a
+    /// repository-wide view.
+    pub(crate) fn merged(&self, other: &RepositoryStats) -> RepositoryStats {
+        RepositoryStats {
+            hits: self.hits + other.hits,
+            approx_hits: self.approx_hits + other.approx_hits,
+            misses: self.misses + other.misses,
+            fallbacks: self.fallbacks + other.fallbacks,
+            errors: self.errors + other.errors,
+            evictions: self.evictions + other.evictions,
+            publications: self.publications + other.publications,
+        }
+    }
 }
 
 /// Exact or relaxed key matching for [`TuningModelRepository::serve`].
@@ -169,134 +189,39 @@ pub enum MatchPolicy {
 /// One stored entry: the serialized model, its provenance, and the LRU
 /// recency stamp.
 #[derive(Debug)]
-struct StoredEntry {
-    json: String,
-    provenance: ModelProvenance,
-    last_used: u64,
+pub(crate) struct StoredEntry {
+    pub(crate) json: String,
+    pub(crate) provenance: ModelProvenance,
+    pub(crate) last_used: u64,
 }
 
-/// Stores serialized tuning models and serves them per job.
+/// One independently synchronizable slice of the model store: the map,
+/// the per-application version lineage, the LRU clock and bound, the
+/// fallback, the match policy and the serving statistics.
 ///
-/// Models are kept in their JSON wire form (what a
-/// `SCOREP_RRL_TMM_PATH` file contains), so storage is exactly the
-/// serialisation format and a corrupt entry surfaces as
-/// [`RuntimeError::Parse`] at serve time instead of a panic.
+/// [`TuningModelRepository`] is exactly one shard behind a `&mut self`
+/// API; [`SharedRepository`](crate::SharedRepository) holds N of them,
+/// each behind its own `parking_lot::RwLock`, partitioned by application
+/// hash so an application's version lineage and its
+/// [`MatchPolicy::Application`] candidates are always shard-local.
 #[derive(Debug, Default)]
-pub struct TuningModelRepository {
-    models: BTreeMap<ModelKey, StoredEntry>,
+pub(crate) struct Shard {
+    pub(crate) models: BTreeMap<ModelKey, StoredEntry>,
     /// Per-application version high-water mark. Kept separately from the
     /// live entries so LRU eviction can never make a version number
     /// regress.
-    versions: BTreeMap<String, u32>,
-    fallback: Option<SystemConfig>,
-    capacity: Option<usize>,
-    policy: MatchPolicy,
-    clock: u64,
-    stats: RepositoryStats,
+    pub(crate) versions: BTreeMap<String, u32>,
+    pub(crate) fallback: Option<SystemConfig>,
+    pub(crate) capacity: Option<usize>,
+    pub(crate) policy: MatchPolicy,
+    pub(crate) clock: u64,
+    pub(crate) stats: RepositoryStats,
 }
 
-impl TuningModelRepository {
-    /// Empty repository with no fallback and unbounded capacity.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Serve `config` as a static single-scenario model whenever no
-    /// stored model matches (builder form).
-    #[must_use]
-    pub fn with_fallback(mut self, config: SystemConfig) -> Self {
-        self.fallback = Some(config);
-        self
-    }
-
-    /// Bound the repository to at most `capacity` stored models; storing
-    /// beyond the bound evicts the least-recently-used entry (builder
-    /// form). A capacity of zero is treated as unbounded.
-    #[must_use]
-    pub fn with_capacity(mut self, capacity: usize) -> Self {
-        self.capacity = (capacity > 0).then_some(capacity);
-        self
-    }
-
-    /// Select the serve-time key matching policy (builder form).
-    #[must_use]
-    pub fn with_match_policy(mut self, policy: MatchPolicy) -> Self {
-        self.policy = policy;
-        self
-    }
-
-    /// Set or replace the calibration fallback configuration.
-    pub fn set_fallback(&mut self, config: SystemConfig) {
-        self.fallback = Some(config);
-    }
-
-    /// The configured fallback, if any.
-    pub fn fallback(&self) -> Option<SystemConfig> {
-        self.fallback
-    }
-
-    /// The configured capacity bound, if any.
-    pub fn capacity(&self) -> Option<usize> {
-        self.capacity
-    }
-
-    /// The serve-time key matching policy.
-    pub fn match_policy(&self) -> MatchPolicy {
-        self.policy
-    }
-
-    /// Store the tuning model a design-time session produced, under the
-    /// advice's own application + fingerprint — the design-time → runtime
-    /// handoff. The advice's per-region energies become the entry's drift
-    /// expectations. Returns the assigned version.
-    pub fn publish(&mut self, advice: &Advice) -> u32 {
-        let key = ModelKey {
-            application: advice.tuning_model.application.clone(),
-            fingerprint: advice.benchmark_fingerprint,
-        };
-        let expected = advice
-            .region_best
-            .iter()
-            .map(|(name, _, energy)| (name.clone(), *energy))
-            .collect();
-        self.store(
-            key,
-            advice.tuning_model.to_json(),
-            ModelSource::Repository,
-            expected,
-        )
-    }
-
-    /// Store a model the runtime's online tuner converged for `bench`,
-    /// with its measured per-region energy expectations. Returns the
-    /// assigned version (1 for a first publication, otherwise the stored
-    /// version + 1).
-    pub fn publish_online(
-        &mut self,
-        bench: &BenchmarkSpec,
-        model: &TuningModel,
-        expected: Vec<(String, f64)>,
-    ) -> u32 {
-        self.store(
-            ModelKey::of(bench),
-            model.to_json(),
-            ModelSource::Online,
-            expected,
-        )
-    }
-
-    /// Store a tuning model for a benchmark (replaces any previous entry
-    /// for the same workload; no drift expectations are recorded).
-    pub fn insert(&mut self, bench: &BenchmarkSpec, model: &TuningModel) {
-        self.store(
-            ModelKey::of(bench),
-            model.to_json(),
-            ModelSource::Repository,
-            Vec::new(),
-        );
-    }
-
-    fn store(
+impl Shard {
+    /// Store a serialized model, assign its application-lineage version,
+    /// bump the LRU clock and enforce the capacity bound.
+    pub(crate) fn store(
         &mut self,
         key: ModelKey,
         json: String,
@@ -339,30 +264,50 @@ impl TuningModelRepository {
         version
     }
 
+    /// Store the model a design-time session produced (see
+    /// [`TuningModelRepository::publish`]).
+    pub(crate) fn publish(&mut self, advice: &Advice) -> u32 {
+        let key = ModelKey {
+            application: advice.tuning_model.application.clone(),
+            fingerprint: advice.benchmark_fingerprint,
+        };
+        let expected = advice
+            .region_best
+            .iter()
+            .map(|(name, _, energy)| (name.clone(), *energy))
+            .collect();
+        self.store(
+            key,
+            advice.tuning_model.to_json(),
+            ModelSource::Repository,
+            expected,
+        )
+    }
+
+    /// Store a model the online tuner converged (see
+    /// [`TuningModelRepository::publish_online`]).
+    pub(crate) fn publish_online(
+        &mut self,
+        bench: &BenchmarkSpec,
+        model: &TuningModel,
+        expected: Vec<(String, f64)>,
+    ) -> u32 {
+        self.store(
+            ModelKey::of(bench),
+            model.to_json(),
+            ModelSource::Online,
+            expected,
+        )
+    }
+
     /// Whether a stored model matches this benchmark's workload exactly.
-    pub fn contains(&self, bench: &BenchmarkSpec) -> bool {
+    pub(crate) fn contains(&self, bench: &BenchmarkSpec) -> bool {
         self.models.contains_key(&ModelKey::of(bench))
     }
 
-    /// Provenance of the stored entry for this benchmark's exact
-    /// workload, if any.
-    pub fn provenance(&self, bench: &BenchmarkSpec) -> Option<&ModelProvenance> {
+    /// Provenance of the exact-workload entry for this benchmark, if any.
+    pub(crate) fn provenance(&self, bench: &BenchmarkSpec) -> Option<&ModelProvenance> {
         self.models.get(&ModelKey::of(bench)).map(|e| &e.provenance)
-    }
-
-    /// Number of stored models.
-    pub fn len(&self) -> usize {
-        self.models.len()
-    }
-
-    /// True when no models are stored.
-    pub fn is_empty(&self) -> bool {
-        self.models.is_empty()
-    }
-
-    /// Serving statistics so far.
-    pub fn stats(&self) -> RepositoryStats {
-        self.stats
     }
 
     /// The stored key `serve` would answer for `bench` under the current
@@ -385,54 +330,9 @@ impl TuningModelRepository {
         None
     }
 
-    /// Serve a model for a job about to run `bench`.
-    ///
-    /// A stored model whose key matches (exactly, or at application level
-    /// under [`MatchPolicy::Application`]) is parsed from its serialized
-    /// form and returned with its provenance; the reported
-    /// [`ModelSource`] is the stored entry's origin (design-time
-    /// repository or online tuner). On a miss the calibration fallback —
-    /// if configured — is wrapped as a zero-scenario model whose phase
-    /// configuration is the fallback, so every region of the job runs
-    /// statically at that configuration. Without a fallback the miss is a
-    /// [`RuntimeError::NoModel`].
-    pub fn serve(&mut self, bench: &BenchmarkSpec) -> Result<ServedModel, RuntimeError> {
-        if let Some(served) = self.serve_stored(bench)? {
-            return Ok(served);
-        }
-        self.serve_fallback(bench)
-    }
-
-    /// Serve the calibration fallback for `bench` without a storage
-    /// lookup — the companion to [`Self::serve_stored`] for callers whose
-    /// miss handling ultimately falls back anyway (the cluster
-    /// scheduler's degraded path after a failed online calibration). The
-    /// miss was already recorded by `serve_stored`; this only counts the
-    /// fallback serve. Errors with [`RuntimeError::NoModel`] when no
-    /// fallback is configured.
-    pub fn serve_fallback(&mut self, bench: &BenchmarkSpec) -> Result<ServedModel, RuntimeError> {
-        match self.fallback {
-            Some(config) => {
-                self.stats.fallbacks += 1;
-                Ok(ServedModel::fallback(TuningModel::new(
-                    &bench.name,
-                    &[],
-                    config,
-                )))
-            }
-            None => Err(RuntimeError::NoModel {
-                application: bench.name.clone(),
-                fingerprint: bench.fingerprint(),
-            }),
-        }
-    }
-
-    /// Serve a stored model for `bench`, or record a miss and return
-    /// `Ok(None)` without consulting the fallback — the serve primitive
-    /// for callers with their own miss handling (the cluster scheduler's
-    /// online-calibration path). Corrupt entries still surface as
-    /// [`RuntimeError::Parse`].
-    pub fn serve_stored(
+    /// Serve a stored model or record a miss (see
+    /// [`TuningModelRepository::serve_stored`]).
+    pub(crate) fn serve_stored(
         &mut self,
         bench: &BenchmarkSpec,
     ) -> Result<Option<ServedModel>, RuntimeError> {
@@ -461,6 +361,203 @@ impl TuningModelRepository {
                 Err(RuntimeError::Parse(e))
             }
         }
+    }
+
+    /// Serve the calibration fallback (see
+    /// [`TuningModelRepository::serve_fallback`]). Counts only the
+    /// fallback serve — never a second miss for a lookup that
+    /// `serve_stored` already recorded.
+    pub(crate) fn serve_fallback(
+        &mut self,
+        bench: &BenchmarkSpec,
+    ) -> Result<ServedModel, RuntimeError> {
+        match self.fallback {
+            Some(config) => {
+                self.stats.fallbacks += 1;
+                Ok(ServedModel::fallback(TuningModel::new(
+                    &bench.name,
+                    &[],
+                    config,
+                )))
+            }
+            None => Err(RuntimeError::NoModel {
+                application: bench.name.clone(),
+                fingerprint: bench.fingerprint(),
+            }),
+        }
+    }
+
+    /// Full serve: stored model or calibration fallback (see
+    /// [`TuningModelRepository::serve`]).
+    pub(crate) fn serve(&mut self, bench: &BenchmarkSpec) -> Result<ServedModel, RuntimeError> {
+        if let Some(served) = self.serve_stored(bench)? {
+            return Ok(served);
+        }
+        self.serve_fallback(bench)
+    }
+}
+
+/// Stores serialized tuning models and serves them per job.
+///
+/// Models are kept in their JSON wire form (what a
+/// `SCOREP_RRL_TMM_PATH` file contains), so storage is exactly the
+/// serialisation format and a corrupt entry surfaces as
+/// [`RuntimeError::Parse`] at serve time instead of a panic.
+///
+/// This is the single-threaded, `&mut self` entry point — a thin wrapper
+/// over exactly one `Shard`. For lock-striped concurrent serving (the
+/// parallel [`ClusterScheduler`](crate::ClusterScheduler) event loop) use
+/// [`SharedRepository`](crate::SharedRepository), which shares the same
+/// shard implementation and therefore the same semantics.
+#[derive(Debug, Default)]
+pub struct TuningModelRepository {
+    pub(crate) shard: Shard,
+}
+
+impl TuningModelRepository {
+    /// Empty repository with no fallback and unbounded capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serve `config` as a static single-scenario model whenever no
+    /// stored model matches (builder form).
+    #[must_use]
+    pub fn with_fallback(mut self, config: SystemConfig) -> Self {
+        self.shard.fallback = Some(config);
+        self
+    }
+
+    /// Bound the repository to at most `capacity` stored models; storing
+    /// beyond the bound evicts the least-recently-used entry (builder
+    /// form). A capacity of zero is treated as unbounded.
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.shard.capacity = (capacity > 0).then_some(capacity);
+        self
+    }
+
+    /// Select the serve-time key matching policy (builder form).
+    #[must_use]
+    pub fn with_match_policy(mut self, policy: MatchPolicy) -> Self {
+        self.shard.policy = policy;
+        self
+    }
+
+    /// Set or replace the calibration fallback configuration.
+    pub fn set_fallback(&mut self, config: SystemConfig) {
+        self.shard.fallback = Some(config);
+    }
+
+    /// The configured fallback, if any.
+    pub fn fallback(&self) -> Option<SystemConfig> {
+        self.shard.fallback
+    }
+
+    /// The configured capacity bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.shard.capacity
+    }
+
+    /// The serve-time key matching policy.
+    pub fn match_policy(&self) -> MatchPolicy {
+        self.shard.policy
+    }
+
+    /// Store the tuning model a design-time session produced, under the
+    /// advice's own application + fingerprint — the design-time → runtime
+    /// handoff. The advice's per-region energies become the entry's drift
+    /// expectations. Returns the assigned version.
+    pub fn publish(&mut self, advice: &Advice) -> u32 {
+        self.shard.publish(advice)
+    }
+
+    /// Store a model the runtime's online tuner converged for `bench`,
+    /// with its measured per-region energy expectations. Returns the
+    /// assigned version (1 for a first publication, otherwise the stored
+    /// version + 1).
+    pub fn publish_online(
+        &mut self,
+        bench: &BenchmarkSpec,
+        model: &TuningModel,
+        expected: Vec<(String, f64)>,
+    ) -> u32 {
+        self.shard.publish_online(bench, model, expected)
+    }
+
+    /// Store a tuning model for a benchmark (replaces any previous entry
+    /// for the same workload; no drift expectations are recorded).
+    pub fn insert(&mut self, bench: &BenchmarkSpec, model: &TuningModel) {
+        self.shard.store(
+            ModelKey::of(bench),
+            model.to_json(),
+            ModelSource::Repository,
+            Vec::new(),
+        );
+    }
+
+    /// Whether a stored model matches this benchmark's workload exactly.
+    pub fn contains(&self, bench: &BenchmarkSpec) -> bool {
+        self.shard.contains(bench)
+    }
+
+    /// Provenance of the stored entry for this benchmark's exact
+    /// workload, if any.
+    pub fn provenance(&self, bench: &BenchmarkSpec) -> Option<&ModelProvenance> {
+        self.shard.provenance(bench)
+    }
+
+    /// Number of stored models.
+    pub fn len(&self) -> usize {
+        self.shard.models.len()
+    }
+
+    /// True when no models are stored.
+    pub fn is_empty(&self) -> bool {
+        self.shard.models.is_empty()
+    }
+
+    /// Serving statistics so far.
+    pub fn stats(&self) -> RepositoryStats {
+        self.shard.stats
+    }
+
+    /// Serve a model for a job about to run `bench`.
+    ///
+    /// A stored model whose key matches (exactly, or at application level
+    /// under [`MatchPolicy::Application`]) is parsed from its serialized
+    /// form and returned with its provenance; the reported
+    /// [`ModelSource`] is the stored entry's origin (design-time
+    /// repository or online tuner). On a miss the calibration fallback —
+    /// if configured — is wrapped as a zero-scenario model whose phase
+    /// configuration is the fallback, so every region of the job runs
+    /// statically at that configuration. Without a fallback the miss is a
+    /// [`RuntimeError::NoModel`].
+    pub fn serve(&mut self, bench: &BenchmarkSpec) -> Result<ServedModel, RuntimeError> {
+        self.shard.serve(bench)
+    }
+
+    /// Serve the calibration fallback for `bench` without a storage
+    /// lookup — the companion to [`Self::serve_stored`] for callers whose
+    /// miss handling ultimately falls back anyway (the cluster
+    /// scheduler's degraded path after a failed online calibration). The
+    /// miss was already recorded by `serve_stored`; this only counts the
+    /// fallback serve. Errors with [`RuntimeError::NoModel`] when no
+    /// fallback is configured.
+    pub fn serve_fallback(&mut self, bench: &BenchmarkSpec) -> Result<ServedModel, RuntimeError> {
+        self.shard.serve_fallback(bench)
+    }
+
+    /// Serve a stored model for `bench`, or record a miss and return
+    /// `Ok(None)` without consulting the fallback — the serve primitive
+    /// for callers with their own miss handling (the cluster scheduler's
+    /// online-calibration path). Corrupt entries still surface as
+    /// [`RuntimeError::Parse`].
+    pub fn serve_stored(
+        &mut self,
+        bench: &BenchmarkSpec,
+    ) -> Result<Option<ServedModel>, RuntimeError> {
+        self.shard.serve_stored(bench)
     }
 }
 
@@ -562,7 +659,7 @@ mod tests {
     fn corrupt_entry_surfaces_as_parse_error_and_is_counted() {
         let b = bench();
         let mut repo = TuningModelRepository::new();
-        repo.models.insert(
+        repo.shard.models.insert(
             ModelKey::of(&b),
             StoredEntry {
                 json: "{not json".into(),
@@ -685,5 +782,65 @@ mod tests {
             .is_none());
         let s = repo.stats();
         assert_eq!((s.misses, s.fallbacks), (1, 0));
+    }
+
+    /// Regression test for the miss-accounting invariant under eviction
+    /// pressure: every logical lookup is counted exactly once in
+    /// `lookups()` no matter how it was answered, a miss answered by
+    /// `serve_fallback` after `serve_stored` is *one* miss + *one*
+    /// fallback (never a double-counted miss), and the eviction counter
+    /// advances once per displaced entry.
+    #[test]
+    fn stats_stay_consistent_under_eviction_pressure() {
+        let mut benches: Vec<BenchmarkSpec> = (0..6)
+            .map(|i| {
+                let mut b = bench();
+                b.name = format!("churn-{i}");
+                b
+            })
+            .collect();
+        benches.push(bench()); // one more distinct application
+        let mut repo = TuningModelRepository::new()
+            .with_capacity(2)
+            .with_fallback(SystemConfig::taurus_default());
+
+        // Publish all seven apps through a 2-entry bound: 5 evictions.
+        for b in &benches {
+            repo.insert(b, &model());
+        }
+        assert_eq!(repo.len(), 2);
+        assert_eq!(repo.stats().evictions, 5);
+        assert_eq!(repo.stats().publications, 7);
+
+        // Serve all seven: the two survivors hit; the five evicted miss
+        // and fall back. The explicit miss-then-fallback split path must
+        // count exactly like the combined `serve`.
+        for (i, b) in benches.iter().enumerate() {
+            if i % 2 == 0 {
+                repo.serve(b).unwrap();
+            } else if repo.serve_stored(b).unwrap().is_none() {
+                repo.serve_fallback(b).unwrap();
+            }
+        }
+        let s = repo.stats();
+        assert_eq!(s.hits, 2, "the two retained entries hit");
+        assert_eq!(s.misses, 5, "one miss per evicted entry, never double");
+        assert_eq!(s.fallbacks, 5, "every miss answered by the fallback");
+        assert_eq!(s.lookups(), 7, "one lookup per job");
+        assert!((s.hit_rate() - 2.0 / 7.0).abs() < 1e-12);
+
+        // A fresh application displaces the LRU entry; re-publishing an
+        // already-stored key replaces in place (replacement is not
+        // displacement, so the eviction counter must not advance).
+        let mut fresh = bench();
+        fresh.name = "churn-fresh".into();
+        repo.insert(&fresh, &model());
+        assert_eq!(repo.stats().evictions, 5 + 1, "insert displaced the LRU");
+        repo.insert(&fresh, &model());
+        assert_eq!(
+            repo.stats().evictions,
+            6,
+            "re-publishing a stored key evicts nothing"
+        );
     }
 }

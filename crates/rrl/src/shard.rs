@@ -1,0 +1,663 @@
+//! Lock-striped concurrent tuning-model serving.
+//!
+//! [`SharedRepository`] is the `&self` counterpart of
+//! [`TuningModelRepository`](crate::TuningModelRepository): the same
+//! [`Shard`](crate::repository) implementation — map, LRU bound,
+//! application version lineage, match policy, statistics — spread across
+//! N `parking_lot::RwLock`-guarded segments, partitioned by a hash of the
+//! *application* component of the [`ModelKey`]. Hashing the application
+//! (not the full key) keeps everything that must stay transactionally
+//! consistent shard-local: the per-application version high-water mark,
+//! and the candidate set [`MatchPolicy::Application`] resolves against.
+//!
+//! Serving statistics are additionally mirrored into lock-free
+//! [`AtomicU64`] aggregates, so [`SharedRepository::stats`] never takes a
+//! shard lock; the per-shard totals remain the source of truth and the
+//! two views are kept equal by construction (every operation adds the
+//! shard-stat delta it caused — see `with_shard` — which is also what
+//! makes double-counting structurally impossible).
+//!
+//! The module also hosts the [`CalibrationLatch`]: the shard-level
+//! admission gate the parallel
+//! [`ClusterScheduler`](crate::ClusterScheduler) event loop uses so that
+//! the first job of a cold workload calibrates while same-workload jobs
+//! *block on the latch* — not on a global scheduler stall — and resume
+//! the moment the leader publishes or fails.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use kernels::BenchmarkSpec;
+use parking_lot::RwLock;
+use ptf::Advice;
+use ptf::TuningModel;
+use simnode::SystemConfig;
+
+use crate::error::RuntimeError;
+use crate::repository::{
+    MatchPolicy, ModelKey, ModelProvenance, RepositoryStats, ServedModel, Shard,
+};
+
+/// Lock-free mirror of [`RepositoryStats`], one atomic per field.
+#[derive(Debug, Default)]
+struct AtomicStats {
+    hits: AtomicU64,
+    approx_hits: AtomicU64,
+    misses: AtomicU64,
+    fallbacks: AtomicU64,
+    errors: AtomicU64,
+    evictions: AtomicU64,
+    publications: AtomicU64,
+}
+
+impl AtomicStats {
+    /// Fold one operation's shard-stat delta into the aggregates.
+    fn add(&self, delta: &RepositoryStats) {
+        // Relaxed is enough: the counters are monotonic event tallies
+        // with no ordering relationship to the model data they describe.
+        self.hits.fetch_add(delta.hits, Ordering::Relaxed);
+        self.approx_hits
+            .fetch_add(delta.approx_hits, Ordering::Relaxed);
+        self.misses.fetch_add(delta.misses, Ordering::Relaxed);
+        self.fallbacks.fetch_add(delta.fallbacks, Ordering::Relaxed);
+        self.errors.fetch_add(delta.errors, Ordering::Relaxed);
+        self.evictions.fetch_add(delta.evictions, Ordering::Relaxed);
+        self.publications
+            .fetch_add(delta.publications, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> RepositoryStats {
+        RepositoryStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            approx_hits: self.approx_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            publications: self.publications.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// How a latched calibration resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalibrationOutcome {
+    /// The leader converged and published its model: waiters should
+    /// re-serve from the repository and expect a hit.
+    Published,
+    /// The leader could not calibrate (exploration budget or planning
+    /// failure, or its worker aborted): waiters should degrade to the
+    /// calibration fallback.
+    Failed,
+}
+
+/// Non-blocking view of one workload's latch state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatchStatus {
+    /// No calibration was ever claimed for this workload.
+    Unclaimed,
+    /// A leader holds the claim and has not resolved it yet.
+    InFlight,
+    /// The claim resolved.
+    Done(CalibrationOutcome),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum LatchState {
+    InFlight,
+    Done(CalibrationOutcome),
+}
+
+/// One latch segment: the claims whose application hashes here.
+#[derive(Debug, Default)]
+struct LatchShard {
+    claims: Mutex<std::collections::BTreeMap<ModelKey, LatchState>>,
+    resolved: Condvar,
+}
+
+/// The shard-level calibration admission gate.
+///
+/// One latch entry exists per cold workload (exact [`ModelKey`]). The
+/// first claimer ([`CalibrationLatch::begin`]) becomes the *leader* and
+/// calibrates; same-workload followers [`wait`](CalibrationLatch::wait)
+/// on the entry — parking only their own worker thread, while unrelated
+/// workloads keep being admitted — until the leader
+/// [`publish`](CalibrationLatch::publish)es or
+/// [`fail`](CalibrationLatch::fail)s. Entries are segmented by the same
+/// application hash as the repository shards, so contention on one
+/// workload's gate never serializes admission of another's.
+///
+/// Claims are *per run*, mirroring the sequential scheduler's transient
+/// `calibrating`/`failed` bookkeeping: the parallel scheduler constructs
+/// a fresh latch for every [`run_parallel`](crate::ClusterScheduler::run_parallel)
+/// call (matched to the repository's shard count) rather than keeping
+/// claims alive across runs, so a workload whose calibration failed once
+/// is retried on the next submission wave.
+///
+/// Resolution is first-writer-wins: once a claim is `Done` its outcome
+/// never changes (a belt-and-braces `fail` after a successful `publish`
+/// is a no-op), which lets an aborting worker fail every claim it led
+/// without clobbering already-published ones.
+#[derive(Debug)]
+pub struct CalibrationLatch {
+    shards: Vec<LatchShard>,
+}
+
+impl CalibrationLatch {
+    /// A latch with `shards` independent segments (clamped to ≥ 1).
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1)).map(|_| LatchShard::default()).collect(),
+        }
+    }
+
+    fn shard(&self, key: &ModelKey) -> &LatchShard {
+        &self.shards[shard_index(&key.application, self.shards.len())]
+    }
+
+    /// Claim the calibration of `key`. Returns `true` when the caller is
+    /// now the leader; `false` when the workload is already claimed (in
+    /// flight or resolved).
+    pub fn begin(&self, key: &ModelKey) -> bool {
+        let shard = self.shard(key);
+        let mut claims = lock_ignore_poison(&shard.claims);
+        if claims.contains_key(key) {
+            return false;
+        }
+        claims.insert(key.clone(), LatchState::InFlight);
+        true
+    }
+
+    /// Resolve `key` as successfully published and wake its waiters.
+    pub fn publish(&self, key: &ModelKey) {
+        self.resolve(key, CalibrationOutcome::Published);
+    }
+
+    /// Resolve `key` as failed and wake its waiters. A no-op when the
+    /// claim already resolved (first writer wins).
+    pub fn fail(&self, key: &ModelKey) {
+        self.resolve(key, CalibrationOutcome::Failed);
+    }
+
+    fn resolve(&self, key: &ModelKey, outcome: CalibrationOutcome) {
+        let shard = self.shard(key);
+        let mut claims = lock_ignore_poison(&shard.claims);
+        match claims.get(key) {
+            Some(LatchState::Done(_)) => return, // first resolution wins
+            Some(LatchState::InFlight) | None => {
+                claims.insert(key.clone(), LatchState::Done(outcome));
+            }
+        }
+        shard.resolved.notify_all();
+    }
+
+    /// Non-blocking peek at `key`'s state.
+    pub fn status(&self, key: &ModelKey) -> LatchStatus {
+        let shard = self.shard(key);
+        let claims = lock_ignore_poison(&shard.claims);
+        match claims.get(key) {
+            None => LatchStatus::Unclaimed,
+            Some(LatchState::InFlight) => LatchStatus::InFlight,
+            Some(LatchState::Done(outcome)) => LatchStatus::Done(*outcome),
+        }
+    }
+
+    /// Block the calling thread until `key` resolves, and return the
+    /// outcome. Callers must only wait on keys some leader has already
+    /// claimed with [`CalibrationLatch::begin`] (the parallel scheduler
+    /// claims every cold workload before its workers start): waiting on
+    /// an unclaimed key parks until someone claims *and* resolves it.
+    pub fn wait(&self, key: &ModelKey) -> CalibrationOutcome {
+        let shard = self.shard(key);
+        let mut claims = lock_ignore_poison(&shard.claims);
+        loop {
+            if let Some(LatchState::Done(outcome)) = claims.get(key) {
+                return *outcome;
+            }
+            claims = match shard.resolved.wait(claims) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// [`CalibrationLatch::wait`] with a bound: returns `None` when the
+    /// claim is still unresolved after `timeout`. The parallel event
+    /// loop parks blocked workers in short slices through this, re-
+    /// sweeping the partition between slices — a resolution on a
+    /// *different* workload's latch segment notifies only that segment's
+    /// condvar, so an unbounded wait on one workload could leave a
+    /// worker asleep while another of its followers became admissible.
+    pub fn wait_timeout(
+        &self,
+        key: &ModelKey,
+        timeout: std::time::Duration,
+    ) -> Option<CalibrationOutcome> {
+        let deadline = std::time::Instant::now() + timeout;
+        let shard = self.shard(key);
+        let mut claims = lock_ignore_poison(&shard.claims);
+        loop {
+            if let Some(LatchState::Done(outcome)) = claims.get(key) {
+                return Some(*outcome);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            claims = match shard.resolved.wait_timeout(claims, deadline - now) {
+                Ok((g, _)) => g,
+                Err(poisoned) => {
+                    let (g, _) = poisoned.into_inner();
+                    g
+                }
+            };
+        }
+    }
+}
+
+/// `Mutex::lock` that shrugs off poisoning (a panicked waiter must not
+/// wedge every other worker's admission).
+fn lock_ignore_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The shard an application's entries live in: FNV-1a over the
+/// application name, modulo the shard count. Shared by the repository
+/// shards and the calibration latch so both partition identically.
+fn shard_index(application: &str, shards: usize) -> usize {
+    (kernels::fnv1a(application.as_bytes()) % shards as u64) as usize
+}
+
+/// A sharded, internally synchronized tuning-model repository for
+/// concurrent serving.
+///
+/// Semantics are identical to
+/// [`TuningModelRepository`](crate::TuningModelRepository) — both sit on
+/// the same [`Shard`](crate::repository) implementation — but every
+/// method takes `&self`, so one `SharedRepository` can serve all the
+/// worker threads of [`ClusterScheduler::run_parallel`](crate::ClusterScheduler::run_parallel)
+/// at once. Differences a single-threaded caller can observe:
+///
+/// * **Capacity is per shard.** [`SharedRepository::with_capacity`]
+///   divides the requested total evenly (rounding up), and each shard
+///   LRU-bounds independently; a skewed application-hash distribution can
+///   therefore evict before the global total is reached.
+/// * **Version lineage and application matching are exact** — entries of
+///   one application always share a shard.
+/// * **Statistics are lock-free.** [`SharedRepository::stats`] reads the
+///   atomic aggregates; they equal the sum of the per-shard totals at any
+///   quiescent point.
+pub struct SharedRepository {
+    shards: Vec<RwLock<Shard>>,
+    stats: AtomicStats,
+    /// The requested global capacity (before per-shard division).
+    capacity: Option<usize>,
+}
+
+impl std::fmt::Debug for SharedRepository {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedRepository")
+            .field("shards", &self.shards.len())
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats.snapshot())
+            .finish()
+    }
+}
+
+impl SharedRepository {
+    /// An empty repository striped across `shards` lock segments
+    /// (clamped to ≥ 1), with no fallback and unbounded capacity.
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
+            stats: AtomicStats::default(),
+            capacity: None,
+        }
+    }
+
+    /// Serve `config` as a static single-scenario model whenever no
+    /// stored model matches (builder form).
+    #[must_use]
+    pub fn with_fallback(self, config: SystemConfig) -> Self {
+        for shard in &self.shards {
+            shard.write().fallback = Some(config);
+        }
+        self
+    }
+
+    /// Bound the repository to roughly `capacity` stored models in total:
+    /// each shard is bounded to `capacity.div_ceil(shards)` entries and
+    /// evicts its own least-recently-used entry independently (builder
+    /// form). Zero is treated as unbounded.
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = (capacity > 0).then_some(capacity);
+        let per_shard = self.capacity.map(|c| c.div_ceil(self.shards.len()));
+        for shard in &self.shards {
+            shard.write().capacity = per_shard;
+        }
+        self
+    }
+
+    /// Select the serve-time key matching policy (builder form).
+    #[must_use]
+    pub fn with_match_policy(self, policy: MatchPolicy) -> Self {
+        for shard in &self.shards {
+            shard.write().policy = policy;
+        }
+        self
+    }
+
+    /// Number of lock segments.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The requested global capacity bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// The configured fallback, if any.
+    pub fn fallback(&self) -> Option<SystemConfig> {
+        self.shards[0].read().fallback
+    }
+
+    /// The serve-time key matching policy.
+    pub fn match_policy(&self) -> MatchPolicy {
+        self.shards[0].read().policy
+    }
+
+    /// Run `op` under the write lock of `application`'s shard, then fold
+    /// the operation's stat delta into the lock-free aggregates. Routing
+    /// *every* mutation through here is what keeps the atomic view equal
+    /// to the per-shard truth — an operation can neither skip nor
+    /// double-count its contribution.
+    fn with_shard<T>(&self, application: &str, op: impl FnOnce(&mut Shard) -> T) -> T {
+        let idx = shard_index(application, self.shards.len());
+        let mut shard = self.shards[idx].write();
+        let before = shard.stats;
+        let out = op(&mut shard);
+        let after = shard.stats;
+        drop(shard);
+        self.stats.add(&RepositoryStats {
+            hits: after.hits - before.hits,
+            approx_hits: after.approx_hits - before.approx_hits,
+            misses: after.misses - before.misses,
+            fallbacks: after.fallbacks - before.fallbacks,
+            errors: after.errors - before.errors,
+            evictions: after.evictions - before.evictions,
+            publications: after.publications - before.publications,
+        });
+        out
+    }
+
+    /// Store a design-time advice's tuning model (see
+    /// [`TuningModelRepository::publish`](crate::TuningModelRepository::publish)).
+    /// Returns the assigned application-lineage version.
+    pub fn publish(&self, advice: &Advice) -> u32 {
+        let application = advice.tuning_model.application.clone();
+        self.with_shard(&application, |shard| shard.publish(advice))
+    }
+
+    /// Store a model the online tuner converged (see
+    /// [`TuningModelRepository::publish_online`](crate::TuningModelRepository::publish_online)).
+    pub fn publish_online(
+        &self,
+        bench: &BenchmarkSpec,
+        model: &TuningModel,
+        expected: Vec<(String, f64)>,
+    ) -> u32 {
+        self.with_shard(&bench.name, |shard| {
+            shard.publish_online(bench, model, expected)
+        })
+    }
+
+    /// Store a tuning model for a benchmark (replaces any previous entry
+    /// for the same workload; no drift expectations are recorded).
+    pub fn insert(&self, bench: &BenchmarkSpec, model: &TuningModel) {
+        self.with_shard(&bench.name, |shard| {
+            shard.store(
+                ModelKey::of(bench),
+                model.to_json(),
+                crate::repository::ModelSource::Repository,
+                Vec::new(),
+            )
+        });
+    }
+
+    /// Serve a stored model or the calibration fallback (see
+    /// [`TuningModelRepository::serve`](crate::TuningModelRepository::serve)).
+    pub fn serve(&self, bench: &BenchmarkSpec) -> Result<ServedModel, RuntimeError> {
+        self.with_shard(&bench.name, |shard| shard.serve(bench))
+    }
+
+    /// Serve a stored model, or record a miss and return `Ok(None)` (see
+    /// [`TuningModelRepository::serve_stored`](crate::TuningModelRepository::serve_stored)).
+    pub fn serve_stored(&self, bench: &BenchmarkSpec) -> Result<Option<ServedModel>, RuntimeError> {
+        self.with_shard(&bench.name, |shard| shard.serve_stored(bench))
+    }
+
+    /// Serve the calibration fallback without a storage lookup (see
+    /// [`TuningModelRepository::serve_fallback`](crate::TuningModelRepository::serve_fallback)).
+    pub fn serve_fallback(&self, bench: &BenchmarkSpec) -> Result<ServedModel, RuntimeError> {
+        self.with_shard(&bench.name, |shard| shard.serve_fallback(bench))
+    }
+
+    /// Whether a stored model matches this benchmark's workload exactly.
+    pub fn contains(&self, bench: &BenchmarkSpec) -> bool {
+        let idx = shard_index(&bench.name, self.shards.len());
+        self.shards[idx].read().contains(bench)
+    }
+
+    /// Provenance of the stored entry for this benchmark's exact
+    /// workload, if any (cloned out of the shard — the lock cannot be
+    /// held across the return).
+    pub fn provenance(&self, bench: &BenchmarkSpec) -> Option<ModelProvenance> {
+        let idx = shard_index(&bench.name, self.shards.len());
+        self.shards[idx].read().provenance(bench).cloned()
+    }
+
+    /// Number of stored models across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().models.len()).sum()
+    }
+
+    /// True when no models are stored.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().models.is_empty())
+    }
+
+    /// Serving statistics so far — read lock-free from the atomic
+    /// aggregates.
+    pub fn stats(&self) -> RepositoryStats {
+        self.stats.snapshot()
+    }
+
+    /// The sum of the per-shard statistics — the locked source of truth
+    /// the atomic [`SharedRepository::stats`] mirrors. Exposed so tests
+    /// (and monitoring) can assert the two views agree; they do at any
+    /// point with no operation in flight.
+    pub fn shard_stats(&self) -> RepositoryStats {
+        self.shards
+            .iter()
+            .map(|s| s.read().stats)
+            .fold(RepositoryStats::default(), |acc, s| acc.merged(&s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repository::ModelSource;
+
+    fn bench_named(name: &str) -> BenchmarkSpec {
+        let mut b = kernels::benchmark("miniMD").unwrap();
+        b.name = name.to_string();
+        b
+    }
+
+    fn model(app: &str) -> TuningModel {
+        TuningModel::new(
+            app,
+            &[("compute_force".into(), SystemConfig::new(24, 2500, 1500))],
+            SystemConfig::new(24, 2500, 1500),
+        )
+    }
+
+    #[test]
+    fn shared_serve_matches_single_threaded_semantics() {
+        let repo = SharedRepository::new(4).with_fallback(SystemConfig::new(24, 2400, 1700));
+        let b = bench_named("app");
+        repo.insert(&b, &model("app"));
+        assert!(repo.contains(&b));
+        assert_eq!(repo.len(), 1);
+
+        let served = repo.serve(&b).expect("hit");
+        assert_eq!(served.source, ModelSource::Repository);
+        assert_eq!(served.model, model("app"));
+
+        let other = bench_named("unknown");
+        let served = repo.serve(&other).expect("fallback");
+        assert_eq!(served.source, ModelSource::Fallback);
+
+        let s = repo.stats();
+        assert_eq!((s.hits, s.misses, s.fallbacks), (1, 1, 1));
+        assert_eq!(s, repo.shard_stats(), "atomic view mirrors shard truth");
+    }
+
+    #[test]
+    fn versions_are_per_application_across_shards() {
+        let repo = SharedRepository::new(8);
+        let a = bench_named("alpha");
+        let b = bench_named("beta");
+        assert_eq!(repo.publish_online(&a, &model("alpha"), vec![]), 1);
+        assert_eq!(repo.publish_online(&b, &model("beta"), vec![]), 1);
+        assert_eq!(repo.publish_online(&a, &model("alpha"), vec![]), 2);
+        assert_eq!(repo.provenance(&a).unwrap().version, 2);
+        assert_eq!(repo.provenance(&b).unwrap().version, 1);
+    }
+
+    #[test]
+    fn concurrent_serving_counts_every_lookup_exactly_once() {
+        // The double-count regression, concurrent edition: N threads ×
+        // hits + misses + publications under eviction pressure, and at
+        // the end the atomic aggregate must equal the per-shard truth
+        // and the exact expected totals.
+        let repo = SharedRepository::new(4)
+            .with_fallback(SystemConfig::taurus_default())
+            .with_capacity(8);
+        let stored = bench_named("hot-app");
+        repo.insert(&stored, &model("hot-app"));
+
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 50;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let repo = &repo;
+                let stored = &stored;
+                s.spawn(move || {
+                    let cold = bench_named(&format!("cold-{t}"));
+                    for i in 0..PER_THREAD {
+                        repo.serve(stored).expect("hit");
+                        repo.serve(&cold).expect("fallback");
+                        if i % 10 == 0 {
+                            let churn = bench_named(&format!("churn-{t}-{i}"));
+                            repo.insert(&churn, &model("churn"));
+                        }
+                    }
+                });
+            }
+        });
+
+        let s = repo.stats();
+        let expected_each = (THREADS as u64) * PER_THREAD;
+        assert_eq!(s.hits, expected_each, "one hit per stored serve");
+        assert_eq!(s.misses, expected_each, "one miss per cold serve");
+        assert_eq!(s.fallbacks, expected_each);
+        assert_eq!(s.lookups(), 2 * expected_each);
+        assert_eq!(s.publications, 1 + THREADS as u64 * 5);
+        assert!(s.evictions > 0, "churn must exceed the bound");
+        assert_eq!(s, repo.shard_stats(), "no drift between the two views");
+        assert!(repo.len() <= 8 * repo.shard_count(), "per-shard bounds");
+    }
+
+    #[test]
+    fn per_shard_capacity_divides_the_total() {
+        let repo = SharedRepository::new(4).with_capacity(8);
+        assert_eq!(repo.capacity(), Some(8));
+        // 2 per shard: flooding one shard's applications evicts there
+        // while other shards stay unaffected.
+        for i in 0..32 {
+            let b = bench_named(&format!("app-{i}"));
+            repo.insert(&b, &model("x"));
+        }
+        assert!(repo.len() <= 8, "per-shard bound enforced: {}", repo.len());
+        assert!(repo.stats().evictions >= 24);
+    }
+
+    #[test]
+    fn latch_leader_election_and_waiting() {
+        let latch = CalibrationLatch::new(4);
+        let key = ModelKey {
+            application: "app".into(),
+            fingerprint: 42,
+        };
+        assert_eq!(latch.status(&key), LatchStatus::Unclaimed);
+        assert!(latch.begin(&key), "first claimer leads");
+        assert!(!latch.begin(&key), "second claimer follows");
+        assert_eq!(latch.status(&key), LatchStatus::InFlight);
+
+        // Followers block until the leader resolves.
+        let outcome = std::thread::scope(|s| {
+            let waiter = s.spawn(|| latch.wait(&key));
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            latch.publish(&key);
+            waiter.join().expect("waiter thread")
+        });
+        assert_eq!(outcome, CalibrationOutcome::Published);
+        assert_eq!(
+            latch.status(&key),
+            LatchStatus::Done(CalibrationOutcome::Published)
+        );
+        // First resolution wins: a late belt-and-braces fail is a no-op.
+        latch.fail(&key);
+        assert_eq!(latch.wait(&key), CalibrationOutcome::Published);
+    }
+
+    #[test]
+    fn latch_wait_timeout_expires_and_resolves() {
+        use std::time::Duration;
+        let latch = CalibrationLatch::new(2);
+        let key = ModelKey {
+            application: "slow".into(),
+            fingerprint: 9,
+        };
+        assert!(latch.begin(&key));
+        // Unresolved claim: the bounded wait gives up…
+        assert_eq!(latch.wait_timeout(&key, Duration::from_millis(5)), None);
+        // …and sees the outcome once resolved, without sleeping.
+        latch.publish(&key);
+        assert_eq!(
+            latch.wait_timeout(&key, Duration::from_secs(5)),
+            Some(CalibrationOutcome::Published)
+        );
+    }
+
+    #[test]
+    fn latch_failure_unblocks_waiters_with_failed() {
+        let latch = CalibrationLatch::new(2);
+        let key = ModelKey {
+            application: "doomed".into(),
+            fingerprint: 7,
+        };
+        assert!(latch.begin(&key));
+        latch.fail(&key);
+        assert_eq!(latch.wait(&key), CalibrationOutcome::Failed);
+    }
+}

@@ -1,8 +1,11 @@
-//! Offline `parking_lot` shim: `Mutex` with parking_lot's panic-free
-//! `lock()` signature, backed by `std::sync::Mutex` (poisoning is
-//! ignored, matching parking_lot's behaviour).
+//! Offline `parking_lot` shim: `Mutex` and `RwLock` with parking_lot's
+//! panic-free `lock()`/`read()`/`write()` signatures, backed by the
+//! `std::sync` primitives (poisoning is ignored, matching parking_lot's
+//! behaviour).
 
-use std::sync::{Mutex as StdMutex, MutexGuard};
+use std::sync::{Mutex as StdMutex, MutexGuard, RwLock as StdRwLock};
+
+pub use std::sync::{RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion primitive with `parking_lot`'s API shape.
 #[derive(Debug, Default)]
@@ -35,6 +38,54 @@ impl<T> Mutex<T> {
     }
 }
 
+/// A reader-writer lock with `parking_lot`'s API shape: `read()` and
+/// `write()` never return a poison error.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: StdRwLock::new(value),
+        }
+    }
+
+    /// Acquire a shared read lock, ignoring poisoning.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match self.inner.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Acquire the exclusive write lock, ignoring poisoning.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match self.inner.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Mutable access without locking (the `&mut` proves uniqueness).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -45,5 +96,34 @@ mod tests {
         *m.lock() += 1;
         assert_eq!(*m.lock(), 6);
         assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let mut l = RwLock::new(1);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!((*a, *b), (1, 1), "shared readers coexist");
+        }
+        *l.write() += 1;
+        assert_eq!(*l.read(), 2);
+        *l.get_mut() += 1;
+        assert_eq!(l.into_inner(), 3);
+    }
+
+    #[test]
+    fn rwlock_across_threads() {
+        let l = RwLock::new(0u64);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        *l.write() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(l.into_inner(), 400);
     }
 }

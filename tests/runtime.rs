@@ -7,8 +7,8 @@
 use dvfs_ufs_tuning::kernels;
 use dvfs_ufs_tuning::ptf::{RandomSearch, TuningModel, TuningSession};
 use dvfs_ufs_tuning::rrl::{
-    ClusterScheduler, ModelSource, Placement, RuntimeError, RuntimeSession, Savings,
-    TuningModelRepository,
+    ClusterReport, ClusterScheduler, ModelSource, OnlineConfig, OnlineTuning, Placement,
+    RuntimeError, RuntimeSession, Savings, SharedRepository, TuningModelRepository,
 };
 use dvfs_ufs_tuning::simnode::{Cluster, Node, SystemConfig};
 use kernels::BenchmarkSpec;
@@ -191,6 +191,163 @@ fn cluster_run_matches_single_job_sessions_bit_for_bit() {
         "aggregate CPU savings: {:?}",
         report.aggregate
     );
+}
+
+/// A one-region OpenMP toy workload (cheap enough for 256-job queues).
+fn toy_bench(name: &str, instr: f64, iterations: u32) -> BenchmarkSpec {
+    use dvfs_ufs_tuning::simnode::RegionCharacter;
+    use kernels::{ProgrammingModel, RegionSpec, Suite};
+    BenchmarkSpec::new(
+        name,
+        Suite::Npb,
+        ProgrammingModel::OpenMp,
+        iterations,
+        vec![RegionSpec::new(
+            "omp parallel:1",
+            RegionCharacter::builder(instr).dram_bytes(instr).build(),
+        )],
+    )
+}
+
+/// Every per-job field that must be bit-identical between the sequential
+/// and the parallel event loop, plus the (submission-ordered, therefore
+/// equally deterministic) floating-point totals.
+fn assert_reports_bit_identical(parallel: &ClusterReport, sequential: &ClusterReport, tag: &str) {
+    assert_eq!(parallel.jobs.len(), sequential.jobs.len(), "{tag}");
+    for (p, s) in parallel.jobs.iter().zip(&sequential.jobs) {
+        assert_eq!(p.job, s.job, "{tag}: submission order");
+        assert_eq!(p.node_id, s.node_id, "{tag}: placement");
+        assert_eq!(
+            p.accounting.record, s.accounting.record,
+            "{tag}: job {} record",
+            p.job
+        );
+        assert_eq!(
+            p.accounting.regions, s.accounting.regions,
+            "{tag}: {}",
+            p.job
+        );
+        assert_eq!(p.accounting.switches, s.accounting.switches, "{tag}");
+        assert_eq!(p.accounting.source, s.accounting.source, "{tag}");
+        assert_eq!(p.accounting.online, s.accounting.online, "{tag}");
+        assert_eq!(p.default, s.default, "{tag}: baseline");
+        assert_eq!(p.savings, s.savings, "{tag}: savings");
+        assert_eq!(p.published_version, s.published_version, "{tag}");
+        assert_eq!(p.drift, s.drift, "{tag}: drift events");
+    }
+    assert_eq!(parallel.total_tuned, sequential.total_tuned, "{tag}");
+    assert_eq!(parallel.total_default, sequential.total_default, "{tag}");
+    assert_eq!(parallel.aggregate, sequential.aggregate, "{tag}");
+    assert_eq!(parallel.nodes_used, sequential.nodes_used, "{tag}");
+    assert_eq!(
+        parallel.repository.hits, sequential.repository.hits,
+        "{tag}: hit counts"
+    );
+    assert_eq!(
+        parallel.repository.misses, sequential.repository.misses,
+        "{tag}"
+    );
+    assert_eq!(
+        parallel.repository.fallbacks, sequential.repository.fallbacks,
+        "{tag}"
+    );
+}
+
+/// The PR's correctness anchor as a property: for 3 cluster seeds ×
+/// queue sizes {8, 64, 256}, a mixed hit/fallback queue produces a
+/// bit-identical `ClusterReport` whether the scheduler runs on one
+/// thread over a `TuningModelRepository` or across worker threads over a
+/// `SharedRepository`.
+#[test]
+fn parallel_report_bit_identical_across_seeds_and_queue_sizes() {
+    let fallback = SystemConfig::new(24, 2400, 1700);
+    let tuned = toy_bench("tuned-toy", 2e10, 12);
+    let untuned = toy_bench("untuned-toy", 1.2e10, 9);
+    let toy_model = TuningModel::new(
+        "tuned-toy",
+        &[("omp parallel:1".into(), SystemConfig::new(24, 2500, 1500))],
+        SystemConfig::new(24, 2500, 1500),
+    );
+
+    for (round, seed) in [0x5EED_u64, 0xBEEF, 0xC0FFEE].into_iter().enumerate() {
+        let cluster = Cluster::new(4 + round as u32, seed);
+        for jobs in [8usize, 64, 256] {
+            let submit = |sched: &mut ClusterScheduler<'_>| {
+                for i in 0..jobs {
+                    let bench = if i % 3 == 2 { &untuned } else { &tuned };
+                    sched.submit(format!("j{seed:x}-{i}"), bench.clone());
+                }
+            };
+
+            let mut repo = TuningModelRepository::new().with_fallback(fallback);
+            repo.insert(&tuned, &toy_model);
+            let mut seq = ClusterScheduler::new(&cluster).unwrap();
+            submit(&mut seq);
+            let sequential = seq.run(&mut repo).unwrap();
+
+            let shared = SharedRepository::new(8).with_fallback(fallback);
+            shared.insert(&tuned, &toy_model);
+            let mut par = ClusterScheduler::new(&cluster).unwrap();
+            submit(&mut par);
+            let workers = (jobs / 4).clamp(2, 8);
+            let parallel = par.run_parallel(&shared, workers).unwrap();
+
+            let tag = format!("seed={seed:#x} jobs={jobs} workers={workers}");
+            assert_reports_bit_identical(&parallel, &sequential, &tag);
+        }
+    }
+}
+
+/// The same property through the online-adaptation admission gate: a
+/// cold workload's first job calibrates (the latch leader), same-workload
+/// followers park on the latch and then hit the published model — and
+/// the whole report still matches the sequential run bit for bit.
+#[test]
+fn parallel_online_latch_bit_identical_across_seeds() {
+    let strategy = RandomSearch::new(12, 3);
+    let cold = toy_bench("cold-toy", 2.5e10, 40);
+    let stored = toy_bench("stored-toy", 1.5e10, 10);
+    let stored_model = TuningModel::new(
+        "stored-toy",
+        &[("omp parallel:1".into(), SystemConfig::new(24, 2500, 1600))],
+        SystemConfig::new(24, 2500, 1600),
+    );
+
+    for seed in [0x5EED_u64, 0xBEEF, 0xC0FFEE] {
+        let cluster = Cluster::new(4, seed);
+        let online = OnlineTuning {
+            strategy: &strategy,
+            energy_model: None,
+            config: OnlineConfig::default(),
+        };
+        for jobs in [8usize, 24] {
+            let submit = |sched: &mut ClusterScheduler<'_>| {
+                for i in 0..jobs {
+                    let bench = if i % 4 == 1 { &stored } else { &cold };
+                    sched.submit(format!("o{seed:x}-{i}"), bench.clone());
+                }
+            };
+
+            let mut repo = TuningModelRepository::new();
+            repo.insert(&stored, &stored_model);
+            let mut seq = ClusterScheduler::new(&cluster).unwrap().with_online(online);
+            submit(&mut seq);
+            let sequential = seq.run(&mut repo).unwrap();
+
+            let shared = SharedRepository::new(4);
+            shared.insert(&stored, &stored_model);
+            let mut par = ClusterScheduler::new(&cluster).unwrap().with_online(online);
+            submit(&mut par);
+            let parallel = par.run_parallel(&shared, 4).unwrap();
+
+            let tag = format!("online seed={seed:#x} jobs={jobs}");
+            assert_reports_bit_identical(&parallel, &sequential, &tag);
+            // Warm-up shape: exactly one calibration for the cold
+            // workload, everyone else hits (or monitors the stored one).
+            assert_eq!(parallel.online_summary().calibrations, 1, "{tag}");
+            assert_eq!(parallel.repository.misses, 1, "{tag}");
+        }
+    }
 }
 
 #[test]
