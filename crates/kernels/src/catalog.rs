@@ -42,6 +42,29 @@ pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
     all_benchmarks().into_iter().find(|b| b.name == name)
 }
 
+/// A synthetic one-region OpenMP benchmark: `instr` instructions (and the
+/// same DRAM traffic, making it memory-bound enough to tune) per phase
+/// iteration in a single `omp parallel:1` region.
+///
+/// This is the canonical toy workload the runtime tests, benches and the
+/// `testkit` scenario generator all build on — kept here so every
+/// consumer hashes to the same workload fingerprint instead of each
+/// hand-rolling its own near-identical spec.
+pub fn toy_benchmark(name: &str, instr: f64, phase_iterations: u32) -> BenchmarkSpec {
+    use crate::spec::{ProgrammingModel, RegionSpec, Suite};
+    use simnode::RegionCharacter;
+    BenchmarkSpec::new(
+        name,
+        Suite::Npb,
+        ProgrammingModel::OpenMp,
+        phase_iterations,
+        vec![RegionSpec::new(
+            "omp parallel:1",
+            RegionCharacter::builder(instr).dram_bytes(instr).build(),
+        )],
+    )
+}
+
 /// The five test-set benchmarks.
 pub fn test_set() -> Vec<BenchmarkSpec> {
     TEST_SET_NAMES
@@ -92,6 +115,16 @@ mod tests {
         assert!(benchmark("Lulesh").is_some());
         assert!(benchmark("CG").is_some());
         assert!(benchmark("nonexistent").is_none());
+    }
+
+    #[test]
+    fn toy_benchmark_is_one_region_and_fingerprint_stable() {
+        let a = toy_benchmark("toy", 1e9, 4);
+        assert_eq!(a.regions.len(), 1);
+        assert_eq!(a.phase_iterations, 4);
+        assert_eq!(a.fingerprint(), toy_benchmark("toy", 1e9, 4).fingerprint());
+        assert_ne!(a.fingerprint(), toy_benchmark("toy", 2e9, 4).fingerprint());
+        assert!(a.phase_character().validate().is_ok());
     }
 
     #[test]

@@ -23,5 +23,7 @@ pub mod real;
 pub mod spec;
 pub mod suites;
 
-pub use catalog::{all_benchmarks, benchmark, test_set, training_set, TEST_SET_NAMES};
+pub use catalog::{
+    all_benchmarks, benchmark, test_set, toy_benchmark, training_set, TEST_SET_NAMES,
+};
 pub use spec::{fnv1a, BenchmarkSpec, ProgrammingModel, RegionSpec, Suite};

@@ -46,10 +46,11 @@ use std::collections::BTreeSet;
 
 use kernels::BenchmarkSpec;
 use parking_lot::Mutex;
-use ptf::{EnergyModel, SearchStrategy};
+use ptf::{EnergyModel, SearchStrategy, TuningModel};
 use simnode::{Cluster, Node, SystemConfig};
 
 use crate::error::RuntimeError;
+use crate::inject::FaultInjector;
 use crate::online::{DriftEvent, ModelPublication, OnlineConfig, OnlineTuner};
 use crate::repository::{ModelKey, RepositoryStats, ServedModel, TuningModelRepository};
 use crate::sacct::{JobAccounting, JobRecord};
@@ -100,6 +101,22 @@ impl std::fmt::Debug for OnlineTuning<'_> {
     }
 }
 
+/// Record of a capability-gap rejection the scheduler *degraded* instead
+/// of aborting the run: the job's served tuning model (or its launch
+/// configuration) carried a configuration its placed node cannot apply
+/// ([`Node::supports`] said no), so the job ran untuned at the
+/// node-clamped default instead. Carries the job and node identity so
+/// scenario reports and shrinker output can name the culprit placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRejection {
+    /// The job whose model/launch was rejected.
+    pub job: String,
+    /// The node that rejected it.
+    pub node_id: u32,
+    /// The configuration the node could not apply.
+    pub config: SystemConfig,
+}
+
 /// One job's outcome after a scheduler run.
 #[derive(Debug, Clone)]
 pub struct JobOutcome {
@@ -121,6 +138,13 @@ pub struct JobOutcome {
     pub published_version: Option<u32>,
     /// Drift events this job fired.
     pub drift: Vec<DriftEvent>,
+    /// Set when the job's served model or launch configuration was
+    /// rejected by its node's capabilities and the job degraded to a
+    /// static run at the node-clamped default.
+    pub rejection: Option<JobRejection>,
+    /// Set when an injected fault truncated the job: the phase iteration
+    /// it stopped at (its baseline is truncated to match).
+    pub aborted_at: Option<u32>,
 }
 
 /// Aggregate result of one scheduler run.
@@ -222,6 +246,23 @@ impl ClusterReport {
                 online.recalibrated_regions,
             ));
         }
+        let aborted = self.jobs.iter().filter(|j| j.aborted_at.is_some()).count();
+        let rejected: Vec<&JobRejection> = self
+            .jobs
+            .iter()
+            .filter_map(|j| j.rejection.as_ref())
+            .collect();
+        if aborted > 0 || !rejected.is_empty() {
+            out.push_str(&format!(
+                "faults: {aborted} job{} aborted, {} degraded by capability gaps",
+                if aborted == 1 { "" } else { "s" },
+                rejected.len()
+            ));
+            for r in rejected {
+                out.push_str(&format!(" [{} on node {}]", r.job, r.node_id));
+            }
+            out.push('\n');
+        }
         out
     }
 }
@@ -262,21 +303,36 @@ enum EventOutcome {
 struct JobDriver<'b> {
     state: State<'b>,
     region_idx: usize,
+    /// Phase iterations this job will actually run: the benchmark's
+    /// count, or an injected abort point (clamped to ≥ 1).
+    iterations: u32,
     accounting: Option<JobAccounting>,
     default: Option<JobRecord>,
     published_version: Option<u32>,
     drift: Vec<DriftEvent>,
+    rejection: Option<JobRejection>,
 }
 
 impl<'b> JobDriver<'b> {
-    fn new() -> Self {
+    /// A driver for `job`, with any injected abort already resolved into
+    /// the effective iteration count — a pure function of the job name,
+    /// so both event loops (and both runs of a replay) truncate
+    /// identically.
+    fn new(job: &QueuedJob, faults: Option<&dyn FaultInjector>) -> Self {
+        let iterations = faults
+            .and_then(|f| f.abort_phase(&job.name))
+            .map_or(job.bench.phase_iterations, |k| {
+                k.max(1).min(job.bench.phase_iterations)
+            });
         Self {
             state: State::Waiting,
             region_idx: 0,
+            iterations,
             accounting: None,
             default: None,
             published_version: None,
             drift: Vec::new(),
+            rejection: None,
         }
     }
 
@@ -286,10 +342,10 @@ impl<'b> JobDriver<'b> {
 
     /// Whether the job's phase loop has run out of iterations (its next
     /// event must be the finish).
-    fn finished_iterations(&self, bench: &BenchmarkSpec) -> bool {
+    fn finished_iterations(&self) -> bool {
         match &self.state {
-            State::Plain(session) => session.phase_iteration() >= bench.phase_iterations,
-            State::Online(tuner) => tuner.phase_iteration() >= bench.phase_iterations,
+            State::Plain(session) => session.phase_iteration() >= self.iterations,
+            State::Online(tuner) => tuner.phase_iteration() >= self.iterations,
             State::Waiting | State::Done => false,
         }
     }
@@ -336,7 +392,11 @@ impl<'b> JobDriver<'b> {
 
     /// Finish an active job whose iterations are exhausted: collect its
     /// accounting, hand any converged model to `publish`, and run the
-    /// default-configuration baseline for the savings comparison.
+    /// default-configuration baseline for the savings comparison. The
+    /// baseline runs at the node-clamped default (identical to the
+    /// platform default on a full-capability node) and — for an aborted
+    /// job — over the same truncated phase count, so the savings compare
+    /// like with like.
     fn finish(
         &mut self,
         job: &QueuedJob,
@@ -357,17 +417,161 @@ impl<'b> JobDriver<'b> {
             }
             State::Waiting | State::Done => unreachable!("finish requires an active driver"),
         }
+        let truncated;
+        let baseline_bench = if self.iterations < job.bench.phase_iterations {
+            truncated = {
+                let mut b = job.bench.clone();
+                b.phase_iterations = self.iterations;
+                b
+            };
+            &truncated
+        } else {
+            &job.bench
+        };
         self.default = Some(
-            RuntimeSession::static_run(
-                &job.name,
-                &job.bench,
-                node,
-                SystemConfig::taurus_default(),
-            )?
-            .record,
+            RuntimeSession::static_run(&job.name, baseline_bench, node, node_default(node))?.record,
         );
         Ok(())
     }
+}
+
+/// The platform default clamped to what `node` can actually run — the
+/// launch/baseline configuration for jobs on capability-gapped nodes.
+/// Identical to [`SystemConfig::taurus_default`] on a full node.
+fn node_default(node: &Node) -> SystemConfig {
+    let default = SystemConfig::taurus_default();
+    default.with_threads(default.threads.min(node.topology().max_threads()))
+}
+
+/// Start the degraded replacement for a job whose served model or launch
+/// configuration its node rejected: an untuned static session at the
+/// node-clamped default, with the rejection recorded for the report.
+/// Errors with the distinct [`RuntimeError::JobRejected`] — naming the
+/// job and the node — when even the degraded configuration cannot run.
+fn start_degraded<'b>(
+    job: &'b QueuedJob,
+    node: &'b Node,
+    rejected: SystemConfig,
+) -> Result<(RuntimeSession<'b>, JobRejection), RuntimeError> {
+    let config = node_default(node);
+    let served = ServedModel::fallback(TuningModel::new(&job.bench.name, &[], config));
+    match RuntimeSession::start_from(&job.name, &job.bench, node, served, config) {
+        Ok(session) => Ok((
+            session,
+            JobRejection {
+                job: job.name.clone(),
+                node_id: node.id(),
+                config: rejected,
+            },
+        )),
+        Err(RuntimeError::UnsupportedConfig { .. } | RuntimeError::UnsupportedInitial { .. }) => {
+            Err(RuntimeError::JobRejected {
+                job: job.name.clone(),
+                node_id: node.id(),
+                application: job.bench.name.clone(),
+                config: rejected,
+            })
+        }
+        Err(other) => Err(other),
+    }
+}
+
+/// Start a plain serving session for an already-served model, degrading a
+/// capability-gap rejection to a static run instead of failing the job.
+fn start_plain<'b>(
+    job: &'b QueuedJob,
+    node: &'b Node,
+    served: ServedModel,
+) -> Result<(State<'b>, Option<JobRejection>), RuntimeError> {
+    match RuntimeSession::start(&job.name, &job.bench, node, served) {
+        Ok(session) => Ok((State::Plain(Box::new(session)), None)),
+        Err(
+            RuntimeError::UnsupportedConfig { config, .. }
+            | RuntimeError::UnsupportedInitial { config },
+        ) => {
+            let (session, rejection) = start_degraded(job, node, config)?;
+            Ok((State::Plain(Box::new(session)), Some(rejection)))
+        }
+        Err(other) => Err(other),
+    }
+}
+
+/// Start a drift-monitoring tuner for a repository hit, degrading a
+/// capability-gap rejection to a static run instead of failing the job.
+fn start_monitor<'b>(
+    job: &'b QueuedJob,
+    node: &'b Node,
+    served: ServedModel,
+    config: OnlineConfig,
+    faults: Option<&'b dyn FaultInjector>,
+) -> Result<(State<'b>, Option<JobRejection>), RuntimeError> {
+    match OnlineTuner::monitor(&job.name, &job.bench, node, served, config) {
+        Ok(tuner) => {
+            let tuner = match faults {
+                Some(f) => tuner.with_faults(f),
+                None => tuner,
+            };
+            Ok((State::Online(Box::new(tuner)), None))
+        }
+        Err(
+            RuntimeError::UnsupportedConfig { config, .. }
+            | RuntimeError::UnsupportedInitial { config },
+        ) => {
+            let (session, rejection) = start_degraded(job, node, config)?;
+            Ok((State::Plain(Box::new(session)), Some(rejection)))
+        }
+        Err(other) => Err(other),
+    }
+}
+
+/// Start a cold workload's calibration leader. Calibration refusals — an
+/// injected fault, an exploration-budget failure, a planning failure, or
+/// a capability-gap rejection of the calibration launch — degrade the
+/// leader instead of erroring; the returned flag tells the caller to mark
+/// the workload's calibration *failed* (the sequential `failed` set, or
+/// the parallel latch) so same-workload followers take the fallback path.
+fn start_calibration<'b>(
+    job: &'b QueuedJob,
+    node: &'b Node,
+    online: &OnlineTuning<'b>,
+    faults: Option<&'b dyn FaultInjector>,
+    serve_fallback: &mut dyn FnMut(&BenchmarkSpec) -> Result<ServedModel, RuntimeError>,
+) -> Result<(State<'b>, Option<JobRejection>, bool), RuntimeError> {
+    let injected = faults.is_some_and(|f| f.fail_calibration(&job.name));
+    if !injected {
+        match OnlineTuner::calibrate(
+            &job.name,
+            &job.bench,
+            node,
+            online.strategy,
+            online.energy_model,
+            online.config,
+        ) {
+            Ok(tuner) => {
+                let tuner = match faults {
+                    Some(f) => tuner.with_faults(f),
+                    None => tuner,
+                };
+                return Ok((State::Online(Box::new(tuner)), None, false));
+            }
+            // This workload cannot calibrate; fall through to the
+            // fallback path (the miss was already recorded).
+            Err(RuntimeError::ExplorationBudget { .. } | RuntimeError::Planning(_)) => {}
+            // The calibration launch itself cannot run on this node:
+            // degrade the job and fail the workload's calibration.
+            Err(
+                RuntimeError::UnsupportedConfig { config, .. }
+                | RuntimeError::UnsupportedInitial { config },
+            ) => {
+                let (session, rejection) = start_degraded(job, node, config)?;
+                return Ok((State::Plain(Box::new(session)), Some(rejection), true));
+            }
+            Err(other) => return Err(other),
+        }
+    }
+    let served = serve_fallback(&job.bench)?;
+    let (state, rejection) = start_plain(job, node, served)?;
+    Ok((state, rejection, true))
 }
 
 /// Fold finished drivers into the aggregate report (submission order, so
@@ -388,6 +592,8 @@ fn assemble_report(
     let mut total_tuned = total_default;
     let mut nodes_used = vec![false; cluster.len()];
     for (driver, job) in drivers.into_iter().zip(jobs) {
+        let aborted_at =
+            (driver.iterations < job.bench.phase_iterations).then_some(driver.iterations);
         let accounting = driver.accounting.expect("all jobs finished");
         let default = driver.default.expect("baseline computed at finish");
         total_default.job_energy_j += default.job_energy_j;
@@ -406,6 +612,8 @@ fn assemble_report(
             default,
             published_version: driver.published_version,
             drift: driver.drift,
+            rejection: driver.rejection,
+            aborted_at,
         });
     }
     ClusterReport {
@@ -451,6 +659,7 @@ pub struct ClusterScheduler<'a> {
     cluster: &'a Cluster,
     placement: Placement,
     online: Option<OnlineTuning<'a>>,
+    faults: Option<&'a dyn FaultInjector>,
     rr_next: usize,
     queue: Vec<QueuedJob>,
     /// Estimated phase work (instructions) assigned per node.
@@ -472,6 +681,7 @@ impl<'a> ClusterScheduler<'a> {
             cluster,
             placement: Placement::RoundRobin,
             online: None,
+            faults: None,
             rr_next: 0,
             queue: Vec::new(),
             load: vec![0.0; cluster.len()],
@@ -491,6 +701,19 @@ impl<'a> ClusterScheduler<'a> {
     #[must_use]
     pub fn with_online(mut self, online: OnlineTuning<'a>) -> Self {
         self.online = Some(online);
+        self
+    }
+
+    /// Attach a deterministic [`FaultInjector`] honored by both event
+    /// loops: jobs abort at an injected phase boundary (truncated
+    /// accounting and baseline), cold-workload calibrations can be
+    /// refused at admission, and monitoring jobs can have drift shifts
+    /// injected into their detectors. Every fault is a pure function of
+    /// the job identity, so a faulted parallel run still matches its
+    /// faulted sequential counterpart bit for bit.
+    #[must_use]
+    pub fn with_faults(mut self, faults: &'a dyn FaultInjector) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -550,15 +773,17 @@ impl<'a> ClusterScheduler<'a> {
     pub fn run(&mut self, repo: &mut TuningModelRepository) -> Result<ClusterReport, RuntimeError> {
         let cluster = self.cluster;
         let online = self.online;
+        let faults = self.faults;
         let jobs = self.take_queue();
 
-        let mut drivers: Vec<JobDriver<'_>> = jobs.iter().map(|_| JobDriver::new()).collect();
+        let mut drivers: Vec<JobDriver<'_>> =
+            jobs.iter().map(|job| JobDriver::new(job, faults)).collect();
 
         // Workload keys with a calibration in flight: same-key jobs wait.
         let mut calibrating: BTreeSet<ModelKey> = BTreeSet::new();
-        // Workload keys whose calibration failed (budget/planning): the
-        // rest of the queue degrades to ordinary fallback serving instead
-        // of re-attempting — and instead of aborting healthy jobs.
+        // Workload keys whose calibration failed (budget/planning/fault):
+        // the rest of the queue degrades to ordinary fallback serving
+        // instead of re-attempting — and instead of aborting healthy jobs.
         let mut failed: BTreeSet<ModelKey> = BTreeSet::new();
         let mut done = 0usize;
         while done < jobs.len() {
@@ -568,62 +793,37 @@ impl<'a> ClusterScheduler<'a> {
                     continue;
                 }
                 let node = cluster.node(job.node_idx);
-                driver.state = match &online {
-                    None => {
-                        let served = repo.serve(&job.bench)?;
-                        State::Plain(Box::new(RuntimeSession::start(
-                            &job.name, &job.bench, node, served,
-                        )?))
-                    }
+                let (state, rejection) = match &online {
+                    None => start_plain(job, node, repo.serve(&job.bench)?)?,
                     Some(online) => {
                         let key = ModelKey::of(&job.bench);
                         if failed.contains(&key) {
-                            let served = repo.serve(&job.bench)?;
-                            State::Plain(Box::new(RuntimeSession::start(
-                                &job.name, &job.bench, node, served,
-                            )?))
+                            start_plain(job, node, repo.serve(&job.bench)?)?
                         } else if calibrating.contains(&key) {
                             continue; // wait for the in-flight calibration
                         } else {
                             match repo.serve_stored(&job.bench)? {
-                                Some(served) => State::Online(Box::new(OnlineTuner::monitor(
-                                    &job.name,
-                                    &job.bench,
-                                    node,
-                                    served,
-                                    online.config,
-                                )?)),
-                                None => match OnlineTuner::calibrate(
-                                    &job.name,
-                                    &job.bench,
-                                    node,
-                                    online.strategy,
-                                    online.energy_model,
-                                    online.config,
-                                ) {
-                                    Ok(tuner) => {
-                                        calibrating.insert(key);
-                                        State::Online(Box::new(tuner))
-                                    }
-                                    Err(
-                                        RuntimeError::ExplorationBudget { .. }
-                                        | RuntimeError::Planning(_),
-                                    ) => {
-                                        // This workload cannot calibrate;
-                                        // fall back (the miss was already
-                                        // recorded by serve_stored).
+                                Some(served) => {
+                                    start_monitor(job, node, served, online.config, faults)?
+                                }
+                                None => {
+                                    let (state, rejection, calibration_failed) =
+                                        start_calibration(job, node, online, faults, &mut |b| {
+                                            repo.serve_fallback(b)
+                                        })?;
+                                    if calibration_failed {
                                         failed.insert(key);
-                                        let served = repo.serve_fallback(&job.bench)?;
-                                        State::Plain(Box::new(RuntimeSession::start(
-                                            &job.name, &job.bench, node, served,
-                                        )?))
+                                    } else {
+                                        calibrating.insert(key);
                                     }
-                                    Err(other) => return Err(other),
-                                },
+                                    (state, rejection)
+                                }
                             }
                         }
                     }
                 };
+                driver.state = state;
+                driver.rejection = rejection;
             }
 
             // Event pass: one event per active session per sweep.
@@ -631,7 +831,7 @@ impl<'a> ClusterScheduler<'a> {
                 if !driver.is_active() {
                     continue;
                 }
-                if driver.finished_iterations(&job.bench) {
+                if driver.finished_iterations() {
                     let was_online = matches!(driver.state, State::Online(_));
                     driver.finish(
                         job,
@@ -641,7 +841,16 @@ impl<'a> ClusterScheduler<'a> {
                         },
                     )?;
                     if was_online {
-                        calibrating.remove(&ModelKey::of(&job.bench));
+                        let key = ModelKey::of(&job.bench);
+                        let led_calibration = calibrating.remove(&key);
+                        if led_calibration && driver.published_version.is_none() {
+                            // The leader finished without converging
+                            // (e.g. an injected abort truncated the
+                            // calibration): same-key waiters degrade to
+                            // the fallback, exactly as the parallel
+                            // latch's failed outcome would make them.
+                            failed.insert(key);
+                        }
                     }
                     done += 1;
                 } else {
@@ -703,6 +912,7 @@ impl<'a> ClusterScheduler<'a> {
     ) -> Result<ClusterReport, RuntimeError> {
         let cluster = self.cluster;
         let online = self.online;
+        let faults = self.faults;
         let jobs = self.take_queue();
         if jobs.is_empty() {
             return Ok(assemble_report(cluster, &jobs, Vec::new(), repo.stats()));
@@ -740,7 +950,7 @@ impl<'a> ClusterScheduler<'a> {
             };
             slots.push(Slot {
                 admission: Some(admission),
-                driver: JobDriver::new(),
+                driver: JobDriver::new(job, faults),
                 lead,
             });
         }
@@ -786,13 +996,26 @@ impl<'a> ClusterScheduler<'a> {
                             .collect(),
                     };
                     if let Err(at) =
-                        drive_partition(cluster, repo, latch, online, job_chunk, slot_chunk)
+                        drive_partition(cluster, repo, latch, online, faults, job_chunk, slot_chunk)
                     {
                         errors.lock().push((w * chunk + at.0, at.1));
                     }
                 });
             }
         });
+        // The no-orphaned-claims invariant: every claim taken at
+        // classification must be resolved once the workers have exited —
+        // by a publication, a failure, or a worker's drop guard. An
+        // in-flight claim here would have been a future deadlock. Checked
+        // in release builds too (the cost is one pass over the claims):
+        // the soak harness runs `--release`, and a leaked claim whose
+        // followers all lived in the leader's own partition would
+        // otherwise pass silently.
+        assert_eq!(
+            latch.unresolved(),
+            0,
+            "run_parallel left orphaned calibration claims"
+        );
 
         let mut failures = errors.into_inner();
         failures.sort_by_key(|(idx, _)| *idx);
@@ -814,6 +1037,7 @@ fn drive_partition<'b>(
     repo: &SharedRepository,
     latch: &CalibrationLatch,
     online: &Option<OnlineTuning<'b>>,
+    faults: Option<&'b dyn FaultInjector>,
     jobs: &'b [QueuedJob],
     slots: &mut [Slot<'b>],
 ) -> Result<(), (usize, RuntimeError)> {
@@ -826,127 +1050,91 @@ fn drive_partition<'b>(
             if matches!(slot.driver.state, State::Waiting) {
                 let node = cluster.node(job.node_idx);
                 let fail = |e| (i, e);
-                slot.driver.state = match slot.admission.take().expect("waiting slot is classified")
-                {
-                    Admission::Plain(served) => State::Plain(Box::new(
-                        RuntimeSession::start(&job.name, &job.bench, node, served).map_err(fail)?,
-                    )),
-                    Admission::Monitor(served) => {
-                        let config = online.as_ref().expect("monitor implies online").config;
-                        State::Online(Box::new(
-                            OnlineTuner::monitor(&job.name, &job.bench, node, served, config)
-                                .map_err(fail)?,
-                        ))
-                    }
-                    Admission::Lead => {
-                        let online = online.as_ref().expect("lead implies online");
-                        let key = ModelKey::of(&job.bench);
-                        match OnlineTuner::calibrate(
-                            &job.name,
-                            &job.bench,
-                            node,
-                            online.strategy,
-                            online.energy_model,
-                            online.config,
-                        ) {
-                            Ok(tuner) => State::Online(Box::new(tuner)),
-                            Err(
-                                RuntimeError::ExplorationBudget { .. } | RuntimeError::Planning(_),
-                            ) => {
-                                // This workload cannot calibrate: release
-                                // the waiters to the fallback path and
-                                // run degraded (the miss was already
-                                // recorded at classification).
-                                latch.fail(&key);
-                                let served = repo.serve_fallback(&job.bench).map_err(fail)?;
-                                State::Plain(Box::new(
-                                    RuntimeSession::start(&job.name, &job.bench, node, served)
-                                        .map_err(fail)?,
-                                ))
-                            }
-                            Err(other) => return Err((i, other)),
+                let (state, rejection) =
+                    match slot.admission.take().expect("waiting slot is classified") {
+                        Admission::Plain(served) => start_plain(job, node, served).map_err(fail)?,
+                        Admission::Monitor(served) => {
+                            let config = online.as_ref().expect("monitor implies online").config;
+                            start_monitor(job, node, served, config, faults).map_err(fail)?
                         }
-                    }
-                    Admission::Follow => {
-                        let key = ModelKey::of(&job.bench);
-                        match latch.status(&key) {
-                            LatchStatus::InFlight | LatchStatus::Unclaimed => {
-                                // Leader still calibrating (possibly in
-                                // this very partition): stay waiting,
-                                // remember the key in case the whole
-                                // partition has nothing else to do.
-                                slot.admission = Some(Admission::Follow);
-                                blocked.get_or_insert(key);
-                                continue;
+                        Admission::Lead => {
+                            let online = online.as_ref().expect("lead implies online");
+                            let key = ModelKey::of(&job.bench);
+                            let (state, rejection, calibration_failed) =
+                                start_calibration(job, node, online, faults, &mut |b| {
+                                    repo.serve_fallback(b)
+                                })
+                                .map_err(fail)?;
+                            if calibration_failed {
+                                // This workload cannot calibrate: release
+                                // the waiters to the fallback path; the
+                                // leader runs degraded (the miss was
+                                // already recorded at classification).
+                                latch.fail(&key);
                             }
-                            LatchStatus::Done(CalibrationOutcome::Published) => {
-                                match repo.serve_stored(&job.bench).map_err(fail)? {
-                                    Some(served) => {
-                                        let config =
-                                            online.as_ref().expect("follow implies online").config;
-                                        State::Online(Box::new(
-                                            OnlineTuner::monitor(
-                                                &job.name, &job.bench, node, served, config,
+                            (state, rejection)
+                        }
+                        Admission::Follow => {
+                            let key = ModelKey::of(&job.bench);
+                            match latch.status(&key) {
+                                LatchStatus::InFlight | LatchStatus::Unclaimed => {
+                                    // Leader still calibrating (possibly in
+                                    // this very partition): stay waiting,
+                                    // remember the key in case the whole
+                                    // partition has nothing else to do.
+                                    slot.admission = Some(Admission::Follow);
+                                    blocked.get_or_insert(key);
+                                    continue;
+                                }
+                                LatchStatus::Done(CalibrationOutcome::Published) => {
+                                    match repo.serve_stored(&job.bench).map_err(fail)? {
+                                        Some(served) => {
+                                            let config = online
+                                                .as_ref()
+                                                .expect("follow implies online")
+                                                .config;
+                                            start_monitor(job, node, served, config, faults)
+                                                .map_err(fail)?
+                                        }
+                                        // Published but already LRU-evicted:
+                                        // calibrate afresh, exactly as the
+                                        // sequential admission would on the
+                                        // re-miss (the claim stays resolved,
+                                        // so under churn this heavy several
+                                        // same-workload followers may each
+                                        // re-calibrate rather than queue).
+                                        None => {
+                                            let online =
+                                                online.as_ref().expect("follow implies online");
+                                            let (state, rejection, _refused) = start_calibration(
+                                                job,
+                                                node,
+                                                online,
+                                                faults,
+                                                &mut |b| repo.serve_fallback(b),
                                             )
-                                            .map_err(fail)?,
-                                        ))
-                                    }
-                                    // Published but already LRU-evicted:
-                                    // calibrate afresh, exactly as the
-                                    // sequential admission would on the
-                                    // re-miss (the claim stays resolved,
-                                    // so under churn this heavy several
-                                    // same-workload followers may each
-                                    // re-calibrate rather than queue).
-                                    None => {
-                                        let online =
-                                            online.as_ref().expect("follow implies online");
-                                        match OnlineTuner::calibrate(
-                                            &job.name,
-                                            &job.bench,
-                                            node,
-                                            online.strategy,
-                                            online.energy_model,
-                                            online.config,
-                                        ) {
-                                            Ok(tuner) => State::Online(Box::new(tuner)),
-                                            Err(
-                                                RuntimeError::ExplorationBudget { .. }
-                                                | RuntimeError::Planning(_),
-                                            ) => {
-                                                let served = repo
-                                                    .serve_fallback(&job.bench)
-                                                    .map_err(fail)?;
-                                                State::Plain(Box::new(
-                                                    RuntimeSession::start(
-                                                        &job.name, &job.bench, node, served,
-                                                    )
-                                                    .map_err(fail)?,
-                                                ))
-                                            }
-                                            Err(other) => return Err((i, other)),
+                                            .map_err(fail)?;
+                                            (state, rejection)
                                         }
                                     }
                                 }
-                            }
-                            LatchStatus::Done(CalibrationOutcome::Failed) => {
-                                // Exactly the sequential failed-workload
-                                // path: a full serve (miss + fallback).
-                                let served = repo.serve(&job.bench).map_err(fail)?;
-                                State::Plain(Box::new(
-                                    RuntimeSession::start(&job.name, &job.bench, node, served)
-                                        .map_err(fail)?,
-                                ))
+                                LatchStatus::Done(CalibrationOutcome::Failed) => {
+                                    // Exactly the sequential failed-workload
+                                    // path: a full serve (miss + fallback).
+                                    let served = repo.serve(&job.bench).map_err(fail)?;
+                                    start_plain(job, node, served).map_err(fail)?
+                                }
                             }
                         }
-                    }
-                };
+                    };
+                slot.driver.state = state;
+                slot.driver.rejection = rejection;
                 progressed = true;
             }
 
             // Event: one step per active session per sweep.
             if slot.driver.is_active() {
-                if slot.driver.finished_iterations(&job.bench) {
+                if slot.driver.finished_iterations() {
                     slot.driver
                         .finish(
                             job,
@@ -998,7 +1186,6 @@ fn drive_partition<'b>(
 mod tests {
     use super::*;
     use ptf::TuningModel;
-    use simnode::RegionCharacter;
 
     fn lulesh_model() -> TuningModel {
         TuningModel::new(
@@ -1018,17 +1205,7 @@ mod tests {
     }
 
     fn toy(name: &str, instr: f64) -> BenchmarkSpec {
-        use kernels::{ProgrammingModel, RegionSpec, Suite};
-        BenchmarkSpec::new(
-            name,
-            Suite::Npb,
-            ProgrammingModel::OpenMp,
-            4,
-            vec![RegionSpec::new(
-                "omp parallel:1",
-                RegionCharacter::builder(instr).dram_bytes(instr).build(),
-            )],
-        )
+        kernels::toy_benchmark(name, instr, 4)
     }
 
     #[test]
@@ -1233,6 +1410,84 @@ mod tests {
         // followers: one miss + fallback each (the sequential counts).
         assert_eq!(report.repository.misses, 4);
         assert_eq!(report.repository.fallbacks, 4);
+    }
+
+    #[test]
+    fn injected_abort_truncates_job_and_baseline() {
+        struct AbortSecond;
+        impl crate::inject::FaultInjector for AbortSecond {
+            fn abort_phase(&self, job: &str) -> Option<u32> {
+                (job == "doomed").then_some(2)
+            }
+        }
+
+        let cluster = Cluster::exact(1);
+        let bench = toy("t", 5e9); // 4 phase iterations
+        let mut repo =
+            TuningModelRepository::new().with_fallback(SystemConfig::new(24, 2400, 1700));
+        let mut sched = ClusterScheduler::new(&cluster)
+            .unwrap()
+            .with_faults(&AbortSecond);
+        sched.submit("doomed", bench.clone());
+        sched.submit("healthy", bench.clone());
+        let report = sched.run(&mut repo).unwrap();
+
+        let doomed = &report.jobs[0];
+        let healthy = &report.jobs[1];
+        assert_eq!(doomed.aborted_at, Some(2));
+        assert_eq!(healthy.aborted_at, None);
+        // Truncated run: half the phases, so roughly half the energy and
+        // a baseline truncated to match (savings stay comparable).
+        assert!(doomed.accounting.record.elapsed_s < healthy.accounting.record.elapsed_s);
+        assert!(doomed.default.elapsed_s < healthy.default.elapsed_s);
+        let text = report.format_report();
+        assert!(text.contains("faults: 1 job aborted"), "{text}");
+    }
+
+    #[test]
+    fn capability_gap_degrades_job_instead_of_aborting_run() {
+        use simnode::Topology;
+        // Node 1 has half the cores: the stored 24-thread model — and the
+        // 24-thread platform default — cannot run there.
+        let mut small = Topology::taurus_haswell();
+        small.cores_per_socket = 6;
+        let cluster =
+            Cluster::from_nodes(vec![Node::exact(0), Node::exact(1).with_topology(small)]);
+        let lulesh = kernels::benchmark("Lulesh").unwrap();
+        let mut repo = TuningModelRepository::new();
+        repo.insert(&lulesh, &lulesh_model());
+
+        let mut sched = ClusterScheduler::new(&cluster).unwrap();
+        sched.submit("fits", lulesh.clone()); // node 0: full capability
+        sched.submit("gapped", lulesh.clone()); // node 1: rejected
+        let report = sched.run(&mut repo).expect("run degrades, not aborts");
+
+        let fits = &report.jobs[0];
+        assert!(fits.rejection.is_none());
+        assert_eq!(
+            fits.accounting.source,
+            crate::repository::ModelSource::Repository
+        );
+
+        let gapped = &report.jobs[1];
+        let rejection = gapped.rejection.as_ref().expect("gap recorded");
+        assert_eq!(rejection.job, "gapped");
+        assert_eq!(rejection.node_id, 1);
+        assert_eq!(
+            gapped.accounting.source,
+            crate::repository::ModelSource::Fallback,
+            "degraded to an untuned static run"
+        );
+        assert_eq!(gapped.accounting.switches, 0);
+        // The baseline ran at the node-clamped default, so savings are
+        // the honest zero-ish of an untuned job, not nonsense.
+        assert!(
+            gapped.savings.job_energy_pct.abs() < 5.0,
+            "{:?}",
+            gapped.savings
+        );
+        let text = report.format_report();
+        assert!(text.contains("gapped on node 1"), "{text}");
     }
 
     #[test]

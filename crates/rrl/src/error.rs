@@ -80,6 +80,27 @@ pub enum RuntimeError {
     },
     /// A cluster scheduler was created over a cluster with no nodes.
     EmptyCluster,
+    /// A scheduled job could not run on the node it was placed on: the
+    /// node's capabilities ([`simnode::Node::supports`]) rejected the
+    /// served model or launch configuration, *and* the scheduler's
+    /// degraded path (a static run at the node-clamped default) was
+    /// impossible too. Unlike the session-level
+    /// [`RuntimeError::UnsupportedConfig`], this names the job and the
+    /// node, so scenario reports and shrinker output can point at the
+    /// culprit placement. (Ordinarily a capability-gap rejection does
+    /// *not* surface as an error at all — the scheduler degrades the job
+    /// and records a [`JobRejection`](crate::JobRejection) in its
+    /// outcome.)
+    JobRejected {
+        /// The job that was placed on an incapable node.
+        job: String,
+        /// The node that rejected it.
+        node_id: u32,
+        /// Application whose model carried the configuration.
+        application: String,
+        /// The rejected configuration.
+        config: SystemConfig,
+    },
     /// Online calibration needs more exploration iterations than the job
     /// has phase iterations, so the tuner cannot converge before the job
     /// ends. Launch the job at the calibration fallback instead, or pick a
@@ -154,6 +175,16 @@ impl fmt::Display for RuntimeError {
             RuntimeError::EmptyCluster => {
                 write!(f, "cluster scheduler needs at least one node")
             }
+            RuntimeError::JobRejected {
+                job,
+                node_id,
+                application,
+                config,
+            } => write!(
+                f,
+                "job `{job}` ({application}) rejected by node {node_id}: \
+                 it cannot apply {config} and no degraded configuration fits"
+            ),
             RuntimeError::ExplorationBudget {
                 application,
                 needed,
@@ -224,6 +255,18 @@ mod tests {
         assert!(format!("{e}").contains("initial configuration"));
 
         assert!(format!("{}", RuntimeError::EmptyCluster).contains("node"));
+
+        let e = RuntimeError::JobRejected {
+            job: "job-7".into(),
+            node_id: 3,
+            application: "Lulesh".into(),
+            config: SystemConfig::new(24, 2500, 3000),
+        };
+        let s = format!("{e}");
+        assert!(
+            s.contains("job-7") && s.contains("node 3") && s.contains("Lulesh"),
+            "{s}"
+        );
 
         let e = RuntimeError::ExplorationBudget {
             application: "Lulesh".into(),

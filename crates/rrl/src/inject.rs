@@ -1,0 +1,99 @@
+//! Deterministic fault injection for the cluster runtime.
+//!
+//! The scenario engine (`testkit`) needs to drive the runtime through its
+//! unhappy paths — jobs dying mid-run, calibrations that cannot converge,
+//! workloads drifting away from their published expectations — without a
+//! `cfg(test)` fork of either event loop. [`FaultInjector`] is that seam:
+//! one trait object threaded into [`ClusterScheduler::run`] /
+//! [`run_parallel`](crate::ClusterScheduler::run_parallel) (via
+//! [`ClusterScheduler::with_faults`](crate::ClusterScheduler::with_faults))
+//! and into the [`OnlineTuner`](crate::OnlineTuner), consulted at the
+//! three points where a real cluster misbehaves:
+//!
+//! * **Job abort** — [`FaultInjector::abort_phase`]: the job stops at
+//!   phase iteration *k* (truncated run, accounting collected up to the
+//!   abort, savings compared against an equally truncated baseline). A
+//!   calibration *leader* that aborts before converging fails its
+//!   workload's calibration, so same-workload followers degrade to the
+//!   fallback — in both event loops.
+//! * **Calibration failure** — [`FaultInjector::fail_calibration`]: a
+//!   cold workload's calibration is refused at admission, exactly like an
+//!   exploration-budget failure (the leader runs degraded, followers
+//!   serve the fallback).
+//! * **Drift shift** — [`FaultInjector::drift_scale`]: the per-region
+//!   energy a monitoring job feeds its
+//!   [`DriftDetector`](crate::DriftDetector) is scaled by the returned
+//!   factor, simulating a workload that shifted away from the published
+//!   expectations mid-run. The job's *accounting* is untouched — only the
+//!   detector's view shifts, so the fault exercises detection and scoped
+//!   re-calibration, not the ledger.
+//!
+//! Every hook is a pure function of the job identity (name, region,
+//! iteration), never of wall-clock time or thread identity — which is
+//! what keeps a faulted parallel run bit-identical to the same faulted
+//! sequential run, and any faulted run bit-identical to its replay.
+//!
+//! [`ClusterScheduler::run`]: crate::ClusterScheduler::run
+
+/// Deterministic fault decisions for one scheduler run.
+///
+/// Implementations must be `Sync` (one injector serves every worker of a
+/// parallel run) and must answer from the *arguments alone* so the two
+/// event loops — and two runs of the same scenario — observe identical
+/// faults. All hooks default to "no fault"; implement only the kinds a
+/// scenario uses.
+pub trait FaultInjector: Sync {
+    /// Abort `job` when it reaches this phase iteration: the job runs
+    /// `min(abort_phase, bench.phase_iterations)` iterations and then
+    /// finishes normally (truncated accounting, truncated baseline).
+    /// Values are clamped to ≥ 1 — a job always runs at least one phase.
+    /// `None` (the default) lets the job run to completion.
+    fn abort_phase(&self, job: &str) -> Option<u32> {
+        let _ = job;
+        None
+    }
+
+    /// Refuse `job`'s cold-workload calibration at admission, as if its
+    /// exploration plan had not fit the phase loop. The job runs degraded
+    /// on the calibration fallback path; same-workload followers do too.
+    fn fail_calibration(&self, job: &str) -> bool {
+        let _ = job;
+        false
+    }
+
+    /// Factor applied to the region energy `job` feeds its drift detector
+    /// for `region` at phase `iteration` (1.0 = no shift). Return e.g.
+    /// 1.5 from iteration *k* onwards to simulate a mid-run workload
+    /// shift that fires the detector.
+    fn drift_scale(&self, job: &str, region: &str, iteration: u32) -> f64 {
+        let _ = (job, region, iteration);
+        1.0
+    }
+}
+
+/// The no-fault injector: every hook answers "healthy".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_is_inert() {
+        let f = NoFaults;
+        assert_eq!(f.abort_phase("j"), None);
+        assert!(!f.fail_calibration("j"));
+        assert_eq!(f.drift_scale("j", "r", 3), 1.0);
+    }
+
+    #[test]
+    fn injectors_are_object_safe_and_sync() {
+        fn takes(_: &dyn FaultInjector) {}
+        fn sync<T: Sync>(_: &T) {}
+        takes(&NoFaults);
+        sync(&NoFaults);
+    }
+}

@@ -38,6 +38,11 @@
 //!   ([`ClusterScheduler::run`]) or across real worker threads over a
 //!   [`SharedRepository`] ([`ClusterScheduler::run_parallel`]), with
 //!   bit-identical per-job accounting either way,
+//! * [`inject`] — deterministic fault injection: the [`FaultInjector`]
+//!   seam both event loops and the online tuner honor (job aborts at a
+//!   phase boundary, refused calibrations, injected drift shifts), so a
+//!   scenario engine can drive the unhappy paths without forking the
+//!   runtime,
 //! * [`sacct`] — SLURM-style job accounting: the job-level Table VI
 //!   record plus the per-region energy/time breakdown,
 //! * [`savings`] — default-vs-tuned comparisons including the
@@ -61,6 +66,7 @@
 
 pub mod cluster;
 pub mod error;
+pub mod inject;
 pub mod online;
 pub mod rat;
 pub mod repository;
@@ -72,9 +78,11 @@ pub mod static_tuning;
 pub mod tmm;
 
 pub use cluster::{
-    ClusterReport, ClusterScheduler, JobOutcome, OnlineSummary, OnlineTuning, Placement,
+    ClusterReport, ClusterScheduler, JobOutcome, JobRejection, OnlineSummary, OnlineTuning,
+    Placement,
 };
 pub use error::RuntimeError;
+pub use inject::{FaultInjector, NoFaults};
 pub use online::{
     ConvergedModel, DriftConfig, DriftDetector, DriftEvent, DriftPolicy, ModelPublication,
     OnlineConfig, OnlineOutcome, OnlineTuner,

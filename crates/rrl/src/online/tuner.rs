@@ -10,6 +10,7 @@ use ptf::{EnergyModel, SearchSpace, SearchStrategy, TuningModel};
 use simnode::{Node, SystemConfig};
 
 use crate::error::RuntimeError;
+use crate::inject::FaultInjector;
 use crate::online::drift::{DriftDetector, DriftEvent, DriftPolicy};
 use crate::online::schedule::CalibrationSchedule;
 use crate::online::{cfg_key, OnlineConfig};
@@ -90,6 +91,7 @@ pub struct OnlineTuner<'a> {
     session: RuntimeSession<'a>,
     mode: Mode<'a>,
     config: OnlineConfig,
+    faults: Option<&'a dyn FaultInjector>,
 }
 
 impl<'a> OnlineTuner<'a> {
@@ -122,6 +124,7 @@ impl<'a> OnlineTuner<'a> {
             session,
             mode: Mode::Calibrate(Box::new(schedule)),
             config,
+            faults: None,
         })
     }
 
@@ -155,7 +158,20 @@ impl<'a> OnlineTuner<'a> {
                 recalibrated: 0,
             })),
             config,
+            faults: None,
         })
+    }
+
+    /// Attach a deterministic [`FaultInjector`] (builder form). The only
+    /// hook the tuner itself consults is
+    /// [`drift_scale`](FaultInjector::drift_scale) — the factor applied
+    /// to the region energy a *monitoring* session feeds its drift
+    /// detector, simulating a mid-run workload shift. Accounting is
+    /// unaffected; abort/calibration faults are the scheduler's to honor.
+    #[must_use]
+    pub fn with_faults(mut self, faults: &'a dyn FaultInjector) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// The job name this tuner accounts under.
@@ -259,9 +275,16 @@ impl<'a> OnlineTuner<'a> {
                 schedule.record(idx, &exit);
             }
             Mode::Monitor(state) => {
+                // An injected drift shift scales only the energy the
+                // detector sees — the job's own ledger stays truthful.
+                let drift_energy_j = exit.node_energy_j
+                    * self.faults.map_or(1.0, |f| {
+                        f.drift_scale(self.session.job(), region, iteration)
+                    });
                 state.observe(
                     region,
                     &exit,
+                    drift_energy_j,
                     iteration,
                     bench,
                     self.session.node(),
@@ -397,12 +420,16 @@ impl<'a> OnlineTuner<'a> {
 
 impl MonitorState {
     /// Feed one region measurement: advance an in-flight re-calibration,
-    /// or run drift detection and possibly start one.
+    /// or run drift detection and possibly start one. `drift_energy_j` is
+    /// the energy the detector observes — the measured value, optionally
+    /// scaled by an injected drift shift; re-calibration measurements
+    /// always use the true `exit` values.
     #[allow(clippy::too_many_arguments)]
     fn observe(
         &mut self,
         region: &str,
         exit: &RegionExit,
+        drift_energy_j: f64,
         iteration: u32,
         bench: &BenchmarkSpec,
         node: &Node,
@@ -451,7 +478,7 @@ impl MonitorState {
         let fired = self
             .detector
             .as_mut()
-            .and_then(|d| d.observe(region, exit.node_energy_j, iteration));
+            .and_then(|d| d.observe(region, drift_energy_j, iteration));
         if fired.is_some() && config.drift_policy == DriftPolicy::Recalibrate {
             let current = match self.adapt.get(region) {
                 Some(RegionAdapt::Converged { config, .. }) => *config,

@@ -191,6 +191,23 @@ impl CalibrationLatch {
         shard.resolved.notify_all();
     }
 
+    /// Claims still in flight across all segments — the
+    /// *no-orphaned-claims* invariant says this must be zero once a run's
+    /// workers have exited (every claim resolves by publication, failure,
+    /// or a worker's drop guard; an in-flight claim here would have been
+    /// a future deadlock for its followers).
+    pub fn unresolved(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                lock_ignore_poison(&s.claims)
+                    .values()
+                    .filter(|v| matches!(v, LatchState::InFlight))
+                    .count()
+            })
+            .sum()
+    }
+
     /// Non-blocking peek at `key`'s state.
     pub fn status(&self, key: &ModelKey) -> LatchStatus {
         let shard = self.shard(key);
@@ -609,9 +626,15 @@ mod tests {
             fingerprint: 42,
         };
         assert_eq!(latch.status(&key), LatchStatus::Unclaimed);
+        assert_eq!(latch.unresolved(), 0);
         assert!(latch.begin(&key), "first claimer leads");
         assert!(!latch.begin(&key), "second claimer follows");
         assert_eq!(latch.status(&key), LatchStatus::InFlight);
+        assert_eq!(
+            latch.unresolved(),
+            1,
+            "the claim is an orphan until resolved"
+        );
 
         // Followers block until the leader resolves.
         let outcome = std::thread::scope(|s| {

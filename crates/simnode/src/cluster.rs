@@ -29,6 +29,13 @@ impl Cluster {
         }
     }
 
+    /// Build a cluster from hand-constructed nodes — the entry point for
+    /// *heterogeneous* fleets (per-node variability, counter noise or
+    /// topology overrides, as a scenario generator produces them).
+    pub fn from_nodes(nodes: Vec<Node>) -> Self {
+        Self { nodes }
+    }
+
     /// Number of nodes.
     pub fn len(&self) -> usize {
         self.nodes.len()
@@ -86,6 +93,17 @@ mod tests {
             assert_eq!(n.variability(), 1.0);
             assert_eq!(n.counter_noise_sd(), 0.0);
         }
+    }
+
+    #[test]
+    fn from_nodes_builds_heterogeneous_fleets() {
+        let c = Cluster::from_nodes(vec![
+            Node::exact(0).with_variability(1.05),
+            Node::new(1, 9).with_counter_noise(0.01),
+        ]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.node(0).variability(), 1.05);
+        assert_eq!(c.node(1).counter_noise_sd(), 0.01);
     }
 
     #[test]

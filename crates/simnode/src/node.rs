@@ -76,6 +76,17 @@ impl Node {
         self
     }
 
+    /// Override the node's topology — the lever for modelling
+    /// *capability gaps* in a heterogeneous fleet (e.g. a node with fewer
+    /// cores than the Taurus reference, which then rejects 24-thread
+    /// configurations through [`Node::supports`]). The MSR bank is
+    /// rebuilt to match the new topology.
+    pub fn with_topology(mut self, topo: Topology) -> Self {
+        self.msr = MsrBank::new(topo);
+        self.topo = topo;
+        self
+    }
+
     /// Node identifier.
     pub fn id(&self) -> u32 {
         self.id
@@ -182,6 +193,22 @@ mod tests {
         assert!(!n.supports(&SystemConfig::new(24, 2600, 3000)), "CF high");
         assert!(!n.supports(&SystemConfig::new(24, 2450, 3000)), "off-step");
         assert!(!n.supports(&SystemConfig::new(24, 2500, 1200)), "UCF low");
+    }
+
+    #[test]
+    fn reduced_topology_rejects_wide_configs() {
+        let mut topo = Topology::taurus_haswell();
+        topo.cores_per_socket = 6; // 12-core node: a capability gap
+        let n = Node::exact(0).with_topology(topo);
+        assert_eq!(n.topology().max_threads(), 12);
+        assert!(n.supports(&SystemConfig::new(12, 2500, 3000)));
+        assert!(
+            !n.supports(&SystemConfig::taurus_default()),
+            "24-thread configs are beyond the gapped node"
+        );
+        // The MSR bank was rebuilt for the reduced core count.
+        n.apply_frequencies(&SystemConfig::new(12, 1600, 2300));
+        assert_eq!(n.programmed_frequencies(), (1600, 2300));
     }
 
     #[test]

@@ -1,0 +1,414 @@
+//! Seeded scenario generation: seed → [`Scenario`].
+//!
+//! The generator samples every messy property the ROADMAP promises the
+//! runtime handles — bursty or Poisson job arrivals over a mixed workload
+//! population (kernel-catalog specs plus size-jittered synthetics),
+//! heterogeneous fleets with power-variability spreads and capability
+//! gaps, repository pressure that forces mid-run eviction, and a
+//! [`FaultPlan`] of job aborts, refused calibrations and mid-run drift
+//! shifts — from one `u64` seed through a splitmix64 stream. The same
+//! seed always yields the same [`Scenario`], byte for byte.
+
+use crate::scenario::{
+    AbortFault, DriftShiftFault, FaultPlan, FleetSpec, JobSpec, NodeSpec, OnlineSpec,
+    RepositorySpec, Scenario, StoredModel, WorkloadSpec,
+};
+use kernels::BenchmarkSpec;
+use simnode::SystemConfig;
+
+/// SplitMix64 — the generator's only randomness primitive.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform f64 in `[0, 1)`.
+fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Uniform usize in `[0, n)` (n > 0).
+fn below(state: &mut u64, n: usize) -> usize {
+    (splitmix64(state) % n as u64) as usize
+}
+
+/// The job interarrival model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalModel {
+    /// Exponential interarrivals with the given mean (s) — a Poisson
+    /// process, the steady-traffic shape.
+    Poisson {
+        /// Mean interarrival time, seconds.
+        mean_s: f64,
+    },
+    /// Back-to-back bursts of `burst` jobs separated by `gap_s` — the
+    /// resubmission-wave shape. Note the scheduler itself has no time
+    /// model: arrival times document the trace shape in replays (and
+    /// perturb the sampling stream); submission order is what the
+    /// runtime sees. Latch contention comes from workload composition
+    /// (cold workloads + skewed popularity), not from `gap_s`.
+    Bursty {
+        /// Jobs per burst.
+        burst: usize,
+        /// Gap between bursts, seconds.
+        gap_s: f64,
+    },
+}
+
+/// Knobs for [`ScenarioGenerator`]. The defaults describe a small but
+/// fully mixed scenario: heterogeneous fleet, warm *and* cold workloads,
+/// faults on roughly a fifth of the jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// Jobs in the arrival trace.
+    pub jobs: usize,
+    /// Fleet size.
+    pub nodes: usize,
+    /// Workload-population size.
+    pub workloads: usize,
+    /// Interarrival model.
+    pub arrivals: ArrivalModel,
+    /// Attach online adaptation (calibrate-on-miss, drift monitoring).
+    pub online: bool,
+    /// Fraction of workloads pre-stored in the repository (drift-armed
+    /// [`StoredModel::Calibrated`] entries when online, plain
+    /// [`StoredModel::Design`] entries otherwise).
+    pub stored_fraction: f64,
+    /// Fraction of nodes with a capability gap (12 threads instead of
+    /// 24), whose jobs the scheduler must degrade when served full-width
+    /// models.
+    pub capability_gap_fraction: f64,
+    /// Bound the repositories below the publishing-workload count so the
+    /// LRU evicts *mid-run* (the documented bit-identity caveat regime).
+    pub eviction_pressure: bool,
+    /// Fraction of jobs carrying an injected fault.
+    pub fault_fraction: f64,
+    /// Relative size jitter applied per workload (0.2 ⇒ ±20 % work).
+    pub size_jitter: f64,
+    /// Include a kernel-catalog benchmark (miniMD) in the population when
+    /// it fits the calibration budget.
+    pub catalog_workloads: bool,
+    /// Worker threads for the parallel run.
+    pub workers: usize,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            jobs: 16,
+            nodes: 4,
+            workloads: 3,
+            arrivals: ArrivalModel::Poisson { mean_s: 30.0 },
+            online: true,
+            stored_fraction: 0.4,
+            capability_gap_fraction: 0.25,
+            eviction_pressure: false,
+            fault_fraction: 0.2,
+            size_jitter: 0.2,
+            catalog_workloads: true,
+            workers: 4,
+        }
+    }
+}
+
+/// Seed → [`Scenario`]. One generator, many seeds: a scenario matrix.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioGenerator {
+    cfg: GeneratorConfig,
+}
+
+impl ScenarioGenerator {
+    /// A generator with the given knobs.
+    pub fn new(cfg: GeneratorConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The knobs in use.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.cfg
+    }
+
+    /// Generate the scenario for `seed` (pure: same seed, same scenario).
+    pub fn generate(&self, seed: u64) -> Scenario {
+        let cfg = &self.cfg;
+        let mut rng = seed ^ 0x7E57_4B17_5EED_0001;
+
+        let fleet = self.gen_fleet(seed, &mut rng);
+        let workloads = self.gen_workloads(seed, &mut rng);
+        let jobs = self.gen_jobs(&workloads, &mut rng);
+        let faults = self.gen_faults(&workloads, &jobs, &mut rng);
+
+        let publishing = workloads.len();
+        let capacity = if cfg.eviction_pressure {
+            (publishing / 2).max(1)
+        } else {
+            0
+        };
+
+        Scenario {
+            seed,
+            fleet,
+            workloads,
+            jobs,
+            repository: RepositorySpec {
+                fallback: Some(SystemConfig::new(24, 2400, 1700)),
+                capacity,
+                // Under pressure the bound must bite *globally*: with one
+                // stripe the shared repository's per-shard bound equals
+                // the requested capacity, so eviction pressure is a
+                // property of the scenario, not of the application-hash
+                // spread across stripes.
+                shards: if cfg.eviction_pressure { 1 } else { 4 },
+            },
+            online: cfg.online.then_some(OnlineSpec {
+                search_pool: 10,
+                search_seed: seed ^ 0x5EED,
+            }),
+            workers: cfg.workers.max(1),
+            faults,
+        }
+    }
+
+    fn gen_fleet(&self, seed: u64, rng: &mut u64) -> FleetSpec {
+        let nodes = (0..self.cfg.nodes.max(1))
+            .map(|_| {
+                let gapped = unit(rng) < self.cfg.capability_gap_fraction;
+                NodeSpec {
+                    // ±6 % spread — wider than the default sampling, still
+                    // inside the ±15 % drift band so only *injected*
+                    // shifts fire detectors.
+                    variability: 1.0 + (unit(rng) - 0.5) * 0.12,
+                    counter_noise_sd: unit(rng) * 0.004,
+                    cores_per_socket: if gapped { 6 } else { NodeSpec::FULL_CORES },
+                }
+            })
+            .collect();
+        FleetSpec { seed, nodes }
+    }
+
+    fn gen_workloads(&self, seed: u64, rng: &mut u64) -> Vec<WorkloadSpec> {
+        let cfg = &self.cfg;
+        let mut out = Vec::with_capacity(cfg.workloads.max(1));
+        for w in 0..cfg.workloads.max(1) {
+            let bench = if cfg.catalog_workloads && cfg.online && w == 1 {
+                // One catalog spec in the mix: miniMD's 25 iterations
+                // fund a pool-10 calibration.
+                kernels::benchmark("miniMD").expect("catalog has miniMD")
+            } else {
+                self.gen_synthetic(seed, w, rng)
+            };
+            let stored = if unit(rng) < cfg.stored_fraction {
+                if cfg.online {
+                    StoredModel::Calibrated
+                } else {
+                    StoredModel::Design
+                }
+            } else {
+                StoredModel::None
+            };
+            out.push(WorkloadSpec { bench, stored });
+        }
+        out
+    }
+
+    /// A synthetic multi-region workload: clearly significant regions
+    /// (≫ 100 ms at the calibration point) with distinct memory
+    /// intensities, plus an insignificant filler — sizes jittered per
+    /// workload so no two populations share a fingerprint.
+    fn gen_synthetic(&self, seed: u64, w: usize, rng: &mut u64) -> BenchmarkSpec {
+        use kernels::{ProgrammingModel, RegionSpec, Suite};
+        use simnode::RegionCharacter;
+
+        let jitter = 1.0 + (unit(rng) - 0.5) * 2.0 * self.cfg.size_jitter;
+        let n_regions = 1 + below(rng, 3);
+        let mut regions = Vec::with_capacity(n_regions + 1);
+        for r in 0..n_regions {
+            let instr = (1.5e10 + unit(rng) * 2.0e10) * jitter;
+            let dram_ratio = 0.3 + unit(rng) * 2.5;
+            regions.push(RegionSpec::new(
+                format!("region_{r}"),
+                RegionCharacter::builder(instr)
+                    .ipc(1.2 + unit(rng))
+                    .parallel(0.99)
+                    .dram_bytes(dram_ratio * instr)
+                    .stalls(0.2 + 0.4 * unit(rng))
+                    .build(),
+            ));
+        }
+        regions.push(RegionSpec::new(
+            "filler",
+            RegionCharacter::builder(5e7).build(),
+        ));
+        // Online calibrations need the thread sweep + analysis + pool +
+        // verification to fit; offline runs can be much shorter.
+        let iterations = if self.cfg.online {
+            28 + below(rng, 14) as u32
+        } else {
+            6 + below(rng, 8) as u32
+        };
+        BenchmarkSpec::new(
+            format!("wl{w}-{seed:016x}"),
+            Suite::Npb,
+            ProgrammingModel::Hybrid,
+            iterations,
+            regions,
+        )
+    }
+
+    fn gen_jobs(&self, workloads: &[WorkloadSpec], rng: &mut u64) -> Vec<JobSpec> {
+        let cfg = &self.cfg;
+        let mut arrival = 0.0f64;
+        let mut jobs = Vec::with_capacity(cfg.jobs);
+        for i in 0..cfg.jobs {
+            arrival += match cfg.arrivals {
+                ArrivalModel::Poisson { mean_s } => {
+                    // Inverse-CDF exponential draw.
+                    -mean_s * (1.0 - unit(rng)).ln()
+                }
+                ArrivalModel::Bursty { burst, gap_s } => {
+                    if i % burst.max(1) == 0 && i > 0 {
+                        gap_s
+                    } else {
+                        0.0
+                    }
+                }
+            };
+            // Skewed popularity: half the traffic resubmits workload 0.
+            let w = if unit(rng) < 0.5 {
+                0
+            } else {
+                below(rng, workloads.len())
+            };
+            jobs.push(JobSpec {
+                name: format!("j{i}-w{w}"),
+                workload: w,
+                arrival_s: arrival,
+            });
+        }
+        jobs
+    }
+
+    fn gen_faults(&self, workloads: &[WorkloadSpec], jobs: &[JobSpec], rng: &mut u64) -> FaultPlan {
+        let mut plan = FaultPlan::default();
+        // At most one drift shift per *workload*: concurrent same-app
+        // re-publications would assign versions in worker order, which is
+        // the one documented nondeterminism — scenario faults stay inside
+        // the bit-identity contract.
+        let mut drifted: Vec<usize> = Vec::new();
+        // One calibration-failure injection per workload too (only the
+        // leader's admission consults it, but keeping the plan minimal
+        // makes shrunk scenarios easier to read).
+        let mut calibration_failed: Vec<usize> = Vec::new();
+        for job in jobs {
+            if unit(rng) >= self.cfg.fault_fraction {
+                continue;
+            }
+            let workload = &workloads[job.workload];
+            let iterations = workload.bench.phase_iterations;
+            let drift_armed = self.cfg.online
+                && workload.stored == StoredModel::Calibrated
+                && !drifted.contains(&job.workload);
+            let cold = workload.stored == StoredModel::None;
+            match below(rng, 3) {
+                // A mid-run drift shift on a monitored workload.
+                0 if drift_armed => {
+                    drifted.push(job.workload);
+                    plan.drift_shifts.push(DriftShiftFault {
+                        job: job.name.clone(),
+                        region: workload.bench.regions[0].name.clone(),
+                        from_iteration: iterations / 4,
+                        factor: 1.4 + unit(rng) * 0.5,
+                    });
+                }
+                // A refused calibration on a cold workload.
+                1 if self.cfg.online && cold && !calibration_failed.contains(&job.workload) => {
+                    calibration_failed.push(job.workload);
+                    plan.calibration_failures.push(job.name.clone());
+                }
+                // Default: abort the job somewhere inside its phase loop.
+                _ => {
+                    let phase = 1 + below(rng, iterations.saturating_sub(1).max(1) as usize) as u32;
+                    plan.aborts.push(AbortFault {
+                        job: job.name.clone(),
+                        phase,
+                    });
+                }
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_scenario() {
+        let generator = ScenarioGenerator::default();
+        let a = generator.generate(42);
+        let b = generator.generate(42);
+        assert_eq!(a, b, "generation is pure");
+        let c = generator.generate(43);
+        assert_ne!(a, c, "different seeds differ");
+    }
+
+    #[test]
+    fn generated_scenarios_are_well_formed() {
+        let generator = ScenarioGenerator::new(GeneratorConfig {
+            jobs: 24,
+            nodes: 5,
+            workloads: 4,
+            ..GeneratorConfig::default()
+        });
+        for seed in 0..8u64 {
+            let s = generator.generate(seed);
+            assert_eq!(s.jobs.len(), 24);
+            assert_eq!(s.fleet.nodes.len(), 5);
+            assert_eq!(s.workloads.len(), 4);
+            // Arrival order is submission order and non-decreasing.
+            for pair in s.jobs.windows(2) {
+                assert!(pair[1].arrival_s >= pair[0].arrival_s);
+            }
+            for job in &s.jobs {
+                assert!(job.workload < s.workloads.len());
+            }
+            // Every fault names a real job.
+            let mut pruned = s.clone();
+            pruned.faults.retain_jobs(&pruned.jobs);
+            assert_eq!(pruned.faults, s.faults);
+            // Replay round-trips the whole artefact.
+            assert_eq!(Scenario::from_replay(&s.to_replay()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn bursty_arrivals_cluster_in_bursts() {
+        let generator = ScenarioGenerator::new(GeneratorConfig {
+            jobs: 9,
+            arrivals: ArrivalModel::Bursty {
+                burst: 3,
+                gap_s: 100.0,
+            },
+            ..GeneratorConfig::default()
+        });
+        let s = generator.generate(1);
+        assert_eq!(s.jobs[0].arrival_s, s.jobs[2].arrival_s);
+        assert!(s.jobs[3].arrival_s >= s.jobs[2].arrival_s + 100.0);
+    }
+
+    #[test]
+    fn eviction_pressure_bounds_the_repository() {
+        let generator = ScenarioGenerator::new(GeneratorConfig {
+            workloads: 4,
+            eviction_pressure: true,
+            ..GeneratorConfig::default()
+        });
+        let s = generator.generate(5);
+        assert!(s.eviction_pressure());
+        assert!(s.repository.capacity < s.workloads.len());
+    }
+}

@@ -1,0 +1,325 @@
+//! The invariant catalog: what every scenario run must satisfy.
+//!
+//! [`check`] runs a scenario through both event loops and verifies, in
+//! order:
+//!
+//! 1. **Liveness** — the parallel run returns at all (enforced by the
+//!    runner's watchdog plus the runtime's own release-active
+//!    no-orphaned-claims assertion after every `run_parallel`).
+//! 2. **Sequential↔parallel bit-identity** — every per-job field
+//!    (accounting record, per-region breakdown, switches, model source,
+//!    online activity, baseline, savings, published version, drift
+//!    events, rejections, abort points) and every aggregate is equal bit
+//!    for bit across the two loops. Skipped under declared eviction
+//!    pressure, the one documented regime where serve order may change
+//!    which entries survive.
+//! 3. **Statistics double-entry** — the shared repository's lock-free
+//!    aggregate equals the sum of its per-shard (locked) truths.
+//! 4. **Version integrity** — within one run, no application is assigned
+//!    a duplicate version, and the sequential loop assigns versions in
+//!    strictly increasing submission order; the per-application
+//!    high-water mark never regresses, even under eviction.
+//!
+//! A failed invariant comes back as a [`Failure`] whose `Display`
+//! includes a `testkit::replay("…")` line — paste it into a test (or
+//! feed it to [`crate::replay`]) to re-run the exact scenario.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rrl::ClusterReport;
+
+use crate::runner::{run_scenario, ScenarioRun};
+use crate::scenario::Scenario;
+
+/// One violated invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A replay line did not parse.
+    Malformed {
+        /// Parse error detail.
+        detail: String,
+    },
+    /// An event loop refused the scenario outright.
+    RunError {
+        /// Which loop errored.
+        event_loop: &'static str,
+        /// The runtime error it returned.
+        error: String,
+    },
+    /// A per-job field differed between the sequential and the parallel
+    /// run.
+    BitIdentity {
+        /// The diverging job.
+        job: String,
+        /// The diverging field.
+        field: &'static str,
+        /// Rendered sequential vs parallel values.
+        detail: String,
+    },
+    /// A report aggregate differed between the two loops.
+    ReportMismatch {
+        /// The diverging aggregate.
+        field: &'static str,
+        /// Rendered sequential vs parallel values.
+        detail: String,
+    },
+    /// The lock-free statistics aggregate disagreed with the per-shard
+    /// truth.
+    StatsDoubleEntry {
+        /// Rendered atomic vs sharded views.
+        detail: String,
+    },
+    /// Version numbering broke (duplicate, or out of submission order in
+    /// the sequential loop).
+    VersionIntegrity {
+        /// The offending application.
+        application: String,
+        /// What broke.
+        detail: String,
+    },
+}
+
+impl Violation {
+    /// A stable short label — what the shrinker compares to make sure a
+    /// reduced scenario still fails *the same way*.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::Malformed { .. } => "malformed",
+            Violation::RunError { .. } => "run-error",
+            Violation::BitIdentity { .. } => "bit-identity",
+            Violation::ReportMismatch { .. } => "report-mismatch",
+            Violation::StatsDoubleEntry { .. } => "stats-double-entry",
+            Violation::VersionIntegrity { .. } => "version-integrity",
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Malformed { detail } => write!(f, "malformed replay line: {detail}"),
+            Violation::RunError { event_loop, error } => {
+                write!(f, "{event_loop} event loop errored: {error}")
+            }
+            Violation::BitIdentity { job, field, detail } => write!(
+                f,
+                "sequential↔parallel bit-identity violated for job `{job}` ({field}): {detail}"
+            ),
+            Violation::ReportMismatch { field, detail } => {
+                write!(f, "report aggregate `{field}` diverged: {detail}")
+            }
+            Violation::StatsDoubleEntry { detail } => {
+                write!(f, "statistics double-entry violated: {detail}")
+            }
+            Violation::VersionIntegrity {
+                application,
+                detail,
+            } => write!(
+                f,
+                "version integrity violated for `{application}`: {detail}"
+            ),
+        }
+    }
+}
+
+/// A violation bound to the scenario that produced it, with the one-line
+/// repro.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What broke.
+    pub violation: Violation,
+    /// The scenario's replay line ([`Scenario::to_replay`]).
+    pub replay: String,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "scenario invariant violated: {}", self.violation)?;
+        write!(f, "reproduce with: testkit::replay(r#\"{}\"#)", self.replay)
+    }
+}
+
+impl std::error::Error for Failure {}
+
+fn fail(scenario: &Scenario, violation: Violation) -> Box<Failure> {
+    Box::new(Failure {
+        violation,
+        replay: scenario.to_replay(),
+    })
+}
+
+/// Run `scenario` and check the full invariant catalog (see the module
+/// docs). Returns the run for further scenario-specific assertions.
+pub fn check(scenario: &Scenario) -> Result<ScenarioRun, Box<Failure>> {
+    let run = run_scenario(scenario).map_err(|v| fail(scenario, v))?;
+    if !scenario.eviction_pressure() {
+        bit_identity(&run).map_err(|v| fail(scenario, v))?;
+    }
+    stats_double_entry(&run).map_err(|v| fail(scenario, v))?;
+    version_integrity(&run.sequential, true).map_err(|v| fail(scenario, v))?;
+    version_integrity(&run.parallel, false).map_err(|v| fail(scenario, v))?;
+    Ok(run)
+}
+
+macro_rules! job_field {
+    ($job:expr, $field:literal, $seq:expr, $par:expr) => {
+        if $seq != $par {
+            return Err(Violation::BitIdentity {
+                job: $job.clone(),
+                field: $field,
+                detail: format!("sequential {:?} vs parallel {:?}", $seq, $par),
+            });
+        }
+    };
+}
+
+macro_rules! report_field {
+    ($field:literal, $seq:expr, $par:expr) => {
+        if $seq != $par {
+            return Err(Violation::ReportMismatch {
+                field: $field,
+                detail: format!("sequential {:?} vs parallel {:?}", $seq, $par),
+            });
+        }
+    };
+}
+
+/// Invariant 2: every per-job field and aggregate equal across the loops.
+fn bit_identity(run: &ScenarioRun) -> Result<(), Violation> {
+    let (seq, par) = (&run.sequential, &run.parallel);
+    report_field!("jobs.len", seq.jobs.len(), par.jobs.len());
+    for (s, p) in seq.jobs.iter().zip(&par.jobs) {
+        job_field!(s.job, "submission order", s.job, p.job);
+        job_field!(s.job, "placement", s.node_id, p.node_id);
+        job_field!(
+            s.job,
+            "accounting.record",
+            s.accounting.record,
+            p.accounting.record
+        );
+        job_field!(
+            s.job,
+            "accounting.regions",
+            s.accounting.regions,
+            p.accounting.regions
+        );
+        job_field!(
+            s.job,
+            "switches",
+            s.accounting.switches,
+            p.accounting.switches
+        );
+        job_field!(
+            s.job,
+            "model source",
+            s.accounting.source,
+            p.accounting.source
+        );
+        job_field!(
+            s.job,
+            "online activity",
+            s.accounting.online,
+            p.accounting.online
+        );
+        job_field!(s.job, "baseline", s.default, p.default);
+        job_field!(s.job, "savings", s.savings, p.savings);
+        job_field!(
+            s.job,
+            "published version",
+            s.published_version,
+            p.published_version
+        );
+        job_field!(s.job, "drift events", s.drift, p.drift);
+        job_field!(s.job, "rejection", s.rejection, p.rejection);
+        job_field!(s.job, "abort point", s.aborted_at, p.aborted_at);
+    }
+    report_field!("total_tuned", seq.total_tuned, par.total_tuned);
+    report_field!("total_default", seq.total_default, par.total_default);
+    report_field!("aggregate savings", seq.aggregate, par.aggregate);
+    report_field!("nodes_used", seq.nodes_used, par.nodes_used);
+    report_field!("repository.hits", seq.repository.hits, par.repository.hits);
+    report_field!(
+        "repository.misses",
+        seq.repository.misses,
+        par.repository.misses
+    );
+    report_field!(
+        "repository.fallbacks",
+        seq.repository.fallbacks,
+        par.repository.fallbacks
+    );
+    report_field!(
+        "repository.publications",
+        seq.repository.publications,
+        par.repository.publications
+    );
+    report_field!(
+        "repository.evictions",
+        seq.repository.evictions,
+        par.repository.evictions
+    );
+    Ok(())
+}
+
+/// Invariant 3: the lock-free aggregate mirrors the per-shard truth.
+fn stats_double_entry(run: &ScenarioRun) -> Result<(), Violation> {
+    if run.shared_stats != run.shard_stats {
+        return Err(Violation::StatsDoubleEntry {
+            detail: format!(
+                "atomic view {:?} vs per-shard truth {:?}",
+                run.shared_stats, run.shard_stats
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Invariant 4: per-application version assignment is duplicate-free, and
+/// (sequentially) strictly increasing in submission order. LRU eviction
+/// must never hand a version out twice — the high-water mark survives the
+/// entries.
+fn version_integrity(report: &ClusterReport, submission_ordered: bool) -> Result<(), Violation> {
+    let mut per_app: BTreeMap<&str, Vec<u32>> = BTreeMap::new();
+    for job in &report.jobs {
+        if let Some(version) = job.published_version {
+            per_app.entry(&job.benchmark).or_default().push(version);
+        }
+    }
+    for (application, versions) in per_app {
+        let mut sorted = versions.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != versions.len() {
+            return Err(Violation::VersionIntegrity {
+                application: application.to_string(),
+                detail: format!("duplicate published versions: {versions:?}"),
+            });
+        }
+        if submission_ordered && versions.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(Violation::VersionIntegrity {
+                application: application.to_string(),
+                detail: format!("sequential publications out of submission order: {versions:?}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_kinds_are_stable_labels() {
+        let v = Violation::StatsDoubleEntry { detail: "x".into() };
+        assert_eq!(v.kind(), "stats-double-entry");
+        assert!(v.to_string().contains("double-entry"));
+        let f = Failure {
+            violation: v,
+            replay: "{}".into(),
+        };
+        let text = f.to_string();
+        assert!(text.contains("testkit::replay(r#\"{}\"#)"), "{text}");
+    }
+}

@@ -1,0 +1,166 @@
+//! Executing a [`Scenario`]: the same trace through both event loops.
+//!
+//! [`run_scenario`] materialises the fleet and both repository flavours,
+//! submits the arrival trace twice — once through
+//! [`ClusterScheduler::run`] on one thread, once through
+//! [`ClusterScheduler::run_parallel`] over the scenario's worker count —
+//! and hands both [`ClusterReport`]s (plus the shared repository's two
+//! statistics views) to the invariant checkers. The parallel run is
+//! guarded by a [`Watchdog`]: a liveness failure (a worker parked forever
+//! on an orphaned calibration claim) aborts the process with the
+//! scenario's replay line instead of hanging the harness.
+//!
+//! [`ClusterScheduler::run`]: rrl::ClusterScheduler::run
+//! [`ClusterScheduler::run_parallel`]: rrl::ClusterScheduler::run_parallel
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use ptf::RandomSearch;
+use rrl::{
+    ClusterReport, ClusterScheduler, OnlineConfig, OnlineTuning, RepositoryStats, RuntimeError,
+};
+
+use crate::invariants::Violation;
+use crate::scenario::Scenario;
+
+/// Wall-clock bound on one parallel run. The simulated scenarios finish
+/// in well under a second; a run that is still going after this long is
+/// parked on a latch, which is exactly the liveness bug the watchdog
+/// exists to catch.
+pub const LIVENESS_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Both loops' results for one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioRun {
+    /// The single-threaded run over a `TuningModelRepository`.
+    pub sequential: ClusterReport,
+    /// The multi-worker run over a `SharedRepository`.
+    pub parallel: ClusterReport,
+    /// The shared repository's lock-free statistics view after the run.
+    pub shared_stats: RepositoryStats,
+    /// The shared repository's per-shard (locked) statistics — the
+    /// double-entry counterpart of [`ScenarioRun::shared_stats`].
+    pub shard_stats: RepositoryStats,
+}
+
+/// A process-abort timer for liveness checking: if the guard is still
+/// alive after its timeout, the watchdog prints `context` to stderr and
+/// aborts the process (a deadlocked run cannot be unwound past — abort
+/// with a repro beats hanging CI until its outer timeout). Dropping the
+/// guard disarms it.
+pub struct Watchdog {
+    _cancel: mpsc::Sender<()>,
+}
+
+impl Watchdog {
+    /// Arm a watchdog that aborts with `context` after `timeout`.
+    pub fn arm(timeout: Duration, context: String) -> Self {
+        let (cancel, watched) = mpsc::channel::<()>();
+        std::thread::spawn(move || {
+            if watched.recv_timeout(timeout) == Err(mpsc::RecvTimeoutError::Timeout) {
+                eprintln!("testkit watchdog expired after {timeout:?}: {context}");
+                std::process::abort();
+            }
+        });
+        Self { _cancel: cancel }
+    }
+}
+
+fn run_error(loop_name: &'static str, error: RuntimeError) -> Violation {
+    Violation::RunError {
+        event_loop: loop_name,
+        error: error.to_string(),
+    }
+}
+
+/// Run `scenario` through both event loops and return both reports.
+/// Errors (as a [`Violation`]) when either loop refuses the scenario —
+/// which for a well-formed generated scenario is itself a finding.
+pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioRun, Violation> {
+    let fleet = scenario.build_fleet();
+    let strategy = scenario
+        .online
+        .map(|o| RandomSearch::new(o.search_pool, o.search_seed));
+
+    fn configure<'a>(
+        mut sched: ClusterScheduler<'a>,
+        scenario: &'a Scenario,
+        strategy: Option<&'a RandomSearch>,
+    ) -> ClusterScheduler<'a> {
+        if let Some(strategy) = strategy {
+            sched = sched.with_online(OnlineTuning {
+                strategy,
+                energy_model: None,
+                config: OnlineConfig::default(),
+            });
+        }
+        if !scenario.faults.is_empty() {
+            sched = sched.with_faults(&scenario.faults);
+        }
+        for job in &scenario.jobs {
+            sched.submit(
+                job.name.clone(),
+                scenario.workloads[job.workload].bench.clone(),
+            );
+        }
+        sched
+    }
+
+    // Probe-measure the stored entries once; both repository flavours
+    // are seeded from the same measurements.
+    let entries = scenario.stored_entries();
+
+    let sequential = {
+        let mut repo = scenario.build_repository_from(&entries);
+        let mut sched = configure(
+            ClusterScheduler::new(&fleet).map_err(|e| run_error("sequential", e))?,
+            scenario,
+            strategy.as_ref(),
+        );
+        sched
+            .run(&mut repo)
+            .map_err(|e| run_error("sequential", e))?
+    };
+
+    let shared = scenario.build_shared_from(&entries);
+    let parallel = {
+        let mut sched = configure(
+            ClusterScheduler::new(&fleet).map_err(|e| run_error("parallel", e))?,
+            scenario,
+            strategy.as_ref(),
+        );
+        let _liveness = Watchdog::arm(
+            LIVENESS_TIMEOUT,
+            format!(
+                "parallel run deadlocked (latch liveness violation); reproduce with: \
+                 testkit::replay(r#\"{}\"#)",
+                scenario.to_replay()
+            ),
+        );
+        sched
+            .run_parallel(&shared, scenario.workers)
+            .map_err(|e| run_error("parallel", e))?
+    };
+
+    Ok(ScenarioRun {
+        sequential,
+        parallel,
+        shared_stats: shared.stats(),
+        shard_stats: shared.shard_stats(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_watchdog_does_not_fire() {
+        let guard = Watchdog::arm(Duration::from_millis(5), "must not fire".into());
+        drop(guard);
+        std::thread::sleep(Duration::from_millis(30));
+        // Reaching this line is the assertion: the process was not
+        // aborted by the expired-but-disarmed timer.
+    }
+}

@@ -528,7 +528,7 @@ fn scheduler_degrades_failed_calibrations_to_the_fallback() {
         energy_model: None,
         config: OnlineConfig::default(),
     };
-    let mut repo = TuningModelRepository::new().with_fallback(SystemConfig::new(24, 2400, 1700));
+    let mut repo = TuningModelRepository::new().with_fallback(testkit::taurus_fallback());
     let mut sched = ClusterScheduler::new(&cluster).unwrap().with_online(online);
     for i in 0..3 {
         sched.submit(format!("job-{i}"), minimd.clone());

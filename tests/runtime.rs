@@ -12,44 +12,8 @@ use dvfs_ufs_tuning::rrl::{
 };
 use dvfs_ufs_tuning::simnode::{Cluster, Node, SystemConfig};
 use kernels::BenchmarkSpec;
-
-/// The paper's Table III configurations for Lulesh — a known-good model.
-fn lulesh_model() -> TuningModel {
-    TuningModel::new(
-        "Lulesh",
-        &[
-            (
-                "IntegrateStressForElems".into(),
-                SystemConfig::new(24, 2500, 2000),
-            ),
-            (
-                "CalcFBHourglassForceForElems".into(),
-                SystemConfig::new(24, 2500, 2000),
-            ),
-            (
-                "CalcKinematicsForElems".into(),
-                SystemConfig::new(24, 2400, 2000),
-            ),
-            ("CalcQForElems".into(), SystemConfig::new(24, 2500, 2000)),
-            (
-                "ApplyMaterialPropertiesForElems".into(),
-                SystemConfig::new(24, 2400, 2000),
-            ),
-        ],
-        SystemConfig::new(24, 2500, 2100),
-    )
-}
-
-fn fallback() -> SystemConfig {
-    SystemConfig::new(24, 2400, 1700)
-}
-
-fn repo_with_lulesh() -> (TuningModelRepository, BenchmarkSpec) {
-    let lulesh = kernels::benchmark("Lulesh").unwrap();
-    let mut repo = TuningModelRepository::new().with_fallback(fallback());
-    repo.insert(&lulesh, &lulesh_model());
-    (repo, lulesh)
-}
+// The shared builders these tests used to hand-roll locally.
+use testkit::{repo_with_lulesh, taurus_fallback};
 
 #[test]
 fn design_time_advice_publishes_and_serves() {
@@ -193,20 +157,10 @@ fn cluster_run_matches_single_job_sessions_bit_for_bit() {
     );
 }
 
-/// A one-region OpenMP toy workload (cheap enough for 256-job queues).
+/// A one-region OpenMP toy workload (cheap enough for 256-job queues) —
+/// the shared [`kernels::toy_benchmark`] builder.
 fn toy_bench(name: &str, instr: f64, iterations: u32) -> BenchmarkSpec {
-    use dvfs_ufs_tuning::simnode::RegionCharacter;
-    use kernels::{ProgrammingModel, RegionSpec, Suite};
-    BenchmarkSpec::new(
-        name,
-        Suite::Npb,
-        ProgrammingModel::OpenMp,
-        iterations,
-        vec![RegionSpec::new(
-            "omp parallel:1",
-            RegionCharacter::builder(instr).dram_bytes(instr).build(),
-        )],
-    )
+    testkit::toy_benchmark(name, instr, iterations)
 }
 
 /// Every per-job field that must be bit-identical between the sequential
@@ -260,7 +214,7 @@ fn assert_reports_bit_identical(parallel: &ClusterReport, sequential: &ClusterRe
 /// `SharedRepository`.
 #[test]
 fn parallel_report_bit_identical_across_seeds_and_queue_sizes() {
-    let fallback = SystemConfig::new(24, 2400, 1700);
+    let fallback = taurus_fallback();
     let tuned = toy_bench("tuned-toy", 2e10, 12);
     let untuned = toy_bench("untuned-toy", 1.2e10, 9);
     let toy_model = TuningModel::new(
