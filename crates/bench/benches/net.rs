@@ -1,0 +1,114 @@
+//! Replication-layer hot paths: the wire format, one anti-entropy
+//! convergence of a populated replica set, and the local publish path.
+//!
+//! The sync layer runs between jobs (convergence is not on the serve
+//! path), but its cost bounds how often a deployment can afford to
+//! reconcile; the frame codec additionally sits under every message.
+//! CI archives the numbers as `BENCH_net.json` via the harness's
+//! `CRITERION_SUMMARY_JSON` hook.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use kernels::{BenchmarkSpec, ProgrammingModel, RegionSpec, Suite};
+use ptf::TuningModel;
+use rrl::net::{decode, encode, Message, ReplicaConfig, ReplicaSet, ReplicatedModel, Stamp};
+use simnode::{RegionCharacter, SystemConfig};
+
+const REPLICAS: u32 = 4;
+const MODELS: usize = 32;
+
+fn workload(i: usize) -> BenchmarkSpec {
+    BenchmarkSpec::new(
+        format!("app-{i:02}"),
+        Suite::Npb,
+        ProgrammingModel::OpenMp,
+        10,
+        vec![RegionSpec::new(
+            "omp parallel:1",
+            RegionCharacter::builder(1.5e10 + i as f64 * 1e8)
+                .dram_bytes(1.1e10)
+                .build(),
+        )],
+    )
+}
+
+fn model(bench: &BenchmarkSpec) -> TuningModel {
+    let cfg = SystemConfig::new(24, 2100 + (bench.name.len() as u32 % 5) * 100, 1900);
+    TuningModel::new(&bench.name, &[("omp parallel:1".into(), cfg)], cfg)
+}
+
+/// Encode + decode of the largest message kind: a model push carrying a
+/// real serialized tuning model.
+fn bench_frame_roundtrip(c: &mut Criterion) {
+    let bench = workload(0);
+    let entry = ReplicatedModel {
+        application: bench.name.clone(),
+        fingerprint: bench.fingerprint(),
+        model_json: model(&bench).to_json(),
+        expected: vec![("omp parallel:1".into(), 420.0)],
+        stamp: Stamp {
+            version: 1,
+            publisher: 0,
+        },
+    };
+    let message = Message::PushModels {
+        entries: vec![entry],
+    };
+    let mut group = c.benchmark_group("net/frame");
+    group.bench_function("roundtrip_push_models", |b| {
+        b.iter(|| {
+            let bytes = encode(black_box(&message));
+            black_box(decode(&bytes).unwrap())
+        })
+    });
+    group.finish();
+}
+
+/// One full anti-entropy convergence: 4 replicas, 32 models published on
+/// replica 0, full-mesh sessions from connect to teardown.
+fn bench_sync_converge(c: &mut Criterion) {
+    let population: Vec<(BenchmarkSpec, TuningModel)> = (0..MODELS)
+        .map(|i| {
+            let bench = workload(i);
+            let m = model(&bench);
+            (bench, m)
+        })
+        .collect();
+    let mut group = c.benchmark_group("net/sync");
+    group.bench_function(format!("converge_{REPLICAS}x{MODELS}"), |b| {
+        b.iter(|| {
+            let mut set = ReplicaSet::new(REPLICAS, ReplicaConfig::default());
+            for (bench, m) in &population {
+                set.replica_mut(0).unwrap().publish_model(bench, m, vec![]);
+            }
+            black_box(set.converge().unwrap())
+        })
+    });
+    group.finish();
+}
+
+/// The local publish path a replica pays per online calibration: stamp
+/// assignment, repository insert, log append, peer dirtying.
+fn bench_replicated_publish(c: &mut Criterion) {
+    let bench = workload(0);
+    let m = model(&bench);
+    let mut group = c.benchmark_group("net/publish");
+    group.bench_function("replicated_publish", |b| {
+        let mut set = ReplicaSet::new(REPLICAS, ReplicaConfig::default());
+        b.iter(|| {
+            black_box(
+                set.replica_mut(0)
+                    .unwrap()
+                    .publish_model(&bench, &m, vec![]),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_frame_roundtrip, bench_sync_converge, bench_replicated_publish
+}
+criterion_main!(benches);

@@ -19,6 +19,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod catalog;
+pub mod hash;
 pub mod real;
 pub mod spec;
 pub mod suites;
@@ -26,4 +27,5 @@ pub mod suites;
 pub use catalog::{
     all_benchmarks, benchmark, test_set, toy_benchmark, training_set, TEST_SET_NAMES,
 };
-pub use spec::{fnv1a, BenchmarkSpec, ProgrammingModel, RegionSpec, Suite};
+pub use hash::{fnv1a, Fnv1a};
+pub use spec::{BenchmarkSpec, ProgrammingModel, RegionSpec, Suite};

@@ -4,17 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use simnode::RegionCharacter;
 
-/// Stable 64-bit FNV-1a hash — the primitive behind workload
-/// fingerprints and the runtime's deterministic job seeds. Kept in one
-/// place so every consumer hashes identically.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in bytes {
-        hash ^= u64::from(*byte);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+pub use crate::hash::fnv1a;
 
 /// Benchmark suite of origin (Table II).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]

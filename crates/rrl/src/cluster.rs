@@ -51,8 +51,11 @@ use simnode::{Cluster, Node, SystemConfig};
 
 use crate::error::RuntimeError;
 use crate::inject::FaultInjector;
+use crate::net::ReplicaSet;
 use crate::online::{DriftEvent, ModelPublication, OnlineConfig, OnlineTuner};
-use crate::repository::{ModelKey, RepositoryStats, ServedModel, TuningModelRepository};
+use crate::repository::{
+    ModelKey, RepositoryHandle, RepositoryStats, ServedModel, TuningModelRepository,
+};
 use crate::sacct::{JobAccounting, JobRecord};
 use crate::savings::Savings;
 use crate::session::RuntimeSession;
@@ -771,6 +774,18 @@ impl<'a> ClusterScheduler<'a> {
     /// publish → fleet-wide hits). Jobs of distinct workloads calibrate
     /// concurrently.
     pub fn run(&mut self, repo: &mut TuningModelRepository) -> Result<ClusterReport, RuntimeError> {
+        self.run_with(repo)
+    }
+
+    /// [`ClusterScheduler::run`] over any model store implementing
+    /// [`RepositoryHandle`] — the seam that lets the same event loop
+    /// serve from a plain [`TuningModelRepository`] or from one replica
+    /// of a [`ReplicaSet`] (see
+    /// [`ClusterScheduler::run_replicated`]).
+    pub fn run_with(
+        &mut self,
+        repo: &mut dyn RepositoryHandle,
+    ) -> Result<ClusterReport, RuntimeError> {
         let cluster = self.cluster;
         let online = self.online;
         let faults = self.faults;
@@ -869,6 +884,27 @@ impl<'a> ClusterScheduler<'a> {
         }
 
         Ok(assemble_report(cluster, &jobs, drivers, repo.stats()))
+    }
+
+    /// [`ClusterScheduler::run`], serving from (and publishing to) one
+    /// replica of a [`ReplicaSet`].
+    ///
+    /// The run is local to the addressed replica: hits and misses go
+    /// against its repository, and online publications are stamped into
+    /// its replication log. Nothing crosses the wire here — call
+    /// [`ReplicaSet::converge`] afterwards to anti-entropy the
+    /// publications out to the other replicas. Addressing a replica the
+    /// set does not contain fails with
+    /// [`RuntimeError::Replication`].
+    pub fn run_replicated(
+        &mut self,
+        set: &mut ReplicaSet<'_>,
+        replica: u32,
+    ) -> Result<ClusterReport, RuntimeError> {
+        let replica = set
+            .replica_mut(replica)
+            .map_err(RuntimeError::Replication)?;
+        self.run_with(replica)
     }
 
     /// [`ClusterScheduler::run`], but across `workers` real threads over
@@ -1043,6 +1079,10 @@ fn drive_partition<'b>(
 ) -> Result<(), (usize, RuntimeError)> {
     let mut done = 0usize;
     while done < jobs.len() {
+        // Sampled *before* the sweep: a resolution that lands anywhere
+        // between here and a park below advances the epoch, so the park
+        // returns immediately instead of missing the wakeup.
+        let resolution_epoch = latch.resolution_epoch();
         let mut progressed = false;
         let mut blocked: Option<ModelKey> = None;
         for (i, (slot, job)) in slots.iter_mut().zip(jobs).enumerate() {
@@ -1168,15 +1208,17 @@ fn drive_partition<'b>(
         }
 
         if !progressed {
-            // Every remaining job follows a calibration led elsewhere:
-            // park this worker on the first such workload. Leaders never
-            // block, so whoever we wait on is guaranteed to progress.
-            // The wait is sliced: a resolution on a *different* blocked
-            // workload notifies only its own latch segment, so each
-            // slice expiry re-sweeps the partition to pick up any
-            // follower that became admissible in the meantime.
-            let key = blocked.expect("no progress implies a blocked follower");
-            latch.wait_timeout(&key, std::time::Duration::from_millis(1));
+            // Every remaining job follows a calibration led elsewhere.
+            // Leaders never block, so some resolution is guaranteed to
+            // arrive; park until the latch's resolution epoch moves past
+            // the value sampled before this sweep. Any resolution — on
+            // *any* workload, not just the first blocked one — wakes the
+            // worker, which then re-sweeps the partition to admit every
+            // follower that became runnable. No polling interval, no
+            // missed-wakeup window (a resolution during the sweep
+            // already advanced the epoch, so the wait returns at once).
+            debug_assert!(blocked.is_some(), "no progress implies a blocked follower");
+            latch.wait_resolution(resolution_epoch);
         }
     }
     Ok(())
@@ -1270,6 +1312,69 @@ mod tests {
         let text = report.format_report();
         assert!(text.contains("lulesh-2"), "{text}");
         assert!(text.contains("hit rate 75%"), "{text}");
+    }
+
+    #[test]
+    fn run_replicated_serves_synced_entries_identically_to_a_plain_run() {
+        use crate::net::{ReplicaConfig, ReplicaSet};
+        let cluster = Cluster::exact(2);
+        let lulesh = kernels::benchmark("Lulesh").unwrap();
+        let fallback = SystemConfig::new(24, 2400, 1700);
+
+        // Publish on replica 0, sync, then serve a whole run off replica 2.
+        let config = ReplicaConfig {
+            fallback: Some(fallback),
+            ..ReplicaConfig::default()
+        };
+        let mut set = ReplicaSet::new(3, config);
+        set.replica_mut(0)
+            .unwrap()
+            .publish_model(&lulesh, &lulesh_model(), vec![]);
+        set.converge().unwrap();
+
+        let mut sched = ClusterScheduler::new(&cluster).unwrap();
+        for i in 0..3 {
+            sched.submit(format!("lulesh-{i}"), lulesh.clone());
+        }
+        let replicated = sched.run_replicated(&mut set, 2).unwrap();
+        assert_eq!(
+            replicated.repository.hits, 3,
+            "replicated entries serve as hits"
+        );
+
+        // The same jobs against a plain warm repository account identically:
+        // where the model came from is invisible to the jobs it tunes.
+        let mut repo = TuningModelRepository::new().with_fallback(fallback);
+        repo.insert(&lulesh, &lulesh_model());
+        let mut sched = ClusterScheduler::new(&cluster).unwrap();
+        for i in 0..3 {
+            sched.submit(format!("lulesh-{i}"), lulesh.clone());
+        }
+        let plain = sched.run(&mut repo).unwrap();
+        assert_eq!(replicated.jobs.len(), plain.jobs.len());
+        for (a, b) in replicated.jobs.iter().zip(&plain.jobs) {
+            // Only the provenance tag may differ: replicated entries
+            // serve as `Replicated`, plain inserts as `Repository`.
+            assert_eq!(
+                a.accounting.source,
+                crate::repository::ModelSource::Replicated
+            );
+            let mut normalized = a.accounting.clone();
+            normalized.source = b.accounting.source;
+            assert_eq!(normalized, b.accounting, "{}", a.job);
+        }
+
+        // Addressing a replica the set does not contain is a value, not
+        // a panic.
+        assert!(matches!(
+            sched.run_replicated(&mut set, 7),
+            Err(RuntimeError::Replication(
+                crate::net::NetError::UnknownReplica {
+                    replica: 7,
+                    replicas: 3,
+                }
+            ))
+        ));
     }
 
     #[test]

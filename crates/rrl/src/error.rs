@@ -132,6 +132,10 @@ pub enum RuntimeError {
     /// the design-time strategy machinery rejected the analysis inputs
     /// (e.g. the model-based strategy without a trained energy model).
     Planning(ptf::TuningError),
+    /// Replicated serving failed below the repository: a wire-format,
+    /// session or convergence error from the [`crate::net`] stack (e.g.
+    /// `run_replicated` addressed a replica the set does not contain).
+    Replication(crate::net::NetError),
 }
 
 impl fmt::Display for RuntimeError {
@@ -208,6 +212,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Planning(e) => {
                 write!(f, "online exploration planning failed: {e}")
             }
+            RuntimeError::Replication(e) => {
+                write!(f, "replicated serving failed: {e}")
+            }
         }
     }
 }
@@ -218,6 +225,7 @@ impl std::error::Error for RuntimeError {
             RuntimeError::Io(e) => Some(e),
             RuntimeError::Parse(e) => Some(e),
             RuntimeError::Planning(e) => Some(e),
+            RuntimeError::Replication(e) => Some(e),
             _ => None,
         }
     }
@@ -290,6 +298,16 @@ mod tests {
             strategy: "model-based-neighbourhood",
         });
         assert!(format!("{e}").contains("planning failed"));
+
+        let e = RuntimeError::Replication(crate::net::NetError::UnknownReplica {
+            replica: 9,
+            replicas: 4,
+        });
+        let s = format!("{e}");
+        assert!(
+            s.contains("replicated serving failed") && s.contains('9'),
+            "{s}"
+        );
     }
 
     #[test]
@@ -306,6 +324,8 @@ mod tests {
         use std::error::Error as _;
         let io = RuntimeError::Io(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
         assert!(io.source().is_some());
+        let net = RuntimeError::Replication(crate::net::NetError::ConvergeTimeout { ticks: 10 });
+        assert!(net.source().is_some());
         let plain = RuntimeError::EmptyCluster;
         assert!(plain.source().is_none());
     }

@@ -69,6 +69,43 @@ pub trait FaultInjector: Sync {
         let _ = (job, region, iteration);
         1.0
     }
+
+    // ----- replication transport hooks (see `crate::net::transport`) ----
+    //
+    // The simulated transport consults these per message. Like the
+    // scheduler hooks above they must be pure functions of their
+    // arguments — here the monotone message id (and, for partitions, the
+    // virtual tick) — so a faulted replication run is bit-identical to
+    // its replay. All default to a healthy network.
+
+    /// Extra delivery delay for the message, in virtual ticks, on top of
+    /// the transport's 1-tick minimum. Varying this per message id is
+    /// what reorders deliveries.
+    fn delay_ticks(&self, msg_id: u64) -> u64 {
+        let _ = msg_id;
+        0
+    }
+
+    /// Drop the message entirely (it is counted, never delivered).
+    fn drop_message(&self, msg_id: u64) -> bool {
+        let _ = msg_id;
+        false
+    }
+
+    /// Deliver the message twice: a duplicate copy is scheduled one tick
+    /// after the original.
+    fn duplicate_message(&self, msg_id: u64) -> bool {
+        let _ = msg_id;
+        false
+    }
+
+    /// Whether the link `from → to` is partitioned at virtual `tick`.
+    /// Messages sent across a partitioned link are dropped at the
+    /// sender (and counted as partitioned, not as plain drops).
+    fn partitioned(&self, tick: u64, from: u32, to: u32) -> bool {
+        let _ = (tick, from, to);
+        false
+    }
 }
 
 /// The no-fault injector: every hook answers "healthy".
@@ -87,6 +124,10 @@ mod tests {
         assert_eq!(f.abort_phase("j"), None);
         assert!(!f.fail_calibration("j"));
         assert_eq!(f.drift_scale("j", "r", 3), 1.0);
+        assert_eq!(f.delay_ticks(7), 0);
+        assert!(!f.drop_message(7));
+        assert!(!f.duplicate_message(7));
+        assert!(!f.partitioned(0, 1, 2));
     }
 
     #[test]

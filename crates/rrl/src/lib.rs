@@ -39,10 +39,17 @@
 //!   [`SharedRepository`] ([`ClusterScheduler::run_parallel`]), with
 //!   bit-identical per-job accounting either way,
 //! * [`inject`] — deterministic fault injection: the [`FaultInjector`]
-//!   seam both event loops and the online tuner honor (job aborts at a
-//!   phase boundary, refused calibrations, injected drift shifts), so a
-//!   scenario engine can drive the unhappy paths without forking the
-//!   runtime,
+//!   seam both event loops, the online tuner and the simulated network
+//!   honor (job aborts at a phase boundary, refused calibrations,
+//!   injected drift shifts, message delay/drop/duplication/partition),
+//!   so a scenario engine can drive the unhappy paths without forking
+//!   the runtime,
+//! * [`net`] — replicated serving: a seeded fault-injectable
+//!   [`SimTransport`], a length-framed versioned wire format, per-peer
+//!   handshake [`Session`](net::Session)s, and [`ReplicaSet`] — N
+//!   replica repositories converged to bit-identical model maps by
+//!   version-vector anti-entropy sync
+//!   ([`ClusterScheduler::run_replicated`]),
 //! * [`sacct`] — SLURM-style job accounting: the job-level Table VI
 //!   record plus the per-region energy/time breakdown,
 //! * [`savings`] — default-vs-tuned comparisons including the
@@ -67,6 +74,7 @@
 pub mod cluster;
 pub mod error;
 pub mod inject;
+pub mod net;
 pub mod online;
 pub mod rat;
 pub mod repository;
@@ -83,13 +91,17 @@ pub use cluster::{
 };
 pub use error::RuntimeError;
 pub use inject::{FaultInjector, NoFaults};
+pub use net::{
+    ConvergeReport, NetError, Replica, ReplicaConfig, ReplicaSet, SimTransport, Stamp,
+    TransportStats, VersionVector,
+};
 pub use online::{
     ConvergedModel, DriftConfig, DriftDetector, DriftEvent, DriftPolicy, ModelPublication,
     OnlineConfig, OnlineOutcome, OnlineTuner,
 };
 pub use repository::{
-    MatchPolicy, ModelKey, ModelProvenance, ModelSource, RepositoryStats, ServedModel,
-    TuningModelRepository,
+    MatchPolicy, ModelKey, ModelProvenance, ModelSource, RepositoryHandle, RepositoryStats,
+    ServedModel, TuningModelRepository,
 };
 pub use sacct::{JobAccounting, JobRecord, OnlineActivity, RegionAccounting};
 pub use savings::{compare_static_dynamic, BenchmarkComparison, ComparisonError, Savings};

@@ -1,0 +1,43 @@
+//! Replicated model serving over a simulated, fault-injectable network.
+//!
+//! The paper's tuning-model repository is a single shared store; this
+//! module lifts it to a small replicated system while keeping the
+//! runtime's core property — *everything is deterministic under a
+//! seed*. The layers, bottom-up:
+//!
+//! * [`frame`] — the length-framed, versioned wire format and
+//!   [`NetError`]. Every decode is a `Result`; malformed bytes are data,
+//!   not panics.
+//! * [`transport`] — [`SimTransport`], virtual-time message passing
+//!   where delay, drop, duplication, reorder and partition are pure
+//!   functions of `(fault plan, message id, tick)` via the
+//!   [`FaultInjector`](crate::FaultInjector) network hooks.
+//! * [`session`] — the per-peer client FSM
+//!   (`Closed → Connecting → Negotiating → Established → Closing`),
+//!   with virtual-time timeouts and bounded retransmission, in the
+//!   spirit of PPP's LCP: negotiate first, move data only once both
+//!   sides agree on a protocol version.
+//! * [`reconcile`] — [`Stamp`] ordering (version first, publisher id as
+//!   the tie-break), [`VersionVector`] high-water tracking and the
+//!   replicated entry/digest types. The total order on stamps is what
+//!   makes every replica pick the same winner.
+//! * [`replica`] — [`Replica`] (a repository plus replication state)
+//!   and [`ReplicaSet`], which drives anti-entropy digest sync over the
+//!   transport until every replica holds a bit-identical model map.
+//!
+//! The scheduler consumes all of this through one seam:
+//! [`RepositoryHandle`](crate::repository::RepositoryHandle), which
+//! both the plain repository and a [`Replica`] implement — see
+//! [`ClusterScheduler::run_replicated`](crate::ClusterScheduler::run_replicated).
+
+pub mod frame;
+pub mod reconcile;
+pub mod replica;
+pub mod session;
+pub mod transport;
+
+pub use frame::{decode, encode, Message, NetError, MAX_FRAME, PROTOCOL_VERSION};
+pub use reconcile::{ModelDigest, ReplicatedModel, Stamp, VersionVector};
+pub use replica::{ConvergeReport, Replica, ReplicaConfig, ReplicaSet, ReplicaStats};
+pub use session::{Session, SessionConfig, SessionEvent, SessionPoll, SessionState};
+pub use transport::{Delivery, SimTransport, TransportStats};

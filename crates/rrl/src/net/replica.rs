@@ -1,0 +1,929 @@
+//! Replicas and the anti-entropy replica set.
+//!
+//! A [`Replica`] is one scheduler-facing serving node: its own
+//! [`SharedRepository`], a replication *log* (the latest winning
+//! [`ReplicatedModel`] per application — bounded by the application
+//! count, never LRU-evicted, so sync survives repository eviction
+//! pressure), a [`VersionVector`] of the highest stamp observed per
+//! application, and one client [`Session`] per peer. Publications made
+//! locally are stamped `(next version, own id)`; entries applied off
+//! the wire are admitted only when their stamp wins — so every replica
+//! converges to the same winner per application no matter the delivery
+//! order.
+//!
+//! [`ReplicaSet`] wires N replicas over one [`SimTransport`] and drives
+//! the whole exchange in virtual time. Sync is *dirty-flag gossip*: a
+//! replica that publishes or applies anything marks every peer link
+//! dirty; a dirty link sends a [`Message::DigestOffer`] and stays dirty
+//! until an **empty** [`Message::DigestReply`] confirms parity *for the
+//! log revision the offer described* (an empty reply to a stale offer
+//! must not clear the flag — entries published since would never
+//! propagate). Re-offers and session retransmits are new messages with
+//! new transport ids, so a seeded drop plan can delay sync but never
+//! livelock it.
+//!
+//! [`ReplicaSet::converge`] runs two phases: sync until the transport
+//! is quiet, every session `Established` and every link clean; then
+//! teardown until every session is `Closed` (best-effort: a teardown
+//! timeout force-closes). Quiesced replica sets therefore satisfy the
+//! testkit invariants — identical model maps everywhere and no session
+//! in a non-terminal state.
+
+use std::collections::BTreeMap;
+
+use kernels::BenchmarkSpec;
+use ptf::TuningModel;
+use simnode::SystemConfig;
+
+use crate::error::RuntimeError;
+use crate::inject::FaultInjector;
+use crate::repository::{ModelSource, RepositoryHandle, RepositoryStats, ServedModel};
+use crate::shard::SharedRepository;
+
+use super::frame::{decode, encode, Message, NetError, PROTOCOL_VERSION};
+use super::reconcile::{ModelDigest, ReplicatedModel, Stamp, VersionVector};
+use super::session::{Session, SessionConfig, SessionEvent, SessionPoll, SessionState};
+use super::transport::{SimTransport, TransportStats};
+
+/// Construction parameters for every replica of a set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaConfig {
+    /// Lock segments per replica repository.
+    pub shards: usize,
+    /// Per-replica repository capacity (0 = unbounded).
+    pub capacity: usize,
+    /// Calibration fallback served on repository misses.
+    pub fallback: Option<SystemConfig>,
+    /// Session retransmission policy.
+    pub session: SessionConfig,
+    /// Virtual-tick budget for one [`ReplicaSet::converge`] call.
+    pub max_ticks: u64,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            capacity: 0,
+            fallback: None,
+            session: SessionConfig::default(),
+            max_ticks: 50_000,
+        }
+    }
+}
+
+/// One peer link: the client session plus the dirty-flag sync state.
+#[derive(Debug)]
+struct PeerLink {
+    session: Session,
+    /// This peer may be missing something we hold.
+    dirty: bool,
+    /// An offer is outstanding: `(re-offer deadline, log revision the
+    /// offer described)`.
+    offer: Option<(u64, u64)>,
+}
+
+/// Replication counters for one replica.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Remote entries applied (their stamp won).
+    pub applied: u64,
+    /// Remote entries ignored as stale (their stamp lost).
+    pub superseded: u64,
+}
+
+/// One serving node of a replicated repository.
+#[derive(Debug)]
+pub struct Replica {
+    id: u32,
+    repo: SharedRepository,
+    /// Latest winning entry per application — the sync source of truth.
+    log: BTreeMap<String, ReplicatedModel>,
+    /// Bumped on every log change; offers snapshot it so a stale empty
+    /// reply cannot clear a dirty flag raised since.
+    log_rev: u64,
+    vv: VersionVector,
+    links: BTreeMap<u32, PeerLink>,
+    /// Every stamp this replica assigned locally, in publication order —
+    /// independent bookkeeping the invariant suite checks winners
+    /// against.
+    published: Vec<(String, Stamp)>,
+    stats: ReplicaStats,
+    offer_timeout: u64,
+}
+
+impl Replica {
+    fn new(id: u32, peers: impl Iterator<Item = u32>, config: &ReplicaConfig) -> Self {
+        let mut repo = SharedRepository::new(config.shards).with_capacity(config.capacity);
+        if let Some(fallback) = config.fallback {
+            repo = repo.with_fallback(fallback);
+        }
+        Self {
+            id,
+            repo,
+            log: BTreeMap::new(),
+            log_rev: 0,
+            vv: VersionVector::new(),
+            links: peers
+                .filter(|p| *p != id)
+                .map(|p| {
+                    (
+                        p,
+                        PeerLink {
+                            session: Session::new(p, config.session),
+                            // Dirty from birth: every pair exchanges at
+                            // least one offer, so pre-seeded entries
+                            // propagate without an explicit kick.
+                            dirty: true,
+                            offer: None,
+                        },
+                    )
+                })
+                .collect(),
+            published: Vec::new(),
+            stats: ReplicaStats::default(),
+            offer_timeout: config.session.timeout_ticks,
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The replica-local repository (read-only view).
+    pub fn repository(&self) -> &SharedRepository {
+        &self.repo
+    }
+
+    /// Replication counters.
+    pub fn replication_stats(&self) -> ReplicaStats {
+        self.stats
+    }
+
+    /// Every stamp this replica assigned to a local publication, in
+    /// publication order.
+    pub fn published(&self) -> &[(String, Stamp)] {
+        &self.published
+    }
+
+    /// The replica's converged view: `application → digest` of the
+    /// winning entry. Two replicas are in sync iff these maps are equal.
+    pub fn model_map(&self) -> BTreeMap<String, ModelDigest> {
+        self.log
+            .iter()
+            .map(|(app, entry)| (app.clone(), entry.digest()))
+            .collect()
+    }
+
+    /// Publish a model on *this* replica: stamps it past everything the
+    /// replica has observed for the application, installs it locally
+    /// (as [`ModelSource::Online`] — it is a local publication) and
+    /// marks every peer link dirty. Returns the assigned stamp.
+    pub fn publish_model(
+        &mut self,
+        bench: &BenchmarkSpec,
+        model: &TuningModel,
+        expected: Vec<(String, f64)>,
+    ) -> Stamp {
+        let stamp = Stamp {
+            version: self.vv.next_version(&bench.name),
+            publisher: self.id,
+        };
+        let entry = ReplicatedModel {
+            application: bench.name.clone(),
+            fingerprint: bench.fingerprint(),
+            model_json: model.to_json(),
+            expected,
+            stamp,
+        };
+        self.published.push((bench.name.clone(), stamp));
+        self.install(entry, ModelSource::Online);
+        stamp
+    }
+
+    /// Apply a remote entry if its stamp wins; returns whether it did.
+    fn apply_remote(&mut self, entry: ReplicatedModel) -> bool {
+        if !entry.stamp.wins_over(self.vv.get(&entry.application)) {
+            self.stats.superseded += 1;
+            return false;
+        }
+        self.stats.applied += 1;
+        self.install(entry, ModelSource::Replicated);
+        true
+    }
+
+    /// Install a winning entry: repository, log, vector; dirty gossip.
+    fn install(&mut self, entry: ReplicatedModel, source: ModelSource) {
+        self.repo.publish_replicated(
+            &entry.application,
+            entry.fingerprint,
+            &entry.model_json,
+            source,
+            entry.expected.clone(),
+            entry.stamp.version,
+        );
+        self.vv.record(&entry.application, entry.stamp);
+        self.log.insert(entry.application.clone(), entry);
+        self.log_rev += 1;
+        for link in self.links.values_mut() {
+            link.dirty = true;
+        }
+    }
+
+    fn digests(&self) -> Vec<ModelDigest> {
+        self.log.values().map(ReplicatedModel::digest).collect()
+    }
+
+    /// The stateless responder half: answer a peer-initiated message.
+    /// `None` means the message needs no reply (an applied push).
+    fn respond(&mut self, message: Message) -> Option<Message> {
+        match message {
+            Message::ConnectRequest => Some(Message::ConnectAccept),
+            Message::NegotiateRequest { version } => {
+                if version == PROTOCOL_VERSION {
+                    Some(Message::NegotiateAccept { version })
+                } else {
+                    Some(Message::NegotiateReject {
+                        supported: PROTOCOL_VERSION,
+                    })
+                }
+            }
+            Message::DigestOffer { digests } => {
+                let offered: BTreeMap<&str, Stamp> = digests
+                    .iter()
+                    .map(|d| (d.application.as_str(), d.stamp))
+                    .collect();
+                let want: Vec<String> = digests
+                    .iter()
+                    .filter(|d| d.stamp.wins_over(self.vv.get(&d.application)))
+                    .map(|d| d.application.clone())
+                    .collect();
+                let entries: Vec<ReplicatedModel> = self
+                    .log
+                    .values()
+                    .filter(|e| e.stamp.wins_over(offered.get(e.application.as_str())))
+                    .cloned()
+                    .collect();
+                Some(Message::DigestReply { want, entries })
+            }
+            Message::PushModels { entries } => {
+                for entry in entries {
+                    self.apply_remote(entry);
+                }
+                None
+            }
+            Message::CloseRequest => Some(Message::CloseAck),
+            // Client-side messages never reach the responder path.
+            _ => None,
+        }
+    }
+
+    /// Handle a `DigestReply` from `from`: apply what the peer was
+    /// ahead on, build the push for what it asked for, and clear the
+    /// dirty flag only on rev-matched confirmed parity.
+    fn handle_reply(
+        &mut self,
+        from: u32,
+        want: Vec<String>,
+        entries: Vec<ReplicatedModel>,
+    ) -> Option<Message> {
+        let established = self
+            .links
+            .get(&from)
+            .is_some_and(|l| l.session.state() == SessionState::Established);
+        if !established {
+            return None; // stale reply to an abandoned session
+        }
+        let offered_rev = self
+            .links
+            .get_mut(&from)
+            .and_then(|l| l.offer.take())
+            .map(|(_, rev)| rev);
+        let parity = want.is_empty() && entries.is_empty();
+        for entry in entries {
+            self.apply_remote(entry);
+        }
+        if parity && offered_rev == Some(self.log_rev) {
+            if let Some(link) = self.links.get_mut(&from) {
+                link.dirty = false;
+            }
+        }
+        if want.is_empty() {
+            return None;
+        }
+        let entries: Vec<ReplicatedModel> = want
+            .iter()
+            .filter_map(|app| self.log.get(app).cloned())
+            .collect();
+        (!entries.is_empty()).then_some(Message::PushModels { entries })
+    }
+}
+
+impl RepositoryHandle for Replica {
+    fn serve(&mut self, bench: &BenchmarkSpec) -> Result<ServedModel, RuntimeError> {
+        self.repo.serve(bench)
+    }
+
+    fn serve_stored(&mut self, bench: &BenchmarkSpec) -> Result<Option<ServedModel>, RuntimeError> {
+        self.repo.serve_stored(bench)
+    }
+
+    fn serve_fallback(&mut self, bench: &BenchmarkSpec) -> Result<ServedModel, RuntimeError> {
+        self.repo.serve_fallback(bench)
+    }
+
+    fn publish_online(
+        &mut self,
+        bench: &BenchmarkSpec,
+        model: &TuningModel,
+        expected: Vec<(String, f64)>,
+    ) -> u32 {
+        self.publish_model(bench, model, expected).version
+    }
+
+    fn stats(&self) -> RepositoryStats {
+        self.repo.stats()
+    }
+}
+
+/// What one [`ReplicaSet::converge`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvergeReport {
+    /// Virtual ticks the sync + teardown phases took.
+    pub ticks: u64,
+    /// Transport counters accumulated over the set's lifetime.
+    pub transport: TransportStats,
+    /// Remote entries applied, summed over replicas.
+    pub applied: u64,
+    /// Stale remote entries ignored, summed over replicas.
+    pub superseded: u64,
+    /// Session retransmissions, summed over all links.
+    pub retransmits: u64,
+    /// Sessions that gave up a handshake and reconnected later.
+    pub session_resets: u64,
+}
+
+/// N replicas over one simulated transport.
+pub struct ReplicaSet<'a> {
+    replicas: Vec<Replica>,
+    transport: SimTransport<'a>,
+    max_ticks: u64,
+}
+
+impl std::fmt::Debug for ReplicaSet<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaSet")
+            .field("replicas", &self.replicas.len())
+            .field("transport", &self.transport)
+            .finish()
+    }
+}
+
+impl<'a> ReplicaSet<'a> {
+    /// A set of `replicas` replicas (clamped to ≥ 1) over a healthy
+    /// transport.
+    pub fn new(replicas: u32, config: ReplicaConfig) -> Self {
+        let count = replicas.max(1);
+        Self {
+            replicas: (0..count)
+                .map(|id| Replica::new(id, 0..count, &config))
+                .collect(),
+            transport: SimTransport::new(count),
+            max_ticks: config.max_ticks,
+        }
+    }
+
+    /// Thread a fault injector's network hooks into the transport
+    /// (builder form).
+    #[must_use]
+    pub fn with_faults(mut self, faults: &'a dyn FaultInjector) -> Self {
+        self.transport =
+            std::mem::replace(&mut self.transport, SimTransport::new(1)).with_faults(faults);
+        self
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Always false — a set holds at least one replica.
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// The replica with this id.
+    pub fn replica(&self, id: u32) -> Result<&Replica, NetError> {
+        self.replicas
+            .get(id as usize)
+            .ok_or(NetError::UnknownReplica {
+                replica: id,
+                replicas: self.replicas.len(),
+            })
+    }
+
+    /// Mutable access to the replica with this id — the handle
+    /// [`ClusterScheduler::run_replicated`](crate::ClusterScheduler::run_replicated)
+    /// serves through.
+    pub fn replica_mut(&mut self, id: u32) -> Result<&mut Replica, NetError> {
+        let replicas = self.replicas.len();
+        self.replicas
+            .get_mut(id as usize)
+            .ok_or(NetError::UnknownReplica {
+                replica: id,
+                replicas,
+            })
+    }
+
+    /// Whether every replica holds an identical model map.
+    pub fn converged(&self) -> bool {
+        let mut maps = self.replicas.iter().map(Replica::model_map);
+        let Some(first) = maps.next() else {
+            return true;
+        };
+        maps.all(|m| m == first)
+    }
+
+    /// Every directed session's state, as `(from, to, state)` in
+    /// deterministic order.
+    pub fn session_states(&self) -> Vec<(u32, u32, SessionState)> {
+        self.replicas
+            .iter()
+            .flat_map(|r| {
+                r.links
+                    .iter()
+                    .map(move |(peer, link)| (r.id, *peer, link.session.state()))
+            })
+            .collect()
+    }
+
+    /// Run anti-entropy sync to quiescence, then tear every session
+    /// down. Errors with [`NetError::ConvergeTimeout`] if either phase
+    /// outlives the configured tick budget (a symptom, e.g., of a
+    /// partition that never heals).
+    pub fn converge(&mut self) -> Result<ConvergeReport, NetError> {
+        let start = self.transport.now();
+        loop {
+            if self.transport.now() - start >= self.max_ticks {
+                return Err(NetError::ConvergeTimeout {
+                    ticks: self.transport.now() - start,
+                });
+            }
+            self.pump(false)?;
+            self.transport.step();
+            self.deliver()?;
+            if self.quiesced() {
+                break;
+            }
+        }
+        loop {
+            if self.transport.now() - start >= self.max_ticks {
+                return Err(NetError::ConvergeTimeout {
+                    ticks: self.transport.now() - start,
+                });
+            }
+            self.pump(true)?;
+            self.transport.step();
+            self.deliver()?;
+            if self.torn_down() {
+                break;
+            }
+        }
+        let (mut applied, mut superseded) = (0, 0);
+        let (mut retransmits, mut resets) = (0, 0);
+        for r in &self.replicas {
+            applied += r.stats.applied;
+            superseded += r.stats.superseded;
+            for link in r.links.values() {
+                retransmits += link.session.total_retransmits();
+                resets += link.session.resets();
+            }
+        }
+        Ok(ConvergeReport {
+            ticks: self.transport.now() - start,
+            transport: self.transport.stats(),
+            applied,
+            superseded,
+            retransmits,
+            session_resets: resets,
+        })
+    }
+
+    /// One outbound sweep: connects, offers, retransmits — or, in the
+    /// teardown phase, closes.
+    fn pump(&mut self, teardown: bool) -> Result<(), NetError> {
+        let now = self.transport.now();
+        let Self {
+            replicas,
+            transport,
+            ..
+        } = self;
+        for replica in replicas.iter_mut() {
+            let from = replica.id;
+            let log_rev = replica.log_rev;
+            let digests = replica.digests();
+            for (peer, link) in replica.links.iter_mut() {
+                let mut outbound: Vec<Message> = Vec::new();
+                match link.session.state() {
+                    SessionState::Closed => {
+                        if !teardown {
+                            outbound.push(link.session.connect(now)?);
+                        }
+                    }
+                    SessionState::Established => {
+                        if teardown {
+                            outbound.push(link.session.close(now)?);
+                            link.offer = None;
+                        } else {
+                            match link.offer {
+                                Some((deadline, _)) if now >= deadline => {
+                                    link.offer = Some((now + replica.offer_timeout, log_rev));
+                                    outbound.push(Message::DigestOffer {
+                                        digests: digests.clone(),
+                                    });
+                                }
+                                Some(_) => {}
+                                None => {
+                                    if link.dirty {
+                                        link.offer = Some((now + replica.offer_timeout, log_rev));
+                                        outbound.push(Message::DigestOffer {
+                                            digests: digests.clone(),
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    SessionState::Connecting | SessionState::Negotiating => {
+                        if teardown {
+                            outbound.push(link.session.close(now)?);
+                        }
+                    }
+                    SessionState::Closing => {}
+                }
+                match link.session.poll(now) {
+                    SessionPoll::Retransmit(message) => outbound.push(message),
+                    SessionPoll::Idle | SessionPoll::TimedOut { .. } => {}
+                }
+                for message in outbound {
+                    transport.send(from, *peer, encode(&message))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drain every inbox: responder messages get their reply, client
+    /// messages drive the session FSM or the sync layer.
+    fn deliver(&mut self) -> Result<(), NetError> {
+        let now = self.transport.now();
+        let Self {
+            replicas,
+            transport,
+            ..
+        } = self;
+        for replica in replicas.iter_mut() {
+            while let Some(delivery) = transport.recv(replica.id) {
+                let (message, _) = decode(&delivery.payload)?;
+                let reply = match message {
+                    Message::ConnectRequest
+                    | Message::NegotiateRequest { .. }
+                    | Message::DigestOffer { .. }
+                    | Message::PushModels { .. }
+                    | Message::CloseRequest => replica.respond(message),
+                    Message::DigestReply { want, entries } => {
+                        replica.handle_reply(delivery.from, want, entries)
+                    }
+                    client_message => {
+                        let Some(link) = replica.links.get_mut(&delivery.from) else {
+                            continue;
+                        };
+                        match link.session.on_message(&client_message, now)? {
+                            SessionEvent::Advanced { reply } => Some(reply),
+                            SessionEvent::Established
+                            | SessionEvent::Closed
+                            | SessionEvent::Ignored => None,
+                        }
+                    }
+                };
+                if let Some(reply) = reply {
+                    transport.send(replica.id, delivery.from, encode(&reply))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sync-phase fixpoint: nothing in flight, nothing queued, every
+    /// session established, every link clean with no offer pending.
+    fn quiesced(&self) -> bool {
+        self.transport.quiet()
+            && self.replicas.iter().all(|r| {
+                r.links.values().all(|l| {
+                    l.session.state() == SessionState::Established && !l.dirty && l.offer.is_none()
+                })
+            })
+    }
+
+    /// Teardown fixpoint: nothing moving and every session closed.
+    fn torn_down(&self) -> bool {
+        self.transport.quiet()
+            && self.replicas.iter().all(|r| {
+                r.links
+                    .values()
+                    .all(|l| l.session.state() == SessionState::Closed)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench(name: &str) -> BenchmarkSpec {
+        kernels::benchmark(name).expect("catalog benchmark")
+    }
+
+    fn model(name: &str, mhz: u32) -> TuningModel {
+        TuningModel::new(
+            name,
+            &[(
+                "compute_force".into(),
+                simnode::SystemConfig::new(24, mhz, 1500),
+            )],
+            simnode::SystemConfig::new(24, mhz, 1500),
+        )
+    }
+
+    fn set(replicas: u32) -> ReplicaSet<'static> {
+        ReplicaSet::new(replicas, ReplicaConfig::default())
+    }
+
+    #[test]
+    fn healthy_pair_converges_a_publication_and_tears_down() {
+        let mut set = set(2);
+        let b = bench("miniMD");
+        let stamp = set.replica_mut(0).unwrap().publish_model(
+            &b,
+            &model("miniMD", 2500),
+            vec![("t".into(), 1.0)],
+        );
+        assert_eq!(
+            stamp,
+            Stamp {
+                version: 1,
+                publisher: 0
+            }
+        );
+
+        let report = set.converge().expect("healthy pair converges");
+        assert!(set.converged());
+        assert_eq!(report.applied, 1, "replica 1 applied the entry");
+        // Both birth-dirty links describe the entry (reply entries one
+        // way, offer→want→push the other); the second copy is a
+        // superseded no-op, never a double-apply.
+        assert!(report.superseded <= 1, "{}", report.superseded);
+        assert_eq!(report.retransmits, 0);
+        assert_eq!(report.session_resets, 0);
+        assert!(report.ticks > 0);
+
+        // The entry is servable on the *other* replica, marked as
+        // replication-applied.
+        let served = set
+            .replica_mut(1)
+            .unwrap()
+            .serve(&b)
+            .expect("replicated hit");
+        assert_eq!(served.source, ModelSource::Replicated);
+        assert_eq!(served.model, model("miniMD", 2500));
+        let prov = served
+            .provenance
+            .expect("replicated entries carry provenance");
+        assert_eq!(prov.version, 1);
+
+        // Teardown left no session mid-handshake.
+        assert!(set
+            .session_states()
+            .iter()
+            .all(|(_, _, s)| *s == SessionState::Closed));
+    }
+
+    #[test]
+    fn concurrent_first_publishes_resolve_by_publisher_tie_break() {
+        let mut set = set(3);
+        let b = bench("Lulesh");
+        let s0 = set
+            .replica_mut(0)
+            .unwrap()
+            .publish_model(&b, &model("Lulesh", 2500), vec![]);
+        let s1 = set
+            .replica_mut(1)
+            .unwrap()
+            .publish_model(&b, &model("Lulesh", 2200), vec![]);
+        assert_eq!(
+            s0,
+            Stamp {
+                version: 1,
+                publisher: 0
+            }
+        );
+        assert_eq!(
+            s1,
+            Stamp {
+                version: 1,
+                publisher: 1
+            }
+        );
+
+        let report = set.converge().expect("converges despite the conflict");
+        assert!(set.converged());
+        assert!(
+            report.superseded >= 1,
+            "the losing entry was offered somewhere"
+        );
+
+        // Same version, higher publisher id wins — everywhere, including
+        // on the replica that published the loser.
+        for id in 0..3 {
+            let map = set.replica(id).unwrap().model_map();
+            assert_eq!(map["Lulesh"].stamp, s1, "replica {id}");
+        }
+        let served = set.replica_mut(0).unwrap().serve(&b).unwrap();
+        assert_eq!(served.model, model("Lulesh", 2200));
+    }
+
+    #[test]
+    fn drift_republish_beats_the_previous_winner_everywhere() {
+        let mut set = set(3);
+        let b = bench("Lulesh");
+        set.replica_mut(0)
+            .unwrap()
+            .publish_model(&b, &model("Lulesh", 2500), vec![]);
+        set.replica_mut(1)
+            .unwrap()
+            .publish_model(&b, &model("Lulesh", 2200), vec![]);
+        set.converge().unwrap();
+
+        // Replica 0 re-publishes after drift: it has observed version 1,
+        // so the new stamp is (2, 0) — beating (1, 1) by version alone.
+        let restamp = set
+            .replica_mut(0)
+            .unwrap()
+            .publish_model(&b, &model("Lulesh", 2700), vec![]);
+        assert_eq!(
+            restamp,
+            Stamp {
+                version: 2,
+                publisher: 0
+            }
+        );
+
+        set.converge()
+            .expect("second converge re-establishes sessions");
+        assert!(set.converged());
+        for id in 0..3 {
+            let map = set.replica(id).unwrap().model_map();
+            assert_eq!(map["Lulesh"].stamp, restamp, "replica {id}");
+        }
+        // The publication history kept both stamps, in order.
+        assert_eq!(
+            set.replica(0).unwrap().published(),
+            &[
+                (
+                    "Lulesh".to_string(),
+                    Stamp {
+                        version: 1,
+                        publisher: 0
+                    }
+                ),
+                (
+                    "Lulesh".to_string(),
+                    Stamp {
+                        version: 2,
+                        publisher: 0
+                    }
+                ),
+            ]
+        );
+    }
+
+    /// Drop, duplicate, delay *and* a healing partition, all at once.
+    struct Rough;
+
+    impl crate::inject::FaultInjector for Rough {
+        fn delay_ticks(&self, msg_id: u64) -> u64 {
+            msg_id % 3
+        }
+        fn drop_message(&self, msg_id: u64) -> bool {
+            msg_id % 7 == 3
+        }
+        fn duplicate_message(&self, msg_id: u64) -> bool {
+            msg_id % 5 == 1
+        }
+        fn partitioned(&self, tick: u64, from: u32, to: u32) -> bool {
+            tick < 6 && (from.min(to), from.max(to)) == (0, 1)
+        }
+    }
+
+    fn faulted_maps() -> (Vec<BTreeMap<String, ModelDigest>>, ConvergeReport) {
+        let mut set = ReplicaSet::new(4, ReplicaConfig::default()).with_faults(&Rough);
+        set.replica_mut(0)
+            .unwrap()
+            .publish_model(&bench("miniMD"), &model("miniMD", 2500), vec![]);
+        set.replica_mut(2)
+            .unwrap()
+            .publish_model(&bench("Lulesh"), &model("Lulesh", 2300), vec![]);
+        let report = set.converge().expect("faults delay but cannot stop sync");
+        assert!(set.converged());
+        (
+            (0..4)
+                .map(|id| set.replica(id).unwrap().model_map())
+                .collect(),
+            report,
+        )
+    }
+
+    #[test]
+    fn faulted_convergence_is_deterministic_across_reruns() {
+        let (maps_a, report_a) = faulted_maps();
+        let (maps_b, report_b) = faulted_maps();
+        assert_eq!(maps_a, maps_b, "same faults, same outcome, bit for bit");
+        assert_eq!(report_a, report_b, "even the tick-level accounting");
+        assert!(maps_a.iter().all(|m| m.len() == 2));
+        let stats = report_a.transport;
+        assert!(stats.dropped > 0 || stats.partitioned > 0, "faults fired");
+        assert!(stats.duplicated > 0);
+    }
+
+    #[test]
+    fn unknown_replica_is_an_error() {
+        let mut s = set(2);
+        assert!(matches!(
+            s.replica(9),
+            Err(NetError::UnknownReplica {
+                replica: 9,
+                replicas: 2
+            })
+        ));
+        assert!(s.replica_mut(2).is_err());
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    /// A partition that never heals: convergence must fail loudly.
+    struct Wall;
+
+    impl crate::inject::FaultInjector for Wall {
+        fn partitioned(&self, _tick: u64, from: u32, to: u32) -> bool {
+            (from.min(to), from.max(to)) == (0, 1)
+        }
+    }
+
+    #[test]
+    fn permanent_partition_times_out_instead_of_hanging() {
+        let config = ReplicaConfig {
+            max_ticks: 256,
+            ..ReplicaConfig::default()
+        };
+        let mut set = ReplicaSet::new(2, config).with_faults(&Wall);
+        set.replica_mut(0)
+            .unwrap()
+            .publish_model(&bench("miniMD"), &model("miniMD", 2500), vec![]);
+        let err = set.converge().expect_err("no path between the replicas");
+        assert!(matches!(err, NetError::ConvergeTimeout { ticks: 256 }));
+    }
+
+    #[test]
+    fn repository_handle_surface_works_on_a_replica() {
+        let config = ReplicaConfig {
+            fallback: Some(simnode::SystemConfig::new(24, 2400, 1700)),
+            ..ReplicaConfig::default()
+        };
+        let mut set = ReplicaSet::new(1, config);
+        let replica = set.replica_mut(0).unwrap();
+        let b = bench("miniMD");
+
+        // Miss → fallback; publish through the handle; then a hit.
+        let served = RepositoryHandle::serve(replica, &b).expect("fallback");
+        assert_eq!(served.source, ModelSource::Fallback);
+        assert!(RepositoryHandle::serve_stored(replica, &b)
+            .unwrap()
+            .is_none());
+        let version = RepositoryHandle::publish_online(replica, &b, &model("miniMD", 2500), vec![]);
+        assert_eq!(version, 1);
+        let served = RepositoryHandle::serve_stored(replica, &b)
+            .unwrap()
+            .expect("hit");
+        assert_eq!(
+            served.source,
+            ModelSource::Online,
+            "local publications stay local-sourced"
+        );
+        let stats = RepositoryHandle::stats(replica);
+        assert_eq!(stats.publications, 1);
+        assert_eq!(replica.replication_stats(), ReplicaStats::default());
+        assert_eq!(replica.id(), 0);
+        assert!(replica.repository().stats().publications == 1);
+    }
+}

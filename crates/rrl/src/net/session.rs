@@ -1,0 +1,475 @@
+//! The client-session finite state machine.
+//!
+//! Each replica runs one client [`Session`] per peer it syncs *to*
+//! (the responder side is stateless — see [`crate::net::replica`]).
+//! The FSM follows the framed-protocol idiom of PPP's LCP/IPCP control
+//! machines: explicit states, an explicit message per transition, and
+//! timeouts that retransmit a bounded number of times before giving up.
+//!
+//! ```text
+//!          connect()            ConnectAccept          NegotiateAccept
+//! Closed ────────────► Connecting ─────────► Negotiating ─────────► Established
+//!    ▲                     │ timeout ×N           │ timeout ×N            │
+//!    │◄────────────────────┴──────────────────────┘                close()│
+//!    │                                 CloseAck │ timeout ×N              ▼
+//!    └──────────────────────────────────────────┴──────────────────── Closing
+//! ```
+//!
+//! Every *caller-driven* transition ([`Session::connect`],
+//! [`Session::close`]) returns `Result<_, NetError>` and refuses states
+//! it is invalid in. Peer messages are matched against the state:
+//! the expected answer advances the FSM; a duplicate or stale message
+//! (the transport redelivers and reorders by design) is tolerated and
+//! reported as [`SessionEvent::Ignored`] rather than an error; an
+//! explicit protocol refusal ([`Message::NegotiateReject`]) surfaces as
+//! [`NetError::UnsupportedVersion`].
+//!
+//! Time is virtual: the caller passes the transport tick into every
+//! operation, and [`Session::poll`] answers "retransmit this", "keep
+//! waiting" or "give up" — a handshake timeout closes the session (the
+//! replica layer reconnects on the next sync round), a teardown timeout
+//! force-closes it (best-effort close, the peer holds no state anyway).
+
+use super::frame::{Message, NetError, PROTOCOL_VERSION};
+
+/// The client FSM states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SessionState {
+    /// No session. The only state a connect may start from, and the
+    /// only terminal state a quiesced replica set may leave behind.
+    Closed,
+    /// `ConnectRequest` sent, waiting for `ConnectAccept`.
+    Connecting,
+    /// `NegotiateRequest` sent, waiting for `NegotiateAccept`.
+    Negotiating,
+    /// Handshake complete: digest offers may flow.
+    Established,
+    /// `CloseRequest` sent, waiting for `CloseAck`.
+    Closing,
+}
+
+impl SessionState {
+    /// The state's name, for errors and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SessionState::Closed => "Closed",
+            SessionState::Connecting => "Connecting",
+            SessionState::Negotiating => "Negotiating",
+            SessionState::Established => "Established",
+            SessionState::Closing => "Closing",
+        }
+    }
+}
+
+/// Retransmission policy, in virtual ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Ticks to wait for the expected answer before retransmitting.
+    pub timeout_ticks: u64,
+    /// Retransmissions before the session gives up on the current
+    /// exchange.
+    pub max_retransmits: u32,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            timeout_ticks: 8,
+            max_retransmits: 5,
+        }
+    }
+}
+
+/// What a peer message did to the session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionEvent {
+    /// The message advanced the FSM and `reply` must be sent.
+    Advanced {
+        /// The message to send to the peer.
+        reply: Message,
+    },
+    /// The handshake completed: the session is `Established`.
+    Established,
+    /// Teardown completed: the session is `Closed`.
+    Closed,
+    /// A duplicate or stale message; nothing changed.
+    Ignored,
+}
+
+/// What [`Session::poll`] decided at the current tick.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionPoll {
+    /// Nothing due: keep waiting (or nothing pending at all).
+    Idle,
+    /// The pending message timed out within budget — resend this.
+    Retransmit(Message),
+    /// The retransmit budget is exhausted; the session closed itself.
+    /// Handshake timeouts mean the peer is unreachable (reconnect on a
+    /// later round); a teardown timeout is a successful best-effort
+    /// close.
+    TimedOut {
+        /// The state the session gave up in.
+        state: SessionState,
+    },
+}
+
+/// One directed client session to a peer replica.
+#[derive(Debug, Clone)]
+pub struct Session {
+    peer: u32,
+    state: SessionState,
+    config: SessionConfig,
+    pending: Option<Message>,
+    deadline: Option<u64>,
+    retransmits_left: u32,
+    total_retransmits: u64,
+    resets: u64,
+}
+
+impl Session {
+    /// A closed session to `peer`.
+    pub fn new(peer: u32, config: SessionConfig) -> Self {
+        Self {
+            peer,
+            state: SessionState::Closed,
+            config,
+            pending: None,
+            deadline: None,
+            retransmits_left: 0,
+            total_retransmits: 0,
+            resets: 0,
+        }
+    }
+
+    /// The peer this session talks to.
+    pub fn peer(&self) -> u32 {
+        self.peer
+    }
+
+    /// The current state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// Retransmissions performed over the session's lifetime.
+    pub fn total_retransmits(&self) -> u64 {
+        self.total_retransmits
+    }
+
+    /// Times the session gave up and closed itself (handshake timeouts).
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+
+    /// True in the states a quiesced replica set may leave a session in.
+    pub fn is_settled(&self) -> bool {
+        matches!(self.state, SessionState::Closed | SessionState::Established)
+    }
+
+    fn arm(&mut self, now: u64, message: Message) -> Message {
+        self.pending = Some(message.clone());
+        self.deadline = Some(now + self.config.timeout_ticks);
+        self.retransmits_left = self.config.max_retransmits;
+        message
+    }
+
+    fn disarm(&mut self) {
+        self.pending = None;
+        self.deadline = None;
+    }
+
+    /// Start the handshake. Only valid from `Closed`; returns the
+    /// `ConnectRequest` to send.
+    pub fn connect(&mut self, now: u64) -> Result<Message, NetError> {
+        if self.state != SessionState::Closed {
+            return Err(NetError::InvalidTransition {
+                state: self.state.name(),
+                event: "connect",
+            });
+        }
+        self.state = SessionState::Connecting;
+        Ok(self.arm(now, Message::ConnectRequest))
+    }
+
+    /// Start teardown. Valid from any open state (an unfinished
+    /// handshake may be abandoned); returns the `CloseRequest` to send.
+    pub fn close(&mut self, now: u64) -> Result<Message, NetError> {
+        match self.state {
+            SessionState::Closed | SessionState::Closing => Err(NetError::InvalidTransition {
+                state: self.state.name(),
+                event: "close",
+            }),
+            SessionState::Connecting | SessionState::Negotiating | SessionState::Established => {
+                self.state = SessionState::Closing;
+                Ok(self.arm(now, Message::CloseRequest))
+            }
+        }
+    }
+
+    /// Feed a peer message into the FSM at virtual tick `now`.
+    ///
+    /// The expected answer for the current state advances the machine;
+    /// anything else — duplicates from the transport, answers to an
+    /// exchange the session already abandoned — is [`SessionEvent::Ignored`].
+    /// A `NegotiateReject` is the one message that is an *error*: the
+    /// peer explicitly refused the protocol version, so retrying cannot
+    /// help.
+    pub fn on_message(&mut self, message: &Message, now: u64) -> Result<SessionEvent, NetError> {
+        match (self.state, message) {
+            (SessionState::Connecting, Message::ConnectAccept) => {
+                self.state = SessionState::Negotiating;
+                let reply = self.arm(
+                    now,
+                    Message::NegotiateRequest {
+                        version: PROTOCOL_VERSION,
+                    },
+                );
+                Ok(SessionEvent::Advanced { reply })
+            }
+            (SessionState::Negotiating, Message::NegotiateAccept { version }) => {
+                if *version != PROTOCOL_VERSION {
+                    // An accept for a version we never proposed is a
+                    // protocol violation, not a negotiation outcome.
+                    return Err(NetError::Malformed(format!(
+                        "NegotiateAccept for version {version}, proposed {PROTOCOL_VERSION}"
+                    )));
+                }
+                self.state = SessionState::Established;
+                self.disarm();
+                Ok(SessionEvent::Established)
+            }
+            (SessionState::Negotiating, Message::NegotiateReject { supported }) => {
+                self.state = SessionState::Closed;
+                self.disarm();
+                Err(NetError::UnsupportedVersion {
+                    version: PROTOCOL_VERSION,
+                    supported: *supported,
+                })
+            }
+            (SessionState::Closing, Message::CloseAck) => {
+                self.state = SessionState::Closed;
+                self.disarm();
+                Ok(SessionEvent::Closed)
+            }
+            _ => Ok(SessionEvent::Ignored),
+        }
+    }
+
+    /// Check the retransmission timer at virtual tick `now`.
+    pub fn poll(&mut self, now: u64) -> SessionPoll {
+        let Some(deadline) = self.deadline else {
+            return SessionPoll::Idle;
+        };
+        if now < deadline {
+            return SessionPoll::Idle;
+        }
+        if self.retransmits_left > 0 {
+            self.retransmits_left -= 1;
+            self.total_retransmits += 1;
+            self.deadline = Some(now + self.config.timeout_ticks);
+            return SessionPoll::Retransmit(
+                self.pending.clone().expect("armed deadline has a message"),
+            );
+        }
+        // Budget exhausted: the session gives up. Teardown timeouts are
+        // a successful best-effort close (the responder holds no state);
+        // handshake timeouts are a reset the replica layer may retry.
+        let state = self.state;
+        if state != SessionState::Closing {
+            self.resets += 1;
+        }
+        self.state = SessionState::Closed;
+        self.disarm();
+        SessionPoll::TimedOut { state }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> SessionConfig {
+        SessionConfig {
+            timeout_ticks: 2,
+            max_retransmits: 1,
+        }
+    }
+
+    #[test]
+    fn happy_path_walks_every_state() {
+        let mut s = Session::new(1, SessionConfig::default());
+        assert_eq!(s.state(), SessionState::Closed);
+        assert!(s.is_settled());
+
+        assert_eq!(s.connect(0).unwrap(), Message::ConnectRequest);
+        assert_eq!(s.state(), SessionState::Connecting);
+        assert!(!s.is_settled());
+
+        let event = s.on_message(&Message::ConnectAccept, 1).unwrap();
+        assert_eq!(
+            event,
+            SessionEvent::Advanced {
+                reply: Message::NegotiateRequest {
+                    version: PROTOCOL_VERSION,
+                },
+            }
+        );
+        assert_eq!(s.state(), SessionState::Negotiating);
+
+        let event = s
+            .on_message(
+                &Message::NegotiateAccept {
+                    version: PROTOCOL_VERSION,
+                },
+                2,
+            )
+            .unwrap();
+        assert_eq!(event, SessionEvent::Established);
+        assert_eq!(s.state(), SessionState::Established);
+        assert!(s.is_settled());
+
+        assert_eq!(s.close(3).unwrap(), Message::CloseRequest);
+        assert_eq!(s.state(), SessionState::Closing);
+        assert_eq!(
+            s.on_message(&Message::CloseAck, 4).unwrap(),
+            SessionEvent::Closed
+        );
+        assert_eq!(s.state(), SessionState::Closed);
+        assert_eq!(s.total_retransmits(), 0);
+        assert_eq!(s.resets(), 0);
+    }
+
+    #[test]
+    fn invalid_caller_transitions_are_errors() {
+        let mut s = Session::new(1, SessionConfig::default());
+        assert!(matches!(
+            s.close(0),
+            Err(NetError::InvalidTransition {
+                state: "Closed",
+                event: "close",
+            })
+        ));
+        s.connect(0).unwrap();
+        assert!(matches!(
+            s.connect(1),
+            Err(NetError::InvalidTransition {
+                state: "Connecting",
+                event: "connect",
+            })
+        ));
+        // An open handshake may be abandoned…
+        s.close(1).unwrap();
+        // …but a second close may not race the first.
+        assert!(s.close(2).is_err());
+    }
+
+    #[test]
+    fn duplicates_and_stale_answers_are_ignored() {
+        let mut s = Session::new(1, SessionConfig::default());
+        s.connect(0).unwrap();
+        s.on_message(&Message::ConnectAccept, 1).unwrap();
+        // The transport redelivers the ConnectAccept: no state change.
+        assert_eq!(
+            s.on_message(&Message::ConnectAccept, 1).unwrap(),
+            SessionEvent::Ignored
+        );
+        assert_eq!(s.state(), SessionState::Negotiating);
+        // A CloseAck nobody asked for is ignored too.
+        assert_eq!(
+            s.on_message(&Message::CloseAck, 2).unwrap(),
+            SessionEvent::Ignored
+        );
+    }
+
+    #[test]
+    fn negotiate_reject_surfaces_the_supported_version() {
+        let mut s = Session::new(1, SessionConfig::default());
+        s.connect(0).unwrap();
+        s.on_message(&Message::ConnectAccept, 1).unwrap();
+        let err = s
+            .on_message(&Message::NegotiateReject { supported: 0 }, 2)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            NetError::UnsupportedVersion {
+                version: PROTOCOL_VERSION,
+                supported: 0,
+            }
+        );
+        assert_eq!(s.state(), SessionState::Closed);
+    }
+
+    #[test]
+    fn mismatched_accept_is_malformed() {
+        let mut s = Session::new(1, SessionConfig::default());
+        s.connect(0).unwrap();
+        s.on_message(&Message::ConnectAccept, 1).unwrap();
+        assert!(matches!(
+            s.on_message(&Message::NegotiateAccept { version: 9 }, 2),
+            Err(NetError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn timeout_retransmits_then_gives_up() {
+        let mut s = Session::new(1, quick());
+        s.connect(0).unwrap();
+        assert_eq!(s.poll(1), SessionPoll::Idle, "deadline not reached");
+        assert_eq!(
+            s.poll(2),
+            SessionPoll::Retransmit(Message::ConnectRequest),
+            "first deadline retransmits"
+        );
+        assert_eq!(s.total_retransmits(), 1);
+        assert_eq!(s.poll(3), SessionPoll::Idle, "timer re-armed");
+        assert_eq!(
+            s.poll(4),
+            SessionPoll::TimedOut {
+                state: SessionState::Connecting,
+            }
+        );
+        assert_eq!(s.state(), SessionState::Closed, "gave up cleanly");
+        assert_eq!(s.resets(), 1, "handshake timeout counts as a reset");
+        // A fresh connect is legal again.
+        assert!(s.connect(5).is_ok());
+    }
+
+    #[test]
+    fn teardown_timeout_force_closes_without_a_reset() {
+        let mut s = Session::new(1, quick());
+        s.connect(0).unwrap();
+        s.on_message(&Message::ConnectAccept, 0).unwrap();
+        s.on_message(
+            &Message::NegotiateAccept {
+                version: PROTOCOL_VERSION,
+            },
+            0,
+        )
+        .unwrap();
+        s.close(0).unwrap();
+        assert_eq!(s.poll(2), SessionPoll::Retransmit(Message::CloseRequest));
+        assert_eq!(
+            s.poll(4),
+            SessionPoll::TimedOut {
+                state: SessionState::Closing,
+            }
+        );
+        assert_eq!(s.state(), SessionState::Closed);
+        assert_eq!(s.resets(), 0, "best-effort close is not a reset");
+    }
+
+    #[test]
+    fn established_session_has_no_timer() {
+        let mut s = Session::new(1, quick());
+        s.connect(0).unwrap();
+        s.on_message(&Message::ConnectAccept, 0).unwrap();
+        s.on_message(
+            &Message::NegotiateAccept {
+                version: PROTOCOL_VERSION,
+            },
+            0,
+        )
+        .unwrap();
+        assert_eq!(s.poll(1_000), SessionPoll::Idle);
+    }
+}

@@ -1,0 +1,360 @@
+//! The simulated, seeded, fault-injectable message transport.
+//!
+//! [`SimTransport`] moves framed bytes between numbered endpoints in
+//! *virtual time*: `send` schedules a delivery at least one tick in the
+//! future, [`step`](SimTransport::step) advances the clock by one tick
+//! and moves everything due into per-endpoint inboxes. There are no
+//! threads and no wall clock anywhere — every delivery decision is a
+//! pure function of the transport's deterministic state plus the
+//! [`FaultInjector`] network hooks, which are
+//! themselves pure functions of the monotone message id (and the tick,
+//! for partitions). Two runs over the same fault plan therefore deliver
+//! byte-identical messages in an identical order.
+//!
+//! Fault semantics per `send`:
+//!
+//! * **partition** — `partitioned(now, from, to)` drops the message at
+//!   the sender and counts it separately from plain drops,
+//! * **drop** — `drop_message(id)` silently loses the message,
+//! * **delay / reorder** — delivery lands at `now + 1 + delay_ticks(id)`;
+//!   unequal delays reorder messages between the same pair,
+//! * **duplicate** — `duplicate_message(id)` schedules a second copy one
+//!   tick after the first.
+//!
+//! Deliveries due on the same tick are handed out sorted by
+//! `(deliver_at, message id)`, so even "simultaneous" arrivals have one
+//! deterministic order.
+
+use std::collections::VecDeque;
+
+use crate::inject::FaultInjector;
+
+use super::frame::NetError;
+
+/// One delivered message, as the receiving endpoint sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Sending endpoint.
+    pub from: u32,
+    /// Receiving endpoint.
+    pub to: u32,
+    /// The transport-assigned monotone message id.
+    pub msg_id: u64,
+    /// The framed bytes exactly as sent.
+    pub payload: Vec<u8>,
+}
+
+/// A message still in flight.
+#[derive(Debug)]
+struct InFlight {
+    deliver_at: u64,
+    msg_id: u64,
+    from: u32,
+    to: u32,
+    payload: Vec<u8>,
+}
+
+/// Transport-level counters for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// `send` calls accepted (faulted or not).
+    pub sent: u64,
+    /// Messages moved into an inbox (duplicates count individually).
+    pub delivered: u64,
+    /// Messages lost to `drop_message`.
+    pub dropped: u64,
+    /// Extra copies scheduled by `duplicate_message`.
+    pub duplicated: u64,
+    /// Messages lost to a partitioned link.
+    pub partitioned: u64,
+}
+
+/// The virtual-time message fabric between a set of replicas.
+pub struct SimTransport<'a> {
+    endpoints: u32,
+    now: u64,
+    next_msg_id: u64,
+    in_flight: Vec<InFlight>,
+    inboxes: Vec<VecDeque<Delivery>>,
+    faults: Option<&'a dyn FaultInjector>,
+    stats: TransportStats,
+}
+
+impl std::fmt::Debug for SimTransport<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimTransport")
+            .field("endpoints", &self.endpoints)
+            .field("now", &self.now)
+            .field("in_flight", &self.in_flight.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<'a> SimTransport<'a> {
+    /// A healthy transport between `endpoints` endpoints (clamped ≥ 1).
+    pub fn new(endpoints: u32) -> Self {
+        let endpoints = endpoints.max(1);
+        Self {
+            endpoints,
+            now: 0,
+            next_msg_id: 0,
+            in_flight: Vec::new(),
+            inboxes: (0..endpoints).map(|_| VecDeque::new()).collect(),
+            faults: None,
+            stats: TransportStats::default(),
+        }
+    }
+
+    /// Thread a fault injector's network hooks into every send (builder
+    /// form).
+    #[must_use]
+    pub fn with_faults(mut self, faults: &'a dyn FaultInjector) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// The current virtual tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of endpoints.
+    pub fn endpoints(&self) -> u32 {
+        self.endpoints
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    /// True when nothing is in flight (inboxes may still hold
+    /// deliveries).
+    pub fn idle(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+
+    /// True when nothing is in flight *and* every inbox is drained.
+    pub fn quiet(&self) -> bool {
+        self.idle() && self.inboxes.iter().all(VecDeque::is_empty)
+    }
+
+    /// Send framed bytes from `from` to `to`. Returns the assigned
+    /// message id — assigned even when a fault consumes the message, so
+    /// fault decisions for later messages never shift.
+    pub fn send(&mut self, from: u32, to: u32, payload: Vec<u8>) -> Result<u64, NetError> {
+        for endpoint in [from, to] {
+            if endpoint >= self.endpoints {
+                return Err(NetError::UnknownReplica {
+                    replica: endpoint,
+                    replicas: self.endpoints as usize,
+                });
+            }
+        }
+        let msg_id = self.next_msg_id;
+        self.next_msg_id += 1;
+        self.stats.sent += 1;
+
+        if let Some(faults) = self.faults {
+            if faults.partitioned(self.now, from, to) {
+                self.stats.partitioned += 1;
+                return Ok(msg_id);
+            }
+            if faults.drop_message(msg_id) {
+                self.stats.dropped += 1;
+                return Ok(msg_id);
+            }
+        }
+
+        let delay = 1 + self.faults.map_or(0, |f| f.delay_ticks(msg_id));
+        let deliver_at = self.now + delay;
+        if self.faults.is_some_and(|f| f.duplicate_message(msg_id)) {
+            self.stats.duplicated += 1;
+            self.in_flight.push(InFlight {
+                deliver_at: deliver_at + 1,
+                msg_id,
+                from,
+                to,
+                payload: payload.clone(),
+            });
+        }
+        self.in_flight.push(InFlight {
+            deliver_at,
+            msg_id,
+            from,
+            to,
+            payload,
+        });
+        Ok(msg_id)
+    }
+
+    /// Advance virtual time by one tick and move every due message into
+    /// its destination inbox, in `(deliver_at, msg_id)` order. Returns
+    /// the number of messages delivered this tick.
+    pub fn step(&mut self) -> usize {
+        self.now += 1;
+        let now = self.now;
+        let mut due: Vec<InFlight> = Vec::new();
+        self.in_flight.retain_mut(|m| {
+            if m.deliver_at <= now {
+                due.push(InFlight {
+                    deliver_at: m.deliver_at,
+                    msg_id: m.msg_id,
+                    from: m.from,
+                    to: m.to,
+                    payload: std::mem::take(&mut m.payload),
+                });
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by_key(|m| (m.deliver_at, m.msg_id));
+        let delivered = due.len();
+        for m in due {
+            self.stats.delivered += 1;
+            self.inboxes[m.to as usize].push_back(Delivery {
+                from: m.from,
+                to: m.to,
+                msg_id: m.msg_id,
+                payload: m.payload,
+            });
+        }
+        delivered
+    }
+
+    /// Pop the next delivery for `endpoint`, in arrival order.
+    pub fn recv(&mut self, endpoint: u32) -> Option<Delivery> {
+        self.inboxes.get_mut(endpoint as usize)?.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test injector exercising every network hook deterministically.
+    struct NetFaults;
+
+    impl FaultInjector for NetFaults {
+        fn delay_ticks(&self, msg_id: u64) -> u64 {
+            // Reorder: even ids arrive 2 ticks later than odd ids.
+            if msg_id.is_multiple_of(2) {
+                2
+            } else {
+                0
+            }
+        }
+        fn drop_message(&self, msg_id: u64) -> bool {
+            msg_id == 3
+        }
+        fn duplicate_message(&self, msg_id: u64) -> bool {
+            msg_id == 1
+        }
+        fn partitioned(&self, tick: u64, from: u32, to: u32) -> bool {
+            tick < 1 && from == 0 && to == 2
+        }
+    }
+
+    fn drain(t: &mut SimTransport<'_>, endpoint: u32) -> Vec<u64> {
+        let mut ids = Vec::new();
+        while let Some(d) = t.recv(endpoint) {
+            assert_eq!(d.to, endpoint);
+            ids.push(d.msg_id);
+        }
+        ids
+    }
+
+    #[test]
+    fn healthy_transport_delivers_in_order_next_tick() {
+        let mut t = SimTransport::new(2);
+        t.send(0, 1, vec![1]).unwrap();
+        t.send(0, 1, vec![2]).unwrap();
+        assert!(!t.idle());
+        assert_eq!(t.step(), 2);
+        assert!(t.idle() && !t.quiet());
+        assert_eq!(drain(&mut t, 1), vec![0, 1]);
+        assert!(t.quiet());
+        let s = t.stats();
+        assert_eq!((s.sent, s.delivered, s.dropped), (2, 2, 0));
+    }
+
+    #[test]
+    fn unknown_endpoint_is_an_error() {
+        let mut t = SimTransport::new(2);
+        assert!(matches!(
+            t.send(0, 5, vec![]),
+            Err(NetError::UnknownReplica {
+                replica: 5,
+                replicas: 2,
+            })
+        ));
+        assert!(t.recv(9).is_none());
+    }
+
+    #[test]
+    fn faults_drop_duplicate_delay_and_partition() {
+        let faults = NetFaults;
+        let mut t = SimTransport::new(3).with_faults(&faults);
+        // id 0: partitioned at tick 0 (0 → 2).
+        t.send(0, 2, vec![0]).unwrap();
+        // id 1: duplicated.
+        t.send(0, 1, vec![1]).unwrap();
+        // id 2: delayed 2 extra ticks.
+        t.send(0, 1, vec![2]).unwrap();
+        // id 3: dropped.
+        t.send(0, 1, vec![3]).unwrap();
+
+        // Tick 1: id 1's first copy (odd → no extra delay).
+        t.step();
+        assert_eq!(drain(&mut t, 1), vec![1]);
+        // Tick 2: id 1's duplicate copy.
+        t.step();
+        assert_eq!(drain(&mut t, 1), vec![1]);
+        // Tick 3: id 2 finally lands — reordered behind both copies.
+        t.step();
+        assert_eq!(drain(&mut t, 1), vec![2]);
+        assert!(t.quiet());
+        assert_eq!(drain(&mut t, 2), Vec::<u64>::new(), "partition ate id 0");
+
+        let s = t.stats();
+        assert_eq!(s.sent, 4);
+        assert_eq!(s.delivered, 3);
+        assert_eq!(s.dropped, 1);
+        assert_eq!(s.duplicated, 1);
+        assert_eq!(s.partitioned, 1);
+    }
+
+    #[test]
+    fn partition_heals_when_the_tick_moves_on() {
+        let faults = NetFaults;
+        let mut t = SimTransport::new(3).with_faults(&faults);
+        t.step(); // now = 1: the 0 → 2 partition window has passed
+        t.send(0, 2, vec![7]).unwrap();
+        // Even id → 2 extra delay ticks: due at tick 4, three steps out.
+        t.step();
+        t.step();
+        t.step();
+        assert_eq!(drain(&mut t, 2).len(), 1);
+        assert_eq!(t.stats().partitioned, 0);
+    }
+
+    #[test]
+    fn same_tick_deliveries_sort_by_message_id() {
+        struct SameTick;
+        impl FaultInjector for SameTick {
+            fn delay_ticks(&self, msg_id: u64) -> u64 {
+                // id 0 waits 1 extra tick, id 1 none: both land at tick 2.
+                1 - msg_id.min(1)
+            }
+        }
+        let faults = SameTick;
+        let mut t = SimTransport::new(2).with_faults(&faults);
+        t.send(0, 1, vec![]).unwrap(); // id 0, due tick 2
+        t.step();
+        t.send(0, 1, vec![]).unwrap(); // id 1, due tick 2
+        t.step();
+        assert_eq!(drain(&mut t, 1), vec![0, 1], "id order breaks the tie");
+    }
+}

@@ -70,6 +70,11 @@ pub enum ModelSource {
     /// No model matched; the calibration fallback configuration was
     /// served as a single-scenario static model.
     Fallback,
+    /// A model published on *another* replica and applied here by
+    /// anti-entropy sync (see [`crate::net`]). Locally published models
+    /// keep their [`ModelSource::Online`] / [`ModelSource::Repository`]
+    /// origin; this source marks entries whose publisher was remote.
+    Replicated,
 }
 
 /// Version and origin of a stored tuning model, plus the per-region
@@ -249,6 +254,12 @@ impl Shard {
             },
         );
         self.stats.publications += 1;
+        self.enforce_capacity();
+        version
+    }
+
+    /// Evict least-recently-used entries until the capacity bound holds.
+    fn enforce_capacity(&mut self) {
         if let Some(cap) = self.capacity {
             while self.models.len() > cap {
                 let lru = self
@@ -261,7 +272,42 @@ impl Shard {
                 self.stats.evictions += 1;
             }
         }
-        version
+    }
+
+    /// Store an entry whose version was assigned *elsewhere* — by the
+    /// reconciliation layer of a replica set, which stamps publications
+    /// with a per-application version agreed across replicas (see
+    /// [`crate::net::reconcile`]). Unlike [`Shard::store`] the version
+    /// is not bumped here; the application's high-water mark only
+    /// advances (an out-of-order stale apply can never regress the
+    /// lineage). Everything else — LRU clock, capacity bound,
+    /// publication counting — behaves exactly like a local store.
+    pub(crate) fn store_replicated(
+        &mut self,
+        key: ModelKey,
+        json: String,
+        source: ModelSource,
+        expected: Vec<(String, f64)>,
+        version: u32,
+    ) {
+        let high = self.versions.get(&key.application).copied().unwrap_or(0);
+        self.versions
+            .insert(key.application.clone(), high.max(version));
+        self.clock += 1;
+        self.models.insert(
+            key,
+            StoredEntry {
+                json,
+                provenance: ModelProvenance {
+                    version,
+                    source,
+                    expected,
+                },
+                last_used: self.clock,
+            },
+        );
+        self.stats.publications += 1;
+        self.enforce_capacity();
     }
 
     /// Store the model a design-time session produced (see
@@ -558,6 +604,70 @@ impl TuningModelRepository {
         bench: &BenchmarkSpec,
     ) -> Result<Option<ServedModel>, RuntimeError> {
         self.shard.serve_stored(bench)
+    }
+}
+
+/// The serving surface the sequential cluster event loop needs — what
+/// [`ClusterScheduler::run_with`](crate::ClusterScheduler::run_with)
+/// abstracts over so the same loop serves from a plain local repository
+/// or from one replica of a replicated set
+/// ([`crate::net::Replica`]), without the loop knowing which.
+///
+/// Implementations must preserve the local-repository semantics the
+/// invariant suite pins down: `serve_stored` records exactly one miss
+/// per cold lookup, `publish_online` returns the application-lineage
+/// version it assigned, and `stats` reflects every operation.
+pub trait RepositoryHandle {
+    /// Serve a stored model or the calibration fallback (see
+    /// [`TuningModelRepository::serve`]).
+    fn serve(&mut self, bench: &BenchmarkSpec) -> Result<ServedModel, RuntimeError>;
+
+    /// Serve a stored model, or record a miss and return `Ok(None)` (see
+    /// [`TuningModelRepository::serve_stored`]).
+    fn serve_stored(&mut self, bench: &BenchmarkSpec) -> Result<Option<ServedModel>, RuntimeError>;
+
+    /// Serve the calibration fallback without a storage lookup (see
+    /// [`TuningModelRepository::serve_fallback`]).
+    fn serve_fallback(&mut self, bench: &BenchmarkSpec) -> Result<ServedModel, RuntimeError>;
+
+    /// Store a model the online tuner converged; returns the assigned
+    /// application-lineage version (see
+    /// [`TuningModelRepository::publish_online`]).
+    fn publish_online(
+        &mut self,
+        bench: &BenchmarkSpec,
+        model: &TuningModel,
+        expected: Vec<(String, f64)>,
+    ) -> u32;
+
+    /// Serving statistics so far.
+    fn stats(&self) -> RepositoryStats;
+}
+
+impl RepositoryHandle for TuningModelRepository {
+    fn serve(&mut self, bench: &BenchmarkSpec) -> Result<ServedModel, RuntimeError> {
+        TuningModelRepository::serve(self, bench)
+    }
+
+    fn serve_stored(&mut self, bench: &BenchmarkSpec) -> Result<Option<ServedModel>, RuntimeError> {
+        TuningModelRepository::serve_stored(self, bench)
+    }
+
+    fn serve_fallback(&mut self, bench: &BenchmarkSpec) -> Result<ServedModel, RuntimeError> {
+        TuningModelRepository::serve_fallback(self, bench)
+    }
+
+    fn publish_online(
+        &mut self,
+        bench: &BenchmarkSpec,
+        model: &TuningModel,
+        expected: Vec<(String, f64)>,
+    ) -> u32 {
+        TuningModelRepository::publish_online(self, bench, model, expected)
+    }
+
+    fn stats(&self) -> RepositoryStats {
+        TuningModelRepository::stats(self)
     }
 }
 

@@ -141,6 +141,12 @@ struct LatchShard {
 #[derive(Debug)]
 pub struct CalibrationLatch {
     shards: Vec<LatchShard>,
+    /// Count of resolutions across *all* segments, with a condvar for
+    /// waiters that care about "any resolution at all" rather than one
+    /// key: the parallel event loop's blocked-partition parking (see
+    /// [`CalibrationLatch::wait_resolution`]).
+    epoch: Mutex<u64>,
+    any_resolved: Condvar,
 }
 
 impl CalibrationLatch {
@@ -148,6 +154,8 @@ impl CalibrationLatch {
     pub fn new(shards: usize) -> Self {
         Self {
             shards: (0..shards.max(1)).map(|_| LatchShard::default()).collect(),
+            epoch: Mutex::new(0),
+            any_resolved: Condvar::new(),
         }
     }
 
@@ -180,15 +188,50 @@ impl CalibrationLatch {
     }
 
     fn resolve(&self, key: &ModelKey, outcome: CalibrationOutcome) {
-        let shard = self.shard(key);
-        let mut claims = lock_ignore_poison(&shard.claims);
-        match claims.get(key) {
-            Some(LatchState::Done(_)) => return, // first resolution wins
-            Some(LatchState::InFlight) | None => {
-                claims.insert(key.clone(), LatchState::Done(outcome));
+        {
+            let shard = self.shard(key);
+            let mut claims = lock_ignore_poison(&shard.claims);
+            match claims.get(key) {
+                Some(LatchState::Done(_)) => return, // first resolution wins
+                Some(LatchState::InFlight) | None => {
+                    claims.insert(key.clone(), LatchState::Done(outcome));
+                }
             }
+            shard.resolved.notify_all();
         }
-        shard.resolved.notify_all();
+        // Advance the global resolution epoch *after* the segment state
+        // is published, so a waiter woken by the epoch change always
+        // observes the resolution that caused it.
+        let mut epoch = lock_ignore_poison(&self.epoch);
+        *epoch += 1;
+        self.any_resolved.notify_all();
+    }
+
+    /// The global resolution counter: bumped once per resolution, on any
+    /// segment. Sample it *before* scanning latch states, then park with
+    /// [`CalibrationLatch::wait_resolution`] — a resolution that raced
+    /// the scan already advanced the epoch, so the wait returns
+    /// immediately instead of missing the wakeup.
+    pub fn resolution_epoch(&self) -> u64 {
+        *lock_ignore_poison(&self.epoch)
+    }
+
+    /// Block until the resolution epoch advances past `seen` — i.e.
+    /// until at least one claim (on *any* segment) resolves after the
+    /// caller sampled [`CalibrationLatch::resolution_epoch`]. Returns
+    /// the epoch observed at wakeup. This is the targeted replacement
+    /// for timed polling in the parallel event loop's follower parking:
+    /// a blocked worker sleeps until a resolution actually happens,
+    /// instead of re-sweeping every millisecond.
+    pub fn wait_resolution(&self, seen: u64) -> u64 {
+        let mut epoch = lock_ignore_poison(&self.epoch);
+        while *epoch == seen {
+            epoch = match self.any_resolved.wait(epoch) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        *epoch
     }
 
     /// Claims still in flight across all segments — the
@@ -239,12 +282,11 @@ impl CalibrationLatch {
     }
 
     /// [`CalibrationLatch::wait`] with a bound: returns `None` when the
-    /// claim is still unresolved after `timeout`. The parallel event
-    /// loop parks blocked workers in short slices through this, re-
-    /// sweeping the partition between slices — a resolution on a
-    /// *different* workload's latch segment notifies only that segment's
-    /// condvar, so an unbounded wait on one workload could leave a
-    /// worker asleep while another of its followers became admissible.
+    /// claim is still unresolved after `timeout`. A per-key wait only
+    /// hears its own segment's condvar — for "any resolution anywhere"
+    /// parking (what the parallel event loop's blocked-partition sweep
+    /// needs) use [`CalibrationLatch::wait_resolution`], which replaced
+    /// the timed-slice polling this method once backed.
     pub fn wait_timeout(
         &self,
         key: &ModelKey,
@@ -433,6 +475,31 @@ impl SharedRepository {
         self.with_shard(&bench.name, |shard| {
             shard.publish_online(bench, model, expected)
         })
+    }
+
+    /// Store an entry whose application-lineage version was assigned by
+    /// the replication layer (see [`crate::net::reconcile`]): the entry
+    /// is installed at exactly `version` and the application's
+    /// high-water mark only ever advances. `source` distinguishes a
+    /// locally published model ([`ModelSource::Online`](crate::ModelSource::Online))
+    /// from one applied off the wire
+    /// ([`ModelSource::Replicated`](crate::ModelSource::Replicated)).
+    pub fn publish_replicated(
+        &self,
+        application: &str,
+        fingerprint: u64,
+        json: &str,
+        source: crate::repository::ModelSource,
+        expected: Vec<(String, f64)>,
+        version: u32,
+    ) {
+        let key = ModelKey {
+            application: application.to_string(),
+            fingerprint,
+        };
+        self.with_shard(application, |shard| {
+            shard.store_replicated(key, json.to_string(), source, expected, version)
+        });
     }
 
     /// Store a tuning model for a benchmark (replaces any previous entry
@@ -670,6 +737,40 @@ mod tests {
             latch.wait_timeout(&key, Duration::from_secs(5)),
             Some(CalibrationOutcome::Published)
         );
+    }
+
+    #[test]
+    fn resolution_epoch_advances_once_per_resolution_and_wakes_waiters() {
+        let latch = CalibrationLatch::new(4);
+        let a = ModelKey {
+            application: "a".into(),
+            fingerprint: 1,
+        };
+        let b = ModelKey {
+            application: "b".into(),
+            fingerprint: 2,
+        };
+        assert_eq!(latch.resolution_epoch(), 0);
+        assert!(latch.begin(&a) && latch.begin(&b));
+
+        // A resolution on *any* segment advances the global epoch.
+        latch.publish(&a);
+        assert_eq!(latch.resolution_epoch(), 1);
+        // First-writer-wins: re-resolving a done claim is epoch-inert.
+        latch.fail(&a);
+        assert_eq!(latch.resolution_epoch(), 1);
+
+        // A waiter parked on the stale epoch wakes when `b` resolves —
+        // even though `b` hashes to a different latch segment.
+        let woken = std::thread::scope(|s| {
+            let waiter = s.spawn(|| latch.wait_resolution(1));
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            latch.fail(&b);
+            waiter.join().expect("waiter thread")
+        });
+        assert_eq!(woken, 2);
+        // A wait on an already-stale epoch returns without blocking.
+        assert_eq!(latch.wait_resolution(0), 2);
     }
 
     #[test]

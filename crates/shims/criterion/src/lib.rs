@@ -2,10 +2,17 @@
 //!
 //! A minimal harness with Criterion's macro/API shape: each
 //! `bench_function` warms up, then runs timed batches and reports the
-//! median per-iteration time on stdout. No statistics machinery, no
-//! report files — enough to compare hot paths and keep `cargo bench`
-//! working offline.
+//! median per-iteration time on stdout. No statistics machinery — but
+//! when `CRITERION_SUMMARY_JSON` names a file, every completed
+//! benchmark also lands in a machine-readable
+//! `{"benchmarks":[{name, median_ns, low_ns, high_ns, iters}]}`
+//! document there (rewritten whole after each benchmark, so the file is
+//! always complete JSON even if the run is cut short). Enough to
+//! compare hot paths, keep `cargo bench` working offline, and let CI
+//! archive the numbers as artifacts.
 
+use std::path::Path;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -184,7 +191,85 @@ impl Bencher {
             fmt_ns(hi),
             self.total_iters
         );
+        record_summary(SummaryEntry {
+            name: name.to_string(),
+            median_ns: median,
+            low_ns: lo,
+            high_ns: hi,
+            iters: self.total_iters,
+        });
     }
+}
+
+/// One benchmark's row in the machine-readable summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryEntry {
+    /// Benchmark name (group-qualified, as printed).
+    pub name: String,
+    /// Median per-iteration time, nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample, nanoseconds.
+    pub low_ns: f64,
+    /// Slowest sample, nanoseconds.
+    pub high_ns: f64,
+    /// Total iterations measured.
+    pub iters: u64,
+}
+
+/// Every benchmark reported by this process so far.
+static SUMMARY: Mutex<Vec<SummaryEntry>> = Mutex::new(Vec::new());
+
+/// Append an entry to the process-wide summary and, when the
+/// `CRITERION_SUMMARY_JSON` environment variable names a file, rewrite
+/// that file with the complete summary so far.
+fn record_summary(entry: SummaryEntry) {
+    let mut summary = SUMMARY
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    summary.push(entry);
+    if let Ok(path) = std::env::var("CRITERION_SUMMARY_JSON") {
+        if let Err(e) = write_summary(Path::new(&path), &summary) {
+            eprintln!("criterion: could not write summary to {path}: {e}");
+        }
+    }
+}
+
+/// Render entries as the `{"benchmarks":[…]}` JSON document.
+pub fn render_summary(entries: &[SummaryEntry]) -> String {
+    let mut out = String::from("{\"benchmarks\":[");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"median_ns\":{},\"low_ns\":{},\"high_ns\":{},\"iters\":{}}}",
+            escape_json(&e.name),
+            e.median_ns,
+            e.low_ns,
+            e.high_ns,
+            e.iters
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Write the `{"benchmarks":[…]}` document for `entries` to `path`.
+pub fn write_summary(path: &Path, entries: &[SummaryEntry]) -> std::io::Result<()> {
+    std::fs::write(path, render_summary(entries))
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -239,5 +324,43 @@ mod tests {
         let mut ran = 0u64;
         c.bench_function("smoke", |b| b.iter(|| ran = ran.wrapping_add(1)));
         assert!(ran > 0);
+        // The run above also landed in the process-wide summary.
+        let summary = SUMMARY.lock().unwrap();
+        assert!(summary.iter().any(|e| e.name == "smoke" && e.iters > 0));
+    }
+
+    #[test]
+    fn summary_renders_and_writes_complete_json() {
+        let entries = vec![
+            SummaryEntry {
+                name: "frame/roundtrip".into(),
+                median_ns: 1234.5,
+                low_ns: 1000.0,
+                high_ns: 2000.0,
+                iters: 4096,
+            },
+            SummaryEntry {
+                name: "tricky \"name\"\\\n".into(),
+                median_ns: 2.0,
+                low_ns: 1.0,
+                high_ns: 3.0,
+                iters: 7,
+            },
+        ];
+        let doc = render_summary(&entries);
+        assert!(doc.starts_with("{\"benchmarks\":["));
+        assert!(doc.ends_with("]}\n"));
+        assert!(doc.contains(
+            "{\"name\":\"frame/roundtrip\",\"median_ns\":1234.5,\
+             \"low_ns\":1000,\"high_ns\":2000,\"iters\":4096}"
+        ));
+        assert!(doc.contains("tricky \\\"name\\\"\\\\\\u000a"));
+
+        let path = std::env::temp_dir().join("criterion_shim_summary_test.json");
+        write_summary(&path, &entries).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), doc);
+        let _ = std::fs::remove_file(&path);
+
+        assert_eq!(render_summary(&[]), "{\"benchmarks\":[]}\n");
     }
 }

@@ -10,8 +10,8 @@
 //! seed always yields the same [`Scenario`], byte for byte.
 
 use crate::scenario::{
-    AbortFault, DriftShiftFault, FaultPlan, FleetSpec, JobSpec, NodeSpec, OnlineSpec,
-    RepositorySpec, Scenario, StoredModel, WorkloadSpec,
+    AbortFault, DriftShiftFault, FaultPlan, FleetSpec, JobSpec, NetPlan, NodeSpec, OnlineSpec,
+    PartitionWindow, RepositorySpec, Scenario, StoredModel, WorkloadSpec,
 };
 use kernels::BenchmarkSpec;
 use simnode::SystemConfig;
@@ -93,6 +93,10 @@ pub struct GeneratorConfig {
     pub catalog_workloads: bool,
     /// Worker threads for the parallel run.
     pub workers: usize,
+    /// Replicas for the replicated-serving execution (0 disables it —
+    /// the default — so every pre-existing profile generates byte
+    /// for byte what it did before the net layer existed).
+    pub replicas: usize,
 }
 
 impl Default for GeneratorConfig {
@@ -110,6 +114,7 @@ impl Default for GeneratorConfig {
             size_jitter: 0.2,
             catalog_workloads: true,
             workers: 4,
+            replicas: 0,
         }
     }
 }
@@ -140,6 +145,10 @@ impl ScenarioGenerator {
         let workloads = self.gen_workloads(seed, &mut rng);
         let jobs = self.gen_jobs(&workloads, &mut rng);
         let faults = self.gen_faults(&workloads, &jobs, &mut rng);
+        // Drawn strictly after every pre-existing draw: profiles with
+        // `replicas: 0` consume the identical splitmix64 prefix and so
+        // generate the identical scenario they always did.
+        let net = self.gen_net(&mut rng);
 
         let publishing = workloads.len();
         let capacity = if cfg.eviction_pressure {
@@ -169,7 +178,31 @@ impl ScenarioGenerator {
             }),
             workers: cfg.workers.max(1),
             faults,
+            net,
         }
+    }
+
+    /// A hostile-but-healing network: moderate drop/duplicate rates, a
+    /// little reorder jitter, and one partition window isolating a
+    /// random replica early on (it heals, so convergence stays
+    /// reachable).
+    fn gen_net(&self, rng: &mut u64) -> Option<NetPlan> {
+        if self.cfg.replicas == 0 {
+            return None;
+        }
+        let replicas = self.cfg.replicas.max(2) as u32;
+        Some(NetPlan {
+            replicas,
+            fault_seed: splitmix64(rng),
+            drop_permille: 20 + below(rng, 61) as u16,
+            duplicate_permille: 10 + below(rng, 41) as u16,
+            delay_jitter_ticks: below(rng, 4) as u64,
+            partitions: vec![PartitionWindow {
+                from_tick: 0,
+                to_tick: 8 + below(rng, 25) as u64,
+                isolated: vec![below(rng, replicas as usize) as u32],
+            }],
+        })
     }
 
     fn gen_fleet(&self, seed: u64, rng: &mut u64) -> FleetSpec {
@@ -398,6 +431,34 @@ mod tests {
         let s = generator.generate(1);
         assert_eq!(s.jobs[0].arrival_s, s.jobs[2].arrival_s);
         assert!(s.jobs[3].arrival_s >= s.jobs[2].arrival_s + 100.0);
+    }
+
+    #[test]
+    fn replicas_knob_gates_the_net_plan() {
+        let plain = ScenarioGenerator::default().generate(11);
+        assert_eq!(plain.net, None, "default profile stays net-free");
+
+        let generator = ScenarioGenerator::new(GeneratorConfig {
+            replicas: 4,
+            ..GeneratorConfig::default()
+        });
+        let s = generator.generate(11);
+        let plan = s.net.clone().expect("replicas > 0 draws a plan");
+        assert_eq!(plan.replicas, 4);
+        assert!((20..=80).contains(&plan.drop_permille));
+        assert!((10..=50).contains(&plan.duplicate_permille));
+        assert!(plan.delay_jitter_ticks < 4);
+        assert_eq!(plan.partitions.len(), 1);
+        assert!(plan.partitions[0].isolated[0] < 4);
+        assert!(plan.partitions[0].to_tick >= 8);
+        // The net plan rides the replay artefact like everything else.
+        assert_eq!(Scenario::from_replay(&s.to_replay()).unwrap(), s);
+        // And the draw is appended, not interleaved: everything the
+        // net-free profile generated is untouched.
+        assert_eq!(s.jobs, plain.jobs);
+        assert_eq!(s.fleet, plain.fleet);
+        assert_eq!(s.workloads, plain.workloads);
+        assert_eq!(s.faults, plain.faults);
     }
 
     #[test]

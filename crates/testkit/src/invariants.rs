@@ -19,6 +19,13 @@
 //!    a duplicate version, and the sequential loop assigns versions in
 //!    strictly increasing submission order; the per-application
 //!    high-water mark never regresses, even under eviction.
+//! 5. **Replication** (scenarios carrying a
+//!    [`NetPlan`](crate::scenario::NetPlan)) — the replicated execution
+//!    is bit-identical across reruns, every session ends `Closed`, every
+//!    replica converges to the same model map, and each application's
+//!    winner is the stamp-maximal publication (highest version, highest
+//!    publisher id on ties) — no matter which messages the plan dropped,
+//!    duplicated, delayed or partitioned away.
 //!
 //! A failed invariant comes back as a [`Failure`] whose `Display`
 //! includes a `testkit::replay("…")` line — paste it into a test (or
@@ -27,9 +34,9 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use rrl::ClusterReport;
+use rrl::{ClusterReport, Stamp};
 
-use crate::runner::{run_scenario, ScenarioRun};
+use crate::runner::{run_scenario, ReplicatedRun, ScenarioRun};
 use crate::scenario::Scenario;
 
 /// One violated invariant.
@@ -78,6 +85,27 @@ pub enum Violation {
         /// What broke.
         detail: String,
     },
+    /// After convergence, two replicas held different model maps.
+    ReplicaDivergence {
+        /// Which replicas disagree, and on what.
+        detail: String,
+    },
+    /// A replica converged on an entry that is not the stamp-maximal
+    /// publication for its application.
+    WrongWinner {
+        /// The application whose winner is wrong.
+        application: String,
+        /// Expected vs observed stamps.
+        detail: String,
+    },
+    /// A session survived convergence teardown in a non-terminal state.
+    SessionNotSettled {
+        /// The offending directed session and its state.
+        detail: String,
+    },
+    /// Re-executing the replicated scenario produced a different
+    /// outcome — replication must be a pure function of the scenario.
+    ReplicationNondeterminism,
 }
 
 impl Violation {
@@ -91,6 +119,10 @@ impl Violation {
             Violation::ReportMismatch { .. } => "report-mismatch",
             Violation::StatsDoubleEntry { .. } => "stats-double-entry",
             Violation::VersionIntegrity { .. } => "version-integrity",
+            Violation::ReplicaDivergence { .. } => "replica-divergence",
+            Violation::WrongWinner { .. } => "wrong-winner",
+            Violation::SessionNotSettled { .. } => "session-not-settled",
+            Violation::ReplicationNondeterminism => "replication-nondeterminism",
         }
     }
 }
@@ -118,6 +150,24 @@ impl fmt::Display for Violation {
             } => write!(
                 f,
                 "version integrity violated for `{application}`: {detail}"
+            ),
+            Violation::ReplicaDivergence { detail } => {
+                write!(f, "replicas diverged after convergence: {detail}")
+            }
+            Violation::WrongWinner {
+                application,
+                detail,
+            } => write!(
+                f,
+                "wrong reconciliation winner for `{application}`: {detail}"
+            ),
+            Violation::SessionNotSettled { detail } => {
+                write!(f, "session left non-terminal after teardown: {detail}")
+            }
+            Violation::ReplicationNondeterminism => write!(
+                f,
+                "replicated execution is not deterministic: a rerun of the same \
+                 scenario produced a different outcome"
             ),
         }
     }
@@ -159,6 +209,9 @@ pub fn check(scenario: &Scenario) -> Result<ScenarioRun, Box<Failure>> {
     stats_double_entry(&run).map_err(|v| fail(scenario, v))?;
     version_integrity(&run.sequential, true).map_err(|v| fail(scenario, v))?;
     version_integrity(&run.parallel, false).map_err(|v| fail(scenario, v))?;
+    if let Some(replicated) = &run.replicated {
+        replication(replicated).map_err(|v| fail(scenario, v))?;
+    }
     Ok(run)
 }
 
@@ -302,6 +355,66 @@ fn version_integrity(report: &ClusterReport, submission_ordered: bool) -> Result
                 detail: format!("sequential publications out of submission order: {versions:?}"),
             });
         }
+    }
+    Ok(())
+}
+
+/// Invariant 5: the replicated execution is deterministic, terminal,
+/// convergent, and picks the stamp-maximal winner per application.
+fn replication(run: &ReplicatedRun) -> Result<(), Violation> {
+    use rrl::net::SessionState;
+
+    if !run.reruns_match {
+        return Err(Violation::ReplicationNondeterminism);
+    }
+    if let Some((from, to, state)) = run
+        .session_states
+        .iter()
+        .find(|(_, _, s)| *s != SessionState::Closed)
+    {
+        return Err(Violation::SessionNotSettled {
+            detail: format!("session {from} → {to} ended {state:?}"),
+        });
+    }
+    let Some(first) = run.model_maps.first() else {
+        return Ok(());
+    };
+    for (id, map) in run.model_maps.iter().enumerate().skip(1) {
+        if map != first {
+            let culprit = first
+                .iter()
+                .find(|(app, digest)| map.get(*app) != Some(digest))
+                .map(|(app, _)| app.clone())
+                .or_else(|| map.keys().find(|app| !first.contains_key(*app)).cloned());
+            return Err(Violation::ReplicaDivergence {
+                detail: format!("replica {id} disagrees with replica 0 on {culprit:?}"),
+            });
+        }
+    }
+    // The expected winner per application: the stamp-maximal local
+    // publication, over the independent per-replica histories.
+    let mut expected: BTreeMap<&str, Stamp> = BTreeMap::new();
+    for (application, stamp) in &run.published {
+        let entry = expected.entry(application.as_str()).or_insert(*stamp);
+        *entry = (*entry).max(*stamp);
+    }
+    for (application, stamp) in &expected {
+        let held = first.get(*application).map(|digest| digest.stamp);
+        if held != Some(*stamp) {
+            return Err(Violation::WrongWinner {
+                application: (*application).to_string(),
+                detail: format!("expected winner {stamp}, converged map holds {held:?}"),
+            });
+        }
+    }
+    if let Some(orphan) = first
+        .keys()
+        .find(|app| !expected.contains_key(app.as_str()))
+    {
+        return Err(Violation::WrongWinner {
+            application: orphan.clone(),
+            detail: "converged entry with no publication history".into(),
+        });
     }
     Ok(())
 }

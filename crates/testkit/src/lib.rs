@@ -9,21 +9,26 @@
 //! * [`generator`] — seed → [`Scenario`]: Poisson/bursty job-arrival
 //!   traces over mixed workload populations (kernel-catalog specs plus
 //!   size-jittered synthetics), heterogeneous fleets with capability
-//!   gaps, repository pressure, and a [`FaultPlan`] of job aborts,
-//!   refused calibrations and mid-run drift shifts.
+//!   gaps, repository pressure, a [`FaultPlan`] of job aborts, refused
+//!   calibrations and mid-run drift shifts — and, when the `replicas`
+//!   knob is set, a [`NetPlan`] of message drops, duplicates, reorder
+//!   jitter and partition windows for the replicated execution.
 //! * [`scenario`] — the [`Scenario`] value itself: pure serialisable
 //!   data, from which fleets, repositories and the fault injector are
 //!   derived deterministically. [`Scenario::to_replay`] turns any
 //!   scenario into a one-line repro.
 //! * [`runner`] — [`run_scenario`]: the same trace through the
 //!   sequential *and* the parallel event loop, with a liveness
-//!   [`Watchdog`] over the parallel run.
+//!   [`Watchdog`] over the parallel run — plus, for scenarios carrying
+//!   a [`NetPlan`], twice through the replicated [`rrl::ReplicaSet`]
+//!   path ([`ReplicatedRun`]).
 //! * [`invariants`] — [`check`]: the invariant catalog (seq↔par per-job
 //!   bit-identity, statistics double-entry, version integrity, latch
-//!   liveness). Failures carry a `testkit::replay("…")` line.
+//!   liveness, replica convergence/winner/determinism). Failures carry
+//!   a `testkit::replay("…")` line.
 //! * [`shrink`](mod@shrink) — greedy minimisation of a failing scenario: drop jobs,
-//!   drop faults, shrink the fleet, collapse the workers — while the
-//!   failure label stays the same.
+//!   drop faults, strip the net plan, shrink the fleet, collapse the
+//!   workers — while the failure label stays the same.
 //! * [`helpers`] — the shared test builders (toy workloads, the Lulesh
 //!   Table III model, the canonical fallback) deduplicated out of the
 //!   integration tests.
@@ -56,10 +61,10 @@ pub mod shrink;
 pub use generator::{ArrivalModel, GeneratorConfig, ScenarioGenerator};
 pub use helpers::{lulesh_table3_model, repo_with_lulesh, taurus_fallback, toy_benchmark};
 pub use invariants::{check, Failure, Violation};
-pub use runner::{run_scenario, ScenarioRun, Watchdog};
+pub use runner::{run_scenario, ReplicatedRun, ScenarioRun, Watchdog};
 pub use scenario::{
-    AbortFault, DriftShiftFault, FaultPlan, FleetSpec, JobSpec, NodeSpec, OnlineSpec,
-    RepositorySpec, Scenario, StoredModel, WorkloadSpec,
+    AbortFault, DriftShiftFault, FaultPlan, FleetSpec, JobSpec, NetPlan, NodeSpec, OnlineSpec,
+    PartitionWindow, RepositorySpec, Scenario, StoredModel, WorkloadSpec,
 };
 pub use shrink::{shrink, Shrunk};
 

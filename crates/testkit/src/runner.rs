@@ -13,16 +13,19 @@
 //! [`ClusterScheduler::run`]: rrl::ClusterScheduler::run
 //! [`ClusterScheduler::run_parallel`]: rrl::ClusterScheduler::run_parallel
 
+use std::collections::BTreeMap;
 use std::sync::mpsc;
 use std::time::Duration;
 
 use ptf::RandomSearch;
+use rrl::net::{ModelDigest, SessionState};
 use rrl::{
-    ClusterReport, ClusterScheduler, OnlineConfig, OnlineTuning, RepositoryStats, RuntimeError,
+    ClusterReport, ClusterScheduler, ConvergeReport, OnlineConfig, OnlineTuning, ReplicaConfig,
+    ReplicaSet, RepositoryStats, RuntimeError, Stamp,
 };
 
 use crate::invariants::Violation;
-use crate::scenario::Scenario;
+use crate::scenario::{NetPlan, Scenario};
 
 /// Wall-clock bound on one parallel run. The simulated scenarios finish
 /// in well under a second; a run that is still going after this long is
@@ -42,6 +45,32 @@ pub struct ScenarioRun {
     /// The shared repository's per-shard (locked) statistics — the
     /// double-entry counterpart of [`ScenarioRun::shared_stats`].
     pub shard_stats: RepositoryStats,
+    /// The replicated-serving execution, when the scenario carries a
+    /// [`NetPlan`].
+    pub replicated: Option<ReplicatedRun>,
+}
+
+/// What the replicated-serving execution of a scenario produced: the
+/// trace is spread round-robin over the replicas (job *i* runs against
+/// replica *i* mod N), pre-stored entries are published on replica 0
+/// only, and one [`ReplicaSet::converge`] then anti-entropies
+/// everything out under the scenario's [`NetPlan`] faults. The whole
+/// execution is performed **twice** so nondeterminism is itself an
+/// observable.
+#[derive(Debug, Clone)]
+pub struct ReplicatedRun {
+    /// Per-replica model maps after convergence, in replica-id order.
+    pub model_maps: Vec<BTreeMap<String, ModelDigest>>,
+    /// Every locally-assigned publication stamp, over all replicas in
+    /// id order (replica-local publication order within each).
+    pub published: Vec<(String, Stamp)>,
+    /// The convergence report.
+    pub converge: ConvergeReport,
+    /// Every directed session's final state.
+    pub session_states: Vec<(u32, u32, SessionState)>,
+    /// Whether the second execution reproduced the first bit for bit
+    /// (model maps, publications, convergence report, session states).
+    pub reruns_match: bool,
 }
 
 /// A process-abort timer for liveness checking: if the guard is still
@@ -143,12 +172,110 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioRun, Violation> {
             .map_err(|e| run_error("parallel", e))?
     };
 
+    let replicated = match &scenario.net {
+        None => None,
+        Some(plan) => {
+            // Execute twice: replication is promised to be a pure
+            // function of the scenario, and the rerun makes any
+            // nondeterminism a first-class observable for the
+            // invariant catalog.
+            let first = run_replicated_once(scenario, plan, strategy.as_ref())?;
+            let second = run_replicated_once(scenario, plan, strategy.as_ref())?;
+            let reruns_match = first == second;
+            let (model_maps, published, converge, session_states) = first;
+            Some(ReplicatedRun {
+                model_maps,
+                published,
+                converge,
+                session_states,
+                reruns_match,
+            })
+        }
+    };
+
     Ok(ScenarioRun {
         sequential,
         parallel,
         shared_stats: shared.stats(),
         shard_stats: shared.shard_stats(),
+        replicated,
     })
+}
+
+/// One full replicated execution: seed replica 0, run the round-robin
+/// trace shares against their replicas, converge, and report the final
+/// state of everything.
+type ReplicatedState = (
+    Vec<BTreeMap<String, ModelDigest>>,
+    Vec<(String, Stamp)>,
+    ConvergeReport,
+    Vec<(u32, u32, SessionState)>,
+);
+
+fn run_replicated_once(
+    scenario: &Scenario,
+    plan: &NetPlan,
+    strategy: Option<&RandomSearch>,
+) -> Result<ReplicatedState, Violation> {
+    let fleet = scenario.build_fleet();
+    let replicas = plan.replicas.max(2);
+    let config = ReplicaConfig {
+        shards: scenario.repository.shards.max(1),
+        capacity: scenario.repository.capacity,
+        fallback: scenario.repository.fallback,
+        ..ReplicaConfig::default()
+    };
+    let mut set = ReplicaSet::new(replicas, config).with_faults(plan);
+
+    // Pre-stored entries are published on replica 0 only — reaching the
+    // rest of the set is the sync layer's job, under the plan's faults.
+    for entry in scenario.stored_entries() {
+        set.replica_mut(0).expect("replica 0 exists").publish_model(
+            &entry.bench,
+            &entry.model,
+            entry.expected.clone().unwrap_or_default(),
+        );
+    }
+
+    // Job i runs against replica i mod N, through the ordinary
+    // scheduler event loop (online calibrations publish *locally*, so
+    // cold workloads whose jobs land on different replicas produce the
+    // concurrent-publication conflicts reconciliation must resolve).
+    for replica in 0..replicas {
+        let mut sched = ClusterScheduler::new(&fleet).map_err(|e| run_error("replicated", e))?;
+        if let Some(strategy) = strategy {
+            sched = sched.with_online(OnlineTuning {
+                strategy,
+                energy_model: None,
+                config: OnlineConfig::default(),
+            });
+        }
+        if !scenario.faults.is_empty() {
+            sched = sched.with_faults(&scenario.faults);
+        }
+        for (i, job) in scenario.jobs.iter().enumerate() {
+            if i as u32 % replicas == replica {
+                sched.submit(
+                    job.name.clone(),
+                    scenario.workloads[job.workload].bench.clone(),
+                );
+            }
+        }
+        sched
+            .run_replicated(&mut set, replica)
+            .map_err(|e| run_error("replicated", e))?;
+    }
+
+    let converge = set
+        .converge()
+        .map_err(|e| run_error("replicated", RuntimeError::Replication(e)))?;
+    let model_maps = (0..replicas)
+        .map(|id| set.replica(id).expect("in range").model_map())
+        .collect();
+    let published = (0..replicas)
+        .flat_map(|id| set.replica(id).expect("in range").published().to_vec())
+        .collect();
+    Ok((model_maps, published, converge, set.session_states()))
 }
 
 #[cfg(test)]

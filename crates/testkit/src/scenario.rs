@@ -207,6 +207,82 @@ impl FaultInjector for FaultPlan {
     }
 }
 
+/// A partition window: between `from_tick` (inclusive) and `to_tick`
+/// (exclusive), the `isolated` replicas cannot exchange messages with
+/// the rest of the set — in either direction. Windows end, so
+/// partitions always heal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionWindow {
+    /// First virtual tick of the window.
+    pub from_tick: u64,
+    /// First virtual tick after the window.
+    pub to_tick: u64,
+    /// The replica ids on the small side of the split.
+    pub isolated: Vec<u32>,
+}
+
+/// The scenario's replicated-serving plan: how many replicas, and the
+/// seeded network-fault schedule the sync between them runs under.
+///
+/// Every fault decision is a pure function of `(fault_seed, message id)`
+/// — hashed through FNV-1a, never drawn from mutable RNG state — so two
+/// executions of the same plan fault the exact same messages. The plan
+/// implements the network half of the [`FaultInjector`] seam; the
+/// runner threads it into the replica set's transport.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetPlan {
+    /// Replica count (clamped to ≥ 2 by the runner).
+    pub replicas: u32,
+    /// Seed for the per-message fault decisions.
+    pub fault_seed: u64,
+    /// Per-message drop probability, in permille.
+    pub drop_permille: u16,
+    /// Per-message duplication probability, in permille.
+    pub duplicate_permille: u16,
+    /// Extra delivery delay drawn uniformly from `0..=jitter` ticks
+    /// (unequal delays reorder messages).
+    pub delay_jitter_ticks: u64,
+    /// Partition windows.
+    pub partitions: Vec<PartitionWindow>,
+}
+
+impl NetPlan {
+    /// The pure per-message decision stream: one independent u64 per
+    /// `(seed, message id, salt)` triple.
+    fn decision(&self, msg_id: u64, salt: u64) -> u64 {
+        kernels::Fnv1a::new()
+            .update_u64(self.fault_seed)
+            .update_u64(msg_id)
+            .update_u64(salt)
+            .finish()
+    }
+}
+
+impl FaultInjector for NetPlan {
+    fn delay_ticks(&self, msg_id: u64) -> u64 {
+        if self.delay_jitter_ticks == 0 {
+            return 0;
+        }
+        self.decision(msg_id, 1) % (self.delay_jitter_ticks + 1)
+    }
+
+    fn drop_message(&self, msg_id: u64) -> bool {
+        u64::from(self.drop_permille) > self.decision(msg_id, 2) % 1000
+    }
+
+    fn duplicate_message(&self, msg_id: u64) -> bool {
+        u64::from(self.duplicate_permille) > self.decision(msg_id, 3) % 1000
+    }
+
+    fn partitioned(&self, tick: u64, from: u32, to: u32) -> bool {
+        self.partitions.iter().any(|w| {
+            tick >= w.from_tick
+                && tick < w.to_tick
+                && (w.isolated.contains(&from) != w.isolated.contains(&to))
+        })
+    }
+}
+
 /// One fully-specified, serialisable cluster experiment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
@@ -227,6 +303,11 @@ pub struct Scenario {
     pub workers: usize,
     /// The fault plan.
     pub faults: FaultPlan,
+    /// Replicated serving, if exercised: replica count plus the seeded
+    /// network-fault schedule. `default` keeps pre-net replay lines
+    /// parseable.
+    #[serde(default)]
+    pub net: Option<NetPlan>,
 }
 
 /// A model + optional measured expectations, ready to pre-seed either
@@ -494,6 +575,7 @@ mod tests {
                 }],
                 ..FaultPlan::default()
             },
+            net: None,
         }
     }
 
@@ -505,6 +587,78 @@ mod tests {
         let back = Scenario::from_replay(&line).expect("parses");
         assert_eq!(s, back);
         assert!(Scenario::from_replay("{nope").is_err());
+    }
+
+    #[test]
+    fn replay_lines_without_a_net_plan_still_parse() {
+        // A pre-net replay line round-trips through `#[serde(default)]`.
+        let s = tiny_scenario();
+        let line = s.to_replay();
+        let legacy = line
+            .replace(",\"net\":null", "")
+            .replace("\"net\":null,", "");
+        assert_ne!(legacy, line, "the key was present and got stripped");
+        let back = Scenario::from_replay(&legacy).expect("legacy line parses");
+        assert_eq!(back.net, None);
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn net_plan_round_trips_and_decides_purely() {
+        let plan = NetPlan {
+            replicas: 4,
+            fault_seed: 99,
+            drop_permille: 150,
+            duplicate_permille: 80,
+            delay_jitter_ticks: 3,
+            partitions: vec![PartitionWindow {
+                from_tick: 5,
+                to_tick: 20,
+                isolated: vec![2],
+            }],
+        };
+        let mut s = tiny_scenario();
+        s.net = Some(plan.clone());
+        assert_eq!(Scenario::from_replay(&s.to_replay()).unwrap(), s);
+
+        let f: &dyn FaultInjector = &plan;
+        // Pure: the same message id always gets the same decision.
+        for id in 0..200u64 {
+            assert_eq!(f.delay_ticks(id), f.delay_ticks(id));
+            assert_eq!(f.drop_message(id), f.drop_message(id));
+            assert_eq!(f.duplicate_message(id), f.duplicate_message(id));
+            assert!(f.delay_ticks(id) <= 3);
+        }
+        // The permille knobs actually fire, roughly in proportion.
+        let drops = (0..1000).filter(|id| f.drop_message(*id)).count();
+        assert!((50..350).contains(&drops), "{drops} drops out of 1000");
+        let dups = (0..1000).filter(|id| f.duplicate_message(*id)).count();
+        assert!((20..200).contains(&dups), "{dups} duplicates out of 1000");
+        // Partition: only crossings of the isolation boundary, only
+        // inside the window.
+        assert!(f.partitioned(5, 2, 0) && f.partitioned(5, 0, 2));
+        assert!(!f.partitioned(5, 0, 1), "same side is unaffected");
+        assert!(!f.partitioned(20, 2, 0), "window closed");
+        assert!(!f.partitioned(4, 2, 0), "window not yet open");
+    }
+
+    #[test]
+    fn zeroed_net_plan_is_fault_free() {
+        let plan = NetPlan {
+            replicas: 2,
+            fault_seed: 1,
+            drop_permille: 0,
+            duplicate_permille: 0,
+            delay_jitter_ticks: 0,
+            partitions: Vec::new(),
+        };
+        let f: &dyn FaultInjector = &plan;
+        for id in 0..100u64 {
+            assert_eq!(f.delay_ticks(id), 0);
+            assert!(!f.drop_message(id));
+            assert!(!f.duplicate_message(id));
+        }
+        assert!(!f.partitioned(0, 0, 1));
     }
 
     #[test]

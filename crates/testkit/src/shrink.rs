@@ -3,8 +3,9 @@
 //! [`shrink`] takes a failing [`Scenario`] and a predicate (typically
 //! [`crate::check`] composed down to "did it fail, and how") and greedily
 //! removes everything that does not contribute to the failure: job-trace
-//! chunks (largest first, ddmin style), individual faults, trailing fleet
-//! nodes, and the worker count. After every accepted reduction the
+//! chunks (largest first, ddmin style), individual faults, the net plan
+//! (wholesale, then partition windows and fault knobs one at a time),
+//! trailing fleet nodes, and the worker count. After every accepted reduction the
 //! scenario is [pruned](Scenario::prune) so unreferenced workloads and
 //! stale faults disappear too. The result is a minimal scenario plus its
 //! one-line `testkit::replay("…")` repro.
@@ -138,6 +139,55 @@ pub fn shrink(scenario: &Scenario, fails: &dyn Fn(&Scenario) -> Option<String>) 
             }
         }
 
+        // 2b. Net-plan reduction: drop the plan wholesale, else thin it
+        //     out — partitions one at a time, each fault knob zeroed,
+        //     replica count collapsed to the 2-replica minimum.
+        if current.net.is_some() {
+            let mut candidate = current.clone();
+            candidate.net = None;
+            if try_accept(&mut current, &mut violation, &mut attempts, candidate) {
+                progressed = true;
+            } else {
+                let mut i = 0;
+                while i < current.net.as_ref().map_or(0, |n| n.partitions.len()) {
+                    let mut candidate = current.clone();
+                    candidate
+                        .net
+                        .as_mut()
+                        .expect("checked")
+                        .partitions
+                        .remove(i);
+                    if try_accept(&mut current, &mut violation, &mut attempts, candidate) {
+                        progressed = true;
+                    } else {
+                        i += 1;
+                    }
+                }
+                type NetKnob = fn(&mut crate::scenario::NetPlan) -> bool;
+                const NET_KNOBS: [NetKnob; 4] = [
+                    |n| std::mem::take(&mut n.drop_permille) != 0,
+                    |n| std::mem::take(&mut n.duplicate_permille) != 0,
+                    |n| std::mem::take(&mut n.delay_jitter_ticks) != 0,
+                    |n| {
+                        if n.replicas > 2 {
+                            n.replicas = 2;
+                            true
+                        } else {
+                            false
+                        }
+                    },
+                ];
+                for zero in NET_KNOBS {
+                    let mut candidate = current.clone();
+                    if zero(candidate.net.as_mut().expect("checked"))
+                        && try_accept(&mut current, &mut violation, &mut attempts, candidate)
+                    {
+                        progressed = true;
+                    }
+                }
+            }
+        }
+
         // 3. Fleet reduction: truncate to half, then drop one at a time.
         while current.fleet.nodes.len() > 1 {
             let mut candidate = current.clone();
@@ -198,6 +248,7 @@ mod tests {
             nodes: 4,
             workloads: 3,
             online: false,
+            replicas: 3,
             ..GeneratorConfig::default()
         });
         let scenario = generator.generate(9);
@@ -210,6 +261,7 @@ mod tests {
         let shrunk = shrink(&scenario, &fails).expect("original fails");
         assert_eq!(shrunk.violation, "has-wl0");
         assert_eq!(shrunk.scenario.jobs.len(), 1, "one culprit job survives");
+        assert_eq!(shrunk.scenario.net, None, "irrelevant net plan dropped");
         assert_eq!(shrunk.scenario.fleet.nodes.len(), 1);
         assert_eq!(shrunk.scenario.workers, 1);
         assert_eq!(
@@ -222,5 +274,31 @@ mod tests {
         // The repro line round-trips to the same minimal scenario.
         let back = Scenario::from_replay(&shrunk.replay_line()).unwrap();
         assert_eq!(back, shrunk.scenario);
+    }
+
+    #[test]
+    fn shrink_thins_a_load_bearing_net_plan() {
+        let generator = ScenarioGenerator::new(GeneratorConfig {
+            jobs: 6,
+            online: false,
+            replicas: 4,
+            ..GeneratorConfig::default()
+        });
+        let scenario = generator.generate(3);
+        // The failure needs message drops; everything else in the plan
+        // is ballast the shrinker should strip.
+        let fails = |s: &Scenario| -> Option<String> {
+            s.net
+                .as_ref()
+                .is_some_and(|n| n.drop_permille > 0)
+                .then(|| "needs-drops".to_string())
+        };
+        let shrunk = shrink(&scenario, &fails).expect("original fails");
+        let net = shrunk.scenario.net.as_ref().expect("plan is load-bearing");
+        assert!(net.drop_permille > 0, "the culprit knob survives");
+        assert_eq!(net.duplicate_permille, 0);
+        assert_eq!(net.delay_jitter_ticks, 0);
+        assert_eq!(net.replicas, 2);
+        assert!(net.partitions.is_empty());
     }
 }

@@ -9,10 +9,13 @@
 
 use testkit::{ArrivalModel, GeneratorConfig, ScenarioGenerator};
 
-/// The fixed CI matrix: 10 seeds across two generator profiles — a mixed
-/// faulted fleet under Poisson traffic, and an all-cold eviction-pressure
-/// profile whose every workload queues followers on the calibration
-/// latch while the LRU bound churns publications.
+/// The fixed CI matrix: 13 seeds across three generator profiles — a
+/// mixed faulted fleet under Poisson traffic, an all-cold
+/// eviction-pressure profile whose every workload queues followers on
+/// the calibration latch while the LRU bound churns publications, and a
+/// replication-fault profile that spreads the trace over a 3-replica
+/// set syncing through generated drops, duplicates, reorder jitter and
+/// a partition window.
 fn matrix() -> Vec<(&'static str, ScenarioGenerator, u64)> {
     let mixed = ScenarioGenerator::new(GeneratorConfig {
         jobs: 16,
@@ -34,6 +37,14 @@ fn matrix() -> Vec<(&'static str, ScenarioGenerator, u64)> {
         fault_fraction: 0.15,
         ..GeneratorConfig::default()
     });
+    let replicated = ScenarioGenerator::new(GeneratorConfig {
+        jobs: 9,
+        nodes: 3,
+        workloads: 3,
+        fault_fraction: 0.2,
+        replicas: 3,
+        ..GeneratorConfig::default()
+    });
     let mut out = Vec::new();
     for seed in [0x01u64, 0x5EED, 0xBEEF, 0xC0FFEE, 0xD1CE] {
         out.push(("mixed", mixed.clone(), seed));
@@ -41,13 +52,16 @@ fn matrix() -> Vec<(&'static str, ScenarioGenerator, u64)> {
     for seed in [0x02u64, 0x2B, 0xACE, 0xFEED, 0xF00D] {
         out.push(("pressure", pressure.clone(), seed));
     }
+    for seed in [0x03u64, 0x9055, 0x51AC] {
+        out.push(("replicated", replicated.clone(), seed));
+    }
     out
 }
 
 /// The CI soak: every matrix cell must pass the full invariant catalog.
 /// Failures print the one-line replay repro.
 #[test]
-fn soak_matrix_10_seeds() {
+fn soak_matrix_13_seeds() {
     for (profile, generator, seed) in matrix() {
         let scenario = generator.generate(seed);
         if let Err(failure) = testkit::check(&scenario) {
