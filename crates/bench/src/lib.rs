@@ -8,6 +8,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod summary;
 pub mod sweep;
 
 pub use sweep::{energy_grid, optimum, EnergyGrid, GridPoint};

@@ -1,0 +1,145 @@
+//! Bench-baseline diffing: parse the `{"benchmarks":[…]}` documents the
+//! criterion shim writes via `CRITERION_SUMMARY_JSON`, and compare a
+//! fresh run against the committed baseline.
+//!
+//! The committed `BENCH_*.json` files at the repository root are the
+//! baselines; CI regenerates fresh summaries and runs `bench_diff`
+//! against them. The diff **fails only on coverage regressions** — a
+//! benchmark present in the baseline but missing from the fresh run
+//! (renamed, deleted, or cut short). Timing ratios are printed for
+//! trend eyeballing, never enforced: shared-runner numbers are
+//! indicative, not comparable across machines.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use serde::Deserialize;
+
+/// One benchmark's row of a summary document (the shim's
+/// `SummaryEntry` wire form).
+#[derive(Debug, Clone, Deserialize)]
+pub struct SummaryRow {
+    /// Benchmark name (group-qualified, as printed).
+    pub name: String,
+    /// Median per-iteration time, nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample, nanoseconds.
+    pub low_ns: f64,
+    /// Slowest sample, nanoseconds.
+    pub high_ns: f64,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+/// The `{"benchmarks":[…]}` document.
+#[derive(Debug, Clone, Deserialize)]
+pub struct SummaryDoc {
+    /// Every benchmark the run reported.
+    pub benchmarks: Vec<SummaryRow>,
+}
+
+/// Parse a summary document into name → row, rejecting duplicates.
+pub fn parse_summary(json: &str) -> Result<BTreeMap<String, SummaryRow>, String> {
+    let doc: SummaryDoc =
+        serde_json::from_str(json).map_err(|e| format!("malformed summary: {e:?}"))?;
+    let mut rows = BTreeMap::new();
+    for row in doc.benchmarks {
+        if rows.insert(row.name.clone(), row).is_some() {
+            return Err("duplicate benchmark name in summary".to_string());
+        }
+    }
+    Ok(rows)
+}
+
+/// Diff a fresh summary against the committed baseline: a human-readable
+/// table on success, the list of benchmarks the fresh run lost on error.
+pub fn diff(
+    baseline: &BTreeMap<String, SummaryRow>,
+    fresh: &BTreeMap<String, SummaryRow>,
+) -> Result<String, String> {
+    let missing: Vec<&str> = baseline
+        .keys()
+        .filter(|name| !fresh.contains_key(*name))
+        .map(String::as_str)
+        .collect();
+    if !missing.is_empty() {
+        return Err(format!(
+            "baseline benchmarks missing from the fresh run: {}",
+            missing.join(", ")
+        ));
+    }
+    let mut out = String::new();
+    for (name, fresh_row) in fresh {
+        match baseline.get(name) {
+            Some(base_row) => {
+                let ratio = if base_row.median_ns > 0.0 {
+                    fresh_row.median_ns / base_row.median_ns
+                } else {
+                    f64::NAN
+                };
+                let _ = writeln!(
+                    out,
+                    "{name}: {:.0} ns vs baseline {:.0} ns ({ratio:.2}x)",
+                    fresh_row.median_ns, base_row.median_ns
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "{name}: {:.0} ns (new, no baseline)",
+                    fresh_row.median_ns
+                );
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(rows: &[(&str, f64)]) -> String {
+        let body: Vec<String> = rows
+            .iter()
+            .map(|(name, median)| {
+                format!(
+                    "{{\"name\":\"{name}\",\"median_ns\":{median},\
+                     \"low_ns\":{median},\"high_ns\":{median},\"iters\":3}}"
+                )
+            })
+            .collect();
+        format!("{{\"benchmarks\":[{}]}}", body.join(","))
+    }
+
+    #[test]
+    fn parses_the_shim_document_shape() {
+        let rows = parse_summary(&doc(&[("a/b", 120.0), ("c", 7.5)])).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows["a/b"].median_ns, 120.0);
+        assert_eq!(rows["c"].iters, 3);
+    }
+
+    #[test]
+    fn rejects_malformed_and_duplicate_summaries() {
+        assert!(parse_summary("{nope").is_err());
+        assert!(parse_summary(&doc(&[("a", 1.0), ("a", 2.0)])).is_err());
+    }
+
+    #[test]
+    fn diff_reports_ratios_and_new_rows_without_failing() {
+        let base = parse_summary(&doc(&[("a", 100.0)])).unwrap();
+        let fresh = parse_summary(&doc(&[("a", 250.0), ("b", 5.0)])).unwrap();
+        let report = diff(&base, &fresh).unwrap();
+        assert!(report.contains("a: 250 ns vs baseline 100 ns (2.50x)"));
+        assert!(report.contains("b: 5 ns (new, no baseline)"));
+    }
+
+    #[test]
+    fn diff_fails_on_lost_coverage() {
+        let base = parse_summary(&doc(&[("a", 100.0), ("gone", 9.0)])).unwrap();
+        let fresh = parse_summary(&doc(&[("a", 90.0)])).unwrap();
+        let err = diff(&base, &fresh).unwrap_err();
+        assert!(err.contains("gone"));
+    }
+}

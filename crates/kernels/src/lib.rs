@@ -20,6 +20,7 @@
 
 pub mod catalog;
 pub mod hash;
+pub mod quantile;
 pub mod real;
 pub mod spec;
 pub mod suites;
@@ -28,4 +29,5 @@ pub use catalog::{
     all_benchmarks, benchmark, test_set, toy_benchmark, training_set, TEST_SET_NAMES,
 };
 pub use hash::{fnv1a, Fnv1a};
+pub use quantile::QuantileSketch;
 pub use spec::{BenchmarkSpec, ProgrammingModel, RegionSpec, Suite};

@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use simnode::RegionCharacter;
 
 pub use crate::hash::fnv1a;
+use crate::hash::Fnv1a;
 
 /// Benchmark suite of origin (Table II).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -149,16 +150,75 @@ impl BenchmarkSpec {
         self.regions.iter().find(|r| r.name == name)
     }
 
-    /// Stable workload fingerprint: [`fnv1a`] over the canonical JSON
-    /// serialisation of this spec. Any change to the region list, a
-    /// region's work character, the phase count or the name yields a
-    /// different value. The runtime's tuning-model repository keys stored
-    /// models by `(application, fingerprint)`, so a re-submitted job only
-    /// hits a stored model when its workload is byte-identical to the one
-    /// that was tuned.
+    /// Stable workload fingerprint: a streaming [`fnv1a`] hash over every
+    /// field of the spec — name, suite, programming model, phase count,
+    /// then each region's name, work character and variation amplitude in
+    /// program order, with floats folded in as their IEEE-754 bit
+    /// patterns and strings length-delimited. Any change to the region
+    /// list, a region's work character, the phase count or the name
+    /// yields a different value. The runtime's tuning-model repository
+    /// keys stored models by `(application, fingerprint)`, so a
+    /// re-submitted job only hits a stored model when its workload is
+    /// bit-identical to the one that was tuned.
+    ///
+    /// Hashing is allocation-free: the repository fingerprints on every
+    /// serve and the discrete-event service loop at million-job scale
+    /// cannot afford a serialisation round-trip per lookup.
     pub fn fingerprint(&self) -> u64 {
-        let json = serde_json::to_string(self).expect("benchmark spec serialises");
-        fnv1a(json.as_bytes())
+        let mut h = Fnv1a::new()
+            .update_u64(self.name.len() as u64)
+            .update(self.name.as_bytes())
+            .update_u64(self.suite as u64)
+            .update_u64(self.model as u64)
+            .update_u64(u64::from(self.phase_iterations));
+        for region in &self.regions {
+            // Exhaustive destructuring: adding a character field without
+            // folding it in here is a compile error, so the fingerprint
+            // can never silently ignore part of the workload.
+            let RegionCharacter {
+                instr_per_iter,
+                frac_load,
+                frac_store,
+                frac_branch,
+                frac_fp,
+                frac_vec,
+                branch_misp_rate,
+                branch_ntk_frac,
+                l1d_miss_per_instr,
+                l2_dcr_per_instr,
+                l2_icr_per_instr,
+                l2_miss_per_instr,
+                dram_bytes_per_iter,
+                ipc_base,
+                stall_frac,
+                parallel_fraction,
+                overlap,
+                mem_queue_sensitivity,
+            } = &region.character;
+            h = h
+                .update_u64(region.name.len() as u64)
+                .update(region.name.as_bytes())
+                .update_u64(instr_per_iter.to_bits())
+                .update_u64(frac_load.to_bits())
+                .update_u64(frac_store.to_bits())
+                .update_u64(frac_branch.to_bits())
+                .update_u64(frac_fp.to_bits())
+                .update_u64(frac_vec.to_bits())
+                .update_u64(branch_misp_rate.to_bits())
+                .update_u64(branch_ntk_frac.to_bits())
+                .update_u64(l1d_miss_per_instr.to_bits())
+                .update_u64(l2_dcr_per_instr.to_bits())
+                .update_u64(l2_icr_per_instr.to_bits())
+                .update_u64(l2_miss_per_instr.to_bits())
+                .update_u64(dram_bytes_per_iter.to_bits())
+                .update_u64(ipc_base.to_bits())
+                .update_u64(stall_frac.to_bits())
+                .update_u64(parallel_fraction.to_bits())
+                .update_u64(overlap.to_bits())
+                .update_u64(mem_queue_sensitivity.to_bits())
+                .update_u64(region.variation_amplitude.to_bits());
+        }
+        h.finish()
     }
 
     /// Aggregate character of one whole phase iteration (the "phase

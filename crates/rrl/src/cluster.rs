@@ -165,6 +165,10 @@ pub struct ClusterReport {
     pub repository: RepositoryStats,
     /// Distinct nodes that executed at least one job.
     pub nodes_used: usize,
+    /// Virtual-time service metrics — present only for
+    /// [`ClusterScheduler::run_service`] runs (the sweep loops have no
+    /// timeline to measure latency on).
+    pub service: Option<crate::service::ServiceSummary>,
 }
 
 /// Aggregate online-adaptation activity of one scheduler run.
@@ -249,6 +253,9 @@ impl ClusterReport {
                 online.recalibrated_regions,
             ));
         }
+        if let Some(service) = &self.service {
+            out.push_str(&service.format_lines());
+        }
         let aborted = self.jobs.iter().filter(|j| j.aborted_at.is_some()).count();
         let rejected: Vec<&JobRejection> = self
             .jobs
@@ -270,14 +277,14 @@ impl ClusterReport {
     }
 }
 
-struct QueuedJob {
-    name: String,
-    bench: BenchmarkSpec,
-    node_idx: usize,
+pub(crate) struct QueuedJob {
+    pub(crate) name: String,
+    pub(crate) bench: BenchmarkSpec,
+    pub(crate) node_idx: usize,
 }
 
 /// The per-job execution state both event loops drive.
-enum State<'b> {
+pub(crate) enum State<'b> {
     /// Not yet admitted (queued behind a calibration, or not yet reached
     /// by its worker).
     Waiting,
@@ -290,7 +297,7 @@ enum State<'b> {
 }
 
 /// What [`JobDriver::advance`] observed.
-enum EventOutcome {
+pub(crate) enum EventOutcome {
     /// The session advanced by one event.
     Advanced,
     /// An online calibration abandoned itself (exploration budget or
@@ -303,17 +310,17 @@ enum EventOutcome {
 /// One job's driver: its state machine plus everything the final report
 /// needs. The sequential and the parallel event loops share this
 /// completely — only admission (who serves the model, and when) differs.
-struct JobDriver<'b> {
-    state: State<'b>,
+pub(crate) struct JobDriver<'b> {
+    pub(crate) state: State<'b>,
     region_idx: usize,
     /// Phase iterations this job will actually run: the benchmark's
     /// count, or an injected abort point (clamped to ≥ 1).
-    iterations: u32,
+    pub(crate) iterations: u32,
     accounting: Option<JobAccounting>,
     default: Option<JobRecord>,
-    published_version: Option<u32>,
+    pub(crate) published_version: Option<u32>,
     drift: Vec<DriftEvent>,
-    rejection: Option<JobRejection>,
+    pub(crate) rejection: Option<JobRejection>,
 }
 
 impl<'b> JobDriver<'b> {
@@ -321,7 +328,7 @@ impl<'b> JobDriver<'b> {
     /// the effective iteration count — a pure function of the job name,
     /// so both event loops (and both runs of a replay) truncate
     /// identically.
-    fn new(job: &QueuedJob, faults: Option<&dyn FaultInjector>) -> Self {
+    pub(crate) fn new(job: &QueuedJob, faults: Option<&dyn FaultInjector>) -> Self {
         let iterations = faults
             .and_then(|f| f.abort_phase(&job.name))
             .map_or(job.bench.phase_iterations, |k| {
@@ -339,13 +346,13 @@ impl<'b> JobDriver<'b> {
         }
     }
 
-    fn is_active(&self) -> bool {
+    pub(crate) fn is_active(&self) -> bool {
         matches!(self.state, State::Plain(_) | State::Online(_))
     }
 
     /// Whether the job's phase loop has run out of iterations (its next
     /// event must be the finish).
-    fn finished_iterations(&self) -> bool {
+    pub(crate) fn finished_iterations(&self) -> bool {
         match &self.state {
             State::Plain(session) => session.phase_iteration() >= self.iterations,
             State::Online(tuner) => tuner.phase_iteration() >= self.iterations,
@@ -353,10 +360,32 @@ impl<'b> JobDriver<'b> {
         }
     }
 
+    /// The phase iteration an active session is currently in (0 when not
+    /// active). The discrete-event service uses this to truncate jobs on
+    /// a failed node at their next phase boundary.
+    pub(crate) fn phase_iteration(&self) -> u32 {
+        match &self.state {
+            State::Plain(session) => session.phase_iteration(),
+            State::Online(tuner) => tuner.phase_iteration(),
+            State::Waiting | State::Done => 0,
+        }
+    }
+
+    /// Virtual wall time the active session has accumulated so far (0
+    /// when not active). The discrete-event service reads this after
+    /// every event to place the next one on the virtual timeline.
+    pub(crate) fn elapsed_s(&self) -> f64 {
+        match &self.state {
+            State::Plain(session) => session.elapsed_s(),
+            State::Online(tuner) => tuner.session().elapsed_s(),
+            State::Waiting | State::Done => 0.0,
+        }
+    }
+
     /// Advance an active, unfinished job by one event: the next region's
     /// enter/exit pair, or — once the phase's regions are exhausted — the
     /// phase-complete.
-    fn advance(&mut self, bench: &BenchmarkSpec) -> Result<EventOutcome, RuntimeError> {
+    pub(crate) fn advance(&mut self, bench: &BenchmarkSpec) -> Result<EventOutcome, RuntimeError> {
         if self.region_idx < bench.regions.len() {
             let region = &bench.regions[self.region_idx];
             match &mut self.state {
@@ -400,7 +429,7 @@ impl<'b> JobDriver<'b> {
     /// platform default on a full-capability node) and — for an aborted
     /// job — over the same truncated phase count, so the savings compare
     /// like with like.
-    fn finish(
+    pub(crate) fn finish(
         &mut self,
         job: &QueuedJob,
         node: &Node,
@@ -441,7 +470,7 @@ impl<'b> JobDriver<'b> {
 /// The platform default clamped to what `node` can actually run — the
 /// launch/baseline configuration for jobs on capability-gapped nodes.
 /// Identical to [`SystemConfig::taurus_default`] on a full node.
-fn node_default(node: &Node) -> SystemConfig {
+pub(crate) fn node_default(node: &Node) -> SystemConfig {
     let default = SystemConfig::taurus_default();
     default.with_threads(default.threads.min(node.topology().max_threads()))
 }
@@ -481,7 +510,7 @@ fn start_degraded<'b>(
 
 /// Start a plain serving session for an already-served model, degrading a
 /// capability-gap rejection to a static run instead of failing the job.
-fn start_plain<'b>(
+pub(crate) fn start_plain<'b>(
     job: &'b QueuedJob,
     node: &'b Node,
     served: ServedModel,
@@ -501,7 +530,7 @@ fn start_plain<'b>(
 
 /// Start a drift-monitoring tuner for a repository hit, degrading a
 /// capability-gap rejection to a static run instead of failing the job.
-fn start_monitor<'b>(
+pub(crate) fn start_monitor<'b>(
     job: &'b QueuedJob,
     node: &'b Node,
     served: ServedModel,
@@ -533,7 +562,7 @@ fn start_monitor<'b>(
 /// leader instead of erroring; the returned flag tells the caller to mark
 /// the workload's calibration *failed* (the sequential `failed` set, or
 /// the parallel latch) so same-workload followers take the fallback path.
-fn start_calibration<'b>(
+pub(crate) fn start_calibration<'b>(
     job: &'b QueuedJob,
     node: &'b Node,
     online: &OnlineTuning<'b>,
@@ -579,10 +608,14 @@ fn start_calibration<'b>(
 
 /// Fold finished drivers into the aggregate report (submission order, so
 /// the floating-point totals are identical no matter which event loop —
-/// or how many workers — produced the drivers).
-fn assemble_report(
+/// or how many workers — produced the drivers). `placements` gives each
+/// job's final node index: the sweep loops pass the submission-time
+/// placement verbatim, the discrete-event service passes its live
+/// placements (which churn re-placement may have moved).
+pub(crate) fn assemble_report(
     cluster: &Cluster,
     jobs: &[QueuedJob],
+    placements: &[usize],
     drivers: Vec<JobDriver<'_>>,
     repository: RepositoryStats,
 ) -> ClusterReport {
@@ -594,7 +627,7 @@ fn assemble_report(
     };
     let mut total_tuned = total_default;
     let mut nodes_used = vec![false; cluster.len()];
-    for (driver, job) in drivers.into_iter().zip(jobs) {
+    for ((driver, job), &node_idx) in drivers.into_iter().zip(jobs).zip(placements) {
         let aborted_at =
             (driver.iterations < job.bench.phase_iterations).then_some(driver.iterations);
         let accounting = driver.accounting.expect("all jobs finished");
@@ -605,11 +638,11 @@ fn assemble_report(
         total_tuned.job_energy_j += accounting.record.job_energy_j;
         total_tuned.cpu_energy_j += accounting.record.cpu_energy_j;
         total_tuned.elapsed_s += accounting.record.elapsed_s;
-        nodes_used[job.node_idx] = true;
+        nodes_used[node_idx] = true;
         outcomes.push(JobOutcome {
             job: job.name.clone(),
             benchmark: job.bench.name.clone(),
-            node_id: cluster.node(job.node_idx).id(),
+            node_id: cluster.node(node_idx).id(),
             savings: Savings::between(&default, &accounting.record),
             accounting,
             default,
@@ -626,6 +659,7 @@ fn assemble_report(
         total_tuned,
         repository,
         nodes_used: nodes_used.iter().filter(|&&used| used).count(),
+        service: None,
     }
 }
 
@@ -670,7 +704,7 @@ pub struct ClusterScheduler<'a> {
 }
 
 /// Estimated total work of a job, for least-loaded placement.
-fn estimated_work(bench: &BenchmarkSpec) -> f64 {
+pub(crate) fn estimated_work(bench: &BenchmarkSpec) -> f64 {
     bench.phase_character().instr_per_iter * f64::from(bench.phase_iterations)
 }
 
@@ -723,6 +757,27 @@ impl<'a> ClusterScheduler<'a> {
     /// Jobs queued but not yet run.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// The cluster this scheduler places onto (for the discrete-event
+    /// service, which lives in [`crate::service`]).
+    pub(crate) fn cluster(&self) -> &'a Cluster {
+        self.cluster
+    }
+
+    /// The configured placement policy.
+    pub(crate) fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    /// The attached online adaptation, if any.
+    pub(crate) fn online(&self) -> Option<OnlineTuning<'a>> {
+        self.online
+    }
+
+    /// The attached fault injector, if any.
+    pub(crate) fn faults(&self) -> Option<&'a dyn FaultInjector> {
+        self.faults
     }
 
     /// Submit a job; returns the id of the node it was placed on.
@@ -883,7 +938,14 @@ impl<'a> ClusterScheduler<'a> {
             }
         }
 
-        Ok(assemble_report(cluster, &jobs, drivers, repo.stats()))
+        let placements: Vec<usize> = jobs.iter().map(|j| j.node_idx).collect();
+        Ok(assemble_report(
+            cluster,
+            &jobs,
+            &placements,
+            drivers,
+            repo.stats(),
+        ))
     }
 
     /// [`ClusterScheduler::run`], serving from (and publishing to) one
@@ -951,7 +1013,13 @@ impl<'a> ClusterScheduler<'a> {
         let faults = self.faults;
         let jobs = self.take_queue();
         if jobs.is_empty() {
-            return Ok(assemble_report(cluster, &jobs, Vec::new(), repo.stats()));
+            return Ok(assemble_report(
+                cluster,
+                &jobs,
+                &[],
+                Vec::new(),
+                repo.stats(),
+            ));
         }
         let workers = workers.clamp(1, jobs.len());
 
@@ -1059,7 +1127,14 @@ impl<'a> ClusterScheduler<'a> {
             return Err(error);
         }
         let drivers: Vec<JobDriver<'_>> = slots.into_iter().map(|slot| slot.driver).collect();
-        Ok(assemble_report(cluster, &jobs, drivers, repo.stats()))
+        let placements: Vec<usize> = jobs.iter().map(|j| j.node_idx).collect();
+        Ok(assemble_report(
+            cluster,
+            &jobs,
+            &placements,
+            drivers,
+            repo.stats(),
+        ))
     }
 }
 

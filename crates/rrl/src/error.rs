@@ -136,6 +136,16 @@ pub enum RuntimeError {
     /// session or convergence error from the [`crate::net`] stack (e.g.
     /// `run_replicated` addressed a replica the set does not contain).
     Replication(crate::net::NetError),
+    /// The discrete-event service quiesced with jobs still unfinished —
+    /// its event heap ran dry while queued work remained, which a
+    /// well-formed churn schedule cannot cause (queued jobs are re-placed
+    /// off drained and failed nodes, and placement falls back to the full
+    /// fleet when every node is unavailable). Indicates an internal
+    /// scheduling bug, not a scenario problem.
+    ServiceStalled {
+        /// Jobs that never finished.
+        unfinished: usize,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -215,6 +225,10 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Replication(e) => {
                 write!(f, "replicated serving failed: {e}")
             }
+            RuntimeError::ServiceStalled { unfinished } => write!(
+                f,
+                "discrete-event service quiesced with {unfinished} unfinished job(s)"
+            ),
         }
     }
 }

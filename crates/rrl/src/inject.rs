@@ -34,6 +34,39 @@
 //! sequential run, and any faulted run bit-identical to its replay.
 //!
 //! [`ClusterScheduler::run`]: crate::ClusterScheduler::run
+//!
+//! The discrete-event service
+//! ([`ClusterScheduler::run_service`](crate::ClusterScheduler::run_service))
+//! additionally consults [`FaultInjector::node_churn`] once at start-up
+//! for the run's node join/drain/fail schedule, honored mid-run at the
+//! scheduled virtual timestamps.
+
+use serde::{Deserialize, Serialize};
+
+/// What happens to a node at a [`ChurnEvent`]'s timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChurnKind {
+    /// The node (re-)joins the fleet and accepts placements again.
+    Join,
+    /// The node stops accepting work; queued jobs are re-placed, running
+    /// jobs finish normally.
+    Drain,
+    /// The node fails: queued jobs are re-placed, running jobs are
+    /// truncated at their next phase boundary (accounting collected up to
+    /// the truncation, like an abort).
+    Fail,
+}
+
+/// One scheduled node-membership change for a service run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnEvent {
+    /// Virtual timestamp of the change, seconds from service start.
+    pub at_s: f64,
+    /// Fleet node index the change applies to.
+    pub node: u32,
+    /// Join, drain, or fail.
+    pub kind: ChurnKind,
+}
 
 /// Deterministic fault decisions for one scheduler run.
 ///
@@ -106,6 +139,16 @@ pub trait FaultInjector: Sync {
         let _ = (tick, from, to);
         false
     }
+
+    // ----- service churn hook (see `ClusterScheduler::run_service`) -----
+
+    /// The node join/drain/fail schedule for a discrete-event service
+    /// run. Consulted once at service start; every event fires at its
+    /// virtual timestamp regardless of what the cluster is doing. The
+    /// default is a stable fleet.
+    fn node_churn(&self) -> Vec<ChurnEvent> {
+        Vec::new()
+    }
 }
 
 /// The no-fault injector: every hook answers "healthy".
@@ -128,6 +171,19 @@ mod tests {
         assert!(!f.drop_message(7));
         assert!(!f.duplicate_message(7));
         assert!(!f.partitioned(0, 1, 2));
+        assert!(f.node_churn().is_empty());
+    }
+
+    #[test]
+    fn churn_events_round_trip_through_serde() {
+        let event = ChurnEvent {
+            at_s: 12.5,
+            node: 3,
+            kind: ChurnKind::Drain,
+        };
+        let json = serde_json::to_string(&event).unwrap();
+        let back: ChurnEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, event);
     }
 
     #[test]

@@ -44,6 +44,12 @@
 //!   injected drift shifts, message delay/drop/duplication/partition),
 //!   so a scenario engine can drive the unhappy paths without forking
 //!   the runtime,
+//! * [`service`] — the long-lived cluster service on the `simkit`
+//!   discrete-event kernel: [`ClusterScheduler::run_service`] drives a
+//!   timestamped [`JobArrival`] trace in virtual time with per-node run
+//!   queues, mid-run node join/drain/fail churn
+//!   ([`FaultInjector::node_churn`]) and latency/queue-depth percentiles
+//!   in the report ([`ServiceSummary`]),
 //! * [`net`] — replicated serving: a seeded fault-injectable
 //!   [`SimTransport`], a length-framed versioned wire format, per-peer
 //!   handshake [`Session`](net::Session)s, and [`ReplicaSet`] — N
@@ -80,6 +86,7 @@ pub mod rat;
 pub mod repository;
 pub mod sacct;
 pub mod savings;
+pub mod service;
 pub mod session;
 pub mod shard;
 pub mod static_tuning;
@@ -90,7 +97,7 @@ pub use cluster::{
     Placement,
 };
 pub use error::RuntimeError;
-pub use inject::{FaultInjector, NoFaults};
+pub use inject::{ChurnEvent, ChurnKind, FaultInjector, NoFaults};
 pub use net::{
     ConvergeReport, NetError, Replica, ReplicaConfig, ReplicaSet, SimTransport, Stamp,
     TransportStats, VersionVector,
@@ -105,6 +112,7 @@ pub use repository::{
 };
 pub use sacct::{JobAccounting, JobRecord, OnlineActivity, RegionAccounting};
 pub use savings::{compare_static_dynamic, BenchmarkComparison, ComparisonError, Savings};
+pub use service::{JobArrival, Percentiles, ServiceConfig, ServiceSummary};
 pub use session::{RegionExit, RuntimeSession};
 pub use shard::{CalibrationLatch, CalibrationOutcome, LatchStatus, SharedRepository};
 pub use tmm::TuningModelManager;

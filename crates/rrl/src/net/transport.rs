@@ -24,8 +24,18 @@
 //! Deliveries due on the same tick are handed out sorted by
 //! `(deliver_at, message id)`, so even "simultaneous" arrivals have one
 //! deterministic order.
+//!
+//! Since the `simkit` kernel landed, the transport's tick counter is a
+//! [`simkit::VirtualClock`] and its in-flight set a [`simkit::EventHeap`]
+//! keyed by `(deliver_at, msg_id)` via
+//! [`schedule_keyed`](simkit::EventHeap::schedule_keyed) — the same
+//! `(deliver_at, seq_id)` rule the whole runtime orders events by. The
+//! observable behavior is byte-identical to the pre-kernel hand-rolled
+//! loop.
 
 use std::collections::VecDeque;
+
+use simkit::{EventHeap, VirtualClock};
 
 use crate::inject::FaultInjector;
 
@@ -44,10 +54,10 @@ pub struct Delivery {
     pub payload: Vec<u8>,
 }
 
-/// A message still in flight.
+/// A message still in flight (its `(deliver_at, msg_id)` ordering lives
+/// in the event heap's key, not here).
 #[derive(Debug)]
 struct InFlight {
-    deliver_at: u64,
     msg_id: u64,
     from: u32,
     to: u32,
@@ -72,9 +82,9 @@ pub struct TransportStats {
 /// The virtual-time message fabric between a set of replicas.
 pub struct SimTransport<'a> {
     endpoints: u32,
-    now: u64,
+    clock: VirtualClock,
     next_msg_id: u64,
-    in_flight: Vec<InFlight>,
+    in_flight: EventHeap<InFlight>,
     inboxes: Vec<VecDeque<Delivery>>,
     faults: Option<&'a dyn FaultInjector>,
     stats: TransportStats,
@@ -84,7 +94,7 @@ impl std::fmt::Debug for SimTransport<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SimTransport")
             .field("endpoints", &self.endpoints)
-            .field("now", &self.now)
+            .field("now", &self.clock.now())
             .field("in_flight", &self.in_flight.len())
             .field("stats", &self.stats)
             .finish()
@@ -97,9 +107,9 @@ impl<'a> SimTransport<'a> {
         let endpoints = endpoints.max(1);
         Self {
             endpoints,
-            now: 0,
+            clock: VirtualClock::new(),
             next_msg_id: 0,
-            in_flight: Vec::new(),
+            in_flight: EventHeap::new(),
             inboxes: (0..endpoints).map(|_| VecDeque::new()).collect(),
             faults: None,
             stats: TransportStats::default(),
@@ -116,7 +126,7 @@ impl<'a> SimTransport<'a> {
 
     /// The current virtual tick.
     pub fn now(&self) -> u64 {
-        self.now
+        self.clock.now()
     }
 
     /// Number of endpoints.
@@ -157,7 +167,7 @@ impl<'a> SimTransport<'a> {
         self.stats.sent += 1;
 
         if let Some(faults) = self.faults {
-            if faults.partitioned(self.now, from, to) {
+            if faults.partitioned(self.clock.now(), from, to) {
                 self.stats.partitioned += 1;
                 return Ok(msg_id);
             }
@@ -168,51 +178,43 @@ impl<'a> SimTransport<'a> {
         }
 
         let delay = 1 + self.faults.map_or(0, |f| f.delay_ticks(msg_id));
-        let deliver_at = self.now + delay;
+        let deliver_at = self.clock.now() + delay;
         if self.faults.is_some_and(|f| f.duplicate_message(msg_id)) {
             self.stats.duplicated += 1;
-            self.in_flight.push(InFlight {
-                deliver_at: deliver_at + 1,
+            self.in_flight.schedule_keyed(
+                deliver_at + 1,
+                msg_id,
+                InFlight {
+                    msg_id,
+                    from,
+                    to,
+                    payload: payload.clone(),
+                },
+            );
+        }
+        self.in_flight.schedule_keyed(
+            deliver_at,
+            msg_id,
+            InFlight {
                 msg_id,
                 from,
                 to,
-                payload: payload.clone(),
-            });
-        }
-        self.in_flight.push(InFlight {
-            deliver_at,
-            msg_id,
-            from,
-            to,
-            payload,
-        });
+                payload,
+            },
+        );
         Ok(msg_id)
     }
 
     /// Advance virtual time by one tick and move every due message into
-    /// its destination inbox, in `(deliver_at, msg_id)` order. Returns
-    /// the number of messages delivered this tick.
+    /// its destination inbox, in `(deliver_at, msg_id)` order (the event
+    /// heap's pop order). Returns the number of messages delivered this
+    /// tick.
     pub fn step(&mut self) -> usize {
-        self.now += 1;
-        let now = self.now;
-        let mut due: Vec<InFlight> = Vec::new();
-        self.in_flight.retain_mut(|m| {
-            if m.deliver_at <= now {
-                due.push(InFlight {
-                    deliver_at: m.deliver_at,
-                    msg_id: m.msg_id,
-                    from: m.from,
-                    to: m.to,
-                    payload: std::mem::take(&mut m.payload),
-                });
-                false
-            } else {
-                true
-            }
-        });
-        due.sort_by_key(|m| (m.deliver_at, m.msg_id));
-        let delivered = due.len();
-        for m in due {
+        let now = self.clock.advance(1);
+        let mut delivered = 0usize;
+        while self.in_flight.peek().is_some_and(|(at, _)| at <= now) {
+            let m = self.in_flight.pop().expect("peeked").event;
+            delivered += 1;
             self.stats.delivered += 1;
             self.inboxes[m.to as usize].push_back(Delivery {
                 from: m.from,

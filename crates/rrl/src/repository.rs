@@ -196,6 +196,12 @@ pub enum MatchPolicy {
 #[derive(Debug)]
 pub(crate) struct StoredEntry {
     pub(crate) json: String,
+    /// Memoized parse of `json`, filled on the first successful serve.
+    /// The JSON stays the canonical stored form (what replication ships
+    /// and a `SCOREP_RRL_TMM_PATH` file contains); the cache only spares
+    /// re-parsing it on every hit. Corrupt entries never fill it, so they
+    /// surface [`RuntimeError::Parse`] on every serve.
+    pub(crate) parsed: Option<TuningModel>,
     pub(crate) provenance: ModelProvenance,
     pub(crate) last_used: u64,
 }
@@ -245,6 +251,7 @@ impl Shard {
             key,
             StoredEntry {
                 json,
+                parsed: None,
                 provenance: ModelProvenance {
                     version,
                     source,
@@ -298,6 +305,7 @@ impl Shard {
             key,
             StoredEntry {
                 json,
+                parsed: None,
                 provenance: ModelProvenance {
                     version,
                     source,
@@ -390,23 +398,27 @@ impl Shard {
         let clock = self.clock;
         let entry = self.models.get_mut(&key).expect("resolved key exists");
         entry.last_used = clock;
-        match TuningModel::from_json(&entry.json) {
-            Ok(model) => {
-                self.stats.hits += 1;
-                if !exact {
-                    self.stats.approx_hits += 1;
+        if entry.parsed.is_none() {
+            entry.parsed = match TuningModel::from_json(&entry.json) {
+                Ok(model) => Some(model),
+                Err(e) => {
+                    self.stats.errors += 1;
+                    return Err(RuntimeError::Parse(e));
                 }
-                Ok(Some(ServedModel {
-                    model,
-                    source: entry.provenance.source,
-                    provenance: Some(entry.provenance.clone()),
-                }))
-            }
-            Err(e) => {
-                self.stats.errors += 1;
-                Err(RuntimeError::Parse(e))
-            }
+            };
         }
+        let model = entry.parsed.clone().expect("cache filled above");
+        let source = entry.provenance.source;
+        let provenance = Some(entry.provenance.clone());
+        self.stats.hits += 1;
+        if !exact {
+            self.stats.approx_hits += 1;
+        }
+        Ok(Some(ServedModel {
+            model,
+            source,
+            provenance,
+        }))
     }
 
     /// Serve the calibration fallback (see
@@ -773,6 +785,7 @@ mod tests {
             ModelKey::of(&b),
             StoredEntry {
                 json: "{not json".into(),
+                parsed: None,
                 provenance: ModelProvenance {
                     version: 1,
                     source: ModelSource::Repository,

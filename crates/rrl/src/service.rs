@@ -1,0 +1,645 @@
+//! The long-lived, churn-tolerant cluster service on the `simkit` kernel.
+//!
+//! [`ClusterScheduler::run_service`] is the third event loop over the
+//! shared job-state machine of [`crate::cluster`] — and the first one
+//! where *time* is real (virtual): jobs arrive at their trace timestamps,
+//! every region enter/exit pair and phase completion is a scheduled event
+//! whose virtual duration is the session's own accumulated wall time,
+//! calibration completions release their same-workload waiters at the
+//! instant the leader finishes, and nodes join, drain and fail mid-run on
+//! the [`FaultInjector::node_churn`] schedule. Per-node run queues form
+//! when [`ServiceConfig::slots_per_node`] bounds concurrency; queue depth
+//! and sojourn are sampled at event granularity into deterministic
+//! [`QuantileSketch`]es, and the report gains job-latency and queue-depth
+//! percentiles ([`ServiceSummary`]).
+//!
+//! ## Determinism and bit-identity
+//!
+//! Execution order is a pure function of the trace timestamps and the
+//! kernel's `(deliver_at, seq_id)` rule — no wall clock, no randomness.
+//! Because per-job accounting is interleaving-independent (see
+//! [`crate::session`]), a service run over a zero-interarrival trace with
+//! no churn and unbounded slots is **bit-identical per job** to
+//! [`ClusterScheduler::run`] and [`ClusterScheduler::run_parallel`] on
+//! the same submissions: arrivals at `t = 0` are placed and admitted in
+//! trace order (the sequential loop's first admission sweep, verbatim —
+//! same placements, same serve calls, same calibration leaders), and each
+//! session's events then replay its own timeline. The testkit
+//! `event_core` invariant locks this equivalence in.
+//!
+//! ## Churn semantics
+//!
+//! * **Drain** — the node stops accepting placements; its *queued* jobs
+//!   are re-placed onto the remaining available nodes (never dropped);
+//!   running jobs finish normally.
+//! * **Fail** — like drain, but running jobs are truncated at their next
+//!   phase boundary (accounting collected up to the truncation and
+//!   compared against an equally truncated baseline, exactly like an
+//!   injected abort). A truncated calibration *leader* that never
+//!   converged fails its workload's calibration, releasing waiters to
+//!   the fallback path.
+//! * **Join** — the node accepts placements again; anything still queued
+//!   on unavailable nodes is re-placed immediately.
+//!
+//! When every node is unavailable, placement falls back to the full
+//! fleet — a degraded cluster keeps serving rather than stranding jobs.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use kernels::{BenchmarkSpec, QuantileSketch};
+use simkit::{EventSink, Kernel, Process, Time};
+use simnode::Cluster;
+
+use crate::cluster::{
+    assemble_report, estimated_work, start_calibration, start_monitor, start_plain, ClusterReport,
+    ClusterScheduler, EventOutcome, JobDriver, OnlineTuning, Placement, QueuedJob, State,
+};
+use crate::error::RuntimeError;
+use crate::inject::{ChurnEvent, ChurnKind, FaultInjector};
+use crate::repository::{ModelKey, RepositoryHandle};
+
+/// One job of a service trace: what to run, and *when* it arrives.
+#[derive(Debug, Clone)]
+pub struct JobArrival {
+    /// Job name (unique per trace; seeds the accounting noise).
+    pub name: String,
+    /// The benchmark the job runs.
+    pub bench: BenchmarkSpec,
+    /// Arrival time, seconds of virtual time from service start.
+    pub arrival_s: f64,
+}
+
+/// Knobs for one service run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Concurrent sessions a node runs before arrivals queue on it
+    /// (0 = unbounded, the sweep loops' implicit behavior).
+    pub slots_per_node: usize,
+}
+
+/// p50/p95/p99/max of one sampled distribution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Percentiles {
+    /// Extract from a sketch, scaling samples by `scale` (e.g. µs → s).
+    fn from_sketch(sketch: &QuantileSketch, scale: f64) -> Self {
+        let (p50, p95, p99) = sketch.p50_p95_p99();
+        Self {
+            p50: p50 as f64 * scale,
+            p95: p95 as f64 * scale,
+            p99: p99 as f64 * scale,
+            max: sketch.max() as f64 * scale,
+        }
+    }
+}
+
+/// Virtual-time metrics of one [`ClusterScheduler::run_service`] run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceSummary {
+    /// Virtual time of the last job completion, seconds.
+    pub makespan_s: f64,
+    /// Job latency (arrival → finish), seconds of virtual time.
+    pub latency_s: Percentiles,
+    /// Time jobs spent queued before admission, seconds of virtual time.
+    pub queue_wait_s: Percentiles,
+    /// Per-node run-queue depth, sampled at every queue-affecting event.
+    pub queue_depth: Percentiles,
+    /// Churn events honored during the run.
+    pub churn_events: usize,
+    /// Queued or parked jobs re-placed off drained/failed/unavailable
+    /// nodes (never dropped).
+    pub replaced_jobs: u64,
+    /// Running jobs truncated at a phase boundary by a node failure.
+    pub truncated_jobs: u64,
+    /// Kernel events dispatched.
+    pub events: u64,
+    /// The event heap was empty when the run ended (always true for a
+    /// completed run; reported so invariants can assert it).
+    pub quiesced: bool,
+    /// Popped event timestamps never regressed (always true by kernel
+    /// construction; reported so invariants can assert it).
+    pub monotone: bool,
+}
+
+impl ServiceSummary {
+    /// The report lines
+    /// [`format_report`](ClusterReport::format_report) appends for a
+    /// service run.
+    pub fn format_lines(&self) -> String {
+        let mut out = format!(
+            "service: makespan {:.1}s virtual, latency p50/p95/p99 \
+             {:.3}/{:.3}/{:.3}s (max {:.3}s), queue depth p50/p95/p99 \
+             {:.0}/{:.0}/{:.0} (max {:.0})\n",
+            self.makespan_s,
+            self.latency_s.p50,
+            self.latency_s.p95,
+            self.latency_s.p99,
+            self.latency_s.max,
+            self.queue_depth.p50,
+            self.queue_depth.p95,
+            self.queue_depth.p99,
+            self.queue_depth.max,
+        );
+        if self.churn_events > 0 {
+            out.push_str(&format!(
+                "churn: {} events, {} queued jobs re-placed, {} running jobs truncated\n",
+                self.churn_events, self.replaced_jobs, self.truncated_jobs,
+            ));
+        }
+        out
+    }
+}
+
+/// The typed event payloads of a service run.
+enum ServiceEvent {
+    /// Job `i` arrives and is placed (admitted or queued).
+    Arrive(usize),
+    /// Active job `i` advances by one region/phase event, or finishes.
+    Step(usize),
+    /// A calibration resolved (published, failed, or abandoned): release
+    /// the workload's parked waiters.
+    Resolve(ModelKey),
+    /// Churn schedule entry `idx` fires.
+    Churn(usize),
+}
+
+/// Convert seconds of virtual time to the kernel's microsecond ticks.
+fn to_us(seconds: f64) -> Time {
+    (seconds.max(0.0) * 1e6).round() as Time
+}
+
+/// The [`Process`] impl: all mutable state of one service run.
+struct ServiceRun<'b, 'r> {
+    cluster: &'b Cluster,
+    placement: Placement,
+    online: Option<OnlineTuning<'b>>,
+    faults: Option<&'b dyn FaultInjector>,
+    repo: &'r mut dyn RepositoryHandle,
+    slots_per_node: usize,
+
+    jobs: &'b [QueuedJob],
+    arrivals_us: Vec<Time>,
+    drivers: Vec<JobDriver<'b>>,
+    placements: Vec<usize>,
+    /// Session wall time already accounted onto the timeline, per job.
+    charged_s: Vec<f64>,
+    /// When the job last entered a queue (arrival or re-placement).
+    enqueued_us: Vec<Time>,
+
+    available: Vec<bool>,
+    running: Vec<usize>,
+    queues: Vec<VecDeque<usize>>,
+    load: Vec<f64>,
+    rr_next: usize,
+
+    /// Cold workloads with a calibration in flight → parked waiter jobs.
+    calibrating: BTreeMap<ModelKey, Vec<usize>>,
+    /// Workloads whose calibration failed: serve the fallback.
+    failed: BTreeSet<ModelKey>,
+    churn: Vec<ChurnEvent>,
+
+    latency: QuantileSketch,
+    wait: QuantileSketch,
+    depth: QuantileSketch,
+    replaced: u64,
+    truncated: u64,
+    done: usize,
+    finished_at_us: Time,
+    last_event_us: Time,
+    monotone: bool,
+}
+
+impl ServiceRun<'_, '_> {
+    fn has_capacity(&self, node: usize) -> bool {
+        self.slots_per_node == 0 || self.running[node] < self.slots_per_node
+    }
+
+    /// Sample the current run-queue depth of `node`.
+    fn sample_depth(&mut self, node: usize) {
+        self.depth.record(self.queues[node].len() as u64);
+    }
+
+    /// Pick a node for `bench` among the available nodes (all nodes when
+    /// none is available), mirroring [`ClusterScheduler::submit`]'s
+    /// policies exactly when the whole fleet is up.
+    fn place(&mut self, bench: &BenchmarkSpec) -> usize {
+        let len = self.cluster.len();
+        let any_available = self.available.iter().any(|&a| a);
+        let idx = match self.placement {
+            Placement::RoundRobin => loop {
+                let idx = self.rr_next % len;
+                self.rr_next += 1;
+                if !any_available || self.available[idx] {
+                    break idx;
+                }
+            },
+            Placement::LeastLoaded => self
+                .load
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| !any_available || self.available[i])
+                .min_by(|(_, a), (_, b)| a.total_cmp(b))
+                .map(|(i, _)| i)
+                .unwrap_or(0),
+        };
+        self.load[idx] += estimated_work(bench);
+        idx
+    }
+
+    /// Place job `i` and admit it, or queue it behind the node's slots.
+    fn place_or_queue(
+        &mut self,
+        i: usize,
+        now: Time,
+        sink: &mut dyn EventSink<ServiceEvent>,
+    ) -> Result<(), RuntimeError> {
+        let jobs = self.jobs;
+        let node = self.place(&jobs[i].bench);
+        self.placements[i] = node;
+        self.enqueued_us[i] = now;
+        if self.has_capacity(node) {
+            self.admit(i, now, sink)?;
+        } else {
+            self.queues[node].push_back(i);
+            self.sample_depth(node);
+        }
+        Ok(())
+    }
+
+    /// Admit job `i` on its placed node: the sequential loop's admission
+    /// decision, verbatim. Returns `false` when the job parked behind an
+    /// in-flight same-workload calibration instead of starting (parked
+    /// jobs hold no slot).
+    fn admit(
+        &mut self,
+        i: usize,
+        now: Time,
+        sink: &mut dyn EventSink<ServiceEvent>,
+    ) -> Result<bool, RuntimeError> {
+        let jobs = self.jobs;
+        let job = &jobs[i];
+        let node = self.cluster.node(self.placements[i]);
+        let faults = self.faults;
+        let (state, rejection) = match self.online {
+            None => start_plain(job, node, self.repo.serve(&job.bench)?)?,
+            Some(online) => {
+                let key = ModelKey::of(&job.bench);
+                if self.failed.contains(&key) {
+                    start_plain(job, node, self.repo.serve(&job.bench)?)?
+                } else if let Some(waiters) = self.calibrating.get_mut(&key) {
+                    waiters.push(i);
+                    return Ok(false);
+                } else {
+                    match self.repo.serve_stored(&job.bench)? {
+                        Some(served) => start_monitor(job, node, served, online.config, faults)?,
+                        None => {
+                            let repo = &mut *self.repo;
+                            let (state, rejection, calibration_failed) =
+                                start_calibration(job, node, &online, faults, &mut |b| {
+                                    repo.serve_fallback(b)
+                                })?;
+                            if calibration_failed {
+                                self.failed.insert(key);
+                            } else {
+                                self.calibrating.insert(key, Vec::new());
+                            }
+                            (state, rejection)
+                        }
+                    }
+                }
+            }
+        };
+        self.drivers[i].state = state;
+        self.drivers[i].rejection = rejection;
+        self.running[self.placements[i]] += 1;
+        self.wait.record(now - self.enqueued_us[i]);
+        // Anything the session charged at start (e.g. the switch into its
+        // launch configuration) delays its first step.
+        self.charged_s[i] = 0.0;
+        self.schedule_step(i, now, sink);
+        Ok(true)
+    }
+
+    /// Schedule job `i`'s next step after the virtual time its session
+    /// accumulated since the last one (min 1 µs so the timeline always
+    /// advances).
+    fn schedule_step(&mut self, i: usize, now: Time, sink: &mut dyn EventSink<ServiceEvent>) {
+        let elapsed = self.drivers[i].elapsed_s();
+        let dt = to_us(elapsed - self.charged_s[i]).max(1);
+        self.charged_s[i] = elapsed;
+        sink.schedule_at(now + dt, ServiceEvent::Step(i));
+    }
+
+    /// Admit queued jobs on `node` while it has capacity.
+    fn pump(
+        &mut self,
+        node: usize,
+        now: Time,
+        sink: &mut dyn EventSink<ServiceEvent>,
+    ) -> Result<(), RuntimeError> {
+        while self.has_capacity(node) {
+            let Some(i) = self.queues[node].pop_front() else {
+                break;
+            };
+            self.sample_depth(node);
+            self.admit(i, now, sink)?;
+        }
+        Ok(())
+    }
+
+    /// One step of active job `i`: finish it when its iterations are
+    /// exhausted, otherwise advance one region/phase event and reschedule.
+    fn step(
+        &mut self,
+        i: usize,
+        now: Time,
+        sink: &mut dyn EventSink<ServiceEvent>,
+    ) -> Result<(), RuntimeError> {
+        let jobs = self.jobs;
+        let job = &jobs[i];
+        if self.drivers[i].finished_iterations() {
+            let was_online = matches!(self.drivers[i].state, State::Online(_));
+            let node = self.cluster.node(self.placements[i]);
+            let Self { drivers, repo, .. } = self;
+            drivers[i].finish(job, node, &mut |bench, publication| {
+                repo.publish_online(bench, &publication.model, publication.expected)
+            })?;
+            // The key is only needed off the hot path: plain serves step
+            // to completion without ever touching the calibration latch.
+            if was_online {
+                let key = ModelKey::of(&job.bench);
+                if self.calibrating.contains_key(&key) {
+                    // The workload's calibration leader finished:
+                    // published (waiters become hits) or not (an
+                    // abort/failure truncated it before convergence —
+                    // waiters degrade to the fallback). Resolution is its
+                    // own same-instant event, so waiter admissions order
+                    // behind everything already due.
+                    if self.drivers[i].published_version.is_none() {
+                        self.failed.insert(key.clone());
+                    }
+                    sink.schedule_at(now, ServiceEvent::Resolve(key));
+                }
+            }
+            let node_idx = self.placements[i];
+            self.running[node_idx] -= 1;
+            self.latency.record(now - self.arrivals_us[i]);
+            self.done += 1;
+            self.finished_at_us = self.finished_at_us.max(now);
+            self.pump(node_idx, now, sink)?;
+        } else {
+            match self.drivers[i].advance(&job.bench)? {
+                EventOutcome::Advanced => {}
+                EventOutcome::Abandoned => {
+                    let key = ModelKey::of(&job.bench);
+                    self.failed.insert(key.clone());
+                    if self.calibrating.contains_key(&key) {
+                        sink.schedule_at(now, ServiceEvent::Resolve(key));
+                    }
+                }
+            }
+            self.schedule_step(i, now, sink);
+        }
+        Ok(())
+    }
+
+    /// Release a resolved calibration's parked waiters, in park order:
+    /// re-admit each through the normal admission decision (hit → monitor,
+    /// failed → fallback serve, evicted → fresh calibration), re-placing
+    /// any whose node churned away and queueing any that no longer fits.
+    fn resolve(
+        &mut self,
+        key: &ModelKey,
+        now: Time,
+        sink: &mut dyn EventSink<ServiceEvent>,
+    ) -> Result<(), RuntimeError> {
+        let jobs = self.jobs;
+        let waiters = self.calibrating.remove(key).unwrap_or_default();
+        for i in waiters {
+            if !self.available[self.placements[i]] && self.available.iter().any(|&a| a) {
+                self.load[self.placements[i]] -= estimated_work(&jobs[i].bench);
+                self.replaced += 1;
+                self.place_or_queue(i, now, sink)?;
+                continue;
+            }
+            let node = self.placements[i];
+            self.enqueued_us[i] = now;
+            if self.has_capacity(node) {
+                self.admit(i, now, sink)?;
+            } else {
+                self.queues[node].push_back(i);
+                self.sample_depth(node);
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-place everything queued on `node` onto the rest of the fleet.
+    fn requeue_from(
+        &mut self,
+        node: usize,
+        now: Time,
+        sink: &mut dyn EventSink<ServiceEvent>,
+    ) -> Result<(), RuntimeError> {
+        let jobs = self.jobs;
+        let queued: Vec<usize> = self.queues[node].drain(..).collect();
+        if !queued.is_empty() {
+            self.sample_depth(node);
+        }
+        for i in queued {
+            self.load[node] -= estimated_work(&jobs[i].bench);
+            self.replaced += 1;
+            self.place_or_queue(i, now, sink)?;
+        }
+        Ok(())
+    }
+
+    /// Honor one churn schedule entry.
+    fn churn_event(
+        &mut self,
+        idx: usize,
+        now: Time,
+        sink: &mut dyn EventSink<ServiceEvent>,
+    ) -> Result<(), RuntimeError> {
+        let event = self.churn[idx];
+        let node = event.node as usize;
+        if node >= self.cluster.len() {
+            return Ok(()); // out-of-fleet node: nothing to churn
+        }
+        match event.kind {
+            ChurnKind::Join => {
+                self.available[node] = true;
+                // Anything stranded on still-unavailable nodes (placed
+                // while the whole fleet was down) moves here.
+                for other in 0..self.cluster.len() {
+                    if !self.available[other] {
+                        self.requeue_from(other, now, sink)?;
+                    }
+                }
+                self.pump(node, now, sink)?;
+            }
+            ChurnKind::Drain => {
+                self.available[node] = false;
+                self.requeue_from(node, now, sink)?;
+            }
+            ChurnKind::Fail => {
+                self.available[node] = false;
+                self.requeue_from(node, now, sink)?;
+                // Truncate running jobs at their next phase boundary, the
+                // same clamp an injected abort applies.
+                for i in 0..self.placements.len() {
+                    if self.placements[i] == node && self.drivers[i].is_active() {
+                        let cut = (self.drivers[i].phase_iteration() + 1).max(1);
+                        if cut < self.drivers[i].iterations {
+                            self.drivers[i].iterations = cut;
+                            self.truncated += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Process<ServiceEvent> for ServiceRun<'_, '_> {
+    type Error = RuntimeError;
+
+    fn handle(
+        &mut self,
+        now: Time,
+        event: ServiceEvent,
+        sink: &mut dyn EventSink<ServiceEvent>,
+    ) -> Result<(), RuntimeError> {
+        if now < self.last_event_us {
+            self.monotone = false;
+        }
+        self.last_event_us = now;
+        match event {
+            ServiceEvent::Arrive(i) => self.place_or_queue(i, now, sink),
+            ServiceEvent::Step(i) => self.step(i, now, sink),
+            ServiceEvent::Resolve(key) => self.resolve(&key, now, sink),
+            ServiceEvent::Churn(idx) => self.churn_event(idx, now, sink),
+        }
+    }
+}
+
+impl ClusterScheduler<'_> {
+    /// Run `trace` as a long-lived service in virtual time, serving
+    /// tuning models from `repo`.
+    ///
+    /// Unlike [`ClusterScheduler::run`] — which consumes the submission
+    /// queue as an *ordering* and sweeps every active session in lockstep
+    /// — this is a discrete-event simulation on the [`simkit`] kernel:
+    /// jobs are placed when their [`JobArrival::arrival_s`] timestamp
+    /// fires, each session's region and phase events are scheduled at the
+    /// virtual times the session itself accounts, and the node
+    /// join/drain/fail schedule from [`FaultInjector::node_churn`] (via
+    /// [`ClusterScheduler::with_faults`]) is honored mid-run. The
+    /// returned report carries a [`ServiceSummary`] with latency,
+    /// queue-wait and queue-depth percentiles.
+    ///
+    /// On a zero-interarrival trace with no churn and unbounded slots,
+    /// per-job accounting is bit-identical to both sweep loops (the
+    /// `event_core` testkit invariant). The submission queue is not
+    /// consumed — the trace is the workload.
+    pub fn run_service(
+        &mut self,
+        trace: Vec<JobArrival>,
+        repo: &mut dyn RepositoryHandle,
+        config: &ServiceConfig,
+    ) -> Result<ClusterReport, RuntimeError> {
+        let cluster = self.cluster();
+        let faults = self.faults();
+        let arrivals_us: Vec<Time> = trace.iter().map(|a| to_us(a.arrival_s)).collect();
+        // Move (not clone) the specs out of the trace: at million-job
+        // scale a second copy of every spec is real memory and time.
+        let jobs: Vec<QueuedJob> = trace
+            .into_iter()
+            .map(|a| QueuedJob {
+                name: a.name,
+                bench: a.bench,
+                node_idx: 0,
+            })
+            .collect();
+        let churn = faults.map(|f| f.node_churn()).unwrap_or_default();
+
+        let mut kernel: Kernel<ServiceEvent> = Kernel::new();
+        for (i, &at) in arrivals_us.iter().enumerate() {
+            kernel.schedule_at(at, ServiceEvent::Arrive(i));
+        }
+        for (idx, event) in churn.iter().enumerate() {
+            kernel.schedule_at(to_us(event.at_s), ServiceEvent::Churn(idx));
+        }
+
+        let mut run = ServiceRun {
+            cluster,
+            placement: self.placement(),
+            online: self.online(),
+            faults,
+            repo,
+            slots_per_node: config.slots_per_node,
+            drivers: jobs.iter().map(|job| JobDriver::new(job, faults)).collect(),
+            placements: vec![0; jobs.len()],
+            charged_s: vec![0.0; jobs.len()],
+            enqueued_us: vec![0; jobs.len()],
+            arrivals_us,
+            jobs: &jobs,
+            available: vec![true; cluster.len()],
+            running: vec![0; cluster.len()],
+            queues: vec![VecDeque::new(); cluster.len()],
+            load: vec![0.0; cluster.len()],
+            rr_next: 0,
+            calibrating: BTreeMap::new(),
+            failed: BTreeSet::new(),
+            churn,
+            latency: QuantileSketch::new(),
+            wait: QuantileSketch::new(),
+            depth: QuantileSketch::new(),
+            replaced: 0,
+            truncated: 0,
+            done: 0,
+            finished_at_us: 0,
+            last_event_us: 0,
+            monotone: true,
+        };
+        kernel.run(&mut run)?;
+        if run.done < jobs.len() {
+            return Err(RuntimeError::ServiceStalled {
+                unfinished: jobs.len() - run.done,
+            });
+        }
+
+        let summary = ServiceSummary {
+            makespan_s: run.finished_at_us as f64 / 1e6,
+            latency_s: Percentiles::from_sketch(&run.latency, 1e-6),
+            queue_wait_s: Percentiles::from_sketch(&run.wait, 1e-6),
+            queue_depth: Percentiles::from_sketch(&run.depth, 1.0),
+            churn_events: run.churn.len(),
+            replaced_jobs: run.replaced,
+            truncated_jobs: run.truncated,
+            events: kernel.processed(),
+            quiesced: kernel.is_quiesced(),
+            monotone: run.monotone,
+        };
+        let ServiceRun {
+            drivers,
+            placements,
+            repo,
+            ..
+        } = run;
+        let mut report = assemble_report(cluster, &jobs, &placements, drivers, repo.stats());
+        report.service = Some(summary);
+        Ok(report)
+    }
+}

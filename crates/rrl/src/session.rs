@@ -221,6 +221,14 @@ impl<'a> RuntimeSession<'a> {
         self.phase_iter
     }
 
+    /// Virtual wall time accumulated so far (region durations plus
+    /// configuration-switch latencies) — what `finish` will report as
+    /// `elapsed_s`. The discrete-event service reads this after every
+    /// event to place the *next* event on the virtual timeline.
+    pub fn elapsed_s(&self) -> f64 {
+        self.wall_s
+    }
+
     /// Scenario lookups performed so far.
     pub fn lookups(&self) -> u64 {
         self.lookups

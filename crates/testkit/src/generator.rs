@@ -14,6 +14,7 @@ use crate::scenario::{
     PartitionWindow, RepositorySpec, Scenario, StoredModel, WorkloadSpec,
 };
 use kernels::BenchmarkSpec;
+use rrl::{ChurnEvent, ChurnKind};
 use simnode::SystemConfig;
 
 /// SplitMix64 — the generator's only randomness primitive.
@@ -97,6 +98,10 @@ pub struct GeneratorConfig {
     /// the default — so every pre-existing profile generates byte
     /// for byte what it did before the net layer existed).
     pub replicas: usize,
+    /// Node join/drain/fail events scheduled across the arrival window
+    /// for the discrete-event service run (0 — the default — keeps the
+    /// fleet stable and every pre-churn profile byte-identical).
+    pub churn_events: usize,
 }
 
 impl Default for GeneratorConfig {
@@ -115,6 +120,7 @@ impl Default for GeneratorConfig {
             catalog_workloads: true,
             workers: 4,
             replicas: 0,
+            churn_events: 0,
         }
     }
 }
@@ -144,11 +150,14 @@ impl ScenarioGenerator {
         let fleet = self.gen_fleet(seed, &mut rng);
         let workloads = self.gen_workloads(seed, &mut rng);
         let jobs = self.gen_jobs(&workloads, &mut rng);
-        let faults = self.gen_faults(&workloads, &jobs, &mut rng);
+        let mut faults = self.gen_faults(&workloads, &jobs, &mut rng);
         // Drawn strictly after every pre-existing draw: profiles with
         // `replicas: 0` consume the identical splitmix64 prefix and so
         // generate the identical scenario they always did.
         let net = self.gen_net(&mut rng);
+        // Same append-only rule for the churn draws: `churn_events: 0`
+        // profiles never reach them.
+        faults.churn = self.gen_churn(&jobs, &mut rng);
 
         let publishing = workloads.len();
         let capacity = if cfg.eviction_pressure {
@@ -203,6 +212,40 @@ impl ScenarioGenerator {
                 isolated: vec![below(rng, replicas as usize) as u32],
             }],
         })
+    }
+
+    /// A node-membership schedule spread across the arrival window:
+    /// drains and fails hit random nodes mid-trace, and every
+    /// drain/fail is followed by a re-join later in the window so the
+    /// fleet heals (capacity loss is transient, the way maintenance
+    /// windows and crash-reboot cycles behave).
+    fn gen_churn(&self, jobs: &[JobSpec], rng: &mut u64) -> Vec<ChurnEvent> {
+        if self.cfg.churn_events == 0 {
+            return Vec::new();
+        }
+        let span = jobs.last().map_or(1.0, |j| j.arrival_s.max(1.0));
+        let nodes = self.cfg.nodes.max(1);
+        let mut events = Vec::with_capacity(self.cfg.churn_events);
+        while events.len() < self.cfg.churn_events {
+            let node = below(rng, nodes) as u32;
+            let kind = if below(rng, 2) == 0 {
+                ChurnKind::Drain
+            } else {
+                ChurnKind::Fail
+            };
+            let at_s = unit(rng) * span * 0.8;
+            events.push(ChurnEvent { at_s, node, kind });
+            if events.len() < self.cfg.churn_events {
+                // Heal: the node re-joins somewhere later in the window.
+                let rejoin = at_s + unit(rng) * (span - at_s).max(0.1);
+                events.push(ChurnEvent {
+                    at_s: rejoin,
+                    node,
+                    kind: ChurnKind::Join,
+                });
+            }
+        }
+        events
     }
 
     fn gen_fleet(&self, seed: u64, rng: &mut u64) -> FleetSpec {
@@ -459,6 +502,46 @@ mod tests {
         assert_eq!(s.fleet, plain.fleet);
         assert_eq!(s.workloads, plain.workloads);
         assert_eq!(s.faults, plain.faults);
+    }
+
+    #[test]
+    fn churn_knob_gates_the_node_schedule() {
+        let plain = ScenarioGenerator::default().generate(17);
+        assert!(
+            plain.faults.churn.is_empty(),
+            "default profile stays stable"
+        );
+
+        let generator = ScenarioGenerator::new(GeneratorConfig {
+            churn_events: 4,
+            ..GeneratorConfig::default()
+        });
+        let s = generator.generate(17);
+        assert_eq!(s.faults.churn.len(), 4);
+        let span = s.jobs.last().unwrap().arrival_s.max(1.0);
+        for event in &s.faults.churn {
+            assert!((event.node as usize) < s.fleet.nodes.len());
+            assert!(event.at_s >= 0.0 && event.at_s <= span);
+        }
+        // Every drain/fail heals: a later re-join of the same node.
+        for (i, event) in s.faults.churn.iter().enumerate() {
+            if event.kind != ChurnKind::Join && i + 1 < s.faults.churn.len() {
+                let heal = &s.faults.churn[i + 1];
+                assert_eq!(heal.kind, ChurnKind::Join);
+                assert_eq!(heal.node, event.node);
+                assert!(heal.at_s >= event.at_s);
+            }
+        }
+        // The schedule rides the replay artefact like everything else.
+        assert_eq!(Scenario::from_replay(&s.to_replay()).unwrap(), s);
+        // And the draw is appended, not interleaved: everything the
+        // churn-free profile generated is untouched.
+        assert_eq!(s.jobs, plain.jobs);
+        assert_eq!(s.fleet, plain.fleet);
+        assert_eq!(s.workloads, plain.workloads);
+        assert_eq!(s.net, plain.net);
+        assert_eq!(s.faults.aborts, plain.faults.aborts);
+        assert_eq!(s.faults.drift_shifts, plain.faults.drift_shifts);
     }
 
     #[test]

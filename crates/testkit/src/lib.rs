@@ -10,25 +10,29 @@
 //!   traces over mixed workload populations (kernel-catalog specs plus
 //!   size-jittered synthetics), heterogeneous fleets with capability
 //!   gaps, repository pressure, a [`FaultPlan`] of job aborts, refused
-//!   calibrations and mid-run drift shifts — and, when the `replicas`
-//!   knob is set, a [`NetPlan`] of message drops, duplicates, reorder
-//!   jitter and partition windows for the replicated execution.
+//!   calibrations and mid-run drift shifts; the `replicas` knob adds a
+//!   [`NetPlan`] of message drops, duplicates, reorder jitter and
+//!   partition windows for the replicated execution, and the
+//!   `churn_events` knob adds a node join/drain/fail schedule for the
+//!   discrete-event service run.
 //! * [`scenario`] — the [`Scenario`] value itself: pure serialisable
 //!   data, from which fleets, repositories and the fault injector are
 //!   derived deterministically. [`Scenario::to_replay`] turns any
 //!   scenario into a one-line repro.
 //! * [`runner`] — [`run_scenario`]: the same trace through the
-//!   sequential *and* the parallel event loop, with a liveness
-//!   [`Watchdog`] over the parallel run — plus, for scenarios carrying
-//!   a [`NetPlan`], twice through the replicated [`rrl::ReplicaSet`]
-//!   path ([`ReplicatedRun`]).
+//!   sequential, parallel *and* discrete-event service loops, with a
+//!   liveness [`Watchdog`] over the parallel run — plus, for scenarios
+//!   carrying a [`NetPlan`], twice through the replicated
+//!   [`rrl::ReplicaSet`] path ([`ReplicatedRun`]).
 //! * [`invariants`] — [`check`]: the invariant catalog (seq↔par per-job
 //!   bit-identity, statistics double-entry, version integrity, latch
-//!   liveness, replica convergence/winner/determinism). Failures carry
-//!   a `testkit::replay("…")` line.
-//! * [`shrink`](mod@shrink) — greedy minimisation of a failing scenario: drop jobs,
-//!   drop faults, strip the net plan, shrink the fleet, collapse the
-//!   workers — while the failure label stays the same.
+//!   liveness, the `event_core` guarantees of the service run, replica
+//!   convergence/winner/determinism). Failures carry a
+//!   `testkit::replay("…")` line.
+//! * [`shrink`](mod@shrink) — greedy minimisation of a failing scenario: collapse
+//!   churn, drop jobs, drop faults, strip the net plan, shrink the
+//!   fleet, collapse the workers — while the failure label stays the
+//!   same.
 //! * [`helpers`] — the shared test builders (toy workloads, the Lulesh
 //!   Table III model, the canonical fallback) deduplicated out of the
 //!   integration tests.

@@ -1,10 +1,13 @@
 //! Executing a [`Scenario`]: the same trace through both event loops.
 //!
 //! [`run_scenario`] materialises the fleet and both repository flavours,
-//! submits the arrival trace twice — once through
+//! submits the arrival trace three times — once through
 //! [`ClusterScheduler::run`] on one thread, once through
-//! [`ClusterScheduler::run_parallel`] over the scenario's worker count —
-//! and hands both [`ClusterReport`]s (plus the shared repository's two
+//! [`ClusterScheduler::run_parallel`] over the scenario's worker count,
+//! and once through the discrete-event
+//! [`ClusterScheduler::run_service`] with the trace's timestamps (and
+//! the fault plan's node-churn schedule) honored in virtual time — and
+//! hands the [`ClusterReport`]s (plus the shared repository's two
 //! statistics views) to the invariant checkers. The parallel run is
 //! guarded by a [`Watchdog`]: a liveness failure (a worker parked forever
 //! on an orphaned calibration claim) aborts the process with the
@@ -12,6 +15,7 @@
 //!
 //! [`ClusterScheduler::run`]: rrl::ClusterScheduler::run
 //! [`ClusterScheduler::run_parallel`]: rrl::ClusterScheduler::run_parallel
+//! [`ClusterScheduler::run_service`]: rrl::ClusterScheduler::run_service
 
 use std::collections::BTreeMap;
 use std::sync::mpsc;
@@ -20,8 +24,8 @@ use std::time::Duration;
 use ptf::RandomSearch;
 use rrl::net::{ModelDigest, SessionState};
 use rrl::{
-    ClusterReport, ClusterScheduler, ConvergeReport, OnlineConfig, OnlineTuning, ReplicaConfig,
-    ReplicaSet, RepositoryStats, RuntimeError, Stamp,
+    ClusterReport, ClusterScheduler, ConvergeReport, JobArrival, OnlineConfig, OnlineTuning,
+    ReplicaConfig, ReplicaSet, RepositoryStats, RuntimeError, ServiceConfig, Stamp,
 };
 
 use crate::invariants::Violation;
@@ -40,6 +44,11 @@ pub struct ScenarioRun {
     pub sequential: ClusterReport,
     /// The multi-worker run over a `SharedRepository`.
     pub parallel: ClusterReport,
+    /// The discrete-event service run over its own
+    /// `TuningModelRepository`: the same trace driven by arrival
+    /// timestamps in virtual time, under the fault plan's node-churn
+    /// schedule. Carries a [`rrl::ServiceSummary`] in `service.service`.
+    pub service: ClusterReport,
     /// The shared repository's lock-free statistics view after the run.
     pub shared_stats: RepositoryStats,
     /// The shared repository's per-shard (locked) statistics — the
@@ -172,6 +181,33 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioRun, Violation> {
             .map_err(|e| run_error("parallel", e))?
     };
 
+    let service = {
+        let mut repo = scenario.build_repository_from(&entries);
+        let mut sched = ClusterScheduler::new(&fleet).map_err(|e| run_error("service", e))?;
+        if let Some(strategy) = strategy.as_ref() {
+            sched = sched.with_online(OnlineTuning {
+                strategy,
+                energy_model: None,
+                config: OnlineConfig::default(),
+            });
+        }
+        if !scenario.faults.is_empty() {
+            sched = sched.with_faults(&scenario.faults);
+        }
+        let trace: Vec<JobArrival> = scenario
+            .jobs
+            .iter()
+            .map(|job| JobArrival {
+                name: job.name.clone(),
+                bench: scenario.workloads[job.workload].bench.clone(),
+                arrival_s: job.arrival_s,
+            })
+            .collect();
+        sched
+            .run_service(trace, &mut repo, &ServiceConfig::default())
+            .map_err(|e| run_error("service", e))?
+    };
+
     let replicated = match &scenario.net {
         None => None,
         Some(plan) => {
@@ -196,6 +232,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioRun, Violation> {
     Ok(ScenarioRun {
         sequential,
         parallel,
+        service,
         shared_stats: shared.stats(),
         shard_stats: shared.shard_stats(),
         replicated,

@@ -10,7 +10,9 @@
 
 use kernels::BenchmarkSpec;
 use ptf::TuningModel;
-use rrl::{FaultInjector, RuntimeSession, ServedModel, SharedRepository, TuningModelRepository};
+use rrl::{
+    ChurnEvent, FaultInjector, RuntimeSession, ServedModel, SharedRepository, TuningModelRepository,
+};
 use serde::{Deserialize, Serialize};
 use simnode::{Cluster, Node, SystemConfig, Topology};
 
@@ -165,6 +167,11 @@ pub struct FaultPlan {
     pub calibration_failures: Vec<String>,
     /// Injected mid-run workload shifts.
     pub drift_shifts: Vec<DriftShiftFault>,
+    /// Node join/drain/fail schedule for the discrete-event service run
+    /// (the sweep loops ignore it). `default` keeps pre-churn replay
+    /// lines parseable.
+    #[serde(default)]
+    pub churn: Vec<ChurnEvent>,
 }
 
 impl FaultPlan {
@@ -173,11 +180,15 @@ impl FaultPlan {
         self.aborts.is_empty()
             && self.calibration_failures.is_empty()
             && self.drift_shifts.is_empty()
+            && self.churn.is_empty()
     }
 
     /// Total injected faults.
     pub fn len(&self) -> usize {
-        self.aborts.len() + self.calibration_failures.len() + self.drift_shifts.len()
+        self.aborts.len()
+            + self.calibration_failures.len()
+            + self.drift_shifts.len()
+            + self.churn.len()
     }
 
     /// Drop every fault that names a job not in `jobs` (the shrinker
@@ -204,6 +215,10 @@ impl FaultInjector for FaultPlan {
             .iter()
             .find(|f| f.job == job && f.region == region && iteration >= f.from_iteration)
             .map_or(1.0, |f| f.factor)
+    }
+
+    fn node_churn(&self) -> Vec<ChurnEvent> {
+        self.churn.clone()
     }
 }
 
@@ -601,6 +616,49 @@ mod tests {
         let back = Scenario::from_replay(&legacy).expect("legacy line parses");
         assert_eq!(back.net, None);
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn replay_lines_without_a_churn_schedule_still_parse() {
+        // A pre-service replay line round-trips through `#[serde(default)]`.
+        let s = tiny_scenario();
+        let line = s.to_replay();
+        let legacy = line
+            .replace(",\"churn\":[]", "")
+            .replace("\"churn\":[],", "");
+        assert_ne!(legacy, line, "the key was present and got stripped");
+        let back = Scenario::from_replay(&legacy).expect("legacy line parses");
+        assert!(back.faults.churn.is_empty());
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn churn_schedule_rides_the_fault_plan() {
+        use rrl::ChurnKind;
+        let mut s = tiny_scenario();
+        s.faults.churn.push(ChurnEvent {
+            at_s: 2.5,
+            node: 1,
+            kind: ChurnKind::Drain,
+        });
+        assert_eq!(s.faults.len(), 2);
+        assert!(!s.faults.is_empty());
+        // The schedule surfaces through the injector seam and the
+        // replay artefact alike.
+        let f: &dyn FaultInjector = &s.faults;
+        assert_eq!(f.node_churn(), s.faults.churn);
+        assert_eq!(Scenario::from_replay(&s.to_replay()).unwrap(), s);
+        // A churn-only plan is still a plan (the runner must attach it).
+        let only_churn = FaultPlan {
+            churn: s.faults.churn.clone(),
+            ..FaultPlan::default()
+        };
+        assert!(!only_churn.is_empty());
+        // Churn names nodes, not jobs: job pruning leaves it alone.
+        let mut pruned = s.clone();
+        pruned.jobs.clear();
+        pruned.prune();
+        assert_eq!(pruned.faults.churn, s.faults.churn);
     }
 
     #[test]

@@ -2,8 +2,10 @@
 //!
 //! [`shrink`] takes a failing [`Scenario`] and a predicate (typically
 //! [`crate::check`] composed down to "did it fail, and how") and greedily
-//! removes everything that does not contribute to the failure: job-trace
-//! chunks (largest first, ddmin style), individual faults, the net plan
+//! removes everything that does not contribute to the failure: the
+//! node-churn schedule (collapsed *before* the job ddmin, so later
+//! stages reason over a stable fleet), job-trace chunks (largest first,
+//! ddmin style), individual faults, the net plan
 //! (wholesale, then partition windows and fault knobs one at a time),
 //! trailing fleet nodes, and the worker count. After every accepted reduction the
 //! scenario is [pruned](Scenario::prune) so unreferenced workloads and
@@ -67,6 +69,29 @@ pub fn shrink(scenario: &Scenario, fails: &dyn Fn(&Scenario) -> Option<String>) 
 
     loop {
         let mut progressed = false;
+
+        // 0. Churn collapse, before the job ddmin: a stable fleet makes
+        //    every later job-trace candidate cheaper to reason about
+        //    (and usually the churn schedule is ballast). Wholesale
+        //    first, then one membership event at a time.
+        if !current.faults.churn.is_empty() {
+            let mut candidate = current.clone();
+            candidate.faults.churn.clear();
+            if try_accept(&mut current, &mut violation, &mut attempts, candidate) {
+                progressed = true;
+            } else {
+                let mut i = 0;
+                while i < current.faults.churn.len() {
+                    let mut candidate = current.clone();
+                    candidate.faults.churn.remove(i);
+                    if try_accept(&mut current, &mut violation, &mut attempts, candidate) {
+                        progressed = true;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
 
         // 1. Job-trace reduction, largest chunks first.
         let mut chunk = current.jobs.len() / 2;
@@ -271,6 +296,40 @@ mod tests {
         );
         assert!(shrunk.scenario.faults.len() <= 1);
         assert!(fails(&shrunk.scenario).is_some(), "still failing");
+        // The repro line round-trips to the same minimal scenario.
+        let back = Scenario::from_replay(&shrunk.replay_line()).unwrap();
+        assert_eq!(back, shrunk.scenario);
+    }
+
+    #[test]
+    fn shrink_collapses_irrelevant_churn_and_keeps_the_culprit_event() {
+        use rrl::ChurnKind;
+        let generator = ScenarioGenerator::new(GeneratorConfig {
+            jobs: 8,
+            online: false,
+            churn_events: 6,
+            ..GeneratorConfig::default()
+        });
+        let scenario = (0..16u64)
+            .map(|seed| generator.generate(seed))
+            .find(|s| s.faults.churn.iter().any(|e| e.kind == ChurnKind::Fail))
+            .expect("some seed draws a Fail event");
+        assert_eq!(scenario.faults.churn.len(), 6);
+        // The failure needs one Fail event; every other membership
+        // change (and the whole job/net/fleet ballast) should go.
+        let fails = |s: &Scenario| -> Option<String> {
+            s.faults
+                .churn
+                .iter()
+                .any(|e| e.kind == ChurnKind::Fail)
+                .then(|| "needs-a-fail".to_string())
+        };
+        let shrunk = shrink(&scenario, &fails).expect("original fails");
+        assert_eq!(shrunk.violation, "needs-a-fail");
+        assert_eq!(shrunk.scenario.faults.churn.len(), 1, "one culprit event");
+        assert_eq!(shrunk.scenario.faults.churn[0].kind, ChurnKind::Fail);
+        assert_eq!(shrunk.scenario.jobs.len(), 1);
+        assert_eq!(shrunk.scenario.fleet.nodes.len(), 1);
         // The repro line round-trips to the same minimal scenario.
         let back = Scenario::from_replay(&shrunk.replay_line()).unwrap();
         assert_eq!(back, shrunk.scenario);

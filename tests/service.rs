@@ -1,0 +1,294 @@
+//! Integration tests for the discrete-event cluster service: the
+//! three-way equivalence `run_service` ≡ `run` ≡ `run_parallel` on
+//! zero-interarrival no-churn traces, and the churn-shape guarantees
+//! (drained/failed nodes' jobs are re-placed, never dropped; failures
+//! truncate running jobs at a phase boundary).
+
+use dvfs_ufs_tuning::kernels::BenchmarkSpec;
+use dvfs_ufs_tuning::ptf::{RandomSearch, TuningModel};
+use dvfs_ufs_tuning::rrl::{
+    ChurnEvent, ChurnKind, ClusterReport, ClusterScheduler, FaultInjector, JobArrival,
+    OnlineConfig, OnlineTuning, ServiceConfig, SharedRepository, TuningModelRepository,
+};
+use dvfs_ufs_tuning::simnode::{Cluster, SystemConfig};
+use testkit::{taurus_fallback, toy_benchmark};
+
+fn toy_bench(name: &str, instr: f64, iterations: u32) -> BenchmarkSpec {
+    toy_benchmark(name, instr, iterations)
+}
+
+/// A zero-interarrival trace over the same (name, bench) pairs a submit
+/// loop would enqueue.
+fn instant_trace(jobs: &[(String, BenchmarkSpec)]) -> Vec<JobArrival> {
+    jobs.iter()
+        .map(|(name, bench)| JobArrival {
+            name: name.clone(),
+            bench: bench.clone(),
+            arrival_s: 0.0,
+        })
+        .collect()
+}
+
+/// Every per-job field that must be bit-identical between the service and
+/// a sweep loop, plus the submission-ordered floating-point totals.
+fn assert_reports_bit_identical(service: &ClusterReport, sweep: &ClusterReport, tag: &str) {
+    assert_eq!(service.jobs.len(), sweep.jobs.len(), "{tag}");
+    for (a, b) in service.jobs.iter().zip(&sweep.jobs) {
+        assert_eq!(a.job, b.job, "{tag}: submission order");
+        assert_eq!(a.node_id, b.node_id, "{tag}: placement of {}", a.job);
+        assert_eq!(a.accounting.record, b.accounting.record, "{tag}: {}", a.job);
+        assert_eq!(
+            a.accounting.regions, b.accounting.regions,
+            "{tag}: {}",
+            a.job
+        );
+        assert_eq!(a.accounting.switches, b.accounting.switches, "{tag}");
+        assert_eq!(a.accounting.source, b.accounting.source, "{tag}: {}", a.job);
+        assert_eq!(a.accounting.online, b.accounting.online, "{tag}: {}", a.job);
+        assert_eq!(a.default, b.default, "{tag}: baseline");
+        assert_eq!(a.savings, b.savings, "{tag}: savings");
+        assert_eq!(a.published_version, b.published_version, "{tag}: {}", a.job);
+        assert_eq!(a.drift, b.drift, "{tag}: drift events");
+        assert_eq!(a.aborted_at, b.aborted_at, "{tag}: {}", a.job);
+    }
+    assert_eq!(service.total_tuned, sweep.total_tuned, "{tag}");
+    assert_eq!(service.total_default, sweep.total_default, "{tag}");
+    assert_eq!(service.aggregate, sweep.aggregate, "{tag}");
+    assert_eq!(service.nodes_used, sweep.nodes_used, "{tag}");
+    assert_eq!(service.repository.hits, sweep.repository.hits, "{tag}");
+    assert_eq!(service.repository.misses, sweep.repository.misses, "{tag}");
+    assert_eq!(
+        service.repository.fallbacks, sweep.repository.fallbacks,
+        "{tag}"
+    );
+}
+
+/// The tentpole's correctness anchor: for 3 cluster seeds × trace sizes
+/// {16, 256}, a zero-interarrival no-churn trace produces per-job results
+/// bit-identical to both sweep loops — the discrete-event kernel changes
+/// *when* things run, never *what* they compute.
+#[test]
+fn service_bit_identical_to_both_sweep_loops() {
+    let fallback = taurus_fallback();
+    let tuned = toy_bench("tuned-toy", 2e10, 12);
+    let untuned = toy_bench("untuned-toy", 1.2e10, 9);
+    let toy_model = TuningModel::new(
+        "tuned-toy",
+        &[("omp parallel:1".into(), SystemConfig::new(24, 2500, 1500))],
+        SystemConfig::new(24, 2500, 1500),
+    );
+
+    for (round, seed) in [0x5EED_u64, 0xBEEF, 0xC0FFEE].into_iter().enumerate() {
+        let cluster = Cluster::new(4 + round as u32, seed);
+        for jobs in [16usize, 256] {
+            let queue: Vec<(String, BenchmarkSpec)> = (0..jobs)
+                .map(|i| {
+                    let bench = if i % 3 == 2 { &untuned } else { &tuned };
+                    (format!("svc{seed:x}-{i}"), bench.clone())
+                })
+                .collect();
+
+            let mut repo = TuningModelRepository::new().with_fallback(fallback);
+            repo.insert(&tuned, &toy_model);
+            let mut seq = ClusterScheduler::new(&cluster).unwrap();
+            for (name, bench) in &queue {
+                seq.submit(name.clone(), bench.clone());
+            }
+            let sequential = seq.run(&mut repo).unwrap();
+
+            let shared = SharedRepository::new(8).with_fallback(fallback);
+            shared.insert(&tuned, &toy_model);
+            let mut par = ClusterScheduler::new(&cluster).unwrap();
+            for (name, bench) in &queue {
+                par.submit(name.clone(), bench.clone());
+            }
+            let parallel = par.run_parallel(&shared, 4).unwrap();
+
+            let mut svc_repo = TuningModelRepository::new().with_fallback(fallback);
+            svc_repo.insert(&tuned, &toy_model);
+            let mut svc = ClusterScheduler::new(&cluster).unwrap();
+            let service = svc
+                .run_service(
+                    instant_trace(&queue),
+                    &mut svc_repo,
+                    &ServiceConfig::default(),
+                )
+                .unwrap();
+
+            let tag = format!("seed={seed:#x} jobs={jobs}");
+            assert_reports_bit_identical(&service, &sequential, &format!("{tag} vs run"));
+            assert_reports_bit_identical(&service, &parallel, &format!("{tag} vs run_parallel"));
+
+            let summary = service.service.as_ref().expect("service summary present");
+            assert!(summary.quiesced && summary.monotone, "{tag}: event core");
+            assert!(summary.makespan_s > 0.0, "{tag}");
+            assert!(summary.events as usize > jobs, "{tag}: events dispatched");
+            // The formatted report surfaces the percentile lines.
+            let text = service.format_report();
+            assert!(text.contains("latency p50/p95/p99"), "{text}");
+        }
+    }
+}
+
+/// The same equivalence through the online-adaptation admission gate:
+/// calibration leaders, parked same-workload waiters released at the
+/// leader's finish, and published-model hits all land identically.
+#[test]
+fn service_online_admission_bit_identical() {
+    let strategy = RandomSearch::new(12, 3);
+    let cold = toy_bench("cold-toy", 2.5e10, 40);
+    let stored = toy_bench("stored-toy", 1.5e10, 10);
+    let stored_model = TuningModel::new(
+        "stored-toy",
+        &[("omp parallel:1".into(), SystemConfig::new(24, 2500, 1600))],
+        SystemConfig::new(24, 2500, 1600),
+    );
+    let online = OnlineTuning {
+        strategy: &strategy,
+        energy_model: None,
+        config: OnlineConfig::default(),
+    };
+
+    for seed in [0x5EED_u64, 0xBEEF, 0xC0FFEE] {
+        let cluster = Cluster::new(4, seed);
+        let queue: Vec<(String, BenchmarkSpec)> = (0..16)
+            .map(|i| {
+                let bench = if i % 4 == 1 { &stored } else { &cold };
+                (format!("osvc{seed:x}-{i}"), bench.clone())
+            })
+            .collect();
+
+        let mut repo = TuningModelRepository::new();
+        repo.insert(&stored, &stored_model);
+        let mut seq = ClusterScheduler::new(&cluster).unwrap().with_online(online);
+        for (name, bench) in &queue {
+            seq.submit(name.clone(), bench.clone());
+        }
+        let sequential = seq.run(&mut repo).unwrap();
+
+        let mut svc_repo = TuningModelRepository::new();
+        svc_repo.insert(&stored, &stored_model);
+        let mut svc = ClusterScheduler::new(&cluster).unwrap().with_online(online);
+        let service = svc
+            .run_service(
+                instant_trace(&queue),
+                &mut svc_repo,
+                &ServiceConfig::default(),
+            )
+            .unwrap();
+
+        let tag = format!("online seed={seed:#x}");
+        assert_reports_bit_identical(&service, &sequential, &tag);
+        // Warm-up shape survives the kernel: one calibration for the
+        // cold workload, everyone else hits or monitors.
+        assert_eq!(service.online_summary().calibrations, 1, "{tag}");
+        assert_eq!(service.repository.misses, 1, "{tag}");
+    }
+}
+
+/// A churn schedule for the shape tests.
+struct ChurnPlan(Vec<ChurnEvent>);
+
+impl FaultInjector for ChurnPlan {
+    fn node_churn(&self) -> Vec<ChurnEvent> {
+        self.0.clone()
+    }
+}
+
+/// Draining a node re-places its queued jobs onto the remaining nodes —
+/// nothing is dropped, nothing lands on the drained node afterwards.
+#[test]
+fn drain_replaces_queued_jobs_and_drops_nothing() {
+    let fallback = taurus_fallback();
+    let bench = toy_bench("drain-toy", 2e10, 8);
+    // Node 0 drains before any job arrives: every arrival must avoid it.
+    let churn = ChurnPlan(vec![ChurnEvent {
+        at_s: 0.0,
+        node: 0,
+        kind: ChurnKind::Drain,
+    }]);
+    let cluster = Cluster::exact(3);
+    let mut sched = ClusterScheduler::new(&cluster).unwrap().with_faults(&churn);
+    let trace: Vec<JobArrival> = (0..12)
+        .map(|i| JobArrival {
+            name: format!("drain-{i}"),
+            bench: bench.clone(),
+            arrival_s: 0.001 + 0.0005 * i as f64,
+        })
+        .collect();
+    let mut repo = TuningModelRepository::new().with_fallback(fallback);
+    let report = sched
+        .run_service(trace, &mut repo, &ServiceConfig { slots_per_node: 1 })
+        .unwrap();
+
+    assert_eq!(report.jobs.len(), 12, "no job dropped");
+    for job in &report.jobs {
+        assert_ne!(job.node_id, 0, "{}: placed on the drained node", job.job);
+        assert!(
+            job.aborted_at.is_none(),
+            "{}: drain must not abort",
+            job.job
+        );
+    }
+    let summary = report.service.as_ref().unwrap();
+    assert_eq!(summary.churn_events, 1);
+    assert!(summary.quiesced && summary.monotone);
+    // One slot per node on two surviving nodes: queues formed and waited.
+    assert!(summary.queue_depth.max >= 1.0, "{summary:?}");
+    assert!(summary.queue_wait_s.max > 0.0, "{summary:?}");
+    let text = report.format_report();
+    assert!(text.contains("churn: 1 events"), "{text}");
+}
+
+/// Failing a node truncates its *running* jobs at the next phase boundary
+/// (reported as aborted) and re-places its queued jobs; a later join lets
+/// the node serve again.
+#[test]
+fn fail_truncates_running_jobs_and_join_restores_the_node() {
+    let fallback = taurus_fallback();
+    // Long jobs so the failure lands mid-run (each phase is ~0.1 s of
+    // virtual time, 40 iterations ≈ 4 s).
+    let bench = toy_bench("fail-toy", 2e10, 40);
+    let churn = ChurnPlan(vec![
+        ChurnEvent {
+            at_s: 0.5,
+            node: 0,
+            kind: ChurnKind::Fail,
+        },
+        ChurnEvent {
+            at_s: 1.0,
+            node: 0,
+            kind: ChurnKind::Join,
+        },
+    ]);
+    let cluster = Cluster::exact(2);
+    let mut sched = ClusterScheduler::new(&cluster).unwrap().with_faults(&churn);
+    // Two jobs start immediately (one per node), two queue behind them.
+    let trace: Vec<JobArrival> = (0..4)
+        .map(|i| JobArrival {
+            name: format!("fail-{i}"),
+            bench: bench.clone(),
+            arrival_s: 0.0,
+        })
+        .collect();
+    let mut repo = TuningModelRepository::new().with_fallback(fallback);
+    let report = sched
+        .run_service(trace, &mut repo, &ServiceConfig { slots_per_node: 1 })
+        .unwrap();
+
+    assert_eq!(report.jobs.len(), 4, "no job dropped");
+    let summary = report.service.as_ref().unwrap();
+    assert_eq!(summary.truncated_jobs, 1, "{summary:?}");
+    // The job that was running on node 0 at t=0.5 aborted early.
+    let aborted: Vec<_> = report
+        .jobs
+        .iter()
+        .filter(|j| j.aborted_at.is_some())
+        .collect();
+    assert_eq!(aborted.len(), 1, "{summary:?}");
+    assert_eq!(aborted[0].node_id, 0);
+    assert!(aborted[0].aborted_at.unwrap() < 40);
+    // Its queued successor moved off the failed node before the re-join.
+    assert!(summary.replaced_jobs >= 1, "{summary:?}");
+    assert!(summary.quiesced && summary.monotone);
+}

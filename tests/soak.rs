@@ -9,13 +9,15 @@
 
 use testkit::{ArrivalModel, GeneratorConfig, ScenarioGenerator};
 
-/// The fixed CI matrix: 13 seeds across three generator profiles — a
+/// The fixed CI matrix: 16 seeds across four generator profiles — a
 /// mixed faulted fleet under Poisson traffic, an all-cold
 /// eviction-pressure profile whose every workload queues followers on
-/// the calibration latch while the LRU bound churns publications, and a
+/// the calibration latch while the LRU bound churns publications, a
 /// replication-fault profile that spreads the trace over a 3-replica
 /// set syncing through generated drops, duplicates, reorder jitter and
-/// a partition window.
+/// a partition window, and a churn profile whose bursty trace rides the
+/// discrete-event service loop through generated node drain/fail/join
+/// events (the `event_core` quiesce guarantees under membership churn).
 fn matrix() -> Vec<(&'static str, ScenarioGenerator, u64)> {
     let mixed = ScenarioGenerator::new(GeneratorConfig {
         jobs: 16,
@@ -45,6 +47,18 @@ fn matrix() -> Vec<(&'static str, ScenarioGenerator, u64)> {
         replicas: 3,
         ..GeneratorConfig::default()
     });
+    let churn = ScenarioGenerator::new(GeneratorConfig {
+        jobs: 18,
+        nodes: 4,
+        workloads: 3,
+        arrivals: ArrivalModel::Bursty {
+            burst: 6,
+            gap_s: 60.0,
+        },
+        fault_fraction: 0.2,
+        churn_events: 5,
+        ..GeneratorConfig::default()
+    });
     let mut out = Vec::new();
     for seed in [0x01u64, 0x5EED, 0xBEEF, 0xC0FFEE, 0xD1CE] {
         out.push(("mixed", mixed.clone(), seed));
@@ -55,13 +69,16 @@ fn matrix() -> Vec<(&'static str, ScenarioGenerator, u64)> {
     for seed in [0x03u64, 0x9055, 0x51AC] {
         out.push(("replicated", replicated.clone(), seed));
     }
+    for seed in [0x04u64, 0xDEA1, 0xCAB1E] {
+        out.push(("churn", churn.clone(), seed));
+    }
     out
 }
 
 /// The CI soak: every matrix cell must pass the full invariant catalog.
 /// Failures print the one-line replay repro.
 #[test]
-fn soak_matrix_13_seeds() {
+fn soak_matrix_16_seeds() {
     for (profile, generator, seed) in matrix() {
         let scenario = generator.generate(seed);
         if let Err(failure) = testkit::check(&scenario) {
@@ -106,6 +123,17 @@ fn soak_open_ended() {
                     stored_fraction: 0.0,
                     eviction_pressure: true,
                     fault_fraction: 0.2,
+                    ..GeneratorConfig::default()
+                }),
+            ),
+            (
+                "churn",
+                ScenarioGenerator::new(GeneratorConfig {
+                    jobs: 20,
+                    nodes: 5,
+                    workloads: 3,
+                    fault_fraction: 0.25,
+                    churn_events: 7,
                     ..GeneratorConfig::default()
                 }),
             ),
