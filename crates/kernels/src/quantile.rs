@@ -124,13 +124,54 @@ impl QuantileSketch {
         self.max
     }
 
+    /// The values at each requested quantile, aligned with the input
+    /// slice. One pass over the bucket table regardless of how many
+    /// quantiles are asked for — every percentile consumer (reports,
+    /// telemetry snapshots, service summaries) derives from this one
+    /// helper so they cannot disagree on rank arithmetic.
+    pub fn percentiles(&self, qs: &[f64]) -> Vec<u64> {
+        let mut out = vec![0u64; qs.len()];
+        if self.is_empty() || qs.is_empty() {
+            return out;
+        }
+        // Resolve each quantile to its nearest-rank target, then walk
+        // the bucket table once in ascending rank order.
+        let mut order: Vec<usize> = (0..qs.len()).collect();
+        let rank = |q: f64| -> u64 {
+            let q = q.clamp(0.0, 1.0);
+            ((q * self.total as f64).ceil() as u64).max(1)
+        };
+        order.sort_by(|&a, &b| rank(qs[a]).cmp(&rank(qs[b])).then_with(|| a.cmp(&b)));
+        let mut seen = 0u64;
+        let mut buckets = self.counts.iter().enumerate();
+        let mut current = self.max;
+        let mut exhausted = false;
+        for &slot in &order {
+            let target = rank(qs[slot]);
+            while !exhausted && seen < target {
+                match buckets.next() {
+                    Some((i, &c)) => {
+                        if c == 0 {
+                            continue;
+                        }
+                        seen += c;
+                        current = Self::representative(i).clamp(self.min, self.max);
+                    }
+                    None => {
+                        current = self.max;
+                        exhausted = true;
+                    }
+                }
+            }
+            out[slot] = current;
+        }
+        out
+    }
+
     /// Shorthand for the three percentile fields every report wants.
     pub fn p50_p95_p99(&self) -> (u64, u64, u64) {
-        (
-            self.quantile(0.50),
-            self.quantile(0.95),
-            self.quantile(0.99),
-        )
+        let qs = self.percentiles(&[0.50, 0.95, 0.99]);
+        (qs[0], qs[1], qs[2])
     }
 
     /// Fold another sketch into this one (bucket-wise sum).
@@ -224,6 +265,25 @@ mod tests {
         }
         assert_eq!(left.count(), whole.count());
         assert_eq!((left.min(), left.max()), (whole.min(), whole.max()));
+    }
+
+    #[test]
+    fn percentiles_agree_with_single_quantile_scans() {
+        let mut s = QuantileSketch::new();
+        for i in 0..2_000u64 {
+            s.record(i.wrapping_mul(2654435761) >> 13);
+        }
+        // Unsorted, duplicated, and boundary quantiles all at once.
+        let qs = [0.99, 0.5, 0.95, 0.5, 0.0, 1.0, 0.25];
+        let batch = s.percentiles(&qs);
+        for (q, got) in qs.iter().zip(&batch) {
+            assert_eq!(*got, s.quantile(*q), "q={q}");
+        }
+        assert!(QuantileSketch::new()
+            .percentiles(&qs)
+            .iter()
+            .all(|&v| v == 0));
+        assert!(s.percentiles(&[]).is_empty());
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! The bounded span/instant ring behind a [`Registry`](crate::Registry).
+
+use std::collections::VecDeque;
+
+use crate::{json_escape, Key, Track, VirtualUs};
+
+/// One recorded timeline event. Timestamps are *virtual* microseconds;
+/// the only wall-clock field is the span's `wall_ns` annotation, which
+/// deterministic comparisons must exclude (see
+/// [`TimelineEvent::deterministic_line`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimelineEvent {
+    /// A closed interval of virtual time on one track.
+    Span {
+        /// Where the span is drawn.
+        track: Track,
+        /// The span's name (static key).
+        name: Key,
+        /// Virtual start, microseconds.
+        ts_us: VirtualUs,
+        /// Virtual duration, microseconds.
+        dur_us: u64,
+        /// Wall-clock nanoseconds since the registry was created, taken
+        /// when the span was emitted. Not deterministic.
+        wall_ns: u64,
+    },
+    /// A point event on one track.
+    Instant {
+        /// Where the instant is drawn.
+        track: Track,
+        /// The instant's name (static key).
+        name: Key,
+        /// Virtual timestamp, microseconds.
+        ts_us: VirtualUs,
+    },
+}
+
+impl TimelineEvent {
+    /// The event's name.
+    pub fn name(&self) -> Key {
+        match self {
+            TimelineEvent::Span { name, .. } | TimelineEvent::Instant { name, .. } => name,
+        }
+    }
+
+    /// The event's track.
+    pub fn track(&self) -> Track {
+        match self {
+            TimelineEvent::Span { track, .. } | TimelineEvent::Instant { track, .. } => *track,
+        }
+    }
+
+    /// The event's virtual timestamp.
+    pub fn ts_us(&self) -> VirtualUs {
+        match self {
+            TimelineEvent::Span { ts_us, .. } | TimelineEvent::Instant { ts_us, .. } => *ts_us,
+        }
+    }
+
+    /// A one-line rendering with **only** the virtual-time fields —
+    /// what two recorded reruns of the same seed must agree on bit for
+    /// bit. The span's `wall_ns` annotation is deliberately omitted.
+    pub fn deterministic_line(&self) -> String {
+        match self {
+            TimelineEvent::Span {
+                track,
+                name,
+                ts_us,
+                dur_us,
+                ..
+            } => format!(
+                "span {}/{} {name} ts={ts_us} dur={dur_us}",
+                track.kind.thread_prefix(),
+                track.index
+            ),
+            TimelineEvent::Instant { track, name, ts_us } => format!(
+                "instant {}/{} {name} ts={ts_us}",
+                track.kind.thread_prefix(),
+                track.index
+            ),
+        }
+    }
+
+    /// Render this event as one Chrome `trace_event` JSON object.
+    pub(crate) fn chrome_json(&self) -> String {
+        match self {
+            TimelineEvent::Span {
+                track,
+                name,
+                ts_us,
+                dur_us,
+                wall_ns,
+            } => format!(
+                "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"name\":\"{}\",\"ts\":{},\"dur\":{},\
+                 \"args\":{{\"wall_ns\":{}}}}}",
+                track.kind.pid(),
+                track.index,
+                json_escape(name),
+                ts_us,
+                dur_us,
+                wall_ns
+            ),
+            TimelineEvent::Instant { track, name, ts_us } => format!(
+                "{{\"ph\":\"i\",\"pid\":{},\"tid\":{},\"name\":\"{}\",\"ts\":{},\"s\":\"t\"}}",
+                track.kind.pid(),
+                track.index,
+                json_escape(name),
+                ts_us
+            ),
+        }
+    }
+}
+
+/// A bounded ring of [`TimelineEvent`]s. When full, the *oldest* event
+/// is dropped and counted — a long run keeps its most recent window
+/// rather than aborting or reallocating without bound.
+#[derive(Debug)]
+pub struct TimelineBuffer {
+    events: VecDeque<TimelineEvent>,
+    capacity: usize,
+    dropped: u64,
+    spans: u64,
+    instants: u64,
+}
+
+impl TimelineBuffer {
+    /// An empty buffer holding at most `capacity` events (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        TimelineBuffer {
+            events: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+            spans: 0,
+            instants: 0,
+        }
+    }
+
+    /// Append an event, evicting the oldest if the ring is full.
+    pub fn push(&mut self, event: TimelineEvent) {
+        match event {
+            TimelineEvent::Span { .. } => self.spans += 1,
+            TimelineEvent::Instant { .. } => self.instants += 1,
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TimelineEvent> {
+        self.events.iter()
+    }
+
+    /// Events retained right now.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Spans ever pushed (including later-evicted ones).
+    pub fn spans(&self) -> u64 {
+        self.spans
+    }
+
+    /// Instants ever pushed (including later-evicted ones).
+    pub fn instants(&self) -> u64 {
+        self.instants
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(ts: u64) -> TimelineEvent {
+        TimelineEvent::Span {
+            track: Track::node(1),
+            name: "job",
+            ts_us: ts,
+            dur_us: 5,
+            wall_ns: 42,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut buf = TimelineBuffer::with_capacity(2);
+        buf.push(span(1));
+        buf.push(span(2));
+        buf.push(span(3));
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.dropped(), 1);
+        assert_eq!(buf.spans(), 3);
+        let kept: Vec<u64> = buf.events().map(|e| e.ts_us()).collect();
+        assert_eq!(kept, vec![2, 3]);
+    }
+
+    #[test]
+    fn deterministic_line_excludes_wall_clock() {
+        let a = span(7);
+        let b = TimelineEvent::Span {
+            track: Track::node(1),
+            name: "job",
+            ts_us: 7,
+            dur_us: 5,
+            wall_ns: 99_999,
+        };
+        assert_ne!(a, b);
+        assert_eq!(a.deterministic_line(), b.deterministic_line());
+        assert_eq!(a.deterministic_line(), "span node/1 job ts=7 dur=5");
+    }
+
+    #[test]
+    fn chrome_json_spans_and_instants_are_well_formed() {
+        let s = span(10).chrome_json();
+        assert!(s.contains("\"ph\":\"X\""));
+        assert!(s.contains("\"ts\":10"));
+        assert!(s.contains("\"wall_ns\":42"));
+        let i = TimelineEvent::Instant {
+            track: Track::net(),
+            name: "drop",
+            ts_us: 3,
+        }
+        .chrome_json();
+        assert!(i.contains("\"ph\":\"i\""));
+        assert!(i.contains("\"s\":\"t\""));
+    }
+}

@@ -45,6 +45,7 @@
 use std::collections::BTreeSet;
 
 use kernels::BenchmarkSpec;
+use obskit::{NoopRecorder, Recorder};
 use parking_lot::Mutex;
 use ptf::{EnergyModel, SearchStrategy, TuningModel};
 use simnode::{Cluster, Node, SystemConfig};
@@ -697,11 +698,15 @@ pub struct ClusterScheduler<'a> {
     placement: Placement,
     online: Option<OnlineTuning<'a>>,
     faults: Option<&'a dyn FaultInjector>,
+    recorder: Option<&'a dyn Recorder>,
     rr_next: usize,
     queue: Vec<QueuedJob>,
     /// Estimated phase work (instructions) assigned per node.
     load: Vec<f64>,
 }
+
+/// The recorder handed to runs when none is attached: recording off.
+static NOOP_RECORDER: NoopRecorder = NoopRecorder;
 
 /// Estimated total work of a job, for least-loaded placement.
 pub(crate) fn estimated_work(bench: &BenchmarkSpec) -> f64 {
@@ -719,6 +724,7 @@ impl<'a> ClusterScheduler<'a> {
             placement: Placement::RoundRobin,
             online: None,
             faults: None,
+            recorder: None,
             rr_next: 0,
             queue: Vec::new(),
             load: vec![0.0; cluster.len()],
@@ -754,6 +760,21 @@ impl<'a> ClusterScheduler<'a> {
         self
     }
 
+    /// Attach a telemetry recorder: the discrete-event service
+    /// ([`ClusterScheduler::run_service`]) and the parallel and
+    /// replicated loops emit metrics, spans, and instants into it (see
+    /// the `obskit` crate). Without this call every run uses
+    /// [`NoopRecorder`] — one predictable branch per instrumentation
+    /// point, zero allocation — so existing call sites are unaffected.
+    /// Recording never changes execution: recorded and unrecorded runs
+    /// of the same inputs are bit-identical (the testkit `observability`
+    /// invariant).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: &'a dyn Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
     /// Jobs queued but not yet run.
     pub fn pending(&self) -> usize {
         self.queue.len()
@@ -778,6 +799,11 @@ impl<'a> ClusterScheduler<'a> {
     /// The attached fault injector, if any.
     pub(crate) fn faults(&self) -> Option<&'a dyn FaultInjector> {
         self.faults
+    }
+
+    /// The attached recorder, or the shared no-op.
+    pub(crate) fn recorder(&self) -> &'a dyn Recorder {
+        self.recorder.unwrap_or(&NOOP_RECORDER)
     }
 
     /// Submit a job; returns the id of the node it was placed on.
@@ -966,6 +992,7 @@ impl<'a> ClusterScheduler<'a> {
         let replica = set
             .replica_mut(replica)
             .map_err(RuntimeError::Replication)?;
+        self.recorder().counter_add("cluster.replicated_runs", 1);
         self.run_with(replica)
     }
 
@@ -1011,6 +1038,7 @@ impl<'a> ClusterScheduler<'a> {
         let cluster = self.cluster;
         let online = self.online;
         let faults = self.faults;
+        let recorder = self.recorder();
         let jobs = self.take_queue();
         if jobs.is_empty() {
             return Ok(assemble_report(
@@ -1099,9 +1127,9 @@ impl<'a> ClusterScheduler<'a> {
                             .map(|(job, _)| ModelKey::of(&job.bench))
                             .collect(),
                     };
-                    if let Err(at) =
-                        drive_partition(cluster, repo, latch, online, faults, job_chunk, slot_chunk)
-                    {
+                    if let Err(at) = drive_partition(
+                        cluster, repo, latch, online, faults, recorder, job_chunk, slot_chunk,
+                    ) {
                         errors.lock().push((w * chunk + at.0, at.1));
                     }
                 });
@@ -1143,12 +1171,14 @@ impl<'a> ClusterScheduler<'a> {
 /// active session one event per sweep, and park on the calibration latch
 /// only when nothing in the partition is runnable. Errors carry the
 /// partition-local index of the failing job.
+#[allow(clippy::too_many_arguments)]
 fn drive_partition<'b>(
     cluster: &'b Cluster,
     repo: &SharedRepository,
     latch: &CalibrationLatch,
     online: &Option<OnlineTuning<'b>>,
     faults: Option<&'b dyn FaultInjector>,
+    recorder: &dyn Recorder,
     jobs: &'b [QueuedJob],
     slots: &mut [Slot<'b>],
 ) -> Result<(), (usize, RuntimeError)> {
@@ -1293,7 +1323,15 @@ fn drive_partition<'b>(
             // missed-wakeup window (a resolution during the sweep
             // already advanced the epoch, so the wait returns at once).
             debug_assert!(blocked.is_some(), "no progress implies a blocked follower");
-            latch.wait_resolution(resolution_epoch);
+            if recorder.enabled() {
+                let parked = std::time::Instant::now();
+                latch.wait_resolution(resolution_epoch);
+                let waited = u64::try_from(parked.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                recorder.counter_add("latch.waits", 1);
+                recorder.histogram_record("latch.wait_ns", waited);
+            } else {
+                latch.wait_resolution(resolution_epoch);
+            }
         }
     }
     Ok(())

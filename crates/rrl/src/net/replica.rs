@@ -32,6 +32,7 @@
 use std::collections::BTreeMap;
 
 use kernels::BenchmarkSpec;
+use obskit::{Recorder, Track};
 use ptf::TuningModel;
 use simnode::SystemConfig;
 
@@ -368,6 +369,7 @@ pub struct ConvergeReport {
 pub struct ReplicaSet<'a> {
     replicas: Vec<Replica>,
     transport: SimTransport<'a>,
+    recorder: Option<&'a dyn Recorder>,
     max_ticks: u64,
 }
 
@@ -390,6 +392,7 @@ impl<'a> ReplicaSet<'a> {
                 .map(|id| Replica::new(id, 0..count, &config))
                 .collect(),
             transport: SimTransport::new(count),
+            recorder: None,
             max_ticks: config.max_ticks,
         }
     }
@@ -400,6 +403,20 @@ impl<'a> ReplicaSet<'a> {
     pub fn with_faults(mut self, faults: &'a dyn FaultInjector) -> Self {
         self.transport =
             std::mem::replace(&mut self.transport, SimTransport::new(1)).with_faults(faults);
+        self
+    }
+
+    /// Attach a telemetry recorder (builder form): the transport mirrors
+    /// its counters as `net.*` series, every session FSM transition bumps
+    /// `net.session_transitions/<replica>`, and each
+    /// [`ReplicaSet::converge`] call emits `converge.sync` and
+    /// `converge.teardown` spans on the net track (timestamps are
+    /// virtual transport ticks).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: &'a dyn Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self.transport =
+            std::mem::replace(&mut self.transport, SimTransport::new(1)).with_recorder(recorder);
         self
     }
 
@@ -477,6 +494,10 @@ impl<'a> ReplicaSet<'a> {
                 break;
             }
         }
+        let sync_end = self.transport.now();
+        if let Some(recorder) = self.recorder {
+            recorder.span(Track::net(), "converge.sync", start, sync_end - start);
+        }
         loop {
             if self.transport.now() - start >= self.max_ticks {
                 return Err(NetError::ConvergeTimeout {
@@ -489,6 +510,14 @@ impl<'a> ReplicaSet<'a> {
             if self.torn_down() {
                 break;
             }
+        }
+        if let Some(recorder) = self.recorder {
+            recorder.span(
+                Track::net(),
+                "converge.teardown",
+                sync_end,
+                self.transport.now() - sync_end,
+            );
         }
         let (mut applied, mut superseded) = (0, 0);
         let (mut retransmits, mut resets) = (0, 0);
@@ -517,8 +546,10 @@ impl<'a> ReplicaSet<'a> {
         let Self {
             replicas,
             transport,
+            recorder,
             ..
         } = self;
+        let recorder = *recorder;
         for replica in replicas.iter_mut() {
             let from = replica.id;
             let log_rev = replica.log_rev;
@@ -529,11 +560,17 @@ impl<'a> ReplicaSet<'a> {
                     SessionState::Closed => {
                         if !teardown {
                             outbound.push(link.session.connect(now)?);
+                            if let Some(recorder) = recorder {
+                                recorder.counter_add_at("net.session_transitions", from, 1);
+                            }
                         }
                     }
                     SessionState::Established => {
                         if teardown {
                             outbound.push(link.session.close(now)?);
+                            if let Some(recorder) = recorder {
+                                recorder.counter_add_at("net.session_transitions", from, 1);
+                            }
                             link.offer = None;
                         } else {
                             match link.offer {
@@ -558,6 +595,9 @@ impl<'a> ReplicaSet<'a> {
                     SessionState::Connecting | SessionState::Negotiating => {
                         if teardown {
                             outbound.push(link.session.close(now)?);
+                            if let Some(recorder) = recorder {
+                                recorder.counter_add_at("net.session_transitions", from, 1);
+                            }
                         }
                     }
                     SessionState::Closing => {}
@@ -581,8 +621,10 @@ impl<'a> ReplicaSet<'a> {
         let Self {
             replicas,
             transport,
+            recorder,
             ..
         } = self;
+        let recorder = *recorder;
         for replica in replicas.iter_mut() {
             while let Some(delivery) = transport.recv(replica.id) {
                 let (message, _) = decode(&delivery.payload)?;
@@ -599,7 +641,13 @@ impl<'a> ReplicaSet<'a> {
                         let Some(link) = replica.links.get_mut(&delivery.from) else {
                             continue;
                         };
-                        match link.session.on_message(&client_message, now)? {
+                        let event = link.session.on_message(&client_message, now)?;
+                        if let (Some(recorder), false) =
+                            (recorder, matches!(event, SessionEvent::Ignored))
+                        {
+                            recorder.counter_add_at("net.session_transitions", replica.id, 1);
+                        }
+                        match event {
                             SessionEvent::Advanced { reply } => Some(reply),
                             SessionEvent::Established
                             | SessionEvent::Closed

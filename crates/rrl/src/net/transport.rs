@@ -35,6 +35,7 @@
 
 use std::collections::VecDeque;
 
+use obskit::Recorder;
 use simkit::{EventHeap, VirtualClock};
 
 use crate::inject::FaultInjector;
@@ -87,6 +88,7 @@ pub struct SimTransport<'a> {
     in_flight: EventHeap<InFlight>,
     inboxes: Vec<VecDeque<Delivery>>,
     faults: Option<&'a dyn FaultInjector>,
+    recorder: Option<&'a dyn Recorder>,
     stats: TransportStats,
 }
 
@@ -112,6 +114,7 @@ impl<'a> SimTransport<'a> {
             in_flight: EventHeap::new(),
             inboxes: (0..endpoints).map(|_| VecDeque::new()).collect(),
             faults: None,
+            recorder: None,
             stats: TransportStats::default(),
         }
     }
@@ -122,6 +125,21 @@ impl<'a> SimTransport<'a> {
     pub fn with_faults(mut self, faults: &'a dyn FaultInjector) -> Self {
         self.faults = Some(faults);
         self
+    }
+
+    /// Mirror every [`TransportStats`] increment into a telemetry
+    /// recorder as `net.*` counters (builder form).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: &'a dyn Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Bump a telemetry counter, if a recorder is attached.
+    fn note(&self, key: obskit::Key, delta: u64) {
+        if let Some(recorder) = self.recorder {
+            recorder.counter_add(key, delta);
+        }
     }
 
     /// The current virtual tick.
@@ -165,22 +183,29 @@ impl<'a> SimTransport<'a> {
         let msg_id = self.next_msg_id;
         self.next_msg_id += 1;
         self.stats.sent += 1;
+        self.note("net.sent", 1);
 
         if let Some(faults) = self.faults {
             if faults.partitioned(self.clock.now(), from, to) {
                 self.stats.partitioned += 1;
+                self.note("net.partitioned", 1);
                 return Ok(msg_id);
             }
             if faults.drop_message(msg_id) {
                 self.stats.dropped += 1;
+                self.note("net.dropped", 1);
                 return Ok(msg_id);
             }
         }
 
         let delay = 1 + self.faults.map_or(0, |f| f.delay_ticks(msg_id));
+        if delay > 1 {
+            self.note("net.delayed", 1);
+        }
         let deliver_at = self.clock.now() + delay;
         if self.faults.is_some_and(|f| f.duplicate_message(msg_id)) {
             self.stats.duplicated += 1;
+            self.note("net.duplicated", 1);
             self.in_flight.schedule_keyed(
                 deliver_at + 1,
                 msg_id,
@@ -222,6 +247,9 @@ impl<'a> SimTransport<'a> {
                 msg_id: m.msg_id,
                 payload: m.payload,
             });
+        }
+        if delivered > 0 {
+            self.note("net.delivered", delivered as u64);
         }
         delivered
     }

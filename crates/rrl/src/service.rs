@@ -47,6 +47,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use kernels::{BenchmarkSpec, QuantileSketch};
+use obskit::{Recorder, Track};
 use simkit::{EventSink, Kernel, Process, Time};
 use simnode::Cluster;
 
@@ -93,11 +94,11 @@ pub struct Percentiles {
 impl Percentiles {
     /// Extract from a sketch, scaling samples by `scale` (e.g. µs → s).
     fn from_sketch(sketch: &QuantileSketch, scale: f64) -> Self {
-        let (p50, p95, p99) = sketch.p50_p95_p99();
+        let qs = sketch.percentiles(&[0.50, 0.95, 0.99]);
         Self {
-            p50: p50 as f64 * scale,
-            p95: p95 as f64 * scale,
-            p99: p99 as f64 * scale,
+            p50: qs[0] as f64 * scale,
+            p95: qs[1] as f64 * scale,
+            p99: qs[2] as f64 * scale,
             max: sketch.max() as f64 * scale,
         }
     }
@@ -129,6 +130,11 @@ pub struct ServiceSummary {
     /// Popped event timestamps never regressed (always true by kernel
     /// construction; reported so invariants can assert it).
     pub monotone: bool,
+    /// Deterministic metrics snapshot, present when a recorder was
+    /// attached via [`ClusterScheduler::with_recorder`]. Wall-derived
+    /// series (`*_ns`) keep their sample counts but have their values
+    /// blanked, so two recorded runs of the same inputs compare equal.
+    pub telemetry: Option<obskit::MetricsSnapshot>,
 }
 
 impl ServiceSummary {
@@ -154,6 +160,19 @@ impl ServiceSummary {
             out.push_str(&format!(
                 "churn: {} events, {} queued jobs re-placed, {} running jobs truncated\n",
                 self.churn_events, self.replaced_jobs, self.truncated_jobs,
+            ));
+        }
+        if let Some(telemetry) = &self.telemetry {
+            out.push_str(&format!(
+                "telemetry: {} series ({} counters, {} gauges, {} histograms), \
+                 {} spans, {} instants, {} timeline events dropped\n",
+                telemetry.counters.len() + telemetry.gauges.len() + telemetry.histograms.len(),
+                telemetry.counters.len(),
+                telemetry.gauges.len(),
+                telemetry.histograms.len(),
+                telemetry.spans,
+                telemetry.instants,
+                telemetry.dropped_events,
             ));
         }
         out
@@ -184,6 +203,10 @@ struct ServiceRun<'b, 'r> {
     placement: Placement,
     online: Option<OnlineTuning<'b>>,
     faults: Option<&'b dyn FaultInjector>,
+    recorder: &'b dyn Recorder,
+    /// `recorder.enabled()`, hoisted once: every instrumentation site
+    /// branches on a bool instead of making a virtual call.
+    record: bool,
     repo: &'r mut dyn RepositoryHandle,
     slots_per_node: usize,
 
@@ -195,6 +218,9 @@ struct ServiceRun<'b, 'r> {
     charged_s: Vec<f64>,
     /// When the job last entered a queue (arrival or re-placement).
     enqueued_us: Vec<Time>,
+    /// When the job parked behind an in-flight calibration (telemetry
+    /// only; 0 = never parked).
+    parked_us: Vec<Time>,
 
     available: Vec<bool>,
     running: Vec<usize>,
@@ -298,6 +324,10 @@ impl ServiceRun<'_, '_> {
                     start_plain(job, node, self.repo.serve(&job.bench)?)?
                 } else if let Some(waiters) = self.calibrating.get_mut(&key) {
                     waiters.push(i);
+                    self.parked_us[i] = now;
+                    if self.record {
+                        self.recorder.counter_add("service.parked", 1);
+                    }
                     return Ok(false);
                 } else {
                     match self.repo.serve_stored(&job.bench)? {
@@ -322,7 +352,18 @@ impl ServiceRun<'_, '_> {
         self.drivers[i].state = state;
         self.drivers[i].rejection = rejection;
         self.running[self.placements[i]] += 1;
-        self.wait.record(now - self.enqueued_us[i]);
+        let waited = now - self.enqueued_us[i];
+        self.wait.record(waited);
+        if self.record {
+            self.recorder.counter_add("service.admissions", 1);
+            self.recorder
+                .histogram_record("service.queue_wait_us", waited);
+            if waited > 0 {
+                let track = Track::node(self.placements[i] as u32);
+                self.recorder
+                    .span(track, "job.queued", self.enqueued_us[i], waited);
+            }
+        }
         // Anything the session charged at start (e.g. the switch into its
         // launch configuration) delays its first step.
         self.charged_s[i] = 0.0;
@@ -388,12 +429,29 @@ impl ServiceRun<'_, '_> {
                     if self.drivers[i].published_version.is_none() {
                         self.failed.insert(key.clone());
                     }
+                    if self.record {
+                        self.recorder.instant(
+                            Track::node(self.placements[i] as u32),
+                            "calib.resolved",
+                            now,
+                        );
+                    }
                     sink.schedule_at(now, ServiceEvent::Resolve(key));
                 }
             }
             let node_idx = self.placements[i];
             self.running[node_idx] -= 1;
-            self.latency.record(now - self.arrivals_us[i]);
+            let latency = now - self.arrivals_us[i];
+            self.latency.record(latency);
+            if self.record {
+                self.recorder.counter_add("service.jobs_done", 1);
+                self.recorder.span(
+                    Track::node(node_idx as u32),
+                    "job",
+                    self.arrivals_us[i],
+                    latency,
+                );
+            }
             self.done += 1;
             self.finished_at_us = self.finished_at_us.max(now);
             self.pump(node_idx, now, sink)?;
@@ -404,6 +462,13 @@ impl ServiceRun<'_, '_> {
                     let key = ModelKey::of(&job.bench);
                     self.failed.insert(key.clone());
                     if self.calibrating.contains_key(&key) {
+                        if self.record {
+                            self.recorder.instant(
+                                Track::node(self.placements[i] as u32),
+                                "calib.resolved",
+                                now,
+                            );
+                        }
                         sink.schedule_at(now, ServiceEvent::Resolve(key));
                     }
                 }
@@ -426,9 +491,17 @@ impl ServiceRun<'_, '_> {
         let jobs = self.jobs;
         let waiters = self.calibrating.remove(key).unwrap_or_default();
         for i in waiters {
+            if self.record {
+                self.recorder.counter_add("service.calib_released", 1);
+                self.recorder
+                    .histogram_record("service.calib_wait_us", now - self.parked_us[i]);
+            }
             if !self.available[self.placements[i]] && self.available.iter().any(|&a| a) {
                 self.load[self.placements[i]] -= estimated_work(&jobs[i].bench);
                 self.replaced += 1;
+                if self.record {
+                    self.recorder.counter_add("service.replaced", 1);
+                }
                 self.place_or_queue(i, now, sink)?;
                 continue;
             }
@@ -459,6 +532,9 @@ impl ServiceRun<'_, '_> {
         for i in queued {
             self.load[node] -= estimated_work(&jobs[i].bench);
             self.replaced += 1;
+            if self.record {
+                self.recorder.counter_add("service.replaced", 1);
+            }
             self.place_or_queue(i, now, sink)?;
         }
         Ok(())
@@ -475,6 +551,15 @@ impl ServiceRun<'_, '_> {
         let node = event.node as usize;
         if node >= self.cluster.len() {
             return Ok(()); // out-of-fleet node: nothing to churn
+        }
+        if self.record {
+            let name = match event.kind {
+                ChurnKind::Join => "churn.join",
+                ChurnKind::Drain => "churn.drain",
+                ChurnKind::Fail => "churn.fail",
+            };
+            self.recorder.instant(Track::node(event.node), name, now);
+            self.recorder.counter_add("service.churn_events", 1);
         }
         match event.kind {
             ChurnKind::Join => {
@@ -503,6 +588,9 @@ impl ServiceRun<'_, '_> {
                         if cut < self.drivers[i].iterations {
                             self.drivers[i].iterations = cut;
                             self.truncated += 1;
+                            if self.record {
+                                self.recorder.counter_add("service.truncated", 1);
+                            }
                         }
                     }
                 }
@@ -526,7 +614,12 @@ impl Process<ServiceEvent> for ServiceRun<'_, '_> {
         }
         self.last_event_us = now;
         match event {
-            ServiceEvent::Arrive(i) => self.place_or_queue(i, now, sink),
+            ServiceEvent::Arrive(i) => {
+                if self.record {
+                    self.recorder.counter_add("service.arrivals", 1);
+                }
+                self.place_or_queue(i, now, sink)
+            }
             ServiceEvent::Step(i) => self.step(i, now, sink),
             ServiceEvent::Resolve(key) => self.resolve(&key, now, sink),
             ServiceEvent::Churn(idx) => self.churn_event(idx, now, sink),
@@ -561,6 +654,7 @@ impl ClusterScheduler<'_> {
     ) -> Result<ClusterReport, RuntimeError> {
         let cluster = self.cluster();
         let faults = self.faults();
+        let recorder = self.recorder();
         let arrivals_us: Vec<Time> = trace.iter().map(|a| to_us(a.arrival_s)).collect();
         // Move (not clone) the specs out of the trace: at million-job
         // scale a second copy of every spec is real memory and time.
@@ -587,12 +681,15 @@ impl ClusterScheduler<'_> {
             placement: self.placement(),
             online: self.online(),
             faults,
+            recorder,
+            record: recorder.enabled(),
             repo,
             slots_per_node: config.slots_per_node,
             drivers: jobs.iter().map(|job| JobDriver::new(job, faults)).collect(),
             placements: vec![0; jobs.len()],
             charged_s: vec![0.0; jobs.len()],
             enqueued_us: vec![0; jobs.len()],
+            parked_us: vec![0; jobs.len()],
             arrivals_us,
             jobs: &jobs,
             available: vec![true; cluster.len()],
@@ -613,7 +710,7 @@ impl ClusterScheduler<'_> {
             last_event_us: 0,
             monotone: true,
         };
-        kernel.run(&mut run)?;
+        kernel.run_recorded(&mut run, recorder)?;
         if run.done < jobs.len() {
             return Err(RuntimeError::ServiceStalled {
                 unfinished: jobs.len() - run.done,
@@ -631,6 +728,7 @@ impl ClusterScheduler<'_> {
             events: kernel.processed(),
             quiesced: kernel.is_quiesced(),
             monotone: run.monotone,
+            telemetry: recorder.telemetry(),
         };
         let ServiceRun {
             drivers,

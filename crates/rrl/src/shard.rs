@@ -25,9 +25,10 @@
 //! the moment the leader publishes or fails.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use kernels::BenchmarkSpec;
+use obskit::Recorder;
 use parking_lot::RwLock;
 use ptf::Advice;
 use ptf::TuningModel;
@@ -354,6 +355,9 @@ pub struct SharedRepository {
     stats: AtomicStats,
     /// The requested global capacity (before per-shard division).
     capacity: Option<usize>,
+    /// Telemetry sink for per-shard serving counters and lock-wait
+    /// timing; `None` costs one branch per operation.
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl std::fmt::Debug for SharedRepository {
@@ -376,6 +380,7 @@ impl SharedRepository {
             shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
             stats: AtomicStats::default(),
             capacity: None,
+            recorder: None,
         }
     }
 
@@ -412,6 +417,18 @@ impl SharedRepository {
         self
     }
 
+    /// Attach a telemetry recorder (builder form). Every repository
+    /// mutation then emits per-shard hit/miss/fallback/eviction/
+    /// publication counters (series `repo.hits/<shard>` etc.) and a
+    /// `repo.lock_wait_ns` histogram of write-lock acquisition time.
+    /// `Arc` rather than a borrow because the repository is shared across
+    /// the worker threads of `run_parallel` and outlives any one run.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
     /// Number of lock segments.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
@@ -439,12 +456,21 @@ impl SharedRepository {
     /// double-count its contribution.
     fn with_shard<T>(&self, application: &str, op: impl FnOnce(&mut Shard) -> T) -> T {
         let idx = shard_index(application, self.shards.len());
+        let recording = self
+            .recorder
+            .as_deref()
+            .filter(|recorder| recorder.enabled());
+        let lock_wait = recording.map(|_| std::time::Instant::now());
         let mut shard = self.shards[idx].write();
+        if let (Some(recorder), Some(started)) = (recording, lock_wait) {
+            let waited = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            recorder.histogram_record("repo.lock_wait_ns", waited);
+        }
         let before = shard.stats;
         let out = op(&mut shard);
         let after = shard.stats;
         drop(shard);
-        self.stats.add(&RepositoryStats {
+        let delta = RepositoryStats {
             hits: after.hits - before.hits,
             approx_hits: after.approx_hits - before.approx_hits,
             misses: after.misses - before.misses,
@@ -452,7 +478,22 @@ impl SharedRepository {
             errors: after.errors - before.errors,
             evictions: after.evictions - before.evictions,
             publications: after.publications - before.publications,
-        });
+        };
+        if let Some(recorder) = recording {
+            let shard = idx as u32;
+            for (key, value) in [
+                ("repo.hits", delta.hits + delta.approx_hits),
+                ("repo.misses", delta.misses),
+                ("repo.fallbacks", delta.fallbacks),
+                ("repo.evictions", delta.evictions),
+                ("repo.publications", delta.publications),
+            ] {
+                if value > 0 {
+                    recorder.counter_add_at(key, shard, value);
+                }
+            }
+        }
+        self.stats.add(&delta);
         out
     }
 

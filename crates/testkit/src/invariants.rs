@@ -32,6 +32,11 @@
 //!    winner is the stamp-maximal publication (highest version, highest
 //!    publisher id on ties) — no matter which messages the plan dropped,
 //!    duplicated, delayed or partitioned away.
+//! 7. **Observability** — attaching an `obskit` recorder to the service
+//!    run changes nothing observable (per-job accounting and summary are
+//!    bit-identical to the unrecorded run, telemetry snapshot aside), and
+//!    two recorded runs of the same scenario emit identical virtual-time
+//!    event sequences and deterministic metric snapshots.
 //!
 //! A failed invariant comes back as a [`Failure`] whose `Display`
 //! includes a `testkit::replay("…")` line — paste it into a test (or
@@ -121,6 +126,14 @@ pub enum Violation {
         /// the divergence is per-field.
         detail: String,
     },
+    /// Telemetry recording broke determinism: a recorded service run
+    /// diverged from the unrecorded run (recording must never perturb
+    /// execution), or two recorded runs of the same scenario produced
+    /// different virtual-time event sequences or metric snapshots.
+    Observability {
+        /// What diverged, with rendered values where per-field.
+        detail: String,
+    },
 }
 
 impl Violation {
@@ -139,6 +152,7 @@ impl Violation {
             Violation::SessionNotSettled { .. } => "session-not-settled",
             Violation::ReplicationNondeterminism => "replication-nondeterminism",
             Violation::EventCore { .. } => "event-core",
+            Violation::Observability { .. } => "observability",
         }
     }
 }
@@ -188,6 +202,9 @@ impl fmt::Display for Violation {
             Violation::EventCore { detail } => {
                 write!(f, "event-core invariant violated: {detail}")
             }
+            Violation::Observability { detail } => {
+                write!(f, "observability invariant violated: {detail}")
+            }
         }
     }
 }
@@ -229,6 +246,7 @@ pub fn check(scenario: &Scenario) -> Result<ScenarioRun, Box<Failure>> {
     version_integrity(&run.sequential, true).map_err(|v| fail(scenario, v))?;
     version_integrity(&run.parallel, false).map_err(|v| fail(scenario, v))?;
     event_core(scenario, &run).map_err(|v| fail(scenario, v))?;
+    observability(&run).map_err(|v| fail(scenario, v))?;
     if let Some(replicated) = &run.replicated {
         replication(replicated).map_err(|v| fail(scenario, v))?;
     }
@@ -488,6 +506,97 @@ fn event_core(scenario: &Scenario, run: &ScenarioRun) -> Result<(), Violation> {
         seq.repository.publications,
         service.repository.publications
     );
+    Ok(())
+}
+
+/// Invariant 7: telemetry recording is free of observable effects and is
+/// itself deterministic. A recorded service run must be bit-identical to
+/// the unrecorded run — same per-job accounting, same
+/// [`rrl::ServiceSummary`] once the telemetry snapshot is stripped — and
+/// two recorded runs of the same scenario must emit identical
+/// virtual-time event sequences and deterministic metric snapshots
+/// (wall-clock-derived values are excluded by construction).
+fn observability(run: &ScenarioRun) -> Result<(), Violation> {
+    let observed = &run.observed;
+    if !observed.reruns_match {
+        return Err(Violation::Observability {
+            detail: "two recorded runs of the same scenario diverged \
+                     (timeline, metrics snapshot, or summary)"
+                .into(),
+        });
+    }
+    let (Some(plain), Some(recorded)) = (&run.service.service, &observed.report.service) else {
+        return Err(Violation::Observability {
+            detail: "a service report carries no ServiceSummary".into(),
+        });
+    };
+    if recorded.telemetry.is_none() {
+        return Err(Violation::Observability {
+            detail: "recorded run produced no telemetry snapshot".into(),
+        });
+    }
+    let mut stripped = recorded.clone();
+    stripped.telemetry = None;
+    if *plain != stripped {
+        return Err(Violation::Observability {
+            detail: format!(
+                "recording perturbed the service summary: unrecorded {plain:?} vs \
+                 recorded (telemetry stripped) {stripped:?}"
+            ),
+        });
+    }
+
+    macro_rules! field {
+        ($name:expr, $plain:expr, $recorded:expr) => {
+            if $plain != $recorded {
+                return Err(Violation::Observability {
+                    detail: format!(
+                        "{} diverged under recording: unrecorded {:?} vs recorded {:?}",
+                        $name, $plain, $recorded
+                    ),
+                });
+            }
+        };
+    }
+    let (plain, recorded) = (&run.service, &observed.report);
+    field!("jobs.len", plain.jobs.len(), recorded.jobs.len());
+    for (p, r) in plain.jobs.iter().zip(&recorded.jobs) {
+        let job = |field: &str| format!("job `{}` {field}", p.job);
+        field!(job("submission order"), p.job, r.job);
+        field!(job("placement"), p.node_id, r.node_id);
+        field!(
+            job("accounting.record"),
+            p.accounting.record,
+            r.accounting.record
+        );
+        field!(
+            job("accounting.regions"),
+            p.accounting.regions,
+            r.accounting.regions
+        );
+        field!(
+            job("switches"),
+            p.accounting.switches,
+            r.accounting.switches
+        );
+        field!(
+            job("model source"),
+            p.accounting.source,
+            r.accounting.source
+        );
+        field!(job("baseline"), p.default, r.default);
+        field!(job("savings"), p.savings, r.savings);
+        field!(
+            job("published version"),
+            p.published_version,
+            r.published_version
+        );
+        field!(job("drift events"), p.drift, r.drift);
+        field!(job("rejection"), p.rejection, r.rejection);
+        field!(job("abort point"), p.aborted_at, r.aborted_at);
+    }
+    field!("aggregate savings", plain.aggregate, recorded.aggregate);
+    field!("repository stats", plain.repository, recorded.repository);
     Ok(())
 }
 

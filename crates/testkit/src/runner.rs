@@ -21,15 +21,17 @@ use std::collections::BTreeMap;
 use std::sync::mpsc;
 use std::time::Duration;
 
+use obskit::{Recorder, Registry};
 use ptf::RandomSearch;
 use rrl::net::{ModelDigest, SessionState};
 use rrl::{
     ClusterReport, ClusterScheduler, ConvergeReport, JobArrival, OnlineConfig, OnlineTuning,
     ReplicaConfig, ReplicaSet, RepositoryStats, RuntimeError, ServiceConfig, Stamp,
 };
+use simnode::Cluster;
 
 use crate::invariants::Violation;
-use crate::scenario::{NetPlan, Scenario};
+use crate::scenario::{NetPlan, Scenario, StoredEntry};
 
 /// Wall-clock bound on one parallel run. The simulated scenarios finish
 /// in well under a second; a run that is still going after this long is
@@ -57,6 +59,25 @@ pub struct ScenarioRun {
     /// The replicated-serving execution, when the scenario carries a
     /// [`NetPlan`].
     pub replicated: Option<ReplicatedRun>,
+    /// The recorded re-executions of the service run (telemetry on),
+    /// for the observability invariant.
+    pub observed: ObservedServiceRun,
+}
+
+/// The service run re-executed with an [`obskit::Registry`] attached —
+/// twice, so recorded-run determinism is itself an observable.
+#[derive(Debug, Clone)]
+pub struct ObservedServiceRun {
+    /// The first recorded run's report (carries
+    /// `service.telemetry: Some(..)`).
+    pub report: ClusterReport,
+    /// The first recorded run's deterministic timeline rendering
+    /// (virtual-time spans and instants; wall-clock fields excluded).
+    pub timeline: Vec<String>,
+    /// Whether the second recorded run reproduced the first bit for bit:
+    /// same deterministic timeline, same deterministic metrics snapshot,
+    /// same service summary.
+    pub reruns_match: bool,
 }
 
 /// What the replicated-serving execution of a scenario produced: the
@@ -181,31 +202,38 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioRun, Violation> {
             .map_err(|e| run_error("parallel", e))?
     };
 
-    let service = {
-        let mut repo = scenario.build_repository_from(&entries);
-        let mut sched = ClusterScheduler::new(&fleet).map_err(|e| run_error("service", e))?;
-        if let Some(strategy) = strategy.as_ref() {
-            sched = sched.with_online(OnlineTuning {
-                strategy,
-                energy_model: None,
-                config: OnlineConfig::default(),
-            });
+    let service = run_service_once(scenario, &fleet, &entries, strategy.as_ref(), None)?;
+
+    // The observability invariant's raw material: the same service run
+    // with a recorder attached, twice. Recording must not perturb
+    // execution, and recorded virtual-time telemetry must be a pure
+    // function of the scenario.
+    let observed = {
+        let registry = Registry::new();
+        let report = run_service_once(
+            scenario,
+            &fleet,
+            &entries,
+            strategy.as_ref(),
+            Some(&registry),
+        )?;
+        let rerun_registry = Registry::new();
+        let rerun = run_service_once(
+            scenario,
+            &fleet,
+            &entries,
+            strategy.as_ref(),
+            Some(&rerun_registry),
+        )?;
+        let timeline = registry.deterministic_timeline();
+        let reruns_match = timeline == rerun_registry.deterministic_timeline()
+            && registry.snapshot().deterministic() == rerun_registry.snapshot().deterministic()
+            && report.service == rerun.service;
+        ObservedServiceRun {
+            report,
+            timeline,
+            reruns_match,
         }
-        if !scenario.faults.is_empty() {
-            sched = sched.with_faults(&scenario.faults);
-        }
-        let trace: Vec<JobArrival> = scenario
-            .jobs
-            .iter()
-            .map(|job| JobArrival {
-                name: job.name.clone(),
-                bench: scenario.workloads[job.workload].bench.clone(),
-                arrival_s: job.arrival_s,
-            })
-            .collect();
-        sched
-            .run_service(trace, &mut repo, &ServiceConfig::default())
-            .map_err(|e| run_error("service", e))?
     };
 
     let replicated = match &scenario.net {
@@ -236,7 +264,46 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioRun, Violation> {
         shared_stats: shared.stats(),
         shard_stats: shared.shard_stats(),
         replicated,
+        observed,
     })
+}
+
+/// One discrete-event service execution of the scenario's trace, with an
+/// optional telemetry recorder attached.
+fn run_service_once(
+    scenario: &Scenario,
+    fleet: &Cluster,
+    entries: &[StoredEntry],
+    strategy: Option<&RandomSearch>,
+    recorder: Option<&dyn Recorder>,
+) -> Result<ClusterReport, Violation> {
+    let mut repo = scenario.build_repository_from(entries);
+    let mut sched = ClusterScheduler::new(fleet).map_err(|e| run_error("service", e))?;
+    if let Some(strategy) = strategy {
+        sched = sched.with_online(OnlineTuning {
+            strategy,
+            energy_model: None,
+            config: OnlineConfig::default(),
+        });
+    }
+    if !scenario.faults.is_empty() {
+        sched = sched.with_faults(&scenario.faults);
+    }
+    if let Some(recorder) = recorder {
+        sched = sched.with_recorder(recorder);
+    }
+    let trace: Vec<JobArrival> = scenario
+        .jobs
+        .iter()
+        .map(|job| JobArrival {
+            name: job.name.clone(),
+            bench: scenario.workloads[job.workload].bench.clone(),
+            arrival_s: job.arrival_s,
+        })
+        .collect();
+    sched
+        .run_service(trace, &mut repo, &ServiceConfig::default())
+        .map_err(|e| run_error("service", e))
 }
 
 /// One full replicated execution: seed replica 0, run the round-robin

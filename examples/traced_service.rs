@@ -1,0 +1,166 @@
+//! The `sustained_service` scenario with the telemetry layer switched
+//! on: the same 10 000-job bursty trace through a churning 16-node
+//! fleet, recorded into an [`obskit::Registry`] and exported as a
+//! Chrome-`trace_event` timeline you can drop into
+//! [Perfetto](https://ui.perfetto.dev) plus a JSON metrics snapshot.
+//!
+//! ```text
+//! cargo run --release --example traced_service
+//! # then open trace.json in https://ui.perfetto.dev
+//! ```
+//!
+//! Every job becomes one `job` span on its node's track (start = virtual
+//! arrival, duration = virtual latency), queued jobs get a nested
+//! `job.queued` span, and the churn schedule shows up as `churn.fail` /
+//! `churn.join` instants on node 3's track. All timestamps are *virtual*
+//! microseconds — the trace renders ~40 minutes of simulated service
+//! time, not the seconds of wall clock the run actually took. The
+//! example asserts the recording is complete (one `job` span per job,
+//! nothing evicted from the timeline ring) and that recording changed
+//! nothing about the run itself.
+
+use std::time::Instant;
+
+use dvfs_ufs_tuning::kernels::{BenchmarkSpec, ProgrammingModel, RegionSpec, Suite};
+use dvfs_ufs_tuning::obskit::{Registry, TimelineEvent};
+use dvfs_ufs_tuning::ptf::TuningModel;
+use dvfs_ufs_tuning::rrl::{
+    ChurnEvent, ChurnKind, ClusterScheduler, FaultInjector, JobArrival, ServiceConfig,
+    TuningModelRepository,
+};
+use dvfs_ufs_tuning::simnode::{Cluster, RegionCharacter, SystemConfig};
+
+const JOBS: usize = 10_000;
+const NODES: u32 = 16;
+const BURST: usize = 50;
+const GAP_S: f64 = 12.0;
+
+/// Enough ring capacity that nothing is evicted: one `job` span per job,
+/// at most one `job.queued` span per job, plus a handful of calibration
+/// and churn marks.
+const TIMELINE_CAPACITY: usize = 4 * JOBS;
+
+/// The same small OpenMP workload as `sustained_service`.
+fn workload(name: &str, instr: f64) -> BenchmarkSpec {
+    BenchmarkSpec::new(
+        name,
+        Suite::Npb,
+        ProgrammingModel::OpenMp,
+        2,
+        vec![RegionSpec::new(
+            "omp parallel:1",
+            RegionCharacter::builder(instr)
+                .dram_bytes(0.1 * instr)
+                .build(),
+        )],
+    )
+}
+
+/// Node 3 fails at 804 s and rejoins at 920 s — visible in the trace as
+/// instants on node 3's track bracketing a gap in its `job` spans.
+struct ChurnPlan;
+
+impl FaultInjector for ChurnPlan {
+    fn node_churn(&self) -> Vec<ChurnEvent> {
+        vec![
+            ChurnEvent {
+                at_s: 804.0,
+                node: 3,
+                kind: ChurnKind::Fail,
+            },
+            ChurnEvent {
+                at_s: 920.0,
+                node: 3,
+                kind: ChurnKind::Join,
+            },
+        ]
+    }
+}
+
+fn main() {
+    let cluster = Cluster::new(NODES, 0x5E55_10AD);
+    let tuned = workload("tuned-app", 2.0e10);
+    let cold = workload("untuned-app", 1.5e10);
+
+    let cfg = SystemConfig::new(24, 2400, 1900);
+    let mut repo = TuningModelRepository::new().with_fallback(SystemConfig::new(24, 2400, 1700));
+    repo.insert(
+        &tuned,
+        &TuningModel::new(&tuned.name, &[("omp parallel:1".into(), cfg)], cfg),
+    );
+
+    let trace: Vec<JobArrival> = (0..JOBS)
+        .map(|i| JobArrival {
+            name: format!("job-{i}"),
+            bench: if i % 5 == 4 {
+                cold.clone()
+            } else {
+                tuned.clone()
+            },
+            arrival_s: (i / BURST) as f64 * GAP_S,
+        })
+        .collect();
+
+    let registry = Registry::with_timeline_capacity(TIMELINE_CAPACITY);
+    let plan = ChurnPlan;
+    let mut sched = ClusterScheduler::new(&cluster)
+        .expect("non-empty cluster")
+        .with_faults(&plan)
+        .with_recorder(&registry);
+    let wall = Instant::now();
+    let report = sched
+        .run_service(trace, &mut repo, &ServiceConfig { slots_per_node: 2 })
+        .expect("service run succeeds");
+    let wall = wall.elapsed();
+
+    let summary = report.service.as_ref().expect("service summary present");
+    println!(
+        "{JOBS} jobs recorded in {wall:.2?} of wall clock, \
+         {:.0} min of virtual time",
+        summary.makespan_s / 60.0
+    );
+    print!("{}", summary.format_lines());
+
+    // The recording must be complete and faithful: one lifecycle span
+    // per job, nothing evicted from the ring, every timestamp inside
+    // the run's virtual window.
+    let events = registry.timeline_events();
+    let job_spans: Vec<&TimelineEvent> = events
+        .iter()
+        .filter(|e| matches!(e, TimelineEvent::Span { .. }) && e.name() == "job")
+        .collect();
+    assert_eq!(
+        job_spans.len(),
+        JOBS,
+        "one job-lifecycle span per trace job"
+    );
+    let makespan_us = (summary.makespan_s * 1e6).ceil() as u64;
+    for span in &job_spans {
+        if let TimelineEvent::Span { ts_us, dur_us, .. } = span {
+            assert!(
+                ts_us + dur_us <= makespan_us,
+                "span timestamps are virtual microseconds within the run"
+            );
+        }
+    }
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.dropped_events, 0, "timeline ring never evicted");
+    assert!(
+        summary.telemetry.is_some(),
+        "summary carries the deterministic snapshot"
+    );
+    assert!(summary.quiesced && summary.monotone, "event core green");
+    assert_eq!(report.jobs.len(), JOBS, "every job accounted");
+
+    // Export: a Perfetto-loadable Chrome trace and the metrics snapshot.
+    let trace_json = registry.export_chrome_trace();
+    std::fs::write("trace.json", &trace_json).expect("write trace.json");
+    std::fs::write("metrics.json", snapshot.to_json()).expect("write metrics.json");
+    let series = snapshot.counters.len() + snapshot.gauges.len() + snapshot.histograms.len();
+    println!(
+        "wrote trace.json ({} timeline events, {} bytes) and metrics.json \
+         ({series} series) — open trace.json in https://ui.perfetto.dev",
+        events.len(),
+        trace_json.len(),
+    );
+}

@@ -39,6 +39,7 @@
 
 pub use enermodel;
 pub use kernels;
+pub use obskit;
 pub use ptf;
 pub use rrl;
 pub use scorep_lite;
