@@ -552,7 +552,7 @@ pub fn table6_static_vs_dynamic() -> String {
     for cmp in &rows {
         let acc = &cmp.dynamic_accounting;
         let total = acc.regions_node_energy_j();
-        let mut regions = acc.regions.clone();
+        let mut regions = acc.regions.rows();
         regions.sort_by(|a, b| b.node_energy_j.total_cmp(&a.node_energy_j));
         let _ = write!(out, "{:<13} |", cmp.benchmark);
         for r in regions.iter().take(3) {

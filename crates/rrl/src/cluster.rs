@@ -423,6 +423,29 @@ impl<'b> JobDriver<'b> {
         }
     }
 
+    /// Advance an active, unfinished job through the *rest of its
+    /// current phase* in one call: drain the phase's remaining
+    /// contiguous region enter/exit events back to back, then take the
+    /// phase-complete, and return that boundary event's outcome. One
+    /// repository/accounting pass per session sweep instead of
+    /// per-event dispatch — the batched twin of [`JobDriver::advance`]
+    /// used by the parallel and discrete-event loops (the sequential
+    /// loop keeps single-event `advance` as the reference
+    /// implementation). Per-job accounting is interleaving-independent,
+    /// so batching granularity is unobservable in the report.
+    pub(crate) fn advance_phase(
+        &mut self,
+        bench: &BenchmarkSpec,
+    ) -> Result<EventOutcome, RuntimeError> {
+        loop {
+            let at_boundary = self.region_idx >= bench.regions.len();
+            let outcome = self.advance(bench)?;
+            if at_boundary || !matches!(outcome, EventOutcome::Advanced) {
+                return Ok(outcome);
+            }
+        }
+    }
+
     /// Finish an active job whose iterations are exhausted: collect its
     /// accounting, hand any converged model to `publish`, and run the
     /// default-configuration baseline for the savings comparison. The
@@ -1303,7 +1326,9 @@ fn drive_partition<'b>(
                     }
                     done += 1;
                 } else {
-                    match slot.driver.advance(&job.bench).map_err(|e| (i, e))? {
+                    // Batched: drain the session's contiguous region
+                    // events and take the phase boundary in one pass.
+                    match slot.driver.advance_phase(&job.bench).map_err(|e| (i, e))? {
                         EventOutcome::Advanced => {}
                         EventOutcome::Abandoned => latch.fail(&ModelKey::of(&job.bench)),
                     }

@@ -110,7 +110,7 @@ pub use repository::{
     MatchPolicy, ModelKey, ModelProvenance, ModelSource, RepositoryHandle, RepositoryStats,
     ServedModel, TuningModelRepository,
 };
-pub use sacct::{JobAccounting, JobRecord, OnlineActivity, RegionAccounting};
+pub use sacct::{JobAccounting, JobRecord, OnlineActivity, RegionAccounting, RegionColumns};
 pub use savings::{compare_static_dynamic, BenchmarkComparison, ComparisonError, Savings};
 pub use service::{JobArrival, Percentiles, ServiceConfig, ServiceSummary};
 pub use session::{RegionExit, RuntimeSession};

@@ -282,6 +282,42 @@ mod tests {
         );
     }
 
+    /// PR 9's `RegionColumns` flatten must be invisible here: the
+    /// comparison is a pure function of its inputs, its sacct rendering
+    /// is byte-stable across runs, and the per-region breakdown survives
+    /// a row round trip and the JSON wire format unchanged.
+    #[test]
+    fn comparison_is_stable_across_the_region_flatten() {
+        let node = Node::exact(0);
+        let model = EnergyModel::train_paper(&kernels::training_set(), &node);
+        let bench = kernels::benchmark("miniMD").unwrap();
+        let first = compare_static_dynamic(&bench, &node, &model).expect("session succeeds");
+        let second = compare_static_dynamic(&bench, &node, &model).expect("session succeeds");
+
+        assert_eq!(
+            first.dynamic_accounting, second.dynamic_accounting,
+            "accounting must be bit-identical across reruns"
+        );
+        assert_eq!(
+            first.dynamic_accounting.format_sacct(),
+            second.dynamic_accounting.format_sacct(),
+            "sacct rendering must be byte-identical across reruns"
+        );
+
+        let acc = &first.dynamic_accounting;
+        let rows = acc.regions.rows();
+        assert!(!rows.is_empty());
+        assert_eq!(crate::RegionColumns::from_rows(rows.clone()), acc.regions);
+        let json = serde_json::to_string(&acc.regions).expect("render");
+        assert_eq!(
+            json,
+            serde_json::to_string(&rows).expect("render"),
+            "columns must serialise exactly like the row vector"
+        );
+        let decoded: crate::RegionColumns = serde_json::from_str(&json).expect("parse");
+        assert_eq!(decoded, acc.regions);
+    }
+
     #[test]
     fn comparison_error_wraps_both_sides() {
         use std::error::Error as _;

@@ -456,7 +456,10 @@ impl ServiceRun<'_, '_> {
             self.finished_at_us = self.finished_at_us.max(now);
             self.pump(node_idx, now, sink)?;
         } else {
-            match self.drivers[i].advance(&job.bench)? {
+            // Batched: one virtual-time step covers the session's whole
+            // phase — the contiguous region events plus the boundary —
+            // instead of one event dispatch per region.
+            match self.drivers[i].advance_phase(&job.bench)? {
                 EventOutcome::Advanced => {}
                 EventOutcome::Abandoned => {
                     let key = ModelKey::of(&job.bench);

@@ -46,7 +46,7 @@ use simnode::{ExecutionEngine, HdeemSensor, Node, SystemConfig};
 
 use crate::error::RuntimeError;
 use crate::repository::{ModelSource, ServedModel};
-use crate::sacct::{JobAccounting, JobRecord, RegionAccounting};
+use crate::sacct::{JobAccounting, JobRecord, RegionColumns};
 
 /// What one `region_exit` charged to the job.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,7 +84,7 @@ pub struct RuntimeSession<'a> {
     pcps: PcpStack,
     /// Piecewise-constant node-power trace for the HDEEM integration.
     segments: Vec<(f64, f64)>,
-    regions: Vec<RegionAccounting>,
+    regions: RegionColumns,
     open: Option<OpenRegion>,
     phase_iter: u32,
     wall_s: f64,
@@ -156,7 +156,7 @@ impl<'a> RuntimeSession<'a> {
             engine: ExecutionEngine::new(),
             pcps: PcpStack::new(initial),
             segments: Vec::new(),
-            regions: Vec::new(),
+            regions: RegionColumns::new(),
             open: None,
             phase_iter: 0,
             wall_s: 0.0,
@@ -380,21 +380,7 @@ impl<'a> RuntimeSession<'a> {
         self.rapl_j += cpu_j;
         self.segments.push((run.power.node_w(), duration));
 
-        match self.regions.iter_mut().find(|r| r.region == region) {
-            Some(acc) => {
-                acc.visits += 1;
-                acc.time_s += duration;
-                acc.node_energy_j += node_j;
-                acc.cpu_energy_j += cpu_j;
-            }
-            None => self.regions.push(RegionAccounting {
-                region: region.to_string(),
-                visits: 1,
-                time_s: duration,
-                node_energy_j: node_j,
-                cpu_energy_j: cpu_j,
-            }),
-        }
+        self.regions.accumulate(region, duration, node_j, cpu_j);
 
         Ok(RegionExit {
             config,

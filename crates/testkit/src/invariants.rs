@@ -37,6 +37,12 @@
 //!    bit-identical to the unrecorded run, telemetry snapshot aside), and
 //!    two recorded runs of the same scenario emit identical virtual-time
 //!    event sequences and deterministic metric snapshots.
+//! 8. **Snapshot coherence** — re-executing the parallel run over the
+//!    pre-snapshot `RwLock` backend (`SharedRepository::new_locked`)
+//!    produces per-job results bit-identical to the snapshot-serving
+//!    backend: the lock-free read path is a pure optimisation, never a
+//!    semantic change. Skipped under declared eviction pressure for the
+//!    same reason as invariant 2.
 //!
 //! A failed invariant comes back as a [`Failure`] whose `Display`
 //! includes a `testkit::replay("…")` line — paste it into a test (or
@@ -134,6 +140,17 @@ pub enum Violation {
         /// What diverged, with rendered values where per-field.
         detail: String,
     },
+    /// The snapshot-serving parallel run diverged from the `RwLock`
+    /// oracle run of the identical trace — the lock-free read path
+    /// changed an observable result.
+    SnapshotCoherence {
+        /// The diverging job (or `(aggregate)` for report-level fields).
+        job: String,
+        /// The diverging field.
+        field: &'static str,
+        /// Rendered snapshot-backend vs locked-backend values.
+        detail: String,
+    },
 }
 
 impl Violation {
@@ -153,6 +170,7 @@ impl Violation {
             Violation::ReplicationNondeterminism => "replication-nondeterminism",
             Violation::EventCore { .. } => "event-core",
             Violation::Observability { .. } => "observability",
+            Violation::SnapshotCoherence { .. } => "snapshot-coherence",
         }
     }
 }
@@ -205,6 +223,10 @@ impl fmt::Display for Violation {
             Violation::Observability { detail } => {
                 write!(f, "observability invariant violated: {detail}")
             }
+            Violation::SnapshotCoherence { job, field, detail } => write!(
+                f,
+                "snapshot coherence violated for `{job}` ({field}): {detail}"
+            ),
         }
     }
 }
@@ -241,6 +263,7 @@ pub fn check(scenario: &Scenario) -> Result<ScenarioRun, Box<Failure>> {
     let run = run_scenario(scenario).map_err(|v| fail(scenario, v))?;
     if !scenario.eviction_pressure() {
         bit_identity(&run).map_err(|v| fail(scenario, v))?;
+        snapshot_coherence(&run).map_err(|v| fail(scenario, v))?;
     }
     stats_double_entry(&run).map_err(|v| fail(scenario, v))?;
     version_integrity(&run.sequential, true).map_err(|v| fail(scenario, v))?;
@@ -349,6 +372,107 @@ fn bit_identity(run: &ScenarioRun) -> Result<(), Violation> {
         "repository.evictions",
         seq.repository.evictions,
         par.repository.evictions
+    );
+    Ok(())
+}
+
+/// Invariant 8: the snapshot-serving backend and the `RwLock` oracle
+/// produce bit-identical per-job results and repository aggregates for
+/// the identical parallel trace.
+fn snapshot_coherence(run: &ScenarioRun) -> Result<(), Violation> {
+    macro_rules! snap_field {
+        ($job:expr, $field:literal, $snap:expr, $locked:expr) => {
+            if $snap != $locked {
+                return Err(Violation::SnapshotCoherence {
+                    job: $job.to_string(),
+                    field: $field,
+                    detail: format!("snapshot {:?} vs locked {:?}", $snap, $locked),
+                });
+            }
+        };
+    }
+
+    let (snap, locked) = (&run.parallel, &run.locked_parallel);
+    snap_field!(
+        "(aggregate)",
+        "jobs.len",
+        snap.jobs.len(),
+        locked.jobs.len()
+    );
+    for (s, l) in snap.jobs.iter().zip(&locked.jobs) {
+        snap_field!(s.job, "submission order", s.job, l.job);
+        snap_field!(s.job, "placement", s.node_id, l.node_id);
+        snap_field!(
+            s.job,
+            "accounting.record",
+            s.accounting.record,
+            l.accounting.record
+        );
+        snap_field!(
+            s.job,
+            "accounting.regions",
+            s.accounting.regions,
+            l.accounting.regions
+        );
+        snap_field!(
+            s.job,
+            "switches",
+            s.accounting.switches,
+            l.accounting.switches
+        );
+        snap_field!(
+            s.job,
+            "model source",
+            s.accounting.source,
+            l.accounting.source
+        );
+        snap_field!(
+            s.job,
+            "online activity",
+            s.accounting.online,
+            l.accounting.online
+        );
+        snap_field!(s.job, "baseline", s.default, l.default);
+        snap_field!(s.job, "savings", s.savings, l.savings);
+        snap_field!(
+            s.job,
+            "published version",
+            s.published_version,
+            l.published_version
+        );
+        snap_field!(s.job, "drift events", s.drift, l.drift);
+        snap_field!(s.job, "rejection", s.rejection, l.rejection);
+        snap_field!(s.job, "abort point", s.aborted_at, l.aborted_at);
+    }
+    snap_field!(
+        "(aggregate)",
+        "total_tuned",
+        snap.total_tuned,
+        locked.total_tuned
+    );
+    snap_field!(
+        "(aggregate)",
+        "total_default",
+        snap.total_default,
+        locked.total_default
+    );
+    snap_field!(
+        "(aggregate)",
+        "aggregate savings",
+        snap.aggregate,
+        locked.aggregate
+    );
+    snap_field!(
+        "(aggregate)",
+        "nodes_used",
+        snap.nodes_used,
+        locked.nodes_used
+    );
+    snap_field!(
+        "(aggregate)",
+        "repository stats",
+        snap.repository,
+        locked.repository
     );
     Ok(())
 }

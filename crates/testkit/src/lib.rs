@@ -63,7 +63,9 @@ pub mod scenario;
 pub mod shrink;
 
 pub use generator::{ArrivalModel, GeneratorConfig, ScenarioGenerator};
-pub use helpers::{lulesh_table3_model, repo_with_lulesh, taurus_fallback, toy_benchmark};
+pub use helpers::{
+    lulesh_table3_model, repo_with_lulesh, taurus_fallback, toy_benchmark, SpinPermit, SpinPermits,
+};
 pub use invariants::{check, Failure, Violation};
 pub use runner::{run_scenario, ReplicatedRun, ScenarioRun, Watchdog};
 pub use scenario::{

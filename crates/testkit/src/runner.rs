@@ -44,8 +44,13 @@ pub const LIVENESS_TIMEOUT: Duration = Duration::from_secs(120);
 pub struct ScenarioRun {
     /// The single-threaded run over a `TuningModelRepository`.
     pub sequential: ClusterReport,
-    /// The multi-worker run over a `SharedRepository`.
+    /// The multi-worker run over a `SharedRepository` (snapshot-serving
+    /// backend — the production read path).
     pub parallel: ClusterReport,
+    /// The same multi-worker run over the `RwLock` backend
+    /// (`SharedRepository::new_locked`) — the differential-testing
+    /// oracle for invariant 8 (snapshot coherence).
+    pub locked_parallel: ClusterReport,
     /// The discrete-event service run over its own
     /// `TuningModelRepository`: the same trace driven by arrival
     /// timestamps in virtual time, under the fault plan's node-churn
@@ -202,6 +207,29 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioRun, Violation> {
             .map_err(|e| run_error("parallel", e))?
     };
 
+    // Invariant 8's raw material: the identical trace over the RwLock
+    // backend. The snapshot read path must be a pure optimisation — the
+    // per-job results of the two parallel runs have to be bit-identical.
+    let locked_parallel = {
+        let locked = scenario.build_shared_locked_from(&entries);
+        let mut sched = configure(
+            ClusterScheduler::new(&fleet).map_err(|e| run_error("parallel-locked", e))?,
+            scenario,
+            strategy.as_ref(),
+        );
+        let _liveness = Watchdog::arm(
+            LIVENESS_TIMEOUT,
+            format!(
+                "locked-backend parallel run deadlocked (latch liveness violation); \
+                 reproduce with: testkit::replay(r#\"{}\"#)",
+                scenario.to_replay()
+            ),
+        );
+        sched
+            .run_parallel(&locked, scenario.workers)
+            .map_err(|e| run_error("parallel-locked", e))?
+    };
+
     let service = run_service_once(scenario, &fleet, &entries, strategy.as_ref(), None)?;
 
     // The observability invariant's raw material: the same service run
@@ -260,6 +288,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioRun, Violation> {
     Ok(ScenarioRun {
         sequential,
         parallel,
+        locked_parallel,
         service,
         shared_stats: shared.stats(),
         shard_stats: shared.shard_stats(),

@@ -9,7 +9,7 @@
 
 use testkit::{ArrivalModel, GeneratorConfig, ScenarioGenerator};
 
-/// The fixed CI matrix: 16 seeds across four generator profiles — a
+/// The fixed CI matrix: 18 seeds across four generator profiles — a
 /// mixed faulted fleet under Poisson traffic, an all-cold
 /// eviction-pressure profile whose every workload queues followers on
 /// the calibration latch while the LRU bound churns publications, a
@@ -69,7 +69,10 @@ fn matrix() -> Vec<(&'static str, ScenarioGenerator, u64)> {
     for seed in [0x03u64, 0x9055, 0x51AC] {
         out.push(("replicated", replicated.clone(), seed));
     }
-    for seed in [0x04u64, 0xDEA1, 0xCAB1E] {
+    // The last two churn seeds joined in PR 9: the service loop drains a
+    // session's contiguous region events in one batched pass now, and
+    // these exercise that path under node drain/fail/join churn.
+    for seed in [0x04u64, 0xDEA1, 0xCAB1E, 0xB47C4, 0x5A1AD] {
         out.push(("churn", churn.clone(), seed));
     }
     out
@@ -78,7 +81,7 @@ fn matrix() -> Vec<(&'static str, ScenarioGenerator, u64)> {
 /// The CI soak: every matrix cell must pass the full invariant catalog.
 /// Failures print the one-line replay repro.
 #[test]
-fn soak_matrix_16_seeds() {
+fn soak_matrix_18_seeds() {
     for (profile, generator, seed) in matrix() {
         let scenario = generator.generate(seed);
         if let Err(failure) = testkit::check(&scenario) {
