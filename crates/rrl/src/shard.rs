@@ -354,7 +354,7 @@ fn shard_index(application: &str, shards: usize) -> usize {
 /// One stored entry as the snapshot path shares it between the shard
 /// writer and every published snapshot: the serialized model, a
 /// race-filled parse memo, the provenance, and an *atomic* recency stamp
-/// so wait-free serves keep feeding LRU order.
+/// so lock-free serves keep feeding LRU order.
 #[derive(Debug)]
 struct ViewEntry {
     json: String,
@@ -622,7 +622,7 @@ enum Backend {
 /// every method takes `&self`, so one `SharedRepository` can serve all
 /// the worker threads of [`ClusterScheduler::run_parallel`](crate::ClusterScheduler::run_parallel)
 /// at once, and the entire read path (`serve`, `serve_stored`,
-/// `serve_fallback`, `contains`, `provenance`, `len`) is wait-free
+/// `serve_fallback`, `contains`, `provenance`, `len`) is lock-free
 /// against per-shard immutable snapshots. Differences a single-threaded
 /// caller can observe:
 ///
@@ -807,7 +807,7 @@ impl SharedRepository {
         }
     }
 
-    /// Run a wait-free read `op` against `application`'s shard snapshot,
+    /// Run a lock-free read `op` against `application`'s shard snapshot,
     /// then fold the stat delta `op` reported into both the shard's and
     /// the repository's lock-free tallies. Routing every read through
     /// here (and every mutation through [`Self::snap_write`]) is what
@@ -997,7 +997,7 @@ impl SharedRepository {
 
     /// Serve a stored model or the calibration fallback (see
     /// [`TuningModelRepository::serve`](crate::TuningModelRepository::serve)).
-    /// On the snapshot backend this is wait-free: the whole lookup —
+    /// On the snapshot backend this is lock-free: the whole lookup —
     /// resolution, parse-memo fill, fallback — runs against the shard's
     /// immutable snapshot without taking any lock.
     pub fn serve(&self, bench: &BenchmarkSpec) -> Result<ServedModel, RuntimeError> {

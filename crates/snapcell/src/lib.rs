@@ -1,46 +1,76 @@
 //! # snapcell — epoch-protected copy-on-publish snapshot cells
 //!
 //! A [`SnapCell<T>`] holds one immutable, versioned snapshot of `T`.
-//! Readers take a [`Snapshot<T>`] (an `Arc`-backed view) **wait-free**:
-//! no lock, no CAS retry loop, just three atomic RMWs on the hot path.
-//! Writers build a fresh value (usually by copying the current one),
-//! publish it under a short writer lock, and then reclaim the displaced
-//! snapshot only after every reader that could still be touching it has
-//! left its read-side critical section.
+//! Readers take a [`Snapshot<T>`] (an `Arc`-backed view) without ever
+//! blocking on a lock: the fast path is three atomic RMWs, and a reader
+//! retries only when a publication races its entry (at most once per
+//! concurrent publication — lock-free, and wait-free whenever no
+//! publish lands mid-entry). Writers build a fresh value (usually by
+//! copying the current one), publish it under a short writer lock, and
+//! reclaim the displaced snapshot only after every reader that could
+//! still be touching it has left its read-side critical section.
 //!
 //! ## Memory-ordering argument
 //!
-//! Reclamation is a striped epoch scheme over two monotone counters per
-//! stripe, `enter` and `exit`:
+//! Reclamation is a striped, **generation-indexed** epoch scheme. Each
+//! stripe carries two `(enter, exit)` monotone counter pairs, indexed
+//! by the parity of a global publication generation `gen`:
 //!
-//! 1. A reader bumps its stripe's `enter` (SeqCst), loads the snapshot
-//!    pointer (SeqCst), clones the `Arc`, then bumps `exit` (Release).
-//! 2. A writer swaps the pointer to the new snapshot (SeqCst), then for
-//!    every stripe samples `enter` (SeqCst) **after** the swap and spins
-//!    until `exit` catches up to the sample. Only then does it drop its
-//!    reference to the displaced snapshot.
+//! 1. A reader loads `gen` (SeqCst), bumps `enter` of the slot selected
+//!    by `gen`'s parity (SeqCst), then **re-checks** `gen` (SeqCst). If
+//!    it changed, the reader bumps that slot's `exit` and retries from
+//!    the top; otherwise it loads the snapshot pointer (SeqCst), clones
+//!    the `Arc`, and bumps `exit` (Release).
+//! 2. A writer swaps the pointer to the new snapshot (SeqCst), flips
+//!    `gen` (SeqCst `fetch_add(1)`), then for every stripe spins until
+//!    the **old** parity's slot is *balanced* — reading `exit` first,
+//!    then `enter`, and waiting for equality. Only then does it drop
+//!    its reference to the displaced snapshot.
 //!
-//! All the loads and RMWs that matter are SeqCst, so they sit in one
-//! total order. Any reader whose `enter` is *not* included in the
-//! writer's sample ordered its `enter` after the sample — which is after
-//! the swap — so its subsequent pointer load observes the *new*
-//! snapshot and cannot touch the displaced one. Any reader whose
-//! `enter` *is* included is waited for via `exit >= sample`. Either way
-//! no reader can hold a raw reference to the old snapshot when the
-//! writer releases it, and the reader's cloned `Arc` keeps the value
-//! alive independently after that. There is no ABA hazard: the writer
-//! is the only party that frees, and only after the grace period.
+//! Why generations instead of one cumulative counter pair: with a
+//! single pair, a writer that samples `enter` and waits for
+//! `exit >= sample` can be fooled — a later reader's enter+exit on the
+//! same stripe makes `exit` catch up to the sample while an *earlier*
+//! reader is still between its pointer load and its `Arc` clone, and
+//! the writer frees under it. Exits are not attributable to specific
+//! enters, so the wait must be on a counter pair that post-publication
+//! serving readers can never touch. The generation flip provides
+//! exactly that: after the flip, a reader can pass the re-check in the
+//! old parity's slot only if it re-read `gen` *before* the flip (the
+//! writer mutex is held, so no other flip can restore the parity), and
+//! such a reader's `enter` is ordered before the flip — it is in-flight
+//! deficit the balanced-wait observes. A reader whose re-check fails
+//! touches only the counters, never the pointer, and its enter/exit
+//! nets to zero. Reading `exit` before `enter` in the wait loop makes
+//! the equality sound for two monotone counters: `exit(t0) ==
+//! enter(t1)` with `t0 < t1` and `exit <= enter` invariant proves an
+//! instant with no in-flight reader in that slot. The wait terminates:
+//! while the writer holds the mutex only threads that read `gen`
+//! pre-flip can enter the old slot, each at most once, and each exits
+//! after a bounded straight-line region.
+//!
+//! Finally, the re-check also covers generation wrap-around across
+//! *multiple* publications (parity repeats every two flips): if a
+//! reader's re-check observes the same `gen` value it started with,
+//! every later flip out of that parity samples the old slot *after*
+//! the reader's `enter` and therefore waits for it; writers are
+//! serialized, so any still-later writer cannot even swap until that
+//! wait has completed and the reader holds its cloned `Arc`.
 //!
 //! ## Writer serialization rule
 //!
-//! All mutation goes through one writer `Mutex` per cell. Publishing is
-//! copy-on-publish: read the current value, build the successor, swap.
-//! Poisoning is deliberately ignored (a panicking publisher must not
-//! wedge the cell forever) — which is safe precisely because a writer
-//! swaps in a *fully constructed* snapshot or nothing: a panic before
-//! the swap leaves the old snapshot untouched, and the swap itself is a
-//! single atomic pointer exchange, so readers can never observe a torn
-//! value.
+//! All mutation goes through one writer `Mutex` per cell, witnessed by
+//! the cell-specific [`WriterGuard`]:
+//! [`publish_locked`](SnapCell::publish_locked) rejects a guard minted
+//! by a different cell, so two cells' publications can never interleave
+//! on one cell's version counter. Publishing is copy-on-publish: read
+//! the current
+//! value, build the successor, swap. Poisoning is deliberately ignored
+//! (a panicking publisher must not wedge the cell forever) — which is
+//! safe precisely because a writer swaps in a *fully constructed*
+//! snapshot or nothing: a panic before the swap leaves the old snapshot
+//! untouched, and the swap itself is a single atomic pointer exchange,
+//! so readers can never observe a torn value.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -54,13 +84,22 @@ use std::sync::{Arc, Mutex, MutexGuard};
 /// that the writer's per-stripe grace-period sweep stays trivial.
 const STRIPES: usize = 16;
 
+/// One generation's reader registration counters. Both are monotone;
+/// `enter - exit` is the number of readers currently inside the
+/// read-side critical section under this generation parity.
+#[derive(Default)]
+struct GenSlot {
+    enter: AtomicU64,
+    exit: AtomicU64,
+}
+
 /// Pad each stripe to its own cache line so concurrent readers on
-/// different stripes never false-share.
+/// different stripes never false-share. The two slots are indexed by
+/// publication-generation parity.
 #[repr(align(64))]
 #[derive(Default)]
 struct Stripe {
-    enter: AtomicU64,
-    exit: AtomicU64,
+    slots: [GenSlot; 2],
 }
 
 fn stripe_index() -> usize {
@@ -116,7 +155,17 @@ impl<T: std::fmt::Debug> std::fmt::Debug for Snapshot<T> {
     }
 }
 
-/// A copy-on-publish cell: wait-free snapshot loads for readers,
+/// Witness that the holder owns a specific [`SnapCell`]'s writer lock.
+/// Returned by [`writer_lock`](SnapCell::writer_lock) and demanded by
+/// [`publish_locked`](SnapCell::publish_locked), which asserts the
+/// guard was minted by the same cell — a guard for cell A cannot be
+/// used to publish into cell B.
+pub struct WriterGuard<'a, T> {
+    cell: &'a SnapCell<T>,
+    _guard: MutexGuard<'a, ()>,
+}
+
+/// A copy-on-publish cell: lock-free snapshot loads for readers,
 /// serialized copy-and-swap publication for writers. See the crate docs
 /// for the reclamation protocol.
 pub struct SnapCell<T> {
@@ -126,6 +175,9 @@ pub struct SnapCell<T> {
     /// freshness reference ("snapshot age" = this minus a snapshot's
     /// own version, zero unless a publish raced the load).
     version: AtomicU64,
+    /// Publication generation; its parity selects which [`GenSlot`]
+    /// readers register in. Flipped once per publish, after the swap.
+    gen: AtomicU64,
     stripes: Box<[Stripe]>,
     writer: Mutex<()>,
 }
@@ -144,6 +196,7 @@ impl<T> SnapCell<T> {
         SnapCell {
             current: AtomicPtr::new(Arc::into_raw(initial).cast_mut()),
             version: AtomicU64::new(0),
+            gen: AtomicU64::new(0),
             stripes: stripes.into_boxed_slice(),
             writer: Mutex::new(()),
         }
@@ -155,22 +208,52 @@ impl<T> SnapCell<T> {
         self.version.load(Ordering::SeqCst)
     }
 
-    /// Take a wait-free snapshot of the current value. Never blocks and
-    /// never retries, whatever the writers are doing.
+    /// Take a snapshot of the current value. Never blocks on the writer
+    /// lock; retries (bounded by the number of concurrent publications)
+    /// only when a publish flips the generation mid-entry.
     pub fn load(&self) -> Snapshot<T> {
-        let stripe = &self.stripes[stripe_index()];
-        stripe.enter.fetch_add(1, Ordering::SeqCst);
-        let ptr = self.current.load(Ordering::SeqCst);
-        // SAFETY: `ptr` came from `Arc::into_raw` and the epoch protocol
-        // guarantees the writer cannot release it while our `enter` bump
-        // precedes the writer's post-swap sample (see crate docs). The
-        // increment manufactures the reference we hand to `from_raw`.
-        let inner = unsafe {
-            Arc::increment_strong_count(ptr);
-            Arc::from_raw(ptr)
-        };
-        stripe.exit.fetch_add(1, Ordering::Release);
-        Snapshot { inner }
+        self.load_impl(&self.stripes[stripe_index()], || (), || ())
+    }
+
+    /// The read-side protocol, parameterized for deterministic tests:
+    /// `stripe` pins the registration stripe, `after_register` runs
+    /// between the `enter` bump and the generation re-check, and
+    /// `before_clone` runs in the hazard window between the pointer
+    /// load and the `Arc` clone. Production [`load`](SnapCell::load)
+    /// passes the calling thread's stripe and empty hooks.
+    fn load_impl(
+        &self,
+        stripe: &Stripe,
+        after_register: impl Fn(),
+        before_clone: impl Fn(),
+    ) -> Snapshot<T> {
+        loop {
+            let gen = self.gen.load(Ordering::SeqCst);
+            let slot = &stripe.slots[(gen & 1) as usize];
+            slot.enter.fetch_add(1, Ordering::SeqCst);
+            after_register();
+            if self.gen.load(Ordering::SeqCst) == gen {
+                let ptr = self.current.load(Ordering::SeqCst);
+                before_clone();
+                // SAFETY: `ptr` came from `Arc::into_raw`, and the
+                // generation re-check above proves our `enter` landed in
+                // the slot every subsequent publisher's balanced-wait
+                // covers, so no writer can release `ptr` before our
+                // `exit` (see the crate docs). The increment
+                // manufactures the reference we hand to `from_raw`.
+                let inner = unsafe {
+                    Arc::increment_strong_count(ptr);
+                    Arc::from_raw(ptr)
+                };
+                slot.exit.fetch_add(1, Ordering::Release);
+                return Snapshot { inner };
+            }
+            // A publication raced our entry: we are registered in a slot
+            // whose grace period may already be running. Deregister
+            // without touching the pointer and retry under the new
+            // generation.
+            slot.exit.fetch_add(1, Ordering::Release);
+        }
     }
 
     /// Serialize with other writers. Public so a caller can hold the
@@ -178,10 +261,14 @@ impl<T> SnapCell<T> {
     /// copy-on-publish idiom); [`publish`](SnapCell::publish) takes it
     /// internally. Poisoning is ignored — see the crate docs for why
     /// that is sound here.
-    pub fn writer_lock(&self) -> MutexGuard<'_, ()> {
-        match self.writer.lock() {
+    pub fn writer_lock(&self) -> WriterGuard<'_, T> {
+        let guard = match self.writer.lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
+        };
+        WriterGuard {
+            cell: self,
+            _guard: guard,
         }
     }
 
@@ -197,14 +284,25 @@ impl<T> SnapCell<T> {
 
     /// [`publish`](SnapCell::publish) with the writer lock already held
     /// (taken via [`writer_lock`](SnapCell::writer_lock)).
-    pub fn publish_locked(&self, value: T, _guard: &MutexGuard<'_, ()>) -> u64 {
+    ///
+    /// # Panics
+    ///
+    /// If `guard` was minted by a different cell — the guard is the
+    /// witness that *this* cell's writers are serialized, and accepting
+    /// a foreign guard would race the version read-increment-store.
+    pub fn publish_locked(&self, value: T, guard: &WriterGuard<'_, T>) -> u64 {
+        assert!(
+            std::ptr::eq(guard.cell, self),
+            "publish_locked: WriterGuard belongs to a different SnapCell"
+        );
         let version = self.version.load(Ordering::SeqCst) + 1;
         let next = Arc::new(Versioned { version, value });
         let old = self
             .current
             .swap(Arc::into_raw(next).cast_mut(), Ordering::SeqCst);
         self.version.store(version, Ordering::SeqCst);
-        self.grace_period();
+        let old_gen = self.gen.fetch_add(1, Ordering::SeqCst);
+        self.grace_period((old_gen & 1) as usize);
         // SAFETY: `old` came from `Arc::into_raw`; after the grace
         // period no reader still holds a raw (un-cloned) reference to
         // it, so reconstituting and dropping our one owning reference
@@ -213,12 +311,24 @@ impl<T> SnapCell<T> {
         version
     }
 
-    /// Wait until every reader that entered before now has exited.
-    fn grace_period(&self) {
+    /// Wait until the pre-flip generation's slots are balanced on every
+    /// stripe — no reader that could still dereference the displaced
+    /// pointer remains in its critical section.
+    fn grace_period(&self, parity: usize) {
         for stripe in self.stripes.iter() {
-            let sample = stripe.enter.load(Ordering::SeqCst);
+            let slot = &stripe.slots[parity];
             let mut spins = 0u32;
-            while stripe.exit.load(Ordering::SeqCst) < sample {
+            loop {
+                // `exit` first, then `enter`: both are monotone and
+                // exit <= enter always, so exit(t0) == enter(t1) with
+                // t0 < t1 proves an instant with no in-flight reader.
+                // The reverse order could count a late reader's exit
+                // against an earlier reader's enter.
+                let exits = slot.exit.load(Ordering::SeqCst);
+                let enters = slot.enter.load(Ordering::SeqCst);
+                if exits == enters {
+                    break;
+                }
                 spins += 1;
                 if spins.is_multiple_of(64) {
                     std::thread::yield_now();
@@ -252,6 +362,8 @@ impl<T: std::fmt::Debug> std::fmt::Debug for SnapCell<T> {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicBool;
+    use std::sync::mpsc;
+    use std::time::Duration;
 
     #[test]
     fn load_sees_initial_value_at_version_zero() {
@@ -285,6 +397,126 @@ mod tests {
             cell.publish_locked(next, &guard);
         }
         assert_eq!(*cell.load(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "WriterGuard belongs to a different SnapCell")]
+    fn publish_locked_rejects_a_foreign_guard() {
+        let a = SnapCell::new(1u64);
+        let b = SnapCell::new(2u64);
+        let guard_a = a.writer_lock();
+        b.publish_locked(3, &guard_a);
+    }
+
+    /// The reviewer's use-after-free scenario, deterministically: R1
+    /// registers and loads the OLD pointer, then stalls in the hazard
+    /// window before the `Arc` clone; a writer publishes; R2 on the
+    /// *same stripe* does a complete load (enter, clone, exit). Under
+    /// the old cumulative-counter scheme R2's exit satisfied the
+    /// writer's `exit >= sample` wait and the writer freed the snapshot
+    /// R1 was still holding raw. The generation scheme must keep the
+    /// writer parked until R1 exits.
+    #[test]
+    fn preempted_reader_is_waited_for_despite_same_stripe_traffic() {
+        let cell = Arc::new(SnapCell::new(7u64));
+        let (entered_tx, entered_rx) = mpsc::channel::<()>();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+
+        // R1: load on stripe 0, parked between pointer load and clone.
+        let r1 = {
+            let cell = Arc::clone(&cell);
+            std::thread::spawn(move || {
+                cell.load_impl(
+                    &cell.stripes[0],
+                    || (),
+                    || {
+                        entered_tx.send(()).unwrap();
+                        release_rx.recv().unwrap();
+                    },
+                )
+            })
+        };
+        entered_rx.recv().unwrap();
+
+        // R2: a full load on the same stripe while R1 is stalled. Its
+        // exit must not be creditable against R1's enter.
+        let r2 = {
+            let cell = Arc::clone(&cell);
+            std::thread::spawn(move || cell.load_impl(&cell.stripes[0], || (), || ()))
+        };
+        assert_eq!(*r2.join().unwrap(), 7);
+
+        // Writer: must block in the grace period while R1 is stalled.
+        let published = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let cell = Arc::clone(&cell);
+            let published = Arc::clone(&published);
+            std::thread::spawn(move || {
+                cell.publish(8);
+                published.store(true, Ordering::SeqCst);
+            })
+        };
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(
+            !published.load(Ordering::SeqCst),
+            "writer reclaimed the displaced snapshot while a reader was \
+             still in the hazard window (use-after-free under the old \
+             cumulative-counter scheme)"
+        );
+
+        // Release R1: it clones a still-live Arc; the writer finishes.
+        release_tx.send(()).unwrap();
+        let snap = r1.join().unwrap();
+        assert_eq!(*snap, 7, "R1 must see the intact pre-publish value");
+        assert_eq!(snap.version(), 0);
+        writer.join().unwrap();
+        assert!(published.load(Ordering::SeqCst));
+        assert_eq!(*cell.load(), 8);
+    }
+
+    /// A reader that registers and then stalls long enough for a
+    /// publication to flip the generation must fail its re-check,
+    /// deregister (unblocking the writer's balanced-wait), and retry —
+    /// serving the new value without ever touching the old pointer.
+    #[test]
+    fn reader_straddling_a_publication_retries_and_serves_the_new_value() {
+        let cell = Arc::new(SnapCell::new(7u64));
+        let (entered_tx, entered_rx) = mpsc::channel::<()>();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+
+        let reader = {
+            let cell = Arc::clone(&cell);
+            let stalled = AtomicBool::new(false);
+            std::thread::spawn(move || {
+                cell.load_impl(
+                    &cell.stripes[0],
+                    || {
+                        // Stall only the first registration; the retry
+                        // must run the protocol unimpeded.
+                        if !stalled.swap(true, Ordering::SeqCst) {
+                            entered_tx.send(()).unwrap();
+                            release_rx.recv().unwrap();
+                        }
+                    },
+                    || (),
+                )
+            })
+        };
+        entered_rx.recv().unwrap();
+
+        // The writer's grace period waits on the reader's stale
+        // registration, so publish from a thread and then release the
+        // reader to let both sides finish.
+        let writer = {
+            let cell = Arc::clone(&cell);
+            std::thread::spawn(move || cell.publish(9))
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        release_tx.send(()).unwrap();
+        assert_eq!(writer.join().unwrap(), 1);
+        let snap = reader.join().unwrap();
+        assert_eq!(*snap, 9, "retried reader must serve the new snapshot");
+        assert_eq!(snap.version(), 1);
     }
 
     #[test]
