@@ -338,7 +338,10 @@ mod tests {
         use std::error::Error as _;
         let io = RuntimeError::Io(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
         assert!(io.source().is_some());
-        let net = RuntimeError::Replication(crate::net::NetError::ConvergeTimeout { ticks: 10 });
+        let net = RuntimeError::Replication(crate::net::NetError::ConvergeTimeout {
+            ticks: 10,
+            culprit: None,
+        });
         assert!(net.source().is_some());
         let plain = RuntimeError::EmptyCluster;
         assert!(plain.source().is_none());

@@ -68,6 +68,31 @@ pub struct ChurnEvent {
     pub kind: ChurnKind,
 }
 
+/// What happens to a replica at a [`ReplicaChurnEvent`]'s timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplicaChurnKind {
+    /// The replica crashes: its repository, replication log and version
+    /// vector are lost, its sessions (both directions) die, and jobs
+    /// route to the next alive replica until it restarts.
+    Crash,
+    /// The replica restarts empty and catches up from its peers: every
+    /// link is born dirty again, so the first gossip rounds after the
+    /// restart replay the fleet's winners into it.
+    Restart,
+}
+
+/// One scheduled replica crash or restart for an in-loop replicated
+/// service run (see `ClusterScheduler::run_service_replicated`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaChurnEvent {
+    /// Virtual timestamp of the change, seconds from service start.
+    pub at_s: f64,
+    /// Replica id the change applies to.
+    pub replica: u32,
+    /// Crash or restart.
+    pub kind: ReplicaChurnKind,
+}
+
 /// Deterministic fault decisions for one scheduler run.
 ///
 /// Implementations must be `Sync` (one injector serves every worker of a
@@ -149,6 +174,17 @@ pub trait FaultInjector: Sync {
     fn node_churn(&self) -> Vec<ChurnEvent> {
         Vec::new()
     }
+
+    /// The replica crash/restart schedule for an in-loop replicated
+    /// service run (`ClusterScheduler::run_service_replicated`).
+    /// Consulted once at service start, like [`node_churn`]; every event
+    /// fires at its virtual timestamp. The default is a stable replica
+    /// set.
+    ///
+    /// [`node_churn`]: FaultInjector::node_churn
+    fn replica_churn(&self) -> Vec<ReplicaChurnEvent> {
+        Vec::new()
+    }
 }
 
 /// The no-fault injector: every hook answers "healthy".
@@ -172,6 +208,7 @@ mod tests {
         assert!(!f.duplicate_message(7));
         assert!(!f.partitioned(0, 1, 2));
         assert!(f.node_churn().is_empty());
+        assert!(f.replica_churn().is_empty());
     }
 
     #[test]
@@ -183,6 +220,15 @@ mod tests {
         };
         let json = serde_json::to_string(&event).unwrap();
         let back: ChurnEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, event);
+
+        let event = ReplicaChurnEvent {
+            at_s: 30.0,
+            replica: 1,
+            kind: ReplicaChurnKind::Crash,
+        };
+        let json = serde_json::to_string(&event).unwrap();
+        let back: ReplicaChurnEvent = serde_json::from_str(&json).unwrap();
         assert_eq!(back, event);
     }
 

@@ -97,10 +97,12 @@ pub use cluster::{
     Placement,
 };
 pub use error::RuntimeError;
-pub use inject::{ChurnEvent, ChurnKind, FaultInjector, NoFaults};
+pub use inject::{
+    ChurnEvent, ChurnKind, FaultInjector, NoFaults, ReplicaChurnEvent, ReplicaChurnKind,
+};
 pub use net::{
-    ConvergeReport, NetError, Replica, ReplicaConfig, ReplicaSet, SimTransport, Stamp,
-    TransportStats, VersionVector,
+    ConvergeCulprit, ConvergeReport, NetError, Replica, ReplicaConfig, ReplicaSet, SimTransport,
+    Stamp, TransportStats, VersionVector,
 };
 pub use online::{
     ConvergedModel, DriftConfig, DriftDetector, DriftEvent, DriftPolicy, ModelPublication,
@@ -112,7 +114,9 @@ pub use repository::{
 };
 pub use sacct::{JobAccounting, JobRecord, OnlineActivity, RegionAccounting, RegionColumns};
 pub use savings::{compare_static_dynamic, BenchmarkComparison, ComparisonError, Savings};
-pub use service::{JobArrival, Percentiles, ServiceConfig, ServiceSummary};
+pub use service::{
+    GossipConfig, JobArrival, Percentiles, ReplicationSummary, ServiceConfig, ServiceSummary,
+};
 pub use session::{RegionExit, RuntimeSession};
 pub use shard::{CalibrationLatch, CalibrationOutcome, LatchStatus, SharedRepository};
 pub use tmm::TuningModelManager;

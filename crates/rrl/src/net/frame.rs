@@ -80,7 +80,36 @@ pub enum NetError {
     ConvergeTimeout {
         /// Virtual ticks spent before giving up.
         ticks: u64,
+        /// The link the set blames for the stall, when one can be named.
+        culprit: Option<ConvergeCulprit>,
     },
+}
+
+/// The link a [`NetError::ConvergeTimeout`] blames: the session that had
+/// burned the most retransmit budget (or was otherwise unsettled) when
+/// the tick budget ran out. Without this a hostile drop plan looks like
+/// a silent spin — the culprit names exactly which replica pair and FSM
+/// state to go look at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvergeCulprit {
+    /// Replica whose client session stalled.
+    pub replica: u32,
+    /// Peer the session was talking to.
+    pub peer: u32,
+    /// Session FSM state at the timeout.
+    pub state: &'static str,
+    /// Times that session exhausted its retransmit budget and reset.
+    pub resets: u64,
+}
+
+impl std::fmt::Display for ConvergeCulprit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "link {} -> {} stuck {} after {} session resets",
+            self.replica, self.peer, self.state, self.resets
+        )
+    }
 }
 
 impl std::fmt::Display for NetError {
@@ -107,8 +136,12 @@ impl std::fmt::Display for NetError {
             NetError::UnknownReplica { replica, replicas } => {
                 write!(f, "no replica {replica} in a set of {replicas}")
             }
-            NetError::ConvergeTimeout { ticks } => {
-                write!(f, "replica set failed to quiesce within {ticks} ticks")
+            NetError::ConvergeTimeout { ticks, culprit } => {
+                write!(f, "replica set failed to quiesce within {ticks} ticks")?;
+                if let Some(culprit) = culprit {
+                    write!(f, " ({culprit})")?;
+                }
+                Ok(())
             }
         }
     }
@@ -161,6 +194,14 @@ pub enum Message {
     PushModels {
         /// The entries being shipped.
         entries: Vec<ReplicatedModel>,
+    },
+    /// Client → responder: read-repair — send me your entries for these
+    /// applications (the requester missed in its local repository and a
+    /// peer digest says you hold a model). Answered with
+    /// [`Message::PushModels`] for whatever subset the responder holds.
+    PullModels {
+        /// Applications the requester wants filled in.
+        applications: Vec<String>,
     },
     /// Client → responder: tear the session down.
     CloseRequest,
@@ -264,6 +305,9 @@ mod tests {
                 }],
             },
             Message::PushModels { entries: vec![] },
+            Message::PullModels {
+                applications: vec!["miniMD".into(), "Lulesh".into()],
+            },
             Message::CloseRequest,
             Message::CloseAck,
         ];
@@ -374,7 +418,25 @@ mod tests {
                 },
                 "replica 7",
             ),
-            (NetError::ConvergeTimeout { ticks: 10 }, "10 ticks"),
+            (
+                NetError::ConvergeTimeout {
+                    ticks: 10,
+                    culprit: None,
+                },
+                "10 ticks",
+            ),
+            (
+                NetError::ConvergeTimeout {
+                    ticks: 10,
+                    culprit: Some(ConvergeCulprit {
+                        replica: 0,
+                        peer: 1,
+                        state: "Connecting",
+                        resets: 4,
+                    }),
+                },
+                "link 0 -> 1 stuck Connecting after 4 session resets",
+            ),
         ];
         for (error, needle) in cases {
             let text = error.to_string();

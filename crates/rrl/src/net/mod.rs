@@ -36,7 +36,7 @@ pub mod replica;
 pub mod session;
 pub mod transport;
 
-pub use frame::{decode, encode, Message, NetError, MAX_FRAME, PROTOCOL_VERSION};
+pub use frame::{decode, encode, ConvergeCulprit, Message, NetError, MAX_FRAME, PROTOCOL_VERSION};
 pub use reconcile::{ModelDigest, ReplicatedModel, Stamp, VersionVector};
 pub use replica::{ConvergeReport, Replica, ReplicaConfig, ReplicaSet, ReplicaStats};
 pub use session::{Session, SessionConfig, SessionEvent, SessionPoll, SessionState};

@@ -41,7 +41,7 @@ use crate::inject::FaultInjector;
 use crate::repository::{ModelSource, RepositoryHandle, RepositoryStats, ServedModel};
 use crate::shard::SharedRepository;
 
-use super::frame::{decode, encode, Message, NetError, PROTOCOL_VERSION};
+use super::frame::{decode, encode, ConvergeCulprit, Message, NetError, PROTOCOL_VERSION};
 use super::reconcile::{ModelDigest, ReplicatedModel, Stamp, VersionVector};
 use super::session::{Session, SessionConfig, SessionEvent, SessionPoll, SessionState};
 use super::transport::{SimTransport, TransportStats};
@@ -107,10 +107,26 @@ pub struct Replica {
     links: BTreeMap<u32, PeerLink>,
     /// Every stamp this replica assigned locally, in publication order —
     /// independent bookkeeping the invariant suite checks winners
-    /// against.
+    /// against. Survives a crash (it belongs to the test harness, not
+    /// the replica).
     published: Vec<(String, Stamp)>,
     stats: ReplicaStats,
     offer_timeout: u64,
+    /// Construction parameters, kept so a restart can rebuild the
+    /// repository from scratch.
+    config: ReplicaConfig,
+    /// Crashed: not pumping, not serving; inbound frames are discarded.
+    down: bool,
+    /// Highest version this replica itself assigned per application —
+    /// the one piece of durable state a restart keeps (a real node
+    /// persists its own publication counter precisely so an amnesiac
+    /// restart can never re-issue a stamp it already used; the model
+    /// payloads are the expensive in-memory state that is lost).
+    own_versions: BTreeMap<String, u32>,
+    /// Session counters folded in when a crash/restart replaces the
+    /// link sessions, so lifetime retransmit/reset totals stay monotone.
+    retired_retransmits: u64,
+    retired_resets: u64,
 }
 
 impl Replica {
@@ -144,7 +160,62 @@ impl Replica {
             published: Vec::new(),
             stats: ReplicaStats::default(),
             offer_timeout: config.session.timeout_ticks,
+            config: *config,
+            down: false,
+            own_versions: BTreeMap::new(),
+            retired_retransmits: 0,
+            retired_resets: 0,
         }
+    }
+
+    /// Whether this replica is currently crashed.
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Replace every link's client session with a fresh closed one
+    /// (crash semantics: a connection does not survive either endpoint
+    /// dying), folding the old counters into the retired totals.
+    fn reset_links(&mut self, dirty: bool) {
+        let session = self.config.session;
+        for (peer, link) in self.links.iter_mut() {
+            self.retired_retransmits += link.session.total_retransmits();
+            self.retired_resets += link.session.resets();
+            link.session = Session::new(*peer, session);
+            link.offer = None;
+            if dirty {
+                link.dirty = true;
+            }
+        }
+    }
+
+    /// Drop the session to one peer that just crashed.
+    fn drop_session_to(&mut self, peer: u32) {
+        let session = self.config.session;
+        if let Some(link) = self.links.get_mut(&peer) {
+            self.retired_retransmits += link.session.total_retransmits();
+            self.retired_resets += link.session.resets();
+            link.session = Session::new(peer, session);
+            link.offer = None;
+        }
+    }
+
+    /// Restart after a crash: a fresh empty repository, log and version
+    /// vector; every link born dirty again so the first gossip rounds
+    /// replay the fleet's winners back in. Only the durable own-version
+    /// counter (and the harness-side publication history) survives.
+    fn rebuild(&mut self) {
+        let config = self.config;
+        let mut repo = SharedRepository::new(config.shards).with_capacity(config.capacity);
+        if let Some(fallback) = config.fallback {
+            repo = repo.with_fallback(fallback);
+        }
+        self.repo = repo;
+        self.log.clear();
+        self.log_rev = 0;
+        self.vv = VersionVector::new();
+        self.reset_links(true);
+        self.down = false;
     }
 
     /// This replica's id.
@@ -187,8 +258,17 @@ impl Replica {
         model: &TuningModel,
         expected: Vec<(String, f64)>,
     ) -> Stamp {
+        // Past everything observed *and* past every version this replica
+        // ever assigned itself — after an amnesiac restart the version
+        // vector is empty, but re-issuing an old stamp with new content
+        // would make two replicas disagree forever on that stamp's entry.
+        let version = self
+            .vv
+            .next_version(&bench.name)
+            .max(self.own_versions.get(&bench.name).copied().unwrap_or(0) + 1);
+        self.own_versions.insert(bench.name.clone(), version);
         let stamp = Stamp {
-            version: self.vv.next_version(&bench.name),
+            version,
             publisher: self.id,
         };
         let entry = ReplicatedModel {
@@ -273,6 +353,18 @@ impl Replica {
                     self.apply_remote(entry);
                 }
                 None
+            }
+            Message::PullModels { applications } => {
+                // Read-repair: ship whatever subset of the requested
+                // applications this replica holds. The requester installs
+                // them through the ordinary `PushModels` path, so the
+                // stamp discipline (and dirty-flag gossip onwards) is
+                // identical to anti-entropy sync.
+                let entries: Vec<ReplicatedModel> = applications
+                    .iter()
+                    .filter_map(|app| self.log.get(app).cloned())
+                    .collect();
+                (!entries.is_empty()).then_some(Message::PushModels { entries })
             }
             Message::CloseRequest => Some(Message::CloseAck),
             // Client-side messages never reach the responder path.
@@ -485,6 +577,7 @@ impl<'a> ReplicaSet<'a> {
             if self.transport.now() - start >= self.max_ticks {
                 return Err(NetError::ConvergeTimeout {
                     ticks: self.transport.now() - start,
+                    culprit: self.blame(false),
                 });
             }
             self.pump(false)?;
@@ -502,6 +595,7 @@ impl<'a> ReplicaSet<'a> {
             if self.transport.now() - start >= self.max_ticks {
                 return Err(NetError::ConvergeTimeout {
                     ticks: self.transport.now() - start,
+                    culprit: self.blame(true),
                 });
             }
             self.pump(true)?;
@@ -524,6 +618,8 @@ impl<'a> ReplicaSet<'a> {
         for r in &self.replicas {
             applied += r.stats.applied;
             superseded += r.stats.superseded;
+            retransmits += r.retired_retransmits;
+            resets += r.retired_resets;
             for link in r.links.values() {
                 retransmits += link.session.total_retransmits();
                 resets += link.session.resets();
@@ -542,7 +638,18 @@ impl<'a> ReplicaSet<'a> {
     /// One outbound sweep: connects, offers, retransmits — or, in the
     /// teardown phase, closes.
     fn pump(&mut self, teardown: bool) -> Result<(), NetError> {
+        for id in 0..self.replicas.len() as u32 {
+            if !self.replicas[id as usize].down {
+                self.pump_one(id, teardown)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// One replica's outbound sweep: connects, offers, retransmits.
+    fn pump_one(&mut self, id: u32, teardown: bool) -> Result<(), NetError> {
         let now = self.transport.now();
+        let down: Vec<bool> = self.replicas.iter().map(|r| r.down).collect();
         let Self {
             replicas,
             transport,
@@ -550,11 +657,18 @@ impl<'a> ReplicaSet<'a> {
             ..
         } = self;
         let recorder = *recorder;
-        for replica in replicas.iter_mut() {
+        {
+            let replica = &mut replicas[id as usize];
             let from = replica.id;
             let log_rev = replica.log_rev;
             let digests = replica.digests();
             for (peer, link) in replica.links.iter_mut() {
+                // Links to a crashed peer stay Closed (its sessions were
+                // dropped with it) — reconnecting before it restarts
+                // would only burn retransmit budget.
+                if down[*peer as usize] {
+                    continue;
+                }
                 let mut outbound: Vec<Message> = Vec::new();
                 match link.session.state() {
                     SessionState::Closed => {
@@ -626,6 +740,11 @@ impl<'a> ReplicaSet<'a> {
         } = self;
         let recorder = *recorder;
         for replica in replicas.iter_mut() {
+            if replica.down {
+                // A crashed replica's inbox drains into the void.
+                while transport.recv(replica.id).is_some() {}
+                continue;
+            }
             while let Some(delivery) = transport.recv(replica.id) {
                 let (message, _) = decode(&delivery.payload)?;
                 let reply = match message {
@@ -633,6 +752,7 @@ impl<'a> ReplicaSet<'a> {
                     | Message::NegotiateRequest { .. }
                     | Message::DigestOffer { .. }
                     | Message::PushModels { .. }
+                    | Message::PullModels { .. }
                     | Message::CloseRequest => replica.respond(message),
                     Message::DigestReply { want, entries } => {
                         replica.handle_reply(delivery.from, want, entries)
@@ -649,9 +769,15 @@ impl<'a> ReplicaSet<'a> {
                         }
                         match event {
                             SessionEvent::Advanced { reply } => Some(reply),
-                            SessionEvent::Established
-                            | SessionEvent::Closed
-                            | SessionEvent::Ignored => None,
+                            SessionEvent::Established => {
+                                // A fresh establishment cannot trust any
+                                // previously confirmed parity (the peer
+                                // may have crashed and restarted empty
+                                // since) — re-offer before going quiet.
+                                link.dirty = true;
+                                None
+                            }
+                            SessionEvent::Closed | SessionEvent::Ignored => None,
                         }
                     }
                 };
@@ -664,24 +790,241 @@ impl<'a> ReplicaSet<'a> {
     }
 
     /// Sync-phase fixpoint: nothing in flight, nothing queued, every
-    /// session established, every link clean with no offer pending.
-    fn quiesced(&self) -> bool {
+    /// alive↔alive session established, every such link clean with no
+    /// offer pending. Links touching a crashed replica are exempt —
+    /// they sit Closed until it restarts. This is also the in-loop
+    /// gossip parking condition: when it holds, a service run stops
+    /// scheduling rounds until a publication, read-repair request or
+    /// replica restart re-arms the cadence.
+    pub fn quiesced(&self) -> bool {
         self.transport.quiet()
-            && self.replicas.iter().all(|r| {
-                r.links.values().all(|l| {
-                    l.session.state() == SessionState::Established && !l.dirty && l.offer.is_none()
+            && self.replicas.iter().filter(|r| !r.down).all(|r| {
+                r.links.iter().all(|(peer, l)| {
+                    self.replicas[*peer as usize].down
+                        || (l.session.state() == SessionState::Established
+                            && !l.dirty
+                            && l.offer.is_none())
                 })
             })
     }
 
-    /// Teardown fixpoint: nothing moving and every session closed.
+    /// Teardown fixpoint: nothing moving and every alive↔alive session
+    /// closed.
     fn torn_down(&self) -> bool {
         self.transport.quiet()
-            && self.replicas.iter().all(|r| {
-                r.links
-                    .values()
-                    .all(|l| l.session.state() == SessionState::Closed)
+            && self.replicas.iter().filter(|r| !r.down).all(|r| {
+                r.links.iter().all(|(peer, l)| {
+                    self.replicas[*peer as usize].down || l.session.state() == SessionState::Closed
+                })
             })
+    }
+
+    /// Name the link most to blame for a stalled converge: among links
+    /// not yet settled for the phase, the one that burned the most
+    /// retransmit budget (ties resolve to the lowest `(replica, peer)`
+    /// pair via deterministic iteration order). `None` only when every
+    /// link is settled — i.e. the stall is in-flight transport traffic.
+    fn blame(&self, teardown: bool) -> Option<ConvergeCulprit> {
+        let mut worst: Option<ConvergeCulprit> = None;
+        for r in self.replicas.iter().filter(|r| !r.down) {
+            for (peer, link) in &r.links {
+                if self.replicas[*peer as usize].down {
+                    continue;
+                }
+                let settled = if teardown {
+                    link.session.state() == SessionState::Closed
+                } else {
+                    link.session.state() == SessionState::Established
+                        && !link.dirty
+                        && link.offer.is_none()
+                };
+                if settled {
+                    continue;
+                }
+                let resets = link.session.resets();
+                let better = match &worst {
+                    None => true,
+                    Some(w) => resets > w.resets,
+                };
+                if better {
+                    worst = Some(ConvergeCulprit {
+                        replica: r.id,
+                        peer: *peer,
+                        state: link.session.state().name(),
+                        resets,
+                    });
+                }
+            }
+        }
+        worst
+    }
+
+    /// One in-loop gossip round: an outbound sweep for every alive
+    /// replica (connects, digest offers, retransmits), one transport
+    /// tick, one delivery sweep. The building block
+    /// [`ClusterScheduler`](crate::ClusterScheduler) service runs
+    /// schedule on a virtual-time cadence — session timeouts are
+    /// therefore measured in *rounds*, not in service microseconds.
+    pub fn gossip_round(&mut self) -> Result<(), NetError> {
+        self.pump(false)?;
+        self.deliver_round()
+    }
+
+    /// One replica's outbound gossip sweep — the per-replica half of a
+    /// [`ReplicaSet::gossip_round`], exposed so the in-loop service can
+    /// drive one gossip process event per replica on the kernel. A
+    /// crashed (or unknown) replica pumps nothing.
+    pub fn pump_replica(&mut self, id: u32) -> Result<(), NetError> {
+        if self.replicas.get(id as usize).is_none_or(|r| r.down) {
+            return Ok(());
+        }
+        self.pump_one(id, false)
+    }
+
+    /// The delivery half of a gossip round: advance the transport one
+    /// tick and drain every inbox. Pairs with [`ReplicaSet::pump_replica`]
+    /// sweeps to make one full round.
+    pub fn deliver_round(&mut self) -> Result<(), NetError> {
+        self.transport.step();
+        self.deliver()
+    }
+
+    /// Name the link most to blame for a sync-phase stall — the in-loop
+    /// service's counterpart of the [`ReplicaSet::converge`] timeout
+    /// culprit. `None` when every alive↔alive link is settled (the
+    /// stall, if any, is in-flight transport traffic).
+    pub fn stall_culprit(&self) -> Option<ConvergeCulprit> {
+        self.blame(false)
+    }
+
+    /// Crash replica `id`: its repository, log and version vector are
+    /// as good as lost (they are rebuilt empty on restart), every
+    /// session touching it — both directions — dies with it, and frames
+    /// already in flight toward it will drain into the void.
+    pub fn crash(&mut self, id: u32) -> Result<(), NetError> {
+        let replicas = self.replicas.len();
+        if id as usize >= replicas {
+            return Err(NetError::UnknownReplica {
+                replica: id,
+                replicas,
+            });
+        }
+        for replica in self.replicas.iter_mut() {
+            if replica.id == id {
+                replica.down = true;
+                replica.reset_links(false);
+            } else {
+                replica.drop_session_to(id);
+            }
+        }
+        while self.transport.recv(id).is_some() {}
+        if let Some(recorder) = self.recorder {
+            recorder.counter_add_at("net.replica_crashes", id, 1);
+        }
+        Ok(())
+    }
+
+    /// Restart a crashed replica: it rejoins with an empty repository,
+    /// log and version vector, every link born dirty, and catches up
+    /// from its peers over the next gossip rounds (its empty offers make
+    /// peers push everything back; the fresh-establishment dirty rule
+    /// makes peers re-offer their side too). Only the durable
+    /// own-version counter survives, so it can never re-issue a stamp.
+    pub fn restart(&mut self, id: u32) -> Result<(), NetError> {
+        let replicas = self.replicas.len();
+        let Some(replica) = self.replicas.get_mut(id as usize) else {
+            return Err(NetError::UnknownReplica {
+                replica: id,
+                replicas,
+            });
+        };
+        replica.rebuild();
+        while self.transport.recv(id).is_some() {}
+        if let Some(recorder) = self.recorder {
+            recorder.counter_add_at("net.replica_restarts", id, 1);
+        }
+        Ok(())
+    }
+
+    /// Whether replica `id` is currently crashed (unknown ids read as
+    /// down).
+    pub fn is_down(&self, id: u32) -> bool {
+        self.replicas.get(id as usize).is_none_or(|r| r.down)
+    }
+
+    /// Whether replica `id` currently holds a replicated entry for the
+    /// application.
+    pub fn holds(&self, id: u32, application: &str) -> bool {
+        self.replicas
+            .get(id as usize)
+            .is_some_and(|r| r.log.contains_key(application))
+    }
+
+    /// Read-repair candidates for a miss on replica `from`: alive peers
+    /// with an `Established` session from `from` whose log holds the
+    /// application, in deterministic id order.
+    pub fn repair_candidates(&self, from: u32, application: &str) -> Vec<u32> {
+        let Some(requester) = self.replicas.get(from as usize) else {
+            return Vec::new();
+        };
+        if requester.down {
+            return Vec::new();
+        }
+        requester
+            .links
+            .iter()
+            .filter(|(peer, link)| {
+                !self.replicas[**peer as usize].down
+                    && link.session.state() == SessionState::Established
+                    && self.replicas[**peer as usize].log.contains_key(application)
+            })
+            .map(|(peer, _)| *peer)
+            .collect()
+    }
+
+    /// Send a targeted read-repair [`Message::PullModels`] from `from`
+    /// to `target`. The reply is an ordinary `PushModels` installed on
+    /// delivery, so repaired entries then gossip onward like any other
+    /// install.
+    pub fn send_pull(
+        &mut self,
+        from: u32,
+        target: u32,
+        applications: Vec<String>,
+    ) -> Result<(), NetError> {
+        let replicas = self.replicas.len();
+        for id in [from, target] {
+            if id as usize >= replicas {
+                return Err(NetError::UnknownReplica {
+                    replica: id,
+                    replicas,
+                });
+            }
+        }
+        self.transport
+            .send(from, target, encode(&Message::PullModels { applications }))?;
+        Ok(())
+    }
+
+    /// Replication counters summed over every replica's lifetime
+    /// (crash/restart does not reset them).
+    pub fn replication_totals(&self) -> ReplicaStats {
+        let mut totals = ReplicaStats::default();
+        for r in &self.replicas {
+            totals.applied += r.stats.applied;
+            totals.superseded += r.stats.superseded;
+        }
+        totals
+    }
+
+    /// Transport counters accumulated over the set's lifetime.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.transport.stats()
+    }
+
+    /// The current virtual transport tick.
+    pub fn ticks(&self) -> u64 {
+        self.transport.now()
     }
 }
 
@@ -915,6 +1258,10 @@ mod tests {
             })
         ));
         assert!(s.replica_mut(2).is_err());
+        assert!(s.crash(9).is_err());
+        assert!(s.restart(9).is_err());
+        assert!(s.send_pull(0, 9, vec![]).is_err());
+        assert!(s.is_down(9), "unknown ids read as down");
         assert_eq!(s.len(), 2);
         assert!(!s.is_empty());
     }
@@ -939,7 +1286,245 @@ mod tests {
             .unwrap()
             .publish_model(&bench("miniMD"), &model("miniMD", 2500), vec![]);
         let err = set.converge().expect_err("no path between the replicas");
-        assert!(matches!(err, NetError::ConvergeTimeout { ticks: 256 }));
+        assert!(matches!(
+            err,
+            NetError::ConvergeTimeout {
+                ticks: 256,
+                culprit: Some(_)
+            }
+        ));
+    }
+
+    /// Every frame is dropped — the hostile plan that used to burn the
+    /// whole tick budget in silent connect/reset cycles.
+    struct DropEverything;
+
+    impl crate::inject::FaultInjector for DropEverything {
+        fn drop_message(&self, _msg_id: u64) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn exhausted_retransmit_budget_names_the_culprit_link() {
+        let config = ReplicaConfig {
+            max_ticks: 200,
+            ..ReplicaConfig::default()
+        };
+        let mut set = ReplicaSet::new(2, config).with_faults(&DropEverything);
+        set.replica_mut(0)
+            .unwrap()
+            .publish_model(&bench("miniMD"), &model("miniMD", 2500), vec![]);
+        let err = set.converge().expect_err("every frame is dropped");
+        let NetError::ConvergeTimeout { ticks, culprit } = err else {
+            panic!("expected a converge timeout, got {err:?}");
+        };
+        assert_eq!(ticks, 200);
+        let culprit = culprit.expect("a stalled link is named, not a silent spin");
+        assert_eq!(
+            (culprit.replica, culprit.peer),
+            (0, 1),
+            "ties resolve to the lowest link deterministically"
+        );
+        assert_eq!(culprit.state, "Connecting", "stuck mid-handshake");
+        assert!(
+            culprit.resets >= 1,
+            "the FSM demonstrably burned its retransmit budget: {culprit}"
+        );
+    }
+
+    #[test]
+    fn install_between_offer_snapshot_and_reply_keeps_the_link_dirty() {
+        let mut set = set(2);
+        let budget = 1_000;
+        // Reach the synced fixpoint so the next offer is a pure parity
+        // probe (empty digests, empty reply).
+        while !set.quiesced() {
+            assert!(set.transport.now() < budget, "setup sync stalled");
+            set.pump(false).unwrap();
+            set.transport.step();
+            set.deliver().unwrap();
+        }
+        // Force a parity probe on 0 → 1; its offer snapshots the current
+        // log revision and departs.
+        set.replicas[0].links.get_mut(&1).unwrap().dirty = true;
+        set.pump(false).unwrap();
+        let offered_rev = set.replicas[0].links[&1]
+            .offer
+            .expect("offer outstanding")
+            .1;
+        assert_eq!(offered_rev, set.replicas[0].log_rev);
+        // An install lands *between* the snapshot and the reply — the
+        // interleaving in-loop gossip produces whenever a job publishes
+        // at the same virtual instant a round is in flight.
+        set.replicas[0].publish_model(&bench("miniMD"), &model("miniMD", 2500), vec![]);
+        assert!(set.replicas[0].log_rev > offered_rev);
+        // Deliver the stale (empty, rev-matched-to-the-old-revision)
+        // reply without pumping anything new out.
+        while set.replicas[0].links[&1].offer.is_some() {
+            assert!(set.transport.now() < budget, "reply never arrived");
+            set.transport.step();
+            set.deliver().unwrap();
+        }
+        assert!(
+            set.replicas[0].links[&1].dirty,
+            "a stale parity confirmation must not clear the dirty flag"
+        );
+        // And the raced entry still propagates on the next rounds.
+        while !set.quiesced() {
+            assert!(set.transport.now() < budget, "post-race sync stalled");
+            set.pump(false).unwrap();
+            set.transport.step();
+            set.deliver().unwrap();
+        }
+        assert!(set.converged());
+        assert!(set.holds(1, "miniMD"), "the entry was not stranded");
+    }
+
+    /// Aggressive duplication and per-message delay: teardown ACKs and
+    /// handshake answers get redelivered long after their exchange
+    /// completed.
+    struct DupDelay;
+
+    impl crate::inject::FaultInjector for DupDelay {
+        fn delay_ticks(&self, msg_id: u64) -> u64 {
+            msg_id % 5
+        }
+        fn duplicate_message(&self, msg_id: u64) -> bool {
+            msg_id.is_multiple_of(2)
+        }
+    }
+
+    #[test]
+    fn duplicated_delayed_frames_after_bye_cannot_corrupt_teardown() {
+        let run = || {
+            let mut set = ReplicaSet::new(3, ReplicaConfig::default()).with_faults(&DupDelay);
+            set.replica_mut(0).unwrap().publish_model(
+                &bench("miniMD"),
+                &model("miniMD", 2500),
+                vec![],
+            );
+            let report = set.converge().expect("duplicates cannot stop teardown");
+            assert!(set.converged());
+            assert!(
+                set.session_states()
+                    .iter()
+                    .all(|(_, _, s)| *s == SessionState::Closed),
+                "every session reached Closed despite post-Bye redeliveries"
+            );
+            (report, set.session_states())
+        };
+        let (report_a, states_a) = run();
+        let (report_b, states_b) = run();
+        assert_eq!(report_a, report_b, "bit-identical across reruns");
+        assert_eq!(states_a, states_b);
+        assert!(report_a.transport.duplicated > 0, "duplicates fired");
+    }
+
+    #[test]
+    fn crash_and_restart_catches_up_from_peers() {
+        let mut set = set(3);
+        let sync = |set: &mut ReplicaSet<'_>| {
+            let deadline = set.ticks() + 2_000;
+            while !set.quiesced() {
+                assert!(set.ticks() < deadline, "gossip rounds stalled");
+                set.gossip_round().unwrap();
+            }
+        };
+        set.replica_mut(0)
+            .unwrap()
+            .publish_model(&bench("miniMD"), &model("miniMD", 2500), vec![]);
+        sync(&mut set);
+        assert!(set.holds(1, "miniMD"));
+
+        set.crash(1).unwrap();
+        assert!(set.is_down(1));
+        // Publications keep flowing among the survivors.
+        set.replica_mut(0)
+            .unwrap()
+            .publish_model(&bench("Lulesh"), &model("Lulesh", 2300), vec![]);
+        sync(&mut set);
+        assert!(set.holds(2, "Lulesh"));
+        assert!(!set.holds(1, "Lulesh"), "a crashed replica learns nothing");
+
+        set.restart(1).unwrap();
+        assert!(!set.is_down(1));
+        assert!(!set.holds(1, "miniMD"), "a restarted replica rejoins empty");
+        sync(&mut set);
+        assert!(set.converged(), "catch-up replayed both entries");
+        assert!(set.holds(1, "miniMD") && set.holds(1, "Lulesh"));
+        let served = set
+            .replica_mut(1)
+            .unwrap()
+            .serve(&bench("miniMD"))
+            .expect("served after catch-up");
+        assert_eq!(served.source, ModelSource::Replicated);
+    }
+
+    #[test]
+    fn restarted_replica_never_reissues_a_stamp() {
+        let mut set = set(2);
+        let b = bench("miniMD");
+        let first = set
+            .replica_mut(0)
+            .unwrap()
+            .publish_model(&b, &model("miniMD", 2500), vec![]);
+        let deadline = 2_000;
+        while !set.quiesced() {
+            assert!(set.ticks() < deadline);
+            set.gossip_round().unwrap();
+        }
+        set.crash(0).unwrap();
+        set.restart(0).unwrap();
+        // Republish *before* catch-up: the version vector is empty, but
+        // the durable own-version counter still forbids stamp reuse.
+        let second = set
+            .replica_mut(0)
+            .unwrap()
+            .publish_model(&b, &model("miniMD", 2700), vec![]);
+        assert!(
+            second.version > first.version,
+            "{second:?} must beat {first:?}"
+        );
+        while !set.quiesced() {
+            assert!(set.ticks() < deadline);
+            set.gossip_round().unwrap();
+        }
+        assert!(set.converged());
+        for id in 0..2 {
+            assert_eq!(set.replica(id).unwrap().model_map()["miniMD"].stamp, second);
+        }
+    }
+
+    #[test]
+    fn pull_models_repairs_a_miss_without_a_gossip_round() {
+        let mut set = set(2);
+        // Establish sessions over empty logs.
+        let deadline = 2_000;
+        while !set.quiesced() {
+            assert!(set.ticks() < deadline);
+            set.gossip_round().unwrap();
+        }
+        let b = bench("miniMD");
+        set.replica_mut(0)
+            .unwrap()
+            .publish_model(&b, &model("miniMD", 2500), vec![]);
+        // Replica 1 misses; its established peer 0 holds the entry.
+        assert_eq!(set.repair_candidates(1, "miniMD"), vec![0]);
+        assert!(set.repair_candidates(1, "nonexistent").is_empty());
+        set.send_pull(1, 0, vec!["miniMD".into()]).unwrap();
+        // Transport ticks only — no pump, so nothing but the pull/push
+        // pair can move the entry.
+        for _ in 0..4 {
+            set.transport.step();
+            set.deliver().unwrap();
+        }
+        assert!(
+            set.holds(1, "miniMD"),
+            "the targeted pull repaired the miss"
+        );
+        let served = set.replica_mut(1).unwrap().serve(&b).expect("repaired hit");
+        assert_eq!(served.source, ModelSource::Replicated);
     }
 
     #[test]

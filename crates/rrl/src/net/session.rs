@@ -458,6 +458,73 @@ mod tests {
         assert_eq!(s.resets(), 0, "best-effort close is not a reset");
     }
 
+    /// Satellite audit: once `CloseRequest` ("Bye") has been sent, no
+    /// flood of duplicated, delayed or stale frames may corrupt the
+    /// teardown — the state stays monotone through `Closing`: the only
+    /// transition out is `CloseAck → Closed`, and `Closed` is absorbing
+    /// until the caller reconnects.
+    #[test]
+    fn post_bye_floods_keep_teardown_monotone() {
+        // Everything the replica layer ever feeds a client session,
+        // including the answers a slow transport redelivers after the
+        // close: handshake accepts, a reject, and close acks.
+        let frames = [
+            Message::ConnectAccept,
+            Message::NegotiateAccept {
+                version: PROTOCOL_VERSION,
+            },
+            Message::NegotiateReject { supported: 0 },
+            Message::CloseAck,
+        ];
+        for seed in 0..128u64 {
+            let mut s = Session::new(1, SessionConfig::default());
+            s.connect(0).unwrap();
+            s.on_message(&Message::ConnectAccept, 1).unwrap();
+            s.on_message(
+                &Message::NegotiateAccept {
+                    version: PROTOCOL_VERSION,
+                },
+                2,
+            )
+            .unwrap();
+            s.close(3).unwrap();
+            assert_eq!(s.state(), SessionState::Closing);
+
+            // A seeded splitmix64 walk: duplicates and arbitrary
+            // interleavings of every frame kind, delivered post-Bye.
+            let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            for step in 0..32u64 {
+                x ^= x >> 30;
+                x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x ^= x >> 27;
+                let frame = &frames[(x % frames.len() as u64) as usize];
+                let before = s.state();
+                let event = s
+                    .on_message(frame, 4 + step)
+                    .expect("post-Bye frames never error the FSM");
+                let after = s.state();
+                match (before, after) {
+                    (SessionState::Closing, SessionState::Closing) => {
+                        assert_eq!(event, SessionEvent::Ignored);
+                    }
+                    (SessionState::Closing, SessionState::Closed) => {
+                        assert_eq!(frame, &Message::CloseAck);
+                        assert_eq!(event, SessionEvent::Closed);
+                    }
+                    (SessionState::Closed, SessionState::Closed) => {
+                        assert_eq!(event, SessionEvent::Ignored);
+                    }
+                    other => panic!("teardown went non-monotone: {other:?} on {frame:?}"),
+                }
+            }
+            // Whatever the flood did, the timer cannot resurrect the
+            // exchange after the ack landed.
+            if s.state() == SessionState::Closed {
+                assert_eq!(s.poll(1_000), SessionPoll::Idle);
+            }
+        }
+    }
+
     #[test]
     fn established_session_has_no_timer() {
         let mut s = Session::new(1, quick());

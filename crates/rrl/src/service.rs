@@ -43,6 +43,28 @@
 //!
 //! When every node is unavailable, placement falls back to the full
 //! fleet — a degraded cluster keeps serving rather than stranding jobs.
+//!
+//! ## In-loop replication
+//!
+//! [`ClusterScheduler::run_service_replicated`] serves the trace from a
+//! [`ReplicaSet`] instead of one repository and makes anti-entropy
+//! *concurrent with serving*: gossip rounds are first-class kernel
+//! events interleaved with job events on a virtual-time cadence
+//! ([`GossipConfig::cadence_us`]) — one gossip-sweep event per replica
+//! plus a delivery event per round, exactly the
+//! [`ReplicaSet::gossip_round`] decomposition — rather than a batch
+//! [`ReplicaSet::converge`] after the run. The cadence parks when the
+//! set quiesces and re-arms on any publication, read-repair pull,
+//! replica crash or restart, so an idle service schedules no busywork.
+//! Replicas crash and restart mid-run on the
+//! [`FaultInjector::replica_churn`] schedule (nodes served by a crashed
+//! replica re-route to the next alive one; a restarted replica rejoins
+//! empty and catches up over the following rounds), and a repository
+//! miss an established peer can serve triggers a targeted
+//! [`PullModels`](crate::net::Message::PullModels) read-repair instead
+//! of a cold calibration. Everything stays a pure function of the trace
+//! and the seeds: reruns are bit-identical, and the converged model
+//! maps match the batch `converge` oracle's winners.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -56,8 +78,9 @@ use crate::cluster::{
     ClusterScheduler, EventOutcome, JobDriver, OnlineTuning, Placement, QueuedJob, State,
 };
 use crate::error::RuntimeError;
-use crate::inject::{ChurnEvent, ChurnKind, FaultInjector};
-use crate::repository::{ModelKey, RepositoryHandle};
+use crate::inject::{ChurnEvent, ChurnKind, FaultInjector, ReplicaChurnEvent, ReplicaChurnKind};
+use crate::net::{NetError, ReplicaSet};
+use crate::repository::{ModelKey, RepositoryHandle, RepositoryStats, ServedModel};
 
 /// One job of a service trace: what to run, and *when* it arrives.
 #[derive(Debug, Clone)]
@@ -76,6 +99,69 @@ pub struct ServiceConfig {
     /// Concurrent sessions a node runs before arrivals queue on it
     /// (0 = unbounded, the sweep loops' implicit behavior).
     pub slots_per_node: usize,
+}
+
+/// Knobs for in-loop anti-entropy gossip
+/// ([`ClusterScheduler::run_service_replicated`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GossipConfig {
+    /// Virtual microseconds between gossip rounds (each round is one
+    /// transport tick, so session timeouts are measured in rounds).
+    /// Clamped to ≥ 1.
+    pub cadence_us: Time,
+    /// Repair repository misses from established peers with a targeted
+    /// pull instead of running a cold calibration.
+    pub read_repair: bool,
+    /// Gossip rounds a read-repair waits before re-pulling from the
+    /// next candidate (a pull or its reply can be dropped). Clamped to
+    /// ≥ 1.
+    pub repair_retry_rounds: u64,
+    /// Hard bound on total gossip rounds for one run — a plan the set
+    /// can never settle under (e.g. a partition that never heals) must
+    /// error with the stalled link named, not spin forever.
+    pub max_rounds: u64,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        Self {
+            cadence_us: 5_000,
+            read_repair: true,
+            repair_retry_rounds: 8,
+            max_rounds: 100_000,
+        }
+    }
+}
+
+/// What in-loop replication did during one
+/// [`ClusterScheduler::run_service_replicated`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicationSummary {
+    /// Replicas in the set.
+    pub replicas: u32,
+    /// Gossip rounds driven by the kernel (cadence parks when the set
+    /// quiesces, so this counts useful rounds, not elapsed time).
+    pub gossip_rounds: u64,
+    /// Remote entries applied, summed over replicas' lifetimes.
+    pub applied: u64,
+    /// Stale remote entries ignored, summed over replicas' lifetimes.
+    pub superseded: u64,
+    /// Targeted read-repair pulls sent (including retries).
+    pub repair_pulls: u64,
+    /// Jobs released from read-repair parking.
+    pub repair_released: u64,
+    /// Read-repairs abandoned to cold calibration (no reachable holder
+    /// within the attempt budget).
+    pub repair_abandoned: u64,
+    /// Replica crashes honored from the churn schedule.
+    pub crashes: u64,
+    /// Replica restarts honored from the churn schedule.
+    pub restarts: u64,
+    /// Every replica held an identical model map when the run ended.
+    pub converged: bool,
+    /// The set was quiescent (nothing in flight, every alive↔alive link
+    /// established and clean) when the run ended.
+    pub net_idle: bool,
 }
 
 /// p50/p95/p99/max of one sampled distribution.
@@ -135,6 +221,9 @@ pub struct ServiceSummary {
     /// series (`*_ns`) keep their sample counts but have their values
     /// blanked, so two recorded runs of the same inputs compare equal.
     pub telemetry: Option<obskit::MetricsSnapshot>,
+    /// In-loop replication counters, present for
+    /// [`ClusterScheduler::run_service_replicated`] runs.
+    pub replication: Option<ReplicationSummary>,
 }
 
 impl ServiceSummary {
@@ -160,6 +249,24 @@ impl ServiceSummary {
             out.push_str(&format!(
                 "churn: {} events, {} queued jobs re-placed, {} running jobs truncated\n",
                 self.churn_events, self.replaced_jobs, self.truncated_jobs,
+            ));
+        }
+        if let Some(r) = &self.replication {
+            out.push_str(&format!(
+                "replication: {} replicas, {} gossip rounds, {} applied / {} stale, \
+                 {} read-repair pulls ({} jobs released, {} abandoned), \
+                 {} crashes / {} restarts, converged {}, net idle {}\n",
+                r.replicas,
+                r.gossip_rounds,
+                r.applied,
+                r.superseded,
+                r.repair_pulls,
+                r.repair_released,
+                r.repair_abandoned,
+                r.crashes,
+                r.restarts,
+                r.converged,
+                r.net_idle,
             ));
         }
         if let Some(telemetry) = &self.telemetry {
@@ -190,6 +297,18 @@ enum ServiceEvent {
     Resolve(ModelKey),
     /// Churn schedule entry `idx` fires.
     Churn(usize),
+    /// Replica `id` runs its outbound gossip sweep for the current
+    /// round (its per-replica gossip process).
+    Gossip(u32),
+    /// The round's delivery half: one transport tick, every inbox
+    /// drained, read-repair progress checked, next round armed unless
+    /// the set has quiesced.
+    NetDeliver,
+    /// Replica churn schedule entry `idx` fires (crash or restart).
+    ReplicaChurn(usize),
+    /// A read-repair landed (or was abandoned): release its parked
+    /// waiters through the normal admission decision.
+    Repaired(ModelKey),
 }
 
 /// Convert seconds of virtual time to the kernel's microsecond ticks.
@@ -197,8 +316,160 @@ fn to_us(seconds: f64) -> Time {
     (seconds.max(0.0) * 1e6).round() as Time
 }
 
+/// Read-repair pulls a stalled repair retries before abandoning the
+/// key to cold calibration (its only holder may have crashed for good).
+const REPAIR_ATTEMPT_BUDGET: u64 = 8;
+
+/// One read-repair in flight: who pulls, who waits.
+struct RepairState {
+    /// The replica performing the pull (re-evaluated every round — the
+    /// original may crash and its waiters re-route).
+    replica: u32,
+    /// Parked jobs waiting for the entry to land.
+    waiters: Vec<usize>,
+    /// Pulls sent so far; rotates the candidate target on retries.
+    attempts: u64,
+    /// Gossip rounds elapsed since the last pull.
+    rounds_waiting: u64,
+}
+
+/// In-loop replication state: the replica set plus the service-side
+/// gossip scheduling and read-repair bookkeeping.
+struct NetState<'r, 'a> {
+    set: &'r mut ReplicaSet<'a>,
+    cadence_us: Time,
+    read_repair: bool,
+    repair_retry_rounds: u64,
+    max_rounds: u64,
+    /// Node index → home replica (`node % replicas`); while the home is
+    /// crashed the node is served by the next alive id, wrapping.
+    node_replica: Vec<u32>,
+    replica_churn: Vec<ReplicaChurnEvent>,
+    /// Misses with a repair pull in flight.
+    repairing: BTreeMap<ModelKey, RepairState>,
+    /// Keys that already went through one repair cycle: a repeat miss
+    /// means the pulled entry did not satisfy the lookup (e.g. a
+    /// fingerprint mismatch under exact matching), so it cold-calibrates
+    /// instead of looping the repair path.
+    repaired: BTreeSet<ModelKey>,
+    /// A gossip round is armed and not yet delivered.
+    round_scheduled: bool,
+    rounds: u64,
+    repair_pulls: u64,
+    repair_released: u64,
+    repair_abandoned: u64,
+    crashes: u64,
+    restarts: u64,
+}
+
+impl NetState<'_, '_> {
+    /// The replica serving `node`: its home replica, or the next alive
+    /// id (wrapping) while the home is crashed. Falls back to the home
+    /// replica when the whole set is down.
+    fn serving_replica(&self, node: usize) -> u32 {
+        let n = self.set.len() as u32;
+        let home = self.node_replica[node];
+        (0..n)
+            .map(|off| (home + off) % n)
+            .find(|&id| !self.set.is_down(id))
+            .unwrap_or(home)
+    }
+}
+
+/// How a service run reaches its tuning models: one repository handle
+/// ([`ClusterScheduler::run_service`]) or a replica per node group with
+/// in-loop anti-entropy ([`ClusterScheduler::run_service_replicated`]).
+enum RepoAccess<'r, 'a> {
+    Single(&'r mut dyn RepositoryHandle),
+    Replicated(NetState<'r, 'a>),
+}
+
+impl RepoAccess<'_, '_> {
+    fn serve(&mut self, node: usize, bench: &BenchmarkSpec) -> Result<ServedModel, RuntimeError> {
+        match self {
+            RepoAccess::Single(repo) => repo.serve(bench),
+            RepoAccess::Replicated(net) => {
+                let id = net.serving_replica(node);
+                net.set
+                    .replica_mut(id)
+                    .map_err(RuntimeError::Replication)?
+                    .serve(bench)
+            }
+        }
+    }
+
+    fn serve_stored(
+        &mut self,
+        node: usize,
+        bench: &BenchmarkSpec,
+    ) -> Result<Option<ServedModel>, RuntimeError> {
+        match self {
+            RepoAccess::Single(repo) => repo.serve_stored(bench),
+            RepoAccess::Replicated(net) => {
+                let id = net.serving_replica(node);
+                net.set
+                    .replica_mut(id)
+                    .map_err(RuntimeError::Replication)?
+                    .serve_stored(bench)
+            }
+        }
+    }
+
+    fn serve_fallback(
+        &mut self,
+        node: usize,
+        bench: &BenchmarkSpec,
+    ) -> Result<ServedModel, RuntimeError> {
+        match self {
+            RepoAccess::Single(repo) => repo.serve_fallback(bench),
+            RepoAccess::Replicated(net) => {
+                let id = net.serving_replica(node);
+                net.set
+                    .replica_mut(id)
+                    .map_err(RuntimeError::Replication)?
+                    .serve_fallback(bench)
+            }
+        }
+    }
+
+    fn publish_online(
+        &mut self,
+        node: usize,
+        bench: &BenchmarkSpec,
+        model: &ptf::TuningModel,
+        expected: Vec<(String, f64)>,
+    ) -> u32 {
+        match self {
+            RepoAccess::Single(repo) => repo.publish_online(bench, model, expected),
+            RepoAccess::Replicated(net) => {
+                let id = net.serving_replica(node);
+                net.set
+                    .replica_mut(id)
+                    .expect("serving replica is in range by construction")
+                    .publish_online(bench, model, expected)
+            }
+        }
+    }
+
+    /// Serving statistics — summed over replicas for a replicated run
+    /// (a restarted replica's counters restart with its repository).
+    fn stats(&self) -> RepositoryStats {
+        match self {
+            RepoAccess::Single(repo) => repo.stats(),
+            RepoAccess::Replicated(net) => {
+                let mut total = RepositoryStats::default();
+                for id in 0..net.set.len() as u32 {
+                    let stats = net.set.replica(id).expect("id in range").stats();
+                    total = total.merged(&stats);
+                }
+                total
+            }
+        }
+    }
+}
+
 /// The [`Process`] impl: all mutable state of one service run.
-struct ServiceRun<'b, 'r> {
+struct ServiceRun<'b, 'r, 'a> {
     cluster: &'b Cluster,
     placement: Placement,
     online: Option<OnlineTuning<'b>>,
@@ -207,7 +478,7 @@ struct ServiceRun<'b, 'r> {
     /// `recorder.enabled()`, hoisted once: every instrumentation site
     /// branches on a bool instead of making a virtual call.
     record: bool,
-    repo: &'r mut dyn RepositoryHandle,
+    repo: RepoAccess<'r, 'a>,
     slots_per_node: usize,
 
     jobs: &'b [QueuedJob],
@@ -245,7 +516,7 @@ struct ServiceRun<'b, 'r> {
     monotone: bool,
 }
 
-impl ServiceRun<'_, '_> {
+impl ServiceRun<'_, '_, '_> {
     fn has_capacity(&self, node: usize) -> bool {
         self.slots_per_node == 0 || self.running[node] < self.slots_per_node
     }
@@ -314,14 +585,15 @@ impl ServiceRun<'_, '_> {
     ) -> Result<bool, RuntimeError> {
         let jobs = self.jobs;
         let job = &jobs[i];
-        let node = self.cluster.node(self.placements[i]);
+        let node_idx = self.placements[i];
+        let node = self.cluster.node(node_idx);
         let faults = self.faults;
         let (state, rejection) = match self.online {
-            None => start_plain(job, node, self.repo.serve(&job.bench)?)?,
+            None => start_plain(job, node, self.repo.serve(node_idx, &job.bench)?)?,
             Some(online) => {
                 let key = ModelKey::of(&job.bench);
                 if self.failed.contains(&key) {
-                    start_plain(job, node, self.repo.serve(&job.bench)?)?
+                    start_plain(job, node, self.repo.serve(node_idx, &job.bench)?)?
                 } else if let Some(waiters) = self.calibrating.get_mut(&key) {
                     waiters.push(i);
                     self.parked_us[i] = now;
@@ -330,13 +602,16 @@ impl ServiceRun<'_, '_> {
                     }
                     return Ok(false);
                 } else {
-                    match self.repo.serve_stored(&job.bench)? {
+                    match self.repo.serve_stored(node_idx, &job.bench)? {
                         Some(served) => start_monitor(job, node, served, online.config, faults)?,
                         None => {
-                            let repo = &mut *self.repo;
+                            if self.try_read_repair(i, now, sink)? {
+                                return Ok(false);
+                            }
+                            let repo = &mut self.repo;
                             let (state, rejection, calibration_failed) =
                                 start_calibration(job, node, &online, faults, &mut |b| {
-                                    repo.serve_fallback(b)
+                                    repo.serve_fallback(node_idx, b)
                                 })?;
                             if calibration_failed {
                                 self.failed.insert(key);
@@ -410,11 +685,17 @@ impl ServiceRun<'_, '_> {
         let job = &jobs[i];
         if self.drivers[i].finished_iterations() {
             let was_online = matches!(self.drivers[i].state, State::Online(_));
-            let node = self.cluster.node(self.placements[i]);
+            let node_idx = self.placements[i];
+            let node = self.cluster.node(node_idx);
             let Self { drivers, repo, .. } = self;
             drivers[i].finish(job, node, &mut |bench, publication| {
-                repo.publish_online(bench, &publication.model, publication.expected)
+                repo.publish_online(node_idx, bench, &publication.model, publication.expected)
             })?;
+            // A publication must gossip out while the service keeps
+            // running: re-arm the cadence if it had parked.
+            if self.drivers[i].published_version.is_some() {
+                self.ensure_round(now, sink);
+            }
             // The key is only needed off the hot path: plain serves step
             // to completion without ever touching the calibration latch.
             if was_online {
@@ -439,7 +720,6 @@ impl ServiceRun<'_, '_> {
                     sink.schedule_at(now, ServiceEvent::Resolve(key));
                 }
             }
-            let node_idx = self.placements[i];
             self.running[node_idx] -= 1;
             let latency = now - self.arrivals_us[i];
             self.latency.record(latency);
@@ -491,7 +771,6 @@ impl ServiceRun<'_, '_> {
         now: Time,
         sink: &mut dyn EventSink<ServiceEvent>,
     ) -> Result<(), RuntimeError> {
-        let jobs = self.jobs;
         let waiters = self.calibrating.remove(key).unwrap_or_default();
         for i in waiters {
             if self.record {
@@ -499,24 +778,254 @@ impl ServiceRun<'_, '_> {
                 self.recorder
                     .histogram_record("service.calib_wait_us", now - self.parked_us[i]);
             }
-            if !self.available[self.placements[i]] && self.available.iter().any(|&a| a) {
-                self.load[self.placements[i]] -= estimated_work(&jobs[i].bench);
-                self.replaced += 1;
-                if self.record {
-                    self.recorder.counter_add("service.replaced", 1);
-                }
-                self.place_or_queue(i, now, sink)?;
+            self.release_waiter(i, now, sink)?;
+        }
+        Ok(())
+    }
+
+    /// Re-admit one parked job through the normal admission decision,
+    /// re-placing it if its node churned away and queueing it when the
+    /// node's slots are full.
+    fn release_waiter(
+        &mut self,
+        i: usize,
+        now: Time,
+        sink: &mut dyn EventSink<ServiceEvent>,
+    ) -> Result<(), RuntimeError> {
+        let jobs = self.jobs;
+        if !self.available[self.placements[i]] && self.available.iter().any(|&a| a) {
+            self.load[self.placements[i]] -= estimated_work(&jobs[i].bench);
+            self.replaced += 1;
+            if self.record {
+                self.recorder.counter_add("service.replaced", 1);
+            }
+            return self.place_or_queue(i, now, sink);
+        }
+        let node = self.placements[i];
+        self.enqueued_us[i] = now;
+        if self.has_capacity(node) {
+            self.admit(i, now, sink)?;
+        } else {
+            self.queues[node].push_back(i);
+            self.sample_depth(node);
+        }
+        Ok(())
+    }
+
+    /// Try to repair a repository miss from an established peer instead
+    /// of cold-calibrating: park the job behind (or join) a targeted
+    /// pull. Returns whether the job parked. A key that already went
+    /// through one repair cycle is never repaired again — its repeat
+    /// miss means the pulled entry did not satisfy the lookup.
+    fn try_read_repair(
+        &mut self,
+        i: usize,
+        now: Time,
+        sink: &mut dyn EventSink<ServiceEvent>,
+    ) -> Result<bool, RuntimeError> {
+        let key = ModelKey::of(&self.jobs[i].bench);
+        let node = self.placements[i];
+        let RepoAccess::Replicated(net) = &mut self.repo else {
+            return Ok(false);
+        };
+        if !net.read_repair || net.repaired.contains(&key) {
+            return Ok(false);
+        }
+        if let Some(repair) = net.repairing.get_mut(&key) {
+            repair.waiters.push(i);
+            self.parked_us[i] = now;
+            if self.record {
+                self.recorder.counter_add("service.repair_parked", 1);
+            }
+            return Ok(true);
+        }
+        let replica = net.serving_replica(node);
+        let candidates = net.set.repair_candidates(replica, &key.application);
+        let Some(&target) = candidates.first() else {
+            return Ok(false); // no established peer holds it: cold path
+        };
+        net.set
+            .send_pull(replica, target, vec![key.application.clone()])
+            .map_err(RuntimeError::Replication)?;
+        net.repair_pulls += 1;
+        net.repairing.insert(
+            key,
+            RepairState {
+                replica,
+                waiters: vec![i],
+                attempts: 1,
+                rounds_waiting: 0,
+            },
+        );
+        self.parked_us[i] = now;
+        if self.record {
+            self.recorder.counter_add("service.repair_pulls", 1);
+            self.recorder.counter_add("service.repair_parked", 1);
+        }
+        self.ensure_round(now, sink);
+        Ok(true)
+    }
+
+    /// Arm the next gossip round if none is armed: one
+    /// [`ServiceEvent::Gossip`] sweep per replica plus the
+    /// [`ServiceEvent::NetDeliver`] delivery half, one cadence from now.
+    /// No-op for unreplicated runs.
+    fn ensure_round(&mut self, now: Time, sink: &mut dyn EventSink<ServiceEvent>) {
+        let RepoAccess::Replicated(net) = &mut self.repo else {
+            return;
+        };
+        if net.round_scheduled {
+            return;
+        }
+        net.round_scheduled = true;
+        let at = now + net.cadence_us;
+        for id in 0..net.set.len() as u32 {
+            sink.schedule_at(at, ServiceEvent::Gossip(id));
+        }
+        sink.schedule_at(at, ServiceEvent::NetDeliver);
+    }
+
+    /// The delivery half of a gossip round: advance the transport one
+    /// tick, drain every inbox, check read-repair progress, and arm the
+    /// next round unless the set quiesced with nothing left to repair.
+    fn net_deliver(
+        &mut self,
+        now: Time,
+        sink: &mut dyn EventSink<ServiceEvent>,
+    ) -> Result<(), RuntimeError> {
+        let RepoAccess::Replicated(net) = &mut self.repo else {
+            return Ok(());
+        };
+        net.round_scheduled = false;
+        net.rounds += 1;
+        if net.rounds > net.max_rounds {
+            return Err(RuntimeError::Replication(NetError::ConvergeTimeout {
+                ticks: net.set.ticks(),
+                culprit: net.set.stall_culprit(),
+            }));
+        }
+        net.set.deliver_round().map_err(RuntimeError::Replication)?;
+        // Read-repair progress. A pull that landed releases its waiters
+        // via a same-instant event (so admissions order behind
+        // everything already due); a stalled one re-pulls on the retry
+        // cadence, rotating targets; one out of budget is abandoned to
+        // cold calibration.
+        let keys: Vec<ModelKey> = net.repairing.keys().cloned().collect();
+        for key in keys {
+            let first_waiter = net.repairing[&key].waiters[0];
+            let replica = net.serving_replica(self.placements[first_waiter]);
+            let repair = net.repairing.get_mut(&key).expect("key is present");
+            repair.replica = replica;
+            if net.set.holds(replica, &key.application) {
+                sink.schedule_at(now, ServiceEvent::Repaired(key));
                 continue;
             }
-            let node = self.placements[i];
-            self.enqueued_us[i] = now;
-            if self.has_capacity(node) {
-                self.admit(i, now, sink)?;
-            } else {
-                self.queues[node].push_back(i);
-                self.sample_depth(node);
+            repair.rounds_waiting += 1;
+            if repair.rounds_waiting >= net.repair_retry_rounds {
+                repair.rounds_waiting = 0;
+                repair.attempts += 1;
+                if repair.attempts > REPAIR_ATTEMPT_BUDGET {
+                    net.repair_abandoned += 1;
+                    sink.schedule_at(now, ServiceEvent::Repaired(key));
+                    continue;
+                }
+                let candidates = net.set.repair_candidates(replica, &key.application);
+                let pick = (repair.attempts - 1) as usize % candidates.len().max(1);
+                if let Some(&target) = candidates.get(pick) {
+                    net.set
+                        .send_pull(replica, target, vec![key.application.clone()])
+                        .map_err(RuntimeError::Replication)?;
+                    net.repair_pulls += 1;
+                    if self.record {
+                        self.recorder.counter_add("service.repair_pulls", 1);
+                    }
+                }
             }
         }
+        // Park the cadence when there is nothing left to move; any
+        // publication, pull, crash or restart re-arms it.
+        let settled = net.set.quiesced() && net.repairing.is_empty();
+        if !settled {
+            self.ensure_round(now, sink);
+        }
+        Ok(())
+    }
+
+    /// Release a read-repair's parked waiters — the repair landed or
+    /// was abandoned. The key is marked repaired either way, so a
+    /// repeat miss cold-calibrates instead of looping.
+    fn repaired(
+        &mut self,
+        key: &ModelKey,
+        now: Time,
+        sink: &mut dyn EventSink<ServiceEvent>,
+    ) -> Result<(), RuntimeError> {
+        let RepoAccess::Replicated(net) = &mut self.repo else {
+            return Ok(());
+        };
+        let Some(repair) = net.repairing.remove(key) else {
+            return Ok(());
+        };
+        net.repaired.insert(key.clone());
+        net.repair_released += repair.waiters.len() as u64;
+        for i in repair.waiters {
+            if self.record {
+                self.recorder.counter_add("service.repair_released", 1);
+                self.recorder
+                    .histogram_record("service.repair_wait_us", now - self.parked_us[i]);
+            }
+            self.release_waiter(i, now, sink)?;
+        }
+        Ok(())
+    }
+
+    /// Honor one replica churn entry: a crash tears the replica's
+    /// sessions down and stops it serving (its nodes re-route to the
+    /// next alive replica); a restart rejoins it empty to catch up over
+    /// the following rounds. Out-of-set ids and redundant events are
+    /// ignored.
+    fn replica_churn_event(
+        &mut self,
+        idx: usize,
+        now: Time,
+        sink: &mut dyn EventSink<ServiceEvent>,
+    ) -> Result<(), RuntimeError> {
+        let RepoAccess::Replicated(net) = &mut self.repo else {
+            return Ok(());
+        };
+        let event = net.replica_churn[idx];
+        if event.replica as usize >= net.set.len() {
+            return Ok(());
+        }
+        match event.kind {
+            ReplicaChurnKind::Crash => {
+                if net.set.is_down(event.replica) {
+                    return Ok(());
+                }
+                net.set
+                    .crash(event.replica)
+                    .map_err(RuntimeError::Replication)?;
+                net.crashes += 1;
+            }
+            ReplicaChurnKind::Restart => {
+                if !net.set.is_down(event.replica) {
+                    return Ok(());
+                }
+                net.set
+                    .restart(event.replica)
+                    .map_err(RuntimeError::Replication)?;
+                net.restarts += 1;
+            }
+        }
+        if self.record {
+            let name = match event.kind {
+                ReplicaChurnKind::Crash => "replica.crash",
+                ReplicaChurnKind::Restart => "replica.restart",
+            };
+            self.recorder.instant(Track::net(), name, now);
+        }
+        // Survivors re-settle after a crash; a rejoiner catches up.
+        self.ensure_round(now, sink);
         Ok(())
     }
 
@@ -603,7 +1112,7 @@ impl ServiceRun<'_, '_> {
     }
 }
 
-impl Process<ServiceEvent> for ServiceRun<'_, '_> {
+impl Process<ServiceEvent> for ServiceRun<'_, '_, '_> {
     type Error = RuntimeError;
 
     fn handle(
@@ -626,6 +1135,17 @@ impl Process<ServiceEvent> for ServiceRun<'_, '_> {
             ServiceEvent::Step(i) => self.step(i, now, sink),
             ServiceEvent::Resolve(key) => self.resolve(&key, now, sink),
             ServiceEvent::Churn(idx) => self.churn_event(idx, now, sink),
+            ServiceEvent::Gossip(id) => {
+                if let RepoAccess::Replicated(net) = &mut self.repo {
+                    net.set
+                        .pump_replica(id)
+                        .map_err(RuntimeError::Replication)?;
+                }
+                Ok(())
+            }
+            ServiceEvent::NetDeliver => self.net_deliver(now, sink),
+            ServiceEvent::ReplicaChurn(idx) => self.replica_churn_event(idx, now, sink),
+            ServiceEvent::Repaired(key) => self.repaired(&key, now, sink),
         }
     }
 }
@@ -655,6 +1175,62 @@ impl ClusterScheduler<'_> {
         repo: &mut dyn RepositoryHandle,
         config: &ServiceConfig,
     ) -> Result<ClusterReport, RuntimeError> {
+        self.run_service_impl(trace, RepoAccess::Single(repo), config)
+    }
+
+    /// Run `trace` as a long-lived service over a [`ReplicaSet`], with
+    /// anti-entropy gossip *in the loop*: rounds are kernel events on
+    /// the [`GossipConfig::cadence_us`] virtual-time cadence,
+    /// interleaved with job events, parking when the set quiesces and
+    /// re-arming on publications, read-repair pulls and replica churn.
+    /// Each node serves from its home replica (`node % replicas`),
+    /// re-routing to the next alive id while the home is crashed on the
+    /// [`FaultInjector::replica_churn`] schedule. A repository miss an
+    /// established peer can serve becomes a targeted read-repair pull
+    /// instead of a cold calibration (when [`GossipConfig::read_repair`]
+    /// is on). By the time the run returns, the set has converged
+    /// in-loop — no trailing [`ReplicaSet::converge`] is needed — and
+    /// the report's [`ServiceSummary::replication`] says what the net
+    /// layer did. Reruns over the same inputs are bit-identical.
+    pub fn run_service_replicated(
+        &mut self,
+        trace: Vec<JobArrival>,
+        set: &mut ReplicaSet<'_>,
+        gossip: &GossipConfig,
+        config: &ServiceConfig,
+    ) -> Result<ClusterReport, RuntimeError> {
+        let replicas = set.len() as u32;
+        let node_replica: Vec<u32> = (0..self.cluster().len())
+            .map(|n| n as u32 % replicas)
+            .collect();
+        let replica_churn = self.faults().map(|f| f.replica_churn()).unwrap_or_default();
+        let net = NetState {
+            set,
+            cadence_us: gossip.cadence_us.max(1),
+            read_repair: gossip.read_repair,
+            repair_retry_rounds: gossip.repair_retry_rounds.max(1),
+            max_rounds: gossip.max_rounds.max(1),
+            node_replica,
+            replica_churn,
+            repairing: BTreeMap::new(),
+            repaired: BTreeSet::new(),
+            round_scheduled: false,
+            rounds: 0,
+            repair_pulls: 0,
+            repair_released: 0,
+            repair_abandoned: 0,
+            crashes: 0,
+            restarts: 0,
+        };
+        self.run_service_impl(trace, RepoAccess::Replicated(net), config)
+    }
+
+    fn run_service_impl(
+        &mut self,
+        trace: Vec<JobArrival>,
+        mut repo: RepoAccess<'_, '_>,
+        config: &ServiceConfig,
+    ) -> Result<ClusterReport, RuntimeError> {
         let cluster = self.cluster();
         let faults = self.faults();
         let recorder = self.recorder();
@@ -677,6 +1253,19 @@ impl ClusterScheduler<'_> {
         }
         for (idx, event) in churn.iter().enumerate() {
             kernel.schedule_at(to_us(event.at_s), ServiceEvent::Churn(idx));
+        }
+        if let RepoAccess::Replicated(net) = &mut repo {
+            for (idx, event) in net.replica_churn.iter().enumerate() {
+                kernel.schedule_at(to_us(event.at_s), ServiceEvent::ReplicaChurn(idx));
+            }
+            // The first rounds run immediately: sessions establish
+            // before the trace warms up, so read-repair has established
+            // peers to pull from by the first miss.
+            net.round_scheduled = true;
+            for id in 0..net.set.len() as u32 {
+                kernel.schedule_at(0, ServiceEvent::Gossip(id));
+            }
+            kernel.schedule_at(0, ServiceEvent::NetDeliver);
         }
 
         let mut run = ServiceRun {
@@ -720,6 +1309,25 @@ impl ClusterScheduler<'_> {
             });
         }
 
+        let replication = match &run.repo {
+            RepoAccess::Single(_) => None,
+            RepoAccess::Replicated(net) => {
+                let totals = net.set.replication_totals();
+                Some(ReplicationSummary {
+                    replicas: net.set.len() as u32,
+                    gossip_rounds: net.rounds,
+                    applied: totals.applied,
+                    superseded: totals.superseded,
+                    repair_pulls: net.repair_pulls,
+                    repair_released: net.repair_released,
+                    repair_abandoned: net.repair_abandoned,
+                    crashes: net.crashes,
+                    restarts: net.restarts,
+                    converged: net.set.converged(),
+                    net_idle: net.set.quiesced(),
+                })
+            }
+        };
         let summary = ServiceSummary {
             makespan_s: run.finished_at_us as f64 / 1e6,
             latency_s: Percentiles::from_sketch(&run.latency, 1e-6),
@@ -732,6 +1340,7 @@ impl ClusterScheduler<'_> {
             quiesced: kernel.is_quiesced(),
             monotone: run.monotone,
             telemetry: recorder.telemetry(),
+            replication,
         };
         let ServiceRun {
             drivers,

@@ -14,7 +14,7 @@ use crate::scenario::{
     PartitionWindow, RepositorySpec, Scenario, StoredModel, WorkloadSpec,
 };
 use kernels::BenchmarkSpec;
-use rrl::{ChurnEvent, ChurnKind};
+use rrl::{ChurnEvent, ChurnKind, ReplicaChurnEvent, ReplicaChurnKind};
 use simnode::SystemConfig;
 
 /// SplitMix64 — the generator's only randomness primitive.
@@ -102,6 +102,20 @@ pub struct GeneratorConfig {
     /// for the discrete-event service run (0 — the default — keeps the
     /// fleet stable and every pre-churn profile byte-identical).
     pub churn_events: usize,
+    /// Drive the replicated execution **in-loop**: draw a gossip cadence
+    /// (and read-repair) into the [`NetPlan`] so the runner also runs
+    /// the trace through `run_service_replicated`, gossiping between job
+    /// events instead of converging in one trailing batch. `false` — the
+    /// default — keeps every pre-in-loop profile byte-identical. Only
+    /// meaningful with `replicas > 0`.
+    pub inloop_gossip: bool,
+    /// Replica crash/restart pairs scheduled across the arrival window
+    /// for the in-loop replicated run (0 — the default — keeps the
+    /// replica set stable and every pre-in-loop profile byte-identical).
+    /// Each event is a crash followed by a later restart of the same
+    /// replica, and windows never overlap, so at most one replica is
+    /// down at a time and the set always heals.
+    pub replica_churn_events: usize,
 }
 
 impl Default for GeneratorConfig {
@@ -121,6 +135,8 @@ impl Default for GeneratorConfig {
             workers: 4,
             replicas: 0,
             churn_events: 0,
+            inloop_gossip: false,
+            replica_churn_events: 0,
         }
     }
 }
@@ -154,10 +170,17 @@ impl ScenarioGenerator {
         // Drawn strictly after every pre-existing draw: profiles with
         // `replicas: 0` consume the identical splitmix64 prefix and so
         // generate the identical scenario they always did.
-        let net = self.gen_net(&mut rng);
+        let mut net = self.gen_net(&mut rng);
         // Same append-only rule for the churn draws: `churn_events: 0`
         // profiles never reach them.
         faults.churn = self.gen_churn(&jobs, &mut rng);
+        // And for the in-loop draws, appended after everything above:
+        // `inloop_gossip: false` / `replica_churn_events: 0` profiles
+        // consume the identical splitmix64 prefix they always did.
+        if let Some(plan) = net.as_mut() {
+            self.gen_inloop(plan, &mut rng);
+        }
+        faults.replica_churn = self.gen_replica_churn(&jobs, &mut rng);
 
         let publishing = workloads.len();
         let capacity = if cfg.eviction_pressure {
@@ -211,6 +234,10 @@ impl ScenarioGenerator {
                 to_tick: 8 + below(rng, 25) as u64,
                 isolated: vec![below(rng, replicas as usize) as u32],
             }],
+            // Drawn later (append-only) by `gen_inloop`, so profiles
+            // without the knob stay byte-identical.
+            gossip_cadence_us: 0,
+            read_repair: false,
         })
     }
 
@@ -244,6 +271,49 @@ impl ScenarioGenerator {
                     kind: ChurnKind::Join,
                 });
             }
+        }
+        events
+    }
+
+    /// The in-loop gossip knobs: a cadence short enough that several
+    /// rounds interleave with the job events, read-repair on — the
+    /// serving-while-syncing regime the in-loop invariant exists for.
+    fn gen_inloop(&self, plan: &mut NetPlan, rng: &mut u64) {
+        if !self.cfg.inloop_gossip {
+            return;
+        }
+        plan.gossip_cadence_us = 2_000 + below(rng, 8) as u64 * 1_000;
+        plan.read_repair = true;
+    }
+
+    /// A replica crash/restart schedule for the in-loop run: each draw
+    /// is a crash followed by a later restart of the same replica, and
+    /// windows are laid out sequentially (the next crash starts after
+    /// the previous restart) so at most one replica is down at a time —
+    /// the set degrades but never loses quorum for serving.
+    fn gen_replica_churn(&self, jobs: &[JobSpec], rng: &mut u64) -> Vec<ReplicaChurnEvent> {
+        if self.cfg.replica_churn_events == 0 || self.cfg.replicas == 0 {
+            return Vec::new();
+        }
+        let replicas = self.cfg.replicas.max(2);
+        let span = jobs.last().map_or(1.0, |j| j.arrival_s.max(1.0));
+        let mut events = Vec::with_capacity(self.cfg.replica_churn_events * 2);
+        let mut cursor = 0.0f64;
+        for _ in 0..self.cfg.replica_churn_events {
+            let replica = below(rng, replicas) as u32;
+            let crash_at = cursor + unit(rng) * span * 0.3;
+            let restart_at = crash_at + 0.05 + unit(rng) * span * 0.2;
+            events.push(ReplicaChurnEvent {
+                at_s: crash_at,
+                replica,
+                kind: ReplicaChurnKind::Crash,
+            });
+            events.push(ReplicaChurnEvent {
+                at_s: restart_at,
+                replica,
+                kind: ReplicaChurnKind::Restart,
+            });
+            cursor = restart_at;
         }
         events
     }
@@ -542,6 +612,57 @@ mod tests {
         assert_eq!(s.net, plain.net);
         assert_eq!(s.faults.aborts, plain.faults.aborts);
         assert_eq!(s.faults.drift_shifts, plain.faults.drift_shifts);
+    }
+
+    #[test]
+    fn inloop_knobs_gate_the_gossip_cadence_and_replica_churn() {
+        use rrl::ReplicaChurnKind;
+        let batch = ScenarioGenerator::new(GeneratorConfig {
+            replicas: 3,
+            ..GeneratorConfig::default()
+        })
+        .generate(23);
+        let plan = batch.net.as_ref().expect("replicas draw a plan");
+        assert_eq!(plan.gossip_cadence_us, 0, "batch-only by default");
+        assert!(!plan.read_repair);
+        assert!(batch.faults.replica_churn.is_empty());
+
+        let generator = ScenarioGenerator::new(GeneratorConfig {
+            replicas: 3,
+            inloop_gossip: true,
+            replica_churn_events: 2,
+            ..GeneratorConfig::default()
+        });
+        let s = generator.generate(23);
+        let plan = s.net.as_ref().expect("replicas draw a plan");
+        assert!((2_000..10_000).contains(&plan.gossip_cadence_us));
+        assert!(plan.read_repair);
+        assert_eq!(s.faults.replica_churn.len(), 4, "two crash/restart pairs");
+        // Every crash heals: the next event restarts the same replica
+        // later, and windows never overlap (timestamps are monotone).
+        for pair in s.faults.replica_churn.chunks(2) {
+            assert_eq!(pair[0].kind, ReplicaChurnKind::Crash);
+            assert_eq!(pair[1].kind, ReplicaChurnKind::Restart);
+            assert_eq!(pair[0].replica, pair[1].replica);
+            assert!((pair[0].replica as usize) < 3);
+            assert!(pair[1].at_s > pair[0].at_s);
+        }
+        for pair in s.faults.replica_churn.windows(2) {
+            assert!(pair[1].at_s >= pair[0].at_s);
+        }
+        // The schedule rides the replay artefact like everything else.
+        assert_eq!(Scenario::from_replay(&s.to_replay()).unwrap(), s);
+        // And the draws are appended, not interleaved: everything the
+        // batch-only profile generated is untouched.
+        assert_eq!(s.jobs, batch.jobs);
+        assert_eq!(s.fleet, batch.fleet);
+        assert_eq!(s.workloads, batch.workloads);
+        assert_eq!(s.faults.aborts, batch.faults.aborts);
+        assert_eq!(s.faults.churn, batch.faults.churn);
+        assert_eq!(
+            s.net.as_ref().map(|n| n.fault_seed),
+            batch.net.as_ref().map(|n| n.fault_seed)
+        );
     }
 
     #[test]

@@ -43,6 +43,14 @@
 //!    backend: the lock-free read path is a pure optimisation, never a
 //!    semantic change. Skipped under declared eviction pressure for the
 //!    same reason as invariant 2.
+//! 9. **In-loop replication** (scenarios whose `NetPlan` sets a gossip
+//!    cadence) — the replicated *service* run, gossiping between job
+//!    events with replica crash/restart and read-repair live, ends
+//!    converged with the net idle and **no trailing batch pass**; it is
+//!    bit-identical across reruns; every replica holds the same map; a
+//!    batch `converge()` run afterwards as the oracle finds nothing left
+//!    to apply; and (churn-free schedules) each application's winner is
+//!    the stamp-maximal publication.
 //!
 //! A failed invariant comes back as a [`Failure`] whose `Display`
 //! includes a `testkit::replay("…")` line — paste it into a test (or
@@ -140,6 +148,15 @@ pub enum Violation {
         /// What diverged, with rendered values where per-field.
         detail: String,
     },
+    /// The in-loop replicated service run broke its contract: it ended
+    /// unconverged (or with the net not idle), a rerun diverged, the
+    /// replicas' maps disagreed, a trailing batch `converge()` oracle
+    /// still had entries to apply, or a converged winner was not the
+    /// stamp-maximal publication.
+    InloopReplication {
+        /// What broke, with rendered values where per-field.
+        detail: String,
+    },
     /// The snapshot-serving parallel run diverged from the `RwLock`
     /// oracle run of the identical trace — the lock-free read path
     /// changed an observable result.
@@ -170,6 +187,7 @@ impl Violation {
             Violation::ReplicationNondeterminism => "replication-nondeterminism",
             Violation::EventCore { .. } => "event-core",
             Violation::Observability { .. } => "observability",
+            Violation::InloopReplication { .. } => "inloop-replication",
             Violation::SnapshotCoherence { .. } => "snapshot-coherence",
         }
     }
@@ -223,6 +241,9 @@ impl fmt::Display for Violation {
             Violation::Observability { detail } => {
                 write!(f, "observability invariant violated: {detail}")
             }
+            Violation::InloopReplication { detail } => {
+                write!(f, "in-loop replication invariant violated: {detail}")
+            }
             Violation::SnapshotCoherence { job, field, detail } => write!(
                 f,
                 "snapshot coherence violated for `{job}` ({field}): {detail}"
@@ -272,6 +293,9 @@ pub fn check(scenario: &Scenario) -> Result<ScenarioRun, Box<Failure>> {
     observability(&run).map_err(|v| fail(scenario, v))?;
     if let Some(replicated) = &run.replicated {
         replication(replicated).map_err(|v| fail(scenario, v))?;
+    }
+    if let Some(inloop) = &run.inloop {
+        inloop_replication(scenario, inloop).map_err(|v| fail(scenario, v))?;
     }
     Ok(run)
 }
@@ -784,6 +808,98 @@ fn replication(run: &ReplicatedRun) -> Result<(), Violation> {
     Ok(())
 }
 
+/// Invariant 9: in-loop anti-entropy finishes the job *inside* the
+/// service loop. The run must end converged with the net idle (no
+/// trailing batch pass), be a pure function of the scenario (the rerun
+/// is bit-identical), leave every replica on the same model map, and
+/// agree with the batch `converge()` oracle — which, run afterwards,
+/// must find nothing left to apply. On churn-free schedules the
+/// converged winners must also be the stamp-maximal publications; with
+/// replica crashes in the schedule that history check is skipped, since
+/// a crash may legitimately lose a publication that never got a gossip
+/// round (the oracle no-op check still holds either way).
+fn inloop_replication(
+    scenario: &Scenario,
+    run: &crate::runner::InloopRun,
+) -> Result<(), Violation> {
+    if !run.reruns_match {
+        return Err(Violation::InloopReplication {
+            detail: "a rerun of the same scenario produced a different outcome".into(),
+        });
+    }
+    let Some(summary) = run.report.service.as_ref().and_then(|s| s.replication) else {
+        return Err(Violation::InloopReplication {
+            detail: "service report carries no ReplicationSummary".into(),
+        });
+    };
+    if !summary.converged {
+        return Err(Violation::InloopReplication {
+            detail: format!("run ended unconverged: {summary:?}"),
+        });
+    }
+    if !summary.net_idle {
+        return Err(Violation::InloopReplication {
+            detail: format!("net not idle at quiesce: {summary:?}"),
+        });
+    }
+    if summary.gossip_rounds == 0 {
+        return Err(Violation::InloopReplication {
+            detail: "no gossip round ever ran despite a nonzero cadence".into(),
+        });
+    }
+    let Some(first) = run.model_maps.first() else {
+        return Err(Violation::InloopReplication {
+            detail: "no replicas in the in-loop run".into(),
+        });
+    };
+    for (id, map) in run.model_maps.iter().enumerate().skip(1) {
+        if map != first {
+            let culprit = first
+                .iter()
+                .find(|(app, digest)| map.get(*app) != Some(digest))
+                .map(|(app, _)| app.clone())
+                .or_else(|| map.keys().find(|app| !first.contains_key(*app)).cloned());
+            return Err(Violation::InloopReplication {
+                detail: format!("replica {id} disagrees with replica 0 on {culprit:?}"),
+            });
+        }
+    }
+    if !run.oracle_noop {
+        return Err(Violation::InloopReplication {
+            detail: "batch converge() oracle still had entries to apply \
+                     (or changed a replica's map) after the in-loop run"
+                .into(),
+        });
+    }
+    if scenario.faults.replica_churn.is_empty() {
+        let mut expected: BTreeMap<&str, Stamp> = BTreeMap::new();
+        for (application, stamp) in &run.published {
+            let entry = expected.entry(application.as_str()).or_insert(*stamp);
+            *entry = (*entry).max(*stamp);
+        }
+        for (application, stamp) in &expected {
+            let held = first.get(*application).map(|digest| digest.stamp);
+            if held != Some(*stamp) {
+                return Err(Violation::InloopReplication {
+                    detail: format!(
+                        "wrong winner for `{application}`: expected stamp-maximal \
+                         {stamp}, converged map holds {held:?}"
+                    ),
+                });
+            }
+        }
+        if let Some(orphan) = first
+            .keys()
+            .find(|app| !expected.contains_key(app.as_str()))
+        {
+            return Err(Violation::InloopReplication {
+                detail: format!("converged entry `{orphan}` has no publication history"),
+            });
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -798,6 +914,11 @@ mod tests {
         };
         assert_eq!(v.kind(), "event-core");
         assert!(v.to_string().contains("clock regressed"));
+        let v = Violation::InloopReplication {
+            detail: "run ended unconverged".into(),
+        };
+        assert_eq!(v.kind(), "inloop-replication");
+        assert!(v.to_string().contains("unconverged"));
         let f = Failure {
             violation: v,
             replay: "{}".into(),

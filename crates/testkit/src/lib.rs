@@ -12,9 +12,12 @@
 //!   gaps, repository pressure, a [`FaultPlan`] of job aborts, refused
 //!   calibrations and mid-run drift shifts; the `replicas` knob adds a
 //!   [`NetPlan`] of message drops, duplicates, reorder jitter and
-//!   partition windows for the replicated execution, and the
+//!   partition windows for the replicated execution, the
 //!   `churn_events` knob adds a node join/drain/fail schedule for the
-//!   discrete-event service run.
+//!   discrete-event service run, and the `inloop_gossip` /
+//!   `replica_churn_events` knobs drive replication **in-loop** —
+//!   gossip between job events on a drawn cadence, read-repair, and a
+//!   replica crash/restart schedule.
 //! * [`scenario`] — the [`Scenario`] value itself: pure serialisable
 //!   data, from which fleets, repositories and the fault injector are
 //!   derived deterministically. [`Scenario::to_replay`] turns any
@@ -23,12 +26,15 @@
 //!   sequential, parallel *and* discrete-event service loops, with a
 //!   liveness [`Watchdog`] over the parallel run — plus, for scenarios
 //!   carrying a [`NetPlan`], twice through the replicated
-//!   [`rrl::ReplicaSet`] path ([`ReplicatedRun`]).
+//!   [`rrl::ReplicaSet`] path ([`ReplicatedRun`]) and, when the plan
+//!   sets a gossip cadence, twice through the in-loop replicated
+//!   service loop ([`InloopRun`]) with a trailing batch-`converge`
+//!   oracle.
 //! * [`invariants`] — [`check`]: the invariant catalog (seq↔par per-job
 //!   bit-identity, statistics double-entry, version integrity, latch
 //!   liveness, the `event_core` guarantees of the service run, replica
-//!   convergence/winner/determinism). Failures carry a
-//!   `testkit::replay("…")` line.
+//!   convergence/winner/determinism, in-loop convergence against the
+//!   batch oracle). Failures carry a `testkit::replay("…")` line.
 //! * [`shrink`](mod@shrink) — greedy minimisation of a failing scenario: collapse
 //!   churn, drop jobs, drop faults, strip the net plan, shrink the
 //!   fleet, collapse the workers — while the failure label stays the
@@ -67,7 +73,7 @@ pub use helpers::{
     lulesh_table3_model, repo_with_lulesh, taurus_fallback, toy_benchmark, SpinPermit, SpinPermits,
 };
 pub use invariants::{check, Failure, Violation};
-pub use runner::{run_scenario, ReplicatedRun, ScenarioRun, Watchdog};
+pub use runner::{run_scenario, InloopRun, ReplicatedRun, ScenarioRun, Watchdog};
 pub use scenario::{
     AbortFault, DriftShiftFault, FaultPlan, FleetSpec, JobSpec, NetPlan, NodeSpec, OnlineSpec,
     PartitionWindow, RepositorySpec, Scenario, StoredModel, WorkloadSpec,

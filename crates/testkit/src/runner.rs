@@ -25,8 +25,8 @@ use obskit::{Recorder, Registry};
 use ptf::RandomSearch;
 use rrl::net::{ModelDigest, SessionState};
 use rrl::{
-    ClusterReport, ClusterScheduler, ConvergeReport, JobArrival, OnlineConfig, OnlineTuning,
-    ReplicaConfig, ReplicaSet, RepositoryStats, RuntimeError, ServiceConfig, Stamp,
+    ClusterReport, ClusterScheduler, ConvergeReport, GossipConfig, JobArrival, OnlineConfig,
+    OnlineTuning, ReplicaConfig, ReplicaSet, RepositoryStats, RuntimeError, ServiceConfig, Stamp,
 };
 use simnode::Cluster;
 
@@ -64,6 +64,9 @@ pub struct ScenarioRun {
     /// The replicated-serving execution, when the scenario carries a
     /// [`NetPlan`].
     pub replicated: Option<ReplicatedRun>,
+    /// The **in-loop** replicated service execution, when the scenario's
+    /// [`NetPlan`] sets a gossip cadence (`gossip_cadence_us > 0`).
+    pub inloop: Option<InloopRun>,
     /// The recorded re-executions of the service run (telemetry on),
     /// for the observability invariant.
     pub observed: ObservedServiceRun,
@@ -105,6 +108,38 @@ pub struct ReplicatedRun {
     pub session_states: Vec<(u32, u32, SessionState)>,
     /// Whether the second execution reproduced the first bit for bit
     /// (model maps, publications, convergence report, session states).
+    pub reruns_match: bool,
+}
+
+/// What the **in-loop** replicated service execution produced: the whole
+/// arrival trace through [`ClusterScheduler::run_service_replicated`] —
+/// gossip rounds interleaved with job events on the plan's cadence,
+/// replica crash/restart from the fault plan's schedule, read-repair per
+/// the plan's knob — with **no trailing `converge()`**: the run must end
+/// already converged. The execution is performed twice so nondeterminism
+/// is itself an observable, and then a batch [`ReplicaSet::converge`] is
+/// run as the oracle — it must be a no-op (nothing left to apply, no map
+/// changes) if in-loop anti-entropy really finished the job.
+///
+/// [`ClusterScheduler::run_service_replicated`]: rrl::ClusterScheduler::run_service_replicated
+#[derive(Debug, Clone)]
+pub struct InloopRun {
+    /// The in-loop service report. `service.replication` carries the
+    /// [`rrl::ReplicationSummary`] (gossip rounds, applied/superseded,
+    /// read-repair counters, crash/restart counts, converged flags).
+    pub report: ClusterReport,
+    /// Per-replica model maps at the end of the run, **before** the
+    /// batch oracle converge, in replica-id order.
+    pub model_maps: Vec<BTreeMap<String, ModelDigest>>,
+    /// Every locally-assigned publication stamp, over all replicas in id
+    /// order (this survives crashes — the history is harness-side).
+    pub published: Vec<(String, Stamp)>,
+    /// Whether the trailing batch [`ReplicaSet::converge`] oracle was a
+    /// no-op: zero entries applied or superseded, and every replica's
+    /// model map unchanged.
+    pub oracle_noop: bool,
+    /// Whether the second execution reproduced the first bit for bit
+    /// (per-job results, service summary, model maps, publications).
     pub reruns_match: bool,
 }
 
@@ -285,6 +320,26 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioRun, Violation> {
         }
     };
 
+    let inloop = match &scenario.net {
+        Some(plan) if plan.gossip_cadence_us > 0 => {
+            // Twice, for the same reason as the batch replicated run:
+            // in-loop anti-entropy is promised to be a pure function of
+            // the scenario, gossip cadence and churn schedule included.
+            let first = run_inloop_once(scenario, plan, strategy.as_ref())?;
+            let second = run_inloop_once(scenario, plan, strategy.as_ref())?;
+            let reruns_match = inloop_runs_match(&first, &second);
+            let (report, model_maps, published, oracle_noop) = first;
+            Some(InloopRun {
+                report,
+                model_maps,
+                published,
+                oracle_noop,
+                reruns_match,
+            })
+        }
+        _ => None,
+    };
+
     Ok(ScenarioRun {
         sequential,
         parallel,
@@ -293,6 +348,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioRun, Violation> {
         shared_stats: shared.stats(),
         shard_stats: shared.shard_stats(),
         replicated,
+        inloop,
         observed,
     })
 }
@@ -409,6 +465,111 @@ fn run_replicated_once(
         .flat_map(|id| set.replica(id).expect("in range").published().to_vec())
         .collect();
     Ok((model_maps, published, converge, set.session_states()))
+}
+
+/// One full in-loop execution: seed replica 0, drive the whole trace
+/// through the replicated service loop (gossip interleaved with job
+/// events, replica churn from the fault plan, read-repair per the
+/// plan's knob), then run the batch `converge()` oracle and report
+/// whether it had anything left to do.
+type InloopState = (
+    ClusterReport,
+    Vec<BTreeMap<String, ModelDigest>>,
+    Vec<(String, Stamp)>,
+    bool,
+);
+
+fn run_inloop_once(
+    scenario: &Scenario,
+    plan: &NetPlan,
+    strategy: Option<&RandomSearch>,
+) -> Result<InloopState, Violation> {
+    let fleet = scenario.build_fleet();
+    let replicas = plan.replicas.max(2);
+    let config = ReplicaConfig {
+        shards: scenario.repository.shards.max(1),
+        capacity: scenario.repository.capacity,
+        fallback: scenario.repository.fallback,
+        ..ReplicaConfig::default()
+    };
+    let mut set = ReplicaSet::new(replicas, config).with_faults(plan);
+
+    // Pre-stored entries are published on replica 0 only, exactly like
+    // the batch replicated run: spreading them is the gossip loop's job,
+    // this time *while* the trace is being served.
+    for entry in scenario.stored_entries() {
+        set.replica_mut(0).expect("replica 0 exists").publish_model(
+            &entry.bench,
+            &entry.model,
+            entry.expected.clone().unwrap_or_default(),
+        );
+    }
+
+    let mut sched = ClusterScheduler::new(&fleet).map_err(|e| run_error("in-loop", e))?;
+    if let Some(strategy) = strategy {
+        sched = sched.with_online(OnlineTuning {
+            strategy,
+            energy_model: None,
+            config: OnlineConfig::default(),
+        });
+    }
+    if !scenario.faults.is_empty() {
+        sched = sched.with_faults(&scenario.faults);
+    }
+    let trace: Vec<JobArrival> = scenario
+        .jobs
+        .iter()
+        .map(|job| JobArrival {
+            name: job.name.clone(),
+            bench: scenario.workloads[job.workload].bench.clone(),
+            arrival_s: job.arrival_s,
+        })
+        .collect();
+    let gossip = GossipConfig {
+        cadence_us: plan.gossip_cadence_us,
+        read_repair: plan.read_repair,
+        ..GossipConfig::default()
+    };
+    let report = sched
+        .run_service_replicated(trace, &mut set, &gossip, &ServiceConfig::default())
+        .map_err(|e| run_error("in-loop", e))?;
+
+    // The batch oracle: if in-loop anti-entropy really converged the
+    // set, a trailing `converge()` has nothing to apply and changes no
+    // replica's map.
+    let model_maps: Vec<_> = (0..replicas)
+        .map(|id| set.replica(id).expect("in range").model_map())
+        .collect();
+    let totals_before = set.replication_totals();
+    set.converge()
+        .map_err(|e| run_error("in-loop", RuntimeError::Replication(e)))?;
+    let totals_after = set.replication_totals();
+    let maps_after: Vec<_> = (0..replicas)
+        .map(|id| set.replica(id).expect("in range").model_map())
+        .collect();
+    let oracle_noop = totals_before == totals_after && maps_after == model_maps;
+
+    let published = (0..replicas)
+        .flat_map(|id| set.replica(id).expect("in range").published().to_vec())
+        .collect();
+    Ok((report, model_maps, published, oracle_noop))
+}
+
+/// Bit-identity of two in-loop executions: service summary (replication
+/// counters and percentiles included), per-job results, model maps and
+/// publication histories.
+fn inloop_runs_match(a: &InloopState, b: &InloopState) -> bool {
+    let jobs_match = a.0.jobs.len() == b.0.jobs.len()
+        && a.0.jobs.iter().zip(&b.0.jobs).all(|(x, y)| {
+            x.job == y.job
+                && x.node_id == y.node_id
+                && x.accounting == y.accounting
+                && x.savings == y.savings
+                && x.published_version == y.published_version
+                && x.rejection == y.rejection
+                && x.aborted_at == y.aborted_at
+        });
+    jobs_match && a.0.service == b.0.service && a.1 == b.1 && a.2 == b.2 && a.3 == b.3
 }
 
 #[cfg(test)]

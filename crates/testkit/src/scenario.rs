@@ -11,7 +11,8 @@
 use kernels::BenchmarkSpec;
 use ptf::TuningModel;
 use rrl::{
-    ChurnEvent, FaultInjector, RuntimeSession, ServedModel, SharedRepository, TuningModelRepository,
+    ChurnEvent, FaultInjector, ReplicaChurnEvent, RuntimeSession, ServedModel, SharedRepository,
+    TuningModelRepository,
 };
 use serde::{Deserialize, Serialize};
 use simnode::{Cluster, Node, SystemConfig, Topology};
@@ -172,6 +173,11 @@ pub struct FaultPlan {
     /// lines parseable.
     #[serde(default)]
     pub churn: Vec<ChurnEvent>,
+    /// Replica crash/restart schedule for the in-loop replicated service
+    /// run (every other loop ignores it). `default` keeps pre-in-loop
+    /// replay lines parseable.
+    #[serde(default)]
+    pub replica_churn: Vec<ReplicaChurnEvent>,
 }
 
 impl FaultPlan {
@@ -181,6 +187,7 @@ impl FaultPlan {
             && self.calibration_failures.is_empty()
             && self.drift_shifts.is_empty()
             && self.churn.is_empty()
+            && self.replica_churn.is_empty()
     }
 
     /// Total injected faults.
@@ -189,6 +196,7 @@ impl FaultPlan {
             + self.calibration_failures.len()
             + self.drift_shifts.len()
             + self.churn.len()
+            + self.replica_churn.len()
     }
 
     /// Drop every fault that names a job not in `jobs` (the shrinker
@@ -219,6 +227,10 @@ impl FaultInjector for FaultPlan {
 
     fn node_churn(&self) -> Vec<ChurnEvent> {
         self.churn.clone()
+    }
+
+    fn replica_churn(&self) -> Vec<ReplicaChurnEvent> {
+        self.replica_churn.clone()
     }
 }
 
@@ -259,6 +271,17 @@ pub struct NetPlan {
     pub delay_jitter_ticks: u64,
     /// Partition windows.
     pub partitions: Vec<PartitionWindow>,
+    /// Gossip cadence for the **in-loop** replicated service run, in
+    /// virtual microseconds. `0` (the default) keeps replication
+    /// batch-only — exactly what every pre-in-loop scenario meant — so
+    /// legacy replay lines parse and mean the same thing.
+    #[serde(default)]
+    pub gossip_cadence_us: u64,
+    /// Whether the in-loop run serves repository misses by targeted
+    /// read-repair pulls before falling back to cold calibration. Only
+    /// consulted when `gossip_cadence_us > 0`.
+    #[serde(default)]
+    pub read_repair: bool,
 }
 
 impl NetPlan {
@@ -677,6 +700,78 @@ mod tests {
     }
 
     #[test]
+    fn replica_churn_rides_the_fault_plan() {
+        use rrl::ReplicaChurnKind;
+        let mut s = tiny_scenario();
+        s.faults.replica_churn.push(ReplicaChurnEvent {
+            at_s: 1.0,
+            replica: 1,
+            kind: ReplicaChurnKind::Crash,
+        });
+        s.faults.replica_churn.push(ReplicaChurnEvent {
+            at_s: 2.0,
+            replica: 1,
+            kind: ReplicaChurnKind::Restart,
+        });
+        assert_eq!(s.faults.len(), 3);
+        // The schedule surfaces through the injector seam and the
+        // replay artefact alike.
+        let f: &dyn FaultInjector = &s.faults;
+        assert_eq!(f.replica_churn(), s.faults.replica_churn);
+        assert_eq!(Scenario::from_replay(&s.to_replay()).unwrap(), s);
+        // A replica-churn-only plan is still a plan (the runner must
+        // attach it for the in-loop run to see the schedule).
+        let only_replica_churn = FaultPlan {
+            replica_churn: s.faults.replica_churn.clone(),
+            ..FaultPlan::default()
+        };
+        assert!(!only_replica_churn.is_empty());
+        // Replica churn names replicas, not jobs: job pruning leaves it
+        // alone.
+        let mut pruned = s.clone();
+        pruned.jobs.clear();
+        pruned.prune();
+        assert_eq!(pruned.faults.replica_churn, s.faults.replica_churn);
+        // And a pre-in-loop replay line (no `replica_churn` key) still
+        // parses through `#[serde(default)]`.
+        let legacy_line = tiny_scenario().to_replay();
+        let legacy = legacy_line
+            .replace(",\"replica_churn\":[]", "")
+            .replace("\"replica_churn\":[],", "");
+        assert_ne!(legacy, legacy_line, "the key was present and got stripped");
+        let back = Scenario::from_replay(&legacy).expect("legacy line parses");
+        assert!(back.faults.replica_churn.is_empty());
+        assert_eq!(back, tiny_scenario());
+    }
+
+    #[test]
+    fn inloop_gossip_knobs_ride_the_net_plan() {
+        let mut s = tiny_scenario();
+        s.net = Some(NetPlan {
+            replicas: 3,
+            fault_seed: 7,
+            drop_permille: 0,
+            duplicate_permille: 0,
+            delay_jitter_ticks: 0,
+            partitions: Vec::new(),
+            gossip_cadence_us: 5_000,
+            read_repair: true,
+        });
+        assert_eq!(Scenario::from_replay(&s.to_replay()).unwrap(), s);
+        // A pre-in-loop replay line (no gossip keys) defaults to the
+        // batch-only meaning: cadence 0, no read-repair.
+        let line = s.to_replay();
+        let legacy = line
+            .replace(",\"gossip_cadence_us\":5000", "")
+            .replace(",\"read_repair\":true", "");
+        assert_ne!(legacy, line, "both keys were present and got stripped");
+        let back = Scenario::from_replay(&legacy).expect("legacy line parses");
+        let plan = back.net.expect("plan survives");
+        assert_eq!(plan.gossip_cadence_us, 0);
+        assert!(!plan.read_repair);
+    }
+
+    #[test]
     fn net_plan_round_trips_and_decides_purely() {
         let plan = NetPlan {
             replicas: 4,
@@ -689,6 +784,8 @@ mod tests {
                 to_tick: 20,
                 isolated: vec![2],
             }],
+            gossip_cadence_us: 0,
+            read_repair: false,
         };
         let mut s = tiny_scenario();
         s.net = Some(plan.clone());
@@ -724,6 +821,8 @@ mod tests {
             duplicate_permille: 0,
             delay_jitter_ticks: 0,
             partitions: Vec::new(),
+            gossip_cadence_us: 0,
+            read_repair: false,
         };
         let f: &dyn FaultInjector = &plan;
         for id in 0..100u64 {

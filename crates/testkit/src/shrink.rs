@@ -129,7 +129,7 @@ pub fn shrink(scenario: &Scenario, fails: &dyn Fn(&Scenario) -> Option<String>) 
                 progressed = true;
             } else {
                 type FaultAccess = (fn(&FaultPlan) -> usize, fn(&mut FaultPlan, usize));
-                const FAULT_KINDS: [FaultAccess; 3] = [
+                const FAULT_KINDS: [FaultAccess; 4] = [
                     (
                         |p| p.aborts.len(),
                         |p, i| {
@@ -146,6 +146,12 @@ pub fn shrink(scenario: &Scenario, fails: &dyn Fn(&Scenario) -> Option<String>) 
                         |p| p.drift_shifts.len(),
                         |p, i| {
                             p.drift_shifts.remove(i);
+                        },
+                    ),
+                    (
+                        |p| p.replica_churn.len(),
+                        |p, i| {
+                            p.replica_churn.remove(i);
                         },
                     ),
                 ];
@@ -189,10 +195,16 @@ pub fn shrink(scenario: &Scenario, fails: &dyn Fn(&Scenario) -> Option<String>) 
                     }
                 }
                 type NetKnob = fn(&mut crate::scenario::NetPlan) -> bool;
-                const NET_KNOBS: [NetKnob; 4] = [
+                const NET_KNOBS: [NetKnob; 6] = [
                     |n| std::mem::take(&mut n.drop_permille) != 0,
                     |n| std::mem::take(&mut n.duplicate_permille) != 0,
                     |n| std::mem::take(&mut n.delay_jitter_ticks) != 0,
+                    // Collapsing the gossip cadence turns the in-loop
+                    // run off wholesale (back to batch-only), and
+                    // read-repair off sends misses to cold calibration
+                    // — both big simplifications when not load-bearing.
+                    |n| std::mem::take(&mut n.gossip_cadence_us) != 0,
+                    |n| std::mem::take(&mut n.read_repair),
                     |n| {
                         if n.replicas > 2 {
                             n.replicas = 2;
@@ -333,6 +345,39 @@ mod tests {
         // The repro line round-trips to the same minimal scenario.
         let back = Scenario::from_replay(&shrunk.replay_line()).unwrap();
         assert_eq!(back, shrunk.scenario);
+    }
+
+    #[test]
+    fn shrink_strips_inloop_knobs_and_replica_churn_when_ballast() {
+        let generator = ScenarioGenerator::new(GeneratorConfig {
+            jobs: 6,
+            online: false,
+            replicas: 3,
+            inloop_gossip: true,
+            replica_churn_events: 2,
+            ..GeneratorConfig::default()
+        });
+        let scenario = generator.generate(7);
+        assert!(scenario.net.as_ref().unwrap().gossip_cadence_us > 0);
+        assert_eq!(scenario.faults.replica_churn.len(), 4);
+        // The failure needs message drops only — the whole in-loop
+        // apparatus (cadence, read-repair, crash/restart schedule) is
+        // ballast the shrinker should strip.
+        let fails = |s: &Scenario| -> Option<String> {
+            s.net
+                .as_ref()
+                .is_some_and(|n| n.drop_permille > 0)
+                .then(|| "needs-drops".to_string())
+        };
+        let shrunk = shrink(&scenario, &fails).expect("original fails");
+        let net = shrunk.scenario.net.as_ref().expect("plan is load-bearing");
+        assert!(net.drop_permille > 0, "the culprit knob survives");
+        assert_eq!(net.gossip_cadence_us, 0, "in-loop cadence collapsed");
+        assert!(!net.read_repair, "read-repair turned off");
+        assert!(
+            shrunk.scenario.faults.replica_churn.is_empty(),
+            "crash/restart schedule dropped"
+        );
     }
 
     #[test]

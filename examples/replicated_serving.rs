@@ -38,6 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             to_tick: 16,
             isolated: vec![3],
         }],
+        // Batch-style sync: this example converges explicitly between
+        // phases. See `inloop_replication` for the gossip-while-serving
+        // counterpart.
+        gossip_cadence_us: 0,
+        read_repair: false,
     };
     let config = ReplicaConfig {
         fallback: Some(SystemConfig::new(24, 2400, 1700)),

@@ -127,6 +127,9 @@ fn drift_republish_wins_everywhere_under_partition_reorder_duplicate() {
             to_tick: 24,
             isolated: vec![2],
         }],
+        // Batch-style convergence; the in-loop path has its own tests.
+        gossip_cadence_us: 0,
+        read_repair: false,
     });
 
     let first = testkit::check(&scenario).unwrap_or_else(|failure| panic!("{failure}"));

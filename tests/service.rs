@@ -1,14 +1,16 @@
 //! Integration tests for the discrete-event cluster service: the
 //! three-way equivalence `run_service` ≡ `run` ≡ `run_parallel` on
-//! zero-interarrival no-churn traces, and the churn-shape guarantees
+//! zero-interarrival no-churn traces, the churn-shape guarantees
 //! (drained/failed nodes' jobs are re-placed, never dropped; failures
-//! truncate running jobs at a phase boundary).
+//! truncate running jobs at a phase boundary), and in-loop replication
+//! (gossip while serving, replica crash/restart catch-up, read-repair).
 
 use dvfs_ufs_tuning::kernels::BenchmarkSpec;
 use dvfs_ufs_tuning::ptf::{RandomSearch, TuningModel};
 use dvfs_ufs_tuning::rrl::{
-    ChurnEvent, ChurnKind, ClusterReport, ClusterScheduler, FaultInjector, JobArrival,
-    OnlineConfig, OnlineTuning, ServiceConfig, SharedRepository, TuningModelRepository,
+    ChurnEvent, ChurnKind, ClusterReport, ClusterScheduler, FaultInjector, GossipConfig,
+    JobArrival, ModelSource, OnlineConfig, OnlineTuning, ReplicaChurnEvent, ReplicaChurnKind,
+    ReplicaConfig, ReplicaSet, ServiceConfig, SharedRepository, TuningModelRepository,
 };
 use dvfs_ufs_tuning::simnode::{Cluster, SystemConfig};
 use testkit::{taurus_fallback, toy_benchmark};
@@ -291,4 +293,218 @@ fn fail_truncates_running_jobs_and_join_restores_the_node() {
     // Its queued successor moved off the failed node before the re-join.
     assert!(summary.replaced_jobs >= 1, "{summary:?}");
     assert!(summary.quiesced && summary.monotone);
+}
+
+/// A replica churn schedule for the in-loop replication tests.
+struct ReplicaChurnPlan(Vec<ReplicaChurnEvent>);
+
+impl FaultInjector for ReplicaChurnPlan {
+    fn replica_churn(&self) -> Vec<ReplicaChurnEvent> {
+        self.0.clone()
+    }
+}
+
+/// One in-loop replicated run: online tuning over `replicas` replicas,
+/// spread arrivals so publications land mid-run.
+fn inloop_run(
+    replicas: u32,
+    gossip: &GossipConfig,
+    faults: Option<&dyn FaultInjector>,
+    trace: Vec<JobArrival>,
+) -> (ClusterReport, ReplicaSet<'static>) {
+    let strategy = RandomSearch::new(12, 3);
+    let online = OnlineTuning {
+        strategy: &strategy,
+        energy_model: None,
+        config: OnlineConfig::default(),
+    };
+    let cluster = Cluster::new(3, 0x1009);
+    let mut set = ReplicaSet::new(
+        replicas,
+        ReplicaConfig {
+            fallback: Some(taurus_fallback()),
+            ..ReplicaConfig::default()
+        },
+    );
+    let mut sched = ClusterScheduler::new(&cluster).unwrap().with_online(online);
+    if let Some(faults) = faults {
+        sched = sched.with_faults(faults);
+    }
+    let report = sched
+        .run_service_replicated(trace, &mut set, gossip, &ServiceConfig::default())
+        .unwrap();
+    (report, set)
+}
+
+fn spread_trace(jobs: usize) -> Vec<JobArrival> {
+    // Two cold workloads whose calibrations publish mid-run, staggered
+    // so gossip interleaves with serving.
+    let a = toy_bench("inloop-a", 2e10, 40);
+    let b = toy_bench("inloop-b", 1.4e10, 30);
+    (0..jobs)
+        .map(|i| JobArrival {
+            name: format!("inloop-{i}"),
+            bench: if i % 2 == 0 { a.clone() } else { b.clone() },
+            arrival_s: 0.4 * i as f64,
+        })
+        .collect()
+}
+
+/// The tentpole invariant: an in-loop run converges *during* the run
+/// (no trailing `converge`), a batch `converge` afterwards is a no-op
+/// oracle check, and reruns are bit-identical.
+#[test]
+fn inloop_gossip_converges_while_serving_and_matches_the_batch_oracle() {
+    let gossip = GossipConfig {
+        cadence_us: 5_000,
+        ..GossipConfig::default()
+    };
+    let (first, mut set) = inloop_run(3, &gossip, None, spread_trace(6));
+    let summary = first.service.as_ref().unwrap();
+    let replication = summary.replication.expect("replicated run summary");
+    assert!(replication.converged, "{replication:?}");
+    assert!(replication.net_idle, "{replication:?}");
+    assert!(replication.gossip_rounds > 0, "{replication:?}");
+    assert!(replication.applied > 0, "publications gossiped mid-run");
+    assert_eq!(replication.replicas, 3);
+    assert!(summary.quiesced && summary.monotone);
+
+    // Every replica already holds the same non-empty winner map.
+    let map0 = set.replica(0).unwrap().model_map();
+    assert!(!map0.is_empty());
+    for id in 1..3 {
+        assert_eq!(set.replica(id).unwrap().model_map(), map0, "replica {id}");
+    }
+
+    // Batch oracle: a converge pass over the already-converged set
+    // applies nothing and changes no map.
+    let before = set.replication_totals();
+    set.converge().expect("post-run converge is clean");
+    assert_eq!(set.replication_totals(), before, "converge was a no-op");
+    assert_eq!(set.replica(0).unwrap().model_map(), map0);
+
+    // Rerun: bit-identical report and replication summary.
+    let (second, set2) = inloop_run(3, &gossip, None, spread_trace(6));
+    assert_reports_bit_identical(&first, &second, "in-loop rerun");
+    assert_eq!(
+        second.service.as_ref().unwrap().replication,
+        Some(replication),
+        "replication counters are deterministic"
+    );
+    assert_eq!(set2.replica(0).unwrap().model_map(), map0);
+
+    let text = first.format_report();
+    assert!(text.contains("replication: 3 replicas"), "{text}");
+}
+
+/// Replica crash/restart mid-run: the restarted replica rejoins empty
+/// and catches up from its peers before the run ends, deterministically.
+#[test]
+fn inloop_replica_crash_and_restart_catches_up_before_the_run_ends() {
+    let churn = ReplicaChurnPlan(vec![
+        ReplicaChurnEvent {
+            at_s: 0.5,
+            replica: 1,
+            kind: ReplicaChurnKind::Crash,
+        },
+        ReplicaChurnEvent {
+            at_s: 1.1,
+            replica: 1,
+            kind: ReplicaChurnKind::Restart,
+        },
+    ]);
+    let gossip = GossipConfig::default();
+    let (first, set) = inloop_run(3, &gossip, Some(&churn), spread_trace(6));
+    let replication = first.service.as_ref().unwrap().replication.unwrap();
+    assert_eq!(replication.crashes, 1, "{replication:?}");
+    assert_eq!(replication.restarts, 1, "{replication:?}");
+    assert!(replication.converged, "{replication:?}");
+    assert!(replication.net_idle, "{replication:?}");
+    assert!(!set.is_down(1));
+
+    // The restarted replica holds the fleet's winners again.
+    let map0 = set.replica(0).unwrap().model_map();
+    assert!(!map0.is_empty());
+    assert_eq!(set.replica(1).unwrap().model_map(), map0, "caught up");
+    assert_eq!(set.replica(2).unwrap().model_map(), map0);
+
+    let (second, _) = inloop_run(3, &gossip, Some(&churn), spread_trace(6));
+    assert_reports_bit_identical(&first, &second, "churned rerun");
+    assert_eq!(
+        second.service.as_ref().unwrap().replication,
+        Some(replication)
+    );
+}
+
+/// Read-repair: a miss that an established peer can serve parks the job
+/// behind a targeted pull instead of running a second cold calibration.
+/// The same trace with read-repair off calibrates twice.
+#[test]
+fn read_repair_avoids_a_second_cold_calibration() {
+    let bench = toy_bench("repair-toy", 2e10, 40);
+    let gossip = GossipConfig {
+        cadence_us: 10_000,
+        ..GossipConfig::default()
+    };
+    // Probe: when does the first job (and its publication) finish?
+    let probe = vec![JobArrival {
+        name: "rr-0".into(),
+        bench: bench.clone(),
+        arrival_s: 0.0,
+    }];
+    let (probe_report, _) = inloop_run(2, &gossip, None, probe);
+    let makespan = probe_report.service.as_ref().unwrap().makespan_s;
+
+    // The second job lands on node 1 (home replica 1) one millisecond
+    // after the publication on replica 0 — inside the gossip cadence
+    // window, so replica 1 does not hold the entry yet.
+    let trace = || {
+        vec![
+            JobArrival {
+                name: "rr-0".into(),
+                bench: bench.clone(),
+                arrival_s: 0.0,
+            },
+            JobArrival {
+                name: "rr-1".into(),
+                bench: bench.clone(),
+                arrival_s: makespan + 0.001,
+            },
+        ]
+    };
+
+    let (with_repair, _) = inloop_run(2, &gossip, None, trace());
+    let replication = with_repair.service.as_ref().unwrap().replication.unwrap();
+    assert!(replication.repair_pulls >= 1, "{replication:?}");
+    assert_eq!(replication.repair_released, 1, "{replication:?}");
+    assert_eq!(replication.repair_abandoned, 0, "{replication:?}");
+    assert_eq!(
+        with_repair.online_summary().calibrations,
+        1,
+        "the repaired job never cold-calibrated"
+    );
+    assert_eq!(
+        with_repair.jobs[1].accounting.source,
+        ModelSource::Replicated,
+        "the second job served the pulled entry"
+    );
+    assert!(replication.converged && replication.net_idle);
+
+    let off = GossipConfig {
+        read_repair: false,
+        ..gossip
+    };
+    let (without_repair, _) = inloop_run(2, &off, None, trace());
+    let replication = without_repair
+        .service
+        .as_ref()
+        .unwrap()
+        .replication
+        .unwrap();
+    assert_eq!(replication.repair_pulls, 0, "{replication:?}");
+    assert_eq!(
+        without_repair.online_summary().calibrations,
+        2,
+        "without read-repair the same miss cold-calibrates"
+    );
 }

@@ -9,15 +9,19 @@
 
 use testkit::{ArrivalModel, GeneratorConfig, ScenarioGenerator};
 
-/// The fixed CI matrix: 18 seeds across four generator profiles — a
+/// The fixed CI matrix: 20 seeds across five generator profiles — a
 /// mixed faulted fleet under Poisson traffic, an all-cold
 /// eviction-pressure profile whose every workload queues followers on
 /// the calibration latch while the LRU bound churns publications, a
 /// replication-fault profile that spreads the trace over a 3-replica
 /// set syncing through generated drops, duplicates, reorder jitter and
-/// a partition window, and a churn profile whose bursty trace rides the
+/// a partition window, a churn profile whose bursty trace rides the
 /// discrete-event service loop through generated node drain/fail/join
-/// events (the `event_core` quiesce guarantees under membership churn).
+/// events (the `event_core` quiesce guarantees under membership churn),
+/// and an in-loop profile that serves the trace through
+/// `run_service_replicated` — gossip rounds interleaved with job
+/// events, a replica crash/restart pair mid-trace, read-repair on —
+/// and must end converged with a batch-`converge` oracle no-op.
 fn matrix() -> Vec<(&'static str, ScenarioGenerator, u64)> {
     let mixed = ScenarioGenerator::new(GeneratorConfig {
         jobs: 16,
@@ -59,6 +63,16 @@ fn matrix() -> Vec<(&'static str, ScenarioGenerator, u64)> {
         churn_events: 5,
         ..GeneratorConfig::default()
     });
+    let inloop = ScenarioGenerator::new(GeneratorConfig {
+        jobs: 8,
+        nodes: 3,
+        workloads: 3,
+        fault_fraction: 0.15,
+        replicas: 3,
+        inloop_gossip: true,
+        replica_churn_events: 1,
+        ..GeneratorConfig::default()
+    });
     let mut out = Vec::new();
     for seed in [0x01u64, 0x5EED, 0xBEEF, 0xC0FFEE, 0xD1CE] {
         out.push(("mixed", mixed.clone(), seed));
@@ -75,13 +89,19 @@ fn matrix() -> Vec<(&'static str, ScenarioGenerator, u64)> {
     for seed in [0x04u64, 0xDEA1, 0xCAB1E, 0xB47C4, 0x5A1AD] {
         out.push(("churn", churn.clone(), seed));
     }
+    // The in-loop seeds joined in PR 10, with the in-loop replication
+    // invariant (gossip-while-serving converges without a trailing
+    // batch pass, and the batch converge oracle confirms it).
+    for seed in [0x05u64, 0x60551B] {
+        out.push(("inloop", inloop.clone(), seed));
+    }
     out
 }
 
 /// The CI soak: every matrix cell must pass the full invariant catalog.
 /// Failures print the one-line replay repro.
 #[test]
-fn soak_matrix_18_seeds() {
+fn soak_matrix_20_seeds() {
     for (profile, generator, seed) in matrix() {
         let scenario = generator.generate(seed);
         if let Err(failure) = testkit::check(&scenario) {
